@@ -1,0 +1,108 @@
+// EXT3 — anomaly detection as the measurement task (paper §VI: "Our
+// ongoing work is centered on defining new expressions for the utility
+// function for applications such as anomaly detection").
+//
+// Utility: M(rho) = 1 - (1-rho)^S, the probability that an anomalous
+// flow of S packets crossing the network is seen by at least one monitor.
+// The bench sweeps the anomaly size S and reports, for each, the worst
+// per-OD detection probability achievable at theta = 100,000 — for the
+// jointly optimized placement and for the uniform "NetFlow everywhere"
+// baseline — i.e. the smallest anomaly the network can reliably catch.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "core/maximin.hpp"
+#include "netmon.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace netmon;
+
+// Builds the detection objective over the problem's routing rows.
+opt::SeparableConcaveObjective detection_objective(
+    const core::PlacementProblem& problem, double anomaly_packets) {
+  opt::SeparableConcaveObjective::SparseRows rows;
+  const auto& candidates = problem.candidates();
+  for (std::size_t k = 0; k < problem.routing().od_count(); ++k) {
+    std::vector<std::pair<std::size_t, double>> row;
+    for (const auto& [link, frac] : problem.routing().row(k)) {
+      const auto it =
+          std::find(candidates.begin(), candidates.end(), link);
+      if (it != candidates.end())
+        row.emplace_back(
+            static_cast<std::size_t>(it - candidates.begin()), frac);
+    }
+    rows.push_back(std::move(row));
+  }
+  std::vector<std::shared_ptr<const opt::Concave1d>> utilities(
+      problem.routing().od_count(),
+      std::make_shared<core::DetectionUtility>(anomaly_packets));
+  return opt::SeparableConcaveObjective(candidates.size(), std::move(rows),
+                                        std::move(utilities));
+}
+
+double worst_detection(const core::PlacementProblem& problem,
+                       const sampling::RateVector& rates,
+                       double anomaly_packets) {
+  const core::DetectionUtility m(anomaly_packets);
+  double worst = 1.0;
+  for (std::size_t k = 0; k < problem.routing().od_count(); ++k) {
+    const double rho =
+        sampling::effective_rate_approx(problem.routing(), k, rates);
+    worst = std::min(worst, m.value(rho));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== EXT3: anomaly-detection utility M(rho) = 1-(1-rho)^S (paper §VI)"
+      " ==\n\n");
+
+  const core::GeantScenario scenario = core::make_geant_scenario();
+  core::ProblemOptions options;
+  options.theta = 100000.0;
+  const core::PlacementProblem problem = core::make_problem(scenario, options);
+
+  TextTable table({"anomaly size S (pkts)", "worst detect (sum)",
+                   "worst detect (max-min)", "worst detect (uniform)",
+                   "active monitors"});
+  const sampling::RateVector uniform = core::uniform_rates(problem);
+
+  for (double s : {50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0}) {
+    const auto objective = detection_objective(problem, s);
+    opt::SolverOptions solver;
+    solver.max_iterations = 8000;
+    const opt::SolveResult r =
+        opt::maximize(objective, problem.constraints(), solver);
+    const sampling::RateVector rates = problem.expand(r.p);
+    // Max-min variant of the same detection objective.
+    const core::SmoothMinObjective maximin(objective, 200.0);
+    const opt::SolveResult mm =
+        opt::maximize(maximin, problem.constraints(), solver);
+    const sampling::RateVector mm_rates = problem.expand(mm.p);
+    std::size_t active = 0;
+    for (double p : rates) active += p > 1e-9;
+    table.add_row({fmt_fixed(s, 0),
+                   fmt_fixed(worst_detection(problem, rates, s), 4),
+                   fmt_fixed(worst_detection(problem, mm_rates, s), 4),
+                   fmt_fixed(worst_detection(problem, uniform, s), 4),
+                   std::to_string(active)});
+  }
+  std::cout << table.render();
+
+  std::printf(
+      "\nreading: with the detection utility the SUM objective triages —"
+      " for small anomalies\nit abandons the OD pairs that are expensive"
+      " to watch (worst = 0) to maximize the\ntotal catch; the max-min"
+      " variant spreads the budget so every OD pair keeps the best\n"
+      "achievable floor, and for sizable anomalies the optimized placement"
+      " detects flows\nseveral times smaller than the uniform"
+      " configuration at equal budget.\n");
+  return 0;
+}

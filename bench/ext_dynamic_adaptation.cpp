@@ -1,0 +1,114 @@
+// EXT2 — why static placements age: the paper's motivation, quantified.
+//
+// "A static placement of monitors cannot be optimal given the short-term
+// and long-term variations in traffic due to re-routing events, anomalies
+// and the normal network evolution" (paper abstract). We simulate a day
+// of operation — diurnal traffic, a mid-day anomaly towards a small PoP,
+// and a link failure in the evening — and compare:
+//   static   : rates frozen at the midnight optimum,
+//   adaptive : re-optimized (warm start) every 2-hour epoch.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "core/reoptimize.hpp"
+#include "netmon.hpp"
+#include "traffic/variation.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace netmon;
+
+double worst_of(const core::PlacementSolution& s) {
+  double w = 1.0;
+  for (const auto& od : s.per_od) w = std::min(w, od.utility);
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== EXT2: static vs re-optimized placement over 24h ==\n\n");
+
+  const core::GeantScenario base = core::make_geant_scenario();
+  const auto& graph = base.net.graph;
+  const topo::LinkId uk_nl = *graph.find_link("UK", "NL");
+
+  const traffic::DiurnalPattern pattern(0.35, 14.0 * 3600.0);
+  const std::vector<traffic::AnomalySpike> spikes{
+      {{base.net.janet, *graph.find_node("LU")}, 11.0 * 3600.0,
+       13.0 * 3600.0, 50.0}};
+  const double failure_from = 18.0 * 3600.0;  // UK->NL down from 18:00
+
+  // Midnight optimum = the static configuration.
+  const core::PlacementProblem problem0 = core::make_problem(base);
+  const core::PlacementSolution static_solution =
+      core::solve_placement(problem0);
+
+  TextTable table({"epoch", "event", "worst OD (static)",
+                   "worst OD (adaptive)", "sum (static)", "sum (adaptive)",
+                   "budget (static)"});
+  sampling::RateVector warm_rates = static_solution.rates;
+  double static_worst_min = 1.0, adaptive_worst_min = 1.0;
+
+  for (int hour = 0; hour < 24; hour += 2) {
+    const double t = hour * 3600.0;
+    const bool failed_now = t >= failure_from;
+
+    // Ground truth at time t.
+    routing::LinkSet failed;
+    if (failed_now) failed.insert(uk_nl);
+    traffic::TrafficMatrix demands =
+        traffic::matrix_at(base.demands, pattern, spikes, t);
+    const traffic::LinkLoads loads =
+        traffic::link_loads(graph, demands, failed);
+
+    core::MeasurementTask task = base.task;
+    for (std::size_t k = 0; k < task.ods.size(); ++k) {
+      double rate = task.expected_packets[k] / task.interval_sec;
+      rate *= pattern.factor(t);
+      for (const auto& spike : spikes) {
+        if (spike.od == task.ods[k] && spike.active_at(t))
+          rate *= spike.factor;
+      }
+      task.expected_packets[k] = rate * task.interval_sec;
+    }
+
+    core::ProblemOptions options;
+    options.theta = 100000.0;
+    options.failed = failed;
+    const core::PlacementProblem problem(graph, task, loads, options);
+
+    const core::PlacementSolution as_static =
+        core::evaluate_rates(problem, static_solution.rates);
+    const core::PlacementSolution adaptive =
+        core::resolve_warm(problem, warm_rates);
+    warm_rates = adaptive.rates;
+
+    static_worst_min = std::min(static_worst_min, worst_of(as_static));
+    adaptive_worst_min = std::min(adaptive_worst_min, worst_of(adaptive));
+
+    const char* event = "";
+    if (t >= 11.0 * 3600.0 && t < 13.0 * 3600.0) event = "LU anomaly 50x";
+    else if (failed_now) event = "UK->NL failed";
+    char label[32];
+    std::snprintf(label, sizeof(label), "%02d:00", hour);
+    table.add_row({label, event, fmt_fixed(worst_of(as_static), 4),
+                   fmt_fixed(worst_of(adaptive), 4),
+                   fmt_fixed(as_static.total_utility, 3),
+                   fmt_fixed(adaptive.total_utility, 3),
+                   fmt_percent(as_static.budget_used / options.theta, 0)});
+  }
+  std::cout << table.render();
+  std::printf(
+      "\nover the day, the static configuration's worst OD utility dips to"
+      " %.4f while the\nre-optimized one never drops below %.4f — the gap"
+      " opens exactly at the anomaly\nand failure epochs. Note also the"
+      " budget column: frozen rates silently overshoot\ntheta at the"
+      " diurnal peak (and undershoot at night), i.e. a static placement"
+      "\nviolates the resource constraint the moment traffic moves —"
+      " the paper's case for\nre-runnable, router-embedded placement.\n",
+      static_worst_min, adaptive_worst_min);
+  return 0;
+}

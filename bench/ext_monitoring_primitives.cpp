@@ -1,0 +1,148 @@
+// EXT5 — router monitoring primitives under a fixed memory budget.
+//
+// The paper's resource model charges theta per sampled packet; inside the
+// router the scarce resource is flow-table memory, and the literature it
+// builds on (Estan & Varghese / ref. [11]) proposes primitives with very
+// different accuracy-per-memory profiles. This bench compares, on one
+// heavy-tailed link:
+//   - plain packet sampling + 1/p rescaling,
+//   - sample-and-hold (near-exact elephants),
+//   - adaptive NetFlow (rate backs off under cache pressure),
+// reporting per-flow error on elephants, detection of heavy hitters, and
+// the flow-table footprint.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "netmon.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace netmon;
+
+struct Outcome {
+  double elephant_error = 0.0;  // mean |rel err| on >= 5000-pkt flows
+  double table_entries = 0.0;   // mean flow-table footprint
+  double hh_recall = 0.0;       // heavy hitters (>=5000 pkts) found
+};
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== EXT5: sampling primitives at equal packet budget (ref. [11]"
+      " lineage) ==\n\n");
+
+  // Traffic: heavy-tailed population; elephants are the >= 5000-pkt tail.
+  Rng rng(31);
+  traffic::FlowGenOptions gen;
+  gen.max_flow_packets = 5e4;
+  const auto flows = traffic::generate_flows(rng, {{0, 1}, 4000.0}, 0, gen);
+  std::vector<std::size_t> elephants;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (flows[i].packets >= 5000) elephants.push_back(i);
+  }
+  std::printf("population: %zu flows, %llu packets, %zu elephants"
+              " (>= 5000 pkts)\n\n",
+              flows.size(),
+              static_cast<unsigned long long>(traffic::total_packets(flows)),
+              elephants.size());
+
+  const double p = 0.01;
+  const int reps = 5;
+
+  Outcome plain, sah;
+  RunningStats adaptive_rate;
+  for (int rep = 0; rep < reps; ++rep) {
+    Rng lane = rng.split(rep + 1);
+
+    // --- plain sampling ---
+    {
+      RunningStats err;
+      std::size_t hh_found = 0;
+      for (std::size_t i : elephants) {
+        const double est = static_cast<double>(
+                               lane.binomial(flows[i].packets, p)) /
+                           p;
+        err.add(std::abs(est - static_cast<double>(flows[i].packets)) /
+                static_cast<double>(flows[i].packets));
+        if (est >= 5000.0) ++hh_found;
+      }
+      plain.elephant_error += err.mean() / reps;
+      plain.hh_recall +=
+          static_cast<double>(hh_found) / elephants.size() / reps;
+      // Footprint ~ detected flows.
+      double detected = 0.0;
+      for (const auto& f : flows)
+        detected += 1.0 - std::pow(1.0 - p, static_cast<double>(f.packets));
+      plain.table_entries += detected / reps;
+    }
+
+    // --- sample-and-hold ---
+    {
+      netflow::RecordBatch exported;
+      netflow::SampleAndHoldMonitor monitor(
+          0, p, 0,
+          [&](const netflow::FlowRecord& r) { exported.push_back(r); },
+          lane());
+      for (const auto& f : flows) {
+        for (std::uint64_t i = 0; i < f.packets; ++i)
+          monitor.offer(f.key, 100, 0.0);
+      }
+      const double entries = static_cast<double>(monitor.tracked_flows());
+      monitor.flush(0.0);
+      RunningStats err;
+      std::size_t hh_found = 0;
+      for (std::size_t i : elephants) {
+        // Find the elephant's record.
+        double est = 0.0;
+        for (const auto& r : exported) {
+          if (r.key == flows[i].key)
+            est = monitor.estimate_packets(r.sampled_packets);
+        }
+        if (est >= 5000.0) ++hh_found;
+        err.add(std::abs(est - static_cast<double>(flows[i].packets)) /
+                static_cast<double>(flows[i].packets));
+      }
+      sah.elephant_error += err.mean() / reps;
+      sah.hh_recall +=
+          static_cast<double>(hh_found) / elephants.size() / reps;
+      sah.table_entries += entries / reps;
+    }
+
+    // --- adaptive NetFlow: record the equilibrium rate under pressure ---
+    {
+      netflow::AdaptiveOptions options;
+      options.entry_budget = 2048;
+      options.table.max_entries = 4096;
+      options.min_rate = 1e-4;
+      netflow::AdaptiveMonitor monitor(0, p, options,
+                                       [](const netflow::FlowRecord&) {},
+                                       lane());
+      for (const auto& f : flows) {
+        for (std::uint64_t i = 0; i < f.packets; ++i)
+          monitor.offer(f.key, 100, 0.0);
+      }
+      adaptive_rate.add(monitor.current_rate());
+    }
+  }
+
+  TextTable table({"primitive", "elephant mean |rel err|",
+                   "flow-table entries", "heavy-hitter recall"});
+  table.add_row({"plain sampling 1%", fmt_fixed(plain.elephant_error, 4),
+                 fmt_fixed(plain.table_entries, 0),
+                 fmt_percent(plain.hh_recall)});
+  table.add_row({"sample-and-hold 1%", fmt_fixed(sah.elephant_error, 4),
+                 fmt_fixed(sah.table_entries, 0),
+                 fmt_percent(sah.hh_recall)});
+  std::cout << table.render();
+  std::printf(
+      "\nadaptive NetFlow under the same traffic settles at rate %.4f"
+      " (from %.2f target)\nto keep its 2048-entry budget — the local"
+      " mechanism the paper calls complementary\nto its global rate"
+      " assignment (§II).\n",
+      adaptive_rate.mean(), p);
+  return 0;
+}

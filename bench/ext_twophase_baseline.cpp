@@ -1,0 +1,68 @@
+// EXT1 — two-phase baseline (Suh et al., paper ref. [10]) vs the paper's
+// joint formulation.
+//
+// The related-work section argues that splitting the problem — first
+// place monitors, then tune rates — yields near-optimal heuristics at
+// best, while the joint convex formulation certifies the global optimum.
+// This bench quantifies the gap as a function of the monitor-count budget
+// K given to the two-phase heuristic.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "core/two_phase.hpp"
+#include "netmon.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace netmon;
+
+  std::printf(
+      "== EXT1: two-phase heuristic (ref. [10] style) vs joint optimum"
+      " ==\n\n");
+
+  const core::GeantScenario scenario = core::make_geant_scenario();
+  core::ProblemOptions options;
+  options.theta = 100000.0;
+
+  const core::PlacementProblem joint_problem =
+      core::make_problem(scenario, options);
+  const core::PlacementSolution joint = core::solve_placement(joint_problem);
+  auto worst_of = [](const core::PlacementSolution& s) {
+    double w = 1.0;
+    for (const auto& od : s.per_od) w = std::min(w, od.utility);
+    return w;
+  };
+
+  TextTable table({"strategy", "monitors", "coverage", "sum utility",
+                   "worst OD utility", "gap to joint"});
+  table.add_row({"joint optimum (paper)",
+                 std::to_string(joint.active_monitors.size()), "100.0%",
+                 fmt_fixed(joint.total_utility, 3),
+                 fmt_fixed(worst_of(joint), 4), "-"});
+
+  for (std::size_t k : {1u, 2u, 3u, 4u, 6u, 8u, 10u, 14u, 20u}) {
+    core::TwoPhaseOptions two_phase;
+    two_phase.max_monitors = k;
+    const core::TwoPhaseResult result = core::two_phase_placement(
+        scenario.net.graph, scenario.task, scenario.loads, options,
+        two_phase);
+    table.add_row(
+        {"two-phase K=" + std::to_string(k),
+         std::to_string(result.selected.size()),
+         fmt_percent(result.covered_fraction),
+         fmt_fixed(result.solution.total_utility, 3),
+         fmt_fixed(worst_of(result.solution), 4),
+         fmt_fixed(joint.total_utility - result.solution.total_utility, 3)});
+  }
+  std::cout << table.render();
+
+  std::printf(
+      "\nreading: at small K the volume-greedy selection leaves small OD"
+      " pairs entirely\nuncovered (worst utility 0). And because the"
+      " phase-1 goal is COVERAGE, the greedy\nstops as soon as every OD"
+      " crosses some monitor (5 links here) — it can never\ndiscover that"
+      " adding the lightly-loaded FR->LU / CZ->SK / IT->IL monitors is"
+      "\nworth it, which is exactly what the joint formulation finds.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// SEC4D — reproduces the algorithm statistics of paper §IV-D:
+// 200 independent executions with different inputs (OD pair sizes, link
+// loads, capacity theta). The paper reports: optimum found in < 2000
+// iterations in 98.6% of cases; constraint-release events (negative
+// Lagrange multipliers) average 1.64 with standard deviation 1.17.
+#include <cstdio>
+#include <iostream>
+
+#include "netmon.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace netmon;
+
+  std::printf(
+      "== SEC4D: solver convergence over 200 randomized executions"
+      " (paper §IV-D) ==\n\n");
+
+  Rng rng(4242);
+  RunningStats iterations, releases;
+  int converged = 0;
+  const int kRuns = 200;
+
+  for (int run = 0; run < kRuns; ++run) {
+    // Different inputs per execution: background volume, OD sizes, theta.
+    core::ScenarioOptions scenario_options;
+    scenario_options.background_pkt_per_sec = rng.uniform(0.7e6, 2.2e6);
+    core::GeantScenario scenario = core::make_geant_scenario(scenario_options);
+    for (double& s : scenario.task.expected_packets)
+      s *= rng.uniform(0.4, 2.5);
+
+    core::ProblemOptions options;
+    options.theta = rng.uniform(30000.0, 400000.0);
+    const core::PlacementProblem problem(scenario.net.graph, scenario.task,
+                                         scenario.loads, options);
+    opt::SolverOptions solver;
+    solver.max_iterations = 2000;  // the paper's threshold
+    const core::PlacementSolution solution =
+        core::solve_placement(problem, solver);
+
+    iterations.add(solution.iterations);
+    releases.add(solution.release_events);
+    converged += solution.status == opt::SolveStatus::kOptimal;
+  }
+
+  TextTable table({"metric", "measured", "paper"});
+  table.add_row({"runs", std::to_string(kRuns), "200"});
+  table.add_row({"converged < 2000 iterations",
+                 fmt_percent(static_cast<double>(converged) / kRuns),
+                 "98.6%"});
+  table.add_row({"iterations (mean)", fmt_fixed(iterations.mean(), 1), "-"});
+  table.add_row({"iterations (max)", fmt_fixed(iterations.max(), 0), "-"});
+  table.add_row(
+      {"constraint releases (mean)", fmt_fixed(releases.mean(), 2), "1.64"});
+  table.add_row(
+      {"constraint releases (std)", fmt_fixed(releases.stddev(), 2), "1.17"});
+  table.add_row({"constraint releases (max)", fmt_fixed(releases.max(), 0),
+                 "-"});
+  std::cout << table.render();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// SEC5C — reproduces the paper's §V-C comparison with naive solutions:
+//  (1) monitor only the JANET access link: to track the smallest OD pair
+//      (JANET-LU) with the optimum's accuracy, the access link must sample
+//      at the optimum's largest effective rate, requiring a capacity
+//      theta ~70% higher in the paper's data (173,798 vs ~100,000 sampled
+//      packets per 5-minute interval);
+//  (2) monitor the six UK links only (optimally): poor accuracy on small
+//      OD pairs;
+//  (3) uniform "NetFlow everywhere at a low rate" (paper §I option (i)).
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "netmon.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace netmon;
+
+struct Row {
+  double total_utility = 0.0;
+  double worst_utility = 1.0;
+  double budget = 0.0;
+};
+
+Row evaluate(const core::PlacementSolution& solution) {
+  Row row;
+  row.total_utility = solution.total_utility;
+  for (const auto& od : solution.per_od)
+    row.worst_utility = std::min(row.worst_utility, od.utility);
+  row.budget = solution.budget_used;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== SEC5C: optimal vs naive solutions (paper §V-C) ==\n\n");
+
+  const core::GeantScenario scenario = core::make_geant_scenario();
+  core::ProblemOptions options;
+  options.theta = 100000.0;
+  const core::PlacementProblem problem = core::make_problem(scenario, options);
+
+  const core::PlacementSolution optimal = core::solve_placement(problem);
+  const core::PlacementSolution uniform =
+      core::evaluate_rates(problem, core::uniform_rates(problem));
+  const core::PlacementSolution access = core::evaluate_rates(
+      problem, core::single_link_rates(problem, scenario.net.access_in));
+  const core::PlacementSolution uk_only = core::solve_restricted(
+      scenario.net.graph, scenario.task, scenario.loads, options,
+      core::uk_links(scenario.net));
+
+  TextTable table({"strategy", "sum utility", "worst OD utility",
+                   "budget used (pkts/5min)"});
+  auto add = [&](const char* name, const Row& row) {
+    table.add_row({name, fmt_fixed(row.total_utility, 3),
+                   fmt_fixed(row.worst_utility, 4), fmt_fixed(row.budget, 0)});
+  };
+  add("network-wide optimum", evaluate(optimal));
+  add("UK links only (optimal on 5)", evaluate(uk_only));
+  add("access link only", evaluate(access));
+  add("uniform everywhere", evaluate(uniform));
+  std::cout << table.render() << "\n";
+
+  // Capacity needed by the access-link strategy to match the optimum's
+  // largest effective rate (the rate granted to JANET-LU).
+  double max_rho = 0.0;
+  std::string max_od;
+  for (const auto& od : optimal.per_od) {
+    if (od.rho_approx > max_rho) {
+      max_rho = od.rho_approx;
+      max_od = scenario.net.graph.node(od.od.dst).name;
+    }
+  }
+  const double theta_access = core::theta_for_single_link(
+      problem, scenario.net.access_in, max_rho);
+  std::printf("access-link capacity to match the optimum on JANET-%s"
+              " (rho = %.4f):\n",
+              max_od.c_str(), max_rho);
+  std::printf("  theta_needed = %.0f packets/5min = %.2fx the optimum's"
+              " theta (paper: 1%% rate -> 173,798 pkts = ~1.7x)\n\n",
+              theta_access, theta_access / problem.theta());
+
+  // The paper's exact arithmetic for reference: at a 1% sampling rate the
+  // access link (57,933 pkt/s) yields 0.01 * 57,933 * 300 sampled packets.
+  std::printf("paper footnote 2 arithmetic: 0.01 * 57933 pkt/s * 300 s = %.0f"
+              " sampled packets per interval\n",
+              0.01 * 57933.0 * 300.0);
+
+  std::printf(
+      "\nconclusion:\n"
+      "  - among MONITORABLE placements the optimum dominates: worst-OD"
+      " utility beats\n    both the UK-only and the uniform strategy at"
+      " equal budget;\n"
+      "  - the access link is efficient (it carries zero cross traffic) but"
+      " is CPE-owned\n    and not monitorable (paper §V-C); even if it"
+      " were, matching the optimum's\n    smallest-OD accuracy requires"
+      " %.2fx the budget (paper: ~1.7x).\n",
+      theta_access / problem.theta());
+  return 0;
+}

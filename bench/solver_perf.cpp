@@ -1,0 +1,147 @@
+// PERF — google-benchmark microbenchmarks: solver scaling in the number
+// of candidate links and OD pairs, routing matrix construction on GEANT,
+// and the Monte-Carlo sampling engine throughput.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "netmon.hpp"
+#include "opt/barrier.hpp"
+
+namespace {
+
+using namespace netmon;
+
+// Synthetic placement instance: `n` links, `n` OD pairs, each OD crossing
+// a shared "first hop" plus its own dedicated link — the structure of the
+// GEANT task at configurable scale.
+struct SyntheticInstance {
+  std::unique_ptr<opt::SeparableConcaveObjective> objective;
+  std::unique_ptr<opt::BoxBudgetConstraints> constraints;
+
+  explicit SyntheticInstance(std::size_t n) {
+    Rng rng(n);
+    opt::SeparableConcaveObjective::SparseRows rows(n);
+    std::vector<std::shared_ptr<const opt::Concave1d>> utilities;
+    std::vector<double> u(n), alpha(n, 1.0);
+    for (std::size_t k = 0; k < n; ++k) {
+      rows[k].emplace_back(0, 1.0);            // shared first hop
+      if (k != 0) rows[k].emplace_back(k, 1.0);  // dedicated link
+      utilities.push_back(std::make_shared<core::SreUtility>(
+          1.0 / rng.uniform(5e3, 1e7)));
+      u[k] = rng.uniform(1e5, 5e7);
+    }
+    objective = std::make_unique<opt::SeparableConcaveObjective>(
+        n, std::move(rows), std::move(utilities));
+    double max_budget = 0.0;
+    for (double uj : u) max_budget += uj;
+    constraints = std::make_unique<opt::BoxBudgetConstraints>(
+        std::move(u), std::move(alpha), max_budget * 0.01);
+  }
+};
+
+void BM_GradientProjectionSolve(benchmark::State& state) {
+  const SyntheticInstance instance(static_cast<std::size_t>(state.range(0)));
+  opt::SolverOptions options;
+  options.max_iterations = 20000;
+  for (auto _ : state) {
+    const opt::SolveResult r =
+        opt::maximize(*instance.objective, *instance.constraints, options);
+    benchmark::DoNotOptimize(r.value);
+  }
+  state.counters["links"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_GradientProjectionSolve)->Arg(10)->Arg(20)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_BarrierSolve(benchmark::State& state) {
+  const SyntheticInstance instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const opt::BarrierResult r =
+        opt::maximize_barrier(*instance.objective, *instance.constraints);
+    benchmark::DoNotOptimize(r.value);
+  }
+  state.counters["links"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_BarrierSolve)->Arg(10)->Arg(20)->Arg(50);
+
+void BM_GeantEndToEndSolve(benchmark::State& state) {
+  const core::GeantScenario scenario = core::make_geant_scenario();
+  const core::PlacementProblem problem = core::make_problem(scenario);
+  for (auto _ : state) {
+    const core::PlacementSolution s = core::solve_placement(problem);
+    benchmark::DoNotOptimize(s.total_utility);
+  }
+}
+BENCHMARK(BM_GeantEndToEndSolve);
+
+void BM_ScenarioBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    const core::GeantScenario scenario = core::make_geant_scenario();
+    benchmark::DoNotOptimize(scenario.loads.size());
+  }
+}
+BENCHMARK(BM_ScenarioBuild);
+
+void BM_RoutingMatrixGeant(benchmark::State& state) {
+  const core::GeantScenario scenario = core::make_geant_scenario();
+  for (auto _ : state) {
+    const auto matrix = routing::RoutingMatrix::single_path(
+        scenario.net.graph, scenario.task.ods);
+    benchmark::DoNotOptimize(matrix.od_count());
+  }
+}
+BENCHMARK(BM_RoutingMatrixGeant);
+
+void BM_SamplingSimulationFastPath(benchmark::State& state) {
+  const core::GeantScenario scenario = core::make_geant_scenario();
+  const core::PlacementProblem problem = core::make_problem(scenario);
+  const core::PlacementSolution solution = core::solve_placement(problem);
+  Rng rng(1);
+  traffic::TrafficMatrix demands;
+  for (std::size_t k = 0; k < scenario.task.ods.size(); ++k) {
+    demands.push_back(
+        {scenario.task.ods[k],
+         scenario.task.expected_packets[k] / scenario.task.interval_sec});
+  }
+  const auto flows = traffic::generate_all_flows(rng, demands);
+  Rng sim(2);
+  for (auto _ : state) {
+    const auto counts = sampling::simulate_sampling(
+        sim, problem.routing(), flows, solution.rates);
+    benchmark::DoNotOptimize(counts.size());
+  }
+}
+BENCHMARK(BM_SamplingSimulationFastPath);
+
+void BM_EffectiveRates(benchmark::State& state) {
+  const core::GeantScenario scenario = core::make_geant_scenario();
+  const core::PlacementProblem problem = core::make_problem(scenario);
+  const core::PlacementSolution solution = core::solve_placement(problem);
+  for (auto _ : state) {
+    const auto rhos = sampling::effective_rates_exact(problem.routing(),
+                                                      solution.rates);
+    benchmark::DoNotOptimize(rhos.size());
+  }
+}
+BENCHMARK(BM_EffectiveRates);
+
+void BM_EgressLpmLookup(benchmark::State& state) {
+  const core::GeantScenario scenario = core::make_geant_scenario();
+  const netflow::EgressMap map =
+      netflow::EgressMap::for_pop_blocks(scenario.net.graph);
+  Rng rng(3);
+  std::vector<net::Ipv4> addrs;
+  for (int i = 0; i < 1024; ++i) {
+    addrs.push_back(net::ipv4(10, static_cast<std::uint8_t>(rng.below(24)), 1,
+                              static_cast<std::uint8_t>(rng.below(250))));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.lookup(addrs[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_EgressLpmLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

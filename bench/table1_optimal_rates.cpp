@@ -1,0 +1,105 @@
+// TAB1 — reproduces Table I of the paper: optimal sampling rates for the
+// JANET measurement task on GEANT at theta = 100,000 packets per 5-minute
+// interval, alpha_i = 1, plus per-OD utility and measured accuracy
+// (average of 20 Monte-Carlo sampling experiments, §V-B).
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "netmon.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace netmon;
+
+  std::printf(
+      "== TAB1: optimal sampling rates, JANET task on GEANT (paper Table I)"
+      " ==\n\n");
+
+  const core::GeantScenario scenario = core::make_geant_scenario();
+  core::ProblemOptions options;
+  options.theta = 100000.0;
+  const core::PlacementProblem problem = core::make_problem(scenario, options);
+  const core::PlacementSolution solution = core::solve_placement(problem);
+
+  std::printf("theta = %.0f packets / 5 min, alpha_i = 1 for all links\n",
+              problem.theta());
+  std::printf("solver: %s, %d iterations, %d release events, lambda=%.3e\n\n",
+              solution.status == opt::SolveStatus::kOptimal
+                  ? "OPTIMAL (KKT certified)"
+                  : "iteration limit",
+              solution.iterations, solution.release_events, solution.lambda);
+
+  // --- Monte-Carlo accuracy: 20 sampling experiments (paper §V-B). ---
+  Rng rng(2024);
+  traffic::TrafficMatrix task_demands;
+  for (std::size_t k = 0; k < scenario.task.ods.size(); ++k) {
+    task_demands.push_back(
+        {scenario.task.ods[k],
+         scenario.task.expected_packets[k] / scenario.task.interval_sec});
+  }
+  const auto flows = traffic::generate_all_flows(rng, task_demands);
+  const auto& matrix = problem.routing();
+  const auto rhos = sampling::effective_rates_approx(matrix, solution.rates);
+  std::vector<RunningStats> accuracy(matrix.od_count());
+  Rng sim_rng(7);
+  for (int run = 0; run < 20; ++run) {
+    const auto counts =
+        sampling::simulate_sampling(sim_rng, matrix, flows, solution.rates);
+    const auto accs = estimate::accuracies(counts, rhos);
+    for (std::size_t k = 0; k < accs.size(); ++k) accuracy[k].add(accs[k]);
+  }
+
+  // --- Monitor table (columns of the paper's Table I). ---
+  TextTable monitors(
+      {"monitor", "rate p_i", "load (pkt/s)", "contribution to theta"});
+  for (topo::LinkId id : solution.active_monitors) {
+    const double share = solution.rates[id] * scenario.loads[id] *
+                         problem.interval_sec() / problem.theta();
+    monitors.add_row({scenario.net.graph.link_name(id),
+                      fmt_sci(solution.rates[id], 3),
+                      fmt_fixed(scenario.loads[id], 0), fmt_percent(share)});
+  }
+  std::cout << monitors.render() << "\n";
+  std::printf("active monitors: %zu of %zu candidates\n\n",
+              solution.active_monitors.size(), problem.candidates().size());
+
+  // --- Per-OD table (rows of the paper's Table I). ---
+  TextTable ods({"OD pair", "pkt/s", "rho (eq.7)", "utility",
+                 "acc (pred)", "acc (meas)", "monitored on"});
+  double worst_acc = 1.0, sum_acc = 0.0;
+  for (std::size_t k = 0; k < solution.per_od.size(); ++k) {
+    const core::OdReport& od = solution.per_od[k];
+    std::string where;
+    for (topo::LinkId id : od.monitored_links) {
+      if (!where.empty()) where += ", ";
+      where += scenario.net.graph.link_name(id);
+    }
+    const double acc = accuracy[k].mean();
+    worst_acc = std::min(worst_acc, acc);
+    sum_acc += acc;
+    ods.add_row({"JANET-" + scenario.net.graph.node(od.od.dst).name,
+                 fmt_fixed(od.expected_packets / problem.interval_sec(), 0),
+                 fmt_sci(od.rho_approx, 3), fmt_fixed(od.utility, 4),
+                 fmt_fixed(od.predicted_accuracy, 4), fmt_fixed(acc, 4),
+                 where});
+  }
+  std::cout << ods.render() << "\n";
+
+  std::printf("paper claims vs measured:\n");
+  std::printf("  (rates)    paper: 'extremely low', <= ~0.9%%; measured max"
+              " p_i = %.4f\n",
+              *std::max_element(solution.rates.begin(), solution.rates.end()));
+  std::size_t max_monitors = 0;
+  for (const auto& od : solution.per_od)
+    max_monitors = std::max(max_monitors, od.monitored_links.size());
+  std::printf("  (eq.7)     paper: each OD sampled on <= 2 links; measured"
+              " max = %zu; max linearization error = %.2e\n",
+              max_monitors,
+              sampling::max_linearization_error(matrix, solution.rates));
+  std::printf("  (fairness) paper: accuracy >= 0.89 on average for any OD;"
+              " measured worst = %.3f, mean = %.3f\n",
+              worst_acc, sum_acc / static_cast<double>(matrix.od_count()));
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Flow census: recovering flow-level statistics from sampled NetFlow.
+//
+// Packet sampling hides most mice flows entirely (a 3-packet flow at a
+// 1% rate is invisible 97% of the time) and truncates the rest, so
+// counting exported records wildly underestimates flow counts. This
+// example runs the paper's machinery end to end on one monitored link —
+// sample flows, export records, histogram the sampled sizes — and then
+// applies the zero-truncated-binomial EM inversion (paper refs [12]-[14])
+// to recover the original flow count and size distribution.
+#include <cstdio>
+
+#include "netmon.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace netmon;
+
+  std::printf("== flow census: inverting sampled flow statistics ==\n\n");
+
+  // Ground truth: a realistic mice/elephants population on one link.
+  Rng rng(123);
+  traffic::FlowGenOptions gen;
+  gen.max_flow_packets = 200.0;  // keep the EM support compact
+  const auto flows =
+      traffic::generate_flows(rng, {{0, 1}, 2000.0}, 0, gen);
+  const std::uint64_t true_flows = flows.size();
+  const std::uint64_t true_packets = traffic::total_packets(flows);
+
+  const double p = 0.05;  // the monitor's sampling rate
+  std::printf("link carries %llu flows, %llu packets; sampling at p=%.2f\n",
+              static_cast<unsigned long long>(true_flows),
+              static_cast<unsigned long long>(true_packets), p);
+
+  // Sample: per flow, Binomial(k, p) packets survive.
+  std::vector<std::uint64_t> sampled_sizes;
+  sampled_sizes.reserve(flows.size());
+  std::uint64_t detected = 0, sampled_packets = 0;
+  for (const traffic::Flow& f : flows) {
+    const std::uint64_t s = rng.binomial(f.packets, p);
+    sampled_sizes.push_back(s);
+    detected += s >= 1;
+    sampled_packets += s;
+  }
+
+  // Invert.
+  const auto histogram = estimate::sampled_size_histogram(sampled_sizes, 64);
+  estimate::FlowInversionOptions options;
+  options.max_size = 220;
+  options.em_iterations = 800;
+  const auto inverted = estimate::invert_flow_sizes(histogram, p, options);
+
+  TextTable table({"quantity", "ground truth", "naive (records)",
+                   "inverted (EM)"});
+  table.add_row({"flows", std::to_string(true_flows),
+                 std::to_string(detected),
+                 fmt_fixed(inverted.total_flows, 0)});
+  table.add_row({"packets", std::to_string(true_packets),
+                 fmt_fixed(static_cast<double>(sampled_packets) / p, 0),
+                 fmt_fixed(inverted.total_packets, 0)});
+  table.add_row(
+      {"mean flow size",
+       fmt_fixed(static_cast<double>(true_packets) / true_flows, 2),
+       fmt_fixed(static_cast<double>(sampled_packets) / p / detected, 2),
+       fmt_fixed(inverted.total_packets / inverted.total_flows, 2)});
+  std::printf("%s", table.render().c_str());
+
+  // Size-distribution shape: share of flows below 5 packets.
+  std::uint64_t true_mice = 0;
+  for (const traffic::Flow& f : flows) true_mice += f.packets < 5;
+  double est_mice = 0.0;
+  for (std::size_t k = 0; k < 4 && k < inverted.counts.size(); ++k)
+    est_mice += inverted.counts[k];
+  std::printf(
+      "\nmice (<5 pkts): true share %.1f%%, inverted share %.1f%% — the"
+      " naive view sees\nalmost none of them (a k-packet flow is detected"
+      " with prob 1-(1-p)^k).\n",
+      100.0 * static_cast<double>(true_mice) / true_flows,
+      100.0 * est_mice / inverted.total_flows);
+  return 0;
+}

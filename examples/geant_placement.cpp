@@ -1,0 +1,79 @@
+// Example: the paper's evaluation task on GEANT (§V-B).
+//
+// Builds the GEANT scenario (gravity background + JANET demands), solves
+// the joint activation/rate problem at theta = 100,000 packets per
+// 5-minute interval, and prints the resulting placement: which monitors
+// are on, at which rate, which OD pairs they observe, and the utility of
+// every OD pair.
+#include <cstdio>
+#include <iostream>
+
+#include "core/sensitivity.hpp"
+#include "netmon.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace netmon;
+
+  const core::GeantScenario scenario = core::make_geant_scenario();
+  core::ProblemOptions options;
+  options.theta = 100000.0;  // packets per 5-minute interval
+  const core::PlacementProblem problem = core::make_problem(scenario, options);
+
+  std::printf("GEANT: %zu PoPs (+JANET), %zu unidirectional links\n",
+              scenario.net.pops.size(), scenario.net.graph.link_count() - 2);
+  std::printf("Task: %zu OD pairs over %zu links, %zu candidate monitors\n",
+              problem.routing().od_count(),
+              problem.routing().links_used().size(),
+              problem.candidates().size());
+
+  const core::PlacementSolution solution = core::solve_placement(problem);
+  std::printf(
+      "Solver: %s after %d iterations (%d constraint releases), lambda=%.3e\n",
+      solution.status == opt::SolveStatus::kOptimal ? "OPTIMAL"
+                                                    : "iteration limit",
+      solution.iterations, solution.release_events, solution.lambda);
+  std::printf("Budget used: %.0f / %.0f packets per interval\n\n",
+              solution.budget_used, problem.theta());
+
+  TextTable monitors({"monitor", "rate p_i", "load (pkt/s)", "share of theta"});
+  for (topo::LinkId id : solution.active_monitors) {
+    const double share = solution.rates[id] * scenario.loads[id] *
+                         problem.interval_sec() / problem.theta();
+    monitors.add_row({scenario.net.graph.link_name(id),
+                      fmt_sci(solution.rates[id], 3),
+                      fmt_fixed(scenario.loads[id], 0), fmt_percent(share)});
+  }
+  std::cout << monitors.render() << "\n";
+
+  TextTable ods({"OD pair", "pkt/s", "rho (eq.7)", "utility", "monitors"});
+  for (const core::OdReport& od : solution.per_od) {
+    std::string where;
+    for (topo::LinkId id : od.monitored_links) {
+      if (!where.empty()) where += ", ";
+      where += scenario.net.graph.link_name(id);
+    }
+    ods.add_row({"JANET-" + scenario.net.graph.node(od.od.dst).name,
+                 fmt_fixed(od.expected_packets / problem.interval_sec(), 0),
+                 fmt_sci(od.rho_approx, 3), fmt_fixed(od.utility, 4), where});
+  }
+  std::cout << ods.render();
+
+  // What-if economics from the KKT multipliers: which monitor would the
+  // optimizer switch on next if the budget grew?
+  const auto values = core::monitor_values(problem, solution);
+  const topo::LinkId next = core::next_monitor_to_activate(values);
+  if (next != topo::kInvalidId) {
+    double ratio = 0.0;
+    for (const auto& v : values) {
+      if (v.link == next) ratio = v.value_ratio;
+    }
+    std::printf(
+        "\nsensitivity: lambda = %.3e utility per budgeted packet; next"
+        " monitor to activate\nwould be %s (marginal value %.0f%% of its"
+        " budget price).\n",
+        solution.lambda, scenario.net.graph.link_name(next).c_str(),
+        100.0 * ratio);
+  }
+  return 0;
+}

@@ -1,0 +1,184 @@
+// placement_tool — a small command-line front end to the library.
+//
+// Usage:
+//   placement_tool                      # demo on the built-in GEANT scenario
+//   placement_tool --topology FILE --task FILE [options]
+//
+// Options:
+//   --topology FILE   topology in the topo::read_graph text format
+//   --task FILE       task file: lines "od <src> <dst> <pkt_per_sec>"
+//   --theta N         budget in packets per interval   (default 100000)
+//   --interval SEC    measurement interval             (default 300)
+//   --alpha X         per-link max sampling rate       (default 1.0)
+//   --background PPS  gravity background traffic       (default 1.4e6)
+//   --fail SRC DST    fail the link SRC->DST (repeatable)
+//   --maximin         optimize the smooth max-min objective
+//   --json            print the solution as JSON instead of a table
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/maximin.hpp"
+#include "core/report.hpp"
+#include "netmon.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace netmon;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--topology FILE --task FILE] [--theta N]\n"
+               "          [--interval SEC] [--alpha X] [--background PPS]\n"
+               "          [--fail SRC DST]... [--maximin] [--json]\n",
+               argv0);
+  std::exit(2);
+}
+
+core::MeasurementTask read_task(const topo::Graph& graph,
+                                const std::string& path,
+                                double interval_sec) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open task file: " + path);
+  core::MeasurementTask task;
+  task.interval_sec = interval_sec;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string kind, src, dst;
+    double pps = 0.0;
+    if (!(fields >> kind)) continue;
+    if (kind != "od" || !(fields >> src >> dst >> pps))
+      throw Error("task parse error at line " + std::to_string(line_no) +
+                  ": expected 'od <src> <dst> <pkt_per_sec>'");
+    const auto s = graph.find_node(src);
+    const auto d = graph.find_node(dst);
+    if (!s || !d)
+      throw Error("task references unknown node at line " +
+                  std::to_string(line_no));
+    task.ods.push_back({*s, *d});
+    task.expected_packets.push_back(pps * interval_sec);
+  }
+  if (task.ods.empty()) throw Error("task file contains no OD pairs");
+  return task;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string topology_path, task_path;
+  double theta = 100000.0, interval = 300.0, alpha = 1.0;
+  double background = 1.4e6;
+  bool maximin = false, json = false;
+  std::vector<std::pair<std::string, std::string>> failures;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](int extra) {
+      if (i + extra >= argc) usage(argv[0]);
+    };
+    if (!std::strcmp(argv[i], "--topology")) { need(1); topology_path = argv[++i]; }
+    else if (!std::strcmp(argv[i], "--task")) { need(1); task_path = argv[++i]; }
+    else if (!std::strcmp(argv[i], "--theta")) { need(1); theta = std::atof(argv[++i]); }
+    else if (!std::strcmp(argv[i], "--interval")) { need(1); interval = std::atof(argv[++i]); }
+    else if (!std::strcmp(argv[i], "--alpha")) { need(1); alpha = std::atof(argv[++i]); }
+    else if (!std::strcmp(argv[i], "--background")) { need(1); background = std::atof(argv[++i]); }
+    else if (!std::strcmp(argv[i], "--fail")) { need(2); failures.emplace_back(argv[i + 1], argv[i + 2]); i += 2; }
+    else if (!std::strcmp(argv[i], "--maximin")) { maximin = true; }
+    else if (!std::strcmp(argv[i], "--json")) { json = true; }
+    else usage(argv[0]);
+  }
+
+  try {
+    // Assemble topology + task (user files or the built-in demo).
+    topo::GeantNetwork demo;  // keeps the demo graph alive
+    topo::Graph user_graph;
+    core::MeasurementTask task;
+    const bool use_files = !topology_path.empty() || !task_path.empty();
+    if (use_files) {
+      if (topology_path.empty() || task_path.empty()) usage(argv[0]);
+      std::ifstream topo_in(topology_path);
+      if (!topo_in) throw Error("cannot open topology: " + topology_path);
+      user_graph = topo::read_graph(topo_in);
+      task = read_task(user_graph, task_path, interval);
+    } else {
+      demo = topo::make_geant();
+      task = core::janet_task(demo);
+      // janet_task assumes a 5-minute interval; rescale if overridden.
+      for (double& s : task.expected_packets) s *= interval / task.interval_sec;
+      task.interval_sec = interval;
+    }
+    const topo::Graph& graph = use_files ? user_graph : demo.graph;
+
+    routing::LinkSet failed;
+    for (const auto& [src, dst] : failures) {
+      const auto link = graph.find_link(src, dst);
+      if (!link) throw Error("cannot fail unknown link " + src + "->" + dst);
+      failed.insert(*link);
+    }
+
+    // Demands: gravity background + the task itself.
+    traffic::TrafficMatrix demands = traffic::gravity_matrix(
+        graph, {.total_pkt_per_sec = background, .min_mass = 1e-12});
+    for (std::size_t k = 0; k < task.ods.size(); ++k)
+      demands.push_back(
+          {task.ods[k], task.expected_packets[k] / task.interval_sec});
+    const traffic::LinkLoads loads =
+        traffic::link_loads(graph, demands, failed);
+
+    core::ProblemOptions options;
+    options.theta = theta;
+    options.default_alpha = alpha;
+    options.failed = failed;
+    const core::PlacementProblem problem(graph, task, loads, options);
+
+    core::PlacementSolution solution;
+    if (maximin) {
+      const core::SmoothMinObjective objective(problem.objective(), 400.0);
+      opt::SolverOptions solver;
+      solver.max_iterations = 8000;
+      const opt::SolveResult raw =
+          opt::maximize(objective, problem.constraints(), solver);
+      solution = core::evaluate_rates(problem, problem.expand(raw.p));
+      solution.status = raw.status;
+      solution.iterations = raw.iterations;
+      solution.release_events = raw.release_events;
+      solution.lambda = raw.lambda;
+    } else {
+      solution = core::solve_placement(problem);
+    }
+
+    if (json) {
+      core::write_report(std::cout, solution, graph);
+      return 0;
+    }
+
+    std::printf("%s after %d iterations; budget %.0f/%.0f\n",
+                solution.status == opt::SolveStatus::kOptimal
+                    ? "OPTIMAL (KKT certified)"
+                    : "ITERATION LIMIT",
+                solution.iterations, solution.budget_used, theta);
+    TextTable monitors({"monitor", "rate"});
+    for (topo::LinkId id : solution.active_monitors)
+      monitors.add_row({graph.link_name(id), fmt_sci(solution.rates[id], 3)});
+    std::cout << monitors.render();
+    TextTable ods({"OD pair", "rho", "utility"});
+    for (const auto& od : solution.per_od)
+      ods.add_row({graph.node(od.od.src).name + "->" +
+                       graph.node(od.od.dst).name,
+                   fmt_sci(od.rho_approx, 3), fmt_fixed(od.utility, 4)});
+    std::cout << ods.render();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

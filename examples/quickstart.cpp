@@ -1,0 +1,99 @@
+// Quickstart: the whole API on a five-node toy network.
+//
+// Builds a topology, defines a measurement task, computes link loads from
+// a traffic matrix, solves the joint monitor-activation / sampling-rate
+// problem, and verifies the result with a sampling simulation.
+#include <cstdio>
+
+#include "netmon.hpp"
+
+int main() {
+  using namespace netmon;
+
+  // 1. Topology: a small ISP with a customer attached at PoP "A".
+  //
+  //        CUST --- A --- B --- C
+  //                  \         /
+  //                   +-- D --+
+  topo::Graph graph;
+  const auto a = graph.add_node("A", 3.0);
+  const auto b = graph.add_node("B", 2.0);
+  const auto c = graph.add_node("C", 2.0);
+  const auto d = graph.add_node("D", 1.0);
+  const auto cust = graph.add_node("CUST", 0.0);  // external customer
+  graph.add_duplex(a, b, 1e9, 10.0);
+  graph.add_duplex(b, c, 1e9, 10.0);
+  graph.add_duplex(a, d, 1e9, 12.0);
+  graph.add_duplex(d, c, 1e9, 12.0);
+  // The customer access link cannot host a monitor (CPE-owned).
+  graph.add_duplex(cust, a, 1e9, 5.0, /*monitorable=*/false);
+
+  // 2. Measurement task: estimate the traffic CUST sends to B, C and D.
+  core::MeasurementTask task;
+  task.interval_sec = 300.0;
+  for (auto [dst, pkt_per_sec] :
+       {std::pair{b, 4000.0}, {c, 900.0}, {d, 25.0}}) {
+    task.ods.push_back({cust, dst});
+    task.expected_packets.push_back(pkt_per_sec * task.interval_sec);
+  }
+
+  // 3. Link loads: customer demand plus background gravity traffic.
+  traffic::TrafficMatrix demands = traffic::gravity_matrix(
+      graph, {.total_pkt_per_sec = 60000.0, .min_mass = 1e-12});
+  for (std::size_t k = 0; k < task.ods.size(); ++k) {
+    demands.push_back(
+        {task.ods[k], task.expected_packets[k] / task.interval_sec});
+  }
+  const traffic::LinkLoads loads = traffic::link_loads(graph, demands);
+
+  // 4. Solve: which monitors, at which sampling rates, for a budget of
+  // 50,000 sampled packets per 5-minute interval?
+  core::ProblemOptions options;
+  options.theta = 50000.0;
+  const core::PlacementProblem problem(graph, task, loads, options);
+  const core::PlacementSolution solution = core::solve_placement(problem);
+
+  std::printf("solver: %s in %d iterations\n",
+              solution.status == opt::SolveStatus::kOptimal
+                  ? "global optimum (KKT certified)"
+                  : "iteration limit",
+              solution.iterations);
+  for (topo::LinkId id : solution.active_monitors) {
+    std::printf("  monitor %-8s rate %.5f  (load %.0f pkt/s)\n",
+                graph.link_name(id).c_str(), solution.rates[id], loads[id]);
+  }
+  for (const auto& od : solution.per_od) {
+    std::printf("  CUST->%s: effective rate %.5f, utility %.4f\n",
+                graph.node(od.od.dst).name.c_str(), od.rho_approx,
+                od.utility);
+  }
+
+  // 5. Verify by simulation: generate flows and sample them at the
+  // configured rates.
+  Rng rng(1);
+  std::vector<std::vector<traffic::Flow>> flows;
+  for (std::size_t k = 0; k < task.ods.size(); ++k) {
+    flows.push_back(traffic::generate_flows(
+        rng, {task.ods[k], task.expected_packets[k] / task.interval_sec},
+        static_cast<std::uint32_t>(k)));
+  }
+  const auto counts =
+      sampling::simulate_sampling(rng, problem.routing(), flows,
+                                  solution.rates);
+  const auto rhos =
+      sampling::effective_rates_approx(problem.routing(), solution.rates);
+  std::printf("one sampling experiment:\n");
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    const double estimate =
+        estimate::estimate_size(counts[k].sampled_packets, rhos[k]);
+    std::printf(
+        "  CUST->%s: actual %llu pkts, sampled %llu, estimate %.0f"
+        " (accuracy %.3f)\n",
+        graph.node(task.ods[k].dst).name.c_str(),
+        static_cast<unsigned long long>(counts[k].actual_packets),
+        static_cast<unsigned long long>(counts[k].sampled_packets), estimate,
+        estimate::accuracy(estimate,
+                           static_cast<double>(counts[k].actual_packets)));
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Rerouting adaptation: the paper's core motivation is that a static
+// monitor placement turns sub-optimal when routing changes. This example
+// fails the UK->NL link of GEANT, recomputes routing and loads, and
+// re-optimizes — comparing three configurations:
+//   (a) the pre-failure optimum evaluated on the pre-failure network,
+//   (b) the pre-failure (stale) rates evaluated on the failed network,
+//   (c) the re-optimized rates on the failed network.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "netmon.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace netmon;
+
+double worst_utility(const core::PlacementSolution& s) {
+  double w = 1.0;
+  for (const auto& od : s.per_od) w = std::min(w, od.utility);
+  return w;
+}
+
+double blind_ods(const core::PlacementSolution& s) {
+  double n = 0;
+  for (const auto& od : s.per_od) n += od.rho_approx <= 0.0;
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== rerouting adaptation: fail UK->NL, re-optimize ==\n\n");
+
+  // Before the failure.
+  const core::GeantScenario before = core::make_geant_scenario();
+  const core::PlacementProblem problem_before = core::make_problem(before);
+  const core::PlacementSolution opt_before =
+      core::solve_placement(problem_before);
+
+  // The failure: UK->NL goes down; IS-IS reroutes, loads shift.
+  const topo::LinkId uk_nl = *before.net.graph.find_link("UK", "NL");
+  core::ScenarioOptions failed_options;
+  failed_options.failed.insert(uk_nl);
+  const core::GeantScenario after = core::make_geant_scenario(failed_options);
+
+  core::ProblemOptions options;
+  options.failed.insert(uk_nl);
+  const core::PlacementProblem problem_after(after.net.graph, after.task,
+                                             after.loads, options);
+
+  // Stale configuration: keep the old rates running on the new routes.
+  const core::PlacementSolution stale =
+      core::evaluate_rates(problem_after, opt_before.rates);
+  // Adaptive configuration: re-run the optimization.
+  const core::PlacementSolution readapted =
+      core::solve_placement(problem_after);
+
+  TextTable table({"configuration", "sum utility", "worst OD utility",
+                   "unobserved ODs", "budget used"});
+  auto add = [&](const char* name, const core::PlacementSolution& s) {
+    table.add_row({name, fmt_fixed(s.total_utility, 3),
+                   fmt_fixed(worst_utility(s), 4),
+                   fmt_fixed(blind_ods(s), 0), fmt_fixed(s.budget_used, 0)});
+  };
+  add("pre-failure optimum (old routes)", opt_before);
+  add("stale rates after failure", stale);
+  add("re-optimized after failure", readapted);
+  std::cout << table.render() << "\n";
+
+  std::printf("monitors before: ");
+  for (topo::LinkId id : opt_before.active_monitors)
+    std::printf("%s ", before.net.graph.link_name(id).c_str());
+  std::printf("\nmonitors after:  ");
+  for (topo::LinkId id : readapted.active_monitors)
+    std::printf("%s ", after.net.graph.link_name(id).c_str());
+  std::printf(
+      "\n\nthe stale configuration wastes budget on the dead link's old path"
+      "\nand under-samples the rerouted OD pairs; re-optimizing restores"
+      " coverage\n(this is why the paper argues for re-runnable, router-"
+      "embedded placement).\n");
+  return 0;
+}

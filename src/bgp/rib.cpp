@@ -1,0 +1,86 @@
+#include "bgp/rib.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace netmon::bgp {
+
+bool better_route(const Route& a, const Route& b) noexcept {
+  if (a.local_pref != b.local_pref) return a.local_pref > b.local_pref;
+  if (a.as_path_len != b.as_path_len) return a.as_path_len < b.as_path_len;
+  return a.peer_id < b.peer_id;
+}
+
+void Rib::insert(const Route& route) {
+  NETMON_REQUIRE(route.egress != topo::kInvalidId,
+                 "route must name an egress PoP");
+  NETMON_REQUIRE(route.prefix.len >= 0 && route.prefix.len <= 32,
+                 "route prefix length out of range");
+  auto& candidates =
+      routes_[PrefixKey{route.prefix.base & route.prefix.mask(),
+                        route.prefix.len}];
+  // One route per (prefix, peer): a re-announcement replaces the old one.
+  for (Route& existing : candidates) {
+    if (existing.peer_id == route.peer_id) {
+      existing = route;
+      return;
+    }
+  }
+  candidates.push_back(route);
+}
+
+std::size_t Rib::withdraw(const net::Prefix& prefix, std::uint32_t peer_id) {
+  const PrefixKey key{prefix.base & prefix.mask(), prefix.len};
+  auto it = routes_.find(key);
+  if (it == routes_.end()) return 0;
+  auto& candidates = it->second;
+  const auto before = candidates.size();
+  candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                  [&](const Route& r) {
+                                    return r.peer_id == peer_id;
+                                  }),
+                   candidates.end());
+  const std::size_t removed = before - candidates.size();
+  if (candidates.empty()) routes_.erase(it);
+  return removed;
+}
+
+std::optional<Route> Rib::best(const net::Prefix& prefix) const {
+  const PrefixKey key{prefix.base & prefix.mask(), prefix.len};
+  const auto it = routes_.find(key);
+  if (it == routes_.end() || it->second.empty()) return std::nullopt;
+  const Route* best = &it->second.front();
+  for (const Route& candidate : it->second) {
+    if (better_route(candidate, *best)) best = &candidate;
+  }
+  return *best;
+}
+
+std::vector<Route> Rib::best_routes() const {
+  std::vector<Route> out;
+  out.reserve(routes_.size());
+  for (const auto& [key, candidates] : routes_) {
+    const Route* best = &candidates.front();
+    for (const Route& candidate : candidates) {
+      if (better_route(candidate, *best)) best = &candidate;
+    }
+    out.push_back(*best);
+  }
+  return out;
+}
+
+std::size_t Rib::route_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [key, candidates] : routes_) n += candidates.size();
+  return n;
+}
+
+netflow::EgressMap Rib::to_egress_map() const {
+  netflow::EgressMap map;
+  for (const Route& route : best_routes())
+    map.insert(route.prefix, route.egress);
+  return map;
+}
+
+}  // namespace netmon::bgp

@@ -1,0 +1,78 @@
+// BGP-derived egress mapping.
+//
+// The paper's evaluation "associate[s] to each flow record the egress
+// PoP, computed from the destination IP address using the technique
+// presented in [4]" (Feldmann et al.): join the BGP RIB with the IGP view
+// to find, for every prefix, the PoP where traffic leaves the network.
+// This module implements the control-plane half: a RIB holding candidate
+// routes per prefix, BGP-style best-path selection, and export to the
+// data-plane netflow::EgressMap.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "netflow/egress_map.hpp"
+#include "topo/graph.hpp"
+
+namespace netmon::bgp {
+
+/// One candidate route for a prefix.
+struct Route {
+  net::Prefix prefix;
+  /// PoP through which traffic to this prefix exits the network.
+  topo::NodeId egress = topo::kInvalidId;
+  /// Selection attributes, in decision order.
+  std::uint32_t local_pref = 100;
+  std::uint32_t as_path_len = 1;
+  /// Arbitrary stable identifier used as the final tie-break (stands in
+  /// for the router id).
+  std::uint32_t peer_id = 0;
+};
+
+/// Returns true when `a` is preferred over `b` by the BGP decision
+/// process (higher local-pref, then shorter AS path, then lower peer id).
+bool better_route(const Route& a, const Route& b) noexcept;
+
+/// The routing information base: all candidate routes, best-path
+/// selection per prefix.
+class Rib {
+ public:
+  /// Adds a candidate route. Multiple routes for the same prefix coexist;
+  /// withdraw() removes them.
+  void insert(const Route& route);
+
+  /// Removes every route for `prefix` learned from `peer_id`.
+  /// Returns how many were removed.
+  std::size_t withdraw(const net::Prefix& prefix, std::uint32_t peer_id);
+
+  /// The best route for exactly this prefix (no longest-prefix matching
+  /// here; that happens in the data plane).
+  std::optional<Route> best(const net::Prefix& prefix) const;
+
+  /// All best routes, one per prefix.
+  std::vector<Route> best_routes() const;
+
+  /// Number of prefixes with at least one route.
+  std::size_t prefix_count() const noexcept { return routes_.size(); }
+  /// Total candidate routes held.
+  std::size_t route_count() const noexcept;
+
+  /// Exports the best route of every prefix into a data-plane LPM map.
+  netflow::EgressMap to_egress_map() const;
+
+ private:
+  struct PrefixKey {
+    net::Ipv4 base;
+    int len;
+    friend bool operator<(const PrefixKey& a, const PrefixKey& b) {
+      return a.base != b.base ? a.base < b.base : a.len < b.len;
+    }
+  };
+  std::map<PrefixKey, std::vector<Route>> routes_;
+};
+
+}  // namespace netmon::bgp

@@ -1,0 +1,63 @@
+#include "core/config_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace netmon::core {
+
+std::vector<RouterConfig> router_configs(const PlacementSolution& solution,
+                                         const topo::Graph& graph,
+                                         std::uint32_t max_interval) {
+  NETMON_REQUIRE(max_interval >= 1, "max interval must be >= 1");
+  std::map<topo::NodeId, RouterConfig> by_router;
+  for (topo::LinkId id : solution.active_monitors) {
+    const double rate = solution.rates[id];
+    if (rate <= 0.0) continue;
+    RouterConfig::Interface interface;
+    interface.link = id;
+    interface.exact_rate = rate;
+    const double ideal = 1.0 / rate;
+    interface.sample_one_in = static_cast<std::uint32_t>(std::clamp<double>(
+        std::llround(ideal), 1.0, static_cast<double>(max_interval)));
+    const double quantized = 1.0 / interface.sample_one_in;
+    interface.quantization_error = std::abs(quantized - rate) / rate;
+
+    const topo::NodeId router = graph.link(id).src;
+    RouterConfig& config = by_router[router];
+    config.router = router;
+    config.interfaces.push_back(interface);
+  }
+  std::vector<RouterConfig> out;
+  out.reserve(by_router.size());
+  for (auto& [router, config] : by_router) out.push_back(std::move(config));
+  return out;
+}
+
+std::string render_config(const RouterConfig& config,
+                          const topo::Graph& graph) {
+  NETMON_REQUIRE(config.router != topo::kInvalidId, "config has no router");
+  std::string out = "# router " + graph.node(config.router).name + "\n";
+  out += "forwarding-options {\n    sampling {\n";
+  for (const auto& interface : config.interfaces) {
+    out += "        # link " + graph.link_name(interface.link) + " (rate " +
+           std::to_string(interface.exact_rate) + ")\n";
+    out += "        input rate " + std::to_string(interface.sample_one_in) +
+           ";\n";
+  }
+  out += "    }\n}\n";
+  return out;
+}
+
+double worst_quantization_error(const std::vector<RouterConfig>& configs) {
+  double worst = 0.0;
+  for (const RouterConfig& config : configs) {
+    for (const auto& interface : config.interfaces)
+      worst = std::max(worst, interface.quantization_error);
+  }
+  return worst;
+}
+
+}  // namespace netmon::core

@@ -1,0 +1,46 @@
+// Router configuration generation.
+//
+// The output a network operator actually deploys: per-router sampling
+// stanzas derived from a PlacementSolution. Rates are quantized to the
+// 1-in-N form router implementations accept (NetFlow/J-Flow sample one
+// packet every N), which introduces a small, reported, quantization error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+
+namespace netmon::core {
+
+/// One router's sampling configuration.
+struct RouterConfig {
+  topo::NodeId router = topo::kInvalidId;
+  struct Interface {
+    topo::LinkId link = topo::kInvalidId;
+    /// 1-in-N packet sampling (N = round(1/p)).
+    std::uint32_t sample_one_in = 0;
+    /// The exact optimal rate, for reference.
+    double exact_rate = 0.0;
+    /// Relative error introduced by quantizing to 1/N.
+    double quantization_error = 0.0;
+  };
+  std::vector<Interface> interfaces;
+};
+
+/// Groups the solution's active monitors by their router (the link's
+/// source node) and quantizes rates to 1-in-N. Rates that would quantize
+/// to N > max_interval are clamped (and flagged by a larger error).
+std::vector<RouterConfig> router_configs(const PlacementSolution& solution,
+                                         const topo::Graph& graph,
+                                         std::uint32_t max_interval = 16000);
+
+/// Renders one router's config as a Juniper-flavoured text stanza.
+std::string render_config(const RouterConfig& config,
+                          const topo::Graph& graph);
+
+/// Worst quantization error across all interfaces of all routers.
+double worst_quantization_error(const std::vector<RouterConfig>& configs);
+
+}  // namespace netmon::core

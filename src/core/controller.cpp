@@ -1,0 +1,67 @@
+#include "core/controller.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace netmon::core {
+
+MonitorController::MonitorController(const topo::Graph& graph,
+                                     MeasurementTask task,
+                                     ControllerOptions options)
+    : graph_(graph), task_(std::move(task)), options_(options) {
+  NETMON_REQUIRE(options_.min_utility_gain >= 0.0,
+                 "hysteresis threshold must be >= 0");
+}
+
+CycleResult MonitorController::run_cycle(const traffic::LinkLoads& loads,
+                                         const routing::LinkSet& failed) {
+  ++cycle_;
+
+  ProblemOptions problem_options;
+  problem_options.theta = options_.theta;
+  problem_options.default_alpha = options_.default_alpha;
+  problem_options.failed = failed;
+  const PlacementProblem problem(graph_, task_, loads, problem_options);
+
+  CycleResult result;
+  result.cycle = cycle_;
+
+  const bool topology_changed = failed != last_failed_;
+  last_failed_ = failed;
+
+  if (!have_rates_) {
+    result.solution = solve_placement(problem, options_.solver);
+    result.reconfigured = true;
+    result.utility_gain = result.solution.total_utility;
+  } else {
+    const PlacementSolution running = evaluate_rates(problem, rates_);
+    const PlacementSolution fresh =
+        resolve_warm(problem, rates_, options_.solver);
+    result.utility_gain = fresh.total_utility - running.total_utility;
+    result.budget_violated =
+        std::abs(running.budget_used - options_.theta) >
+        options_.budget_tolerance * options_.theta;
+    if (topology_changed || result.budget_violated ||
+        result.utility_gain >= options_.min_utility_gain) {
+      result.solution = fresh;
+      result.reconfigured = true;
+    } else {
+      result.solution = running;  // keep the running configuration
+    }
+  }
+
+  if (result.reconfigured) {
+    rates_ = result.solution.rates;
+    have_rates_ = true;
+    ++reconfigurations_;
+  }
+  return result;
+}
+
+void MonitorController::update_task(MeasurementTask task) {
+  NETMON_REQUIRE(!task.ods.empty(), "task must contain >= 1 OD pair");
+  task_ = std::move(task);
+}
+
+}  // namespace netmon::core

@@ -1,0 +1,86 @@
+// The measurement controller: the operational loop around the optimizer.
+//
+// Every measurement cycle the controller takes the current link loads
+// (telemetry) and failed-link view (IS-IS LSDB), rebuilds the placement
+// problem, re-solves it warm-started from the running configuration, and
+// decides whether to push new sampling rates to the routers. A hysteresis
+// threshold avoids reconfiguring the network for negligible gains — the
+// practical concern behind the paper's "low resource consumption" goal.
+#pragma once
+
+#include <optional>
+
+#include "core/problem.hpp"
+#include "core/reoptimize.hpp"
+#include "core/solver.hpp"
+
+namespace netmon::core {
+
+/// Controller configuration.
+struct ControllerOptions {
+  /// Budget theta handed to every cycle's problem.
+  double theta = 100000.0;
+  /// Per-link rate cap.
+  double default_alpha = 1.0;
+  /// Reconfigure only when the re-optimized utility beats the running
+  /// configuration (evaluated on the new network state) by at least this.
+  double min_utility_gain = 1e-3;
+  /// Reconfigure whenever the running rates consume more or less than
+  /// theta by this relative margin on the new loads (the resource
+  /// contract is broken, whatever the utility says).
+  double budget_tolerance = 0.02;
+  /// Solver settings for each cycle.
+  opt::SolverOptions solver;
+};
+
+/// Outcome of one controller cycle.
+struct CycleResult {
+  /// The configuration in force after the cycle (new or kept).
+  PlacementSolution solution;
+  /// Whether new rates were adopted this cycle.
+  bool reconfigured = false;
+  /// Utility of the fresh optimum minus utility of the previous rates on
+  /// the new network state. Can be negative when the previous rates
+  /// over-spend the budget on the new loads (they buy utility the
+  /// operator has not paid for).
+  double utility_gain = 0.0;
+  /// Whether the running rates violated the budget on the new loads.
+  bool budget_violated = false;
+  /// 1-based cycle number.
+  int cycle = 0;
+};
+
+/// Drives re-optimization across measurement cycles.
+class MonitorController {
+ public:
+  /// The graph must outlive the controller.
+  MonitorController(const topo::Graph& graph, MeasurementTask task,
+                    ControllerOptions options = {});
+
+  /// Runs one cycle against the current network state.
+  CycleResult run_cycle(const traffic::LinkLoads& loads,
+                        const routing::LinkSet& failed = {});
+
+  /// Replaces the measurement task (e.g. new OD set) for future cycles.
+  void update_task(MeasurementTask task);
+
+  /// The rates currently pushed to the network (empty before cycle 1).
+  const sampling::RateVector& current_rates() const noexcept {
+    return rates_;
+  }
+
+  int cycles() const noexcept { return cycle_; }
+  int reconfigurations() const noexcept { return reconfigurations_; }
+
+ private:
+  const topo::Graph& graph_;
+  MeasurementTask task_;
+  ControllerOptions options_;
+  sampling::RateVector rates_;
+  routing::LinkSet last_failed_;
+  bool have_rates_ = false;
+  int cycle_ = 0;
+  int reconfigurations_ = 0;
+};
+
+}  // namespace netmon::core

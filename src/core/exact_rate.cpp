@@ -1,0 +1,109 @@
+#include "core/exact_rate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace netmon::core {
+
+double exact_total_utility(const PlacementProblem& problem,
+                           const sampling::RateVector& rates) {
+  double total = 0.0;
+  for (std::size_t k = 0; k < problem.routing().od_count(); ++k) {
+    const double rho =
+        sampling::effective_rate_exact(problem.routing(), k, rates);
+    total += problem.utilities()[k]->value(rho);
+  }
+  return total;
+}
+
+ExactRateResult solve_exact_placement(const PlacementProblem& problem,
+                                      const ExactRateOptions& options) {
+  NETMON_REQUIRE(options.max_rounds >= 1, "need >= 1 SCP round");
+
+  // Round 0: the paper's linearized problem.
+  const PlacementSolution linearized = solve_placement(problem,
+                                                       options.solver);
+  ExactRateResult result;
+  result.exact_utility_linearized =
+      exact_total_utility(problem, linearized.rates);
+
+  std::vector<double> p = problem.compress(linearized.rates);
+  const auto& candidates = problem.candidates();
+  const auto& matrix = problem.routing();
+
+  // Candidate index per link for row translation.
+  std::vector<std::ptrdiff_t> index(problem.graph().link_count(), -1);
+  for (std::size_t j = 0; j < candidates.size(); ++j)
+    index[candidates[j]] = static_cast<std::ptrdiff_t>(j);
+
+  for (int round = 1; round <= options.max_rounds; ++round) {
+    result.rounds = round;
+    const sampling::RateVector rates = problem.expand(p);
+
+    // Tangent plane of rho_exact at p:
+    //   rho(q) ~ rho0 + sum_i c_i (q_i - p_i),
+    //   c_i = r_i (1 - rho0) / (1 - p_i)   (d rho / d p_i).
+    opt::SeparableConcaveObjective::SparseRows rows(matrix.od_count());
+    std::vector<double> offsets(matrix.od_count(), 0.0);
+    for (std::size_t k = 0; k < matrix.od_count(); ++k) {
+      const double rho0 =
+          sampling::effective_rate_exact(matrix, k, rates);
+      double affine = rho0;
+      for (const auto& [link, frac] : matrix.row(k)) {
+        if (index[link] < 0) continue;  // not a candidate: fixed at 0
+        const std::size_t j = static_cast<std::size_t>(index[link]);
+        // Guard the tangent slope against saturated rates (p_i -> 1 or
+        // rho0 -> 1 make the exact rate flat/undefined to first order).
+        const double miss = std::max(1.0 - rates[link], 1e-9);
+        const double c =
+            std::max(0.0, frac * (1.0 - rho0) / miss);
+        rows[k].emplace_back(j, c);
+        affine -= c * p[j];
+      }
+      offsets[k] = affine;
+    }
+    const opt::SeparableConcaveObjective objective(
+        candidates.size(), std::move(rows), problem.utilities(),
+        std::move(offsets));
+
+    const opt::SolveResult inner = opt::maximize(
+        objective, problem.constraints(), options.solver, &p);
+
+    // Safeguard: the tangent model can overshoot, so accept the step only
+    // if it improves the TRUE (exact-rate) objective; otherwise damp it
+    // towards the current iterate (still feasible: the set is convex).
+    const double current_exact = exact_total_utility(problem,
+                                                     problem.expand(p));
+    std::vector<double> candidate = inner.p;
+    double step = 1.0;
+    bool accepted = false;
+    for (int back = 0; back < 6; ++back) {
+      if (exact_total_utility(problem, problem.expand(candidate)) >=
+          current_exact) {
+        accepted = true;
+        break;
+      }
+      step *= 0.5;
+      for (std::size_t j = 0; j < p.size(); ++j)
+        candidate[j] = p[j] + step * (inner.p[j] - p[j]);
+    }
+    if (!accepted) break;  // no improving step along this direction
+
+    double move = 0.0, scale = 0.0;
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      move = std::max(move, std::abs(candidate[j] - p[j]));
+      scale = std::max(scale, std::abs(candidate[j]));
+    }
+    p = std::move(candidate);
+    if (move <= options.tolerance * std::max(scale, 1e-12)) break;
+  }
+
+  result.solution = evaluate_rates(problem, problem.expand(p));
+  result.exact_utility_scp =
+      exact_total_utility(problem, result.solution.rates);
+  return result;
+}
+
+}  // namespace netmon::core

@@ -1,0 +1,89 @@
+#include "core/maximin.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace netmon::core {
+
+SmoothMinObjective::SmoothMinObjective(
+    const opt::SeparableConcaveObjective& base, double beta)
+    : base_(base), beta_(beta) {
+  NETMON_REQUIRE(beta > 0.0, "smooth-min beta must be positive");
+}
+
+std::vector<double> SmoothMinObjective::weights(
+    const std::vector<double>& x) const {
+  std::vector<double> m(x.size());
+  double m_min = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    m[k] = base_.utility(k).value(x[k]);
+    m_min = std::min(m_min, m[k]);
+  }
+  std::vector<double> w(x.size());
+  double z = 0.0;
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    w[k] = std::exp(-beta_ * (m[k] - m_min));
+    z += w[k];
+  }
+  for (double& wk : w) wk /= z;
+  return w;
+}
+
+double SmoothMinObjective::value(std::span<const double> p) const {
+  const std::vector<double> x = base_.inner(p);
+  double m_min = std::numeric_limits<double>::infinity();
+  std::vector<double> m(x.size());
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    m[k] = base_.utility(k).value(x[k]);
+    m_min = std::min(m_min, m[k]);
+  }
+  double z = 0.0;
+  for (std::size_t k = 0; k < x.size(); ++k)
+    z += std::exp(-beta_ * (m[k] - m_min));
+  return m_min - std::log(z) / beta_;
+}
+
+void SmoothMinObjective::gradient(std::span<const double> p,
+                                  std::span<double> out) const {
+  NETMON_REQUIRE(out.size() == dimension(), "gradient dimension mismatch");
+  const std::vector<double> x = base_.inner(p);
+  const std::vector<double> w = weights(x);
+  for (double& g : out) g = 0.0;
+  const auto& rows = base_.rows();
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const double d = w[k] * base_.utility(k).deriv(x[k]);
+    for (const auto& [col, coeff] : rows[k]) out[col] += coeff * d;
+  }
+}
+
+double SmoothMinObjective::directional_second(
+    std::span<const double> p, std::span<const double> s) const {
+  const std::vector<double> x = base_.inner(p);
+  const std::vector<double> w = weights(x);
+  const auto& rows = base_.rows();
+  double curvature = 0.0;   // sum w_k M''_k xdot_k^2
+  double mean_a = 0.0;      // sum w_k a_k,  a_k = M'_k xdot_k
+  double mean_a2 = 0.0;     // sum w_k a_k^2
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    double xdot = 0.0;
+    for (const auto& [col, coeff] : rows[k]) xdot += coeff * s[col];
+    const double a = base_.utility(k).deriv(x[k]) * xdot;
+    curvature += w[k] * base_.utility(k).second(x[k]) * xdot * xdot;
+    mean_a += w[k] * a;
+    mean_a2 += w[k] * a * a;
+  }
+  return curvature - beta_ * (mean_a2 - mean_a * mean_a);
+}
+
+double SmoothMinObjective::hard_min(std::span<const double> p) const {
+  const std::vector<double> x = base_.inner(p);
+  double m_min = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < x.size(); ++k)
+    m_min = std::min(m_min, base_.utility(k).value(x[k]));
+  return m_min;
+}
+
+}  // namespace netmon::core

@@ -1,0 +1,43 @@
+// Max-min fairness extension (paper §III discusses max_k min M(rho_k) as
+// an alternative objective and §VI lists it as future work).
+//
+// The plain minimum is not differentiable, which the paper notes "may
+// impact the convergence of the algorithm". We therefore optimize the
+// smooth-min surrogate
+//   f_beta(p) = -(1/beta) ln sum_k exp(-beta M_k(rho_k)),
+// which is concave, C^2, and converges to min_k M_k as beta grows:
+//   min_k M_k - ln(F)/beta <= f_beta <= min_k M_k.
+#pragma once
+
+#include "opt/objective.hpp"
+
+namespace netmon::core {
+
+/// Smooth minimum of the per-OD utilities of a separable objective.
+class SmoothMinObjective final : public opt::Objective {
+ public:
+  /// `base` must outlive this object. `beta` > 0 controls sharpness;
+  /// with utilities in [0,1], beta in [50, 500] works well.
+  SmoothMinObjective(const opt::SeparableConcaveObjective& base, double beta);
+
+  std::size_t dimension() const override { return base_.dimension(); }
+  double value(std::span<const double> p) const override;
+  void gradient(std::span<const double> p,
+                std::span<double> out) const override;
+  double directional_second(std::span<const double> p,
+                            std::span<const double> s) const override;
+
+  /// The hard minimum of the per-OD utilities at p (for reporting).
+  double hard_min(std::span<const double> p) const;
+
+  double beta() const noexcept { return beta_; }
+
+ private:
+  /// Softmin weights w_k proportional to exp(-beta M_k), summing to 1.
+  std::vector<double> weights(const std::vector<double>& x) const;
+
+  const opt::SeparableConcaveObjective& base_;
+  double beta_;
+};
+
+}  // namespace netmon::core

@@ -1,0 +1,28 @@
+#include "core/reoptimize.hpp"
+
+#include "opt/gradient_projection.hpp"
+
+namespace netmon::core {
+
+std::vector<double> warm_start_point(const PlacementProblem& problem,
+                                     const sampling::RateVector& previous) {
+  const std::vector<double> compressed = problem.compress(previous);
+  return problem.constraints().project(compressed);
+}
+
+PlacementSolution resolve_warm(const PlacementProblem& problem,
+                               const sampling::RateVector& previous,
+                               const opt::SolverOptions& options) {
+  const std::vector<double> start = warm_start_point(problem, previous);
+  const opt::SolveResult raw = opt::maximize(
+      problem.objective(), problem.constraints(), options, &start);
+  PlacementSolution solution =
+      evaluate_rates(problem, problem.expand(raw.p));
+  solution.status = raw.status;
+  solution.iterations = raw.iterations;
+  solution.release_events = raw.release_events;
+  solution.lambda = raw.lambda;
+  return solution;
+}
+
+}  // namespace netmon::core

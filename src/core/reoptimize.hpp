@@ -1,0 +1,27 @@
+// Warm-started re-optimization.
+//
+// The paper's operational story is continuous: traffic shifts, links
+// fail, and the placement is recomputed. Successive problems are close to
+// each other, so starting the gradient projection from the previous rates
+// (projected onto the new feasible set) converges in far fewer iterations
+// than the cold start — the ablation bench quantifies this.
+#pragma once
+
+#include "core/problem.hpp"
+#include "core/solver.hpp"
+
+namespace netmon::core {
+
+/// Projects `previous` rates (full link-id space, e.g. from the placement
+/// that was running before the change) onto the new problem's feasible
+/// set — Euclidean projection onto {sum u p = theta, 0 <= p <= alpha} in
+/// candidate space — and returns the feasible candidate-space start.
+std::vector<double> warm_start_point(const PlacementProblem& problem,
+                                     const sampling::RateVector& previous);
+
+/// Solves the problem starting from the projected previous rates.
+PlacementSolution resolve_warm(const PlacementProblem& problem,
+                               const sampling::RateVector& previous,
+                               const opt::SolverOptions& options = {});
+
+}  // namespace netmon::core

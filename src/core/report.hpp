@@ -1,0 +1,30 @@
+// Machine-readable placement reports.
+//
+// Serializes a PlacementSolution (together with the graph that names its
+// links/nodes) as JSON, so external tooling — dashboards, the CLI
+// example, config pushers — can consume solver output directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/solver.hpp"
+
+namespace netmon::core {
+
+/// Writes the solution as a JSON document:
+/// {
+///   "status": "optimal" | "iteration_limit",
+///   "iterations": n, "release_events": n, "lambda": x,
+///   "budget_used": x, "total_utility": x,
+///   "monitors": [ {"link": "UK->FR", "rate": p, ...}, ... ],
+///   "od_pairs": [ {"src": ..., "dst": ..., "rho": ..., ...}, ... ]
+/// }
+void write_report(std::ostream& out, const PlacementSolution& solution,
+                  const topo::Graph& graph);
+
+/// Same, into a string.
+std::string report_json(const PlacementSolution& solution,
+                        const topo::Graph& graph);
+
+}  // namespace netmon::core

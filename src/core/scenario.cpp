@@ -1,0 +1,42 @@
+#include "core/scenario.hpp"
+
+#include "util/error.hpp"
+
+namespace netmon::core {
+
+GeantScenario make_geant_scenario(const ScenarioOptions& options) {
+  GeantScenario scenario;
+  scenario.net = topo::make_geant();
+  scenario.task = janet_task(scenario.net);
+
+  traffic::GravityOptions gravity;
+  gravity.total_pkt_per_sec = options.background_pkt_per_sec;
+  scenario.demands = traffic::gravity_matrix(scenario.net.graph, gravity);
+  for (const traffic::Demand& d : janet_demands(scenario.net))
+    scenario.demands.push_back(d);
+
+  scenario.loads =
+      traffic::link_loads(scenario.net.graph, scenario.demands,
+                          options.failed);
+  return scenario;
+}
+
+PlacementProblem make_problem(const GeantScenario& scenario,
+                              ProblemOptions options) {
+  return PlacementProblem(scenario.net.graph, scenario.task, scenario.loads,
+                          std::move(options));
+}
+
+std::vector<topo::LinkId> uk_links(const topo::GeantNetwork& net) {
+  std::vector<topo::LinkId> links;
+  for (topo::LinkId id : net.graph.out_links(net.uk)) {
+    if (!net.graph.link(id).monitorable) continue;  // skip the access link
+    links.push_back(id);
+  }
+  NETMON_REQUIRE(links.size() == 6,
+                 "expected the six UK inter-PoP links of the reference "
+                 "topology");
+  return links;
+}
+
+}  // namespace netmon::core

@@ -1,0 +1,46 @@
+// Ready-made evaluation scenario: the GEANT network carrying gravity
+// background traffic plus the JANET measurement task (paper §V).
+#pragma once
+
+#include "core/problem.hpp"
+#include "core/task.hpp"
+#include "topo/geant.hpp"
+#include "traffic/gravity.hpp"
+#include "traffic/link_load.hpp"
+
+namespace netmon::core {
+
+/// Scenario knobs.
+struct ScenarioOptions {
+  /// Total background (gravity) traffic in pkt/s across the whole
+  /// network. Calibrated so the busiest links carry a few tens of
+  /// thousands of pkt/s, as in GEANT 2004.
+  double background_pkt_per_sec = 1.4e6;
+  /// Failed links (rerouting studies).
+  routing::LinkSet failed;
+};
+
+/// The assembled scenario. Keep it alive while problems built from it are
+/// in use (they reference its graph).
+struct GeantScenario {
+  topo::GeantNetwork net;
+  MeasurementTask task;
+  /// Background gravity demands plus the JANET task demands.
+  traffic::TrafficMatrix demands;
+  /// Per-link loads (pkt/s) from routing all demands.
+  traffic::LinkLoads loads;
+};
+
+/// Builds the scenario: topology, task, demands, loads.
+GeantScenario make_geant_scenario(const ScenarioOptions& options = {});
+
+/// Builds the placement problem of the scenario with the given options
+/// (theta defaults to the paper's 100,000 packets per 5-minute interval).
+PlacementProblem make_problem(const GeantScenario& scenario,
+                              ProblemOptions options = {});
+
+/// The six UK inter-PoP links (both directions' outbound from UK), the
+/// restricted monitor set of the paper's §V-C comparison.
+std::vector<topo::LinkId> uk_links(const topo::GeantNetwork& net);
+
+}  // namespace netmon::core

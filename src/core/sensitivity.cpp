@@ -1,0 +1,57 @@
+#include "core/sensitivity.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace netmon::core {
+
+std::vector<MonitorValue> monitor_values(const PlacementProblem& problem,
+                                         const PlacementSolution& solution) {
+  const auto& candidates = problem.candidates();
+  const std::vector<double> x = problem.compress(solution.rates);
+  std::vector<double> g(candidates.size());
+  problem.objective().gradient(x, g);
+  const auto& u = problem.constraints().loads();
+  const auto& alpha = problem.constraints().upper();
+
+  // Budget price from the interior active links.
+  double gu = 0.0, uu = 0.0;
+  for (std::size_t j = 0; j < candidates.size(); ++j) {
+    if (x[j] > kActiveRateThreshold && x[j] < alpha[j] * (1.0 - 1e-9)) {
+      gu += g[j] * u[j];
+      uu += u[j] * u[j];
+    }
+  }
+  NETMON_REQUIRE(uu > 0.0,
+                 "sensitivity needs at least one interior active monitor");
+  const double lambda = gu / uu;
+
+  std::vector<MonitorValue> values;
+  values.reserve(candidates.size());
+  for (std::size_t j = 0; j < candidates.size(); ++j) {
+    MonitorValue v;
+    v.link = candidates[j];
+    v.active = x[j] > kActiveRateThreshold;
+    v.marginal_utility = g[j];
+    v.marginal_cost = lambda * u[j];
+    v.value_ratio =
+        v.marginal_cost > 0.0 ? v.marginal_utility / v.marginal_cost : 0.0;
+    values.push_back(v);
+  }
+  std::sort(values.begin(), values.end(),
+            [](const MonitorValue& a, const MonitorValue& b) {
+              return a.value_ratio > b.value_ratio;
+            });
+  return values;
+}
+
+topo::LinkId next_monitor_to_activate(
+    const std::vector<MonitorValue>& values) {
+  for (const MonitorValue& v : values) {
+    if (!v.active) return v.link;  // sorted: first inactive = best
+  }
+  return topo::kInvalidId;
+}
+
+}  // namespace netmon::core

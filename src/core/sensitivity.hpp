@@ -1,0 +1,45 @@
+// Sensitivity analysis of a placement.
+//
+// The KKT multipliers carry operational meaning: lambda is the marginal
+// utility of budget (dU*/dtheta), and for each candidate link the gap
+// between its marginal utility g_i and its budget price lambda*u_i says
+// how far the link is from being worth a monitor. Operators use this to
+// answer "which monitor would we activate next if theta grew?" and "which
+// active monitor is barely paying for itself?" without re-solving.
+#pragma once
+
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/solver.hpp"
+
+namespace netmon::core {
+
+/// The economics of one candidate link at a given placement.
+struct MonitorValue {
+  topo::LinkId link = topo::kInvalidId;
+  /// Whether the placement runs a monitor here.
+  bool active = false;
+  /// dU/dp_i: total-utility gain per unit of sampling rate here.
+  double marginal_utility = 0.0;
+  /// lambda * u_i: the budget price of a unit of sampling rate here.
+  double marginal_cost = 0.0;
+  /// marginal_utility / marginal_cost: ~1 for interior active links,
+  /// < 1 for links correctly left off, > 1 would mean the placement is
+  /// not optimal.
+  double value_ratio = 0.0;
+};
+
+/// Computes the per-candidate economics of a placement. The budget price
+/// lambda is re-derived from the active interior links (least squares),
+/// so the function also works for hand-built rate vectors.
+/// Results are sorted by value_ratio, highest first.
+std::vector<MonitorValue> monitor_values(const PlacementProblem& problem,
+                                         const PlacementSolution& solution);
+
+/// The inactive candidate closest to activation (highest value_ratio
+/// among inactive links); kInvalidId when every candidate is active.
+topo::LinkId next_monitor_to_activate(
+    const std::vector<MonitorValue>& values);
+
+}  // namespace netmon::core

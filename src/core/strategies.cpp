@@ -1,0 +1,52 @@
+#include "core/strategies.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace netmon::core {
+
+sampling::RateVector uniform_rates(const PlacementProblem& problem) {
+  const auto& constraints = problem.constraints();
+  const auto& u = constraints.loads();
+  double total = 0.0;
+  for (double uj : u) total += uj;
+  const double p = constraints.theta() / total;
+  std::vector<double> x(u.size());
+  for (std::size_t j = 0; j < u.size(); ++j)
+    x[j] = std::min(p, constraints.upper()[j]);
+  return problem.expand(x);
+}
+
+sampling::RateVector single_link_rates(const PlacementProblem& problem,
+                                       topo::LinkId link) {
+  NETMON_REQUIRE(link < problem.graph().link_count(), "link out of range");
+  NETMON_REQUIRE(problem.loads()[link] > 0.0,
+                 "single-link strategy on an unloaded link");
+  const double u = problem.loads()[link] * problem.interval_sec();
+  const double p = std::min(1.0, problem.theta() / u);
+  sampling::RateVector rates(problem.graph().link_count(), 0.0);
+  rates[link] = p;
+  return rates;
+}
+
+double theta_for_single_link(const PlacementProblem& problem,
+                             topo::LinkId link, double target_rho) {
+  NETMON_REQUIRE(link < problem.graph().link_count(), "link out of range");
+  NETMON_REQUIRE(target_rho > 0.0 && target_rho <= 1.0,
+                 "target effective rate out of (0,1]");
+  return target_rho * problem.loads()[link] * problem.interval_sec();
+}
+
+PlacementSolution solve_restricted(const topo::Graph& graph,
+                                   const MeasurementTask& task,
+                                   const traffic::LinkLoads& loads,
+                                   ProblemOptions options,
+                                   std::vector<topo::LinkId> monitor_set,
+                                   const opt::SolverOptions& solver) {
+  options.restrict_to = std::move(monitor_set);
+  const PlacementProblem problem(graph, task, loads, options);
+  return solve_placement(problem, solver);
+}
+
+}  // namespace netmon::core

@@ -1,0 +1,38 @@
+// Naive monitoring strategies the paper compares against (§V-C), plus
+// helpers to size the capacity they would need.
+#pragma once
+
+#include "core/problem.hpp"
+#include "core/solver.hpp"
+
+namespace netmon::core {
+
+/// "Enable NetFlow on all routers with a very low rate" (paper §I,
+/// option (i)): one uniform rate on every candidate link, chosen so the
+/// whole budget theta is consumed: p = theta / sum_j u_j (capped at the
+/// alpha bound, in which case part of the budget goes unused).
+sampling::RateVector uniform_rates(const PlacementProblem& problem);
+
+/// All the budget on one link: p_link = min(theta/u_link, alpha, 1).
+/// The link may be any link of the graph — including the (non-candidate)
+/// access link, which is exactly the first naive solution of §V-C.
+sampling::RateVector single_link_rates(const PlacementProblem& problem,
+                                       topo::LinkId link);
+
+/// Capacity theta (packets per interval) that a single-link strategy
+/// needs to give every OD pair crossing that link an effective rate
+/// target_rho: theta = target_rho * U_link * interval.
+double theta_for_single_link(const PlacementProblem& problem,
+                             topo::LinkId link, double target_rho);
+
+/// Convenience for Fig. 2: solve the problem restricted to a monitor set
+/// (e.g. the six UK links). Equivalent to rebuilding the problem with
+/// ProblemOptions::restrict_to and solving.
+PlacementSolution solve_restricted(const topo::Graph& graph,
+                                   const MeasurementTask& task,
+                                   const traffic::LinkLoads& loads,
+                                   ProblemOptions options,
+                                   std::vector<topo::LinkId> monitor_set,
+                                   const opt::SolverOptions& solver = {});
+
+}  // namespace netmon::core

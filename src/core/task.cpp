@@ -1,0 +1,59 @@
+#include "core/task.hpp"
+
+#include "util/error.hpp"
+
+namespace netmon::core {
+
+MeasurementTask janet_task(const topo::GeantNetwork& net) {
+  MeasurementTask task;
+  const auto& names = topo::janet_destinations();
+  const auto& rates = topo::janet_od_rates();
+  NETMON_REQUIRE(names.size() == rates.size(), "task data size mismatch");
+  for (std::size_t k = 0; k < names.size(); ++k) {
+    const auto dst = net.graph.find_node(names[k]);
+    NETMON_REQUIRE(dst.has_value(), "unknown JANET destination " + names[k]);
+    task.ods.push_back(routing::OdPair{net.janet, *dst});
+    task.expected_packets.push_back(rates[k] * task.interval_sec);
+  }
+  return task;
+}
+
+std::vector<traffic::Demand> janet_demands(const topo::GeantNetwork& net) {
+  const MeasurementTask task = janet_task(net);
+  std::vector<traffic::Demand> demands;
+  demands.reserve(task.ods.size());
+  for (std::size_t k = 0; k < task.ods.size(); ++k) {
+    demands.push_back(traffic::Demand{
+        task.ods[k], task.expected_packets[k] / task.interval_sec});
+  }
+  return demands;
+}
+
+MeasurementTask merge_tasks(const std::vector<MeasurementTask>& tasks,
+                            const std::vector<double>& task_weights) {
+  NETMON_REQUIRE(!tasks.empty(), "merge needs >= 1 task");
+  NETMON_REQUIRE(tasks.size() == task_weights.size(),
+                 "one weight per task required");
+  MeasurementTask merged;
+  merged.interval_sec = tasks.front().interval_sec;
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const MeasurementTask& task = tasks[t];
+    NETMON_REQUIRE(task.interval_sec == merged.interval_sec,
+                   "merged tasks must share the measurement interval");
+    NETMON_REQUIRE(task.ods.size() == task.expected_packets.size(),
+                   "task OD/size vectors must be aligned");
+    NETMON_REQUIRE(task_weights[t] > 0.0, "task weight must be positive");
+    NETMON_REQUIRE(task.weights.empty() ||
+                       task.weights.size() == task.ods.size(),
+                   "per-OD weights must align when present");
+    for (std::size_t k = 0; k < task.ods.size(); ++k) {
+      merged.ods.push_back(task.ods[k]);
+      merged.expected_packets.push_back(task.expected_packets[k]);
+      const double od_weight = task.weights.empty() ? 1.0 : task.weights[k];
+      merged.weights.push_back(task_weights[t] * od_weight);
+    }
+  }
+  return merged;
+}
+
+}  // namespace netmon::core

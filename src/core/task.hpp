@@ -1,0 +1,44 @@
+// Measurement tasks: the set F of OD pairs whose sizes the operator wants
+// to estimate, with the expected interval sizes that parameterize the
+// utility of each pair.
+#pragma once
+
+#include <vector>
+
+#include "routing/routing_matrix.hpp"
+#include "topo/geant.hpp"
+#include "traffic/demand.hpp"
+
+namespace netmon::core {
+
+/// A measurement task over a set of OD pairs.
+struct MeasurementTask {
+  /// The OD pairs of interest (the set F).
+  std::vector<routing::OdPair> ods;
+  /// Expected size of each OD pair in packets per measurement interval;
+  /// c_k = 1/expected_packets[k] parameterizes the utility.
+  std::vector<double> expected_packets;
+  /// Optional per-OD weights (operator priorities); empty = all 1. When
+  /// given, the objective becomes sum_k w_k M_k(rho_k).
+  std::vector<double> weights;
+  /// Measurement interval length (paper: 5 minutes).
+  double interval_sec = 300.0;
+};
+
+/// The paper's evaluation task (§V-B): traffic sent by JANET to each of
+/// the 20 GEANT PoPs through the UK PoP, with Table-I-scale sizes.
+MeasurementTask janet_task(const topo::GeantNetwork& net);
+
+/// The per-OD demands of the JANET task as a traffic matrix (pkt/s), used
+/// to inject the task traffic on top of the background gravity traffic.
+std::vector<traffic::Demand> janet_demands(const topo::GeantNetwork& net);
+
+/// Merges several tasks into one (the operator usually runs many at
+/// once: traffic engineering + security watches + accounting). Each
+/// task's OD pairs are appended with their utilities scaled by the
+/// task's weight, so the combined objective is
+/// sum_t w_t sum_{k in t} M_k(rho_k). All tasks must share the interval.
+MeasurementTask merge_tasks(const std::vector<MeasurementTask>& tasks,
+                            const std::vector<double>& task_weights);
+
+}  // namespace netmon::core

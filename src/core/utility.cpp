@@ -1,0 +1,105 @@
+#include "core/utility.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace netmon::core {
+
+SreUtility::SreUtility(double inv_mean_size) : c_(inv_mean_size) {
+  NETMON_REQUIRE(c_ > 0.0 && c_ <= 0.5,
+                 "E[1/S] must lie in (0, 0.5] for a pivot inside (0,1]");
+  x0_ = pivot_for(c_);
+  // A*(x) = A(x0) + (x-x0)A'(x0) + (x-x0)^2 A''(x0)/2 with
+  // A'(x0) = c/x0^2, A''(x0) = -2c/x0^3; the constant term vanishes by
+  // the choice of x0, leaving a1 x + a2 x^2.
+  a1_ = 3.0 * c_ / (x0_ * x0_);
+  a2_ = -c_ / (x0_ * x0_ * x0_);
+}
+
+double SreUtility::value(double x) const {
+  // Slightly negative arguments arise from floating-point undershoot at
+  // the bounds and from the constant term of the sequential exact-rate
+  // linearization; the quadratic branch is their analytic extension.
+  NETMON_REQUIRE(x >= -1.0, "utility argument out of domain");
+  if (x < x0_) return (a1_ + a2_ * x) * x;
+  return 1.0 + c_ - c_ / x;  // = 1 - c(1-x)/x
+}
+
+double SreUtility::deriv(double x) const {
+  NETMON_REQUIRE(x >= -1.0, "utility argument out of domain");
+  if (x < x0_) return a1_ + 2.0 * a2_ * x;
+  return c_ / (x * x);
+}
+
+double SreUtility::second(double x) const {
+  NETMON_REQUIRE(x >= -1.0, "utility argument out of domain");
+  if (x < x0_) return 2.0 * a2_;
+  return -2.0 * c_ / (x * x * x);
+}
+
+LogUtility::LogUtility(double eps) : eps_(eps) {
+  NETMON_REQUIRE(eps > 0.0, "log utility eps must be positive");
+}
+
+double LogUtility::value(double x) const {
+  // The natural domain is x > -eps (where the log diverges); slightly
+  // negative arguments arise from linearization offsets.
+  NETMON_REQUIRE(x > -eps_, "utility argument out of domain");
+  return std::log1p(x / eps_);
+}
+
+double LogUtility::deriv(double x) const {
+  NETMON_REQUIRE(x > -eps_, "utility argument out of domain");
+  return 1.0 / (eps_ + x);
+}
+
+double LogUtility::second(double x) const {
+  NETMON_REQUIRE(x > -eps_, "utility argument out of domain");
+  return -1.0 / ((eps_ + x) * (eps_ + x));
+}
+
+WeightedUtility::WeightedUtility(std::shared_ptr<const opt::Concave1d> base,
+                                 double weight)
+    : base_(std::move(base)), w_(weight) {
+  NETMON_REQUIRE(base_ != nullptr, "weighted utility needs a base");
+  NETMON_REQUIRE(weight > 0.0, "utility weight must be positive");
+}
+
+double WeightedUtility::value(double x) const { return w_ * base_->value(x); }
+
+double WeightedUtility::deriv(double x) const { return w_ * base_->deriv(x); }
+
+double WeightedUtility::second(double x) const {
+  return w_ * base_->second(x);
+}
+
+namespace {
+// Clamp the effective rate into the open domain of (1-x)^S.
+double clamp_rate(double x) {
+  NETMON_REQUIRE(x >= -1e-9, "utility argument must be >= 0");
+  return std::min(std::max(x, 0.0), 1.0 - 1e-12);
+}
+}  // namespace
+
+DetectionUtility::DetectionUtility(double flow_packets) : s_(flow_packets) {
+  NETMON_REQUIRE(flow_packets >= 2.0,
+                 "detection utility needs flow size >= 2 packets");
+}
+
+double DetectionUtility::value(double x) const {
+  const double c = clamp_rate(x);
+  return -std::expm1(s_ * std::log1p(-c));  // 1 - (1-c)^S
+}
+
+double DetectionUtility::deriv(double x) const {
+  const double c = clamp_rate(x);
+  return s_ * std::exp((s_ - 1.0) * std::log1p(-c));
+}
+
+double DetectionUtility::second(double x) const {
+  const double c = clamp_rate(x);
+  return -s_ * (s_ - 1.0) * std::exp((s_ - 2.0) * std::log1p(-c));
+}
+
+}  // namespace netmon::core

@@ -1,0 +1,105 @@
+// The paper's utility function M (§IV-C).
+//
+// For an OD pair with c = E[1/S] (S = OD size in packets per measurement
+// interval), the mean squared relative accuracy of the estimator X/rho is
+//   A(rho) = 1 - E[SRE](rho) = 1 - c (1 - rho)/rho,
+// strictly increasing and concave, but undefined at rho = 0. Below the
+// pivot x0 — chosen so the quadratic Taylor expansion A* of A at x0
+// passes through the origin — M switches to that expansion, giving a C^2,
+// strictly increasing, strictly concave utility with M(0) = 0:
+//   x0 = 3c / (1 + c),   M(x0) = (2/3)(1 + c),
+//   A*(rho) = (3c/x0^2) rho - (c/x0^3) rho^2.
+#pragma once
+
+#include <memory>
+
+#include "opt/objective.hpp"
+
+namespace netmon::core {
+
+/// The accuracy-based utility of the paper.
+class SreUtility final : public opt::Concave1d {
+ public:
+  /// `inv_mean_size` is c = E[1/S]; requires 0 < c <= 0.5 so that the
+  /// pivot x0 = 3c/(1+c) stays inside (0, 1].
+  explicit SreUtility(double inv_mean_size);
+
+  /// The pivot x0 below which the quadratic expansion is used.
+  double pivot() const noexcept { return x0_; }
+  /// c = E[1/S].
+  double inv_mean_size() const noexcept { return c_; }
+
+  double value(double x) const override;
+  double deriv(double x) const override;
+  double second(double x) const override;
+
+  /// Convenience: the pivot for a given c (3c/(1+c)).
+  static double pivot_for(double c) noexcept { return 3.0 * c / (1.0 + c); }
+
+ private:
+  double c_;
+  double x0_;
+  double a1_;  // quadratic expansion: a1 x + a2 x^2
+  double a2_;
+};
+
+/// A simple alternative utility, M(x) = log(1 + x/eps): strictly
+/// increasing, strictly concave, M(0) = 0. Used by the extension benches
+/// to show the framework is not tied to the SRE utility (paper §VI).
+class LogUtility final : public opt::Concave1d {
+ public:
+  explicit LogUtility(double eps);
+
+  double value(double x) const override;
+  double deriv(double x) const override;
+  double second(double x) const override;
+
+ private:
+  double eps_;
+};
+
+/// Scales another utility by a positive weight: w * M(x). Strictly
+/// increasing and concave whenever M is, so per-OD weights (operator
+/// priorities among the task's OD pairs) drop into the sum objective
+/// without touching the solver.
+class WeightedUtility final : public opt::Concave1d {
+ public:
+  /// `base` must outlive this object; weight > 0.
+  WeightedUtility(std::shared_ptr<const opt::Concave1d> base, double weight);
+
+  double value(double x) const override;
+  double deriv(double x) const override;
+  double second(double x) const override;
+
+  double weight() const noexcept { return w_; }
+
+ private:
+  std::shared_ptr<const opt::Concave1d> base_;
+  double w_;
+};
+
+/// Anomaly-detection utility (paper §VI lists anomaly detection as the
+/// next application of the framework): the probability that an anomalous
+/// flow of `flow_packets` packets is seen by at least one monitor,
+///   M(rho) = 1 - (1 - rho)^S.
+/// Strictly increasing and strictly concave on [0,1) with M(0) = 0 — it
+/// drops into the optimization untouched. The argument is clamped just
+/// below 1 so the linearized effective rate (which can exceed 1) stays in
+/// the domain.
+class DetectionUtility final : public opt::Concave1d {
+ public:
+  /// Requires flow_packets >= 2 (S = 1 would be linear, not strictly
+  /// concave).
+  explicit DetectionUtility(double flow_packets);
+
+  double value(double x) const override;
+  double deriv(double x) const override;
+  double second(double x) const override;
+
+  double flow_packets() const noexcept { return s_; }
+
+ private:
+  double s_;
+};
+
+}  // namespace netmon::core

@@ -1,0 +1,54 @@
+#include "estimate/accuracy.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace netmon::estimate {
+
+double estimate_size(std::uint64_t sampled, double rho) {
+  NETMON_REQUIRE(rho > 0.0, "effective sampling rate must be positive");
+  return static_cast<double>(sampled) / rho;
+}
+
+double squared_relative_error(double estimate, double actual) {
+  NETMON_REQUIRE(actual > 0.0, "actual size must be positive");
+  const double rel = (estimate - actual) / actual;
+  return rel * rel;
+}
+
+double expected_sre(double inv_mean_size, double rho) {
+  NETMON_REQUIRE(rho > 0.0, "effective sampling rate must be positive");
+  NETMON_REQUIRE(inv_mean_size >= 0.0, "E[1/S] must be non-negative");
+  return inv_mean_size * (1.0 - rho) / rho;
+}
+
+double accuracy(double estimate, double actual) {
+  NETMON_REQUIRE(actual > 0.0, "actual size must be positive");
+  return 1.0 - std::abs(estimate - actual) / actual;
+}
+
+double estimator_variance(std::uint64_t actual, double rho) {
+  NETMON_REQUIRE(rho > 0.0, "effective sampling rate must be positive");
+  return static_cast<double>(actual) * (1.0 - rho) / rho;
+}
+
+double confidence_halfwidth_95(std::uint64_t actual, double rho) {
+  return 1.96 * std::sqrt(estimator_variance(actual, rho));
+}
+
+std::vector<double> accuracies(
+    const std::vector<sampling::OdSampleCount>& counts,
+    const std::vector<double>& rhos) {
+  NETMON_REQUIRE(counts.size() == rhos.size(),
+                 "counts and rates must be aligned");
+  std::vector<double> out(counts.size(), 0.0);
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    if (rhos[k] <= 0.0 || counts[k].actual_packets == 0) continue;
+    const double est = estimate_size(counts[k].sampled_packets, rhos[k]);
+    out[k] = accuracy(est, static_cast<double>(counts[k].actual_packets));
+  }
+  return out;
+}
+
+}  // namespace netmon::estimate

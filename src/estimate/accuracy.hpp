@@ -1,0 +1,42 @@
+// Estimation of OD sizes from sampled counts, and the paper's error /
+// accuracy metrics (§IV-C and §V-B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sampling/simulation.hpp"
+
+namespace netmon::estimate {
+
+/// Unbiased OD-size estimate: X / rho. Requires rho > 0.
+double estimate_size(std::uint64_t sampled, double rho);
+
+/// Squared relative error of an estimate against the actual size
+/// (paper eq. 9). Requires actual > 0.
+double squared_relative_error(double estimate, double actual);
+
+/// Expected squared relative error of the binomial estimator at effective
+/// rate rho, for an OD pair with E[1/S] = inv_mean_size (paper §IV-C):
+/// E[SRE] = E[1/S] * (1 - rho)/rho. Requires rho > 0.
+double expected_sre(double inv_mean_size, double rho);
+
+/// The paper's §V-B accuracy: 1 - |X/rho - S| / S.
+/// Can be negative when the estimate is off by more than 100%.
+double accuracy(double estimate, double actual);
+
+/// Variance of the estimator X/rho with X ~ Binomial(S, rho):
+/// S (1-rho)/rho. Requires rho > 0.
+double estimator_variance(std::uint64_t actual, double rho);
+
+/// Normal-approximation confidence half-width at ~95% (1.96 sigma) for
+/// the size estimate.
+double confidence_halfwidth_95(std::uint64_t actual, double rho);
+
+/// Turns raw per-OD sample counts into accuracies, given each OD's
+/// effective sampling rate. ODs with rho == 0 get accuracy 0.
+std::vector<double> accuracies(
+    const std::vector<sampling::OdSampleCount>& counts,
+    const std::vector<double>& rhos);
+
+}  // namespace netmon::estimate

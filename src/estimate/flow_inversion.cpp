@@ -1,0 +1,112 @@
+#include "estimate/flow_inversion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace netmon::estimate {
+
+double detection_probability(std::uint64_t k, double p) {
+  NETMON_REQUIRE(p >= 0.0 && p <= 1.0, "sampling probability out of [0,1]");
+  if (k == 0 || p == 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  return -std::expm1(static_cast<double>(k) * std::log1p(-p));
+}
+
+namespace {
+
+// Binomial pmf B(j; k, p) computed in log space (stable for large k).
+double binom_pmf(std::size_t j, std::size_t k, double p) {
+  if (j > k) return 0.0;
+  if (p <= 0.0) return j == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return j == k ? 1.0 : 0.0;
+  const double kd = static_cast<double>(k);
+  const double jd = static_cast<double>(j);
+  const double log_choose = std::lgamma(kd + 1.0) - std::lgamma(jd + 1.0) -
+                            std::lgamma(kd - jd + 1.0);
+  return std::exp(log_choose + jd * std::log(p) +
+                  (kd - jd) * std::log1p(-p));
+}
+
+}  // namespace
+
+FlowInversionResult invert_flow_sizes(
+    const std::vector<std::uint64_t>& observed, double p,
+    const FlowInversionOptions& options) {
+  NETMON_REQUIRE(p > 0.0 && p <= 1.0,
+                 "sampling probability must lie in (0,1]");
+  NETMON_REQUIRE(!observed.empty(), "observed histogram is empty");
+  NETMON_REQUIRE(options.max_size >= observed.size(),
+                 "max_size must cover the largest observed sampled size");
+
+  const std::size_t J = observed.size();   // sampled sizes 1..J
+  const std::size_t K = options.max_size;  // original sizes 1..K
+
+  // A[j][k] = P(sampled = j | original = k), j >= 1.
+  std::vector<std::vector<double>> A(J, std::vector<double>(K, 0.0));
+  std::vector<double> detect(K, 0.0);  // d_k = P(sampled >= 1 | k)
+  for (std::size_t k = 1; k <= K; ++k) {
+    detect[k - 1] = detection_probability(k, p);
+    for (std::size_t j = 1; j <= std::min(J, k); ++j)
+      A[j - 1][k - 1] = binom_pmf(j, k, p);
+  }
+
+  double total_observed = 0.0;
+  for (std::uint64_t m : observed) total_observed += static_cast<double>(m);
+  NETMON_REQUIRE(total_observed > 0.0, "no observed flows to invert");
+
+  // Initial estimate: spread detected flows uniformly, inflated by the
+  // average detection probability.
+  std::vector<double> n(K, total_observed / static_cast<double>(K));
+
+  FlowInversionResult result;
+  std::vector<double> model(J, 0.0);
+  for (int iter = 1; iter <= options.em_iterations; ++iter) {
+    result.iterations = iter;
+    // model_j = (A n)_j
+    for (std::size_t j = 0; j < J; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < K; ++k) sum += A[j][k] * n[k];
+      model[j] = sum;
+    }
+    // Multiplicative (zero-truncated EM) update:
+    //   n_k <- n_k * sum_j A_jk m_j / model_j   /   d_k.
+    double change = 0.0, scale = 0.0;
+    for (std::size_t k = 0; k < K; ++k) {
+      if (n[k] <= 0.0 || detect[k] <= 0.0) continue;
+      double ratio = 0.0;
+      for (std::size_t j = 0; j < J; ++j) {
+        if (model[j] > 0.0 && observed[j] > 0)
+          ratio += A[j][k] * static_cast<double>(observed[j]) / model[j];
+      }
+      const double updated = n[k] * ratio / detect[k];
+      change += std::abs(updated - n[k]);
+      scale += std::abs(n[k]);
+      n[k] = updated;
+    }
+    if (scale > 0.0 && change / scale < options.tolerance) break;
+  }
+
+  result.counts = std::move(n);
+  for (std::size_t k = 0; k < K; ++k) {
+    result.total_flows += result.counts[k];
+    result.total_packets += static_cast<double>(k + 1) * result.counts[k];
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> sampled_size_histogram(
+    const std::vector<std::uint64_t>& sampled_sizes,
+    std::size_t max_observed) {
+  NETMON_REQUIRE(max_observed >= 1, "histogram needs >= 1 bin");
+  std::vector<std::uint64_t> histogram(max_observed, 0);
+  for (std::uint64_t size : sampled_sizes) {
+    if (size == 0) continue;  // undetected flows produce no record
+    const std::size_t bin = std::min<std::uint64_t>(size, max_observed);
+    histogram[bin - 1] += 1;
+  }
+  return histogram;
+}
+
+}  // namespace netmon::estimate

@@ -1,0 +1,59 @@
+// Inversion of flow statistics from sampled packet streams.
+//
+// Packet sampling distorts flow-level statistics: a flow of k packets is
+// seen only with probability 1-(1-p)^k, and when seen, its sampled size
+// is Binomial(k, p) conditioned on being >= 1. Recovering the original
+// flow-size distribution from the sampled one is the problem of the
+// paper's refs [12]-[14] (Duffield et al., Hohn & Veitch). We implement
+// the standard zero-truncated-binomial-mixture EM (a Richardson-Lucy
+// multiplicative scheme): maximum-likelihood estimates of the original
+// per-size flow counts, including the flows that were missed entirely.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace netmon::estimate {
+
+/// Probability that a k-packet flow is detected under i.i.d. packet
+/// sampling with probability p (>= 1 packet sampled).
+double detection_probability(std::uint64_t k, double p);
+
+/// EM configuration.
+struct FlowInversionOptions {
+  /// Largest original flow size considered (the support of n_k).
+  std::size_t max_size = 256;
+  /// EM iterations (each is O(max_size * max_observed)).
+  int em_iterations = 400;
+  /// Stop early when the relative change of the estimate drops below
+  /// this.
+  double tolerance = 1e-10;
+};
+
+/// EM output.
+struct FlowInversionResult {
+  /// counts[k-1] = estimated number of original flows with k packets.
+  std::vector<double> counts;
+  /// Estimated number of original flows (detected + missed).
+  double total_flows = 0.0;
+  /// Estimated number of original packets (sum k * n_k).
+  double total_packets = 0.0;
+  /// EM iterations executed.
+  int iterations = 0;
+};
+
+/// Inverts the observed sampled-size histogram.
+///
+/// `observed[j-1]` = number of exported flow records whose sampled packet
+/// count is j (j >= 1). `p` is the sampling probability in force.
+FlowInversionResult invert_flow_sizes(
+    const std::vector<std::uint64_t>& observed, double p,
+    const FlowInversionOptions& options = {});
+
+/// Builds the sampled-size histogram from record counts.
+/// Values above `max_observed` are clipped into the last bin.
+std::vector<std::uint64_t> sampled_size_histogram(
+    const std::vector<std::uint64_t>& sampled_sizes,
+    std::size_t max_observed);
+
+}  // namespace netmon::estimate

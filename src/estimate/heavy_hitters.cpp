@@ -1,0 +1,76 @@
+#include "estimate/heavy_hitters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace netmon::estimate {
+
+double binomial_upper_tail(std::uint64_t n, double p, std::uint64_t j) {
+  NETMON_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of [0,1]");
+  if (j == 0) return 1.0;
+  if (j > n) return 0.0;
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+
+  const double mean = static_cast<double>(n) * p;
+  const double var = mean * (1.0 - p);
+  if (n > 50000 && var > 25.0) {
+    // Normal approximation with continuity correction.
+    const double z = (static_cast<double>(j) - 0.5 - mean) / std::sqrt(var);
+    return 0.5 * std::erfc(z / std::sqrt(2.0));
+  }
+
+  // Exact: sum pmf from j upward (iterative ratio, stable in log-free
+  // form once the first term is computed in log space).
+  const double nd = static_cast<double>(n);
+  const double jd = static_cast<double>(j);
+  double log_term = std::lgamma(nd + 1.0) - std::lgamma(jd + 1.0) -
+                    std::lgamma(nd - jd + 1.0) + jd * std::log(p) +
+                    (nd - jd) * std::log1p(-p);
+  double term = std::exp(log_term);
+  double sum = 0.0;
+  for (std::uint64_t i = j; i <= n; ++i) {
+    sum += term;
+    if (term < 1e-18 * (sum + 1e-300)) break;
+    // pmf(i+1) = pmf(i) * (n-i)/(i+1) * p/(1-p)
+    term *= (nd - static_cast<double>(i)) /
+            (static_cast<double>(i) + 1.0) * p / (1.0 - p);
+  }
+  return std::min(1.0, sum);
+}
+
+std::vector<HeavyHitter> heavy_hitters(const netflow::RecordBatch& records,
+                                       double sampling_rate,
+                                       std::uint64_t threshold_packets,
+                                       double min_confidence) {
+  NETMON_REQUIRE(sampling_rate > 0.0 && sampling_rate <= 1.0,
+                 "sampling rate out of (0,1]");
+  NETMON_REQUIRE(threshold_packets >= 1, "threshold must be >= 1 packet");
+  NETMON_REQUIRE(min_confidence >= 0.0 && min_confidence <= 1.0,
+                 "confidence out of [0,1]");
+
+  std::vector<HeavyHitter> hitters;
+  for (const netflow::FlowRecord& record : records) {
+    if (record.sampled_packets == 0) continue;
+    const double false_positive = binomial_upper_tail(
+        threshold_packets, sampling_rate, record.sampled_packets);
+    const double confidence = 1.0 - false_positive;
+    if (confidence < min_confidence) continue;
+    HeavyHitter hitter;
+    hitter.key = record.key;
+    hitter.sampled_packets = record.sampled_packets;
+    hitter.estimated_packets =
+        static_cast<double>(record.sampled_packets) / sampling_rate;
+    hitter.confidence = confidence;
+    hitters.push_back(hitter);
+  }
+  std::sort(hitters.begin(), hitters.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              return a.estimated_packets > b.estimated_packets;
+            });
+  return hitters;
+}
+
+}  // namespace netmon::estimate

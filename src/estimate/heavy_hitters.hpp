@@ -1,0 +1,42 @@
+// Heavy-hitter identification from packet-sampled flow records.
+//
+// Operators want the flows larger than a threshold (accounting, DDoS
+// triage). Under packet sampling a flow of true size k yields
+// Binomial(k, p) sampled packets; a flow is reported as a heavy hitter
+// when its sampled count makes a sub-threshold true size statistically
+// implausible. The confidence of each report is
+//   1 - P[Binomial(threshold, p) >= observed],
+// i.e. one minus the false-positive probability of a flow sitting exactly
+// at the threshold.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netflow/record.hpp"
+
+namespace netmon::estimate {
+
+/// One reported heavy hitter.
+struct HeavyHitter {
+  traffic::FlowKey key;
+  /// Unbiased size estimate, sampled/p.
+  double estimated_packets = 0.0;
+  /// 1 - P(a threshold-sized flow shows >= this many samples).
+  double confidence = 0.0;
+  /// The record's sampled packet count.
+  std::uint64_t sampled_packets = 0;
+};
+
+/// Upper tail of the binomial: P[Binomial(n, p) >= j].
+double binomial_upper_tail(std::uint64_t n, double p, std::uint64_t j);
+
+/// Scans records for flows whose true size plausibly exceeds
+/// `threshold_packets`, keeping those with confidence >= min_confidence.
+/// Results are sorted by estimated size, largest first.
+std::vector<HeavyHitter> heavy_hitters(const netflow::RecordBatch& records,
+                                       double sampling_rate,
+                                       std::uint64_t threshold_packets,
+                                       double min_confidence = 0.95);
+
+}  // namespace netmon::estimate

@@ -1,0 +1,60 @@
+// Traffic-matrix estimation from link loads (tomogravity).
+//
+// The placement problem needs per-link loads and OD sizes; operators
+// usually have only SNMP link counters. The tomogravity method (Zhang et
+// al., paper ref. [15]) reconstructs the OD demand matrix from link loads
+// by starting from the gravity-model prior and fitting it to the observed
+// loads. We implement the iterative-proportional-fitting variant: each
+// pass rescales the demands crossing every link so the modelled load
+// matches the observation, which converges to a fixed point that honours
+// the loads while staying close (in ratio) to the prior.
+#pragma once
+
+#include "routing/routing_matrix.hpp"
+#include "topo/graph.hpp"
+#include "traffic/demand.hpp"
+#include "traffic/link_load.hpp"
+
+namespace netmon::estimate {
+
+/// Tomogravity knobs.
+struct TomogravityOptions {
+  /// Maximum IPF sweeps over all links.
+  int max_iterations = 300;
+  /// Stop when the worst relative link-load mismatch drops below this.
+  double tolerance = 1e-8;
+  /// Demands whose estimate falls below this rate (pkt/s) are dropped
+  /// from the result.
+  double min_rate = 1e-9;
+};
+
+/// Result of a reconstruction.
+struct TomogravityResult {
+  /// Estimated OD demands (ordered pairs of positive-mass nodes).
+  traffic::TrafficMatrix matrix;
+  /// IPF sweeps executed.
+  int iterations = 0;
+  /// Worst relative link-load mismatch at termination, over links the
+  /// model can explain (links on some positive-mass OD path).
+  double residual = 0.0;
+};
+
+/// Reconstructs the traffic matrix of the positive-mass nodes from
+/// observed per-link loads (pkt/s), assuming single shortest-path routing
+/// under the graph's IGP weights with `failed` links down.
+///
+/// Loads contributed by traffic the model cannot represent (e.g. an
+/// external customer with zero gravity mass) surface as residual.
+TomogravityResult tomogravity(const topo::Graph& graph,
+                              const traffic::LinkLoads& observed,
+                              const routing::LinkSet& failed = {},
+                              const TomogravityOptions& options = {});
+
+/// Mean relative error between an estimated and a reference traffic
+/// matrix over the reference's demands above `min_rate`:
+/// mean_od |est - ref| / ref. Diagnostic used by tests and benches.
+double matrix_relative_error(const traffic::TrafficMatrix& estimate,
+                             const traffic::TrafficMatrix& reference,
+                             double min_rate = 1.0);
+
+}  // namespace netmon::estimate

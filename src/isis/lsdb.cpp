@@ -1,0 +1,95 @@
+#include "isis/lsdb.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace netmon::isis {
+
+LinkStateDb::LinkStateDb(const topo::Graph& graph)
+    : graph_(graph),
+      sequence_(graph.node_count(), 0),
+      link_up_(graph.link_count()) {}
+
+bool LinkStateDb::install(const Lsp& lsp) {
+  NETMON_REQUIRE(lsp.origin < graph_.node_count(), "LSP origin out of range");
+  for (const Adjacency& adj : lsp.adjacencies) {
+    NETMON_REQUIRE(adj.link < graph_.link_count(), "LSP link out of range");
+    NETMON_REQUIRE(graph_.link(adj.link).src == lsp.origin,
+                   "LSP advertises a link it does not own: " +
+                       graph_.link_name(adj.link));
+  }
+  if (lsp.sequence <= sequence_[lsp.origin]) return false;  // stale
+  sequence_[lsp.origin] = lsp.sequence;
+  // The LSP replaces the origin's full adjacency state: links it owns but
+  // does not mention are implicitly down (withdrawn).
+  for (topo::LinkId id : graph_.out_links(lsp.origin)) link_up_[id] = false;
+  for (const Adjacency& adj : lsp.adjacencies) link_up_[adj.link] = adj.up;
+  return true;
+}
+
+std::uint32_t LinkStateDb::sequence(topo::NodeId origin) const {
+  NETMON_REQUIRE(origin < sequence_.size(), "origin out of range");
+  return sequence_[origin];
+}
+
+bool LinkStateDb::complete() const {
+  for (std::uint32_t seq : sequence_) {
+    if (seq == 0) return false;
+  }
+  return true;
+}
+
+routing::LinkSet LinkStateDb::failed_links() const {
+  routing::LinkSet failed;
+  for (topo::LinkId id = 0; id < link_up_.size(); ++id) {
+    if (link_up_[id].has_value() && !*link_up_[id]) failed.insert(id);
+  }
+  return failed;
+}
+
+std::vector<Lsp> LinkStateDb::full_database(const topo::Graph& graph,
+                                            std::uint32_t sequence,
+                                            const routing::LinkSet& down) {
+  std::vector<Lsp> lsps;
+  lsps.reserve(graph.node_count());
+  for (const topo::Node& node : graph.nodes()) {
+    Lsp lsp;
+    lsp.origin = node.id;
+    lsp.sequence = sequence;
+    for (topo::LinkId id : graph.out_links(node.id)) {
+      lsp.adjacencies.push_back(Adjacency{id, down.count(id) == 0});
+    }
+    lsps.push_back(std::move(lsp));
+  }
+  return lsps;
+}
+
+std::vector<double> flood_times(const topo::Graph& graph,
+                                topo::NodeId origin, double hop_delay_sec,
+                                const routing::LinkSet& failed) {
+  NETMON_REQUIRE(origin < graph.node_count(), "flood origin out of range");
+  NETMON_REQUIRE(hop_delay_sec >= 0.0, "hop delay must be non-negative");
+  std::vector<double> when(graph.node_count(),
+                           std::numeric_limits<double>::infinity());
+  std::queue<topo::NodeId> queue;
+  when[origin] = 0.0;
+  queue.push(origin);
+  while (!queue.empty()) {
+    const topo::NodeId u = queue.front();
+    queue.pop();
+    for (topo::LinkId id : graph.out_links(u)) {
+      if (failed.count(id)) continue;
+      const topo::NodeId v = graph.link(id).dst;
+      const double t = when[u] + hop_delay_sec;
+      if (t < when[v]) {
+        when[v] = t;
+        queue.push(v);
+      }
+    }
+  }
+  return when;
+}
+
+}  // namespace netmon::isis

@@ -1,0 +1,82 @@
+// IS-IS style link-state database.
+//
+// The paper's data plane "collect[s] in a continuous fashion BGP and ISIS
+// updates" (§V-A): routing events arrive as link-state PDUs, and the
+// placement must be recomputed on the topology view they imply. This
+// module models that feed: per-router LSPs with sequence numbers, a
+// database that keeps the freshest LSP per origin and derives the set of
+// failed links, and a flooding-time model that bounds how stale a
+// collector's view can be after an event.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "routing/spf.hpp"
+#include "topo/graph.hpp"
+
+namespace netmon::isis {
+
+/// One adjacency advertised in an LSP.
+struct Adjacency {
+  /// The link this adjacency corresponds to (origin -> neighbor).
+  topo::LinkId link = topo::kInvalidId;
+  /// Whether the adjacency is currently up.
+  bool up = true;
+};
+
+/// A link-state PDU: one router's view of its own adjacencies.
+struct Lsp {
+  topo::NodeId origin = topo::kInvalidId;
+  /// Freshness: a database only accepts an LSP with a higher sequence
+  /// number than the one it holds for the same origin.
+  std::uint32_t sequence = 0;
+  std::vector<Adjacency> adjacencies;
+};
+
+/// The collector's link-state database.
+class LinkStateDb {
+ public:
+  /// The database is anchored to a graph: LSPs may only describe links
+  /// whose source is their origin node.
+  explicit LinkStateDb(const topo::Graph& graph);
+
+  /// Installs an LSP. Returns true when it is fresher than the stored
+  /// one (higher sequence) and changes the database. Throws on LSPs that
+  /// advertise links not owned by their origin.
+  bool install(const Lsp& lsp);
+
+  /// Sequence currently held for an origin (0 = none yet).
+  std::uint32_t sequence(topo::NodeId origin) const;
+
+  /// Whether the database holds an LSP from every node in the graph.
+  bool complete() const;
+
+  /// The failed-link view: every link whose adjacency is advertised down
+  /// by the freshest LSP of its source. Links of nodes that never
+  /// advertised are considered up (cold-start optimism, as in IS-IS
+  /// before adjacency timeout).
+  routing::LinkSet failed_links() const;
+
+  /// Full LSP set describing the graph's current state, with the given
+  /// sequence number and every adjacency up except those in `down`.
+  static std::vector<Lsp> full_database(const topo::Graph& graph,
+                                        std::uint32_t sequence = 1,
+                                        const routing::LinkSet& down = {});
+
+ private:
+  const topo::Graph& graph_;
+  std::vector<std::uint32_t> sequence_;        // per origin
+  std::vector<std::optional<bool>> link_up_;   // per link id
+};
+
+/// Flooding model: the time at which each node receives an LSP
+/// originated at `origin`, assuming per-hop processing+propagation delay
+/// `hop_delay_sec` and flooding over all operational links. Unreachable
+/// nodes get +inf.
+std::vector<double> flood_times(const topo::Graph& graph,
+                                topo::NodeId origin, double hop_delay_sec,
+                                const routing::LinkSet& failed = {});
+
+}  // namespace netmon::isis

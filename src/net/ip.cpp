@@ -1,0 +1,59 @@
+#include "net/ip.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace netmon::net {
+
+std::string to_string(Ipv4 addr) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr >> 24) & 0xff,
+                (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff);
+  return buf;
+}
+
+std::string to_string(const Prefix& prefix) {
+  return to_string(prefix.base) + "/" + std::to_string(prefix.len);
+}
+
+namespace {
+bool parse_octets(std::string_view text, Ipv4& out, std::size_t& used) {
+  unsigned a, b, c, d;
+  int n = 0;
+  if (std::sscanf(std::string(text).c_str(), "%u.%u.%u.%u%n", &a, &b, &c, &d,
+                  &n) != 4)
+    return false;
+  if (a > 255 || b > 255 || c > 255 || d > 255) return false;
+  out = ipv4(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+             static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+  used = static_cast<std::size_t>(n);
+  return true;
+}
+}  // namespace
+
+Ipv4 parse_ipv4(std::string_view text) {
+  Ipv4 addr = 0;
+  std::size_t used = 0;
+  NETMON_REQUIRE(parse_octets(text, addr, used) && used == text.size(),
+                 "malformed IPv4 address: " + std::string(text));
+  return addr;
+}
+
+Prefix parse_prefix(std::string_view text) {
+  const auto slash = text.find('/');
+  NETMON_REQUIRE(slash != std::string_view::npos,
+                 "prefix missing '/len': " + std::string(text));
+  const Ipv4 base = parse_ipv4(text.substr(0, slash));
+  int len = -1;
+  try {
+    len = std::stoi(std::string(text.substr(slash + 1)));
+  } catch (...) {
+    len = -1;
+  }
+  NETMON_REQUIRE(len >= 0 && len <= 32,
+                 "prefix length out of range: " + std::string(text));
+  return Prefix{base, len};
+}
+
+}  // namespace netmon::net

@@ -1,0 +1,59 @@
+// IPv4 addresses and prefixes.
+//
+// Addresses are host-order 32-bit integers; prefixes are (base, length)
+// pairs. Used by the flow generator (assigning per-PoP address space) and
+// by the longest-prefix-match egress mapping (netflow::EgressMap).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace netmon::net {
+
+/// Host-order IPv4 address.
+using Ipv4 = std::uint32_t;
+
+/// Builds an address from dotted-quad components.
+constexpr Ipv4 ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                    std::uint8_t d) noexcept {
+  return (static_cast<Ipv4>(a) << 24) | (static_cast<Ipv4>(b) << 16) |
+         (static_cast<Ipv4>(c) << 8) | static_cast<Ipv4>(d);
+}
+
+/// An IPv4 prefix base/len, e.g. 10.3.0.0/16.
+struct Prefix {
+  Ipv4 base = 0;
+  int len = 0;  // 0..32
+
+  /// The netmask of this prefix as an address.
+  constexpr Ipv4 mask() const noexcept {
+    return len == 0 ? 0 : ~Ipv4{0} << (32 - len);
+  }
+
+  /// Whether `addr` falls inside this prefix.
+  constexpr bool contains(Ipv4 addr) const noexcept {
+    return (addr & mask()) == (base & mask());
+  }
+
+  /// Number of host addresses covered (2^(32-len)).
+  constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - len);
+  }
+
+  friend constexpr bool operator==(const Prefix&, const Prefix&) = default;
+};
+
+/// Renders an address as dotted quad, e.g. "10.3.0.1".
+std::string to_string(Ipv4 addr);
+
+/// Renders a prefix, e.g. "10.3.0.0/16".
+std::string to_string(const Prefix& prefix);
+
+/// Parses a dotted-quad address. Throws netmon::Error on malformed input.
+Ipv4 parse_ipv4(std::string_view text);
+
+/// Parses "a.b.c.d/len". Throws netmon::Error on malformed input.
+Prefix parse_prefix(std::string_view text);
+
+}  // namespace netmon::net

@@ -1,0 +1,56 @@
+#include "netflow/adaptive.hpp"
+
+#include "util/error.hpp"
+
+namespace netmon::netflow {
+
+AdaptiveMonitor::AdaptiveMonitor(topo::LinkId link, double target_rate,
+                                 AdaptiveOptions options,
+                                 FlowTable::ExportFn sink, std::uint64_t seed)
+    : target_(target_rate),
+      rate_(target_rate),
+      options_(options),
+      rng_(seed),
+      table_(link, options.table, std::move(sink)) {
+  NETMON_REQUIRE(target_rate >= 0.0 && target_rate <= 1.0,
+                 "target rate out of [0,1]");
+  NETMON_REQUIRE(options_.backoff > 0.0 && options_.backoff < 1.0,
+                 "backoff must lie in (0,1)");
+  NETMON_REQUIRE(options_.entry_budget > 0, "entry budget must be positive");
+  epochs_.push_back(RateEpoch{0, rate_, 0, 0});
+}
+
+bool AdaptiveMonitor::offer(const traffic::FlowKey& key, std::uint32_t bytes,
+                            double timestamp_sec, bool fin) {
+  ++offered_;
+  epochs_.back().offered += 1;
+  const bool take = rng_.bernoulli(rate_);
+  if (take) {
+    ++sampled_;
+    epochs_.back().sampled += 1;
+    table_.observe(key, bytes, timestamp_sec, fin);
+    maybe_adapt();
+  }
+  return take;
+}
+
+void AdaptiveMonitor::maybe_adapt() {
+  if (table_.size() <= options_.entry_budget) return;
+  const double next = rate_ * options_.backoff;
+  if (next < options_.min_rate) return;
+  rate_ = next;
+  epochs_.push_back(RateEpoch{offered_, rate_, 0, 0});
+}
+
+void AdaptiveMonitor::flush(double now_sec) { table_.flush(now_sec); }
+
+double AdaptiveMonitor::estimated_offered() const {
+  double sum = 0.0;
+  for (const RateEpoch& epoch : epochs_) {
+    if (epoch.rate > 0.0)
+      sum += static_cast<double>(epoch.sampled) / epoch.rate;
+  }
+  return sum;
+}
+
+}  // namespace netmon::netflow

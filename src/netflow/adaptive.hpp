@@ -1,0 +1,85 @@
+// Adaptive NetFlow (Estan et al., paper ref. [11]).
+//
+// A router-local mechanism that decreases the packet-sampling rate when
+// the flow cache grows past its memory budget, keeping resource usage
+// fixed regardless of traffic mix. The paper positions its global
+// optimization as complementary to this local adaptation: the optimizer
+// sets the target rate per link, the router adapts below it under
+// pressure. Estimation stays unbiased because the monitor remembers the
+// rate in force for each "epoch" and renormalizes per epoch.
+#pragma once
+
+#include <vector>
+
+#include "netflow/flow_table.hpp"
+#include "util/rng.hpp"
+
+namespace netmon::netflow {
+
+/// Adaptive-monitor configuration.
+struct AdaptiveOptions {
+  /// Flow-cache entry budget that triggers adaptation.
+  std::size_t entry_budget = 1024;
+  /// Multiplier applied to the rate on each adaptation (< 1).
+  double backoff = 0.5;
+  /// Floor below which the rate is not reduced further.
+  double min_rate = 1e-6;
+  FlowTableOptions table;
+};
+
+/// One rate epoch: [first packet index, rate in force].
+struct RateEpoch {
+  std::uint64_t from_packet = 0;
+  double rate = 0.0;
+  /// Packets sampled during this epoch.
+  std::uint64_t sampled = 0;
+  /// Packets offered during this epoch.
+  std::uint64_t offered = 0;
+};
+
+/// A link monitor whose sampling rate adapts to cache pressure.
+class AdaptiveMonitor {
+ public:
+  /// `target_rate` is the rate the global optimizer assigned; adaptation
+  /// only ever lowers it. Expired records go to `sink`.
+  AdaptiveMonitor(topo::LinkId link, double target_rate,
+                  AdaptiveOptions options, FlowTable::ExportFn sink,
+                  std::uint64_t seed);
+
+  /// Offers one packet; returns whether it was sampled.
+  bool offer(const traffic::FlowKey& key, std::uint32_t bytes,
+             double timestamp_sec, bool fin = false);
+
+  /// Flushes the flow cache.
+  void flush(double now_sec);
+
+  /// The rate currently in force.
+  double current_rate() const noexcept { return rate_; }
+  /// The optimizer-assigned target.
+  double target_rate() const noexcept { return target_; }
+  /// Every epoch so far (the last one is open).
+  const std::vector<RateEpoch>& epochs() const noexcept { return epochs_; }
+  /// Number of adaptations performed.
+  std::size_t adaptations() const noexcept { return epochs_.size() - 1; }
+
+  /// Unbiased estimate of the packets offered so far, reconstructed from
+  /// the per-epoch sampled counts and rates (sum sampled_e / rate_e).
+  double estimated_offered() const;
+
+  std::uint64_t offered_packets() const noexcept { return offered_; }
+  std::uint64_t sampled_packets() const noexcept { return sampled_; }
+
+ private:
+  void maybe_adapt();
+
+  double target_;
+  double rate_;
+  AdaptiveOptions options_;
+  Rng rng_;
+  FlowTable table_;
+  std::vector<RateEpoch> epochs_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t sampled_ = 0;
+};
+
+}  // namespace netmon::netflow

@@ -1,0 +1,72 @@
+#include "netflow/collector.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace netmon::netflow {
+
+Collector::Collector(const EgressMap& origin_and_egress,
+                     CollectorOptions options)
+    : map_(origin_and_egress), options_(options) {
+  NETMON_REQUIRE(options_.bin_sec > 0.0, "bin length must be positive");
+}
+
+void Collector::receive(const FlowRecord& record, topo::LinkId link,
+                        double rate) {
+  (void)rate;  // rescaling happens at estimation time, via rho
+  ++received_;
+  const auto src = map_.lookup(record.key.src_ip);
+  const auto dst = map_.lookup(record.key.dst_ip);
+  if (!src || !dst) {
+    ++unattributed_;
+    return;
+  }
+  const Key key{bin_of(record.start_sec), *src, *dst, link};
+  SampleAggregate& agg = aggregates_[key];
+  agg.sampled_packets += record.sampled_packets;
+  agg.sampled_bytes += record.sampled_bytes;
+  agg.records += 1;
+}
+
+std::uint64_t Collector::sampled_packets(std::int64_t bin,
+                                         const routing::OdPair& od) const {
+  std::uint64_t sum = 0;
+  // Keys are ordered by (bin, src, dst, link): range scan over the links.
+  const Key lo{bin, od.src, od.dst, 0};
+  const Key hi{bin, od.src, od.dst, topo::kInvalidId};
+  for (auto it = aggregates_.lower_bound(lo);
+       it != aggregates_.end() && it->first <= hi; ++it) {
+    sum += it->second.sampled_packets;
+  }
+  return sum;
+}
+
+std::uint64_t Collector::sampled_packets_on_link(std::int64_t bin,
+                                                 const routing::OdPair& od,
+                                                 topo::LinkId link) const {
+  const auto it = aggregates_.find(Key{bin, od.src, od.dst, link});
+  return it == aggregates_.end() ? 0 : it->second.sampled_packets;
+}
+
+double Collector::estimate_packets(std::int64_t bin,
+                                   const routing::OdPair& od,
+                                   double rho) const {
+  NETMON_REQUIRE(rho > 0.0, "effective sampling rate must be positive");
+  return static_cast<double>(sampled_packets(bin, od)) / rho;
+}
+
+std::vector<std::int64_t> Collector::bins() const {
+  std::vector<std::int64_t> out;
+  for (const auto& [key, agg] : aggregates_) {
+    const std::int64_t bin = std::get<0>(key);
+    if (out.empty() || out.back() != bin) out.push_back(bin);
+  }
+  return out;
+}
+
+std::int64_t Collector::bin_of(double timestamp_sec) const {
+  return static_cast<std::int64_t>(std::floor(timestamp_sec / options_.bin_sec));
+}
+
+}  // namespace netmon::netflow

@@ -1,0 +1,54 @@
+#include "netflow/egress_map.hpp"
+
+#include "traffic/flow.hpp"
+#include "util/error.hpp"
+
+namespace netmon::netflow {
+
+struct EgressMap::TrieNode {
+  std::unique_ptr<TrieNode> child[2];
+  std::optional<topo::NodeId> egress;
+};
+
+EgressMap::EgressMap() : root_(std::make_unique<TrieNode>()) {}
+EgressMap::~EgressMap() = default;
+EgressMap::EgressMap(EgressMap&&) noexcept = default;
+EgressMap& EgressMap::operator=(EgressMap&&) noexcept = default;
+
+namespace {
+// Bit i (0 = most significant) of an address.
+inline int bit_at(net::Ipv4 addr, int i) { return (addr >> (31 - i)) & 1; }
+}  // namespace
+
+void EgressMap::insert(const net::Prefix& prefix, topo::NodeId egress) {
+  NETMON_REQUIRE(prefix.len >= 0 && prefix.len <= 32,
+                 "prefix length out of range");
+  TrieNode* node = root_.get();
+  for (int i = 0; i < prefix.len; ++i) {
+    const int b = bit_at(prefix.base, i);
+    if (!node->child[b]) node->child[b] = std::make_unique<TrieNode>();
+    node = node->child[b].get();
+  }
+  if (!node->egress) ++size_;
+  node->egress = egress;
+}
+
+std::optional<topo::NodeId> EgressMap::lookup(net::Ipv4 addr) const {
+  const TrieNode* node = root_.get();
+  std::optional<topo::NodeId> best = node->egress;
+  for (int i = 0; i < 32 && node; ++i) {
+    node = node->child[bit_at(addr, i)].get();
+    if (node && node->egress) best = node->egress;
+  }
+  return best;
+}
+
+EgressMap EgressMap::for_pop_blocks(const topo::Graph& graph) {
+  EgressMap map;
+  for (const topo::Node& n : graph.nodes()) {
+    map.insert(traffic::pop_prefix(n.id), n.id);
+  }
+  return map;
+}
+
+}  // namespace netmon::netflow

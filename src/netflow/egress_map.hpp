@@ -1,0 +1,48 @@
+// Longest-prefix-match mapping from destination address to egress PoP.
+//
+// The paper associates each flow record with its egress PoP, "computed
+// from the destination IP address using the technique presented in [4]"
+// (Feldmann et al.). We implement the data-plane half of that technique:
+// a binary trie over IPv4 prefixes with longest-prefix-match lookup.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "topo/graph.hpp"
+
+namespace netmon::netflow {
+
+/// Longest-prefix-match table: prefix -> egress node.
+class EgressMap {
+ public:
+  EgressMap();
+  ~EgressMap();
+  EgressMap(EgressMap&&) noexcept;
+  EgressMap& operator=(EgressMap&&) noexcept;
+  EgressMap(const EgressMap&) = delete;
+  EgressMap& operator=(const EgressMap&) = delete;
+
+  /// Inserts (or overwrites) a prefix route. Throws on invalid length.
+  void insert(const net::Prefix& prefix, topo::NodeId egress);
+
+  /// Longest-prefix-match lookup; nullopt when no prefix covers addr.
+  std::optional<topo::NodeId> lookup(net::Ipv4 addr) const;
+
+  /// Number of installed prefixes.
+  std::size_t size() const noexcept { return size_; }
+
+  /// Builds the map for synthetic traffic: every node's pop_prefix()
+  /// (10.<id>.0.0/16) routes to that node.
+  static EgressMap for_pop_blocks(const topo::Graph& graph);
+
+ private:
+  struct TrieNode;
+  std::unique_ptr<TrieNode> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace netmon::netflow

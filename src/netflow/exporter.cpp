@@ -1,0 +1,32 @@
+#include "netflow/exporter.hpp"
+
+#include "util/error.hpp"
+
+namespace netmon::netflow {
+
+LinkMonitor::LinkMonitor(topo::LinkId link, double sampling_rate,
+                         FlowTableOptions table_options, ExportSink sink,
+                         std::uint64_t seed)
+    : link_(link),
+      rate_(sampling_rate),
+      rng_(seed),
+      table_(link, table_options,
+             [this, sink = std::move(sink)](const FlowRecord& record) {
+               sink(record, link_, rate_);
+             }) {
+  NETMON_REQUIRE(sampling_rate >= 0.0 && sampling_rate <= 1.0,
+                 "sampling rate out of [0,1]");
+}
+
+bool LinkMonitor::offer(const traffic::FlowKey& key, std::uint32_t bytes,
+                        double timestamp_sec, bool fin) {
+  ++offered_;
+  if (!rng_.bernoulli(rate_)) return false;
+  ++sampled_;
+  table_.observe(key, bytes, timestamp_sec, fin);
+  return true;
+}
+
+void LinkMonitor::flush(double now_sec) { table_.flush(now_sec); }
+
+}  // namespace netmon::netflow

@@ -1,0 +1,90 @@
+#include "netflow/flow_table.hpp"
+
+#include "util/error.hpp"
+
+namespace netmon::netflow {
+
+FlowTable::FlowTable(topo::LinkId input_link, FlowTableOptions options,
+                     ExportFn on_export)
+    : input_link_(input_link),
+      options_(options),
+      on_export_(std::move(on_export)) {
+  NETMON_REQUIRE(options_.idle_timeout_sec > 0.0,
+                 "idle timeout must be positive");
+  NETMON_REQUIRE(options_.active_timeout_sec > 0.0,
+                 "active timeout must be positive");
+  NETMON_REQUIRE(static_cast<bool>(on_export_), "export callback required");
+}
+
+void FlowTable::observe(const traffic::FlowKey& key, std::uint32_t bytes,
+                        double timestamp_sec, bool fin) {
+  advance(timestamp_sec);
+
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    if (options_.max_entries > 0 && entries_.size() >= options_.max_entries) {
+      // Cache full: force out the least recently updated flow.
+      ++evictions_;
+      expire(lru_.front());
+    }
+    FlowRecord record;
+    record.key = key;
+    record.start_sec = timestamp_sec;
+    record.input_link = input_link_;
+    lru_.push_back(key);
+    auto pos = std::prev(lru_.end());
+    it = entries_.emplace(key, Entry{record, pos}).first;
+  } else {
+    lru_.splice(lru_.end(), lru_, it->second.lru_pos);
+  }
+
+  Entry& entry = it->second;
+  entry.record.sampled_packets += 1;
+  entry.record.sampled_bytes += bytes;
+  entry.record.end_sec = timestamp_sec;
+
+  if (fin) {
+    expire(key);
+  }
+}
+
+void FlowTable::advance(double now_sec) {
+  // Idle expiry in LRU order: the front is the stalest entry.
+  while (!lru_.empty()) {
+    const auto it = entries_.find(lru_.front());
+    const FlowRecord& rec = it->second.record;
+    const bool idle = now_sec - rec.end_sec >= options_.idle_timeout_sec;
+    if (!idle) break;
+    expire(lru_.front());
+  }
+  // Active-timeout expiry needs a full scan; amortize it to once per
+  // second of simulated time so per-packet cost stays O(1).
+  if (now_sec - last_active_scan_sec_ < 1.0) return;
+  last_active_scan_sec_ = now_sec;
+  std::vector<traffic::FlowKey> over_age;
+  for (const auto& [key, entry] : entries_) {
+    if (now_sec - entry.record.start_sec >= options_.active_timeout_sec)
+      over_age.push_back(key);
+  }
+  for (const auto& key : over_age) expire(key);
+}
+
+void FlowTable::flush(double now_sec) {
+  (void)now_sec;
+  while (!lru_.empty()) expire(lru_.front());
+}
+
+void FlowTable::expire(const traffic::FlowKey& key) {
+  auto it = entries_.find(key);
+  NETMON_REQUIRE(it != entries_.end(), "expiring unknown flow");
+  lru_.erase(it->second.lru_pos);
+  export_record(it->second.record);
+  entries_.erase(it);
+}
+
+void FlowTable::export_record(const FlowRecord& record) {
+  ++exported_;
+  on_export_(record);
+}
+
+}  // namespace netmon::netflow

@@ -1,0 +1,78 @@
+// Router-side flow cache with NetFlow expiry semantics.
+//
+// Maintains per-flow accounting for sampled packets, expiring entries on
+// idle timeout (30 s in the paper's GEANT configuration), on active
+// timeout, on TCP FIN/RST, or on cache pressure (bounded entry count, as
+// in router implementations). Expired entries are handed to an export
+// callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+#include "netflow/record.hpp"
+
+namespace netmon::netflow {
+
+/// Flow-cache configuration mirroring router knobs.
+struct FlowTableOptions {
+  /// Expire a flow this long after its last sampled packet.
+  double idle_timeout_sec = 30.0;
+  /// Expire long-running flows this long after their first packet.
+  double active_timeout_sec = 120.0;
+  /// Maximum number of concurrent entries; 0 = unbounded. When full, the
+  /// least recently updated entry is force-expired.
+  std::size_t max_entries = 0;
+};
+
+/// The flow cache. Not thread-safe: one table per simulated router.
+class FlowTable {
+ public:
+  using ExportFn = std::function<void(const FlowRecord&)>;
+
+  /// `on_export` receives every expired/flushed record.
+  FlowTable(topo::LinkId input_link, FlowTableOptions options,
+            ExportFn on_export);
+
+  /// Accounts one *sampled* packet. `fin` marks TCP FIN/RST, which
+  /// triggers immediate expiry of the entry (paper §V-A). Timestamps must
+  /// be non-decreasing across calls.
+  void observe(const traffic::FlowKey& key, std::uint32_t bytes,
+               double timestamp_sec, bool fin = false);
+
+  /// Advances time, expiring idle/over-age entries.
+  void advance(double now_sec);
+
+  /// Expires everything (end of measurement / export interval).
+  void flush(double now_sec);
+
+  /// Current number of cached entries.
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Counters for observability.
+  std::uint64_t exported_records() const noexcept { return exported_; }
+  std::uint64_t forced_evictions() const noexcept { return evictions_; }
+
+ private:
+  struct Entry {
+    FlowRecord record;
+    std::list<traffic::FlowKey>::iterator lru_pos;
+  };
+
+  void expire(const traffic::FlowKey& key);
+  void export_record(const FlowRecord& record);
+
+  topo::LinkId input_link_;
+  FlowTableOptions options_;
+  ExportFn on_export_;
+  std::unordered_map<traffic::FlowKey, Entry, traffic::FlowKeyHash> entries_;
+  // LRU by last update; front = least recently updated.
+  std::list<traffic::FlowKey> lru_;
+  std::uint64_t exported_ = 0;
+  std::uint64_t evictions_ = 0;
+  double last_active_scan_sec_ = -1.0e300;
+};
+
+}  // namespace netmon::netflow

@@ -1,0 +1,104 @@
+#include "netflow/pipeline.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace netmon::netflow {
+
+NetflowPipeline::NetflowPipeline(const topo::Graph& graph,
+                                 const routing::RoutingMatrix& matrix,
+                                 const sampling::RateVector& rates,
+                                 const EgressMap& egress,
+                                 PipelineOptions options)
+    : graph_(graph),
+      matrix_(matrix),
+      rates_(rates),
+      collector_(egress, options.collector),
+      monitors_(graph.link_count()) {
+  NETMON_REQUIRE(rates_.size() == graph_.link_count(),
+                 "one rate per link required");
+  for (topo::LinkId id = 0; id < rates_.size(); ++id) {
+    if (rates_[id] <= 0.0) continue;
+    monitors_[id] = std::make_unique<LinkMonitor>(
+        id, rates_[id], options.flow_table,
+        [this](const FlowRecord& record, topo::LinkId link, double rate) {
+          collector_.receive(record, link, rate);
+        },
+        options.seed ^ (0x9e3779b97f4a7c15ULL * (id + 1)));
+  }
+}
+
+void NetflowPipeline::run(
+    const std::vector<std::vector<traffic::Flow>>& flows) {
+  NETMON_REQUIRE(flows.size() == matrix_.od_count(),
+                 "one flow population per OD row required");
+
+  // Per-flow packet cursor; a min-heap orders packets network-wide so
+  // each monitor sees non-decreasing timestamps.
+  struct Cursor {
+    double time;
+    std::uint32_t od;
+    std::uint32_t flow;
+    std::uint64_t seq;
+  };
+  auto later = [](const Cursor& a, const Cursor& b) { return a.time > b.time; };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heap(later);
+
+  auto packet_time = [&](const traffic::Flow& f, std::uint64_t seq) {
+    if (f.packets <= 1) return f.start_sec;
+    return f.start_sec + (f.end_sec - f.start_sec) *
+                             static_cast<double>(seq) /
+                             static_cast<double>(f.packets - 1);
+  };
+
+  for (std::uint32_t k = 0; k < flows.size(); ++k) {
+    for (std::uint32_t i = 0; i < flows[k].size(); ++i) {
+      if (flows[k][i].packets == 0) continue;
+      heap.push(Cursor{packet_time(flows[k][i], 0), k, i, 0});
+    }
+  }
+
+  double last_time = 0.0;
+  while (!heap.empty()) {
+    const Cursor cur = heap.top();
+    heap.pop();
+    const traffic::Flow& flow = flows[cur.od][cur.flow];
+    last_time = cur.time;
+
+    const bool is_last = cur.seq + 1 == flow.packets;
+    const bool fin = is_last && flow.key.proto == 6;  // TCP FIN on close
+    const auto bytes = static_cast<std::uint32_t>(
+        flow.bytes / std::max<std::uint64_t>(1, flow.packets));
+    for (const auto& [link, frac] : matrix_.row(cur.od)) {
+      (void)frac;
+      if (monitors_[link]) monitors_[link]->offer(flow.key, bytes, cur.time, fin);
+    }
+    if (!is_last)
+      heap.push(Cursor{packet_time(flow, cur.seq + 1), cur.od, cur.flow,
+                       cur.seq + 1});
+  }
+
+  for (auto& monitor : monitors_) {
+    if (monitor) monitor->flush(last_time);
+  }
+}
+
+std::uint64_t NetflowPipeline::offered_packets() const {
+  std::uint64_t sum = 0;
+  for (const auto& m : monitors_) {
+    if (m) sum += m->offered_packets();
+  }
+  return sum;
+}
+
+std::uint64_t NetflowPipeline::sampled_packets() const {
+  std::uint64_t sum = 0;
+  for (const auto& m : monitors_) {
+    if (m) sum += m->sampled_packets();
+  }
+  return sum;
+}
+
+}  // namespace netmon::netflow

@@ -1,0 +1,34 @@
+// NetFlow-style flow records (paper §V-A).
+//
+// Each record carries the 5-tuple plus the fields the paper's study uses:
+// start/end timestamps, sampled packet and byte counts, and the router
+// interface the flow entered on (which identifies the monitored link).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/graph.hpp"
+#include "traffic/flow.hpp"
+
+namespace netmon::netflow {
+
+/// One exported flow record.
+struct FlowRecord {
+  traffic::FlowKey key;
+  /// Number of packets of this flow actually sampled by the monitor.
+  std::uint64_t sampled_packets = 0;
+  /// Cumulative size in bytes of the sampled packets.
+  std::uint64_t sampled_bytes = 0;
+  /// Timestamp of the first sampled packet (paper: flow start time).
+  double start_sec = 0.0;
+  /// Timestamp of the last packet seen before export/expiry.
+  double end_sec = 0.0;
+  /// Link the monitor observing this flow sits on.
+  topo::LinkId input_link = topo::kInvalidId;
+};
+
+/// A batch of records exported together by one router.
+using RecordBatch = std::vector<FlowRecord>;
+
+}  // namespace netmon::netflow

@@ -1,0 +1,58 @@
+#include "netflow/sample_and_hold.hpp"
+
+#include "util/error.hpp"
+
+namespace netmon::netflow {
+
+SampleAndHoldMonitor::SampleAndHoldMonitor(topo::LinkId link,
+                                           double probability,
+                                           std::size_t max_entries,
+                                           ExportFn on_export,
+                                           std::uint64_t seed)
+    : link_(link),
+      p_(probability),
+      max_entries_(max_entries),
+      on_export_(std::move(on_export)),
+      rng_(seed) {
+  NETMON_REQUIRE(probability > 0.0 && probability <= 1.0,
+                 "sample-and-hold probability out of (0,1]");
+  NETMON_REQUIRE(static_cast<bool>(on_export_), "export callback required");
+}
+
+bool SampleAndHoldMonitor::offer(const traffic::FlowKey& key,
+                                 std::uint32_t bytes, double timestamp_sec) {
+  ++offered_;
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    if (!rng_.bernoulli(p_)) return false;  // untracked and not sampled
+    if (max_entries_ > 0 && table_.size() >= max_entries_) {
+      ++rejected_;
+      return false;  // table full: cannot admit the flow
+    }
+    FlowRecord record;
+    record.key = key;
+    record.start_sec = timestamp_sec;
+    record.input_link = link_;
+    it = table_.emplace(key, record).first;
+  }
+  FlowRecord& record = it->second;
+  record.sampled_packets += 1;  // "held" count: exact from admission on
+  record.sampled_bytes += bytes;
+  record.end_sec = timestamp_sec;
+  ++counted_;
+  return true;
+}
+
+void SampleAndHoldMonitor::flush(double now_sec) {
+  (void)now_sec;
+  for (auto& [key, record] : table_) on_export_(record);
+  table_.clear();
+}
+
+double SampleAndHoldMonitor::estimate_packets(
+    std::uint64_t held_count) const {
+  // held + E[geometric prefix] = held + (1-p)/p.
+  return static_cast<double>(held_count) + (1.0 - p_) / p_;
+}
+
+}  // namespace netmon::netflow

@@ -1,0 +1,63 @@
+// Sample-and-hold flow accounting (Estan & Varghese, the lineage of the
+// paper's ref. [11]).
+//
+// Plain packet sampling estimates a flow's size with variance ~ k/p; for
+// heavy hitters that is wasteful. Sample-and-hold instead samples packets
+// of *untracked* flows with probability p, but once a flow enters the
+// table every subsequent packet is counted exactly. Elephants are counted
+// almost perfectly; memory grows like p times the packet volume. An
+// unbiased size estimate adds the expected missed prefix (1-p)/p to the
+// held count.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "netflow/record.hpp"
+#include "util/rng.hpp"
+
+namespace netmon::netflow {
+
+/// Sample-and-hold monitor for one link.
+class SampleAndHoldMonitor {
+ public:
+  using ExportFn = std::function<void(const FlowRecord&)>;
+
+  /// `probability` is the per-packet entry probability for untracked
+  /// flows; `max_entries` bounds the table (0 = unbounded; when full, new
+  /// flows are not admitted).
+  SampleAndHoldMonitor(topo::LinkId link, double probability,
+                       std::size_t max_entries, ExportFn on_export,
+                       std::uint64_t seed);
+
+  /// Offers one packet; returns whether it was counted (flow tracked).
+  bool offer(const traffic::FlowKey& key, std::uint32_t bytes,
+             double timestamp_sec);
+
+  /// Exports every tracked flow and clears the table.
+  void flush(double now_sec);
+
+  /// Unbiased estimate of a flow's original packet count from its held
+  /// count: held + (1-p)/p (the expected untracked prefix).
+  double estimate_packets(std::uint64_t held_count) const;
+
+  std::size_t tracked_flows() const noexcept { return table_.size(); }
+  std::uint64_t offered_packets() const noexcept { return offered_; }
+  std::uint64_t counted_packets() const noexcept { return counted_; }
+  std::uint64_t rejected_flows() const noexcept { return rejected_; }
+  double probability() const noexcept { return p_; }
+
+ private:
+  topo::LinkId link_;
+  double p_;
+  std::size_t max_entries_;
+  ExportFn on_export_;
+  Rng rng_;
+  std::unordered_map<traffic::FlowKey, FlowRecord, traffic::FlowKeyHash>
+      table_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t counted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace netmon::netflow

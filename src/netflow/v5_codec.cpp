@@ -1,0 +1,153 @@
+#include "netflow/v5_codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace netmon::netflow {
+
+namespace {
+
+// Big-endian primitive writers/readers (network byte order).
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint16_t get16(const std::vector<std::uint8_t>& in, std::size_t at) {
+  return static_cast<std::uint16_t>((in[at] << 8) | in[at + 1]);
+}
+
+std::uint32_t get32(const std::vector<std::uint8_t>& in, std::size_t at) {
+  return (static_cast<std::uint32_t>(in[at]) << 24) |
+         (static_cast<std::uint32_t>(in[at + 1]) << 16) |
+         (static_cast<std::uint32_t>(in[at + 2]) << 8) |
+         static_cast<std::uint32_t>(in[at + 3]);
+}
+
+std::uint32_t clamp32(std::uint64_t v) {
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(v, 0xffffffffULL));
+}
+
+std::uint32_t ms_of(double sec) {
+  return clamp32(static_cast<std::uint64_t>(std::llround(
+      std::max(0.0, sec) * 1000.0)));
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint8_t>> encode_v5(
+    const RecordBatch& records, double export_time_sec,
+    std::uint32_t sampling_interval, std::uint32_t first_sequence,
+    std::uint8_t engine_id) {
+  NETMON_REQUIRE(export_time_sec >= 0.0, "export time must be >= 0");
+  NETMON_REQUIRE(sampling_interval < (1u << 14),
+                 "sampling interval exceeds the 14-bit v5 field");
+
+  std::vector<std::vector<std::uint8_t>> datagrams;
+  std::uint32_t sequence = first_sequence;
+  for (std::size_t offset = 0; offset < records.size();
+       offset += kV5MaxRecords) {
+    const std::size_t n =
+        std::min(kV5MaxRecords, records.size() - offset);
+    std::vector<std::uint8_t> out;
+    out.reserve(kV5HeaderBytes + n * kV5RecordBytes);
+
+    // --- header ---
+    put16(out, 5);
+    put16(out, static_cast<std::uint16_t>(n));
+    put32(out, ms_of(export_time_sec));       // SysUptime
+    put32(out, static_cast<std::uint32_t>(export_time_sec));  // unix_secs
+    put32(out, 0);                            // unix_nsecs
+    put32(out, sequence);
+    out.push_back(0);                         // engine_type
+    out.push_back(engine_id);
+    const std::uint16_t sampling =
+        sampling_interval == 0
+            ? 0
+            : static_cast<std::uint16_t>((1u << 14) | sampling_interval);
+    put16(out, sampling);
+
+    // --- records ---
+    for (std::size_t i = 0; i < n; ++i) {
+      const FlowRecord& r = records[offset + i];
+      put32(out, r.key.src_ip);
+      put32(out, r.key.dst_ip);
+      put32(out, 0);                                      // nexthop
+      put16(out, static_cast<std::uint16_t>(r.input_link));  // input if
+      put16(out, 0);                                      // output if
+      put32(out, clamp32(r.sampled_packets));
+      put32(out, clamp32(r.sampled_bytes));
+      put32(out, ms_of(r.start_sec));                     // First
+      put32(out, ms_of(r.end_sec));                       // Last
+      put16(out, r.key.src_port);
+      put16(out, r.key.dst_port);
+      out.push_back(0);                                   // pad1
+      out.push_back(0);                                   // tcp_flags
+      out.push_back(r.key.proto);
+      out.push_back(0);                                   // tos
+      put16(out, 0);                                      // src_as
+      put16(out, 0);                                      // dst_as
+      out.push_back(0);                                   // src_mask
+      out.push_back(0);                                   // dst_mask
+      put16(out, 0);                                      // pad2
+    }
+    sequence += static_cast<std::uint32_t>(n);
+    datagrams.push_back(std::move(out));
+  }
+  return datagrams;
+}
+
+V5Datagram decode_v5(const std::vector<std::uint8_t>& datagram) {
+  NETMON_REQUIRE(datagram.size() >= kV5HeaderBytes,
+                 "v5 datagram shorter than its header");
+  V5Datagram out;
+  out.header.version = get16(datagram, 0);
+  NETMON_REQUIRE(out.header.version == 5, "not a NetFlow v5 datagram");
+  out.header.count = get16(datagram, 2);
+  NETMON_REQUIRE(out.header.count >= 1 && out.header.count <= kV5MaxRecords,
+                 "v5 record count out of range");
+  NETMON_REQUIRE(
+      datagram.size() == kV5HeaderBytes + out.header.count * kV5RecordBytes,
+      "v5 datagram size does not match its record count");
+  out.header.sys_uptime_ms = get32(datagram, 4);
+  out.header.unix_secs = get32(datagram, 8);
+  out.header.flow_sequence = get32(datagram, 16);
+  out.header.engine_id = datagram[21];
+  out.header.sampling = get16(datagram, 22);
+
+  for (std::size_t i = 0; i < out.header.count; ++i) {
+    const std::size_t at = kV5HeaderBytes + i * kV5RecordBytes;
+    FlowRecord r;
+    r.key.src_ip = get32(datagram, at + 0);
+    r.key.dst_ip = get32(datagram, at + 4);
+    r.input_link = get16(datagram, at + 12);
+    r.sampled_packets = get32(datagram, at + 16);
+    r.sampled_bytes = get32(datagram, at + 20);
+    r.start_sec = get32(datagram, at + 24) / 1000.0;
+    r.end_sec = get32(datagram, at + 28) / 1000.0;
+    r.key.src_port = get16(datagram, at + 32);
+    r.key.dst_port = get16(datagram, at + 34);
+    r.key.proto = datagram[at + 38];
+    out.records.push_back(r);
+  }
+  return out;
+}
+
+double v5_sampling_rate(const V5Header& header) noexcept {
+  const unsigned mode = header.sampling >> 14;
+  const unsigned interval = header.sampling & 0x3fff;
+  if (mode != 1 || interval == 0) return 0.0;
+  return 1.0 / static_cast<double>(interval);
+}
+
+}  // namespace netmon::netflow

@@ -1,0 +1,59 @@
+// NetFlow v5 wire format.
+//
+// The paper's infrastructure exports flow records from routers to a
+// collector; on the wire that is NetFlow v5 (the version GEANT's
+// NetFlow-compatible Juniper sampling exported, ref. [20]). This module
+// implements the datagram layout faithfully — 24-byte header plus 48-byte
+// records, big-endian — so the exporter/collector path can be exercised
+// end-to-end at the byte level, and captures from real routers could be
+// replayed against the collector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netflow/record.hpp"
+
+namespace netmon::netflow {
+
+/// NetFlow v5 packet header fields we model.
+struct V5Header {
+  std::uint16_t version = 5;
+  std::uint16_t count = 0;          // records in this datagram (1..30)
+  std::uint32_t sys_uptime_ms = 0;  // ms since device boot
+  std::uint32_t unix_secs = 0;      // export timestamp
+  std::uint32_t flow_sequence = 0;  // total flows exported before this one
+  std::uint8_t engine_id = 0;
+  /// Sampling info field: top 2 bits mode (1 = packet sampling), lower 14
+  /// bits the sampling interval N (rate = 1/N).
+  std::uint16_t sampling = 0;
+};
+
+/// One decoded datagram.
+struct V5Datagram {
+  V5Header header;
+  RecordBatch records;
+};
+
+/// Maximum records per v5 datagram (fixed by the format: 30 x 48 B).
+inline constexpr std::size_t kV5MaxRecords = 30;
+/// Sizes fixed by the format.
+inline constexpr std::size_t kV5HeaderBytes = 24;
+inline constexpr std::size_t kV5RecordBytes = 48;
+
+/// Encodes records into one or more v5 datagrams (at most 30 records
+/// each). `sampling_interval` is N in 1-in-N (0 = unknown); sequence
+/// numbers continue from `first_sequence`.
+std::vector<std::vector<std::uint8_t>> encode_v5(
+    const RecordBatch& records, double export_time_sec,
+    std::uint32_t sampling_interval, std::uint32_t first_sequence = 0,
+    std::uint8_t engine_id = 0);
+
+/// Decodes one datagram. Throws netmon::Error on malformed input
+/// (wrong version, truncated packet, count/size mismatch).
+V5Datagram decode_v5(const std::vector<std::uint8_t>& datagram);
+
+/// The sampling rate encoded in a header (0 when not packet-sampled).
+double v5_sampling_rate(const V5Header& header) noexcept;
+
+}  // namespace netmon::netflow

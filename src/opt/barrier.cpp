@@ -1,0 +1,145 @@
+#include "opt/barrier.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace netmon::opt {
+
+namespace {
+
+// Dense linear solve (Gaussian elimination, partial pivoting). The KKT
+// systems here are (n+1)x(n+1) with n = candidate links, i.e. tiny.
+std::vector<double> solve_dense(std::vector<std::vector<double>> a,
+                                std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    NETMON_REQUIRE(std::abs(a[pivot][col]) > 1e-300,
+                   "singular KKT system in barrier solver");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    // Eliminate.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r][col] / a[col][col];
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) sum -= a[i][c] * x[c];
+    x[i] = sum / a[i][i];
+  }
+  return x;
+}
+
+}  // namespace
+
+BarrierResult maximize_barrier(const SeparableConcaveObjective& f,
+                               const BoxBudgetConstraints& constraints,
+                               const BarrierOptions& options) {
+  const std::size_t n = constraints.dimension();
+  NETMON_REQUIRE(f.dimension() == n, "dimension mismatch");
+  const std::vector<double>& u = constraints.loads();
+  const std::vector<double>& alpha = constraints.upper();
+
+  double max_budget = 0.0;
+  for (std::size_t j = 0; j < n; ++j) max_budget += u[j] * alpha[j];
+  const double scale = constraints.theta() / max_budget;
+  NETMON_REQUIRE(scale < 1.0 - 1e-9,
+                 "barrier method needs a strictly interior point "
+                 "(theta < sum(u*alpha))");
+
+  BarrierResult result;
+  result.p.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) result.p[j] = scale * alpha[j];
+
+  // phi_t(p) = -t f(p) - sum_j [ln p_j + ln(alpha_j - p_j)].
+  auto phi = [&](const std::vector<double>& p, double t) {
+    double barrier = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (p[j] <= 0.0 || p[j] >= alpha[j])
+        return std::numeric_limits<double>::infinity();
+      barrier -= std::log(p[j]) + std::log(alpha[j] - p[j]);
+    }
+    return -t * f.value(p) + barrier;
+  };
+
+  std::vector<double> g_f(n), gphi(n), delta(n);
+  double t = options.t0;
+  const double m = 2.0 * static_cast<double>(n);  // barrier constraints
+
+  while (m / t > options.gap) {
+    ++result.outer_iterations;
+
+    for (int newton = 0; newton < options.max_newton; ++newton) {
+      ++result.newton_iterations;
+      f.gradient(result.p, g_f);
+      const std::vector<double> x = f.inner(result.p);
+
+      // Hessian of phi: -t H_f + barrier diagonal.
+      std::vector<std::vector<double>> kkt(
+          n + 1, std::vector<double>(n + 1, 0.0));
+      const auto& rows = f.rows();
+      for (std::size_t k = 0; k < rows.size(); ++k) {
+        const double s2 = f.utility(k).second(x[k]);
+        for (const auto& [i, ci] : rows[k]) {
+          for (const auto& [j, cj] : rows[k]) {
+            kkt[i][j] += -t * s2 * ci * cj;
+          }
+        }
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        const double lo = result.p[j];
+        const double hi = alpha[j] - result.p[j];
+        kkt[j][j] += 1.0 / (lo * lo) + 1.0 / (hi * hi);
+        gphi[j] = -t * g_f[j] - 1.0 / lo + 1.0 / hi;
+        kkt[j][n] = u[j];
+        kkt[n][j] = u[j];
+      }
+
+      std::vector<double> rhs(n + 1, 0.0);
+      for (std::size_t j = 0; j < n; ++j) rhs[j] = -gphi[j];
+      const std::vector<double> sol = solve_dense(std::move(kkt), rhs);
+      for (std::size_t j = 0; j < n; ++j) delta[j] = sol[j];
+
+      double decrement2 = 0.0;
+      for (std::size_t j = 0; j < n; ++j) decrement2 -= gphi[j] * delta[j];
+      if (decrement2 / 2.0 < options.newton_tol) break;
+
+      // Backtracking: stay strictly interior, then Armijo.
+      double step = 1.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (delta[j] > 0.0)
+          step = std::min(step, 0.99 * (alpha[j] - result.p[j]) / delta[j]);
+        else if (delta[j] < 0.0)
+          step = std::min(step, 0.99 * result.p[j] / -delta[j]);
+      }
+      const double phi0 = phi(result.p, t);
+      std::vector<double> candidate(n);
+      int back = 0;
+      for (; back < 60; ++back) {
+        for (std::size_t j = 0; j < n; ++j)
+          candidate[j] = result.p[j] + step * delta[j];
+        if (phi(candidate, t) <= phi0 - 1e-4 * step * decrement2) break;
+        step *= 0.5;
+      }
+      if (back == 60) break;  // no progress: centered enough
+      result.p = candidate;
+    }
+    t *= options.t_growth;
+  }
+  result.gap_bound = m / (t / options.t_growth);
+  result.value = f.value(result.p);
+  return result;
+}
+
+}  // namespace netmon::opt

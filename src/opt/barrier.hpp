@@ -1,0 +1,51 @@
+// Interior-point (log-barrier) solver for the placement problem.
+//
+// An independent algorithm for the same concave program the gradient
+// projection method solves: minimize -f(p) plus a logarithmic barrier for
+// the box constraints, subject to the budget equality, with Newton steps
+// on the equality-constrained centering problem and a geometric barrier
+// schedule. Used to cross-validate the paper's solver (three algorithms —
+// gradient projection, projected ascent, barrier — must agree on the
+// optimum) and as an ablation data point: the active-set method exploits
+// the problem's structure and needs no second-order information beyond
+// the 1-D search, while the barrier method pays dense Newton solves.
+#pragma once
+
+#include "opt/constraints.hpp"
+#include "opt/objective.hpp"
+
+namespace netmon::opt {
+
+/// Barrier-method knobs.
+struct BarrierOptions {
+  /// Initial value of the scaling parameter t (objective weight against
+  /// the barrier); the duality-gap bound is (2n)/t.
+  double t0 = 1.0;
+  /// Geometric growth factor of t per outer iteration.
+  double t_growth = 10.0;
+  /// Stop when (2n)/t falls below this gap.
+  double gap = 1e-9;
+  /// Newton iterations per centering step.
+  int max_newton = 50;
+  /// Newton decrement threshold for centering convergence.
+  double newton_tol = 1e-10;
+};
+
+/// Barrier-method outcome.
+struct BarrierResult {
+  std::vector<double> p;
+  double value = 0.0;       // f(p)
+  int outer_iterations = 0; // centering steps
+  int newton_iterations = 0;
+  /// Final duality-gap bound (2n)/t.
+  double gap_bound = 0.0;
+};
+
+/// Maximizes a SeparableConcaveObjective over BoxBudgetConstraints by the
+/// barrier method. Requires theta strictly below sum(u*alpha) (a strictly
+/// interior point must exist).
+BarrierResult maximize_barrier(const SeparableConcaveObjective& f,
+                               const BoxBudgetConstraints& constraints,
+                               const BarrierOptions& options = {});
+
+}  // namespace netmon::opt

@@ -1,0 +1,225 @@
+#include "opt/gradient_projection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace netmon::opt {
+
+namespace {
+
+constexpr double kSnapLower = 1e-13;   // absolute snap-to-zero threshold
+constexpr double kSnapUpperRel = 1e-13;  // relative snap-to-alpha threshold
+
+double norm2(std::span<const double> v) {
+  double sum = 0.0;
+  for (double x : v) sum += x * x;
+  return std::sqrt(sum);
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < a.size(); ++j) sum += a[j] * b[j];
+  return sum;
+}
+
+// Projects `v` onto the subspace of the active constraints: zero on bound-
+// active coordinates, orthogonal (in the free coordinates) to the budget
+// normal u.
+void project_direction(std::span<const double> v, std::span<const double> u,
+                       const std::vector<BoundState>& bounds,
+                       std::span<double> out) {
+  double vu = 0.0, uu = 0.0;
+  for (std::size_t j = 0; j < v.size(); ++j) {
+    if (bounds[j] == BoundState::kFree) {
+      vu += v[j] * u[j];
+      uu += u[j] * u[j];
+    }
+  }
+  const double lambda = uu > 0.0 ? vu / uu : 0.0;
+  for (std::size_t j = 0; j < v.size(); ++j) {
+    out[j] = bounds[j] == BoundState::kFree ? v[j] - lambda * u[j] : 0.0;
+  }
+}
+
+}  // namespace
+
+SolveResult maximize(const Objective& f,
+                     const BoxBudgetConstraints& constraints,
+                     const SolverOptions& options,
+                     const std::vector<double>* start) {
+  const std::size_t n = constraints.dimension();
+  NETMON_REQUIRE(f.dimension() == n,
+                 "objective/constraint dimension mismatch");
+  const std::vector<double>& u = constraints.loads();
+  const std::vector<double>& alpha = constraints.upper();
+
+  SolveResult result;
+  result.p = start ? *start : constraints.initial_point();
+  NETMON_REQUIRE(result.p.size() == n, "start point dimension mismatch");
+  NETMON_REQUIRE(constraints.feasible(result.p, 1e-7),
+                 "start point is infeasible");
+
+  std::vector<BoundState>& bounds = result.bounds;
+  bounds.assign(n, BoundState::kFree);
+  auto classify = [&](std::size_t j) {
+    if (result.p[j] <= kSnapLower) {
+      result.p[j] = 0.0;
+      bounds[j] = BoundState::kAtLower;
+    } else if (alpha[j] - result.p[j] <= kSnapUpperRel * alpha[j]) {
+      result.p[j] = alpha[j];
+      bounds[j] = BoundState::kAtUpper;
+    } else {
+      bounds[j] = BoundState::kFree;
+    }
+  };
+  for (std::size_t j = 0; j < n; ++j) classify(j);
+
+  // Redistributes budget drift (from snapping) over the free coordinates.
+  auto correct_budget = [&] {
+    const double drift = constraints.theta() - constraints.budget(result.p);
+    if (std::abs(drift) <= 1e-12 * constraints.theta()) return;
+    double uu = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (bounds[j] == BoundState::kFree) uu += u[j] * u[j];
+    }
+    if (uu <= 0.0) return;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (bounds[j] != BoundState::kFree) continue;
+      result.p[j] =
+          std::clamp(result.p[j] + drift * u[j] / uu, 0.0, alpha[j]);
+    }
+  };
+
+  std::vector<double> g(n), s(n), d(n), s_prev(n), d_prev(n);
+  bool have_prev = false;
+
+  int iter = 0;
+  while (iter < options.max_iterations) {
+    ++iter;
+    f.gradient(result.p, g);
+    project_direction(g, u, bounds, s);
+
+    const double snorm = norm2(s);
+    const double gnorm = norm2(g);
+    if (snorm <= options.grad_tol * (1.0 + gnorm)) {
+      const KktReport kkt = compute_kkt(g, u, bounds, options.kkt_tol);
+      result.lambda = kkt.lambda;
+      result.worst_multiplier = kkt.worst;
+      if (kkt.satisfied) {
+        result.status = SolveStatus::kOptimal;
+        break;
+      }
+      // Release every active constraint whose multiplier is negative
+      // (paper §IV-D) and keep searching.
+      for (std::size_t j : kkt.violating) bounds[j] = BoundState::kFree;
+      ++result.release_events;
+      have_prev = false;
+      continue;
+    }
+
+    // Search direction: projected gradient, optionally conjugate-mixed.
+    d = s;
+    if (options.polak_ribiere && have_prev) {
+      double num = 0.0, den = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        num += s[j] * (s[j] - s_prev[j]);
+        den += s_prev[j] * s_prev[j];
+      }
+      const double beta = den > 0.0 ? std::max(0.0, num / den) : 0.0;
+      if (beta > 0.0) {
+        for (std::size_t j = 0; j < n; ++j) d[j] = s[j] + beta * d_prev[j];
+        // Keep d inside the active subspace and ascending.
+        std::vector<double> tmp = d;
+        project_direction(tmp, u, bounds, d);
+        if (dot(d, g) <= 0.0) d = s;
+      }
+    }
+
+    // Longest feasible step along d.
+    double t_max = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (bounds[j] != BoundState::kFree) continue;
+      if (d[j] > 0.0) {
+        t_max = std::min(t_max, (alpha[j] - result.p[j]) / d[j]);
+      } else if (d[j] < 0.0) {
+        t_max = std::min(t_max, result.p[j] / -d[j]);
+      }
+    }
+    if (!std::isfinite(t_max) || t_max <= 0.0) {
+      // Numerically stuck against a bound: activate the offender(s).
+      bool changed = false;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (bounds[j] != BoundState::kFree) continue;
+        if ((d[j] < 0.0 && result.p[j] <= kSnapLower) ||
+            (d[j] > 0.0 && alpha[j] - result.p[j] <= kSnapUpperRel * alpha[j])) {
+          classify(j);
+          changed = changed || bounds[j] != BoundState::kFree;
+        }
+      }
+      have_prev = false;
+      if (!changed) break;  // nothing to activate: give up this path
+      continue;
+    }
+
+    const LineSearchResult ls =
+        maximize_along(f, result.p, d, t_max, options.line_search);
+    if (ls.t <= 0.0) {
+      // No numerical progress possible along d: decide via the KKT
+      // multipliers, exactly as when the projected gradient vanishes.
+      const KktReport kkt = compute_kkt(g, u, bounds, options.kkt_tol);
+      result.lambda = kkt.lambda;
+      result.worst_multiplier = kkt.worst;
+      if (kkt.satisfied) {
+        result.status = SolveStatus::kOptimal;
+        break;
+      }
+      for (std::size_t j : kkt.violating) bounds[j] = BoundState::kFree;
+      ++result.release_events;
+      have_prev = false;
+      continue;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      result.p[j] = std::clamp(result.p[j] + ls.t * d[j], 0.0, alpha[j]);
+    }
+
+    if (ls.hit_boundary) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (bounds[j] == BoundState::kFree) classify(j);
+      }
+      have_prev = false;  // active set changed: restart conjugacy
+    } else {
+      // Interior maximum along d; still snap coordinates that crept onto
+      // a bound to keep t_max healthy next iteration.
+      bool snapped = false;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (bounds[j] != BoundState::kFree) continue;
+        classify(j);
+        snapped = snapped || bounds[j] != BoundState::kFree;
+      }
+      if (snapped) {
+        have_prev = false;
+      } else {
+        s_prev = s;
+        d_prev = d;
+        have_prev = true;
+      }
+    }
+    correct_budget();
+  }
+
+  result.iterations = iter;
+  result.value = f.value(result.p);
+  if (result.status != SolveStatus::kOptimal) {
+    // Record final multipliers for diagnostics.
+    f.gradient(result.p, g);
+    const KktReport kkt = compute_kkt(g, u, bounds, options.kkt_tol);
+    result.lambda = kkt.lambda;
+    result.worst_multiplier = kkt.worst;
+  }
+  return result;
+}
+
+}  // namespace netmon::opt

@@ -1,0 +1,44 @@
+// Karush-Kuhn-Tucker multiplier computation and certification (paper
+// §IV-A / §IV-D).
+//
+// For the problem  max f(p)  s.t.  sum u_j p_j = theta, 0 <= p_j <= alpha_j
+// the first-order conditions at p with gradient g are:
+//   free j               : g_j = lambda u_j
+//   active lower (p_j=0) : nu_j = lambda u_j - g_j >= 0
+//   active upper (p_j=a) : mu_j = g_j - lambda u_j >= 0
+// Because the feasible set is convex and f concave, these conditions are
+// sufficient for global optimality. A negative multiplier identifies an
+// active constraint the solver must release (make inactive) to continue.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace netmon::opt {
+
+/// Which bound (if any) each coordinate sits on.
+enum class BoundState : std::uint8_t { kFree, kAtLower, kAtUpper };
+
+/// The multipliers and their verdict at a candidate point.
+struct KktReport {
+  /// Multiplier of the budget equality.
+  double lambda = 0.0;
+  /// Per-coordinate bound multipliers; 0 for free coordinates.
+  std::vector<double> nu;  // lower bounds
+  std::vector<double> mu;  // upper bounds
+  /// Most negative multiplier found (0 when none negative).
+  double worst = 0.0;
+  /// Coordinates whose active constraint has a negative multiplier.
+  std::vector<std::size_t> violating;
+  /// Whether the KKT conditions hold within the tolerance used.
+  bool satisfied = false;
+};
+
+/// Computes multipliers for gradient `g`, loads `u` and the active set.
+/// `tol` is the relative negativity tolerance: a multiplier m is violating
+/// when m < -tol * scale with scale = max(1, |lambda| * u_j).
+KktReport compute_kkt(std::span<const double> g, std::span<const double> u,
+                      const std::vector<BoundState>& bounds, double tol);
+
+}  // namespace netmon::opt

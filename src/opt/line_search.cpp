@@ -1,0 +1,90 @@
+#include "opt/line_search.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace netmon::opt {
+
+namespace {
+
+// phi'(t) and phi''(t) evaluated in one pass.
+struct Derivs {
+  double first;
+  double second;
+};
+
+Derivs derivs_at(const Objective& f, std::span<const double> p,
+                 std::span<const double> d, double t,
+                 std::vector<double>& point, std::vector<double>& grad) {
+  for (std::size_t j = 0; j < p.size(); ++j) point[j] = p[j] + t * d[j];
+  f.gradient(point, grad);
+  double first = 0.0;
+  for (std::size_t j = 0; j < d.size(); ++j) first += grad[j] * d[j];
+  const double second = f.directional_second(point, d);
+  return {first, second};
+}
+
+}  // namespace
+
+LineSearchResult maximize_along(const Objective& f, std::span<const double> p,
+                                std::span<const double> d, double t_max,
+                                const LineSearchOptions& options) {
+  NETMON_REQUIRE(t_max > 0.0, "line search needs t_max > 0");
+  NETMON_REQUIRE(p.size() == d.size(), "dimension mismatch");
+  LineSearchResult result;
+  std::vector<double> point(p.size()), grad(p.size());
+
+  const Derivs at0 = derivs_at(f, p, d, 0.0, point, grad);
+  if (at0.first <= 0.0) {
+    // Not an ascent direction. Near convergence the projected gradient is
+    // pure cancellation noise and its inner product with the gradient can
+    // round below zero; report "no progress" and let the caller run the
+    // KKT certificate instead of failing.
+    return result;
+  }
+
+  const Derivs at_max = derivs_at(f, p, d, t_max, point, grad);
+  if (at_max.first >= 0.0) {
+    // Still ascending at the boundary: the constraint blocks us.
+    result.t = t_max;
+    result.hit_boundary = true;
+    return result;
+  }
+
+  // Bracket [lo, hi] with phi'(lo) > 0 > phi'(hi).
+  double lo = 0.0, hi = t_max;
+  double t = t_max;
+  if (options.newton && at0.second < 0.0) {
+    t = std::min(t_max, -at0.first / at0.second);  // first Newton step from 0
+  } else {
+    t = 0.5 * t_max;
+  }
+
+  const double target = options.tol * at0.first;
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    result.iters = iter + 1;
+    const Derivs at = derivs_at(f, p, d, t, point, grad);
+    if (std::abs(at.first) <= target) break;
+    if (at.first > 0.0) lo = t;
+    else hi = t;
+    double next;
+    if (options.newton && at.second < 0.0) {
+      next = t - at.first / at.second;
+      if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);  // safeguard
+    } else {
+      next = 0.5 * (lo + hi);
+    }
+    if (hi - lo <= 1e-16 * std::max(1.0, t_max)) {
+      t = 0.5 * (lo + hi);
+      break;
+    }
+    t = next;
+  }
+  result.t = t;
+  result.hit_boundary = false;
+  return result;
+}
+
+}  // namespace netmon::opt

@@ -1,0 +1,45 @@
+// One-dimensional maximization along a search direction (paper §IV-D).
+//
+// The solver moves from p along direction d until either the objective is
+// maximized on the segment or an inactive constraint is hit. The paper
+// uses Newton's method for the 1-D search (fast, needs C^2); a bisection
+// fallback doubles as the safeguard and as the ablation variant.
+#pragma once
+
+#include <span>
+
+#include "opt/objective.hpp"
+
+namespace netmon::opt {
+
+/// Line-search configuration.
+struct LineSearchOptions {
+  /// Use Newton steps (safeguarded by a shrinking bracket); when false,
+  /// pure bisection on the directional derivative.
+  bool newton = true;
+  /// Maximum Newton/bisection iterations.
+  int max_iters = 80;
+  /// Stop when |phi'(t)| <= tol * |phi'(0)| or the bracket is tiny.
+  double tol = 1e-12;
+};
+
+/// Outcome of a line search.
+struct LineSearchResult {
+  /// Chosen step in [0, t_max].
+  double t = 0.0;
+  /// Whether the step ran into t_max (a constraint blocks the ascent).
+  bool hit_boundary = false;
+  /// Iterations spent.
+  int iters = 0;
+};
+
+/// Maximizes phi(t) = f(p + t d) over t in [0, t_max].
+///
+/// Preconditions: f concave along d, t_max > 0. When d is not an ascent
+/// direction (phi'(0) <= 0, which happens at numerical convergence where
+/// the projected gradient is cancellation noise), returns t = 0.
+LineSearchResult maximize_along(const Objective& f, std::span<const double> p,
+                                std::span<const double> d, double t_max,
+                                const LineSearchOptions& options = {});
+
+}  // namespace netmon::opt

@@ -1,0 +1,77 @@
+#include "opt/objective.hpp"
+
+#include "util/error.hpp"
+
+namespace netmon::opt {
+
+SeparableConcaveObjective::SeparableConcaveObjective(
+    std::size_t dimension, SparseRows rows,
+    std::vector<std::shared_ptr<const Concave1d>> utilities)
+    : SeparableConcaveObjective(dimension, std::move(rows),
+                                std::move(utilities), {}) {}
+
+SeparableConcaveObjective::SeparableConcaveObjective(
+    std::size_t dimension, SparseRows rows,
+    std::vector<std::shared_ptr<const Concave1d>> utilities,
+    std::vector<double> offsets)
+    : dimension_(dimension),
+      rows_(std::move(rows)),
+      utilities_(std::move(utilities)),
+      offsets_(std::move(offsets)) {
+  NETMON_REQUIRE(offsets_.empty() || offsets_.size() == rows_.size(),
+                 "one offset per row required when offsets are given");
+  NETMON_REQUIRE(rows_.size() == utilities_.size(),
+                 "one utility per objective term required");
+  for (const auto& row : rows_) {
+    for (const auto& [col, coeff] : row) {
+      NETMON_REQUIRE(col < dimension_, "sparse column out of range");
+      NETMON_REQUIRE(coeff >= 0.0, "routing coefficients must be >= 0");
+    }
+  }
+  for (const auto& u : utilities_)
+    NETMON_REQUIRE(u != nullptr, "null utility");
+}
+
+std::vector<double> SeparableConcaveObjective::inner(
+    std::span<const double> p) const {
+  NETMON_REQUIRE(p.size() == dimension_, "variable dimension mismatch");
+  std::vector<double> x(rows_.size(), 0.0);
+  for (std::size_t k = 0; k < rows_.size(); ++k) {
+    if (!offsets_.empty()) x[k] = offsets_[k];
+    for (const auto& [col, coeff] : rows_[k]) x[k] += coeff * p[col];
+  }
+  return x;
+}
+
+double SeparableConcaveObjective::value(std::span<const double> p) const {
+  const std::vector<double> x = inner(p);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < x.size(); ++k) sum += utilities_[k]->value(x[k]);
+  return sum;
+}
+
+void SeparableConcaveObjective::gradient(std::span<const double> p,
+                                         std::span<double> out) const {
+  NETMON_REQUIRE(out.size() == dimension_, "gradient dimension mismatch");
+  const std::vector<double> x = inner(p);
+  for (double& g : out) g = 0.0;
+  for (std::size_t k = 0; k < rows_.size(); ++k) {
+    const double d = utilities_[k]->deriv(x[k]);
+    for (const auto& [col, coeff] : rows_[k]) out[col] += coeff * d;
+  }
+}
+
+double SeparableConcaveObjective::directional_second(
+    std::span<const double> p, std::span<const double> s) const {
+  NETMON_REQUIRE(s.size() == dimension_, "direction dimension mismatch");
+  const std::vector<double> x = inner(p);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < rows_.size(); ++k) {
+    double rs = 0.0;
+    for (const auto& [col, coeff] : rows_[k]) rs += coeff * s[col];
+    sum += utilities_[k]->second(x[k]) * rs * rs;
+  }
+  return sum;
+}
+
+}  // namespace netmon::opt

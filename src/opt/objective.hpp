@@ -1,0 +1,92 @@
+// Objective-function interfaces for the constrained concave maximization.
+//
+// The optimizer (opt::GradientProjectionSolver) is generic: it sees an
+// Objective — value, gradient, and second directional derivative — and
+// knows nothing about networks. The placement problem instantiates
+// SeparableConcaveObjective: f(p) = sum_k M_k((Rp)_k) with M_k concave
+// 1-D utilities and R a sparse non-negative matrix.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace netmon::opt {
+
+/// A twice continuously differentiable concave objective to MAXIMIZE.
+class Objective {
+ public:
+  virtual ~Objective() = default;
+
+  /// Dimension of the variable vector.
+  virtual std::size_t dimension() const = 0;
+
+  /// f(p).
+  virtual double value(std::span<const double> p) const = 0;
+
+  /// Writes grad f(p) into `out` (size dimension()).
+  virtual void gradient(std::span<const double> p,
+                        std::span<double> out) const = 0;
+
+  /// d^2/dt^2 f(p + t s) at t = 0. Non-positive for concave f.
+  virtual double directional_second(std::span<const double> p,
+                                    std::span<const double> s) const = 0;
+};
+
+/// A strictly increasing, concave, twice continuously differentiable
+/// scalar function (the utility M of the paper).
+class Concave1d {
+ public:
+  virtual ~Concave1d() = default;
+  virtual double value(double x) const = 0;
+  virtual double deriv(double x) const = 0;
+  virtual double second(double x) const = 0;
+};
+
+/// f(p) = sum_k M_k( a_k + (Rp)_k ) with sparse non-negative R and
+/// optional per-row offsets a_k (used by the sequential linearization of
+/// the exact effective rate, where the tangent plane has a constant term).
+class SeparableConcaveObjective final : public Objective {
+ public:
+  /// One sparse row per term: (column, coefficient) pairs.
+  using SparseRows = std::vector<std::vector<std::pair<std::size_t, double>>>;
+
+  /// `utilities[k]` applies to row k; all rows index columns < dimension.
+  SeparableConcaveObjective(std::size_t dimension, SparseRows rows,
+                            std::vector<std::shared_ptr<const Concave1d>>
+                                utilities);
+
+  /// Same, with per-row constant offsets a_k.
+  SeparableConcaveObjective(std::size_t dimension, SparseRows rows,
+                            std::vector<std::shared_ptr<const Concave1d>>
+                                utilities,
+                            std::vector<double> offsets);
+
+  std::size_t dimension() const override { return dimension_; }
+  double value(std::span<const double> p) const override;
+  void gradient(std::span<const double> p,
+                std::span<double> out) const override;
+  double directional_second(std::span<const double> p,
+                            std::span<const double> s) const override;
+
+  /// The inner products (Rp)_k — the effective sampling rates.
+  std::vector<double> inner(std::span<const double> p) const;
+
+  /// Number of separable terms (rows of R).
+  std::size_t term_count() const noexcept { return rows_.size(); }
+
+  /// Utility value of one term at the given inner product.
+  const Concave1d& utility(std::size_t k) const { return *utilities_[k]; }
+
+  /// The sparse rows of R (used by composing objectives, e.g. smooth-min).
+  const SparseRows& rows() const noexcept { return rows_; }
+
+ private:
+  std::size_t dimension_;
+  SparseRows rows_;
+  std::vector<std::shared_ptr<const Concave1d>> utilities_;
+  std::vector<double> offsets_;
+};
+
+}  // namespace netmon::opt

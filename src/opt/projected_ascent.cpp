@@ -1,0 +1,53 @@
+#include "opt/projected_ascent.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace netmon::opt {
+
+ProjectedAscentResult maximize_reference(
+    const Objective& f, const BoxBudgetConstraints& constraints,
+    const ProjectedAscentOptions& options) {
+  const std::size_t n = constraints.dimension();
+  NETMON_REQUIRE(f.dimension() == n, "dimension mismatch");
+
+  ProjectedAscentResult result;
+  result.p = constraints.initial_point();
+  result.value = f.value(result.p);
+
+  std::vector<double> g(n), y(n);
+  double step = options.step;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    f.gradient(result.p, g);
+    // Backtrack until the projected step improves the objective.
+    bool accepted = false;
+    std::vector<double> candidate;
+    double candidate_value = 0.0;
+    for (int back = 0; back < 60; ++back) {
+      for (std::size_t j = 0; j < n; ++j) y[j] = result.p[j] + step * g[j];
+      candidate = constraints.project(y);
+      candidate_value = f.value(candidate);
+      if (candidate_value >= result.value) {
+        accepted = true;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!accepted) break;
+
+    double move = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      move = std::max(move, std::abs(candidate[j] - result.p[j]));
+    const double gain = candidate_value - result.value;
+    result.p = std::move(candidate);
+    result.value = candidate_value;
+    step *= 1.3;  // cautiously re-grow the step
+    if (move <= options.move_tol && gain <= options.value_tol) break;
+  }
+  return result;
+}
+
+}  // namespace netmon::opt

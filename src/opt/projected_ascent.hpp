@@ -1,0 +1,39 @@
+// Reference solver: projected gradient ascent with backtracking.
+//
+// Much slower than the gradient-projection/active-set method but
+// extremely simple, and provably convergent to the global maximum of a
+// concave objective over a convex set. Used by tests to cross-validate
+// the main solver, and by the ablation bench as a baseline algorithm.
+#pragma once
+
+#include <vector>
+
+#include "opt/constraints.hpp"
+#include "opt/objective.hpp"
+
+namespace netmon::opt {
+
+/// Reference-solver knobs.
+struct ProjectedAscentOptions {
+  int max_iterations = 50000;
+  /// Initial step size (adapted by backtracking).
+  double step = 1.0;
+  /// Stop when the iterate moves less than this (infinity norm) and the
+  /// value improves less than `value_tol`.
+  double move_tol = 1e-12;
+  double value_tol = 1e-14;
+};
+
+/// Result of the reference solver.
+struct ProjectedAscentResult {
+  std::vector<double> p;
+  double value = 0.0;
+  int iterations = 0;
+};
+
+/// Maximizes `f` over `constraints` by projected gradient ascent.
+ProjectedAscentResult maximize_reference(
+    const Objective& f, const BoxBudgetConstraints& constraints,
+    const ProjectedAscentOptions& options = {});
+
+}  // namespace netmon::opt

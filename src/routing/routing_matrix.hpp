@@ -1,0 +1,74 @@
+// The routing matrix R of the paper's formulation (§III).
+//
+// Rows are OD pairs, columns are links; entry r_{k,i} is the fraction of
+// OD pair k's traffic crossing link i (1/0 under single-path routing,
+// fractional under ECMP). Stored sparsely in both row-major and
+// column-major form because the optimizer iterates both ways.
+#pragma once
+
+#include <vector>
+
+#include "routing/spf.hpp"
+#include "topo/graph.hpp"
+
+namespace netmon::routing {
+
+/// An origin-destination pair. "Origin or destination could refer to any
+/// end-host, network prefix, autonomous system" (paper §I) — here they are
+/// topology nodes; prefix-level tasks map prefixes to nodes beforehand
+/// (see netflow::EgressMap).
+struct OdPair {
+  topo::NodeId src = topo::kInvalidId;
+  topo::NodeId dst = topo::kInvalidId;
+
+  friend bool operator==(const OdPair&, const OdPair&) = default;
+};
+
+/// Sparse routing matrix over a fixed OD pair set.
+class RoutingMatrix {
+ public:
+  /// Builds R with deterministic single shortest paths (r_{k,i} in {0,1}).
+  /// Throws if any OD pair is unreachable.
+  static RoutingMatrix single_path(const topo::Graph& graph,
+                                   std::vector<OdPair> ods,
+                                   const LinkSet& failed = {});
+
+  /// Builds R with ECMP fractions (r_{k,i} in (0,1]).
+  static RoutingMatrix ecmp(const topo::Graph& graph, std::vector<OdPair> ods,
+                            const LinkSet& failed = {});
+
+  /// Number of OD pairs (rows).
+  std::size_t od_count() const noexcept { return rows_.size(); }
+  /// Number of links in the underlying graph (columns).
+  std::size_t link_count() const noexcept { return cols_.size(); }
+
+  /// The OD pair of row k.
+  const OdPair& od(std::size_t k) const { return ods_[k]; }
+  /// All OD pairs in row order.
+  const std::vector<OdPair>& ods() const noexcept { return ods_; }
+
+  /// Sparse row k: (link id, fraction) pairs sorted by link id.
+  const std::vector<std::pair<topo::LinkId, double>>& row(
+      std::size_t k) const;
+
+  /// Sparse column: (od index, fraction) pairs for one link.
+  const std::vector<std::pair<std::size_t, double>>& ods_on_link(
+      topo::LinkId link) const;
+
+  /// Dense entry r_{k,i}; 0 when k does not traverse i.
+  double fraction(std::size_t k, topo::LinkId link) const;
+
+  /// Distinct links traversed by at least one OD pair, sorted by id —
+  /// the set L of the paper.
+  std::vector<topo::LinkId> links_used() const;
+
+ private:
+  RoutingMatrix() = default;
+  void index_columns(std::size_t n_links);
+
+  std::vector<OdPair> ods_;
+  std::vector<std::vector<std::pair<topo::LinkId, double>>> rows_;
+  std::vector<std::vector<std::pair<std::size_t, double>>> cols_;
+};
+
+}  // namespace netmon::routing

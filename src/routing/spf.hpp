@@ -1,0 +1,53 @@
+// Shortest-path-first routing (IS-IS style) over a topo::Graph.
+//
+// Provides single-source Dijkstra with deterministic tie-breaking, path
+// extraction, and equal-cost multipath (ECMP) split fractions. Link
+// failures are modelled by an exclusion set so that rerouting events — the
+// paper's motivation for re-running the placement optimization — are a
+// recompute with a different exclusion set.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace netmon::routing {
+
+/// Set of failed (excluded) links.
+using LinkSet = std::unordered_set<topo::LinkId>;
+
+/// Result of a single-source shortest-path computation.
+struct SpfResult {
+  topo::NodeId source = topo::kInvalidId;
+  /// dist[v]: IGP distance from source to v; +inf when unreachable.
+  std::vector<double> dist;
+  /// parent[v]: the link over which the (deterministically chosen)
+  /// shortest path reaches v; kInvalidId at the source / unreachable nodes.
+  std::vector<topo::LinkId> parent;
+
+  /// Whether node v is reachable from the source.
+  bool reachable(topo::NodeId v) const;
+};
+
+/// Runs Dijkstra from `source`, ignoring links in `failed`.
+/// Ties are broken towards the lower link id, making single-path routing
+/// deterministic.
+SpfResult dijkstra(const topo::Graph& graph, topo::NodeId source,
+                   const LinkSet& failed = {});
+
+/// Extracts the single shortest path source->dst as a sequence of link ids
+/// (in travel order). Throws netmon::Error if dst is unreachable.
+std::vector<topo::LinkId> extract_path(const SpfResult& spf,
+                                       const topo::Graph& graph,
+                                       topo::NodeId dst);
+
+/// Equal-cost multipath fractions for one OD pair: for every link on some
+/// shortest src->dst path, the fraction of the OD traffic crossing it under
+/// even per-node splitting. Fractions on the links entering dst sum to 1.
+/// Returns an empty vector when dst is unreachable.
+std::vector<std::pair<topo::LinkId, double>> ecmp_fractions(
+    const topo::Graph& graph, topo::NodeId src, topo::NodeId dst,
+    const LinkSet& failed = {});
+
+}  // namespace netmon::routing

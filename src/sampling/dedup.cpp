@@ -1,0 +1,14 @@
+#include "sampling/dedup.hpp"
+
+namespace netmon::sampling {
+
+PacketId packet_id(const traffic::FlowKey& key, std::uint64_t seq) noexcept {
+  // Mix the flow-key hash with the sequence index (splitmix64 finalizer).
+  std::uint64_t h = traffic::FlowKeyHash{}(key);
+  h ^= seq + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace netmon::sampling

@@ -1,0 +1,40 @@
+// Multi-point sample deduplication.
+//
+// The exact effective-rate estimator needs "means to discern whether the
+// same packet is sampled at multiple locations in the network" (paper
+// §III). We implement the standard approach (trajectory-sampling style):
+// derive a packet identity by hashing invariant packet content — here the
+// flow key plus the packet's sequence index within its flow — and keep a
+// set of identities already counted.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "traffic/flow.hpp"
+
+namespace netmon::sampling {
+
+/// Identity of one packet, stable across observation points.
+using PacketId = std::uint64_t;
+
+/// Computes the network-wide identity of packet `seq` of a flow.
+PacketId packet_id(const traffic::FlowKey& key, std::uint64_t seq) noexcept;
+
+/// Set of already-counted packet identities.
+class PacketIdDedup {
+ public:
+  /// Registers an identity; returns true when it was NOT seen before
+  /// (i.e. this observation should be counted).
+  bool insert(PacketId id) { return seen_.insert(id).second; }
+
+  /// Number of distinct identities registered.
+  std::size_t distinct() const noexcept { return seen_.size(); }
+
+  void clear() { seen_.clear(); }
+
+ private:
+  std::unordered_set<PacketId> seen_;
+};
+
+}  // namespace netmon::sampling

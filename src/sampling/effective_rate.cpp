@@ -1,0 +1,61 @@
+#include "sampling/effective_rate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace netmon::sampling {
+
+double effective_rate_exact(const routing::RoutingMatrix& matrix,
+                            std::size_t k, const RateVector& rates) {
+  double log_miss = 0.0;  // log prod (1-p_i)^{r_ki}
+  for (const auto& [link, frac] : matrix.row(k)) {
+    NETMON_REQUIRE(link < rates.size(), "rate vector too short");
+    const double p = rates[link];
+    NETMON_REQUIRE(p >= 0.0 && p <= 1.0, "sampling rate out of [0,1]");
+    if (p >= 1.0) return 1.0;
+    log_miss += frac * std::log1p(-p);
+  }
+  return -std::expm1(log_miss);
+}
+
+double effective_rate_approx(const routing::RoutingMatrix& matrix,
+                             std::size_t k, const RateVector& rates) {
+  double rho = 0.0;
+  for (const auto& [link, frac] : matrix.row(k)) {
+    NETMON_REQUIRE(link < rates.size(), "rate vector too short");
+    rho += frac * rates[link];
+  }
+  return rho;
+}
+
+std::vector<double> effective_rates_exact(const routing::RoutingMatrix& matrix,
+                                          const RateVector& rates) {
+  std::vector<double> out(matrix.od_count());
+  for (std::size_t k = 0; k < out.size(); ++k)
+    out[k] = effective_rate_exact(matrix, k, rates);
+  return out;
+}
+
+std::vector<double> effective_rates_approx(
+    const routing::RoutingMatrix& matrix, const RateVector& rates) {
+  std::vector<double> out(matrix.od_count());
+  for (std::size_t k = 0; k < out.size(); ++k)
+    out[k] = effective_rate_approx(matrix, k, rates);
+  return out;
+}
+
+double max_linearization_error(const routing::RoutingMatrix& matrix,
+                               const RateVector& rates) {
+  double worst = 0.0;
+  for (std::size_t k = 0; k < matrix.od_count(); ++k) {
+    const double exact = effective_rate_exact(matrix, k, rates);
+    if (exact <= 0.0) continue;
+    const double approx = effective_rate_approx(matrix, k, rates);
+    worst = std::max(worst, std::abs(approx - exact) / exact);
+  }
+  return worst;
+}
+
+}  // namespace netmon::sampling

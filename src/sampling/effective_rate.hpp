@@ -1,0 +1,40 @@
+// Effective sampling rate of an OD pair (paper §III).
+//
+// Exact (eq. 1): rho_k = 1 - prod_i (1 - p_i)^{r_ki} — probability that a
+// packet is sampled at least once along its path, monitors independent.
+// Approximate (eq. 7): rho_k = sum_i r_ki p_i — valid for low rates and
+// few monitors per path; this is what the optimizer uses (§IV-B), and the
+// evaluation validates the approximation.
+#pragma once
+
+#include <vector>
+
+#include "routing/routing_matrix.hpp"
+
+namespace netmon::sampling {
+
+/// Per-link sampling probabilities indexed by link id.
+using RateVector = std::vector<double>;
+
+/// Exact effective rate of OD row k under rates p (eq. 1).
+/// Fractional routing entries are treated as exponents, i.e. the expected
+/// per-packet sampling probability under ECMP path selection.
+double effective_rate_exact(const routing::RoutingMatrix& matrix,
+                            std::size_t k, const RateVector& rates);
+
+/// Linearized effective rate of OD row k (eq. 7).
+double effective_rate_approx(const routing::RoutingMatrix& matrix,
+                             std::size_t k, const RateVector& rates);
+
+/// Both rates for all OD rows at once.
+std::vector<double> effective_rates_exact(const routing::RoutingMatrix& matrix,
+                                          const RateVector& rates);
+std::vector<double> effective_rates_approx(
+    const routing::RoutingMatrix& matrix, const RateVector& rates);
+
+/// Largest relative gap |approx-exact|/exact over all OD rows with a
+/// non-zero rate; the evaluation uses this to validate assumption (7).
+double max_linearization_error(const routing::RoutingMatrix& matrix,
+                               const RateVector& rates);
+
+}  // namespace netmon::sampling

@@ -1,0 +1,40 @@
+#include "sampling/sampler.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace netmon::sampling {
+
+BernoulliSampler::BernoulliSampler(double probability, std::uint64_t seed)
+    : p_(probability), rng_(seed) {
+  NETMON_REQUIRE(probability >= 0.0 && probability <= 1.0,
+                 "sampling probability out of [0,1]");
+}
+
+bool BernoulliSampler::sample() { return rng_.bernoulli(p_); }
+
+PeriodicSampler::PeriodicSampler(double probability, std::uint64_t seed)
+    : period_(0), next_(0) {
+  NETMON_REQUIRE(probability >= 0.0 && probability <= 1.0,
+                 "sampling probability out of [0,1]");
+  if (probability > 0.0) {
+    period_ = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(1.0 / probability)));
+    Rng rng(seed);
+    next_ = rng.below(period_);  // random phase
+  }
+}
+
+bool PeriodicSampler::sample() {
+  if (period_ == 0) return false;
+  const bool hit = (counter_ % period_) == next_;
+  ++counter_;
+  return hit;
+}
+
+double PeriodicSampler::rate() const noexcept {
+  return period_ == 0 ? 0.0 : 1.0 / static_cast<double>(period_);
+}
+
+}  // namespace netmon::sampling

@@ -1,0 +1,48 @@
+// Packet samplers.
+//
+// The paper assumes i.i.d. random sampling; router implementations often
+// use periodic (deterministic 1-in-N) sampling instead. Duffield et al.
+// (paper ref. [12]) show the two behave alike on high-speed links — the
+// ablation bench revisits this with both samplers.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace netmon::sampling {
+
+/// i.i.d. Bernoulli packet sampler with probability p.
+class BernoulliSampler {
+ public:
+  BernoulliSampler(double probability, std::uint64_t seed);
+
+  /// Decides for the next packet.
+  bool sample();
+
+  double rate() const noexcept { return p_; }
+
+ private:
+  double p_;
+  Rng rng_;
+};
+
+/// Deterministic periodic sampler: picks one packet out of every period
+/// (rounded from 1/p), starting at a random phase.
+class PeriodicSampler {
+ public:
+  PeriodicSampler(double probability, std::uint64_t seed);
+
+  /// Decides for the next packet.
+  bool sample();
+
+  /// The realized sampling rate 1/period (0 when disabled).
+  double rate() const noexcept;
+
+ private:
+  std::uint64_t period_;
+  std::uint64_t next_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace netmon::sampling

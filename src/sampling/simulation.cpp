@@ -1,0 +1,95 @@
+#include "sampling/simulation.hpp"
+
+#include <memory>
+
+#include "sampling/dedup.hpp"
+#include "sampling/sampler.hpp"
+#include "util/error.hpp"
+
+namespace netmon::sampling {
+
+std::vector<OdSampleCount> simulate_sampling(
+    Rng& rng, const routing::RoutingMatrix& matrix,
+    const std::vector<std::vector<traffic::Flow>>& flows,
+    const RateVector& rates, CountMode mode) {
+  NETMON_REQUIRE(flows.size() == matrix.od_count(),
+                 "one flow population per OD row required");
+  std::vector<OdSampleCount> out(matrix.od_count());
+  for (std::size_t k = 0; k < matrix.od_count(); ++k) {
+    std::uint64_t actual = 0;
+    for (const traffic::Flow& f : flows[k]) actual += f.packets;
+    out[k].actual_packets = actual;
+
+    if (mode == CountMode::kDistinctPackets) {
+      // Every packet is counted at most once; it is counted iff sampled
+      // by at least one monitor, which happens with the exact rate.
+      const double rho = effective_rate_exact(matrix, k, rates);
+      out[k].sampled_packets = rng.binomial(actual, rho);
+    } else {
+      // Counts at different monitors are independent given the packet
+      // stream (independent sampling processes), each Binomial(S_k, r*p).
+      std::uint64_t sum = 0;
+      for (const auto& [link, frac] : matrix.row(k)) {
+        NETMON_REQUIRE(link < rates.size(), "rate vector too short");
+        sum += rng.binomial(actual, frac * rates[link]);
+      }
+      out[k].sampled_packets = sum;
+    }
+  }
+  return out;
+}
+
+std::vector<OdSampleCount> simulate_sampling_per_packet(
+    Rng& rng, const routing::RoutingMatrix& matrix,
+    const std::vector<std::vector<traffic::Flow>>& flows,
+    const RateVector& rates, CountMode mode, SamplerKind sampler) {
+  NETMON_REQUIRE(flows.size() == matrix.od_count(),
+                 "one flow population per OD row required");
+
+  // One sampler per link, shared by all OD pairs crossing it.
+  std::vector<std::unique_ptr<BernoulliSampler>> bernoulli(rates.size());
+  std::vector<std::unique_ptr<PeriodicSampler>> periodic(rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const std::uint64_t seed = rng.split(i + 101)();
+    if (sampler == SamplerKind::kBernoulli)
+      bernoulli[i] = std::make_unique<BernoulliSampler>(rates[i], seed);
+    else
+      periodic[i] = std::make_unique<PeriodicSampler>(rates[i], seed);
+  }
+  auto draw = [&](topo::LinkId link) {
+    return sampler == SamplerKind::kBernoulli ? bernoulli[link]->sample()
+                                              : periodic[link]->sample();
+  };
+
+  std::vector<OdSampleCount> out(matrix.od_count());
+  PacketIdDedup dedup;
+  for (std::size_t k = 0; k < matrix.od_count(); ++k) {
+    const auto& row = matrix.row(k);
+    std::uint64_t actual = 0;
+    std::uint64_t counted = 0;
+    for (const traffic::Flow& f : flows[k]) {
+      actual += f.packets;
+      for (std::uint64_t seq = 0; seq < f.packets; ++seq) {
+        bool captured_once = false;
+        for (const auto& [link, frac] : row) {
+          NETMON_REQUIRE(link < rates.size(), "rate vector too short");
+          // Under ECMP (frac < 1) the packet crosses this link only with
+          // probability frac.
+          if (frac < 1.0 && !rng.bernoulli(frac)) continue;
+          if (!draw(link)) continue;
+          if (mode == CountMode::kSumAcrossMonitors) {
+            ++counted;
+          } else if (!captured_once && dedup.insert(packet_id(f.key, seq))) {
+            ++counted;
+            captured_once = true;
+          }
+        }
+      }
+    }
+    out[k].actual_packets = actual;
+    out[k].sampled_packets = counted;
+  }
+  return out;
+}
+
+}  // namespace netmon::sampling

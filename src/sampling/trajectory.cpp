@@ -1,0 +1,36 @@
+#include "sampling/trajectory.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace netmon::sampling {
+
+double trajectory_position(PacketId id) noexcept {
+  // The packet id is already a well-mixed 64-bit hash; map its top 53
+  // bits into [0,1).
+  return static_cast<double>(id >> 11) * 0x1.0p-53;
+}
+
+ConsistentSampler::ConsistentSampler(double rate) : rate_(rate) {
+  NETMON_REQUIRE(rate >= 0.0 && rate <= 1.0, "sampling rate out of [0,1]");
+}
+
+bool ConsistentSampler::sample(PacketId id) const noexcept {
+  return trajectory_position(id) < rate_;
+}
+
+TrajectoryRates trajectory_rates(const std::vector<double>& path_rates) {
+  TrajectoryRates rates;
+  if (path_rates.empty()) return rates;
+  rates.any = 0.0;
+  rates.all = 1.0;
+  for (double r : path_rates) {
+    NETMON_REQUIRE(r >= 0.0 && r <= 1.0, "sampling rate out of [0,1]");
+    rates.any = std::max(rates.any, r);
+    rates.all = std::min(rates.all, r);
+  }
+  return rates;
+}
+
+}  // namespace netmon::sampling

@@ -1,0 +1,56 @@
+// Trajectory (hash-consistent) sampling.
+//
+// The paper's effective-rate model assumes monitors sample independently,
+// and §III notes the infrastructure must "discern whether the same packet
+// is sampled at multiple locations". Trajectory sampling (Duffield &
+// Grossglauser) removes the problem at the source: every monitor hashes
+// invariant packet content into [0,1) and samples exactly the packets
+// whose hash falls below its threshold. Packets are then either sampled
+// at EVERY monitor on their path (if the thresholds allow) or at none —
+// their trajectory is observed directly and deduplication is trivial.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sampling/dedup.hpp"
+#include "traffic/flow.hpp"
+
+namespace netmon::sampling {
+
+/// Maps a packet identity to a uniform position in [0, 1). All monitors
+/// compute the same position for the same packet.
+double trajectory_position(PacketId id) noexcept;
+
+/// Hash-consistent sampler: samples packet `id` iff its position falls
+/// below this monitor's threshold (= its sampling rate).
+class ConsistentSampler {
+ public:
+  /// `rate` in [0,1].
+  explicit ConsistentSampler(double rate);
+
+  /// Deterministic per-packet decision, identical at every monitor with
+  /// the same rate.
+  bool sample(PacketId id) const noexcept;
+
+  double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Effective rates of a path under trajectory sampling: a packet is seen
+/// by at least one monitor iff its position < max(rate_i), and by every
+/// monitor on the path (full trajectory) iff position < min(rate_i).
+/// Contrast with independent sampling, where P(any) = 1 - prod(1-p_i).
+struct TrajectoryRates {
+  /// P(seen by >= 1 monitor) = max over the path's rates.
+  double any = 0.0;
+  /// P(seen by every monitor — full trajectory) = min over the rates.
+  double all = 0.0;
+};
+
+/// Computes both rates for a set of per-monitor thresholds on a path.
+TrajectoryRates trajectory_rates(const std::vector<double>& path_rates);
+
+}  // namespace netmon::sampling

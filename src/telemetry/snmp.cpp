@@ -1,0 +1,119 @@
+#include "telemetry/snmp.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace netmon::telemetry {
+
+SnmpAgent::SnmpAgent(std::size_t link_count)
+    : packets_(link_count, 0), octets_(link_count, 0) {
+  NETMON_REQUIRE(link_count > 0, "agent needs >= 1 link");
+}
+
+void SnmpAgent::count(topo::LinkId link, std::uint64_t packets,
+                      std::uint64_t bytes) {
+  NETMON_REQUIRE(link < packets_.size(), "link id out of range");
+  packets_[link] = static_cast<std::uint32_t>(packets_[link] + packets);
+  octets_[link] = static_cast<std::uint32_t>(octets_[link] + bytes);
+}
+
+LinkSample SnmpAgent::read(topo::LinkId link) const {
+  NETMON_REQUIRE(link < packets_.size(), "link id out of range");
+  return LinkSample{packets_[link], octets_[link]};
+}
+
+std::uint32_t counter32_delta(std::uint32_t earlier,
+                              std::uint32_t later) noexcept {
+  // Unsigned subtraction handles the wrap for free.
+  return later - earlier;
+}
+
+RatePoller::RatePoller(const SnmpAgent& agent)
+    : agent_(agent),
+      previous_(agent.link_count()),
+      current_(agent.link_count()) {}
+
+void RatePoller::poll(double now_sec) {
+  NETMON_REQUIRE(polls_ == 0 || now_sec > cur_time_,
+                 "poll timestamps must strictly increase");
+  previous_ = current_;
+  prev_time_ = cur_time_;
+  for (topo::LinkId link = 0; link < agent_.link_count(); ++link)
+    current_[link] = agent_.read(link);
+  cur_time_ = now_sec;
+  ++polls_;
+}
+
+double RatePoller::packet_rate(topo::LinkId link) const {
+  NETMON_REQUIRE(link < current_.size(), "link id out of range");
+  if (polls_ < 2) return 0.0;
+  const double dt = cur_time_ - prev_time_;
+  return counter32_delta(previous_[link].packets, current_[link].packets) /
+         dt;
+}
+
+double RatePoller::byte_rate(topo::LinkId link) const {
+  NETMON_REQUIRE(link < current_.size(), "link id out of range");
+  if (polls_ < 2) return 0.0;
+  const double dt = cur_time_ - prev_time_;
+  return counter32_delta(previous_[link].octets, current_[link].octets) / dt;
+}
+
+traffic::LinkLoads RatePoller::loads() const {
+  traffic::LinkLoads loads(current_.size(), 0.0);
+  for (topo::LinkId link = 0; link < current_.size(); ++link)
+    loads[link] = packet_rate(link);
+  return loads;
+}
+
+traffic::LinkLoads measured_loads(const topo::Graph& graph,
+                                  const traffic::TrafficMatrix& demands,
+                                  double duration_sec,
+                                  double poll_interval_sec, Rng& rng,
+                                  const routing::LinkSet& failed) {
+  NETMON_REQUIRE(duration_sec > 0.0, "duration must be positive");
+  NETMON_REQUIRE(poll_interval_sec > 0.0 &&
+                     poll_interval_sec <= duration_sec,
+                 "poll interval must fit the duration");
+
+  // Pre-route every demand once.
+  std::vector<std::vector<topo::LinkId>> paths;
+  paths.reserve(demands.size());
+  {
+    std::vector<routing::OdPair> ods;
+    for (const traffic::Demand& d : demands) ods.push_back(d.od);
+    const auto matrix =
+        routing::RoutingMatrix::single_path(graph, std::move(ods), failed);
+    for (std::size_t k = 0; k < demands.size(); ++k) {
+      std::vector<topo::LinkId> path;
+      for (const auto& [link, frac] : matrix.row(k)) path.push_back(link);
+      paths.push_back(std::move(path));
+    }
+  }
+
+  SnmpAgent agent(graph.link_count());
+  RatePoller poller(agent);
+  poller.poll(0.0);
+
+  // Advance in one-second ticks; per tick each demand contributes a
+  // Poisson-distributed packet count (and bytes at ~500 B average).
+  double next_poll = poll_interval_sec;
+  for (double t = 1.0; t <= duration_sec + 1e-9; t += 1.0) {
+    for (std::size_t k = 0; k < demands.size(); ++k) {
+      if (demands[k].pkt_per_sec <= 0.0) continue;
+      std::poisson_distribution<std::uint64_t> arrivals(
+          demands[k].pkt_per_sec);
+      const std::uint64_t packets = arrivals(rng);
+      for (topo::LinkId link : paths[k])
+        agent.count(link, packets, packets * 500);
+    }
+    if (t + 1e-9 >= next_poll) {
+      poller.poll(t);
+      next_poll += poll_interval_sec;
+    }
+  }
+  return poller.loads();
+}
+
+}  // namespace netmon::telemetry

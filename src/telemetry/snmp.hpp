@@ -1,0 +1,96 @@
+// SNMP-style link telemetry.
+//
+// The paper contrasts expensive passive monitors with cheap SNMP link
+// counters (§I) — and the optimizer's inputs U_i are exactly what SNMP
+// gives. This module models the measurement path: device-side 32-bit
+// wrapping counters (IF-MIB semantics), a collector-side poller that
+// differences successive polls with wrap handling, and a helper that
+// simulates a demand matrix against the counters to produce measured
+// (rather than oracle) link loads for the placement problem.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/spf.hpp"
+#include "topo/graph.hpp"
+#include "traffic/demand.hpp"
+#include "traffic/link_load.hpp"
+#include "util/rng.hpp"
+
+namespace netmon::telemetry {
+
+/// One poll of a link's counters (IF-MIB style, 32-bit wrapping).
+struct LinkSample {
+  std::uint32_t packets = 0;
+  std::uint32_t octets = 0;
+};
+
+/// Device-side per-link packet/octet counters. Counters wrap modulo 2^32,
+/// as SNMP Counter32 objects do — the poller must difference them.
+class SnmpAgent {
+ public:
+  explicit SnmpAgent(std::size_t link_count);
+
+  /// Accounts traffic on a link. Wraps silently (Counter32 semantics).
+  void count(topo::LinkId link, std::uint64_t packets, std::uint64_t bytes);
+
+  /// Reads the current counters of a link.
+  LinkSample read(topo::LinkId link) const;
+
+  std::size_t link_count() const noexcept { return packets_.size(); }
+
+ private:
+  std::vector<std::uint32_t> packets_;
+  std::vector<std::uint32_t> octets_;
+};
+
+/// Collector-side rate derivation: keeps the previous poll per link and
+/// turns counter deltas into rates, handling at most one wrap per poll
+/// interval (the standard SNMP assumption; poll fast enough!).
+class RatePoller {
+ public:
+  /// `agent` must outlive the poller.
+  explicit RatePoller(const SnmpAgent& agent);
+
+  /// Takes a poll at `now_sec`; timestamps must strictly increase.
+  void poll(double now_sec);
+
+  /// Packet rate of a link from the last two polls (0 before two polls).
+  double packet_rate(topo::LinkId link) const;
+
+  /// Byte rate of a link from the last two polls.
+  double byte_rate(topo::LinkId link) const;
+
+  /// All packet rates as a LinkLoads vector.
+  traffic::LinkLoads loads() const;
+
+  /// Number of polls taken.
+  int polls() const noexcept { return polls_; }
+
+ private:
+  const SnmpAgent& agent_;
+  std::vector<LinkSample> previous_;
+  std::vector<LinkSample> current_;
+  double prev_time_ = 0.0;
+  double cur_time_ = 0.0;
+  int polls_ = 0;
+};
+
+/// Difference of two Counter32 readings assuming at most one wrap.
+std::uint32_t counter32_delta(std::uint32_t earlier,
+                              std::uint32_t later) noexcept;
+
+/// Simulates `duration_sec` of the demand matrix flowing over its
+/// shortest paths into an agent's counters (per-second Poisson packet
+/// increments), polls every `poll_interval_sec`, and returns the
+/// poller-derived link loads. This is how the GEANT scenario's "oracle"
+/// loads are replaced by measured ones in the continuous-operation
+/// example.
+traffic::LinkLoads measured_loads(const topo::Graph& graph,
+                                  const traffic::TrafficMatrix& demands,
+                                  double duration_sec,
+                                  double poll_interval_sec, Rng& rng,
+                                  const routing::LinkSet& failed = {});
+
+}  // namespace netmon::telemetry

@@ -1,0 +1,72 @@
+#include "topo/abilene.hpp"
+
+#include "topo/capacities.hpp"
+#include "util/error.hpp"
+
+namespace netmon::topo {
+
+namespace {
+
+struct PopSpec {
+  const char* name;
+  double mass;
+};
+
+// The 11 Abilene PoPs, masses roughly tracking 2004 regional volume.
+constexpr PopSpec kPops[] = {
+    {"STTL", 2.0}, {"SNVA", 6.0}, {"LOSA", 6.5}, {"DNVR", 3.0},
+    {"KSCY", 2.5}, {"HSTN", 4.0}, {"IPLS", 3.5}, {"CHIN", 7.0},
+    {"ATLA", 5.0}, {"WASH", 6.0}, {"NYCM", 8.0},
+};
+
+struct LinkSpec {
+  const char* a;
+  const char* b;
+  double weight;
+};
+
+// The classic 14 duplex links (OC-192 in reality; we reuse OC-48 rates —
+// only relative loads matter to the formulation).
+constexpr LinkSpec kLinks[] = {
+    {"STTL", "SNVA", 10}, {"STTL", "DNVR", 10}, {"SNVA", "LOSA", 10},
+    {"SNVA", "DNVR", 12}, {"LOSA", "HSTN", 14}, {"DNVR", "KSCY", 10},
+    {"KSCY", "HSTN", 10}, {"KSCY", "IPLS", 10}, {"HSTN", "ATLA", 12},
+    {"IPLS", "CHIN", 10}, {"CHIN", "NYCM", 12}, {"ATLA", "WASH", 10},
+    {"ATLA", "IPLS", 12}, {"WASH", "NYCM", 10},
+};
+
+const std::vector<std::pair<std::string, double>> kTaskRates = {
+    {"NYCM", 12000.0}, {"CHIN", 5200.0}, {"WASH", 3100.0}, {"LOSA", 2400.0},
+    {"SNVA", 1900.0},  {"ATLA", 700.0},  {"HSTN", 260.0},  {"IPLS", 90.0},
+    {"KSCY", 35.0},    {"DNVR", 12.0},
+};
+
+}  // namespace
+
+AbileneNetwork make_abilene() {
+  AbileneNetwork net;
+  for (const PopSpec& pop : kPops) {
+    const NodeId id = net.graph.add_node(pop.name, pop.mass);
+    net.pops.push_back(id);
+    if (std::string_view(pop.name) == "STTL") net.attach = id;
+  }
+  for (const LinkSpec& spec : kLinks) {
+    const auto a = net.graph.find_node(spec.a);
+    const auto b = net.graph.find_node(spec.b);
+    NETMON_REQUIRE(a && b, "Abilene link references unknown PoP");
+    net.graph.add_duplex(*a, *b, kOc48Bps, spec.weight);
+  }
+  net.customer = net.graph.add_node("CUST", 0.0);
+  const auto [in, out] = net.graph.add_duplex(net.customer, net.attach,
+                                              kOc48Bps, 5.0,
+                                              /*monitorable=*/false);
+  net.access_in = in;
+  net.access_out = out;
+  return net;
+}
+
+std::vector<std::pair<std::string, double>> abilene_task_rates() {
+  return kTaskRates;
+}
+
+}  // namespace netmon::topo

@@ -1,0 +1,36 @@
+// Second reference topology: the Abilene (Internet2) backbone, 2004.
+//
+// The paper closes §V-C arguing that the structural property its method
+// exploits — small OD pairs surfacing on lightly-loaded links away from
+// the heavy core — "is a general property of current network design, and
+// ... the benefits are not limited to the specific network topology under
+// consideration". Abilene (11 PoPs, 14 duplex links, the standard second
+// backbone of the measurement literature) lets tests and benches check
+// that claim on an independent network.
+#pragma once
+
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace netmon::topo {
+
+/// The Abilene backbone plus an external customer AS ("CUST") attached at
+/// the Seattle PoP through a non-monitorable access link.
+struct AbileneNetwork {
+  Graph graph;
+  NodeId customer = kInvalidId;
+  NodeId attach = kInvalidId;  // STTL
+  std::vector<NodeId> pops;
+  LinkId access_in = kInvalidId;   // CUST -> STTL
+  LinkId access_out = kInvalidId;  // STTL -> CUST
+};
+
+/// Builds the network. Deterministic.
+AbileneNetwork make_abilene();
+
+/// A customer measurement task mirroring the JANET structure: traffic
+/// from CUST to every other PoP, heavy-tailed sizes (pkt/s).
+std::vector<std::pair<std::string, double>> abilene_task_rates();
+
+}  // namespace netmon::topo

@@ -1,0 +1,13 @@
+// SONET line-rate constants used by the reference topology.
+#pragma once
+
+namespace netmon::topo {
+
+/// OC-3 line rate (155.52 Mb/s).
+inline constexpr double kOc3Bps = 155.52e6;
+/// OC-12 line rate (622.08 Mb/s).
+inline constexpr double kOc12Bps = 622.08e6;
+/// OC-48 line rate (2.488 Gb/s) — the fastest links in GEANT circa 2004.
+inline constexpr double kOc48Bps = 2488.32e6;
+
+}  // namespace netmon::topo

@@ -1,0 +1,108 @@
+#include "topo/geant.hpp"
+
+#include "topo/capacities.hpp"
+#include "util/error.hpp"
+
+namespace netmon::topo {
+
+namespace {
+
+struct PopSpec {
+  const char* name;
+  double mass;  // gravity-model weight, tuned to 2004-era traffic shares
+};
+
+// 23 PoPs. Masses drive the gravity cross-traffic: large western-European
+// PoPs dominate; LU/SK/IL/HR/SI are small, which is what makes their
+// access links the cheap places to sample small OD pairs (paper §V-C).
+constexpr PopSpec kPops[] = {
+    {"UK", 5.0},  {"FR", 9.0}, {"DE", 13.0}, {"NL", 8.5},  {"IT", 8.0},
+    {"ES", 6.0},  {"SE", 4.5}, {"CH", 4.5},  {"AT", 4.5},  {"BE", 1.0},
+    {"CZ", 3.5},  {"PL", 4.5}, {"PT", 2.2},  {"GR", 3.2},  {"HU", 3.5},
+    {"DK", 2.5},  {"IE", 1.8}, {"NY", 6.0},  {"SI", 2.6},  {"HR", 3.0},
+    {"SK", 0.4},  {"IL", 0.45}, {"LU", 0.25},
+};
+
+struct LinkSpec {
+  const char* a;
+  const char* b;
+  double capacity;
+  double weight;
+};
+
+// 36 duplex links = 72 unidirectional links (paper §V-A). Weights are
+// chosen so every shortest path relevant to the JANET task is unique and
+// matches the monitor placement of Table I.
+constexpr LinkSpec kLinks[] = {
+    // UK's six inter-PoP links (paper §V-C: "all links that connect the
+    // UK PoP to the other PoPs", six of them). Weight 25 keeps the UK PoP
+    // out of continental transit paths.
+    {"UK", "FR", kOc48Bps, 25}, {"UK", "NL", kOc48Bps, 25},
+    {"UK", "SE", kOc48Bps, 25}, {"UK", "NY", kOc48Bps, 25},
+    {"UK", "PT", kOc3Bps, 25},  {"UK", "IE", kOc12Bps, 25},
+    // France fan-out.
+    {"FR", "BE", kOc12Bps, 10}, {"FR", "LU", kOc3Bps, 10},
+    {"FR", "CH", kOc48Bps, 10}, {"FR", "IT", kOc48Bps, 15},
+    {"FR", "ES", kOc12Bps, 15}, {"FR", "DE", kOc48Bps, 15},
+    // Benelux / Germany.
+    {"NL", "BE", kOc12Bps, 16}, {"NL", "DE", kOc48Bps, 10},
+    {"NL", "DK", kOc12Bps, 14},
+    // Germany fan-out.
+    {"DE", "DK", kOc12Bps, 15}, {"DE", "AT", kOc48Bps, 10},
+    {"DE", "CZ", kOc12Bps, 10}, {"DE", "PL", kOc12Bps, 20},
+    {"DE", "NY", kOc48Bps, 34},
+    // Nordics.
+    {"SE", "DK", kOc12Bps, 15}, {"SE", "PL", kOc3Bps, 15},
+    // Switzerland / Italy / Iberia.
+    {"CH", "IT", kOc48Bps, 20}, {"CH", "AT", kOc12Bps, 15},
+    {"IT", "GR", kOc12Bps, 15}, {"IT", "IL", kOc3Bps, 15},
+    {"IT", "SI", kOc3Bps, 25},  {"ES", "PT", kOc12Bps, 20},
+    // Central / eastern Europe.
+    {"AT", "HU", kOc12Bps, 10}, {"AT", "SI", kOc3Bps, 15},
+    {"AT", "CZ", kOc12Bps, 10}, {"HU", "HR", kOc3Bps, 10},
+    {"HU", "SK", kOc3Bps, 15},  {"CZ", "SK", kOc3Bps, 10},
+    {"SI", "HR", kOc3Bps, 15},  {"IE", "NY", kOc12Bps, 30},
+};
+
+// Table I row order (largest to smallest OD pair).
+const std::vector<std::string> kDestinations = {
+    "NL", "NY", "DE", "SE", "CH", "FR", "PL", "GR", "ES", "SI",
+    "IT", "AT", "CZ", "BE", "PT", "HU", "HR", "IL", "SK", "LU"};
+
+// Calibrated to the paper: sum = 57,933 pkt/s (JANET ingress volume,
+// §V-C footnote 2); JANET-NL > 30,000 pkt/s; JANET-LU = 20 pkt/s.
+const std::vector<double> kOdRates = {
+    30266, 7370, 6280, 3830, 2750, 2260, 1530, 960, 785, 580,
+    450,   250,  210,  130,  98,   65,   45,   30,  24,  20};
+
+}  // namespace
+
+GeantNetwork make_geant() {
+  GeantNetwork net;
+  for (const PopSpec& pop : kPops) {
+    const NodeId id = net.graph.add_node(pop.name, pop.mass);
+    net.pops.push_back(id);
+    if (std::string_view(pop.name) == "UK") net.uk = id;
+  }
+  for (const LinkSpec& spec : kLinks) {
+    const auto a = net.graph.find_node(spec.a);
+    const auto b = net.graph.find_node(spec.b);
+    NETMON_REQUIRE(a && b, "link references unknown PoP");
+    net.graph.add_duplex(*a, *b, spec.capacity, spec.weight);
+  }
+  // The external JANET AS: mass 0 (its demand is given explicitly by the
+  // measurement task, not by the gravity model); access link owned by the
+  // customer side, hence not monitorable.
+  net.janet = net.graph.add_node("JANET", 0.0);
+  const auto [in, out] = net.graph.add_duplex(net.janet, net.uk, kOc48Bps,
+                                              5.0, /*monitorable=*/false);
+  net.access_in = in;
+  net.access_out = out;
+  return net;
+}
+
+const std::vector<std::string>& janet_destinations() { return kDestinations; }
+
+const std::vector<double>& janet_od_rates() { return kOdRates; }
+
+}  // namespace netmon::topo

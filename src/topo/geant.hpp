@@ -1,0 +1,46 @@
+// Reference topology modelled on the GEANT European research backbone as
+// of November 2004, the network used in the paper's evaluation (§V).
+//
+// The paper reports 72 unidirectional links among the GEANT PoPs; we build
+// 23 PoPs joined by 36 duplex links (= 72 unidirectional links), with
+// capacities in the OC-3..OC-48 range and IGP weights chosen so that the
+// shortest paths of the JANET measurement task match the monitored links
+// reported in Table I (PL reached via SE, IL via IT, BE/LU via FR, SK via
+// CZ). The JANET AS attaches to the UK PoP through a non-monitorable
+// access link (CPE-owned, paper §V-C).
+#pragma once
+
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace netmon::topo {
+
+/// The GEANT-like reference network plus the external JANET attachment.
+struct GeantNetwork {
+  Graph graph;
+  /// The external JANET node (origin of the paper's measurement task).
+  NodeId janet = kInvalidId;
+  /// The UK PoP where JANET attaches.
+  NodeId uk = kInvalidId;
+  /// All GEANT PoPs (excludes the JANET node), in creation order.
+  std::vector<NodeId> pops;
+  /// The two unidirectional access links JANET<->UK (not monitorable).
+  LinkId access_in = kInvalidId;   // JANET -> UK
+  LinkId access_out = kInvalidId;  // UK -> JANET
+};
+
+/// Builds the reference network. Deterministic: no randomness involved.
+GeantNetwork make_geant();
+
+/// Destination PoP names of the paper's JANET task, in Table I row order
+/// (largest to smallest OD pair).
+const std::vector<std::string>& janet_destinations();
+
+/// "Actual" sizes (packets/second) of the 20 JANET OD pairs, in the same
+/// order as janet_destinations(). Calibrated to Table I's scale: the sum
+/// is 57,933 pkt/s (the paper's JANET ingress volume), the largest OD pair
+/// exceeds 30,000 pkt/s (JANET-NL) and the smallest is 20 pkt/s (JANET-LU).
+const std::vector<double>& janet_od_rates();
+
+}  // namespace netmon::topo

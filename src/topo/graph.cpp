@@ -1,0 +1,101 @@
+#include "topo/graph.hpp"
+
+#include "util/error.hpp"
+
+namespace netmon::topo {
+
+NodeId Graph::add_node(std::string name, double mass) {
+  NETMON_REQUIRE(!name.empty(), "node name must be non-empty");
+  NETMON_REQUIRE(by_name_.find(name) == by_name_.end(),
+                 "duplicate node name: " + name);
+  NETMON_REQUIRE(mass >= 0.0, "node mass must be non-negative");
+  const auto id = static_cast<NodeId>(nodes_.size());
+  by_name_.emplace(name, id);
+  nodes_.push_back(Node{id, std::move(name), mass});
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+LinkId Graph::add_link(NodeId src, NodeId dst, double capacity_bps,
+                       double igp_weight, bool monitorable) {
+  NETMON_REQUIRE(src < nodes_.size(), "link source node out of range");
+  NETMON_REQUIRE(dst < nodes_.size(), "link destination node out of range");
+  NETMON_REQUIRE(src != dst, "self-loop links are not allowed");
+  NETMON_REQUIRE(capacity_bps > 0.0, "link capacity must be positive");
+  NETMON_REQUIRE(igp_weight > 0.0, "IGP weight must be positive");
+  const auto id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{id, src, dst, capacity_bps, igp_weight, monitorable});
+  out_[src].push_back(id);
+  in_[dst].push_back(id);
+  return id;
+}
+
+std::pair<LinkId, LinkId> Graph::add_duplex(NodeId a, NodeId b,
+                                            double capacity_bps,
+                                            double igp_weight,
+                                            bool monitorable) {
+  const LinkId fwd = add_link(a, b, capacity_bps, igp_weight, monitorable);
+  const LinkId rev = add_link(b, a, capacity_bps, igp_weight, monitorable);
+  return {fwd, rev};
+}
+
+const Node& Graph::node(NodeId id) const {
+  NETMON_REQUIRE(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+const Link& Graph::link(LinkId id) const {
+  NETMON_REQUIRE(id < links_.size(), "link id out of range");
+  return links_[id];
+}
+
+std::optional<NodeId> Graph::find_node(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<LinkId> Graph::find_link(NodeId src, NodeId dst) const {
+  if (src >= nodes_.size()) return std::nullopt;
+  for (LinkId id : out_[src]) {
+    if (links_[id].dst == dst) return id;
+  }
+  return std::nullopt;
+}
+
+std::optional<LinkId> Graph::find_link(std::string_view src,
+                                       std::string_view dst) const {
+  const auto s = find_node(src);
+  const auto d = find_node(dst);
+  if (!s || !d) return std::nullopt;
+  return find_link(*s, *d);
+}
+
+const std::vector<LinkId>& Graph::out_links(NodeId node) const {
+  NETMON_REQUIRE(node < nodes_.size(), "node id out of range");
+  return out_[node];
+}
+
+const std::vector<LinkId>& Graph::in_links(NodeId node) const {
+  NETMON_REQUIRE(node < nodes_.size(), "node id out of range");
+  return in_[node];
+}
+
+std::string Graph::link_name(LinkId id) const {
+  const Link& l = link(id);
+  return nodes_[l.src].name + "->" + nodes_[l.dst].name;
+}
+
+void Graph::set_igp_weight(LinkId id, double weight) {
+  NETMON_REQUIRE(id < links_.size(), "link id out of range");
+  NETMON_REQUIRE(weight > 0.0, "IGP weight must be positive");
+  links_[id].igp_weight = weight;
+}
+
+void Graph::set_monitorable(LinkId id, bool monitorable) {
+  NETMON_REQUIRE(id < links_.size(), "link id out of range");
+  links_[id].monitorable = monitorable;
+}
+
+}  // namespace netmon::topo

@@ -1,0 +1,106 @@
+// Directed network topology model.
+//
+// A Graph owns a set of named nodes (PoPs, external ASes) and directed
+// links between them. Links carry the attributes the placement problem
+// needs: capacity, IGP weight (for shortest-path routing) and a
+// `monitorable` flag (access links owned by the customer side — CPE in the
+// paper's terminology — cannot host a monitor, see paper §V-C).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace netmon::topo {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+/// Sentinel for "no such node/link".
+inline constexpr std::uint32_t kInvalidId =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// A network node: a PoP or an external attachment point (e.g. JANET).
+struct Node {
+  NodeId id = kInvalidId;
+  std::string name;
+  /// Relative traffic "mass" used by the gravity traffic-matrix model.
+  double mass = 1.0;
+};
+
+/// A unidirectional link.
+struct Link {
+  LinkId id = kInvalidId;
+  NodeId src = kInvalidId;
+  NodeId dst = kInvalidId;
+  /// Line rate in bits per second (OC-3 .. OC-48 in the reference topology).
+  double capacity_bps = 0.0;
+  /// IGP (IS-IS style) weight used by shortest-path routing.
+  double igp_weight = 1.0;
+  /// Whether a monitor may be activated on this link. Access links to
+  /// customer premises are not monitorable (paper §V-C).
+  bool monitorable = true;
+};
+
+/// Directed multigraph with stable integer ids and name lookup.
+class Graph {
+ public:
+  /// Adds a node; names must be unique and non-empty. Returns its id.
+  NodeId add_node(std::string name, double mass = 1.0);
+
+  /// Adds one directed link. Returns its id.
+  LinkId add_link(NodeId src, NodeId dst, double capacity_bps,
+                  double igp_weight, bool monitorable = true);
+
+  /// Adds a pair of opposite directed links with identical attributes.
+  /// Returns {forward id, reverse id}.
+  std::pair<LinkId, LinkId> add_duplex(NodeId a, NodeId b, double capacity_bps,
+                                       double igp_weight,
+                                       bool monitorable = true);
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t link_count() const noexcept { return links_.size(); }
+
+  /// Node by id; throws on out-of-range id.
+  const Node& node(NodeId id) const;
+  /// Link by id; throws on out-of-range id.
+  const Link& link(LinkId id) const;
+
+  /// All nodes / links in id order.
+  const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  const std::vector<Link>& links() const noexcept { return links_; }
+
+  /// Node id by name, or nullopt.
+  std::optional<NodeId> find_node(std::string_view name) const;
+  /// Id of the first link src->dst, or nullopt.
+  std::optional<LinkId> find_link(NodeId src, NodeId dst) const;
+  /// Id of the first link between the named nodes, or nullopt.
+  std::optional<LinkId> find_link(std::string_view src,
+                                  std::string_view dst) const;
+
+  /// Ids of links leaving `node` (in insertion order).
+  const std::vector<LinkId>& out_links(NodeId node) const;
+  /// Ids of links entering `node` (in insertion order).
+  const std::vector<LinkId>& in_links(NodeId node) const;
+
+  /// Human-readable link label "SRC->DST".
+  std::string link_name(LinkId id) const;
+
+  /// Updates the mutable attributes of a link (weight/monitorable);
+  /// endpoints and capacity are fixed at creation.
+  void set_igp_weight(LinkId id, double weight);
+  void set_monitorable(LinkId id, bool monitorable);
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_;
+  std::vector<std::vector<LinkId>> in_;
+  std::unordered_map<std::string, NodeId> by_name_;
+};
+
+}  // namespace netmon::topo

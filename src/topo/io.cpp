@@ -1,0 +1,78 @@
+#include "topo/io.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace netmon::topo {
+
+void write_graph(std::ostream& out, const Graph& graph) {
+  out << "# netmon topology: " << graph.node_count() << " nodes, "
+      << graph.link_count() << " links\n";
+  for (const Node& n : graph.nodes()) {
+    out << "node " << n.name << " " << n.mass << "\n";
+  }
+  for (const Link& l : graph.links()) {
+    out << "link " << graph.node(l.src).name << " " << graph.node(l.dst).name
+        << " " << l.capacity_bps << " " << l.igp_weight << " "
+        << (l.monitorable ? 1 : 0) << "\n";
+  }
+}
+
+Graph read_graph(std::istream& in) {
+  Graph graph;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind)) continue;  // blank line
+
+    auto bad = [&](const std::string& why) {
+      throw Error("topology parse error at line " + std::to_string(line_no) +
+                  ": " + why);
+    };
+
+    if (kind == "node") {
+      std::string name;
+      double mass = 1.0;
+      if (!(fields >> name >> mass)) bad("expected: node <name> <mass>");
+      graph.add_node(name, mass);
+    } else if (kind == "link" || kind == "duplex") {
+      std::string src, dst;
+      double capacity = 0.0, weight = 0.0;
+      int monitorable = 1;
+      if (!(fields >> src >> dst >> capacity >> weight >> monitorable))
+        bad("expected: " + kind +
+            " <src> <dst> <capacity_bps> <weight> <monitorable>");
+      const auto s = graph.find_node(src);
+      const auto d = graph.find_node(dst);
+      if (!s) bad("unknown node: " + src);
+      if (!d) bad("unknown node: " + dst);
+      if (kind == "link")
+        graph.add_link(*s, *d, capacity, weight, monitorable != 0);
+      else
+        graph.add_duplex(*s, *d, capacity, weight, monitorable != 0);
+    } else {
+      bad("unknown record kind: " + kind);
+    }
+  }
+  return graph;
+}
+
+std::string to_string(const Graph& graph) {
+  std::ostringstream out;
+  write_graph(out, graph);
+  return out.str();
+}
+
+Graph graph_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_graph(in);
+}
+
+}  // namespace netmon::topo

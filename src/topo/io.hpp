@@ -1,0 +1,28 @@
+// Text serialization of topologies so experiments can be run against
+// user-provided networks.
+//
+// Format (one record per line, '#' starts a comment):
+//   node <name> <mass>
+//   link <src-name> <dst-name> <capacity_bps> <igp_weight> <monitorable:0|1>
+//   duplex <a-name> <b-name> <capacity_bps> <igp_weight> <monitorable:0|1>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/graph.hpp"
+
+namespace netmon::topo {
+
+/// Serializes a graph in the text format above (nodes first, then links).
+void write_graph(std::ostream& out, const Graph& graph);
+
+/// Parses a graph from the text format above. Throws netmon::Error with a
+/// line number on malformed input.
+Graph read_graph(std::istream& in);
+
+/// Convenience: round-trips through a string.
+std::string to_string(const Graph& graph);
+Graph graph_from_string(const std::string& text);
+
+}  // namespace netmon::topo

@@ -1,0 +1,24 @@
+#include "traffic/demand.hpp"
+
+namespace netmon::traffic {
+
+double total_rate(const TrafficMatrix& tm) {
+  double sum = 0.0;
+  for (const Demand& d : tm) sum += d.pkt_per_sec;
+  return sum;
+}
+
+TrafficMatrix scaled(TrafficMatrix tm, double factor) {
+  for (Demand& d : tm) d.pkt_per_sec *= factor;
+  return tm;
+}
+
+double demand_for(const TrafficMatrix& tm, const routing::OdPair& od) {
+  double sum = 0.0;
+  for (const Demand& d : tm) {
+    if (d.od == od) sum += d.pkt_per_sec;
+  }
+  return sum;
+}
+
+}  // namespace netmon::traffic

@@ -1,0 +1,29 @@
+// Traffic demands: packet rates per OD pair (the traffic matrix).
+#pragma once
+
+#include <vector>
+
+#include "routing/routing_matrix.hpp"
+#include "topo/graph.hpp"
+
+namespace netmon::traffic {
+
+/// One traffic-matrix entry: an OD pair and its average packet rate.
+struct Demand {
+  routing::OdPair od;
+  double pkt_per_sec = 0.0;
+};
+
+/// A traffic matrix is simply the list of non-zero demands.
+using TrafficMatrix = std::vector<Demand>;
+
+/// Total offered packet rate of a traffic matrix.
+double total_rate(const TrafficMatrix& tm);
+
+/// Scales every demand by `factor` (diurnal variation, anomalies, growth).
+TrafficMatrix scaled(TrafficMatrix tm, double factor);
+
+/// Returns the demand rate for a specific OD pair (0 when absent).
+double demand_for(const TrafficMatrix& tm, const routing::OdPair& od);
+
+}  // namespace netmon::traffic

@@ -1,0 +1,53 @@
+#include "traffic/distributions.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace netmon::traffic {
+
+BoundedPareto::BoundedPareto(double lo, double hi, double alpha)
+    : lo_(lo), hi_(hi), alpha_(alpha) {
+  NETMON_REQUIRE(lo > 0.0 && hi > lo, "bounded Pareto needs 0 < lo < hi");
+  NETMON_REQUIRE(alpha > 0.0, "bounded Pareto needs alpha > 0");
+}
+
+double BoundedPareto::sample(Rng& rng) const {
+  // Inverse-CDF of the truncated Pareto.
+  const double u = rng.uniform();
+  const double la = std::pow(lo_, alpha_);
+  const double ha = std::pow(hi_, alpha_);
+  const double x = std::pow(la / (1.0 - u * (1.0 - la / ha)), 1.0 / alpha_);
+  return x;
+}
+
+double BoundedPareto::mean() const {
+  if (std::abs(alpha_ - 1.0) < 1e-12) {
+    return std::log(hi_ / lo_) / (1.0 / lo_ - 1.0 / hi_);
+  }
+  const double la = std::pow(lo_, alpha_);
+  const double ha = std::pow(hi_, alpha_);
+  return (la / (1.0 - la / ha)) * (alpha_ / (alpha_ - 1.0)) *
+         (1.0 / std::pow(lo_, alpha_ - 1.0) - 1.0 / std::pow(hi_, alpha_ - 1.0));
+}
+
+std::uint32_t PacketSizeModel::sample(Rng& rng) const {
+  // ~50% ACK-sized, ~30% mid-size, ~20% MTU — the canonical backbone mix.
+  const double u = rng.uniform();
+  if (u < 0.50) return 40;
+  if (u < 0.80) return 576;
+  return 1500;
+}
+
+double PacketSizeModel::mean() const noexcept {
+  return 0.50 * 40.0 + 0.30 * 576.0 + 0.20 * 1500.0;
+}
+
+double exponential(Rng& rng, double rate) {
+  NETMON_REQUIRE(rate > 0.0, "exponential rate must be positive");
+  double u = rng.uniform();
+  if (u <= 0.0) u = 1e-300;  // uniform() returns [0,1); guard log(0)
+  return -std::log(u) / rate;
+}
+
+}  // namespace netmon::traffic

@@ -1,0 +1,53 @@
+// Random distributions used by the synthetic traffic generator.
+//
+// Internet flow sizes are heavy-tailed; we use a bounded Pareto for packet
+// counts and a small empirical mixture for packet sizes, both reproducible
+// through netmon::Rng.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace netmon::traffic {
+
+/// Bounded Pareto distribution on [lo, hi] with shape alpha.
+/// Used for flow sizes in packets (alpha ~ 1.2 gives the elephant/mice mix
+/// observed on backbone links).
+class BoundedPareto {
+ public:
+  /// Requires 0 < lo < hi and alpha > 0.
+  BoundedPareto(double lo, double hi, double alpha);
+
+  /// Draws one variate.
+  double sample(Rng& rng) const;
+
+  /// Analytic mean of the distribution.
+  double mean() const;
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double alpha_;
+};
+
+/// Packet-size model: the classic trimodal IPv4 mix (ACK-sized, default
+/// MTU fragments, full MTU).
+class PacketSizeModel {
+ public:
+  /// Draws one packet size in bytes.
+  std::uint32_t sample(Rng& rng) const;
+
+  /// Mean packet size in bytes.
+  double mean() const noexcept;
+};
+
+/// Exponential inter-arrival sampler (Poisson process) with the given rate
+/// (events per second). Requires rate > 0.
+double exponential(Rng& rng, double rate);
+
+}  // namespace netmon::traffic

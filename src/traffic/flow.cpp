@@ -1,0 +1,25 @@
+#include "traffic/flow.hpp"
+
+#include "util/error.hpp"
+
+namespace netmon::traffic {
+
+std::size_t FlowKeyHash::operator()(const FlowKey& key) const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(key.src_ip);
+  mix(key.dst_ip);
+  mix(static_cast<std::uint64_t>(key.src_port) << 16 | key.dst_port);
+  mix(key.proto);
+  return static_cast<std::size_t>(h);
+}
+
+net::Prefix pop_prefix(topo::NodeId node) {
+  NETMON_REQUIRE(node < 256, "pop_prefix supports up to 256 nodes");
+  return net::Prefix{net::ipv4(10, static_cast<std::uint8_t>(node), 0, 0), 16};
+}
+
+}  // namespace netmon::traffic

@@ -1,0 +1,51 @@
+// Flow-level traffic representation.
+//
+// The paper's evaluation works on NetFlow records aggregated over 5-minute
+// bins; our simulations generate per-OD flow populations with heavy-tailed
+// sizes, which the netflow substrate turns into records and the sampling
+// substrate samples packet-by-packet.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "topo/graph.hpp"
+
+namespace netmon::traffic {
+
+/// The classic 5-tuple flow key.
+struct FlowKey {
+  net::Ipv4 src_ip = 0;
+  net::Ipv4 dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 6;  // TCP by default
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+/// FNV-1a based hash so FlowKey can key unordered containers.
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& key) const noexcept;
+};
+
+/// One synthetic flow: a 5-tuple with size and activity span. The OD index
+/// annotation is ground truth used by the evaluation (the real system
+/// recovers it from dst_ip via EgressMap; tests verify both agree).
+struct Flow {
+  FlowKey key;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  double start_sec = 0.0;
+  double end_sec = 0.0;
+  /// Index of the OD pair this flow belongs to (ground truth).
+  std::uint32_t od_index = 0;
+};
+
+/// The address block assigned to a PoP: 10.<id>.0.0/16. Synthetic end
+/// hosts of a PoP draw addresses from its block.
+net::Prefix pop_prefix(topo::NodeId node);
+
+}  // namespace netmon::traffic

@@ -1,0 +1,89 @@
+#include "traffic/flow_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace netmon::traffic {
+
+namespace {
+
+net::Ipv4 random_host(Rng& rng, const net::Prefix& prefix) {
+  // Avoid the network (.0) and broadcast-style extremes for realism.
+  const std::uint64_t span = prefix.size();
+  const auto offset = 1 + rng.below(span > 2 ? span - 2 : 1);
+  return (prefix.base & prefix.mask()) + static_cast<net::Ipv4>(offset);
+}
+
+}  // namespace
+
+std::vector<Flow> generate_flows(Rng& rng, const Demand& demand,
+                                 std::uint32_t od_index,
+                                 const FlowGenOptions& options) {
+  NETMON_REQUIRE(demand.pkt_per_sec >= 0.0, "negative demand");
+  NETMON_REQUIRE(options.interval_sec > 0.0, "interval must be positive");
+  std::vector<Flow> flows;
+  const double expected_packets = demand.pkt_per_sec * options.interval_sec;
+  if (expected_packets < 1.0) return flows;
+
+  // Cap the largest flow at a tenth of the OD volume so that one elephant
+  // cannot dominate a small OD pair: keeps the realized size S_k of small
+  // OD pairs concentrated around the demand while preserving the heavy
+  // tail of large ones.
+  const double hi = std::clamp(expected_packets * 0.1,
+                               options.min_flow_packets + 1.0,
+                               options.max_flow_packets);
+  const BoundedPareto size_dist(options.min_flow_packets, hi,
+                                options.pareto_alpha);
+  const double mean_size = size_dist.mean();
+  const double mean_flows = expected_packets / mean_size;
+
+  std::poisson_distribution<std::uint64_t> flow_count(mean_flows);
+  const std::uint64_t n = std::max<std::uint64_t>(1, flow_count(rng));
+  flows.reserve(n);
+
+  const net::Prefix src_block = pop_prefix(demand.od.src);
+  const net::Prefix dst_block = pop_prefix(demand.od.dst);
+  const PacketSizeModel pkt_size;
+
+  for (std::uint64_t f = 0; f < n; ++f) {
+    Flow flow;
+    flow.key.src_ip = random_host(rng, src_block);
+    flow.key.dst_ip = random_host(rng, dst_block);
+    flow.key.src_port = static_cast<std::uint16_t>(1024 + rng.below(64512));
+    flow.key.dst_port = static_cast<std::uint16_t>(
+        rng.bernoulli(0.7) ? 80 : 1024 + rng.below(64512));
+    flow.key.proto = rng.bernoulli(0.85) ? 6 : 17;  // TCP/UDP mix
+    flow.packets =
+        std::max<std::uint64_t>(1, std::llround(size_dist.sample(rng)));
+    flow.bytes = flow.packets * static_cast<std::uint64_t>(pkt_size.sample(rng));
+    flow.start_sec = rng.uniform(0.0, options.interval_sec);
+    const double duration = std::min(exponential(rng, 1.0 / 30.0),
+                                     options.interval_sec - flow.start_sec);
+    flow.end_sec = flow.start_sec + duration;
+    flow.od_index = od_index;
+    flows.push_back(flow);
+  }
+  return flows;
+}
+
+std::vector<std::vector<Flow>> generate_all_flows(
+    Rng& rng, const TrafficMatrix& tm, const FlowGenOptions& options) {
+  std::vector<std::vector<Flow>> all;
+  all.reserve(tm.size());
+  for (std::size_t k = 0; k < tm.size(); ++k) {
+    Rng stream = rng.split(k + 1);
+    all.push_back(generate_flows(stream, tm[k],
+                                 static_cast<std::uint32_t>(k), options));
+  }
+  return all;
+}
+
+std::uint64_t total_packets(const std::vector<Flow>& flows) {
+  std::uint64_t sum = 0;
+  for (const Flow& f : flows) sum += f.packets;
+  return sum;
+}
+
+}  // namespace netmon::traffic

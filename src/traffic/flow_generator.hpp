@@ -1,0 +1,48 @@
+// Synthetic flow-population generation per OD pair.
+//
+// Given a demand (pkt/s) and a measurement interval, generates flows whose
+// packet counts follow a bounded Pareto (heavy tail: many mice, few
+// elephants) and whose total packet count concentrates around
+// rate * interval. Deterministic given the Rng seed.
+#pragma once
+
+#include <vector>
+
+#include "traffic/demand.hpp"
+#include "traffic/distributions.hpp"
+#include "traffic/flow.hpp"
+#include "util/rng.hpp"
+
+namespace netmon::traffic {
+
+/// Tunables of the flow generator.
+struct FlowGenOptions {
+  /// Measurement interval length (the paper bins flows in 5 minutes).
+  double interval_sec = 300.0;
+  /// Flow size (packets) distribution: bounded Pareto on [min,max].
+  double pareto_alpha = 1.15;
+  double min_flow_packets = 1.0;
+  double max_flow_packets = 2.0e5;
+};
+
+/// Generates the flow population of one OD pair.
+///
+/// `od_index` is stamped on every flow (ground-truth annotation);
+/// addresses are drawn from the PoP blocks of the demand endpoints.
+/// The number of flows is Poisson-distributed with mean chosen so that
+/// E[total packets] = demand.pkt_per_sec * interval_sec.
+std::vector<Flow> generate_flows(Rng& rng, const Demand& demand,
+                                 std::uint32_t od_index,
+                                 const FlowGenOptions& options = {});
+
+/// Generates flow populations for a whole traffic matrix; row k of the
+/// result corresponds to tm[k]. Each OD pair uses an independent Rng
+/// stream, so per-OD populations are reproducible regardless of order.
+std::vector<std::vector<Flow>> generate_all_flows(
+    Rng& rng, const TrafficMatrix& tm, const FlowGenOptions& options = {});
+
+/// Sum of packet counts of a flow population — the "actual size" S_k that
+/// the paper's accuracy metric compares estimates against.
+std::uint64_t total_packets(const std::vector<Flow>& flows);
+
+}  // namespace netmon::traffic

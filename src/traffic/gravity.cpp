@@ -1,0 +1,43 @@
+#include "traffic/gravity.hpp"
+
+#include "util/error.hpp"
+
+namespace netmon::traffic {
+
+TrafficMatrix gravity_matrix(const topo::Graph& graph,
+                             const GravityOptions& options) {
+  NETMON_REQUIRE(options.total_pkt_per_sec > 0.0,
+                 "gravity total rate must be positive");
+  std::vector<topo::NodeId> active;
+  double mass_sum = 0.0;
+  for (const topo::Node& n : graph.nodes()) {
+    if (n.mass > options.min_mass) {
+      active.push_back(n.id);
+      mass_sum += n.mass;
+    }
+  }
+  NETMON_REQUIRE(active.size() >= 2, "gravity model needs >= 2 active nodes");
+
+  // Pair weight m_s*m_d over all ordered pairs s != d sums to
+  // (sum m)^2 - sum m^2.
+  double sq_sum = 0.0;
+  for (topo::NodeId id : active) {
+    const double m = graph.node(id).mass;
+    sq_sum += m * m;
+  }
+  const double denom = mass_sum * mass_sum - sq_sum;
+  NETMON_REQUIRE(denom > 0.0, "degenerate gravity masses");
+
+  TrafficMatrix tm;
+  tm.reserve(active.size() * (active.size() - 1));
+  for (topo::NodeId s : active) {
+    for (topo::NodeId d : active) {
+      if (s == d) continue;
+      const double w = graph.node(s).mass * graph.node(d).mass / denom;
+      tm.push_back(Demand{{s, d}, w * options.total_pkt_per_sec});
+    }
+  }
+  return tm;
+}
+
+}  // namespace netmon::traffic

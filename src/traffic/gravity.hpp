@@ -1,0 +1,31 @@
+// Gravity-model traffic matrix generation.
+//
+// The paper's optimizer consumes measured link loads; since the original
+// GEANT NetFlow feed is not publicly available, we synthesize the
+// network-wide cross traffic with the standard gravity model: demand(s,d)
+// proportional to mass(s)*mass(d), scaled to a target total packet rate.
+// This preserves the property the paper's evaluation hinges on — small
+// PoPs' access links carry little cross traffic, making them cheap places
+// to sample small OD pairs.
+#pragma once
+
+#include "topo/graph.hpp"
+#include "traffic/demand.hpp"
+
+namespace netmon::traffic {
+
+/// Options for gravity-model generation.
+struct GravityOptions {
+  /// Total offered packet rate across all generated demands.
+  double total_pkt_per_sec = 1.0e6;
+  /// Nodes with mass below this threshold generate/attract no traffic
+  /// (external attachment points have mass 0).
+  double min_mass = 1e-12;
+};
+
+/// Generates demands for every ordered pair of distinct nodes with
+/// positive mass. The sum of all demands equals options.total_pkt_per_sec.
+TrafficMatrix gravity_matrix(const topo::Graph& graph,
+                             const GravityOptions& options = {});
+
+}  // namespace netmon::traffic

@@ -1,0 +1,29 @@
+// Link load computation: U = R^T t, mapping a traffic matrix onto links.
+#pragma once
+
+#include <vector>
+
+#include "routing/spf.hpp"
+#include "topo/graph.hpp"
+#include "traffic/demand.hpp"
+
+namespace netmon::traffic {
+
+/// Per-link packet rates (pkt/s), indexed by link id.
+using LinkLoads = std::vector<double>;
+
+/// Routes every demand over its (single) shortest path and accumulates
+/// per-link packet rates. Throws if a demand's destination is unreachable.
+LinkLoads link_loads(const topo::Graph& graph, const TrafficMatrix& tm,
+                     const routing::LinkSet& failed = {});
+
+/// Same, but splits demands over equal-cost multipaths.
+LinkLoads link_loads_ecmp(const topo::Graph& graph, const TrafficMatrix& tm,
+                          const routing::LinkSet& failed = {});
+
+/// Utilization (load in bits/s over capacity) of one link given a mean
+/// packet size in bytes. Diagnostic helper for examples and tests.
+double utilization(const topo::Graph& graph, topo::LinkId link,
+                   const LinkLoads& loads, double mean_packet_bytes);
+
+}  // namespace netmon::traffic

@@ -1,0 +1,42 @@
+#include "traffic/variation.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace netmon::traffic {
+
+namespace {
+constexpr double kDaySec = 86400.0;
+constexpr double kFloor = 0.05;  // demands never drop to exactly zero
+}  // namespace
+
+DiurnalPattern::DiurnalPattern(double amplitude, double peak_sec)
+    : amplitude_(amplitude), peak_sec_(peak_sec) {
+  NETMON_REQUIRE(amplitude >= 0.0 && amplitude < 1.0,
+                 "diurnal amplitude must lie in [0,1)");
+}
+
+double DiurnalPattern::factor(double t_sec) const noexcept {
+  const double phase = 2.0 * M_PI * (t_sec - peak_sec_) / kDaySec;
+  return std::max(kFloor, 1.0 + amplitude_ * std::cos(phase));
+}
+
+TrafficMatrix matrix_at(const TrafficMatrix& base,
+                        const DiurnalPattern& pattern,
+                        const std::vector<AnomalySpike>& spikes,
+                        double t_sec) {
+  const double diurnal = pattern.factor(t_sec);
+  TrafficMatrix out;
+  out.reserve(base.size());
+  for (const Demand& d : base) {
+    double rate = d.pkt_per_sec * diurnal;
+    for (const AnomalySpike& spike : spikes) {
+      if (spike.od == d.od && spike.active_at(t_sec)) rate *= spike.factor;
+    }
+    out.push_back(Demand{d.od, rate});
+  }
+  return out;
+}
+
+}  // namespace netmon::traffic

@@ -1,0 +1,54 @@
+// Temporal traffic variation: diurnal cycles and transient anomalies.
+//
+// The paper's motivation (§I): demands vary on short time scales
+// (failures, anomalies) and long ones (growth, new customers), so a
+// static placement degrades. This module produces the traffic matrix "as
+// of" a point in time from a base matrix, a diurnal pattern, and a set of
+// anomaly spikes — driving the continuous-operation example and the
+// re-optimization studies.
+#pragma once
+
+#include <vector>
+
+#include "traffic/demand.hpp"
+
+namespace netmon::traffic {
+
+/// Smooth day-night modulation with a 24h period:
+/// factor(t) = max(floor, 1 + amplitude * sin(2 pi (t - peak)/86400 + pi/2))
+/// so the factor peaks at `peak_sec` within the day.
+class DiurnalPattern {
+ public:
+  /// `amplitude` in [0,1): peak = 1+amplitude, trough = 1-amplitude.
+  DiurnalPattern(double amplitude, double peak_sec);
+
+  /// Multiplicative factor at absolute time t (seconds).
+  double factor(double t_sec) const noexcept;
+
+ private:
+  double amplitude_;
+  double peak_sec_;
+};
+
+/// A transient multiplicative anomaly on one OD pair.
+struct AnomalySpike {
+  routing::OdPair od;
+  double start_sec = 0.0;
+  double end_sec = 0.0;
+  /// Demand multiplier while active (e.g. 50x for a DDoS-like event).
+  double factor = 1.0;
+
+  /// Whether the spike is active at time t.
+  bool active_at(double t_sec) const noexcept {
+    return t_sec >= start_sec && t_sec < end_sec;
+  }
+};
+
+/// The traffic matrix at time t: base demands scaled by the diurnal
+/// factor, with active anomaly spikes applied multiplicatively on top.
+TrafficMatrix matrix_at(const TrafficMatrix& base,
+                        const DiurnalPattern& pattern,
+                        const std::vector<AnomalySpike>& spikes,
+                        double t_sec);
+
+}  // namespace netmon::traffic

@@ -1,0 +1,29 @@
+// CSV emission for bench series (figure data) so results can be re-plotted.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace netmon {
+
+/// Streams rows of comma-separated values with minimal quoting.
+///
+/// Cells containing commas, quotes or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one row of string cells.
+  void row(const std::vector<std::string>& cells);
+
+  /// Writes one row of numeric cells with full double precision.
+  void row(const std::vector<double>& cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ostream& out_;
+};
+
+}  // namespace netmon

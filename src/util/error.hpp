@@ -1,0 +1,36 @@
+// Error handling primitives shared across the netmon library.
+//
+// The library signals precondition violations and unrecoverable input
+// errors with netmon::Error (derived from std::runtime_error) so callers
+// can distinguish library failures from standard-library ones.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace netmon {
+
+/// Exception type thrown by all netmon components on invalid input or
+/// violated preconditions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) +
+              ": requirement failed (" + expr + ")" +
+              (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace detail
+
+}  // namespace netmon
+
+/// Precondition check that throws netmon::Error with source location.
+/// Active in all build types: these guard API misuse, not internal bugs.
+#define NETMON_REQUIRE(expr, msg)                                  \
+  do {                                                             \
+    if (!(expr)) ::netmon::detail::fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

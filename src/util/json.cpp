@@ -1,0 +1,140 @@
+#include "util/json.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace netmon {
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    NETMON_REQUIRE(!wrote_root_, "JSON document already complete");
+    wrote_root_ = true;
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    NETMON_REQUIRE(key_pending_, "object member requires a key");
+    key_pending_ = false;
+    return;
+  }
+  // Array element.
+  if (!first_in_scope_.back()) out_ << ',';
+  first_in_scope_.back() = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  NETMON_REQUIRE(!stack_.empty() && stack_.back() == Scope::kObject,
+                 "end_object without matching begin_object");
+  NETMON_REQUIRE(!key_pending_, "dangling key at end_object");
+  out_ << '}';
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  NETMON_REQUIRE(!stack_.empty() && stack_.back() == Scope::kArray,
+                 "end_array without matching begin_array");
+  out_ << ']';
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  NETMON_REQUIRE(!stack_.empty() && stack_.back() == Scope::kObject,
+                 "key outside of an object");
+  NETMON_REQUIRE(!key_pending_, "two keys in a row");
+  if (!first_in_scope_.back()) out_ << ',';
+  first_in_scope_.back() = false;
+  write_escaped(name);
+  out_ << ':';
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  write_escaped(text);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string_view(text));
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", number);
+  out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  before_value();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int number) {
+  return value(static_cast<std::int64_t>(number));
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  out_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ << "null";
+  return *this;
+}
+
+void JsonWriter::write_escaped(std::string_view text) {
+  out_ << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\r': out_ << "\\r"; break;
+      case '\t': out_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ << buf;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+  out_ << '"';
+}
+
+}  // namespace netmon

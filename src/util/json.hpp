@@ -1,0 +1,57 @@
+// Minimal streaming JSON writer.
+//
+// Used to export placements and experiment results in a machine-readable
+// form (core/report.hpp, the CLI example). Write-only by design: the
+// library has no need to parse JSON.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netmon {
+
+/// Streaming writer with nesting checks. Throws netmon::Error on misuse
+/// (value without key inside an object, unbalanced scopes, ...).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+  ~JsonWriter() = default;
+
+  /// Opens / closes scopes.
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Names the next value (only inside an object).
+  JsonWriter& key(std::string_view name);
+
+  /// Scalar values.
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(int number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Whether every scope has been closed.
+  bool complete() const noexcept { return stack_.empty() && wrote_root_; }
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+  void before_value();
+  void write_escaped(std::string_view text);
+
+  std::ostream& out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_in_scope_;
+  bool key_pending_ = false;
+  bool wrote_root_ = false;
+};
+
+}  // namespace netmon

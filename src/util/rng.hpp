@@ -1,0 +1,109 @@
+// Deterministic, fast pseudo-random generation for simulations.
+//
+// netmon simulations must be reproducible across runs and platforms, so we
+// ship our own engine (xoshiro256**, seeded via splitmix64) instead of
+// relying on std::default_random_engine whose definition is
+// implementation-specific. The engine satisfies UniformRandomBitGenerator
+// and therefore composes with <random> distributions.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <random>
+
+namespace netmon {
+
+/// splitmix64 — used to expand a single 64-bit seed into engine state.
+/// Public because tests and seed-derivation logic reuse it.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — all-purpose 64-bit engine (Blackman & Vigna).
+/// Satisfies UniformRandomBitGenerator; usable with std distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    reseed(seed);
+  }
+
+  void reseed(std::uint64_t seed) noexcept {
+    for (auto& word : state_) word = splitmix64(seed);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>((*this)()) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>((*this)()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Binomial(n, p) draw; delegates to the standard distribution which is
+  /// exact and O(1) amortized for large n on common implementations.
+  std::uint64_t binomial(std::uint64_t n, double p) {
+    if (n == 0 || p <= 0.0) return 0;
+    if (p >= 1.0) return n;
+    std::binomial_distribution<std::uint64_t> dist(n, p);
+    return dist(*this);
+  }
+
+  /// Derive an independent child generator (stream splitting): hashes the
+  /// current state with the given stream id so parallel simulation lanes
+  /// never share a sequence.
+  Rng split(std::uint64_t stream) noexcept {
+    std::uint64_t s = state_[0] ^ (stream * 0xd1342543de82ef95ULL);
+    return Rng(splitmix64(s));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace netmon

@@ -1,0 +1,51 @@
+// Streaming and batch descriptive statistics used by benches and the
+// Monte-Carlo accuracy experiments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace netmon {
+
+/// Numerically stable single-pass mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Number of observations added.
+  std::size_t count() const noexcept { return n_; }
+  /// Sample mean; 0 when empty.
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const noexcept;
+  /// Square root of variance().
+  double stddev() const noexcept;
+  /// Smallest observation; +inf when empty.
+  double min() const noexcept { return min_; }
+  /// Largest observation; -inf when empty.
+  double max() const noexcept { return max_; }
+  /// Sum of all observations.
+  double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  bool seen_ = false;
+};
+
+/// Linear-interpolation quantile of a sample, q in [0,1].
+/// The input vector is copied; throws netmon::Error when empty.
+double quantile(std::vector<double> values, double q);
+
+/// Arithmetic mean of a sample; throws netmon::Error when empty.
+double mean_of(const std::vector<double>& values);
+
+}  // namespace netmon

@@ -1,0 +1,56 @@
+// Plain-text table rendering for bench harnesses: the reproduction
+// binaries print paper-style tables (e.g. Table I) to stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace netmon {
+
+/// Column alignment for TextTable.
+enum class Align { kLeft, kRight };
+
+/// Minimal monospace table builder.
+///
+/// Usage:
+///   TextTable t({"OD pair", "pkt/s", "accuracy"});
+///   t.add_row({"JANET-NL", "31250.0", "0.97"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  /// Creates a table with the given header labels.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one body row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator row.
+  void add_separator();
+
+  /// Sets the alignment of one column (default: left for column 0,
+  /// right for the rest).
+  void set_align(std::size_t column, Align align);
+
+  /// Number of body rows added so far (separators excluded).
+  std::size_t row_count() const noexcept { return n_rows_; }
+
+  /// Renders the table, including header and border rules.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = separator
+  std::vector<Align> align_;
+  std::size_t n_rows_ = 0;
+};
+
+/// Formats a double with the given number of decimals (fixed notation).
+std::string fmt_fixed(double value, int decimals);
+
+/// Formats a double in scientific-ish compact form, e.g. "3.1e-04".
+std::string fmt_sci(double value, int decimals = 2);
+
+/// Formats a fraction as a percentage string, e.g. 0.245 -> "24.5%".
+std::string fmt_percent(double fraction, int decimals = 1);
+
+}  // namespace netmon

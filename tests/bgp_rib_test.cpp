@@ -1,0 +1,100 @@
+#include "bgp/rib.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace netmon::bgp {
+namespace {
+
+using net::ipv4;
+
+Route route(net::Prefix prefix, topo::NodeId egress, std::uint32_t lp = 100,
+            std::uint32_t as_len = 1, std::uint32_t peer = 0) {
+  return Route{prefix, egress, lp, as_len, peer};
+}
+
+TEST(BestPath, DecisionOrder) {
+  const net::Prefix p{ipv4(10, 0, 0, 0), 8};
+  // Higher local-pref wins...
+  EXPECT_TRUE(better_route(route(p, 1, 200, 5, 1), route(p, 2, 100, 1, 0)));
+  // ...then shorter AS path...
+  EXPECT_TRUE(better_route(route(p, 1, 100, 2, 1), route(p, 2, 100, 3, 0)));
+  // ...then lower peer id.
+  EXPECT_TRUE(better_route(route(p, 1, 100, 2, 0), route(p, 2, 100, 2, 1)));
+}
+
+TEST(Rib, BestSelectsByPolicy) {
+  Rib rib;
+  const net::Prefix p{ipv4(192, 0, 2, 0), 24};
+  rib.insert(route(p, 5, 100, 3, 1));
+  rib.insert(route(p, 7, 100, 2, 2));  // shorter AS path: preferred
+  rib.insert(route(p, 9, 90, 1, 3));   // lower local-pref: not preferred
+  const auto best = rib.best(p);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->egress, 7u);
+  EXPECT_EQ(rib.prefix_count(), 1u);
+  EXPECT_EQ(rib.route_count(), 3u);
+}
+
+TEST(Rib, ReannouncementReplacesPerPeer) {
+  Rib rib;
+  const net::Prefix p{ipv4(192, 0, 2, 0), 24};
+  rib.insert(route(p, 5, 100, 3, 1));
+  rib.insert(route(p, 6, 100, 1, 1));  // same peer, better route
+  EXPECT_EQ(rib.route_count(), 1u);
+  EXPECT_EQ(rib.best(p)->egress, 6u);
+}
+
+TEST(Rib, WithdrawFallsBackToNextBest) {
+  Rib rib;
+  const net::Prefix p{ipv4(192, 0, 2, 0), 24};
+  rib.insert(route(p, 7, 100, 1, 1));
+  rib.insert(route(p, 5, 100, 3, 2));
+  EXPECT_EQ(rib.best(p)->egress, 7u);
+  EXPECT_EQ(rib.withdraw(p, 1), 1u);
+  EXPECT_EQ(rib.best(p)->egress, 5u);
+  EXPECT_EQ(rib.withdraw(p, 2), 1u);
+  EXPECT_FALSE(rib.best(p).has_value());
+  EXPECT_EQ(rib.withdraw(p, 2), 0u);
+  EXPECT_EQ(rib.prefix_count(), 0u);
+}
+
+TEST(Rib, PrefixesAreIndependent) {
+  Rib rib;
+  rib.insert(route({ipv4(10, 1, 0, 0), 16}, 1));
+  rib.insert(route({ipv4(10, 2, 0, 0), 16}, 2));
+  EXPECT_EQ(rib.prefix_count(), 2u);
+  EXPECT_EQ(rib.best({ipv4(10, 1, 0, 0), 16})->egress, 1u);
+  EXPECT_EQ(rib.best({ipv4(10, 2, 0, 0), 16})->egress, 2u);
+  // Same base, different length = different prefix.
+  rib.insert(route({ipv4(10, 1, 0, 0), 24}, 3));
+  EXPECT_EQ(rib.prefix_count(), 3u);
+}
+
+TEST(Rib, HostBitsIgnoredInKey) {
+  Rib rib;
+  rib.insert(route({ipv4(10, 1, 2, 3), 16}, 1));  // host bits set
+  EXPECT_TRUE(rib.best({ipv4(10, 1, 0, 0), 16}).has_value());
+}
+
+TEST(Rib, ExportsLongestPrefixMatchMap) {
+  Rib rib;
+  rib.insert(route({ipv4(10, 0, 0, 0), 8}, 1));
+  rib.insert(route({ipv4(10, 64, 0, 0), 10}, 2, 100, 1, 7));
+  rib.insert(route({ipv4(10, 64, 0, 0), 10}, 3, 200, 5, 8));  // wins on LP
+  const netflow::EgressMap map = rib.to_egress_map();
+  EXPECT_EQ(map.lookup(ipv4(10, 1, 1, 1)), 1u);
+  EXPECT_EQ(map.lookup(ipv4(10, 70, 0, 1)), 3u);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(Rib, ValidatesRoutes) {
+  Rib rib;
+  Route bad = route({ipv4(10, 0, 0, 0), 8}, 1);
+  bad.egress = topo::kInvalidId;
+  EXPECT_THROW(rib.insert(bad), Error);
+}
+
+}  // namespace
+}  // namespace netmon::bgp

@@ -1,0 +1,101 @@
+#include "core/config_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "util/error.hpp"
+
+namespace netmon::core {
+namespace {
+
+class ConfigGenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario = new GeantScenario(make_geant_scenario());
+    problem = new PlacementProblem(make_problem(*scenario));
+    solution = new PlacementSolution(solve_placement(*problem));
+  }
+  static void TearDownTestSuite() {
+    delete solution;
+    delete problem;
+    delete scenario;
+  }
+  static GeantScenario* scenario;
+  static PlacementProblem* problem;
+  static PlacementSolution* solution;
+};
+
+GeantScenario* ConfigGenTest::scenario = nullptr;
+PlacementProblem* ConfigGenTest::problem = nullptr;
+PlacementSolution* ConfigGenTest::solution = nullptr;
+
+TEST_F(ConfigGenTest, EveryActiveMonitorConfigured) {
+  const auto configs = router_configs(*solution, scenario->net.graph);
+  std::size_t interfaces = 0;
+  for (const RouterConfig& config : configs) interfaces += config.interfaces.size();
+  EXPECT_EQ(interfaces, solution->active_monitors.size());
+}
+
+TEST_F(ConfigGenTest, GroupedByOwningRouter) {
+  const auto configs = router_configs(*solution, scenario->net.graph);
+  for (const RouterConfig& config : configs) {
+    for (const auto& interface : config.interfaces) {
+      EXPECT_EQ(scenario->net.graph.link(interface.link).src, config.router);
+    }
+  }
+  // The UK router owns its five active first-hop monitors.
+  for (const RouterConfig& config : configs) {
+    if (config.router == scenario->net.uk) {
+      EXPECT_EQ(config.interfaces.size(), 5u);
+    }
+  }
+}
+
+TEST_F(ConfigGenTest, QuantizationErrorSmallAtTableOneRates) {
+  const auto configs = router_configs(*solution, scenario->net.graph);
+  // At rates of ~1e-4..7e-3, rounding 1/p to an integer N is gentle.
+  EXPECT_LT(worst_quantization_error(configs), 0.01);
+  for (const RouterConfig& config : configs) {
+    for (const auto& interface : config.interfaces) {
+      EXPECT_GE(interface.sample_one_in, 1u);
+      const double quantized = 1.0 / interface.sample_one_in;
+      EXPECT_NEAR(quantized, interface.exact_rate,
+                  interface.exact_rate * 0.011);
+    }
+  }
+}
+
+TEST_F(ConfigGenTest, ClampsToMaxInterval) {
+  // Force a tiny max interval: high rates quantize to 1-in-1, low rates
+  // clamp to the max and the error is reported honestly.
+  const auto configs = router_configs(*solution, scenario->net.graph, 100);
+  for (const RouterConfig& config : configs) {
+    for (const auto& interface : config.interfaces) {
+      EXPECT_LE(interface.sample_one_in, 100u);
+    }
+  }
+  EXPECT_GT(worst_quantization_error(configs), 0.5);  // 1/100 vs ~1e-4
+}
+
+TEST_F(ConfigGenTest, RendersReadableStanza) {
+  const auto configs = router_configs(*solution, scenario->net.graph);
+  ASSERT_FALSE(configs.empty());
+  const std::string text = render_config(configs[0], scenario->net.graph);
+  EXPECT_NE(text.find("forwarding-options"), std::string::npos);
+  EXPECT_NE(text.find("sampling"), std::string::npos);
+  EXPECT_NE(text.find("input rate"), std::string::npos);
+  EXPECT_NE(text.find(scenario->net.graph.node(configs[0].router).name),
+            std::string::npos);
+}
+
+TEST(ConfigGen, Validation) {
+  const GeantScenario s = make_geant_scenario();
+  const PlacementProblem problem = make_problem(s);
+  const PlacementSolution solution = solve_placement(problem);
+  EXPECT_THROW(router_configs(solution, s.net.graph, 0), Error);
+  RouterConfig empty;
+  EXPECT_THROW(render_config(empty, s.net.graph), Error);
+}
+
+}  // namespace
+}  // namespace netmon::core

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scenario.hpp"
+#include "core/utility.hpp"
+#include "estimate/flow_inversion.hpp"
+#include "opt/gradient_projection.hpp"
+#include "util/error.hpp"
+
+namespace netmon::core {
+namespace {
+
+TEST(DetectionUtility, MatchesDetectionProbability) {
+  const DetectionUtility m(100.0);
+  for (double rho : {0.0, 0.001, 0.01, 0.1, 0.5}) {
+    EXPECT_NEAR(m.value(rho), estimate::detection_probability(
+                                  100, rho),
+                1e-12)
+        << "rho=" << rho;
+  }
+  EXPECT_DOUBLE_EQ(m.value(0.0), 0.0);
+}
+
+TEST(DetectionUtility, IncreasingAndConcave) {
+  const DetectionUtility m(50.0);
+  double prev_v = -1.0, prev_d = 1e300;
+  // Beyond x ~ 0.5 the value saturates below double resolution of 1.0,
+  // so strict monotonicity is only checkable on the left part.
+  for (double x = 0.0; x <= 0.5; x += 0.005) {
+    const double v = m.value(x);
+    const double d = m.deriv(x);
+    EXPECT_GT(v, prev_v);
+    EXPECT_GT(d, 0.0);
+    EXPECT_LT(d, prev_d);
+    EXPECT_LT(m.second(x), 0.0);
+    prev_v = v;
+    prev_d = d;
+  }
+  // The saturated tail is still monotone non-decreasing and bounded by 1.
+  for (double x = 0.5; x <= 0.99; x += 0.01) {
+    EXPECT_GE(m.value(x), prev_v);
+    EXPECT_LE(m.value(x), 1.0);
+  }
+}
+
+TEST(DetectionUtility, DerivativesMatchFiniteDifferences) {
+  const DetectionUtility m(30.0);
+  // x=0.8 omitted: value saturates to 1.0 and finite differences vanish.
+  for (double x : {0.001, 0.05, 0.3}) {
+    const double h = 1e-6;
+    const double fd = (m.value(x + h) - m.value(x - h)) / (2.0 * h);
+    EXPECT_NEAR(m.deriv(x) / fd, 1.0, 1e-5) << "x=" << x;
+    const double h2 = 1e-4;
+    const double fd2 = (m.value(x + h2) - 2.0 * m.value(x) + m.value(x - h2)) /
+                       (h2 * h2);
+    EXPECT_NEAR(m.second(x) / fd2, 1.0, 1e-2) << "x=" << x;
+  }
+}
+
+TEST(DetectionUtility, ClampsAboveOne) {
+  const DetectionUtility m(10.0);
+  EXPECT_NO_THROW(m.value(1.2));  // linearized rho can exceed 1
+  EXPECT_NEAR(m.value(1.2), 1.0, 1e-9);
+  EXPECT_THROW(DetectionUtility(1.0), Error);
+  EXPECT_THROW(m.value(-0.5), Error);
+}
+
+TEST(DetectionUtility, LargerAnomaliesAreEasierToCatch) {
+  const DetectionUtility small(10.0), large(1000.0);
+  for (double rho : {0.001, 0.01}) {
+    EXPECT_GT(large.value(rho), small.value(rho));
+  }
+}
+
+TEST(DetectionUtility, DropsIntoThePlacementSolver) {
+  // Detection task on GEANT: catch >= 200-packet anomalies on the five
+  // smallest OD pairs with a small budget. The framework accepts the
+  // alternative utility unchanged (paper §VI).
+  const GeantScenario s = make_geant_scenario();
+  MeasurementTask task;
+  task.interval_sec = 300.0;
+  for (const char* dst : {"LU", "SK", "IL", "HR", "SI"}) {
+    task.ods.push_back({s.net.janet, *s.net.graph.find_node(dst)});
+    task.expected_packets.push_back(10000.0);  // placeholder sizes
+  }
+  ProblemOptions options;
+  options.theta = 150000.0;
+  const PlacementProblem problem(s.net.graph, task, s.loads, options);
+
+  // Swap the SRE utilities for detection utilities via a custom
+  // objective over the same routing rows.
+  opt::SeparableConcaveObjective::SparseRows rows;
+  for (std::size_t k = 0; k < task.ods.size(); ++k) {
+    std::vector<std::pair<std::size_t, double>> row;
+    for (const auto& [link, frac] : problem.routing().row(k)) {
+      // compress link -> candidate index
+      for (std::size_t j = 0; j < problem.candidates().size(); ++j) {
+        if (problem.candidates()[j] == link) row.emplace_back(j, frac);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  std::vector<std::shared_ptr<const opt::Concave1d>> utilities(
+      task.ods.size(), std::make_shared<DetectionUtility>(200.0));
+  const opt::SeparableConcaveObjective objective(
+      problem.candidates().size(), std::move(rows), std::move(utilities));
+
+  const opt::SolveResult r = opt::maximize(objective, problem.constraints());
+  EXPECT_EQ(r.status, opt::SolveStatus::kOptimal);
+  // Every watched OD pair gets a decent detection probability.
+  const auto rates = problem.expand(r.p);
+  for (std::size_t k = 0; k < task.ods.size(); ++k) {
+    const double rho =
+        sampling::effective_rate_approx(problem.routing(), k, rates);
+    EXPECT_GT(estimate::detection_probability(200, rho), 0.2) << "od " << k;
+  }
+}
+
+}  // namespace
+}  // namespace netmon::core

@@ -1,0 +1,74 @@
+#include "core/exact_rate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "util/error.hpp"
+
+namespace netmon::core {
+namespace {
+
+TEST(ExactRate, ExactUtilityNeverExceedsLinearizedUtility) {
+  // M is increasing and rho_exact <= rho_approx, so evaluating any rate
+  // vector exactly can only lower the utility.
+  const GeantScenario s = make_geant_scenario();
+  const PlacementProblem problem = make_problem(s);
+  const PlacementSolution solution = solve_placement(problem);
+  EXPECT_LE(exact_total_utility(problem, solution.rates),
+            solution.total_utility + 1e-12);
+}
+
+TEST(ExactRate, ScpImprovesOrMatchesTheLinearizedSolution) {
+  const GeantScenario s = make_geant_scenario();
+  const PlacementProblem problem = make_problem(s);
+  const ExactRateResult result = solve_exact_placement(problem);
+  EXPECT_GE(result.exact_utility_scp,
+            result.exact_utility_linearized - 1e-9);
+  EXPECT_GE(result.rounds, 1);
+  EXPECT_NEAR(result.solution.budget_used / problem.theta(), 1.0, 1e-6);
+}
+
+TEST(ExactRate, GapTinyAtPaperOperatingPoint) {
+  // At rates <= 1e-2 the linearization is excellent: SCP moves the exact
+  // utility by less than 1e-4 in total (20 OD pairs).
+  const GeantScenario s = make_geant_scenario();
+  const PlacementProblem problem = make_problem(s);
+  const ExactRateResult result = solve_exact_placement(problem);
+  EXPECT_LT(result.exact_utility_scp - result.exact_utility_linearized,
+            1e-4);
+  // And SCP converges in a handful of rounds.
+  EXPECT_LE(result.rounds, 10);
+}
+
+TEST(ExactRate, HighRateRegimeStaysMonotoneAndFeasible) {
+  // Push theta high enough that rates reach tens of percent: eq. (7)
+  // overestimates rho substantially. The SCP safeguard must never end
+  // below the linearized solution's exact utility, whatever happens.
+  const GeantScenario s = make_geant_scenario();
+  ProblemOptions options;
+  options.theta = 3.0e6;  // 30x the paper's budget
+  const PlacementProblem problem = make_problem(s, options);
+
+  // The linearization error itself is now large (deterministic check).
+  const PlacementSolution linearized = solve_placement(problem);
+  EXPECT_GT(sampling::max_linearization_error(problem.routing(),
+                                              linearized.rates),
+            0.01);
+
+  const ExactRateResult result = solve_exact_placement(problem);
+  EXPECT_GE(result.exact_utility_scp,
+            result.exact_utility_linearized - 1e-9);
+  EXPECT_GE(result.rounds, 1);
+  EXPECT_NEAR(result.solution.budget_used / problem.theta(), 1.0, 1e-6);
+}
+
+TEST(ExactRate, ValidatesOptions) {
+  const GeantScenario s = make_geant_scenario();
+  const PlacementProblem problem = make_problem(s);
+  ExactRateOptions bad;
+  bad.max_rounds = 0;
+  EXPECT_THROW(solve_exact_placement(problem, bad), Error);
+}
+
+}  // namespace
+}  // namespace netmon::core

@@ -1,0 +1,100 @@
+#include "core/maximin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scenario.hpp"
+#include "core/solver.hpp"
+#include "core/utility.hpp"
+#include "helpers.hpp"
+#include "opt/gradient_projection.hpp"
+#include "util/error.hpp"
+
+namespace netmon::core {
+namespace {
+
+opt::SeparableConcaveObjective two_term_base() {
+  opt::SeparableConcaveObjective::SparseRows rows{{{0, 1.0}}, {{1, 1.0}}};
+  return opt::SeparableConcaveObjective(
+      2, std::move(rows),
+      {std::make_shared<LogUtility>(0.1), std::make_shared<LogUtility>(0.1)});
+}
+
+TEST(SmoothMin, BracketsHardMin) {
+  const auto base = two_term_base();
+  const SmoothMinObjective f(base, 100.0);
+  const std::vector<double> p{0.3, 0.1};
+  const double hard = f.hard_min(p);
+  const double soft = f.value(p);
+  EXPECT_LE(soft, hard + 1e-12);
+  EXPECT_GE(soft, hard - std::log(2.0) / 100.0 - 1e-12);
+}
+
+TEST(SmoothMin, HardMinIsTheSmallerUtility) {
+  const auto base = two_term_base();
+  const SmoothMinObjective f(base, 100.0);
+  const std::vector<double> p{0.3, 0.1};
+  const LogUtility u(0.1);
+  EXPECT_DOUBLE_EQ(f.hard_min(p), std::min(u.value(0.3), u.value(0.1)));
+}
+
+TEST(SmoothMin, GradientMatchesFiniteDifference) {
+  const auto base = two_term_base();
+  const SmoothMinObjective f(base, 50.0);
+  const std::vector<double> p{0.25, 0.15};
+  std::vector<double> g(2);
+  f.gradient(p, g);
+  const auto numeric = test::numeric_gradient(f, p);
+  for (std::size_t j = 0; j < 2; ++j)
+    EXPECT_NEAR(g[j], numeric[j], 1e-5 * (1.0 + std::abs(numeric[j])));
+}
+
+TEST(SmoothMin, DirectionalSecondMatchesFiniteDifference) {
+  const auto base = two_term_base();
+  const SmoothMinObjective f(base, 50.0);
+  const std::vector<double> p{0.25, 0.15};
+  const std::vector<double> s{0.7, -0.4};
+  const double exact = f.directional_second(p, s);
+  EXPECT_NEAR(test::numeric_directional_second(f, p, s) / exact, 1.0, 1e-2);
+}
+
+TEST(SmoothMin, ConcaveAlongLines) {
+  const auto base = two_term_base();
+  const SmoothMinObjective f(base, 200.0);
+  const std::vector<double> p{0.2, 0.3};
+  for (const auto& s : {std::vector<double>{1, 0}, {0, 1}, {1, -1}, {0.5, 2}})
+    EXPECT_LE(f.directional_second(p, s), 1e-12);
+}
+
+TEST(SmoothMin, SolvingRaisesWorstUtility) {
+  // On the GEANT task, max-min must not leave any OD pair behind: its
+  // worst utility is at least as good as the sum-objective's worst.
+  const GeantScenario s = make_geant_scenario();
+  const PlacementProblem problem = make_problem(s);
+  const PlacementSolution sum_solution = solve_placement(problem);
+  double sum_worst = 1.0;
+  for (const auto& od : sum_solution.per_od)
+    sum_worst = std::min(sum_worst, od.utility);
+
+  const SmoothMinObjective maximin(problem.objective(), 400.0);
+  opt::SolverOptions options;
+  options.max_iterations = 8000;
+  const opt::SolveResult r =
+      opt::maximize(maximin, problem.constraints(), options);
+  const double maximin_worst = maximin.hard_min(r.p);
+  EXPECT_GE(maximin_worst, sum_worst - 5e-3);
+  // And the sum objective evaluated at the max-min point cannot beat the
+  // sum optimum.
+  EXPECT_LE(problem.objective().value(r.p),
+            problem.objective().value(problem.compress(sum_solution.rates)) +
+                1e-9);
+}
+
+TEST(SmoothMin, RejectsBadBeta) {
+  const auto base = two_term_base();
+  EXPECT_THROW(SmoothMinObjective(base, 0.0), netmon::Error);
+}
+
+}  // namespace
+}  // namespace netmon::core

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "core/solver.hpp"
+#include "core/task.hpp"
+#include "util/error.hpp"
+
+namespace netmon::core {
+namespace {
+
+TEST(MergeTasks, ConcatenatesWithTaskWeights) {
+  const GeantScenario s = make_geant_scenario();
+  MeasurementTask engineering = s.task;  // 20 OD pairs
+  MeasurementTask security;
+  security.interval_sec = 300.0;
+  security.ods.push_back({s.net.janet, *s.net.graph.find_node("LU")});
+  security.expected_packets.push_back(6000.0);
+  security.weights.push_back(2.0);  // per-OD weight inside the task
+
+  const MeasurementTask merged =
+      merge_tasks({engineering, security}, {1.0, 5.0});
+  ASSERT_EQ(merged.ods.size(), 21u);
+  ASSERT_EQ(merged.weights.size(), 21u);
+  EXPECT_DOUBLE_EQ(merged.weights[0], 1.0);
+  EXPECT_DOUBLE_EQ(merged.weights[20], 10.0);  // 5 (task) * 2 (OD)
+  EXPECT_DOUBLE_EQ(merged.expected_packets[20], 6000.0);
+}
+
+TEST(MergeTasks, MergedTaskSolves) {
+  const GeantScenario s = make_geant_scenario();
+  MeasurementTask watch;
+  watch.interval_sec = 300.0;
+  watch.ods.push_back({s.net.janet, *s.net.graph.find_node("SK")});
+  watch.expected_packets.push_back(7200.0);
+
+  const MeasurementTask merged = merge_tasks({s.task, watch}, {1.0, 8.0});
+  const PlacementProblem problem(s.net.graph, merged, s.loads, {});
+  const PlacementSolution solution = solve_placement(problem);
+  EXPECT_EQ(solution.status, opt::SolveStatus::kOptimal);
+  ASSERT_EQ(solution.per_od.size(), 21u);
+  // The duplicated, heavily weighted SK watch pulls the SK effective
+  // rate above what the plain task gives it.
+  const PlacementSolution plain =
+      solve_placement(PlacementProblem(s.net.graph, s.task, s.loads, {}));
+  EXPECT_GT(solution.per_od[18].rho_approx,  // JANET-SK in Table I order
+            plain.per_od[18].rho_approx);
+}
+
+TEST(MergeTasks, Validation) {
+  const GeantScenario s = make_geant_scenario();
+  EXPECT_THROW(merge_tasks({}, {}), Error);
+  EXPECT_THROW(merge_tasks({s.task}, {1.0, 2.0}), Error);
+  EXPECT_THROW(merge_tasks({s.task}, {0.0}), Error);
+  MeasurementTask wrong_interval = s.task;
+  wrong_interval.interval_sec = 60.0;
+  EXPECT_THROW(merge_tasks({s.task, wrong_interval}, {1.0, 1.0}), Error);
+}
+
+}  // namespace
+}  // namespace netmon::core

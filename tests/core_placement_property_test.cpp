@@ -1,0 +1,126 @@
+// Property sweeps of the end-to-end placement on the GEANT scenario:
+// whatever theta, the solver must certify, spend exactly the budget, keep
+// rates in bounds, and behave monotonically in the budget.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/scenario.hpp"
+#include "core/solver.hpp"
+#include "core/strategies.hpp"
+
+namespace netmon::core {
+namespace {
+
+const GeantScenario& shared_scenario() {
+  static const GeantScenario* s = new GeantScenario(make_geant_scenario());
+  return *s;
+}
+
+class ThetaSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThetaSweepTest, SolverInvariantsHold) {
+  const GeantScenario& s = shared_scenario();
+  ProblemOptions options;
+  options.theta = GetParam();
+  const PlacementProblem problem = make_problem(s, options);
+  const PlacementSolution solution = solve_placement(problem);
+
+  EXPECT_EQ(solution.status, opt::SolveStatus::kOptimal);
+  EXPECT_LE(solution.iterations, 2000);
+  EXPECT_NEAR(solution.budget_used / options.theta, 1.0, 1e-6);
+  for (topo::LinkId id = 0; id < solution.rates.size(); ++id) {
+    EXPECT_GE(solution.rates[id], 0.0);
+    EXPECT_LE(solution.rates[id], 1.0 + 1e-12);
+  }
+  // Every OD pair is observed (SRE utility has huge marginal near 0).
+  for (const OdReport& od : solution.per_od) {
+    EXPECT_GT(od.rho_approx, 0.0);
+    EXPECT_GT(od.utility, 0.0);
+    EXPECT_LE(od.utility, 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ThetaSweepTest,
+                         ::testing::Values(5000.0, 20000.0, 50000.0,
+                                           100000.0, 250000.0, 600000.0,
+                                           1500000.0, 4000000.0));
+
+TEST(ThetaMonotonicity, MoreBudgetNeverHurts) {
+  const GeantScenario& s = shared_scenario();
+  double prev_total = -1e300;
+  for (double theta : {10000.0, 30000.0, 90000.0, 270000.0, 810000.0}) {
+    ProblemOptions options;
+    options.theta = theta;
+    const PlacementSolution solution =
+        solve_placement(make_problem(s, options));
+    EXPECT_GT(solution.total_utility, prev_total) << "theta=" << theta;
+    prev_total = solution.total_utility;
+  }
+}
+
+TEST(ThetaMonotonicity, WorstOdUtilityGrowsWithBudget) {
+  const GeantScenario& s = shared_scenario();
+  auto worst_at = [&](double theta) {
+    ProblemOptions options;
+    options.theta = theta;
+    const PlacementSolution solution =
+        solve_placement(make_problem(s, options));
+    double w = 1.0;
+    for (const auto& od : solution.per_od) w = std::min(w, od.utility);
+    return w;
+  };
+  // Coarse sweep: strict monotonicity is not guaranteed for the *worst*
+  // OD under a sum objective, but over decades of budget it must climb.
+  EXPECT_LT(worst_at(10000.0), worst_at(100000.0));
+  EXPECT_LT(worst_at(100000.0), worst_at(1000000.0));
+}
+
+TEST(RestrictionMonotonicity, LargerMonitorSetsNeverHurt) {
+  const GeantScenario& s = shared_scenario();
+  // Nested restrictions: UK links ⊂ UK+FR links ⊂ everything.
+  const auto uk = uk_links(s.net);
+  std::vector<topo::LinkId> uk_fr = uk;
+  const auto fr = s.net.graph.find_node("FR");
+  for (topo::LinkId id : s.net.graph.out_links(*fr)) uk_fr.push_back(id);
+
+  ProblemOptions options;
+  const double with_uk =
+      solve_restricted(s.net.graph, s.task, s.loads, options, uk)
+          .total_utility;
+  const double with_uk_fr =
+      solve_restricted(s.net.graph, s.task, s.loads, options, uk_fr)
+          .total_utility;
+  const double unrestricted =
+      solve_placement(make_problem(s, options)).total_utility;
+  EXPECT_LE(with_uk, with_uk_fr + 1e-9);
+  EXPECT_LE(with_uk_fr, unrestricted + 1e-9);
+}
+
+class FailureSweepTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FailureSweepTest, AnySingleUkLinkFailureIsSurvivable) {
+  // GEANT is 2-connected at the UK PoP: failing any single UK link must
+  // leave the problem solvable with every OD pair observed.
+  const char* dst = GetParam();
+  const GeantScenario base = shared_scenario();
+  const auto link = base.net.graph.find_link("UK", dst);
+  ASSERT_TRUE(link.has_value());
+
+  ScenarioOptions scenario_options;
+  scenario_options.failed.insert(*link);
+  const GeantScenario failed = make_geant_scenario(scenario_options);
+  ProblemOptions options;
+  options.failed.insert(*link);
+  const PlacementProblem problem(failed.net.graph, failed.task, failed.loads,
+                                 options);
+  const PlacementSolution solution = solve_placement(problem);
+  EXPECT_EQ(solution.status, opt::SolveStatus::kOptimal);
+  for (const OdReport& od : solution.per_od) EXPECT_GT(od.rho_approx, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(UkLinks, FailureSweepTest,
+                         ::testing::Values("FR", "NL", "SE", "NY", "PT"));
+
+}  // namespace
+}  // namespace netmon::core

@@ -1,0 +1,119 @@
+#include "core/problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "util/error.hpp"
+
+namespace netmon::core {
+namespace {
+
+TEST(PlacementProblem, GeantCandidatesExcludeAccessLink) {
+  const GeantScenario s = make_geant_scenario();
+  const PlacementProblem problem = make_problem(s);
+  // The task traverses 21 links (20 tree links + access); the access link
+  // is not monitorable, leaving 20 candidates.
+  EXPECT_EQ(problem.routing().links_used().size(), 21u);
+  EXPECT_EQ(problem.candidates().size(), 20u);
+  for (topo::LinkId id : problem.candidates()) {
+    EXPECT_NE(id, s.net.access_in);
+    EXPECT_TRUE(s.net.graph.link(id).monitorable);
+    EXPECT_GT(s.loads[id], 0.0);
+  }
+}
+
+TEST(PlacementProblem, RestrictionNarrowsCandidates) {
+  const GeantScenario s = make_geant_scenario();
+  ProblemOptions options;
+  options.restrict_to = uk_links(s.net);
+  const PlacementProblem problem = make_problem(s, options);
+  EXPECT_EQ(problem.candidates().size(), 5u);  // UK->IE is not in L
+  for (topo::LinkId id : problem.candidates())
+    EXPECT_EQ(s.net.graph.link(id).src, s.net.uk);
+}
+
+TEST(PlacementProblem, ExpandCompressRoundTrip) {
+  const GeantScenario s = make_geant_scenario();
+  const PlacementProblem problem = make_problem(s);
+  std::vector<double> x(problem.candidates().size());
+  for (std::size_t j = 0; j < x.size(); ++j) x[j] = 1e-4 * (j + 1);
+  const auto rates = problem.expand(x);
+  EXPECT_EQ(rates.size(), s.net.graph.link_count());
+  EXPECT_EQ(problem.compress(rates), x);
+  // Non-candidate links carry rate 0.
+  EXPECT_DOUBLE_EQ(rates[s.net.access_in], 0.0);
+}
+
+TEST(PlacementProblem, ConstraintsUsePacketsPerInterval) {
+  const GeantScenario s = make_geant_scenario();
+  const PlacementProblem problem = make_problem(s);
+  const auto& u = problem.constraints().loads();
+  const auto& candidates = problem.candidates();
+  for (std::size_t j = 0; j < candidates.size(); ++j) {
+    EXPECT_NEAR(u[j], s.loads[candidates[j]] * 300.0, 1e-6);
+  }
+  EXPECT_DOUBLE_EQ(problem.constraints().theta(), 100000.0);
+}
+
+TEST(PlacementProblem, BudgetUsedCountsAllLinks) {
+  const GeantScenario s = make_geant_scenario();
+  const PlacementProblem problem = make_problem(s);
+  sampling::RateVector rates(s.net.graph.link_count(), 0.0);
+  rates[problem.candidates()[0]] = 0.001;
+  const double expected =
+      0.001 * s.loads[problem.candidates()[0]] * 300.0;
+  EXPECT_NEAR(problem.budget_used(rates), expected, 1e-9);
+}
+
+TEST(PlacementProblem, ValidatesInputs) {
+  const GeantScenario s = make_geant_scenario();
+  MeasurementTask bad = s.task;
+  bad.expected_packets.pop_back();
+  EXPECT_THROW(PlacementProblem(s.net.graph, bad, s.loads, {}), Error);
+
+  MeasurementTask tiny = s.task;
+  tiny.expected_packets[0] = 1.0;  // S < 2 not allowed
+  EXPECT_THROW(PlacementProblem(s.net.graph, tiny, s.loads, {}), Error);
+
+  traffic::LinkLoads wrong(3, 1.0);
+  EXPECT_THROW(PlacementProblem(s.net.graph, s.task, wrong, {}), Error);
+
+  ProblemOptions huge;
+  huge.theta = 1e12;  // exceeds samplable volume
+  EXPECT_THROW(PlacementProblem(s.net.graph, s.task, s.loads, huge), Error);
+}
+
+TEST(PlacementProblem, FailureChangesRouting) {
+  const GeantScenario s = make_geant_scenario();
+  ProblemOptions options;
+  const auto uk_nl = s.net.graph.find_link("UK", "NL");
+  ASSERT_TRUE(uk_nl.has_value());
+  options.failed.insert(*uk_nl);
+  // Loads must be recomputed for the failed topology.
+  ScenarioOptions scenario_options;
+  scenario_options.failed.insert(*uk_nl);
+  const GeantScenario rerouted = make_geant_scenario(scenario_options);
+  const PlacementProblem problem(rerouted.net.graph, rerouted.task,
+                                 rerouted.loads, options);
+  for (std::size_t k = 0; k < problem.routing().od_count(); ++k) {
+    EXPECT_DOUBLE_EQ(problem.routing().fraction(k, *uk_nl), 0.0);
+  }
+}
+
+TEST(PlacementProblem, EcmpOptionBuildsFractionalRows) {
+  const GeantScenario s = make_geant_scenario();
+  ProblemOptions options;
+  options.ecmp = true;
+  const PlacementProblem problem = make_problem(s, options);
+  EXPECT_EQ(problem.routing().od_count(), 20u);
+  // All fractions lie in (0, 1].
+  for (std::size_t k = 0; k < 20; ++k) {
+    for (const auto& [link, frac] : problem.routing().row(k)) {
+      EXPECT_GT(frac, 0.0);
+      EXPECT_LE(frac, 1.0 + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netmon::core

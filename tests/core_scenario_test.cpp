@@ -1,0 +1,83 @@
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/task.hpp"
+
+namespace netmon::core {
+namespace {
+
+TEST(Scenario, TaskMatchesTopologyData) {
+  const GeantScenario s = make_geant_scenario();
+  ASSERT_EQ(s.task.ods.size(), 20u);
+  ASSERT_EQ(s.task.expected_packets.size(), 20u);
+  EXPECT_DOUBLE_EQ(s.task.interval_sec, 300.0);
+  for (const auto& od : s.task.ods) EXPECT_EQ(od.src, s.net.janet);
+  // Expected sizes are rates * interval.
+  EXPECT_NEAR(s.task.expected_packets.front(), 30266.0 * 300.0, 1e-6);
+  EXPECT_NEAR(s.task.expected_packets.back(), 20.0 * 300.0, 1e-6);
+}
+
+TEST(Scenario, DemandsIncludeBackgroundAndTask) {
+  const GeantScenario s = make_geant_scenario();
+  EXPECT_EQ(s.demands.size(), 23u * 22u + 20u);
+  // Total offered traffic: background + JANET ingress.
+  EXPECT_NEAR(traffic::total_rate(s.demands), 1.4e6 + 57933.0, 1.0);
+}
+
+TEST(Scenario, LoadsCoverEveryTaskLink) {
+  const GeantScenario s = make_geant_scenario();
+  const auto matrix =
+      routing::RoutingMatrix::single_path(s.net.graph, s.task.ods);
+  for (topo::LinkId id : matrix.links_used()) {
+    EXPECT_GT(s.loads[id], 0.0) << s.net.graph.link_name(id);
+  }
+}
+
+TEST(Scenario, AccessLinkCarriesExactlyJanetIngress) {
+  const GeantScenario s = make_geant_scenario();
+  EXPECT_NEAR(s.loads[s.net.access_in], 57933.0, 1e-6);
+}
+
+TEST(Scenario, UkLinksHelper) {
+  const GeantScenario s = make_geant_scenario();
+  const auto links = uk_links(s.net);
+  ASSERT_EQ(links.size(), 6u);
+  for (topo::LinkId id : links) {
+    EXPECT_EQ(s.net.graph.link(id).src, s.net.uk);
+    EXPECT_TRUE(s.net.graph.link(id).monitorable);
+  }
+}
+
+TEST(Scenario, FailureRerouting) {
+  // Failing UK->NL forces the eastern OD pairs onto other UK links.
+  const GeantScenario base = make_geant_scenario();
+  const auto uk_nl = *base.net.graph.find_link("UK", "NL");
+
+  ScenarioOptions options;
+  options.failed.insert(uk_nl);
+  const GeantScenario failed = make_geant_scenario(options);
+  EXPECT_DOUBLE_EQ(failed.loads[uk_nl], 0.0);
+  // The displaced traffic must show up elsewhere; total conserved per
+  // demand, so some other UK link gains load.
+  const auto uk_fr = *base.net.graph.find_link("UK", "FR");
+  const auto uk_se = *base.net.graph.find_link("UK", "SE");
+  EXPECT_GT(failed.loads[uk_fr] + failed.loads[uk_se],
+            base.loads[uk_fr] + base.loads[uk_se]);
+}
+
+TEST(Scenario, BackgroundScaleIsConfigurable) {
+  ScenarioOptions options;
+  options.background_pkt_per_sec = 2.8e6;
+  const GeantScenario heavy = make_geant_scenario(options);
+  const GeantScenario normal = make_geant_scenario();
+  const auto nl_de = *normal.net.graph.find_link("NL", "DE");
+  // JANET's fixed demand rides on this link too, so the ratio lands just
+  // under 2.
+  const double ratio = heavy.loads[nl_de] / normal.loads[nl_de];
+  EXPECT_GT(ratio, 1.8);
+  EXPECT_LE(ratio, 2.0);
+}
+
+}  // namespace
+}  // namespace netmon::core

@@ -1,0 +1,102 @@
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/scenario.hpp"
+#include "core/strategies.hpp"
+
+namespace netmon::core {
+namespace {
+
+class SensitivityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario = new GeantScenario(make_geant_scenario());
+    problem = new PlacementProblem(make_problem(*scenario));
+    solution = new PlacementSolution(solve_placement(*problem));
+    values = new std::vector<MonitorValue>(
+        monitor_values(*problem, *solution));
+  }
+  static void TearDownTestSuite() {
+    delete values;
+    delete solution;
+    delete problem;
+    delete scenario;
+  }
+  static GeantScenario* scenario;
+  static PlacementProblem* problem;
+  static PlacementSolution* solution;
+  static std::vector<MonitorValue>* values;
+};
+
+GeantScenario* SensitivityTest::scenario = nullptr;
+PlacementProblem* SensitivityTest::problem = nullptr;
+PlacementSolution* SensitivityTest::solution = nullptr;
+std::vector<MonitorValue>* SensitivityTest::values = nullptr;
+
+TEST_F(SensitivityTest, CoversEveryCandidate) {
+  EXPECT_EQ(values->size(), problem->candidates().size());
+  // Sorted by ratio, descending.
+  for (std::size_t i = 1; i < values->size(); ++i)
+    EXPECT_GE((*values)[i - 1].value_ratio, (*values)[i].value_ratio);
+}
+
+TEST_F(SensitivityTest, ActiveInteriorLinksPayExactlyForThemselves) {
+  for (const MonitorValue& v : *values) {
+    if (v.active) {
+      EXPECT_NEAR(v.value_ratio, 1.0, 1e-4)
+          << scenario->net.graph.link_name(v.link);
+    }
+  }
+}
+
+TEST_F(SensitivityTest, InactiveLinksAreCorrectlyPricedOut) {
+  // At a certified optimum no inactive link may be worth more than its
+  // cost (that would contradict the KKT certificate).
+  std::size_t inactive = 0;
+  for (const MonitorValue& v : *values) {
+    if (!v.active) {
+      ++inactive;
+      EXPECT_LE(v.value_ratio, 1.0 + 1e-6)
+          << scenario->net.graph.link_name(v.link);
+    }
+  }
+  EXPECT_EQ(inactive, problem->candidates().size() -
+                          solution->active_monitors.size());
+}
+
+TEST_F(SensitivityTest, NextMonitorIsTheBestPricedInactiveLink) {
+  const topo::LinkId next = next_monitor_to_activate(*values);
+  ASSERT_NE(next, topo::kInvalidId);
+  // It must not be one of the active monitors.
+  EXPECT_EQ(std::find(solution->active_monitors.begin(),
+                      solution->active_monitors.end(), next),
+            solution->active_monitors.end());
+  // And it is indeed the highest-ratio inactive candidate.
+  double best = -1.0;
+  topo::LinkId expected = topo::kInvalidId;
+  for (const MonitorValue& v : *values) {
+    if (!v.active && v.value_ratio > best) {
+      best = v.value_ratio;
+      expected = v.link;
+    }
+  }
+  EXPECT_EQ(next, expected);
+}
+
+TEST_F(SensitivityTest, SuboptimalPlacementShowsMispricedLinks) {
+  // Under the uniform strategy some link must look under- or over-priced
+  // (ratio far from 1) — that is exactly the optimizer's opportunity.
+  const PlacementSolution uniform =
+      evaluate_rates(*problem, uniform_rates(*problem));
+  const auto uniform_values = monitor_values(*problem, uniform);
+  double worst_gap = 0.0;
+  for (const MonitorValue& v : uniform_values)
+    worst_gap = std::max(worst_gap, std::abs(v.value_ratio - 1.0));
+  EXPECT_GT(worst_gap, 0.5);
+}
+
+}  // namespace
+}  // namespace netmon::core

@@ -1,0 +1,116 @@
+#include "core/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/scenario.hpp"
+
+namespace netmon::core {
+namespace {
+
+class GeantSolveTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new GeantScenario(make_geant_scenario());
+    problem_ = new PlacementProblem(make_problem(*scenario_));
+    solution_ = new PlacementSolution(solve_placement(*problem_));
+  }
+  static void TearDownTestSuite() {
+    delete solution_;
+    delete problem_;
+    delete scenario_;
+    solution_ = nullptr;
+    problem_ = nullptr;
+    scenario_ = nullptr;
+  }
+  static GeantScenario* scenario_;
+  static PlacementProblem* problem_;
+  static PlacementSolution* solution_;
+};
+
+GeantScenario* GeantSolveTest::scenario_ = nullptr;
+PlacementProblem* GeantSolveTest::problem_ = nullptr;
+PlacementSolution* GeantSolveTest::solution_ = nullptr;
+
+TEST_F(GeantSolveTest, CertifiedOptimalWithinPaperIterationCap) {
+  EXPECT_EQ(solution_->status, opt::SolveStatus::kOptimal);
+  EXPECT_LE(solution_->iterations, 2000);  // the paper's threshold
+}
+
+TEST_F(GeantSolveTest, BudgetFullyUsed) {
+  EXPECT_NEAR(solution_->budget_used / problem_->theta(), 1.0, 1e-6);
+}
+
+TEST_F(GeantSolveTest, RatesAreProbabilitiesAndLow) {
+  for (topo::LinkId id = 0; id < solution_->rates.size(); ++id) {
+    EXPECT_GE(solution_->rates[id], 0.0);
+    EXPECT_LE(solution_->rates[id], 1.0);
+  }
+  // Paper §V-B: "the sampling rates are extremely low on most links";
+  // the largest rates stay below ~1%.
+  const double max_rate =
+      *std::max_element(solution_->rates.begin(), solution_->rates.end());
+  EXPECT_LT(max_rate, 0.02);
+}
+
+TEST_F(GeantSolveTest, ActiveMonitorsMatchTableOne) {
+  // The ten active monitors of the paper's Table I.
+  std::vector<std::string> names;
+  for (topo::LinkId id : solution_->active_monitors)
+    names.push_back(scenario_->net.graph.link_name(id));
+  const std::vector<std::string> expected{
+      "UK->FR", "UK->NL", "UK->SE", "UK->NY", "UK->PT",
+      "FR->BE", "FR->LU", "SE->PL", "IT->IL", "CZ->SK"};
+  ASSERT_EQ(names.size(), expected.size());
+  for (const auto& name : expected) {
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
+        << "missing monitor " << name;
+  }
+}
+
+TEST_F(GeantSolveTest, EachOdSampledOnAtMostTwoLinks) {
+  // Paper §V-B: "each OD pair is sampled in at most two links", which
+  // validates the effective-rate approximation.
+  for (const OdReport& od : solution_->per_od) {
+    EXPECT_LE(od.monitored_links.size(), 2u);
+    EXPECT_GE(od.monitored_links.size(), 1u);
+  }
+}
+
+TEST_F(GeantSolveTest, UtilitiesBalancedAndHigh) {
+  double lo = 1.0, hi = 0.0;
+  for (const OdReport& od : solution_->per_od) {
+    lo = std::min(lo, od.utility);
+    hi = std::max(hi, od.utility);
+  }
+  EXPECT_GT(lo, 0.9);          // paper: accuracy above 0.89 for every OD
+  EXPECT_LT(hi - lo, 0.06);    // good fairness despite sum objective
+}
+
+TEST_F(GeantSolveTest, ApproximationValidAtOptimalRates) {
+  // rho_approx and rho_exact agree to a fraction of a percent (§V-B).
+  for (const OdReport& od : solution_->per_od) {
+    ASSERT_GT(od.rho_exact, 0.0);
+    EXPECT_NEAR(od.rho_approx / od.rho_exact, 1.0, 5e-3);
+  }
+}
+
+TEST_F(GeantSolveTest, EvaluateRatesReproducesSolveReport) {
+  const PlacementSolution re = evaluate_rates(*problem_, solution_->rates);
+  EXPECT_NEAR(re.total_utility, solution_->total_utility, 1e-12);
+  EXPECT_EQ(re.active_monitors, solution_->active_monitors);
+  ASSERT_EQ(re.per_od.size(), solution_->per_od.size());
+  for (std::size_t k = 0; k < re.per_od.size(); ++k) {
+    EXPECT_DOUBLE_EQ(re.per_od[k].rho_approx,
+                     solution_->per_od[k].rho_approx);
+  }
+}
+
+TEST_F(GeantSolveTest, LambdaPositive) {
+  // The budget constraint must be binding: positive shadow price.
+  EXPECT_GT(solution_->lambda, 0.0);
+}
+
+}  // namespace
+}  // namespace netmon::core

@@ -1,0 +1,99 @@
+#include "core/strategies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "util/error.hpp"
+
+namespace netmon::core {
+namespace {
+
+TEST(Strategies, UniformConsumesBudget) {
+  const GeantScenario s = make_geant_scenario();
+  const PlacementProblem problem = make_problem(s);
+  const auto rates = uniform_rates(problem);
+  EXPECT_NEAR(problem.budget_used(rates) / problem.theta(), 1.0, 1e-9);
+  // All candidate links share one rate.
+  double rate = -1.0;
+  for (topo::LinkId id : problem.candidates()) {
+    if (rate < 0.0) rate = rates[id];
+    EXPECT_DOUBLE_EQ(rates[id], rate);
+  }
+}
+
+TEST(Strategies, UniformIsWorseThanOptimal) {
+  const GeantScenario s = make_geant_scenario();
+  const PlacementProblem problem = make_problem(s);
+  const PlacementSolution optimal = solve_placement(problem);
+  const PlacementSolution uniform =
+      evaluate_rates(problem, uniform_rates(problem));
+  EXPECT_GT(optimal.total_utility, uniform.total_utility);
+}
+
+TEST(Strategies, SingleLinkPutsAllBudgetOnOneLink) {
+  const GeantScenario s = make_geant_scenario();
+  const PlacementProblem problem = make_problem(s);
+  const auto rates = single_link_rates(problem, s.net.access_in);
+  EXPECT_GT(rates[s.net.access_in], 0.0);
+  for (topo::LinkId id = 0; id < rates.size(); ++id) {
+    if (id != s.net.access_in) {
+      EXPECT_DOUBLE_EQ(rates[id], 0.0);
+    }
+  }
+  EXPECT_NEAR(problem.budget_used(rates) / problem.theta(), 1.0, 1e-9);
+}
+
+TEST(Strategies, SingleLinkAccessRateMatchesThetaOverLoad) {
+  // p = theta / (U * T): with theta=100k and the access link carrying
+  // 57,933 pkt/s, p ~ 0.00575 (paper §V-C's arithmetic).
+  const GeantScenario s = make_geant_scenario();
+  const PlacementProblem problem = make_problem(s);
+  const auto rates = single_link_rates(problem, s.net.access_in);
+  EXPECT_NEAR(rates[s.net.access_in], 100000.0 / (57933.0 * 300.0), 1e-9);
+}
+
+TEST(Strategies, ThetaForSingleLinkScalesWithRho) {
+  const GeantScenario s = make_geant_scenario();
+  const PlacementProblem problem = make_problem(s);
+  const double theta = theta_for_single_link(problem, s.net.access_in, 0.01);
+  EXPECT_NEAR(theta, 0.01 * 57933.0 * 300.0, 1e-6);  // = 173,799 (paper)
+  EXPECT_THROW(theta_for_single_link(problem, s.net.access_in, 0.0), Error);
+}
+
+TEST(Strategies, RestrictedSolveCannotBeatUnrestricted) {
+  const GeantScenario s = make_geant_scenario();
+  const PlacementProblem full = make_problem(s);
+  const PlacementSolution optimal = solve_placement(full);
+  const PlacementSolution restricted = solve_restricted(
+      s.net.graph, s.task, s.loads, ProblemOptions{}, uk_links(s.net));
+  EXPECT_EQ(restricted.status, opt::SolveStatus::kOptimal);
+  EXPECT_LE(restricted.total_utility, optimal.total_utility + 1e-9);
+  // Restricted monitors stay on UK links only.
+  for (topo::LinkId id : restricted.active_monitors)
+    EXPECT_EQ(s.net.graph.link(id).src, s.net.uk);
+}
+
+TEST(Strategies, RestrictedHurtsSmallOdPairs) {
+  // Paper Fig. 2: the UK-links-only solution is much worse for small OD
+  // pairs at moderate theta.
+  const GeantScenario s = make_geant_scenario();
+  const PlacementProblem full = make_problem(s);
+  const PlacementSolution optimal = solve_placement(full);
+  const PlacementSolution restricted = solve_restricted(
+      s.net.graph, s.task, s.loads, ProblemOptions{}, uk_links(s.net));
+  const auto worst = [](const PlacementSolution& sol) {
+    double w = 1.0;
+    for (const auto& od : sol.per_od) w = std::min(w, od.utility);
+    return w;
+  };
+  EXPECT_LT(worst(restricted), worst(optimal));
+}
+
+TEST(Strategies, SingleLinkValidation) {
+  const GeantScenario s = make_geant_scenario();
+  const PlacementProblem problem = make_problem(s);
+  EXPECT_THROW(single_link_rates(problem, 9999), Error);
+}
+
+}  // namespace
+}  // namespace netmon::core

@@ -1,0 +1,111 @@
+#include "core/utility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace netmon::core {
+namespace {
+
+TEST(SreUtility, PivotFormula) {
+  // x0 = 3c/(1+c).
+  const SreUtility m(0.002);
+  EXPECT_NEAR(m.pivot(), 3.0 * 0.002 / 1.002, 1e-15);
+  EXPECT_NEAR(m.pivot(), 0.005988, 1e-6);  // paper Fig. 1, S = 500
+}
+
+TEST(SreUtility, PaperFigureOnePivots) {
+  // Fig. 1 labels: (0.00599, 0.668) for E[1/S]=1/500 and
+  // (0.000599, 0.666) for E[1/S]=1/5000.
+  const SreUtility m500(1.0 / 500.0);
+  EXPECT_NEAR(m500.pivot(), 0.00599, 1e-5);
+  EXPECT_NEAR(m500.value(m500.pivot()), 0.668, 5e-4);
+  const SreUtility m5000(1.0 / 5000.0);
+  EXPECT_NEAR(m5000.pivot(), 0.000599, 1e-6);
+  EXPECT_NEAR(m5000.value(m5000.pivot()), 0.6668, 5e-4);
+}
+
+TEST(SreUtility, ZeroAtOrigin) {
+  const SreUtility m(0.01);
+  EXPECT_DOUBLE_EQ(m.value(0.0), 0.0);
+}
+
+TEST(SreUtility, MatchesAccuracyFormAbovePivot) {
+  // M(x) = 1 - c(1-x)/x for x >= x0.
+  const SreUtility m(0.002);
+  for (double x : {0.01, 0.05, 0.3, 1.0}) {
+    EXPECT_NEAR(m.value(x), 1.0 - 0.002 * (1.0 - x) / x, 1e-14);
+  }
+  EXPECT_NEAR(m.value(1.0), 1.0, 1e-14);  // perfect sampling, zero error
+}
+
+TEST(SreUtility, CTwoJoinAtPivot) {
+  const SreUtility m(0.005);
+  const double x0 = m.pivot();
+  const double eps = 1e-10;
+  EXPECT_NEAR(m.value(x0 - eps), m.value(x0 + eps),
+              10.0 * m.deriv(x0) * eps);
+  EXPECT_NEAR(m.deriv(x0 - eps), m.deriv(x0 + eps), 1e-4);
+  EXPECT_NEAR(m.second(x0 - eps), m.second(x0 + eps),
+              1e-4 * std::abs(m.second(x0)));
+}
+
+TEST(SreUtility, StrictlyIncreasingAndConcave) {
+  const SreUtility m(0.01);
+  double prev_value = -1.0;
+  double prev_deriv = 1e300;
+  for (double x = 0.0; x <= 1.0; x += 0.001) {
+    const double v = m.value(x);
+    const double d = m.deriv(x);
+    EXPECT_GT(v, prev_value);
+    EXPECT_GT(d, 0.0);
+    EXPECT_LE(d, prev_deriv);   // concavity: derivative non-increasing
+    EXPECT_LT(m.second(x), 0.0);  // strictly concave
+    prev_value = v;
+    prev_deriv = d;
+  }
+}
+
+TEST(SreUtility, DerivMatchesFiniteDifference) {
+  const SreUtility m(0.003);
+  for (double x : {0.0005, 0.002, 0.05, 0.4}) {
+    const double h = 1e-7;
+    const double fd = (m.value(x + h) - m.value(x - h)) / (2.0 * h);
+    EXPECT_NEAR(m.deriv(x) / fd, 1.0, 1e-5) << "x=" << x;
+    // Larger step for the second difference: it suffers from
+    // catastrophic cancellation at small h.
+    const double h2 = 1e-4;
+    const double fd2 = (m.value(x + h2) - 2.0 * m.value(x) + m.value(x - h2)) /
+                       (h2 * h2);
+    EXPECT_NEAR(m.second(x) / fd2, 1.0, 5e-2) << "x=" << x;
+  }
+}
+
+TEST(SreUtility, UtilityConsistentWithExpectedSre) {
+  // Above the pivot, M = 1 - E[SRE].
+  const double c = 0.001;
+  const SreUtility m(c);
+  const double rho = 0.02;
+  EXPECT_NEAR(m.value(rho), 1.0 - c * (1.0 - rho) / rho, 1e-14);
+}
+
+TEST(SreUtility, RejectsBadC) {
+  EXPECT_THROW(SreUtility(0.0), Error);
+  EXPECT_THROW(SreUtility(-0.1), Error);
+  EXPECT_THROW(SreUtility(0.6), Error);  // pivot would exceed 1
+  EXPECT_NO_THROW(SreUtility(0.5));
+}
+
+TEST(LogUtility, BasicProperties) {
+  const LogUtility m(0.1);
+  EXPECT_DOUBLE_EQ(m.value(0.0), 0.0);
+  EXPECT_GT(m.deriv(0.0), 0.0);
+  EXPECT_LT(m.second(0.0), 0.0);
+  EXPECT_NEAR(m.value(0.1), std::log(2.0), 1e-12);
+  EXPECT_THROW(LogUtility(0.0), Error);
+}
+
+}  // namespace
+}  // namespace netmon::core

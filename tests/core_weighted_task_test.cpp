@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scenario.hpp"
+#include "core/solver.hpp"
+#include "core/utility.hpp"
+#include "util/error.hpp"
+
+namespace netmon::core {
+namespace {
+
+TEST(WeightedUtility, ScalesValueAndDerivatives) {
+  auto base = std::make_shared<SreUtility>(0.01);
+  const WeightedUtility weighted(base, 3.0);
+  for (double x : {0.001, 0.01, 0.2}) {
+    EXPECT_DOUBLE_EQ(weighted.value(x), 3.0 * base->value(x));
+    EXPECT_DOUBLE_EQ(weighted.deriv(x), 3.0 * base->deriv(x));
+    EXPECT_DOUBLE_EQ(weighted.second(x), 3.0 * base->second(x));
+  }
+  EXPECT_THROW(WeightedUtility(base, 0.0), Error);
+  EXPECT_THROW(WeightedUtility(nullptr, 1.0), Error);
+}
+
+TEST(WeightedTask, UnitWeightsChangeNothing) {
+  const GeantScenario s = make_geant_scenario();
+  MeasurementTask weighted = s.task;
+  weighted.weights.assign(weighted.ods.size(), 1.0);
+  const PlacementSolution plain =
+      solve_placement(PlacementProblem(s.net.graph, s.task, s.loads, {}));
+  const PlacementSolution unit =
+      solve_placement(PlacementProblem(s.net.graph, weighted, s.loads, {}));
+  EXPECT_NEAR(plain.total_utility, unit.total_utility, 1e-9);
+}
+
+TEST(WeightedTask, HighPriorityOdGetsHigherEffectiveRate) {
+  const GeantScenario s = make_geant_scenario();
+  // Give the smallest OD pair (JANET-LU, index 19) a 10x priority.
+  MeasurementTask weighted = s.task;
+  weighted.weights.assign(weighted.ods.size(), 1.0);
+  weighted.weights[19] = 10.0;
+
+  const PlacementSolution plain =
+      solve_placement(PlacementProblem(s.net.graph, s.task, s.loads, {}));
+  const PlacementSolution boosted = solve_placement(
+      PlacementProblem(s.net.graph, weighted, s.loads, {}));
+  EXPECT_EQ(boosted.status, opt::SolveStatus::kOptimal);
+  EXPECT_GT(boosted.per_od[19].rho_approx, plain.per_od[19].rho_approx);
+  // The extra attention comes out of someone else's budget.
+  EXPECT_LT(boosted.per_od[0].rho_approx + 1e-15,
+            plain.per_od[0].rho_approx * 1.001);
+}
+
+TEST(WeightedTask, ValidatesWeightVector) {
+  const GeantScenario s = make_geant_scenario();
+  MeasurementTask bad = s.task;
+  bad.weights = {1.0, 2.0};  // wrong length
+  EXPECT_THROW(PlacementProblem(s.net.graph, bad, s.loads, {}), Error);
+}
+
+TEST(LambdaSensitivity, MultiplierPredictsMarginalUtility) {
+  // The budget multiplier lambda is dU*/dtheta: check against a finite
+  // difference of the optimal value. This validates the KKT machinery
+  // end to end.
+  const GeantScenario s = make_geant_scenario();
+  auto solve_at = [&](double theta) {
+    ProblemOptions options;
+    options.theta = theta;
+    return solve_placement(make_problem(s, options));
+  };
+  const double theta = 100000.0;
+  const double h = 2000.0;
+  const PlacementSolution at = solve_at(theta);
+  const PlacementSolution up = solve_at(theta + h);
+  const PlacementSolution down = solve_at(theta - h);
+  const double fd = (up.total_utility - down.total_utility) / (2.0 * h);
+  EXPECT_NEAR(at.lambda / fd, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace netmon::core

@@ -1,0 +1,69 @@
+// The repo ships the reference topology and task as text files
+// (data/geant.topo, data/janet.task) for the placement_tool CLI; they
+// must stay in sync with the built-in scenario.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "topo/geant.hpp"
+#include "topo/io.hpp"
+
+namespace netmon::topo {
+namespace {
+
+std::ifstream open_data(const std::string& name) {
+  // ctest runs from the build tree; the data dir sits next to it.
+  for (const char* prefix : {"../data/", "data/", "../../data/"}) {
+    std::ifstream in(prefix + name);
+    if (in) return in;
+  }
+  return std::ifstream{};
+}
+
+TEST(DataFiles, TopologyFileMatchesBuiltIn) {
+  std::ifstream in = open_data("geant.topo");
+  ASSERT_TRUE(in) << "data/geant.topo not found relative to the build dir";
+  const Graph parsed = read_graph(in);
+  const GeantNetwork net = make_geant();
+  ASSERT_EQ(parsed.node_count(), net.graph.node_count());
+  ASSERT_EQ(parsed.link_count(), net.graph.link_count());
+  for (LinkId id = 0; id < parsed.link_count(); ++id) {
+    EXPECT_EQ(parsed.link(id).src, net.graph.link(id).src);
+    EXPECT_EQ(parsed.link(id).dst, net.graph.link(id).dst);
+    EXPECT_DOUBLE_EQ(parsed.link(id).igp_weight,
+                     net.graph.link(id).igp_weight);
+    EXPECT_EQ(parsed.link(id).monitorable, net.graph.link(id).monitorable);
+  }
+  for (const Node& n : net.graph.nodes()) {
+    EXPECT_DOUBLE_EQ(parsed.node(n.id).mass, n.mass);
+  }
+}
+
+TEST(DataFiles, TaskFileMatchesBuiltIn) {
+  std::ifstream in = open_data("janet.task");
+  ASSERT_TRUE(in) << "data/janet.task not found relative to the build dir";
+  const auto& names = janet_destinations();
+  const auto& rates = janet_od_rates();
+  std::string line;
+  std::size_t k = 0;
+  double total = 0.0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string kind, src, dst;
+    double rate = 0.0;
+    ASSERT_TRUE(fields >> kind >> src >> dst >> rate) << line;
+    EXPECT_EQ(kind, "od");
+    EXPECT_EQ(src, "JANET");
+    ASSERT_LT(k, names.size());
+    EXPECT_EQ(dst, names[k]);
+    EXPECT_DOUBLE_EQ(rate, rates[k]);
+    total += rate;
+    ++k;
+  }
+  EXPECT_EQ(k, names.size());
+  EXPECT_NEAR(total, 57933.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace netmon::topo

@@ -1,0 +1,81 @@
+#include "estimate/accuracy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace netmon::estimate {
+namespace {
+
+TEST(Accuracy, EstimateRescales) {
+  EXPECT_DOUBLE_EQ(estimate_size(50, 0.01), 5000.0);
+  EXPECT_THROW(estimate_size(50, 0.0), netmon::Error);
+}
+
+TEST(Accuracy, SquaredRelativeError) {
+  EXPECT_DOUBLE_EQ(squared_relative_error(110.0, 100.0), 0.01);
+  EXPECT_DOUBLE_EQ(squared_relative_error(100.0, 100.0), 0.0);
+  EXPECT_THROW(squared_relative_error(1.0, 0.0), netmon::Error);
+}
+
+TEST(Accuracy, ExpectedSreFormula) {
+  // E[SRE] = c (1-rho)/rho (paper §IV-C).
+  EXPECT_DOUBLE_EQ(expected_sre(0.002, 0.5), 0.002);
+  EXPECT_NEAR(expected_sre(0.002, 0.01), 0.198, 1e-12);
+  EXPECT_DOUBLE_EQ(expected_sre(0.0, 0.01), 0.0);
+  EXPECT_THROW(expected_sre(0.002, 0.0), netmon::Error);
+}
+
+TEST(Accuracy, AccuracyMetric) {
+  EXPECT_DOUBLE_EQ(accuracy(95.0, 100.0), 0.95);
+  EXPECT_DOUBLE_EQ(accuracy(105.0, 100.0), 0.95);
+  EXPECT_DOUBLE_EQ(accuracy(100.0, 100.0), 1.0);
+  EXPECT_LT(accuracy(250.0, 100.0), 0.0);  // can go negative
+}
+
+TEST(Accuracy, VarianceAndConfidence) {
+  // X ~ Binomial(S, rho); Var(X/rho) = S(1-rho)/rho.
+  EXPECT_DOUBLE_EQ(estimator_variance(10000, 0.5), 10000.0);
+  EXPECT_NEAR(confidence_halfwidth_95(10000, 0.5), 1.96 * 100.0, 1e-9);
+}
+
+TEST(Accuracy, EmpiricalSreMatchesExpected) {
+  // Monte-Carlo check of the paper's E[SRE] formula.
+  netmon::Rng rng(42);
+  const std::uint64_t s = 20000;
+  const double rho = 0.01;
+  netmon::RunningStats sre;
+  for (int rep = 0; rep < 4000; ++rep) {
+    const auto x = rng.binomial(s, rho);
+    sre.add(squared_relative_error(estimate_size(x, rho),
+                                   static_cast<double>(s)));
+  }
+  const double expected = expected_sre(1.0 / static_cast<double>(s), rho);
+  EXPECT_NEAR(sre.mean() / expected, 1.0, 0.1);
+}
+
+TEST(Accuracy, EstimatorUnbiased) {
+  netmon::Rng rng(42);
+  const std::uint64_t s = 50000;
+  const double rho = 0.004;
+  netmon::RunningStats est;
+  for (int rep = 0; rep < 2000; ++rep)
+    est.add(estimate_size(rng.binomial(s, rho), rho));
+  EXPECT_NEAR(est.mean() / static_cast<double>(s), 1.0, 0.01);
+}
+
+TEST(Accuracy, BatchAccuracies) {
+  std::vector<sampling::OdSampleCount> counts{{1000, 10}, {2000, 0}, {0, 0}};
+  const std::vector<double> rhos{0.01, 0.0, 0.5};
+  const auto acc = accuracies(counts, rhos);
+  ASSERT_EQ(acc.size(), 3u);
+  EXPECT_DOUBLE_EQ(acc[0], 1.0);  // 10/0.01 = 1000 exactly
+  EXPECT_DOUBLE_EQ(acc[1], 0.0);  // rho == 0 -> no estimate
+  EXPECT_DOUBLE_EQ(acc[2], 0.0);  // no actual packets
+  EXPECT_THROW(accuracies(counts, {0.1}), netmon::Error);
+}
+
+}  // namespace
+}  // namespace netmon::estimate

@@ -1,0 +1,116 @@
+#include "estimate/flow_inversion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace netmon::estimate {
+namespace {
+
+TEST(DetectionProbability, KnownValues) {
+  EXPECT_DOUBLE_EQ(detection_probability(0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(detection_probability(10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(detection_probability(10, 1.0), 1.0);
+  EXPECT_NEAR(detection_probability(1, 0.3), 0.3, 1e-15);
+  EXPECT_NEAR(detection_probability(2, 0.5), 0.75, 1e-15);
+  // Large flows are almost surely detected even at low rates.
+  EXPECT_GE(detection_probability(10000, 0.01), 1.0 - 1e-12);
+  EXPECT_THROW(detection_probability(1, 1.5), Error);
+}
+
+TEST(SampledSizeHistogram, BinsAndClips) {
+  const auto h = sampled_size_histogram({0, 1, 1, 2, 5, 99}, 4);
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0], 2u);  // two records of size 1 (size-0 = undetected)
+  EXPECT_EQ(h[1], 1u);
+  EXPECT_EQ(h[2], 0u);
+  EXPECT_EQ(h[3], 2u);  // 5 and 99 clipped into the last bin
+  EXPECT_THROW(sampled_size_histogram({1}, 0), Error);
+}
+
+// End-to-end inversion: draw flows from a known size distribution,
+// sample them, invert, compare aggregate statistics.
+class InversionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(InversionTest, RecoversTotals) {
+  const double p = GetParam();
+  Rng rng(99);
+  // Ground truth: a bimodal flow population (mice of 2-4 packets,
+  // elephants of 30-60) — the regime where naive scaling fails badly.
+  std::vector<std::uint64_t> true_sizes;
+  for (int i = 0; i < 30000; ++i)
+    true_sizes.push_back(2 + rng.below(3));  // mice
+  for (int i = 0; i < 1500; ++i)
+    true_sizes.push_back(30 + rng.below(31));  // elephants
+  double true_packets = 0.0;
+  for (auto k : true_sizes) true_packets += static_cast<double>(k);
+
+  // Sample each flow; build the sampled-size histogram.
+  std::vector<std::uint64_t> sampled;
+  sampled.reserve(true_sizes.size());
+  for (auto k : true_sizes) sampled.push_back(rng.binomial(k, p));
+  const auto histogram = sampled_size_histogram(sampled, 64);
+
+  FlowInversionOptions options;
+  options.max_size = 64;
+  options.em_iterations = 600;
+  const FlowInversionResult result = invert_flow_sizes(histogram, p, options);
+
+  EXPECT_NEAR(result.total_packets / true_packets, 1.0, 0.15) << "p=" << p;
+  EXPECT_NEAR(result.total_flows / static_cast<double>(true_sizes.size()),
+              1.0, 0.3)
+      << "p=" << p;
+
+  // The naive estimate (detected records only) must be far worse on flow
+  // counts at low rates: most mice are invisible.
+  std::size_t detected = 0;
+  for (auto s : sampled) detected += s >= 1;
+  if (p <= 0.2) {
+    const double naive_err =
+        std::abs(static_cast<double>(detected) / true_sizes.size() - 1.0);
+    const double em_err =
+        std::abs(result.total_flows / true_sizes.size() - 1.0);
+    EXPECT_LT(em_err, naive_err) << "p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, InversionTest,
+                         ::testing::Values(0.1, 0.2, 0.5));
+
+TEST(Inversion, RecoversElephantMass) {
+  // The elephant share of total packets should be approximately
+  // preserved through sampling + inversion.
+  Rng rng(7);
+  const double p = 0.1;
+  std::vector<std::uint64_t> true_sizes;
+  for (int i = 0; i < 20000; ++i) true_sizes.push_back(2);
+  for (int i = 0; i < 1000; ++i) true_sizes.push_back(50);
+  std::vector<std::uint64_t> sampled;
+  for (auto k : true_sizes) sampled.push_back(rng.binomial(k, p));
+
+  FlowInversionOptions options;
+  options.max_size = 60;
+  const auto result =
+      invert_flow_sizes(sampled_size_histogram(sampled, 60), p, options);
+
+  double large_packets = 0.0;
+  for (std::size_t k = 20; k < result.counts.size(); ++k)
+    large_packets += static_cast<double>(k + 1) * result.counts[k];
+  const double true_large = 1000.0 * 50.0;
+  EXPECT_NEAR(large_packets / true_large, 1.0, 0.2);
+}
+
+TEST(Inversion, ValidatesInputs) {
+  EXPECT_THROW(invert_flow_sizes({}, 0.1), Error);
+  EXPECT_THROW(invert_flow_sizes({10}, 0.0), Error);
+  FlowInversionOptions tight;
+  tight.max_size = 2;
+  EXPECT_THROW(invert_flow_sizes({1, 2, 3}, 0.5, tight), Error);
+  EXPECT_THROW(invert_flow_sizes({0, 0}, 0.5), Error);  // nothing observed
+}
+
+}  // namespace
+}  // namespace netmon::estimate

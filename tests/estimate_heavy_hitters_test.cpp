@@ -1,0 +1,107 @@
+#include "estimate/heavy_hitters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace netmon::estimate {
+namespace {
+
+netflow::FlowRecord record(std::uint32_t id, std::uint64_t sampled) {
+  netflow::FlowRecord r;
+  r.key.src_ip = id;
+  r.key.dst_ip = ~id;
+  r.sampled_packets = sampled;
+  return r;
+}
+
+TEST(BinomialUpperTail, KnownValues) {
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(10, 0.5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(10, 0.5, 11), 0.0);
+  // P(Bin(2, 0.5) >= 1) = 0.75; >= 2 is 0.25.
+  EXPECT_NEAR(binomial_upper_tail(2, 0.5, 1), 0.75, 1e-12);
+  EXPECT_NEAR(binomial_upper_tail(2, 0.5, 2), 0.25, 1e-12);
+  // P(Bin(4, 0.5) >= 2) = 11/16.
+  EXPECT_NEAR(binomial_upper_tail(4, 0.5, 2), 11.0 / 16.0, 1e-12);
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(5, 0.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(5, 1.0, 3), 1.0);
+}
+
+TEST(BinomialUpperTail, MatchesMonteCarlo) {
+  Rng rng(42);
+  const std::uint64_t n = 500;
+  const double p = 0.02;
+  const std::uint64_t j = 15;
+  int hits = 0;
+  const int reps = 200000;
+  for (int r = 0; r < reps; ++r) hits += rng.binomial(n, p) >= j;
+  const double analytic = binomial_upper_tail(n, p, j);
+  EXPECT_NEAR(static_cast<double>(hits) / reps, analytic,
+              5.0 * std::sqrt(analytic / reps) + 1e-4);
+}
+
+TEST(BinomialUpperTail, NormalApproximationRegime) {
+  // Large n: approximation path. Sanity: tail at the mean ~ 0.5 and
+  // decreasing in j.
+  const std::uint64_t n = 1000000;
+  const double p = 0.01;
+  const double at_mean = binomial_upper_tail(n, p, 10000);
+  EXPECT_NEAR(at_mean, 0.5, 0.01);
+  EXPECT_GT(binomial_upper_tail(n, p, 9800), at_mean);
+  EXPECT_LT(binomial_upper_tail(n, p, 10300), 0.01);
+}
+
+TEST(HeavyHitters, SeparatesElephantsFromMice) {
+  // p=0.01, threshold 5000: a threshold flow yields ~50 samples. An
+  // elephant with 120 samples (estimated 12000) is a confident hit; a
+  // flow with 55 samples is not (could be a threshold flow).
+  netflow::RecordBatch records{record(1, 120), record(2, 55), record(3, 3)};
+  const auto hits = heavy_hitters(records, 0.01, 5000, 0.99);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].key.src_ip, 1u);
+  EXPECT_NEAR(hits[0].estimated_packets, 12000.0, 1e-9);
+  EXPECT_GT(hits[0].confidence, 0.99);
+}
+
+TEST(HeavyHitters, SortedByEstimatedSize) {
+  netflow::RecordBatch records{record(1, 200), record(2, 500),
+                               record(3, 300)};
+  const auto hits = heavy_hitters(records, 0.01, 5000, 0.9);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].key.src_ip, 2u);
+  EXPECT_EQ(hits[1].key.src_ip, 3u);
+  EXPECT_EQ(hits[2].key.src_ip, 1u);
+}
+
+TEST(HeavyHitters, EndToEndDetectionRates) {
+  // Simulate: 5000 mice (100 pkts) and 5 elephants (50000 pkts) sampled
+  // at 1%. All elephants must be found; false positives must be rare.
+  Rng rng(7);
+  netflow::RecordBatch records;
+  for (std::uint32_t f = 0; f < 5000; ++f)
+    records.push_back(record(f, rng.binomial(100, 0.01)));
+  for (std::uint32_t f = 0; f < 5; ++f)
+    records.push_back(record(100000 + f, rng.binomial(50000, 0.01)));
+
+  const auto hits = heavy_hitters(records, 0.01, 10000, 0.999);
+  std::size_t elephants_found = 0, false_positives = 0;
+  for (const HeavyHitter& hit : hits) {
+    if (hit.key.src_ip >= 100000) ++elephants_found;
+    else ++false_positives;
+  }
+  EXPECT_EQ(elephants_found, 5u);
+  EXPECT_EQ(false_positives, 0u);
+}
+
+TEST(HeavyHitters, Validation) {
+  netflow::RecordBatch records{record(1, 10)};
+  EXPECT_THROW(heavy_hitters(records, 0.0, 100), netmon::Error);
+  EXPECT_THROW(heavy_hitters(records, 0.5, 0), netmon::Error);
+  EXPECT_THROW(heavy_hitters(records, 0.5, 100, 1.5), netmon::Error);
+}
+
+}  // namespace
+}  // namespace netmon::estimate

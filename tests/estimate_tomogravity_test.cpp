@@ -1,0 +1,138 @@
+#include "estimate/tomogravity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "topo/geant.hpp"
+#include "traffic/gravity.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace netmon::estimate {
+namespace {
+
+TEST(Tomogravity, RecoversConsistentMatrixExactly) {
+  // Loads generated from a gravity matrix are perfectly explainable, so
+  // IPF must drive the residual to ~0 and reproduce the loads.
+  const topo::Graph g = test::line_graph();
+  traffic::GravityOptions gravity;
+  gravity.total_pkt_per_sec = 50000.0;
+  const traffic::TrafficMatrix truth = traffic::gravity_matrix(g, gravity);
+  const traffic::LinkLoads observed = traffic::link_loads(g, truth);
+
+  const TomogravityResult result = tomogravity(g, observed);
+  EXPECT_LT(result.residual, 1e-6);
+  const traffic::LinkLoads reproduced = traffic::link_loads(g, result.matrix);
+  for (topo::LinkId id = 0; id < g.link_count(); ++id)
+    EXPECT_NEAR(reproduced[id], observed[id],
+                1e-5 * (1.0 + observed[id]));
+}
+
+TEST(Tomogravity, GravityTruthRecoveredOnGeant) {
+  // On GEANT with a pure gravity ground truth, the estimate should be
+  // close per-OD as well (the prior equals the truth's structure).
+  const topo::GeantNetwork net = topo::make_geant();
+  traffic::GravityOptions gravity;
+  gravity.total_pkt_per_sec = 1.0e6;
+  const traffic::TrafficMatrix truth =
+      traffic::gravity_matrix(net.graph, gravity);
+  const traffic::LinkLoads observed = traffic::link_loads(net.graph, truth);
+
+  const TomogravityResult result = tomogravity(net.graph, observed);
+  EXPECT_LT(result.residual, 1e-4);
+  EXPECT_LT(matrix_relative_error(result.matrix, truth, 10.0), 0.05);
+}
+
+TEST(Tomogravity, SkewedTruthStillMatchesLoads)  {
+  // Ground truth deviating from gravity: per-OD error grows (the problem
+  // is under-determined) but the loads must still be honoured.
+  const topo::GeantNetwork net = topo::make_geant();
+  traffic::GravityOptions gravity;
+  gravity.total_pkt_per_sec = 1.0e6;
+  traffic::TrafficMatrix truth = traffic::gravity_matrix(net.graph, gravity);
+  Rng rng(5);
+  for (traffic::Demand& d : truth) d.pkt_per_sec *= rng.uniform(0.3, 3.0);
+  const traffic::LinkLoads observed = traffic::link_loads(net.graph, truth);
+
+  const TomogravityResult result = tomogravity(net.graph, observed);
+  const traffic::LinkLoads reproduced =
+      traffic::link_loads(net.graph, result.matrix);
+  for (topo::LinkId id : routing::RoutingMatrix::single_path(
+                             net.graph,
+                             [&] {
+                               std::vector<routing::OdPair> ods;
+                               for (const auto& d : truth) ods.push_back(d.od);
+                               return ods;
+                             }())
+                             .links_used()) {
+    EXPECT_NEAR(reproduced[id] / std::max(1.0, observed[id]),
+                observed[id] / std::max(1.0, observed[id]), 0.02)
+        << net.graph.link_name(id);
+  }
+}
+
+TEST(Tomogravity, UnexplainableTrafficShowsAsResidual) {
+  // JANET has zero gravity mass; its demand pollutes the observed loads
+  // with traffic the model cannot attribute.
+  const topo::GeantNetwork net = topo::make_geant();
+  traffic::GravityOptions gravity;
+  gravity.total_pkt_per_sec = 1.0e6;
+  traffic::TrafficMatrix truth = traffic::gravity_matrix(net.graph, gravity);
+  // A large opaque demand from JANET to NL.
+  truth.push_back({{net.janet, *net.graph.find_node("NL")}, 50000.0});
+  const traffic::LinkLoads observed = traffic::link_loads(net.graph, truth);
+
+  const TomogravityResult result = tomogravity(net.graph, observed);
+  // The estimate contains no JANET demand...
+  for (const traffic::Demand& d : result.matrix) {
+    EXPECT_NE(d.od.src, net.janet);
+  }
+  // ...and convergence is still fine on the explainable system (the
+  // JANET volume is absorbed by UK->NL-crossing demands).
+  EXPECT_LT(result.residual, 1e-3);
+}
+
+TEST(Tomogravity, ValidatesInputs) {
+  const topo::Graph g = test::line_graph();
+  traffic::LinkLoads wrong(2, 1.0);
+  EXPECT_THROW(tomogravity(g, wrong), Error);
+}
+
+// Property sweep: whatever the (consistent) ground truth scale, IPF must
+// honour the observed loads on GEANT.
+class TomogravitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TomogravitySweep, LoadsAlwaysHonoured) {
+  Rng rng(3100 + GetParam());
+  const topo::GeantNetwork net = topo::make_geant();
+  traffic::GravityOptions gravity;
+  gravity.total_pkt_per_sec = rng.uniform(2e5, 3e6);
+  traffic::TrafficMatrix truth =
+      traffic::gravity_matrix(net.graph, gravity);
+  for (traffic::Demand& d : truth) d.pkt_per_sec *= rng.uniform(0.5, 2.0);
+  const traffic::LinkLoads observed = traffic::link_loads(net.graph, truth);
+
+  const TomogravityResult result = tomogravity(net.graph, observed);
+  EXPECT_LT(result.residual, 1e-3) << "seed " << GetParam();
+  // No negative demands, total volume in the right ballpark.
+  double total = 0.0;
+  for (const traffic::Demand& d : result.matrix) {
+    EXPECT_GE(d.pkt_per_sec, 0.0);
+    total += d.pkt_per_sec;
+  }
+  EXPECT_NEAR(total / traffic::total_rate(truth), 1.0, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TomogravitySweep, ::testing::Range(0, 8));
+
+TEST(MatrixRelativeError, BasicBehaviour) {
+  traffic::TrafficMatrix ref{{{0, 1}, 100.0}, {{1, 2}, 200.0}};
+  traffic::TrafficMatrix est{{{0, 1}, 110.0}, {{1, 2}, 150.0}};
+  // (0.1 + 0.25)/2
+  EXPECT_NEAR(matrix_relative_error(est, ref), 0.175, 1e-12);
+  traffic::TrafficMatrix tiny{{{0, 1}, 0.5}};
+  EXPECT_THROW(matrix_relative_error(est, tiny, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace netmon::estimate

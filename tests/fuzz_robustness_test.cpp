@@ -1,0 +1,107 @@
+// Robustness fuzzing: hostile or random input must produce netmon::Error
+// (or a clean parse), never a crash or an inconsistent object.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "netflow/v5_codec.hpp"
+#include "net/ip.hpp"
+#include "topo/io.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace netmon {
+namespace {
+
+class FuzzSeed : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSeed, V5DecoderNeverCrashesOnRandomBytes) {
+  Rng rng(42000 + GetParam());
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> bytes(rng.below(200));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+    try {
+      const auto decoded = netflow::decode_v5(bytes);
+      // If it decoded, the invariants must hold.
+      EXPECT_EQ(decoded.header.version, 5);
+      EXPECT_EQ(decoded.records.size(), decoded.header.count);
+    } catch (const Error&) {
+      // rejected cleanly: fine
+    }
+  }
+}
+
+TEST_P(FuzzSeed, V5DecoderSurvivesBitFlipsOfValidDatagrams) {
+  Rng rng(43000 + GetParam());
+  netflow::RecordBatch batch;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    netflow::FlowRecord r;
+    r.key.src_ip = i;
+    r.sampled_packets = i + 1;
+    batch.push_back(r);
+  }
+  const auto datagrams = netflow::encode_v5(batch, 12.0, 100);
+  for (int round = 0; round < 300; ++round) {
+    auto mutated = datagrams[0];
+    const std::size_t at = rng.below(mutated.size());
+    mutated[at] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    try {
+      const auto decoded = netflow::decode_v5(mutated);
+      EXPECT_LE(decoded.records.size(), netflow::kV5MaxRecords);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeed, TopologyParserNeverCrashes) {
+  Rng rng(44000 + GetParam());
+  const std::string tokens[] = {"node",  "link", "duplex", "A",  "B",
+                                "1e9",   "-3",   "0",      "1",  "#x",
+                                "\n",    "C",    "nan",    "",   "2.5"};
+  for (int round = 0; round < 200; ++round) {
+    std::string text;
+    const std::size_t parts = rng.below(30);
+    for (std::size_t i = 0; i < parts; ++i) {
+      text += tokens[rng.below(std::size(tokens))];
+      text += rng.bernoulli(0.3) ? "\n" : " ";
+    }
+    try {
+      const topo::Graph g = topo::graph_from_string(text);
+      // Parsed graphs must be internally consistent.
+      for (const topo::Link& l : g.links()) {
+        EXPECT_LT(l.src, g.node_count());
+        EXPECT_LT(l.dst, g.node_count());
+      }
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeed, AddressParserNeverCrashes) {
+  Rng rng(45000 + GetParam());
+  for (int round = 0; round < 300; ++round) {
+    std::string text;
+    const std::size_t len = rng.below(24);
+    for (std::size_t i = 0; i < len; ++i) {
+      const char alphabet[] = "0123456789./x -";
+      text += alphabet[rng.below(sizeof(alphabet) - 1)];
+    }
+    try {
+      const net::Ipv4 addr = net::parse_ipv4(text);
+      // Round trip must hold for accepted inputs.
+      EXPECT_EQ(net::parse_ipv4(net::to_string(addr)), addr);
+    } catch (const Error&) {
+    }
+    try {
+      const net::Prefix prefix = net::parse_prefix(text);
+      EXPECT_GE(prefix.len, 0);
+      EXPECT_LE(prefix.len, 32);
+    } catch (const Error&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FuzzSeed, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace netmon

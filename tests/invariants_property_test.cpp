@@ -1,0 +1,133 @@
+// Cross-module invariant properties on randomized inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.hpp"
+#include "netflow/collector.hpp"
+#include "opt/constraints.hpp"
+#include "traffic/flow_generator.hpp"
+#include "util/rng.hpp"
+
+namespace netmon {
+namespace {
+
+class InvariantSeed : public ::testing::TestWithParam<int> {};
+
+TEST_P(InvariantSeed, EuclideanProjectionIsNonExpansive) {
+  // Projection onto a convex set is 1-Lipschitz: |P(x)-P(y)| <= |x-y|.
+  Rng rng(61000 + GetParam());
+  const std::size_t n = 2 + rng.below(8);
+  std::vector<double> u(n), alpha(n);
+  double max_budget = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    u[j] = rng.uniform(1.0, 1e4);
+    alpha[j] = rng.uniform(0.2, 1.0);
+    max_budget += u[j] * alpha[j];
+  }
+  const opt::BoxBudgetConstraints c(u, alpha,
+                                    max_budget * rng.uniform(0.05, 0.9));
+  for (int round = 0; round < 50; ++round) {
+    std::vector<double> x(n), y(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      x[j] = rng.uniform(-1.0, 2.0);
+      y[j] = rng.uniform(-1.0, 2.0);
+    }
+    const auto px = c.project(x);
+    const auto py = c.project(y);
+    double dxy = 0.0, dp = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      dxy += (x[j] - y[j]) * (x[j] - y[j]);
+      dp += (px[j] - py[j]) * (px[j] - py[j]);
+    }
+    EXPECT_LE(std::sqrt(dp), std::sqrt(dxy) + 1e-7);
+  }
+}
+
+TEST_P(InvariantSeed, GraphAdjacencyIndicesConsistent) {
+  Rng rng(62000 + GetParam());
+  topo::Graph g;
+  const std::size_t nodes = 3 + rng.below(12);
+  for (std::size_t i = 0; i < nodes; ++i)
+    g.add_node("N" + std::to_string(i));
+  const std::size_t links = 1 + rng.below(3 * nodes);
+  for (std::size_t l = 0; l < links; ++l) {
+    const auto a = static_cast<topo::NodeId>(rng.below(nodes));
+    auto b = static_cast<topo::NodeId>(rng.below(nodes));
+    if (a == b) b = (b + 1) % nodes;
+    g.add_link(a, b, 1e9, 1.0 + rng.below(10));
+  }
+  // Every link appears exactly once in its endpoints' adjacency lists,
+  // and nowhere else.
+  std::size_t out_total = 0, in_total = 0;
+  for (topo::NodeId v = 0; v < g.node_count(); ++v) {
+    for (topo::LinkId id : g.out_links(v)) {
+      EXPECT_EQ(g.link(id).src, v);
+      ++out_total;
+    }
+    for (topo::LinkId id : g.in_links(v)) {
+      EXPECT_EQ(g.link(id).dst, v);
+      ++in_total;
+    }
+  }
+  EXPECT_EQ(out_total, g.link_count());
+  EXPECT_EQ(in_total, g.link_count());
+}
+
+TEST_P(InvariantSeed, CollectorConservesSampledCounts) {
+  Rng rng(63000 + GetParam());
+  const topo::Graph g = test::line_graph();
+  const netflow::EgressMap map = netflow::EgressMap::for_pop_blocks(g);
+  netflow::Collector collector(map);
+
+  std::uint64_t pushed = 0;
+  const int records = 200;
+  for (int i = 0; i < records; ++i) {
+    netflow::FlowRecord r;
+    const auto src = static_cast<topo::NodeId>(rng.below(4));
+    auto dst = static_cast<topo::NodeId>(rng.below(4));
+    if (dst == src) dst = (dst + 1) % 4;
+    r.key.src_ip = traffic::pop_prefix(src).base + 1 +
+                   static_cast<net::Ipv4>(rng.below(100));
+    r.key.dst_ip = traffic::pop_prefix(dst).base + 1 +
+                   static_cast<net::Ipv4>(rng.below(100));
+    r.sampled_packets = 1 + rng.below(50);
+    r.start_sec = rng.uniform(0.0, 1200.0);
+    pushed += r.sampled_packets;
+    collector.receive(r, static_cast<topo::LinkId>(rng.below(6)), 0.01);
+  }
+  EXPECT_EQ(collector.unattributed_records(), 0u);
+
+  std::uint64_t recovered = 0;
+  for (std::int64_t bin : collector.bins()) {
+    for (topo::NodeId s = 0; s < 4; ++s) {
+      for (topo::NodeId d = 0; d < 4; ++d) {
+        if (s != d) recovered += collector.sampled_packets(bin, {s, d});
+      }
+    }
+  }
+  EXPECT_EQ(recovered, pushed);
+}
+
+TEST_P(InvariantSeed, FlowPopulationsAreIndependentOfOtherDemands) {
+  // Stream splitting: OD k's flows depend only on (seed, k), not on what
+  // other demands exist — crucial for reproducible experiments.
+  Rng a(64000 + GetParam()), b(64000 + GetParam());
+  traffic::TrafficMatrix small{{{0, 1}, 100.0}, {{1, 2}, 50.0}};
+  traffic::TrafficMatrix large = small;
+  large.push_back({{2, 3}, 400.0});
+  const auto flows_small = traffic::generate_all_flows(a, small);
+  const auto flows_large = traffic::generate_all_flows(b, large);
+  for (std::size_t k = 0; k < small.size(); ++k) {
+    ASSERT_EQ(flows_small[k].size(), flows_large[k].size());
+    for (std::size_t i = 0; i < flows_small[k].size(); ++i) {
+      EXPECT_EQ(flows_small[k][i].packets, flows_large[k][i].packets);
+      EXPECT_EQ(flows_small[k][i].key, flows_large[k][i].key);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, InvariantSeed, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace netmon

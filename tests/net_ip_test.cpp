@@ -1,0 +1,65 @@
+#include "net/ip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace netmon::net {
+namespace {
+
+TEST(Ipv4, BuildAndRender) {
+  const Ipv4 addr = ipv4(10, 3, 0, 1);
+  EXPECT_EQ(addr, 0x0a030001u);
+  EXPECT_EQ(to_string(addr), "10.3.0.1");
+  EXPECT_EQ(to_string(ipv4(255, 255, 255, 255)), "255.255.255.255");
+  EXPECT_EQ(to_string(ipv4(0, 0, 0, 0)), "0.0.0.0");
+}
+
+TEST(Ipv4, ParseRoundTrip) {
+  for (const char* text : {"0.0.0.0", "10.3.0.1", "192.168.255.254"}) {
+    EXPECT_EQ(to_string(parse_ipv4(text)), text);
+  }
+}
+
+TEST(Ipv4, ParseRejectsMalformed) {
+  EXPECT_THROW(parse_ipv4("10.3.0"), Error);
+  EXPECT_THROW(parse_ipv4("10.3.0.256"), Error);
+  EXPECT_THROW(parse_ipv4("10.3.0.1.5"), Error);
+  EXPECT_THROW(parse_ipv4("banana"), Error);
+  EXPECT_THROW(parse_ipv4("10.3.0.1x"), Error);
+}
+
+TEST(Prefix, MaskAndContains) {
+  const Prefix p{ipv4(10, 3, 0, 0), 16};
+  EXPECT_EQ(p.mask(), 0xffff0000u);
+  EXPECT_TRUE(p.contains(ipv4(10, 3, 200, 17)));
+  EXPECT_FALSE(p.contains(ipv4(10, 4, 0, 1)));
+  EXPECT_EQ(p.size(), 65536u);
+}
+
+TEST(Prefix, ZeroLengthMatchesEverything) {
+  const Prefix any{0, 0};
+  EXPECT_EQ(any.mask(), 0u);
+  EXPECT_TRUE(any.contains(ipv4(1, 2, 3, 4)));
+  EXPECT_EQ(any.size(), std::uint64_t{1} << 32);
+}
+
+TEST(Prefix, HostRoute) {
+  const Prefix host{ipv4(10, 0, 0, 1), 32};
+  EXPECT_TRUE(host.contains(ipv4(10, 0, 0, 1)));
+  EXPECT_FALSE(host.contains(ipv4(10, 0, 0, 2)));
+  EXPECT_EQ(host.size(), 1u);
+}
+
+TEST(Prefix, ParseAndRender) {
+  const Prefix p = parse_prefix("10.3.0.0/16");
+  EXPECT_EQ(p.base, ipv4(10, 3, 0, 0));
+  EXPECT_EQ(p.len, 16);
+  EXPECT_EQ(to_string(p), "10.3.0.0/16");
+  EXPECT_THROW(parse_prefix("10.3.0.0"), Error);
+  EXPECT_THROW(parse_prefix("10.3.0.0/33"), Error);
+  EXPECT_THROW(parse_prefix("10.3.0.0/x"), Error);
+}
+
+}  // namespace
+}  // namespace netmon::net

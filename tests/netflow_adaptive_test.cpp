@@ -1,0 +1,105 @@
+#include "netflow/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace netmon::netflow {
+namespace {
+
+traffic::FlowKey key(std::uint32_t n) {
+  traffic::FlowKey k;
+  k.src_ip = n;
+  k.dst_ip = ~n;
+  return k;
+}
+
+AdaptiveOptions small_budget() {
+  AdaptiveOptions options;
+  options.entry_budget = 16;
+  options.table.idle_timeout_sec = 1e6;  // nothing expires on its own
+  return options;
+}
+
+TEST(AdaptiveMonitor, NoAdaptationUnderLightLoad) {
+  std::size_t exported = 0;
+  AdaptiveMonitor monitor(0, 0.5, small_budget(),
+                          [&](const FlowRecord&) { ++exported; }, 1);
+  // Few distinct flows: the table never exceeds the budget.
+  for (int i = 0; i < 1000; ++i) monitor.offer(key(i % 8), 100, i * 1e-3);
+  EXPECT_DOUBLE_EQ(monitor.current_rate(), 0.5);
+  EXPECT_EQ(monitor.adaptations(), 0u);
+}
+
+TEST(AdaptiveMonitor, BacksOffUnderCachePressure) {
+  AdaptiveMonitor monitor(0, 1.0, small_budget(),
+                          [](const FlowRecord&) {}, 1);
+  // A flood of distinct flows blows through the 16-entry budget.
+  for (int i = 0; i < 5000; ++i) monitor.offer(key(i), 100, i * 1e-4);
+  EXPECT_LT(monitor.current_rate(), 1.0);
+  EXPECT_GE(monitor.adaptations(), 1u);
+  // The rate halves each adaptation.
+  EXPECT_NEAR(monitor.current_rate(),
+              std::pow(0.5, static_cast<double>(monitor.adaptations())),
+              1e-12);
+}
+
+TEST(AdaptiveMonitor, RateNeverFallsBelowFloor) {
+  AdaptiveOptions options = small_budget();
+  options.min_rate = 0.2;
+  AdaptiveMonitor monitor(0, 1.0, options, [](const FlowRecord&) {}, 1);
+  for (int i = 0; i < 100000; ++i) monitor.offer(key(i), 100, i * 1e-5);
+  EXPECT_GE(monitor.current_rate(), 0.2);
+}
+
+TEST(AdaptiveMonitor, EstimateStaysUnbiasedAcrossEpochs) {
+  // Per-epoch renormalization: the estimated offered volume must track
+  // the true offered volume even though the rate changed mid-stream.
+  // Realistic router config: the cache also evicts (bounded table) and
+  // the rate floor keeps the final epoch statistically meaningful.
+  AdaptiveOptions options;
+  options.entry_budget = 64;
+  options.table.max_entries = 128;  // hard eviction above the soft budget
+  options.min_rate = 0.02;
+  double total_ratio = 0.0;
+  const int reps = 10;
+  for (int rep = 0; rep < reps; ++rep) {
+    AdaptiveMonitor monitor(0, 1.0, options, [](const FlowRecord&) {},
+                            100 + rep);
+    const int offered = 50000;
+    for (int i = 0; i < offered; ++i) monitor.offer(key(i), 100, i * 1e-4);
+    EXPECT_GE(monitor.adaptations(), 1u);
+    total_ratio += monitor.estimated_offered() / offered;
+  }
+  EXPECT_NEAR(total_ratio / reps, 1.0, 0.1);
+}
+
+TEST(AdaptiveMonitor, EpochBookkeepingConsistent) {
+  AdaptiveMonitor monitor(0, 1.0, small_budget(), [](const FlowRecord&) {},
+                          7);
+  for (int i = 0; i < 3000; ++i) monitor.offer(key(i), 100, i * 1e-4);
+  std::uint64_t offered = 0, sampled = 0;
+  for (const RateEpoch& epoch : monitor.epochs()) {
+    offered += epoch.offered;
+    sampled += epoch.sampled;
+    EXPECT_LE(epoch.sampled, epoch.offered);
+  }
+  EXPECT_EQ(offered, monitor.offered_packets());
+  EXPECT_EQ(sampled, monitor.sampled_packets());
+}
+
+TEST(AdaptiveMonitor, ValidatesOptions) {
+  AdaptiveOptions bad = small_budget();
+  bad.backoff = 1.0;
+  EXPECT_THROW(AdaptiveMonitor(0, 0.5, bad, [](const FlowRecord&) {}, 1),
+               Error);
+  AdaptiveOptions zero = small_budget();
+  zero.entry_budget = 0;
+  EXPECT_THROW(AdaptiveMonitor(0, 0.5, zero, [](const FlowRecord&) {}, 1),
+               Error);
+}
+
+}  // namespace
+}  // namespace netmon::netflow

@@ -1,0 +1,96 @@
+#include "netflow/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace netmon::netflow {
+namespace {
+
+using net::ipv4;
+
+EgressMap two_pop_map() {
+  EgressMap map;
+  map.insert({ipv4(10, 0, 0, 0), 16}, 0);
+  map.insert({ipv4(10, 1, 0, 0), 16}, 1);
+  return map;
+}
+
+FlowRecord record(double start, std::uint64_t packets,
+                  net::Ipv4 src = ipv4(10, 0, 0, 1),
+                  net::Ipv4 dst = ipv4(10, 1, 0, 1)) {
+  FlowRecord r;
+  r.key.src_ip = src;
+  r.key.dst_ip = dst;
+  r.sampled_packets = packets;
+  r.sampled_bytes = packets * 100;
+  r.start_sec = start;
+  r.end_sec = start + 1.0;
+  return r;
+}
+
+TEST(Collector, BinsByStartTime) {
+  const EgressMap map = two_pop_map();
+  Collector c(map);
+  c.receive(record(10.0, 5), 3, 0.01);
+  c.receive(record(299.0, 7), 3, 0.01);
+  c.receive(record(301.0, 11), 3, 0.01);
+  const routing::OdPair od{0, 1};
+  EXPECT_EQ(c.sampled_packets(0, od), 12u);
+  EXPECT_EQ(c.sampled_packets(1, od), 11u);
+  EXPECT_EQ(c.bins(), (std::vector<std::int64_t>{0, 1}));
+  EXPECT_EQ(c.bin_of(299.0), 0);
+  EXPECT_EQ(c.bin_of(300.0), 1);
+}
+
+TEST(Collector, SumsAcrossLinks) {
+  const EgressMap map = two_pop_map();
+  Collector c(map);
+  c.receive(record(0.0, 5), 3, 0.01);
+  c.receive(record(0.0, 9), 4, 0.02);
+  const routing::OdPair od{0, 1};
+  EXPECT_EQ(c.sampled_packets(0, od), 14u);
+  EXPECT_EQ(c.sampled_packets_on_link(0, od, 3), 5u);
+  EXPECT_EQ(c.sampled_packets_on_link(0, od, 4), 9u);
+  EXPECT_EQ(c.sampled_packets_on_link(0, od, 5), 0u);
+}
+
+TEST(Collector, AttributesByPrefix) {
+  const EgressMap map = two_pop_map();
+  Collector c(map);
+  c.receive(record(0.0, 5, ipv4(10, 1, 0, 9), ipv4(10, 0, 0, 9)), 1, 0.01);
+  EXPECT_EQ(c.sampled_packets(0, {1, 0}), 5u);
+  EXPECT_EQ(c.sampled_packets(0, {0, 1}), 0u);
+}
+
+TEST(Collector, UnattributedCounted) {
+  const EgressMap map = two_pop_map();
+  Collector c(map);
+  c.receive(record(0.0, 5, ipv4(192, 168, 0, 1), ipv4(10, 1, 0, 1)), 1, 0.01);
+  EXPECT_EQ(c.unattributed_records(), 1u);
+  EXPECT_EQ(c.received_records(), 1u);
+  EXPECT_EQ(c.sampled_packets(0, {0, 1}), 0u);
+}
+
+TEST(Collector, EstimateRescalesByRho) {
+  const EgressMap map = two_pop_map();
+  Collector c(map);
+  c.receive(record(0.0, 50), 1, 0.01);
+  EXPECT_DOUBLE_EQ(c.estimate_packets(0, {0, 1}, 0.01), 5000.0);
+  EXPECT_THROW(c.estimate_packets(0, {0, 1}, 0.0), Error);
+}
+
+TEST(Collector, CustomBinLength) {
+  const EgressMap map = two_pop_map();
+  CollectorOptions options;
+  options.bin_sec = 60.0;
+  Collector c(map, options);
+  EXPECT_EQ(c.bin_of(59.0), 0);
+  EXPECT_EQ(c.bin_of(61.0), 1);
+  CollectorOptions bad;
+  bad.bin_sec = 0.0;
+  EXPECT_THROW(Collector(map, bad), Error);
+}
+
+}  // namespace
+}  // namespace netmon::netflow

@@ -1,0 +1,75 @@
+#include "netflow/egress_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/geant.hpp"
+#include "traffic/flow.hpp"
+
+namespace netmon::netflow {
+namespace {
+
+using net::ipv4;
+
+TEST(EgressMap, BasicInsertLookup) {
+  EgressMap map;
+  map.insert({ipv4(10, 1, 0, 0), 16}, 1);
+  map.insert({ipv4(10, 2, 0, 0), 16}, 2);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.lookup(ipv4(10, 1, 5, 5)), 1u);
+  EXPECT_EQ(map.lookup(ipv4(10, 2, 255, 1)), 2u);
+  EXPECT_EQ(map.lookup(ipv4(10, 3, 0, 1)), std::nullopt);
+}
+
+TEST(EgressMap, LongestPrefixWins) {
+  EgressMap map;
+  map.insert({ipv4(10, 0, 0, 0), 8}, 1);
+  map.insert({ipv4(10, 64, 0, 0), 10}, 2);
+  map.insert({ipv4(10, 64, 3, 0), 24}, 3);
+  EXPECT_EQ(map.lookup(ipv4(10, 1, 1, 1)), 1u);     // /8 only
+  EXPECT_EQ(map.lookup(ipv4(10, 70, 1, 1)), 2u);    // /10 beats /8
+  EXPECT_EQ(map.lookup(ipv4(10, 64, 3, 9)), 3u);    // /24 beats both
+}
+
+TEST(EgressMap, DefaultRouteCatchesAll) {
+  EgressMap map;
+  map.insert({0, 0}, 9);
+  map.insert({ipv4(10, 0, 0, 0), 8}, 1);
+  EXPECT_EQ(map.lookup(ipv4(192, 168, 0, 1)), 9u);
+  EXPECT_EQ(map.lookup(ipv4(10, 0, 0, 1)), 1u);
+}
+
+TEST(EgressMap, HostRoute) {
+  EgressMap map;
+  map.insert({ipv4(10, 0, 0, 7), 32}, 5);
+  EXPECT_EQ(map.lookup(ipv4(10, 0, 0, 7)), 5u);
+  EXPECT_EQ(map.lookup(ipv4(10, 0, 0, 8)), std::nullopt);
+}
+
+TEST(EgressMap, OverwriteKeepsSize) {
+  EgressMap map;
+  map.insert({ipv4(10, 1, 0, 0), 16}, 1);
+  map.insert({ipv4(10, 1, 0, 0), 16}, 2);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.lookup(ipv4(10, 1, 2, 3)), 2u);
+}
+
+TEST(EgressMap, PopBlocksCoverGeant) {
+  const topo::GeantNetwork net = topo::make_geant();
+  const EgressMap map = EgressMap::for_pop_blocks(net.graph);
+  EXPECT_EQ(map.size(), net.graph.node_count());
+  for (const topo::Node& n : net.graph.nodes()) {
+    const net::Prefix block = traffic::pop_prefix(n.id);
+    EXPECT_EQ(map.lookup(block.base + 1), n.id);
+  }
+}
+
+TEST(EgressMap, MoveSemantics) {
+  EgressMap map;
+  map.insert({ipv4(10, 1, 0, 0), 16}, 1);
+  EgressMap moved = std::move(map);
+  EXPECT_EQ(moved.lookup(ipv4(10, 1, 0, 5)), 1u);
+  EXPECT_EQ(moved.size(), 1u);
+}
+
+}  // namespace
+}  // namespace netmon::netflow

@@ -1,0 +1,93 @@
+// Randomized stress tests of the flow cache: whatever the event sequence,
+// the accounting must balance and the configured limits must hold.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "netflow/flow_table.hpp"
+#include "util/rng.hpp"
+
+namespace netmon::netflow {
+namespace {
+
+traffic::FlowKey key(std::uint32_t n) {
+  traffic::FlowKey k;
+  k.src_ip = n * 2654435761u;
+  k.dst_ip = ~k.src_ip;
+  k.src_port = static_cast<std::uint16_t>(n);
+  return k;
+}
+
+class FlowTableStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowTableStress, AccountingAlwaysBalances) {
+  Rng rng(9000 + GetParam());
+  FlowTableOptions options;
+  options.idle_timeout_sec = 5.0 + rng.below(40);
+  options.active_timeout_sec = 20.0 + rng.below(200);
+  options.max_entries = rng.bernoulli(0.5) ? 0 : 8 + rng.below(64);
+
+  std::uint64_t exported_packets = 0;
+  std::uint64_t exported_bytes = 0;
+
+  FlowTable table(3, options, [&](const FlowRecord& r) {
+    EXPECT_GE(r.sampled_packets, 1u);
+    EXPECT_LE(r.start_sec, r.end_sec);
+    EXPECT_EQ(r.input_link, 3u);
+    exported_packets += r.sampled_packets;
+    exported_bytes += r.sampled_bytes;
+  });
+
+  std::uint64_t observed_packets = 0;
+  std::uint64_t observed_bytes = 0;
+  double now = 0.0;
+  const int events = 3000;
+  const std::uint32_t distinct = 1 + static_cast<std::uint32_t>(rng.below(80));
+  for (int e = 0; e < events; ++e) {
+    now += rng.uniform(0.0, 2.0);
+    const auto bytes = static_cast<std::uint32_t>(40 + rng.below(1460));
+    const bool fin = rng.bernoulli(0.05);
+    table.observe(key(static_cast<std::uint32_t>(rng.below(distinct))),
+                  bytes, now, fin);
+    ++observed_packets;
+    observed_bytes += bytes;
+    if (options.max_entries > 0) {
+      ASSERT_LE(table.size(), options.max_entries);
+    }
+  }
+  table.flush(now);
+  EXPECT_EQ(table.size(), 0u);
+  // Conservation: every observed packet/byte is exported exactly once.
+  EXPECT_EQ(exported_packets, observed_packets);
+  EXPECT_EQ(exported_bytes, observed_bytes);
+}
+
+TEST_P(FlowTableStress, ExpiredRecordsRespectTimeouts) {
+  Rng rng(9500 + GetParam());
+  FlowTableOptions options;
+  options.idle_timeout_sec = 10.0;
+  options.active_timeout_sec = 60.0;
+
+  double now = 0.0;
+  FlowTable table(0, options, [&](const FlowRecord& r) {
+    // A record only expires idle (>=10s since last packet), over-age
+    // (>=60s since first), FIN-terminated, or via the final flush — in
+    // this scenario there is no cache pressure and no flush until the
+    // end, so any export before the flush satisfies one of the first
+    // three. We can at least assert span sanity:
+    EXPECT_LE(r.end_sec - r.start_sec, 60.0 + 2.0 + 1e-9);
+    (void)now;
+  });
+
+  for (int e = 0; e < 2000; ++e) {
+    now += rng.uniform(0.0, 1.5);
+    table.observe(key(static_cast<std::uint32_t>(rng.below(10))),
+                  100, now, rng.bernoulli(0.02));
+  }
+  table.flush(now);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FlowTableStress, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace netmon::netflow

@@ -1,0 +1,125 @@
+#include "netflow/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace netmon::netflow {
+namespace {
+
+traffic::FlowKey key(std::uint32_t n) {
+  traffic::FlowKey k;
+  k.src_ip = n;
+  k.dst_ip = n + 1000;
+  k.src_port = 1234;
+  k.dst_port = 80;
+  return k;
+}
+
+struct Harness {
+  std::vector<FlowRecord> exported;
+  FlowTable table;
+
+  explicit Harness(FlowTableOptions options = {})
+      : table(7, options,
+              [this](const FlowRecord& r) { exported.push_back(r); }) {}
+};
+
+TEST(FlowTable, AccumulatesPacketsAndBytes) {
+  Harness h;
+  h.table.observe(key(1), 100, 1.0);
+  h.table.observe(key(1), 200, 2.0);
+  h.table.observe(key(1), 300, 3.0);
+  EXPECT_EQ(h.table.size(), 1u);
+  h.table.flush(3.0);
+  ASSERT_EQ(h.exported.size(), 1u);
+  EXPECT_EQ(h.exported[0].sampled_packets, 3u);
+  EXPECT_EQ(h.exported[0].sampled_bytes, 600u);
+  EXPECT_DOUBLE_EQ(h.exported[0].start_sec, 1.0);
+  EXPECT_DOUBLE_EQ(h.exported[0].end_sec, 3.0);
+  EXPECT_EQ(h.exported[0].input_link, 7u);
+}
+
+TEST(FlowTable, IdleTimeoutExpires) {
+  FlowTableOptions options;
+  options.idle_timeout_sec = 30.0;
+  Harness h(options);
+  h.table.observe(key(1), 100, 0.0);
+  h.table.observe(key(2), 100, 25.0);
+  h.table.advance(31.0);  // flow 1 idle for 31s, flow 2 for 6s
+  EXPECT_EQ(h.table.size(), 1u);
+  ASSERT_EQ(h.exported.size(), 1u);
+  EXPECT_EQ(h.exported[0].key, key(1));
+}
+
+TEST(FlowTable, IdleKeepsFreshFlows) {
+  Harness h;
+  h.table.observe(key(1), 100, 0.0);
+  h.table.observe(key(1), 100, 20.0);
+  h.table.advance(45.0);
+  EXPECT_EQ(h.table.size(), 1u);  // idle 25s < 30s
+  h.table.advance(51.0);
+  EXPECT_EQ(h.table.size(), 0u);  // idle 31s
+}
+
+TEST(FlowTable, ActiveTimeoutExpiresLongFlows) {
+  FlowTableOptions options;
+  options.idle_timeout_sec = 30.0;
+  options.active_timeout_sec = 60.0;
+  Harness h(options);
+  // Keep the flow busy so the idle timer never fires.
+  for (double t = 0.0; t <= 70.0; t += 5.0) h.table.observe(key(1), 10, t);
+  // The active timeout must have exported at least one record by t=70.
+  EXPECT_GE(h.exported.size(), 1u);
+}
+
+TEST(FlowTable, FinTriggersImmediateExport) {
+  Harness h;
+  h.table.observe(key(1), 100, 1.0);
+  h.table.observe(key(1), 100, 2.0, /*fin=*/true);
+  EXPECT_EQ(h.table.size(), 0u);
+  ASSERT_EQ(h.exported.size(), 1u);
+  EXPECT_EQ(h.exported[0].sampled_packets, 2u);
+}
+
+TEST(FlowTable, CachePressureEvictsLru) {
+  FlowTableOptions options;
+  options.max_entries = 2;
+  Harness h(options);
+  h.table.observe(key(1), 100, 1.0);
+  h.table.observe(key(2), 100, 2.0);
+  h.table.observe(key(1), 100, 3.0);  // key(2) becomes LRU
+  h.table.observe(key(3), 100, 4.0);  // evicts key(2)
+  EXPECT_EQ(h.table.size(), 2u);
+  EXPECT_EQ(h.table.forced_evictions(), 1u);
+  ASSERT_EQ(h.exported.size(), 1u);
+  EXPECT_EQ(h.exported[0].key, key(2));
+}
+
+TEST(FlowTable, FlushExportsEverything) {
+  Harness h;
+  for (std::uint32_t i = 0; i < 5; ++i) h.table.observe(key(i), 10, 1.0);
+  h.table.flush(2.0);
+  EXPECT_EQ(h.exported.size(), 5u);
+  EXPECT_EQ(h.table.size(), 0u);
+  EXPECT_EQ(h.table.exported_records(), 5u);
+}
+
+TEST(FlowTable, SeparateFlowsSeparateRecords) {
+  Harness h;
+  h.table.observe(key(1), 10, 1.0);
+  h.table.observe(key(2), 20, 1.0);
+  h.table.flush(1.0);
+  ASSERT_EQ(h.exported.size(), 2u);
+  EXPECT_NE(h.exported[0].key, h.exported[1].key);
+}
+
+TEST(FlowTable, RejectsBadOptions) {
+  FlowTableOptions bad;
+  bad.idle_timeout_sec = 0.0;
+  EXPECT_THROW(FlowTable(0, bad, [](const FlowRecord&) {}), Error);
+  EXPECT_THROW(FlowTable(0, FlowTableOptions{}, nullptr), Error);
+}
+
+}  // namespace
+}  // namespace netmon::netflow

@@ -1,0 +1,133 @@
+#include "netflow/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "estimate/accuracy.hpp"
+#include "helpers.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace netmon::netflow {
+namespace {
+
+// Small end-to-end scenario on the line topology: two OD pairs, one
+// monitor on the shared A->B link and one on B->C.
+struct LineScenario {
+  topo::Graph graph = test::line_graph();
+  routing::RoutingMatrix matrix =
+      routing::RoutingMatrix::single_path(graph, {{0, 3}, {0, 1}});
+  EgressMap egress = EgressMap::for_pop_blocks(graph);
+  sampling::RateVector rates;
+  std::vector<std::vector<traffic::Flow>> flows;
+
+  explicit LineScenario(double rate_ab = 0.10, double rate_bc = 0.05) {
+    rates.assign(graph.link_count(), 0.0);
+    rates[*graph.find_link(0, 1)] = rate_ab;
+    rates[*graph.find_link(1, 2)] = rate_bc;
+    Rng rng(42);
+    traffic::FlowGenOptions options;
+    options.interval_sec = 300.0;
+    flows.push_back(traffic::generate_flows(rng, {{0, 3}, 120.0}, 0, options));
+    flows.push_back(traffic::generate_flows(rng, {{0, 1}, 240.0}, 1, options));
+  }
+};
+
+TEST(NetflowPipeline, MonitorsSeeEveryPacketOnTheirLink) {
+  LineScenario s;
+  NetflowPipeline pipeline(s.graph, s.matrix, s.rates, s.egress);
+  pipeline.run(s.flows);
+  const std::uint64_t od0 = traffic::total_packets(s.flows[0]);
+  const std::uint64_t od1 = traffic::total_packets(s.flows[1]);
+  // A->B carries both ODs; B->C only OD 0.
+  EXPECT_EQ(pipeline.offered_packets(), (od0 + od1) + od0);
+}
+
+TEST(NetflowPipeline, SamplingRateHonored) {
+  LineScenario s;
+  NetflowPipeline pipeline(s.graph, s.matrix, s.rates, s.egress);
+  pipeline.run(s.flows);
+  const double offered = static_cast<double>(pipeline.offered_packets());
+  const double sampled = static_cast<double>(pipeline.sampled_packets());
+  // Blended expected rate: weighted by per-link offered volumes.
+  const std::uint64_t od0 = traffic::total_packets(s.flows[0]);
+  const std::uint64_t od1 = traffic::total_packets(s.flows[1]);
+  const double expected =
+      0.10 * static_cast<double>(od0 + od1) + 0.05 * static_cast<double>(od0);
+  EXPECT_NEAR(sampled / offered, expected / offered / 1.0,
+              3.0 * std::sqrt(expected) / offered + 0.01);
+}
+
+TEST(NetflowPipeline, CollectorAttributesOdPairsCorrectly) {
+  LineScenario s;
+  NetflowPipeline pipeline(s.graph, s.matrix, s.rates, s.egress);
+  pipeline.run(s.flows);
+  const Collector& c = pipeline.collector();
+  EXPECT_EQ(c.unattributed_records(), 0u);
+  // Sampled counts per OD match the monitors' totals (flows starting at
+  // the very end of the interval can land in the next bin).
+  std::uint64_t x0 = 0, x1 = 0;
+  for (std::int64_t bin : c.bins()) {
+    x0 += c.sampled_packets(bin, {0, 3});
+    x1 += c.sampled_packets(bin, {0, 1});
+  }
+  EXPECT_EQ(x0 + x1, pipeline.sampled_packets());
+  EXPECT_GT(x0, 0u);
+  EXPECT_GT(x1, 0u);
+}
+
+TEST(NetflowPipeline, EstimatesRecoverOdSizes) {
+  LineScenario s;
+  NetflowPipeline pipeline(s.graph, s.matrix, s.rates, s.egress);
+  pipeline.run(s.flows);
+  const Collector& c = pipeline.collector();
+  for (std::size_t k = 0; k < 2; ++k) {
+    const double rho =
+        sampling::effective_rate_approx(s.matrix, k, s.rates);
+    const double actual =
+        static_cast<double>(traffic::total_packets(s.flows[k]));
+    const double estimate =
+        c.estimate_packets(0, s.matrix.od(k), rho);
+    // 3-sigma binomial band around the truth.
+    const double sigma = std::sqrt(actual * (1.0 - rho) / rho);
+    EXPECT_NEAR(estimate, actual, 4.0 * sigma)
+        << "OD " << k << " rho=" << rho;
+    EXPECT_GT(estimate::accuracy(estimate, actual), 0.8);
+  }
+}
+
+TEST(NetflowPipeline, AgreesWithFastSimulationEngine) {
+  // The full pipeline and the binomial fast path are two implementations
+  // of the same experiment; their per-OD counts must be statistically
+  // indistinguishable.
+  LineScenario s;
+  RunningStats pipeline_counts, fast_counts;
+  Rng rng(9);
+  for (int rep = 0; rep < 8; ++rep) {
+    PipelineOptions options;
+    options.seed = 1000 + rep;
+    NetflowPipeline pipeline(s.graph, s.matrix, s.rates, s.egress, options);
+    pipeline.run(s.flows);
+    pipeline_counts.add(static_cast<double>(
+        pipeline.collector().sampled_packets(0, {0, 3})));
+    const auto counts = sampling::simulate_sampling(
+        rng, s.matrix, s.flows, s.rates,
+        sampling::CountMode::kSumAcrossMonitors);
+    fast_counts.add(static_cast<double>(counts[0].sampled_packets));
+  }
+  const double se = std::sqrt(
+      (pipeline_counts.variance() + fast_counts.variance()) / 8.0 + 1.0);
+  EXPECT_NEAR(pipeline_counts.mean(), fast_counts.mean(), 6.0 * se);
+}
+
+TEST(NetflowPipeline, ZeroRateMeansNoMonitors) {
+  LineScenario s(0.0, 0.0);
+  NetflowPipeline pipeline(s.graph, s.matrix, s.rates, s.egress);
+  pipeline.run(s.flows);
+  EXPECT_EQ(pipeline.offered_packets(), 0u);
+  EXPECT_EQ(pipeline.collector().received_records(), 0u);
+}
+
+}  // namespace
+}  // namespace netmon::netflow

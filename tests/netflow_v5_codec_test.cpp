@@ -1,0 +1,117 @@
+#include "netflow/v5_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace netmon::netflow {
+namespace {
+
+FlowRecord record(std::uint32_t n) {
+  FlowRecord r;
+  r.key.src_ip = net::ipv4(10, 1, 0, static_cast<std::uint8_t>(n));
+  r.key.dst_ip = net::ipv4(10, 2, 0, static_cast<std::uint8_t>(n));
+  r.key.src_port = static_cast<std::uint16_t>(1000 + n);
+  r.key.dst_port = 80;
+  r.key.proto = 6;
+  r.sampled_packets = 10 + n;
+  r.sampled_bytes = 1000 + n;
+  r.start_sec = 1.5;
+  r.end_sec = 2.25;
+  r.input_link = 7;
+  return r;
+}
+
+TEST(V5Codec, RoundTripsSingleRecord) {
+  const RecordBatch batch{record(1)};
+  const auto datagrams = encode_v5(batch, 100.0, 1000, 42, 9);
+  ASSERT_EQ(datagrams.size(), 1u);
+  EXPECT_EQ(datagrams[0].size(), kV5HeaderBytes + kV5RecordBytes);
+
+  const V5Datagram decoded = decode_v5(datagrams[0]);
+  EXPECT_EQ(decoded.header.version, 5);
+  EXPECT_EQ(decoded.header.count, 1);
+  EXPECT_EQ(decoded.header.flow_sequence, 42u);
+  EXPECT_EQ(decoded.header.engine_id, 9);
+  EXPECT_DOUBLE_EQ(v5_sampling_rate(decoded.header), 0.001);
+
+  ASSERT_EQ(decoded.records.size(), 1u);
+  const FlowRecord& r = decoded.records[0];
+  EXPECT_EQ(r.key, batch[0].key);
+  EXPECT_EQ(r.sampled_packets, batch[0].sampled_packets);
+  EXPECT_EQ(r.sampled_bytes, batch[0].sampled_bytes);
+  EXPECT_EQ(r.input_link, 7u);
+  EXPECT_NEAR(r.start_sec, 1.5, 1e-3);
+  EXPECT_NEAR(r.end_sec, 2.25, 1e-3);
+}
+
+TEST(V5Codec, SplitsLargeBatchesAtThirty) {
+  RecordBatch batch;
+  for (std::uint32_t i = 0; i < 75; ++i) batch.push_back(record(i));
+  const auto datagrams = encode_v5(batch, 10.0, 100);
+  ASSERT_EQ(datagrams.size(), 3u);  // 30 + 30 + 15
+  EXPECT_EQ(decode_v5(datagrams[0]).header.count, 30);
+  EXPECT_EQ(decode_v5(datagrams[1]).header.count, 30);
+  EXPECT_EQ(decode_v5(datagrams[2]).header.count, 15);
+  // Sequence numbers accumulate across datagrams.
+  EXPECT_EQ(decode_v5(datagrams[0]).header.flow_sequence, 0u);
+  EXPECT_EQ(decode_v5(datagrams[1]).header.flow_sequence, 30u);
+  EXPECT_EQ(decode_v5(datagrams[2]).header.flow_sequence, 60u);
+  // All 75 records survive the round trip in order.
+  std::size_t i = 0;
+  for (const auto& dg : datagrams) {
+    for (const FlowRecord& r : decode_v5(dg).records) {
+      EXPECT_EQ(r.key, batch[i].key) << "record " << i;
+      ++i;
+    }
+  }
+  EXPECT_EQ(i, 75u);
+}
+
+TEST(V5Codec, WireFormatIsBigEndian) {
+  const RecordBatch batch{record(1)};
+  const auto datagrams = encode_v5(batch, 0.0, 0);
+  const auto& bytes = datagrams[0];
+  // version = 0x0005 big-endian.
+  EXPECT_EQ(bytes[0], 0x00);
+  EXPECT_EQ(bytes[1], 0x05);
+  // First record's srcaddr = 10.1.0.1.
+  EXPECT_EQ(bytes[kV5HeaderBytes + 0], 10);
+  EXPECT_EQ(bytes[kV5HeaderBytes + 1], 1);
+  EXPECT_EQ(bytes[kV5HeaderBytes + 2], 0);
+  EXPECT_EQ(bytes[kV5HeaderBytes + 3], 1);
+}
+
+TEST(V5Codec, ZeroSamplingIntervalMeansUnknown) {
+  const auto datagrams = encode_v5({record(1)}, 0.0, 0);
+  const V5Datagram d = decode_v5(datagrams[0]);
+  EXPECT_DOUBLE_EQ(v5_sampling_rate(d.header), 0.0);
+}
+
+TEST(V5Codec, RejectsMalformedDatagrams) {
+  const auto datagrams = encode_v5({record(1)}, 0.0, 100);
+  auto truncated = datagrams[0];
+  truncated.pop_back();
+  EXPECT_THROW(decode_v5(truncated), Error);
+
+  auto wrong_version = datagrams[0];
+  wrong_version[1] = 9;
+  EXPECT_THROW(decode_v5(wrong_version), Error);
+
+  auto wrong_count = datagrams[0];
+  wrong_count[3] = 2;  // claims 2 records, carries 1
+  EXPECT_THROW(decode_v5(wrong_count), Error);
+
+  EXPECT_THROW(decode_v5(std::vector<std::uint8_t>(10)), Error);
+}
+
+TEST(V5Codec, RejectsOversizedSamplingInterval) {
+  EXPECT_THROW(encode_v5({record(1)}, 0.0, 1u << 14), Error);
+}
+
+TEST(V5Codec, EmptyBatchProducesNoDatagrams) {
+  EXPECT_TRUE(encode_v5({}, 0.0, 100).empty());
+}
+
+}  // namespace
+}  // namespace netmon::netflow

@@ -1,0 +1,105 @@
+#include "opt/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/scenario.hpp"
+#include "core/solver.hpp"
+#include "core/utility.hpp"
+#include "opt/gradient_projection.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace netmon::opt {
+namespace {
+
+std::shared_ptr<const Concave1d> log_u(double eps) {
+  return std::make_shared<core::LogUtility>(eps);
+}
+
+TEST(Barrier, MatchesAnalyticTwoVariableOptimum) {
+  SeparableConcaveObjective::SparseRows rows{{{0, 1.0}}, {{1, 1.0}}};
+  const SeparableConcaveObjective f(2, std::move(rows),
+                                    {log_u(0.1), log_u(0.1)});
+  const BoxBudgetConstraints c({1.0, 2.0}, {1.0, 1.0}, 0.5);
+  const BarrierResult r = maximize_barrier(f, c);
+  EXPECT_NEAR(r.p[0], 0.3, 1e-5);
+  EXPECT_NEAR(r.p[1], 0.1, 1e-5);
+  EXPECT_LT(r.gap_bound, 1e-8);
+}
+
+TEST(Barrier, HandlesActiveBoundsViaTheBarrier) {
+  // The true optimum pins p1 to 0; the barrier solution approaches it.
+  SeparableConcaveObjective::SparseRows rows{{{0, 1.0}}, {{1, 1.0}}};
+  const SeparableConcaveObjective f(2, std::move(rows),
+                                    {log_u(0.01), log_u(1000.0)});
+  const BoxBudgetConstraints c({1.0, 1.0}, {1.0, 1.0}, 0.2);
+  const BarrierResult r = maximize_barrier(f, c);
+  EXPECT_NEAR(r.p[0], 0.2, 1e-4);
+  EXPECT_LT(r.p[1], 1e-4);
+}
+
+TEST(Barrier, AgreesWithGradientProjectionOnGeant) {
+  // Three independent algorithms must meet at the same optimum; here the
+  // barrier method against the paper's solver on the full Table I
+  // instance.
+  const core::GeantScenario s = core::make_geant_scenario();
+  const core::PlacementProblem problem = core::make_problem(s);
+  const SolveResult gp =
+      maximize(problem.objective(), problem.constraints());
+  const BarrierResult barrier =
+      maximize_barrier(problem.objective(), problem.constraints());
+  EXPECT_NEAR(barrier.value, gp.value,
+              1e-5 * (1.0 + std::abs(gp.value)));
+  // The rate vectors agree too (up to the barrier's interior smoothing).
+  for (std::size_t j = 0; j < gp.p.size(); ++j) {
+    EXPECT_NEAR(barrier.p[j], gp.p[j], 2e-4) << "link " << j;
+  }
+}
+
+class BarrierSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BarrierSweep, AgreesOnRandomInstances) {
+  Rng rng(71000 + GetParam());
+  const std::size_t n = 2 + rng.below(8);
+  SeparableConcaveObjective::SparseRows rows(n);
+  std::vector<std::shared_ptr<const Concave1d>> utilities;
+  for (std::size_t k = 0; k < n; ++k) {
+    rows[k].emplace_back(k, 1.0);
+    if (k + 1 < n && rng.bernoulli(0.5)) rows[k].emplace_back(k + 1, 0.5);
+    utilities.push_back(
+        rng.bernoulli(0.5)
+            ? std::shared_ptr<const Concave1d>(
+                  std::make_shared<core::SreUtility>(rng.uniform(1e-4, 0.2)))
+            : log_u(rng.uniform(0.01, 0.5)));
+  }
+  std::vector<double> u(n), alpha(n, 1.0);
+  double max_budget = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    u[j] = rng.uniform(1e3, 1e6);
+    max_budget += u[j];
+  }
+  const double theta = max_budget * rng.uniform(0.01, 0.5);
+  const SeparableConcaveObjective f(n, rows, utilities);
+  const BoxBudgetConstraints c(u, alpha, theta);
+
+  const SolveResult gp = maximize(f, c);
+  const BarrierResult barrier = maximize_barrier(f, c);
+  EXPECT_EQ(gp.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(barrier.value, gp.value, 1e-4 * (1.0 + std::abs(gp.value)))
+      << "instance " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BarrierSweep, ::testing::Range(0, 12));
+
+TEST(Barrier, RequiresStrictInterior) {
+  SeparableConcaveObjective::SparseRows rows{{{0, 1.0}}};
+  const SeparableConcaveObjective f(1, std::move(rows), {log_u(0.1)});
+  const BoxBudgetConstraints c({1.0}, {1.0}, 1.0);  // theta == u*alpha
+  EXPECT_THROW(maximize_barrier(f, c), Error);
+}
+
+}  // namespace
+}  // namespace netmon::opt

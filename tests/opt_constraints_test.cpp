@@ -1,0 +1,103 @@
+#include "opt/constraints.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace netmon::opt {
+namespace {
+
+BoxBudgetConstraints simple() {
+  return BoxBudgetConstraints({10.0, 20.0, 5.0}, {1.0, 0.5, 1.0}, 8.0);
+}
+
+TEST(Constraints, ValidatesConstruction) {
+  EXPECT_THROW(BoxBudgetConstraints({}, {}, 1.0), Error);
+  EXPECT_THROW(BoxBudgetConstraints({1.0}, {1.0, 1.0}, 1.0), Error);
+  EXPECT_THROW(BoxBudgetConstraints({0.0}, {1.0}, 1.0), Error);    // u=0
+  EXPECT_THROW(BoxBudgetConstraints({1.0}, {1.5}, 1.0), Error);    // alpha>1
+  EXPECT_THROW(BoxBudgetConstraints({1.0}, {1.0}, 0.0), Error);    // theta=0
+  EXPECT_THROW(BoxBudgetConstraints({1.0}, {1.0}, 2.0), Error);    // theta>u*a
+}
+
+TEST(Constraints, BudgetAndFeasibility) {
+  const auto c = simple();
+  const std::vector<double> p{0.1, 0.2, 0.6};  // budget 1+4+3 = 8
+  EXPECT_DOUBLE_EQ(c.budget(p), 8.0);
+  EXPECT_TRUE(c.feasible(p));
+  EXPECT_FALSE(c.feasible(std::vector<double>{0.1, 0.2, 0.0}));  // budget 5
+  EXPECT_FALSE(c.feasible(std::vector<double>{-0.1, 0.3, 0.6}));  // negative
+  EXPECT_FALSE(c.feasible(std::vector<double>{0.0, 0.6, 0.0}));  // above alpha
+}
+
+TEST(Constraints, InitialPointFeasibleOnPlane) {
+  const auto c = simple();
+  const auto p = c.initial_point();
+  EXPECT_TRUE(c.feasible(p));
+  EXPECT_NEAR(c.budget(p), 8.0, 1e-9);
+  // Uniform scaling of alpha.
+  EXPECT_NEAR(p[0] / 1.0, p[1] / 0.5, 1e-12);
+}
+
+TEST(Constraints, InitialPointAtFullCapacity) {
+  // theta = sum(u*alpha) forces p = alpha.
+  BoxBudgetConstraints c({10.0, 20.0}, {0.5, 0.25}, 10.0);
+  const auto p = c.initial_point();
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[1], 0.25, 1e-12);
+}
+
+TEST(Projection, FeasibleAndIdempotent) {
+  const auto c = simple();
+  Rng rng(42);
+  for (int rep = 0; rep < 200; ++rep) {
+    std::vector<double> y(3);
+    for (double& v : y) v = rng.uniform(-2.0, 2.0);
+    const auto p = c.project(y);
+    EXPECT_TRUE(c.feasible(p, 1e-7)) << "rep " << rep;
+    const auto p2 = c.project(p);
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(p2[j], p[j], 1e-7);
+  }
+}
+
+TEST(Projection, FixedPointForFeasible) {
+  const auto c = simple();
+  const std::vector<double> p{0.1, 0.2, 0.6};
+  const auto proj = c.project(p);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(proj[j], p[j], 1e-9);
+}
+
+TEST(Projection, IsNearestPoint) {
+  // Compare against a dense grid search on a 2-variable instance.
+  BoxBudgetConstraints c({1.0, 1.0}, {1.0, 1.0}, 1.0);
+  const std::vector<double> y{0.9, 0.8};
+  const auto p = c.project(y);
+  // Analytic: project onto the segment p0+p1=1, 0<=p<=1.
+  // Nearest point: (0.55, 0.45).
+  EXPECT_NEAR(p[0], 0.55, 1e-7);
+  EXPECT_NEAR(p[1], 0.45, 1e-7);
+}
+
+TEST(Projection, ClampsAtBounds) {
+  BoxBudgetConstraints c({1.0, 1.0}, {1.0, 1.0}, 1.0);
+  const auto p = c.project(std::vector<double>{5.0, -5.0});
+  EXPECT_NEAR(p[0], 1.0, 1e-7);
+  EXPECT_NEAR(p[1], 0.0, 1e-7);
+}
+
+TEST(Projection, WeightedBudget) {
+  // Unequal loads: the lambda shift is scaled by u_j.
+  BoxBudgetConstraints c({1.0, 3.0}, {1.0, 1.0}, 1.5);
+  Rng rng(9);
+  for (int rep = 0; rep < 100; ++rep) {
+    std::vector<double> y{rng.uniform(-1.0, 2.0), rng.uniform(-1.0, 2.0)};
+    const auto p = c.project(y);
+    EXPECT_NEAR(c.budget(p), 1.5, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace netmon::opt

@@ -1,0 +1,102 @@
+#include "opt/kkt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace netmon::opt {
+namespace {
+
+TEST(Kkt, LambdaLeastSquaresOnFreeSet) {
+  // g = lambda*u exactly on the free coordinates -> satisfied.
+  const std::vector<double> g{2.0, 4.0, 100.0};
+  const std::vector<double> u{1.0, 2.0, 1.0};
+  const std::vector<BoundState> bounds{BoundState::kFree, BoundState::kFree,
+                                       BoundState::kAtUpper};
+  const KktReport r = compute_kkt(g, u, bounds, 1e-9);
+  EXPECT_NEAR(r.lambda, 2.0, 1e-12);
+  EXPECT_TRUE(r.satisfied);
+  // Upper multiplier mu = g - lambda*u = 98 > 0.
+  EXPECT_NEAR(r.mu[2], 98.0, 1e-12);
+}
+
+TEST(Kkt, NegativeLowerMultiplierDetected) {
+  // At a lower bound with g_j > lambda*u_j the constraint should be
+  // released: raising p_j would improve the objective.
+  const std::vector<double> g{2.0, 50.0};
+  const std::vector<double> u{1.0, 1.0};
+  const std::vector<BoundState> bounds{BoundState::kFree,
+                                       BoundState::kAtLower};
+  const KktReport r = compute_kkt(g, u, bounds, 1e-9);
+  EXPECT_NEAR(r.lambda, 2.0, 1e-12);
+  EXPECT_FALSE(r.satisfied);
+  ASSERT_EQ(r.violating.size(), 1u);
+  EXPECT_EQ(r.violating[0], 1u);
+  EXPECT_NEAR(r.nu[1], -48.0, 1e-12);
+  EXPECT_NEAR(r.worst, -48.0, 1e-12);
+}
+
+TEST(Kkt, SatisfiedLowerMultiplier) {
+  const std::vector<double> g{2.0, 0.5};
+  const std::vector<double> u{1.0, 1.0};
+  const std::vector<BoundState> bounds{BoundState::kFree,
+                                       BoundState::kAtLower};
+  const KktReport r = compute_kkt(g, u, bounds, 1e-9);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_NEAR(r.nu[1], 1.5, 1e-12);
+}
+
+TEST(Kkt, NegativeUpperMultiplierDetected) {
+  // At an upper bound with g_j < lambda*u_j the monitor over-spends.
+  const std::vector<double> g{2.0, 0.1};
+  const std::vector<double> u{1.0, 1.0};
+  const std::vector<BoundState> bounds{BoundState::kFree,
+                                       BoundState::kAtUpper};
+  const KktReport r = compute_kkt(g, u, bounds, 1e-9);
+  EXPECT_FALSE(r.satisfied);
+  EXPECT_EQ(r.violating, (std::vector<std::size_t>{1}));
+  EXPECT_NEAR(r.mu[1], -1.9, 1e-12);
+}
+
+TEST(Kkt, EmptyFreeSetFeasibleInterval) {
+  // All coordinates at bounds; lambda interval [max_lo, min_hi] nonempty.
+  // lower-active needs lambda >= g/u; upper-active needs lambda <= g/u.
+  const std::vector<double> g{1.0, 5.0};
+  const std::vector<double> u{1.0, 1.0};
+  const std::vector<BoundState> bounds{BoundState::kAtLower,
+                                       BoundState::kAtUpper};
+  const KktReport r = compute_kkt(g, u, bounds, 1e-9);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_GE(r.lambda, 1.0 - 1e-9);
+  EXPECT_LE(r.lambda, 5.0 + 1e-9);
+}
+
+TEST(Kkt, EmptyFreeSetInfeasibleInterval) {
+  // lower-active wants lambda >= 5, upper-active wants lambda <= 1:
+  // impossible -> violations on the extremes.
+  const std::vector<double> g{5.0, 1.0};
+  const std::vector<double> u{1.0, 1.0};
+  const std::vector<BoundState> bounds{BoundState::kAtLower,
+                                       BoundState::kAtUpper};
+  const KktReport r = compute_kkt(g, u, bounds, 1e-9);
+  EXPECT_FALSE(r.satisfied);
+  EXPECT_EQ(r.violating.size(), 2u);
+}
+
+TEST(Kkt, AllAtUpperIsOptimalWhenBudgetForces) {
+  const std::vector<double> g{3.0, 6.0};
+  const std::vector<double> u{1.0, 2.0};
+  const std::vector<BoundState> bounds{BoundState::kAtUpper,
+                                       BoundState::kAtUpper};
+  const KktReport r = compute_kkt(g, u, bounds, 1e-9);
+  EXPECT_TRUE(r.satisfied);
+}
+
+TEST(Kkt, ValidatesDimensions) {
+  EXPECT_THROW(compute_kkt(std::vector<double>{1.0}, std::vector<double>{},
+                           {BoundState::kFree}, 1e-9),
+               Error);
+}
+
+}  // namespace
+}  // namespace netmon::opt

@@ -1,0 +1,116 @@
+#include "opt/line_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace netmon::opt {
+namespace {
+
+// Quadratic test objective f(p) = -sum a_j (p_j - c_j)^2.
+class Quadratic final : public Objective {
+ public:
+  Quadratic(std::vector<double> a, std::vector<double> c)
+      : a_(std::move(a)), c_(std::move(c)) {}
+  std::size_t dimension() const override { return a_.size(); }
+  double value(std::span<const double> p) const override {
+    double v = 0.0;
+    for (std::size_t j = 0; j < a_.size(); ++j)
+      v -= a_[j] * (p[j] - c_[j]) * (p[j] - c_[j]);
+    return v;
+  }
+  void gradient(std::span<const double> p,
+                std::span<double> out) const override {
+    for (std::size_t j = 0; j < a_.size(); ++j)
+      out[j] = -2.0 * a_[j] * (p[j] - c_[j]);
+  }
+  double directional_second(std::span<const double>,
+                            std::span<const double> s) const override {
+    double v = 0.0;
+    for (std::size_t j = 0; j < a_.size(); ++j) v -= 2.0 * a_[j] * s[j] * s[j];
+    return v;
+  }
+
+ private:
+  std::vector<double> a_, c_;
+};
+
+TEST(LineSearch, NewtonFindsQuadraticMaxInOneStep) {
+  const Quadratic f({1.0}, {2.0});
+  const std::vector<double> p{0.0};
+  const std::vector<double> d{1.0};
+  const auto r = maximize_along(f, p, d, 10.0);
+  EXPECT_NEAR(r.t, 2.0, 1e-10);
+  EXPECT_FALSE(r.hit_boundary);
+  EXPECT_LE(r.iters, 3);  // Newton is exact on quadratics
+}
+
+TEST(LineSearch, StopsAtBoundaryWhenAscending) {
+  const Quadratic f({1.0}, {5.0});
+  const std::vector<double> p{0.0};
+  const std::vector<double> d{1.0};
+  const auto r = maximize_along(f, p, d, 1.5);
+  EXPECT_DOUBLE_EQ(r.t, 1.5);
+  EXPECT_TRUE(r.hit_boundary);
+}
+
+TEST(LineSearch, BisectionMatchesNewton) {
+  const Quadratic f({1.0, 3.0}, {1.0, 0.5});
+  const std::vector<double> p{0.0, 0.0};
+  const std::vector<double> d{1.0, 0.7};
+  LineSearchOptions newton;
+  LineSearchOptions bisect;
+  bisect.newton = false;
+  bisect.max_iters = 200;
+  const auto rn = maximize_along(f, p, d, 5.0, newton);
+  const auto rb = maximize_along(f, p, d, 5.0, bisect);
+  EXPECT_NEAR(rn.t, rb.t, 1e-6);
+  EXPECT_LT(rn.iters, rb.iters);  // Newton converges faster
+}
+
+TEST(LineSearch, NonQuadraticConcave) {
+  // f(p) = log(1+p0): max along d=(1) on [0,10] is at the boundary.
+  class LogObj final : public Objective {
+   public:
+    std::size_t dimension() const override { return 1; }
+    double value(std::span<const double> p) const override {
+      return std::log1p(p[0]);
+    }
+    void gradient(std::span<const double> p,
+                  std::span<double> out) const override {
+      out[0] = 1.0 / (1.0 + p[0]);
+    }
+    double directional_second(std::span<const double> p,
+                              std::span<const double> s) const override {
+      return -s[0] * s[0] / ((1.0 + p[0]) * (1.0 + p[0]));
+    }
+  } f;
+  const std::vector<double> p{0.0};
+  const std::vector<double> d{1.0};
+  const auto r = maximize_along(f, p, d, 10.0);
+  EXPECT_TRUE(r.hit_boundary);  // log is increasing: never levels off
+  EXPECT_DOUBLE_EQ(r.t, 10.0);
+}
+
+TEST(LineSearch, ValidatesPreconditions) {
+  const Quadratic f({1.0}, {2.0});
+  const std::vector<double> p{0.0};
+  const std::vector<double> d{1.0};
+  EXPECT_THROW(maximize_along(f, p, d, 0.0), Error);
+}
+
+TEST(LineSearch, DescentDirectionReportsNoProgress) {
+  // Near numerical convergence the solver can hand over a direction with
+  // phi'(0) <= 0; the search reports t = 0 rather than failing.
+  const Quadratic f({1.0}, {2.0});
+  const std::vector<double> p{0.0};
+  const std::vector<double> descent{-1.0};
+  const auto r = maximize_along(f, p, descent, 1.0);
+  EXPECT_DOUBLE_EQ(r.t, 0.0);
+  EXPECT_FALSE(r.hit_boundary);
+}
+
+}  // namespace
+}  // namespace netmon::opt

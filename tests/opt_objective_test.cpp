@@ -1,0 +1,126 @@
+#include "opt/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/utility.hpp"
+#include "helpers.hpp"
+#include "util/error.hpp"
+
+namespace netmon::opt {
+namespace {
+
+std::shared_ptr<const Concave1d> log_u(double eps) {
+  return std::make_shared<core::LogUtility>(eps);
+}
+
+SeparableConcaveObjective small_objective() {
+  // f(p) = M0(p0 + p2) + M1(0.5 p1 + p2)
+  SeparableConcaveObjective::SparseRows rows{
+      {{0, 1.0}, {2, 1.0}},
+      {{1, 0.5}, {2, 1.0}},
+  };
+  return SeparableConcaveObjective(3, std::move(rows),
+                                   {log_u(0.1), log_u(0.2)});
+}
+
+TEST(SeparableObjective, ValueMatchesManualComputation) {
+  const auto f = small_objective();
+  const std::vector<double> p{0.1, 0.2, 0.3};
+  const double expected =
+      std::log1p((0.1 + 0.3) / 0.1) + std::log1p((0.1 + 0.3) / 0.2);
+  EXPECT_NEAR(f.value(p), expected, 1e-12);
+  const auto x = f.inner(p);
+  EXPECT_NEAR(x[0], 0.4, 1e-15);
+  EXPECT_NEAR(x[1], 0.4, 1e-15);
+}
+
+TEST(SeparableObjective, GradientMatchesFiniteDifference) {
+  const auto f = small_objective();
+  const std::vector<double> p{0.1, 0.2, 0.3};
+  std::vector<double> g(3);
+  f.gradient(p, g);
+  const auto numeric = test::numeric_gradient(f, p);
+  for (std::size_t j = 0; j < 3; ++j)
+    EXPECT_NEAR(g[j], numeric[j], 1e-6) << "coordinate " << j;
+}
+
+TEST(SeparableObjective, DirectionalSecondMatchesFiniteDifference) {
+  const auto f = small_objective();
+  const std::vector<double> p{0.1, 0.2, 0.3};
+  const std::vector<double> s{1.0, -0.5, 0.25};
+  const double exact = f.directional_second(p, s);
+  EXPECT_NEAR(test::numeric_directional_second(f, p, s) / exact, 1.0, 1e-3);
+}
+
+TEST(SeparableObjective, ConcaveAlongAnyLine) {
+  const auto f = small_objective();
+  const std::vector<double> p{0.1, 0.2, 0.3};
+  for (const auto& s :
+       {std::vector<double>{1, 0, 0}, {0, 1, 0}, {1, 1, 1}, {0.3, -0.1, 0.7}}) {
+    EXPECT_LE(f.directional_second(p, s), 0.0);
+  }
+}
+
+TEST(SeparableObjective, SreUtilityGradient) {
+  SeparableConcaveObjective::SparseRows rows{{{0, 1.0}, {1, 1.0}}};
+  SeparableConcaveObjective f(
+      2, std::move(rows), {std::make_shared<core::SreUtility>(1e-4)});
+  const std::vector<double> p{2e-4, 5e-4};
+  std::vector<double> g(2);
+  f.gradient(p, g);
+  const auto numeric = test::numeric_gradient(f, p, 1e-8);
+  for (std::size_t j = 0; j < 2; ++j)
+    EXPECT_NEAR(g[j] / numeric[j], 1.0, 1e-3);
+}
+
+TEST(SeparableObjective, OffsetsShiftTheInnerProducts) {
+  SeparableConcaveObjective::SparseRows rows{{{0, 1.0}}, {{1, 2.0}}};
+  const SeparableConcaveObjective f(2, std::move(rows),
+                                    {log_u(0.1), log_u(0.1)},
+                                    {0.05, -0.01});
+  const std::vector<double> p{0.1, 0.2};
+  const auto x = f.inner(p);
+  EXPECT_NEAR(x[0], 0.15, 1e-15);
+  EXPECT_NEAR(x[1], 0.39, 1e-15);
+  // Value/gradient consistent with the shifted arguments.
+  const double expected =
+      std::log1p(0.15 / 0.1) + std::log1p(0.39 / 0.1);
+  EXPECT_NEAR(f.value(p), expected, 1e-12);
+  std::vector<double> g(2);
+  f.gradient(p, g);
+  const auto numeric = test::numeric_gradient(f, p);
+  for (std::size_t j = 0; j < 2; ++j) EXPECT_NEAR(g[j], numeric[j], 1e-6);
+}
+
+TEST(SeparableObjective, OffsetsValidated) {
+  SeparableConcaveObjective::SparseRows rows{{{0, 1.0}}};
+  EXPECT_THROW(SeparableConcaveObjective(1, rows, {log_u(0.1)},
+                                         {0.1, 0.2}),
+               Error);
+}
+
+TEST(SeparableObjective, ValidatesConstruction) {
+  SeparableConcaveObjective::SparseRows bad_col{{{5, 1.0}}};
+  EXPECT_THROW(
+      SeparableConcaveObjective(3, bad_col, {log_u(0.1)}),
+      Error);
+  SeparableConcaveObjective::SparseRows neg{{{0, -1.0}}};
+  EXPECT_THROW(SeparableConcaveObjective(3, neg, {log_u(0.1)}), Error);
+  SeparableConcaveObjective::SparseRows ok{{{0, 1.0}}};
+  EXPECT_THROW(SeparableConcaveObjective(3, ok, {}), Error);
+  EXPECT_THROW(SeparableConcaveObjective(3, ok, {nullptr}), Error);
+}
+
+TEST(SeparableObjective, ValidatesEvaluation) {
+  const auto f = small_objective();
+  const std::vector<double> wrong{0.1, 0.2};
+  EXPECT_THROW(f.value(wrong), Error);
+  std::vector<double> g(2);
+  const std::vector<double> p{0.1, 0.2, 0.3};
+  EXPECT_THROW(f.gradient(p, g), Error);
+}
+
+}  // namespace
+}  // namespace netmon::opt

@@ -1,0 +1,103 @@
+#include "routing/routing_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "topo/geant.hpp"
+#include "util/error.hpp"
+
+namespace netmon::routing {
+namespace {
+
+TEST(RoutingMatrix, SinglePathRowsAreBinary) {
+  const topo::Graph g = test::line_graph();
+  const auto m =
+      RoutingMatrix::single_path(g, {{0, 3}, {1, 2}, {0, 1}});
+  ASSERT_EQ(m.od_count(), 3u);
+  EXPECT_EQ(m.row(0).size(), 3u);
+  EXPECT_EQ(m.row(1).size(), 1u);
+  EXPECT_EQ(m.row(2).size(), 1u);
+  for (std::size_t k = 0; k < m.od_count(); ++k) {
+    for (const auto& [link, frac] : m.row(k)) EXPECT_DOUBLE_EQ(frac, 1.0);
+  }
+}
+
+TEST(RoutingMatrix, ColumnsMatchRows) {
+  const topo::Graph g = test::line_graph();
+  const auto m = RoutingMatrix::single_path(g, {{0, 3}, {1, 3}, {2, 3}});
+  // The C->D link is crossed by all three OD pairs.
+  const auto cd = g.find_link(2, 3);
+  ASSERT_TRUE(cd.has_value());
+  EXPECT_EQ(m.ods_on_link(*cd).size(), 3u);
+  // Consistency: every column entry has a matching row entry.
+  for (topo::LinkId link = 0; link < g.link_count(); ++link) {
+    for (const auto& [k, frac] : m.ods_on_link(link)) {
+      EXPECT_DOUBLE_EQ(m.fraction(k, link), frac);
+    }
+  }
+}
+
+TEST(RoutingMatrix, FractionZeroOffPath) {
+  const topo::Graph g = test::line_graph();
+  const auto m = RoutingMatrix::single_path(g, {{0, 1}});
+  const auto cd = g.find_link(2, 3);
+  EXPECT_DOUBLE_EQ(m.fraction(0, *cd), 0.0);
+}
+
+TEST(RoutingMatrix, LinksUsedIsSortedAndDistinct) {
+  const topo::Graph g = test::line_graph();
+  const auto m = RoutingMatrix::single_path(g, {{0, 3}, {1, 3}});
+  const auto links = m.links_used();
+  ASSERT_EQ(links.size(), 3u);
+  for (std::size_t i = 1; i < links.size(); ++i)
+    EXPECT_LT(links[i - 1], links[i]);
+}
+
+TEST(RoutingMatrix, EcmpFractionsSumToOnePerHopLevel) {
+  const topo::Graph g = test::diamond_graph();
+  const auto m = RoutingMatrix::ecmp(g, {{0, 3}});
+  double into_t = 0.0;
+  for (const auto& [link, frac] : m.row(0)) {
+    if (g.link(link).dst == 3u) into_t += frac;
+  }
+  EXPECT_NEAR(into_t, 1.0, 1e-12);
+}
+
+TEST(RoutingMatrix, UnreachableOdThrows) {
+  topo::Graph g;
+  g.add_node("A");
+  g.add_node("B");
+  EXPECT_THROW(RoutingMatrix::single_path(g, {{0, 1}}), Error);
+  EXPECT_THROW(RoutingMatrix::ecmp(g, {{0, 1}}), Error);
+}
+
+TEST(RoutingMatrix, FailedLinkReroutes) {
+  const topo::Graph g = test::diamond_graph();
+  const auto sx = g.find_link(0, 1);
+  const auto m = RoutingMatrix::single_path(g, {{0, 3}}, LinkSet{*sx});
+  for (const auto& [link, frac] : m.row(0)) EXPECT_NE(link, *sx);
+}
+
+TEST(RoutingMatrix, JanetTaskTraversesTwentyOneLinks) {
+  // 20 destination tree links + the JANET access link.
+  const topo::GeantNetwork net = topo::make_geant();
+  std::vector<OdPair> ods;
+  for (const auto& name : topo::janet_destinations())
+    ods.push_back({net.janet, *net.graph.find_node(name)});
+  const auto m = RoutingMatrix::single_path(net.graph, ods);
+  EXPECT_EQ(m.links_used().size(), 21u);
+  // Every OD pair crosses the access link first.
+  for (std::size_t k = 0; k < m.od_count(); ++k) {
+    EXPECT_DOUBLE_EQ(m.fraction(k, net.access_in), 1.0);
+  }
+}
+
+TEST(RoutingMatrix, RowIndexOutOfRangeThrows) {
+  const topo::Graph g = test::line_graph();
+  const auto m = RoutingMatrix::single_path(g, {{0, 1}});
+  EXPECT_THROW(m.row(1), Error);
+  EXPECT_THROW(m.ods_on_link(999), Error);
+}
+
+}  // namespace
+}  // namespace netmon::routing

@@ -1,0 +1,140 @@
+// Property tests for routing: Dijkstra against a Bellman-Ford reference
+// on random graphs, and structural invariants of ECMP fractions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "routing/spf.hpp"
+#include "util/rng.hpp"
+
+namespace netmon::routing {
+namespace {
+
+topo::Graph random_graph(Rng& rng, std::size_t nodes, double edge_prob) {
+  topo::Graph g;
+  for (std::size_t i = 0; i < nodes; ++i)
+    g.add_node("N" + std::to_string(i), 1.0);
+  for (std::size_t a = 0; a < nodes; ++a) {
+    for (std::size_t b = a + 1; b < nodes; ++b) {
+      if (rng.bernoulli(edge_prob)) {
+        g.add_duplex(static_cast<topo::NodeId>(a),
+                     static_cast<topo::NodeId>(b), 1e9,
+                     1.0 + rng.below(20));
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<double> bellman_ford(const topo::Graph& g, topo::NodeId src) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(g.node_count(), kInf);
+  dist[src] = 0.0;
+  for (std::size_t pass = 0; pass + 1 < g.node_count(); ++pass) {
+    bool changed = false;
+    for (const topo::Link& l : g.links()) {
+      if (dist[l.src] + l.igp_weight < dist[l.dst]) {
+        dist[l.dst] = dist[l.src] + l.igp_weight;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+class RandomGraphTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGraphTest, DijkstraMatchesBellmanFord) {
+  Rng rng(5000 + GetParam());
+  const std::size_t nodes = 4 + rng.below(20);
+  const topo::Graph g = random_graph(rng, nodes, 0.3);
+  for (topo::NodeId src = 0; src < std::min<std::size_t>(nodes, 5); ++src) {
+    const SpfResult spf = dijkstra(g, src);
+    const auto reference = bellman_ford(g, src);
+    for (topo::NodeId v = 0; v < nodes; ++v) {
+      if (std::isinf(reference[v])) {
+        EXPECT_FALSE(spf.reachable(v));
+      } else {
+        ASSERT_TRUE(spf.reachable(v));
+        EXPECT_DOUBLE_EQ(spf.dist[v], reference[v])
+            << "src=" << src << " dst=" << v;
+      }
+    }
+  }
+}
+
+TEST_P(RandomGraphTest, ExtractedPathsHaveShortestLength) {
+  Rng rng(6000 + GetParam());
+  const std::size_t nodes = 4 + rng.below(15);
+  const topo::Graph g = random_graph(rng, nodes, 0.35);
+  const SpfResult spf = dijkstra(g, 0);
+  for (topo::NodeId v = 1; v < nodes; ++v) {
+    if (!spf.reachable(v)) continue;
+    const auto path = extract_path(spf, g, v);
+    double total = 0.0;
+    topo::NodeId at = 0;
+    for (topo::LinkId id : path) {
+      EXPECT_EQ(g.link(id).src, at);  // contiguous
+      total += g.link(id).igp_weight;
+      at = g.link(id).dst;
+    }
+    EXPECT_EQ(at, v);
+    EXPECT_DOUBLE_EQ(total, spf.dist[v]);
+  }
+}
+
+TEST_P(RandomGraphTest, EcmpFlowConservation) {
+  Rng rng(7000 + GetParam());
+  const std::size_t nodes = 5 + rng.below(12);
+  const topo::Graph g = random_graph(rng, nodes, 0.4);
+  const SpfResult spf = dijkstra(g, 0);
+  for (topo::NodeId dst = 1; dst < nodes; ++dst) {
+    if (!spf.reachable(dst)) {
+      EXPECT_TRUE(ecmp_fractions(g, 0, dst).empty());
+      continue;
+    }
+    const auto fractions = ecmp_fractions(g, 0, dst);
+    ASSERT_FALSE(fractions.empty());
+    // Conservation: at every intermediate node, inflow == outflow;
+    // 1 leaves the source; 1 enters the destination.
+    std::vector<double> in(nodes, 0.0), out(nodes, 0.0);
+    for (const auto& [link, frac] : fractions) {
+      EXPECT_GT(frac, 0.0);
+      EXPECT_LE(frac, 1.0 + 1e-9);
+      out[g.link(link).src] += frac;
+      in[g.link(link).dst] += frac;
+    }
+    EXPECT_NEAR(out[0] - in[0], 1.0, 1e-9);
+    EXPECT_NEAR(in[dst] - out[dst], 1.0, 1e-9);
+    for (topo::NodeId v = 0; v < nodes; ++v) {
+      if (v == 0 || v == dst) continue;
+      EXPECT_NEAR(in[v], out[v], 1e-9) << "node " << v << " dst " << dst;
+    }
+    // Every ECMP link lies on some shortest path.
+    const std::vector<double> to_dst = [&] {
+      // reverse distances via Bellman-Ford on reversed edges
+      std::vector<double> dist(g.node_count(),
+                               std::numeric_limits<double>::infinity());
+      dist[dst] = 0.0;
+      for (std::size_t pass = 0; pass + 1 < g.node_count(); ++pass) {
+        for (const topo::Link& l : g.links()) {
+          if (dist[l.dst] + l.igp_weight < dist[l.src])
+            dist[l.src] = dist[l.dst] + l.igp_weight;
+        }
+      }
+      return dist;
+    }();
+    for (const auto& [link, frac] : fractions) {
+      const topo::Link& l = g.link(link);
+      EXPECT_NEAR(spf.dist[l.src] + l.igp_weight + to_dst[l.dst],
+                  spf.dist[dst], 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomGraphTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace netmon::routing

@@ -1,0 +1,137 @@
+#include "routing/spf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "helpers.hpp"
+#include "util/error.hpp"
+
+namespace netmon::routing {
+namespace {
+
+TEST(Spf, DistancesOnLine) {
+  const topo::Graph g = test::line_graph();
+  const SpfResult spf = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(spf.dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(spf.dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(spf.dist[2], 2.0);
+  EXPECT_DOUBLE_EQ(spf.dist[3], 3.0);
+}
+
+TEST(Spf, PathExtractionInTravelOrder) {
+  const topo::Graph g = test::line_graph();
+  const SpfResult spf = dijkstra(g, 0);
+  const auto path = extract_path(spf, g, 3);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(g.link(path[0]).src, 0u);
+  EXPECT_EQ(g.link(path[1]).src, 1u);
+  EXPECT_EQ(g.link(path[2]).src, 2u);
+  EXPECT_EQ(g.link(path[2]).dst, 3u);
+}
+
+TEST(Spf, RespectsWeights) {
+  topo::Graph g;
+  const auto a = g.add_node("A");
+  const auto b = g.add_node("B");
+  const auto c = g.add_node("C");
+  g.add_link(a, b, 1e9, 10.0);
+  g.add_link(a, c, 1e9, 1.0);
+  g.add_link(c, b, 1e9, 1.0);
+  const SpfResult spf = dijkstra(g, a);
+  EXPECT_DOUBLE_EQ(spf.dist[b], 2.0);  // via C, not direct
+  const auto path = extract_path(spf, g, b);
+  ASSERT_EQ(path.size(), 2u);
+}
+
+TEST(Spf, DeterministicTieBreakPrefersLowerLinkId) {
+  const topo::Graph g = test::diamond_graph();
+  const SpfResult spf = dijkstra(g, 0);
+  const auto path = extract_path(spf, g, 3);
+  ASSERT_EQ(path.size(), 2u);
+  // Two equal-cost paths; the one through the lower link ids must win,
+  // and repeated runs must agree.
+  const SpfResult spf2 = dijkstra(g, 0);
+  EXPECT_EQ(extract_path(spf2, g, 3), path);
+  EXPECT_EQ(g.link(path[0]).dst, 1u);  // via X (created first)
+}
+
+TEST(Spf, FailedLinksAreAvoided) {
+  const topo::Graph g = test::diamond_graph();
+  // Fail S->X (the preferred branch); traffic must go via Y.
+  const auto sx = g.find_link(0, 1);
+  ASSERT_TRUE(sx.has_value());
+  const SpfResult spf = dijkstra(g, 0, LinkSet{*sx});
+  const auto path = extract_path(spf, g, 3);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(g.link(path[0]).dst, 2u);  // via Y
+}
+
+TEST(Spf, UnreachableDetected) {
+  topo::Graph g;
+  g.add_node("A");
+  g.add_node("B");  // no links
+  const SpfResult spf = dijkstra(g, 0);
+  EXPECT_FALSE(spf.reachable(1));
+  EXPECT_THROW(extract_path(spf, g, 1), Error);
+}
+
+TEST(Spf, SourceOutOfRangeThrows) {
+  topo::Graph g;
+  g.add_node("A");
+  EXPECT_THROW(dijkstra(g, 5), Error);
+}
+
+TEST(Ecmp, EvenSplitOnDiamond) {
+  const topo::Graph g = test::diamond_graph();
+  const auto fractions = ecmp_fractions(g, 0, 3);
+  ASSERT_EQ(fractions.size(), 4u);  // both branches, both hops
+  double into_t = 0.0;
+  for (const auto& [link, frac] : fractions) {
+    EXPECT_NEAR(frac, 0.5, 1e-12);
+    if (g.link(link).dst == 3u) into_t += frac;
+  }
+  EXPECT_NEAR(into_t, 1.0, 1e-12);
+}
+
+TEST(Ecmp, SinglePathGetsFullFraction) {
+  const topo::Graph g = test::line_graph();
+  const auto fractions = ecmp_fractions(g, 0, 3);
+  ASSERT_EQ(fractions.size(), 3u);
+  for (const auto& [link, frac] : fractions) EXPECT_DOUBLE_EQ(frac, 1.0);
+}
+
+TEST(Ecmp, FailureCollapsesToSinglePath) {
+  const topo::Graph g = test::diamond_graph();
+  const auto sx = g.find_link(0, 1);
+  const auto fractions = ecmp_fractions(g, 0, 3, LinkSet{*sx});
+  ASSERT_EQ(fractions.size(), 2u);
+  for (const auto& [link, frac] : fractions) EXPECT_DOUBLE_EQ(frac, 1.0);
+}
+
+TEST(Ecmp, UnreachableReturnsEmpty) {
+  topo::Graph g;
+  g.add_node("A");
+  g.add_node("B");
+  EXPECT_TRUE(ecmp_fractions(g, 0, 1).empty());
+}
+
+TEST(Ecmp, ThreeWaySplit) {
+  topo::Graph g;
+  const auto s = g.add_node("S");
+  const auto t = g.add_node("T");
+  std::vector<topo::NodeId> mid;
+  for (int i = 0; i < 3; ++i) {
+    const auto m = g.add_node("M" + std::to_string(i));
+    g.add_link(s, m, 1e9, 1.0);
+    g.add_link(m, t, 1e9, 1.0);
+    mid.push_back(m);
+  }
+  const auto fractions = ecmp_fractions(g, s, t);
+  ASSERT_EQ(fractions.size(), 6u);
+  for (const auto& [link, frac] : fractions)
+    EXPECT_NEAR(frac, 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace netmon::routing

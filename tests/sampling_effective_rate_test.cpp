@@ -1,0 +1,103 @@
+#include "sampling/effective_rate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.hpp"
+#include "util/error.hpp"
+
+namespace netmon::sampling {
+namespace {
+
+routing::RoutingMatrix line_matrix() {
+  static const topo::Graph g = test::line_graph();
+  return routing::RoutingMatrix::single_path(g, {{0, 3}, {0, 1}});
+}
+
+TEST(EffectiveRate, SingleMonitorExactEqualsRate) {
+  const auto m = line_matrix();
+  RateVector rates(6, 0.0);
+  rates[0] = 0.02;  // A->B, on both paths
+  EXPECT_NEAR(effective_rate_exact(m, 1, rates), 0.02, 1e-15);
+  EXPECT_NEAR(effective_rate_approx(m, 1, rates), 0.02, 1e-15);
+}
+
+TEST(EffectiveRate, MultiMonitorUnionProbability) {
+  const auto m = line_matrix();
+  RateVector rates(6, 0.0);
+  // OD 0 crosses links A->B, B->C, C->D (even link ids 0,2,4).
+  rates[0] = 0.1;
+  rates[2] = 0.2;
+  rates[4] = 0.3;
+  const double exact = effective_rate_exact(m, 0, rates);
+  EXPECT_NEAR(exact, 1.0 - 0.9 * 0.8 * 0.7, 1e-12);
+  EXPECT_NEAR(effective_rate_approx(m, 0, rates), 0.6, 1e-12);
+  // Approx always overestimates (union bound).
+  EXPECT_GT(effective_rate_approx(m, 0, rates), exact);
+}
+
+TEST(EffectiveRate, ApproxTightAtLowRates) {
+  const auto m = line_matrix();
+  RateVector rates(6, 0.0);
+  rates[0] = 1e-3;
+  rates[2] = 2e-3;
+  const double exact = effective_rate_exact(m, 0, rates);
+  const double approx = effective_rate_approx(m, 0, rates);
+  EXPECT_NEAR(approx / exact, 1.0, 2e-3);  // paper §IV-B's regime
+}
+
+TEST(EffectiveRate, RateOneCaptureseverything) {
+  const auto m = line_matrix();
+  RateVector rates(6, 0.0);
+  rates[2] = 1.0;
+  EXPECT_DOUBLE_EQ(effective_rate_exact(m, 0, rates), 1.0);
+}
+
+TEST(EffectiveRate, ZeroRatesZeroEffective) {
+  const auto m = line_matrix();
+  const RateVector rates(6, 0.0);
+  EXPECT_DOUBLE_EQ(effective_rate_exact(m, 0, rates), 0.0);
+  EXPECT_DOUBLE_EQ(effective_rate_approx(m, 0, rates), 0.0);
+}
+
+TEST(EffectiveRate, BatchMatchesScalar) {
+  const auto m = line_matrix();
+  RateVector rates(6, 0.005);
+  const auto exact = effective_rates_exact(m, rates);
+  const auto approx = effective_rates_approx(m, rates);
+  ASSERT_EQ(exact.size(), 2u);
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_DOUBLE_EQ(exact[k], effective_rate_exact(m, k, rates));
+    EXPECT_DOUBLE_EQ(approx[k], effective_rate_approx(m, k, rates));
+  }
+}
+
+TEST(EffectiveRate, LinearizationErrorGrowsWithRates) {
+  const auto m = line_matrix();
+  RateVector low(6, 1e-3), high(6, 0.2);
+  EXPECT_LT(max_linearization_error(m, low),
+            max_linearization_error(m, high));
+  EXPECT_GT(max_linearization_error(m, high), 0.0);
+}
+
+TEST(EffectiveRate, ValidatesInput) {
+  const auto m = line_matrix();
+  RateVector bad(6, -0.1);
+  EXPECT_THROW(effective_rate_exact(m, 0, bad), Error);
+  RateVector short_vec(1, 0.0);
+  EXPECT_THROW(effective_rate_approx(m, 0, short_vec), Error);
+}
+
+TEST(EffectiveRate, EcmpFractionalExponent) {
+  const topo::Graph g = test::diamond_graph();
+  const auto m = routing::RoutingMatrix::ecmp(g, {{0, 3}});
+  RateVector rates(g.link_count(), 0.0);
+  rates[*g.find_link(0, 1)] = 0.4;  // branch X, fraction 1/2
+  // Exact: 1 - (1-0.4)^(1/2).
+  EXPECT_NEAR(effective_rate_exact(m, 0, rates), 1.0 - std::sqrt(0.6), 1e-12);
+  EXPECT_NEAR(effective_rate_approx(m, 0, rates), 0.2, 1e-12);
+}
+
+}  // namespace
+}  // namespace netmon::sampling

@@ -1,0 +1,88 @@
+#include "sampling/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sampling/dedup.hpp"
+#include "util/error.hpp"
+
+namespace netmon::sampling {
+namespace {
+
+TEST(BernoulliSampler, RateMatches) {
+  BernoulliSampler s(0.05, 42);
+  int hits = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) hits += s.sample();
+  EXPECT_NEAR(hits / double(n), 0.05, 0.002);
+  EXPECT_DOUBLE_EQ(s.rate(), 0.05);
+}
+
+TEST(BernoulliSampler, ZeroAndOne) {
+  BernoulliSampler never(0.0, 1), always(1.0, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(never.sample());
+    EXPECT_TRUE(always.sample());
+  }
+  EXPECT_THROW(BernoulliSampler(1.5, 1), Error);
+}
+
+TEST(PeriodicSampler, ExactlyOnePerPeriod) {
+  PeriodicSampler s(0.01, 42);  // period 100
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += s.sample();
+  EXPECT_EQ(hits, 1000);
+  EXPECT_DOUBLE_EQ(s.rate(), 0.01);
+}
+
+TEST(PeriodicSampler, RoundsPeriod) {
+  PeriodicSampler s(0.3, 42);  // period round(1/0.3)=3
+  int hits = 0;
+  for (int i = 0; i < 3000; ++i) hits += s.sample();
+  EXPECT_EQ(hits, 1000);
+  EXPECT_NEAR(s.rate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(PeriodicSampler, PhaseVariesWithSeed) {
+  // With period 1000, different seeds should mostly pick different phases.
+  int distinct = 0;
+  int previous = -1;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    PeriodicSampler s(0.001, seed);
+    int phase = -1;
+    for (int i = 0; i < 1000; ++i) {
+      if (s.sample()) phase = i;
+    }
+    if (phase != previous) ++distinct;
+    previous = phase;
+  }
+  EXPECT_GE(distinct, 4);
+}
+
+TEST(PeriodicSampler, ZeroRateNeverSamples) {
+  PeriodicSampler s(0.0, 42);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(s.sample());
+  EXPECT_DOUBLE_EQ(s.rate(), 0.0);
+}
+
+TEST(PacketId, DistinctAcrossSequenceAndFlows) {
+  traffic::FlowKey a, b;
+  a.src_ip = 1;
+  b.src_ip = 2;
+  EXPECT_NE(packet_id(a, 0), packet_id(a, 1));
+  EXPECT_NE(packet_id(a, 0), packet_id(b, 0));
+  EXPECT_EQ(packet_id(a, 7), packet_id(a, 7));  // stable across points
+}
+
+TEST(PacketIdDedup, CountsDistinct) {
+  PacketIdDedup dedup;
+  EXPECT_TRUE(dedup.insert(1));
+  EXPECT_FALSE(dedup.insert(1));
+  EXPECT_TRUE(dedup.insert(2));
+  EXPECT_EQ(dedup.distinct(), 2u);
+  dedup.clear();
+  EXPECT_EQ(dedup.distinct(), 0u);
+  EXPECT_TRUE(dedup.insert(1));
+}
+
+}  // namespace
+}  // namespace netmon::sampling

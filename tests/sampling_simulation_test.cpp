@@ -1,0 +1,146 @@
+#include "sampling/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.hpp"
+#include "traffic/flow_generator.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace netmon::sampling {
+namespace {
+
+struct LineScenario {
+  topo::Graph graph = test::line_graph();
+  routing::RoutingMatrix matrix =
+      routing::RoutingMatrix::single_path(graph, {{0, 3}, {0, 1}});
+  std::vector<std::vector<traffic::Flow>> flows;
+  RateVector rates;
+
+  LineScenario() : rates(graph.link_count(), 0.0) {
+    Rng rng(42);
+    traffic::FlowGenOptions options;
+    options.interval_sec = 300.0;
+    flows.push_back(
+        traffic::generate_flows(rng, {{0, 3}, 200.0}, 0, options));
+    flows.push_back(
+        traffic::generate_flows(rng, {{0, 1}, 400.0}, 1, options));
+    rates[0] = 0.05;  // A->B: on both paths
+    rates[2] = 0.03;  // B->C: only OD 0
+  }
+};
+
+TEST(Simulation, FastPathExpectationSumMode) {
+  LineScenario s;
+  Rng rng(7);
+  RunningStats ratio0, ratio1;
+  for (int rep = 0; rep < 60; ++rep) {
+    const auto counts = simulate_sampling(rng, s.matrix, s.flows, s.rates,
+                                          CountMode::kSumAcrossMonitors);
+    const double rho0 = effective_rate_approx(s.matrix, 0, s.rates);
+    const double rho1 = effective_rate_approx(s.matrix, 1, s.rates);
+    ratio0.add(counts[0].sampled_packets /
+               (rho0 * counts[0].actual_packets));
+    ratio1.add(counts[1].sampled_packets /
+               (rho1 * counts[1].actual_packets));
+  }
+  // The estimator X/rho is unbiased against the linearized rate.
+  EXPECT_NEAR(ratio0.mean(), 1.0, 0.01);
+  EXPECT_NEAR(ratio1.mean(), 1.0, 0.01);
+}
+
+TEST(Simulation, FastPathExpectationDistinctMode) {
+  LineScenario s;
+  Rng rng(7);
+  RunningStats ratio;
+  for (int rep = 0; rep < 60; ++rep) {
+    const auto counts = simulate_sampling(rng, s.matrix, s.flows, s.rates,
+                                          CountMode::kDistinctPackets);
+    const double rho = effective_rate_exact(s.matrix, 0, s.rates);
+    ratio.add(counts[0].sampled_packets / (rho * counts[0].actual_packets));
+  }
+  EXPECT_NEAR(ratio.mean(), 1.0, 0.01);
+}
+
+TEST(Simulation, DistinctNeverExceedsSum) {
+  LineScenario s;
+  Rng a(3), b(3);
+  // Same seed: not the same draws, but distinct-mode counts must be below
+  // actual packets while sum-mode can exceed them only via double counts.
+  const auto distinct = simulate_sampling(a, s.matrix, s.flows, s.rates,
+                                          CountMode::kDistinctPackets);
+  for (const auto& od : distinct)
+    EXPECT_LE(od.sampled_packets, od.actual_packets);
+  const auto sum = simulate_sampling(b, s.matrix, s.flows, s.rates,
+                                     CountMode::kSumAcrossMonitors);
+  EXPECT_GT(sum[0].sampled_packets, 0u);
+}
+
+TEST(Simulation, PerPacketAgreesWithFastPath) {
+  LineScenario s;
+  // Shrink the populations so the reference engine is cheap.
+  for (auto& pop : s.flows) pop.resize(std::min<std::size_t>(pop.size(), 200));
+  Rng fast_rng(11), slow_rng(11);
+  RunningStats fast, slow;
+  for (int rep = 0; rep < 25; ++rep) {
+    const auto f = simulate_sampling(fast_rng, s.matrix, s.flows, s.rates,
+                                     CountMode::kSumAcrossMonitors);
+    const auto p = simulate_sampling_per_packet(
+        slow_rng, s.matrix, s.flows, s.rates, CountMode::kSumAcrossMonitors);
+    ASSERT_EQ(f[0].actual_packets, p[0].actual_packets);
+    fast.add(static_cast<double>(f[0].sampled_packets));
+    slow.add(static_cast<double>(p[0].sampled_packets));
+  }
+  // Same distribution: means within a few standard errors.
+  const double se = std::sqrt((fast.variance() + slow.variance()) / 25.0);
+  EXPECT_NEAR(fast.mean(), slow.mean(), 5.0 * se + 1.0);
+}
+
+TEST(Simulation, PerPacketDistinctRespectsDedup) {
+  LineScenario s;
+  for (auto& pop : s.flows) pop.resize(std::min<std::size_t>(pop.size(), 100));
+  RateVector high(s.graph.link_count(), 0.0);
+  high[0] = 0.9;
+  high[2] = 0.9;
+  Rng rng(5);
+  const auto counts = simulate_sampling_per_packet(
+      rng, s.matrix, s.flows, high, CountMode::kDistinctPackets);
+  // With two 90% monitors, nearly every packet is sampled at least once
+  // but never counted twice.
+  EXPECT_LE(counts[0].sampled_packets, counts[0].actual_packets);
+  EXPECT_GT(counts[0].sampled_packets, counts[0].actual_packets * 95 / 100);
+}
+
+TEST(Simulation, PeriodicSamplerApproximatesRandom) {
+  LineScenario s;
+  for (auto& pop : s.flows) pop.resize(std::min<std::size_t>(pop.size(), 300));
+  Rng rng(5);
+  const auto periodic = simulate_sampling_per_packet(
+      rng, s.matrix, s.flows, s.rates, CountMode::kSumAcrossMonitors,
+      SamplerKind::kPeriodic);
+  std::uint64_t actual = periodic[0].actual_packets;
+  const double rho = effective_rate_approx(s.matrix, 0, s.rates);
+  EXPECT_NEAR(static_cast<double>(periodic[0].sampled_packets),
+              rho * static_cast<double>(actual),
+              0.2 * rho * static_cast<double>(actual) + 10.0);
+}
+
+TEST(Simulation, ValidatesAlignment) {
+  LineScenario s;
+  Rng rng(1);
+  std::vector<std::vector<traffic::Flow>> wrong(1);
+  EXPECT_THROW(simulate_sampling(rng, s.matrix, wrong, s.rates), Error);
+}
+
+TEST(Simulation, ZeroRatesSampleNothing) {
+  LineScenario s;
+  Rng rng(1);
+  const RateVector zero(s.graph.link_count(), 0.0);
+  const auto counts = simulate_sampling(rng, s.matrix, s.flows, zero);
+  for (const auto& od : counts) EXPECT_EQ(od.sampled_packets, 0u);
+}
+
+}  // namespace
+}  // namespace netmon::sampling

@@ -1,0 +1,106 @@
+#include "sampling/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace netmon::sampling {
+namespace {
+
+traffic::FlowKey key(std::uint32_t n) {
+  traffic::FlowKey k;
+  k.src_ip = n;
+  k.dst_ip = ~n;
+  return k;
+}
+
+TEST(TrajectoryPosition, UniformInUnitInterval) {
+  Rng rng(42);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double pos = trajectory_position(rng());
+    ASSERT_GE(pos, 0.0);
+    ASSERT_LT(pos, 1.0);
+    sum += pos;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(ConsistentSampler, RateMatches) {
+  const ConsistentSampler sampler(0.07);
+  int hits = 0;
+  const int n = 200000;
+  for (std::uint32_t f = 0; f < 200; ++f) {
+    for (std::uint64_t seq = 0; seq < n / 200; ++seq)
+      hits += sampler.sample(packet_id(key(f), seq));
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.07, 0.005);
+}
+
+TEST(ConsistentSampler, IdenticalDecisionsAcrossMonitors) {
+  // The whole point: two monitors with the same rate sample exactly the
+  // same packets — no coordination, no duplicates to reconcile.
+  const ConsistentSampler a(0.1), b(0.1);
+  for (std::uint64_t seq = 0; seq < 5000; ++seq) {
+    const PacketId id = packet_id(key(7), seq);
+    EXPECT_EQ(a.sample(id), b.sample(id));
+  }
+}
+
+TEST(ConsistentSampler, NestedThresholds) {
+  // A packet sampled by a low-rate monitor is sampled by every
+  // higher-rate monitor: thresholds nest.
+  const ConsistentSampler low(0.01), high(0.05);
+  int low_hits = 0;
+  for (std::uint64_t seq = 0; seq < 100000; ++seq) {
+    const PacketId id = packet_id(key(3), seq);
+    if (low.sample(id)) {
+      ++low_hits;
+      EXPECT_TRUE(high.sample(id));
+    }
+  }
+  EXPECT_GT(low_hits, 0);
+}
+
+TEST(TrajectoryRates, MinAndMaxOfPath) {
+  const TrajectoryRates rates = trajectory_rates({0.02, 0.08, 0.05});
+  EXPECT_DOUBLE_EQ(rates.any, 0.08);
+  EXPECT_DOUBLE_EQ(rates.all, 0.02);
+  const TrajectoryRates empty = trajectory_rates({});
+  EXPECT_DOUBLE_EQ(empty.any, 0.0);
+  EXPECT_DOUBLE_EQ(empty.all, 0.0);
+  EXPECT_THROW(trajectory_rates({1.5}), Error);
+}
+
+TEST(TrajectoryRates, EmpiricalMatch) {
+  // Simulate a 3-monitor path: the fraction of packets seen by at least
+  // one / by all monitors must match max / min of the thresholds.
+  const std::vector<double> thresholds{0.02, 0.06, 0.04};
+  std::vector<ConsistentSampler> monitors;
+  for (double t : thresholds) monitors.emplace_back(t);
+  int any = 0, all = 0;
+  const int n = 300000;
+  for (std::uint64_t seq = 0; seq < static_cast<std::uint64_t>(n); ++seq) {
+    const PacketId id = packet_id(key(11), seq);
+    int seen = 0;
+    for (const auto& m : monitors) seen += m.sample(id);
+    any += seen >= 1;
+    all += seen == 3;
+  }
+  const TrajectoryRates rates = trajectory_rates(thresholds);
+  EXPECT_NEAR(static_cast<double>(any) / n, rates.any, 0.003);
+  EXPECT_NEAR(static_cast<double>(all) / n, rates.all, 0.003);
+}
+
+TEST(ConsistentSampler, Validation) {
+  EXPECT_THROW(ConsistentSampler(-0.1), Error);
+  EXPECT_THROW(ConsistentSampler(1.1), Error);
+  const ConsistentSampler never(0.0), always(1.0);
+  EXPECT_FALSE(never.sample(123));
+  EXPECT_TRUE(always.sample(123));
+}
+
+}  // namespace
+}  // namespace netmon::sampling

@@ -1,0 +1,109 @@
+#include "telemetry/snmp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "traffic/gravity.hpp"
+#include "util/error.hpp"
+
+namespace netmon::telemetry {
+namespace {
+
+TEST(SnmpAgent, CountsAndReads) {
+  SnmpAgent agent(3);
+  agent.count(0, 10, 5000);
+  agent.count(0, 5, 2500);
+  agent.count(2, 1, 40);
+  EXPECT_EQ(agent.read(0).packets, 15u);
+  EXPECT_EQ(agent.read(0).octets, 7500u);
+  EXPECT_EQ(agent.read(1).packets, 0u);
+  EXPECT_EQ(agent.read(2).packets, 1u);
+  EXPECT_THROW(agent.count(3, 1, 1), Error);
+  EXPECT_THROW(agent.read(9), Error);
+}
+
+TEST(SnmpAgent, Counter32Wraps) {
+  SnmpAgent agent(1);
+  agent.count(0, 0xffffffffULL, 0);  // counter at max
+  agent.count(0, 5, 0);              // wraps to 4
+  EXPECT_EQ(agent.read(0).packets, 4u);
+}
+
+TEST(Counter32Delta, HandlesWrap) {
+  EXPECT_EQ(counter32_delta(10, 25), 15u);
+  EXPECT_EQ(counter32_delta(0xfffffff0u, 16), 32u);  // wrapped once
+  EXPECT_EQ(counter32_delta(7, 7), 0u);
+}
+
+TEST(RatePoller, DerivesRatesFromDeltas) {
+  SnmpAgent agent(2);
+  RatePoller poller(agent);
+  poller.poll(0.0);
+  agent.count(0, 3000, 1500000);
+  agent.count(1, 600, 30000);
+  poller.poll(30.0);
+  EXPECT_DOUBLE_EQ(poller.packet_rate(0), 100.0);
+  EXPECT_DOUBLE_EQ(poller.packet_rate(1), 20.0);
+  EXPECT_DOUBLE_EQ(poller.byte_rate(0), 50000.0);
+  const auto loads = poller.loads();
+  EXPECT_DOUBLE_EQ(loads[0], 100.0);
+}
+
+TEST(RatePoller, RateSpansLastIntervalOnly) {
+  SnmpAgent agent(1);
+  RatePoller poller(agent);
+  poller.poll(0.0);
+  agent.count(0, 1000, 0);
+  poller.poll(10.0);  // 100 pkt/s
+  agent.count(0, 4000, 0);
+  poller.poll(30.0);  // 200 pkt/s over the last 20 s
+  EXPECT_DOUBLE_EQ(poller.packet_rate(0), 200.0);
+}
+
+TEST(RatePoller, ZeroBeforeTwoPolls) {
+  SnmpAgent agent(1);
+  RatePoller poller(agent);
+  EXPECT_DOUBLE_EQ(poller.packet_rate(0), 0.0);
+  poller.poll(0.0);
+  EXPECT_DOUBLE_EQ(poller.packet_rate(0), 0.0);
+  EXPECT_THROW(poller.poll(0.0), Error);  // non-increasing timestamp
+}
+
+TEST(RatePoller, SurvivesCounterWrap) {
+  SnmpAgent agent(1);
+  RatePoller poller(agent);
+  agent.count(0, 0xfffffff0ULL, 0);  // near wrap before first poll
+  poller.poll(0.0);
+  agent.count(0, 100, 0);            // wraps during the interval
+  poller.poll(10.0);
+  EXPECT_DOUBLE_EQ(poller.packet_rate(0), 10.0);
+}
+
+TEST(MeasuredLoads, MatchesOfferedRates) {
+  const topo::Graph g = test::line_graph();
+  traffic::TrafficMatrix tm{{{0, 3}, 500.0}, {{1, 2}, 300.0}};
+  Rng rng(42);
+  const traffic::LinkLoads measured =
+      measured_loads(g, tm, /*duration=*/120.0, /*poll=*/60.0, rng);
+  const traffic::LinkLoads truth = traffic::link_loads(g, tm);
+  for (topo::LinkId id = 0; id < g.link_count(); ++id) {
+    if (truth[id] <= 0.0) {
+      EXPECT_DOUBLE_EQ(measured[id], 0.0);
+    } else {
+      // Poisson noise over 60s: sigma/mean = 1/sqrt(rate*60) < 1%.
+      EXPECT_NEAR(measured[id] / truth[id], 1.0, 0.1)
+          << g.link_name(id);
+    }
+  }
+}
+
+TEST(MeasuredLoads, ValidatesArguments) {
+  const topo::Graph g = test::line_graph();
+  traffic::TrafficMatrix tm{{{0, 1}, 10.0}};
+  Rng rng(1);
+  EXPECT_THROW(measured_loads(g, tm, 0.0, 1.0, rng), Error);
+  EXPECT_THROW(measured_loads(g, tm, 10.0, 20.0, rng), Error);
+}
+
+}  // namespace
+}  // namespace netmon::telemetry

@@ -1,0 +1,111 @@
+#include "topo/abilene.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/problem.hpp"
+#include "core/solver.hpp"
+#include "routing/spf.hpp"
+#include "traffic/gravity.hpp"
+#include "traffic/link_load.hpp"
+
+namespace netmon::topo {
+namespace {
+
+TEST(Abilene, StructureMatchesTheBackbone) {
+  const AbileneNetwork net = make_abilene();
+  EXPECT_EQ(net.pops.size(), 11u);
+  EXPECT_EQ(net.graph.node_count(), 12u);       // + customer
+  EXPECT_EQ(net.graph.link_count(), 30u);       // 14 duplex + access pair
+  EXPECT_FALSE(net.graph.link(net.access_in).monitorable);
+}
+
+TEST(Abilene, FullyConnected) {
+  const AbileneNetwork net = make_abilene();
+  const auto spf = routing::dijkstra(net.graph, net.customer);
+  for (NodeId pop : net.pops) EXPECT_TRUE(spf.reachable(pop));
+}
+
+TEST(Abilene, TaskCoversAllOtherPops) {
+  const auto rates = abilene_task_rates();
+  EXPECT_EQ(rates.size(), 10u);  // every PoP except the attach point
+  const AbileneNetwork net = make_abilene();
+  for (const auto& [name, rate] : rates) {
+    EXPECT_TRUE(net.graph.find_node(name).has_value()) << name;
+    EXPECT_GT(rate, 0.0);
+  }
+}
+
+// The paper's closing claim (§V-C): the method's benefits generalize
+// beyond GEANT. Build the analogous customer task on Abilene and verify
+// the same qualitative results.
+class AbileneGeneralization : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net = new AbileneNetwork(make_abilene());
+    core::MeasurementTask task;
+    task.interval_sec = 300.0;
+    traffic::TrafficMatrix demands = traffic::gravity_matrix(
+        net->graph, {.total_pkt_per_sec = 6.0e5, .min_mass = 1e-12});
+    for (const auto& [name, rate] : abilene_task_rates()) {
+      const auto dst = *net->graph.find_node(name);
+      task.ods.push_back({net->customer, dst});
+      task.expected_packets.push_back(rate * task.interval_sec);
+      demands.push_back({{net->customer, dst}, rate});
+    }
+    const traffic::LinkLoads loads = traffic::link_loads(net->graph, demands);
+    core::ProblemOptions options;
+    options.theta = 50000.0;
+    problem = new core::PlacementProblem(net->graph, task, loads, options);
+    solution = new core::PlacementSolution(core::solve_placement(*problem));
+  }
+  static void TearDownTestSuite() {
+    delete solution;
+    delete problem;
+    delete net;
+  }
+  static AbileneNetwork* net;
+  static core::PlacementProblem* problem;
+  static core::PlacementSolution* solution;
+};
+
+AbileneNetwork* AbileneGeneralization::net = nullptr;
+core::PlacementProblem* AbileneGeneralization::problem = nullptr;
+core::PlacementSolution* AbileneGeneralization::solution = nullptr;
+
+TEST_F(AbileneGeneralization, CertifiedOptimum) {
+  EXPECT_EQ(solution->status, opt::SolveStatus::kOptimal);
+  EXPECT_LE(solution->iterations, 2000);
+  EXPECT_NEAR(solution->budget_used / problem->theta(), 1.0, 1e-6);
+}
+
+TEST_F(AbileneGeneralization, SameQualitativeStructureAsGeant) {
+  // Low rates, few monitors per OD, every OD observed, balanced utility.
+  const double max_rate =
+      *std::max_element(solution->rates.begin(), solution->rates.end());
+  EXPECT_LT(max_rate, 0.05);
+  for (const core::OdReport& od : solution->per_od) {
+    EXPECT_GE(od.monitored_links.size(), 1u);
+    EXPECT_LE(od.monitored_links.size(), 3u);
+    EXPECT_GT(od.utility, 0.9);
+  }
+  // Fewer active monitors than candidates (sparsity).
+  EXPECT_LT(solution->active_monitors.size(), problem->candidates().size());
+}
+
+TEST_F(AbileneGeneralization, FirstHopMonitorsDominate) {
+  // The attach PoP's outbound links carry the bulk of the budget, as the
+  // UK links do on GEANT.
+  double first_hop_share = 0.0;
+  for (topo::LinkId id : solution->active_monitors) {
+    if (net->graph.link(id).src == net->attach) {
+      first_hop_share += solution->rates[id] *
+                         problem->loads()[id] * 300.0 / problem->theta();
+    }
+  }
+  EXPECT_GT(first_hop_share, 0.3);
+}
+
+}  // namespace
+}  // namespace netmon::topo

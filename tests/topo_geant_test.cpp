@@ -1,0 +1,97 @@
+#include "topo/geant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "routing/spf.hpp"
+
+namespace netmon::topo {
+namespace {
+
+TEST(Geant, SizesMatchThePaper) {
+  const GeantNetwork net = make_geant();
+  // 23 PoPs plus the external JANET node.
+  EXPECT_EQ(net.pops.size(), 23u);
+  EXPECT_EQ(net.graph.node_count(), 24u);
+  // 72 unidirectional GEANT links plus the two access-link directions.
+  EXPECT_EQ(net.graph.link_count(), 74u);
+}
+
+TEST(Geant, AccessLinkIsNotMonitorable) {
+  const GeantNetwork net = make_geant();
+  EXPECT_FALSE(net.graph.link(net.access_in).monitorable);
+  EXPECT_FALSE(net.graph.link(net.access_out).monitorable);
+  EXPECT_EQ(net.graph.link(net.access_in).src, net.janet);
+  EXPECT_EQ(net.graph.link(net.access_in).dst, net.uk);
+}
+
+TEST(Geant, UkHasSixInterPopLinks) {
+  const GeantNetwork net = make_geant();
+  int monitorable = 0;
+  for (LinkId id : net.graph.out_links(net.uk)) {
+    if (net.graph.link(id).monitorable) ++monitorable;
+  }
+  EXPECT_EQ(monitorable, 6);
+}
+
+TEST(Geant, EveryPopReachableFromJanet) {
+  const GeantNetwork net = make_geant();
+  const auto spf = routing::dijkstra(net.graph, net.janet);
+  for (NodeId pop : net.pops) EXPECT_TRUE(spf.reachable(pop));
+}
+
+TEST(Geant, TaskDataMatchesTableOneScale) {
+  const auto& names = janet_destinations();
+  const auto& rates = janet_od_rates();
+  ASSERT_EQ(names.size(), 20u);
+  ASSERT_EQ(rates.size(), 20u);
+  const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+  EXPECT_NEAR(total, 57933.0, 1e-9);  // paper §V-C footnote 2
+  EXPECT_GT(rates.front(), 30000.0);  // JANET-NL
+  EXPECT_DOUBLE_EQ(rates.back(), 20.0);  // JANET-LU
+  EXPECT_EQ(names.front(), "NL");
+  EXPECT_EQ(names.back(), "LU");
+  // Sizes are sorted in descending Table I order.
+  for (std::size_t k = 1; k < rates.size(); ++k)
+    EXPECT_LE(rates[k], rates[k - 1]);
+}
+
+TEST(Geant, DestinationsExistInTopology) {
+  const GeantNetwork net = make_geant();
+  for (const auto& name : janet_destinations())
+    EXPECT_TRUE(net.graph.find_node(name).has_value()) << name;
+}
+
+TEST(Geant, TableOnePathsMatchMonitoredLinks) {
+  // The IGP weights must route the small OD pairs over the dedicated
+  // links the paper's Table I reports: PL via SE, IL via IT, LU and BE
+  // via FR, SK via CZ.
+  const GeantNetwork net = make_geant();
+  const auto spf = routing::dijkstra(net.graph, net.janet);
+  auto last_link = [&](const char* dst) {
+    const auto path =
+        routing::extract_path(spf, net.graph, *net.graph.find_node(dst));
+    return net.graph.link_name(path.back());
+  };
+  EXPECT_EQ(last_link("PL"), "SE->PL");
+  EXPECT_EQ(last_link("IL"), "IT->IL");
+  EXPECT_EQ(last_link("LU"), "FR->LU");
+  EXPECT_EQ(last_link("BE"), "FR->BE");
+  EXPECT_EQ(last_link("SK"), "CZ->SK");
+  EXPECT_EQ(last_link("NL"), "UK->NL");
+  EXPECT_EQ(last_link("NY"), "UK->NY");
+  EXPECT_EQ(last_link("PT"), "UK->PT");
+}
+
+TEST(Geant, CapacitiesAreSonetRates) {
+  const GeantNetwork net = make_geant();
+  for (const Link& l : net.graph.links()) {
+    const double c = l.capacity_bps;
+    EXPECT_TRUE(c == 155.52e6 || c == 622.08e6 || c == 2488.32e6)
+        << net.graph.link_name(l.id) << " capacity " << c;
+  }
+}
+
+}  // namespace
+}  // namespace netmon::topo

@@ -1,0 +1,94 @@
+#include "topo/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace netmon::topo {
+namespace {
+
+TEST(Graph, AddAndLookupNodes) {
+  Graph g;
+  const NodeId a = g.add_node("A", 2.0);
+  const NodeId b = g.add_node("B");
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.node(a).name, "A");
+  EXPECT_DOUBLE_EQ(g.node(a).mass, 2.0);
+  EXPECT_DOUBLE_EQ(g.node(b).mass, 1.0);
+  EXPECT_EQ(g.find_node("A"), a);
+  EXPECT_EQ(g.find_node("missing"), std::nullopt);
+}
+
+TEST(Graph, RejectsInvalidNodes) {
+  Graph g;
+  g.add_node("A");
+  EXPECT_THROW(g.add_node("A"), Error);   // duplicate
+  EXPECT_THROW(g.add_node(""), Error);    // empty
+  EXPECT_THROW(g.add_node("B", -1.0), Error);
+  EXPECT_THROW(g.node(99), Error);
+}
+
+TEST(Graph, AddLinksAndAdjacency) {
+  Graph g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  const NodeId c = g.add_node("C");
+  const LinkId ab = g.add_link(a, b, 1e9, 5.0);
+  const LinkId ac = g.add_link(a, c, 2e9, 7.0, /*monitorable=*/false);
+  EXPECT_EQ(g.link_count(), 2u);
+  EXPECT_EQ(g.link(ab).src, a);
+  EXPECT_EQ(g.link(ab).dst, b);
+  EXPECT_DOUBLE_EQ(g.link(ac).capacity_bps, 2e9);
+  EXPECT_FALSE(g.link(ac).monitorable);
+  EXPECT_EQ(g.out_links(a).size(), 2u);
+  EXPECT_EQ(g.in_links(b).size(), 1u);
+  EXPECT_TRUE(g.out_links(b).empty());
+  EXPECT_EQ(g.link_name(ab), "A->B");
+}
+
+TEST(Graph, FindLinkByIdsAndNames) {
+  Graph g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  const LinkId ab = g.add_link(a, b, 1e9, 1.0);
+  EXPECT_EQ(g.find_link(a, b), ab);
+  EXPECT_EQ(g.find_link(b, a), std::nullopt);
+  EXPECT_EQ(g.find_link("A", "B"), ab);
+  EXPECT_EQ(g.find_link("A", "Z"), std::nullopt);
+}
+
+TEST(Graph, DuplexCreatesBothDirections) {
+  Graph g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  const auto [fwd, rev] = g.add_duplex(a, b, 1e9, 3.0);
+  EXPECT_EQ(g.link(fwd).src, a);
+  EXPECT_EQ(g.link(rev).src, b);
+  EXPECT_DOUBLE_EQ(g.link(rev).igp_weight, 3.0);
+}
+
+TEST(Graph, RejectsInvalidLinks) {
+  Graph g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  EXPECT_THROW(g.add_link(a, a, 1e9, 1.0), Error);   // self loop
+  EXPECT_THROW(g.add_link(a, 99, 1e9, 1.0), Error);  // bad node
+  EXPECT_THROW(g.add_link(a, b, 0.0, 1.0), Error);   // zero capacity
+  EXPECT_THROW(g.add_link(a, b, 1e9, 0.0), Error);   // zero weight
+}
+
+TEST(Graph, MutateLinkAttributes) {
+  Graph g;
+  const NodeId a = g.add_node("A");
+  const NodeId b = g.add_node("B");
+  const LinkId ab = g.add_link(a, b, 1e9, 1.0);
+  g.set_igp_weight(ab, 9.0);
+  g.set_monitorable(ab, false);
+  EXPECT_DOUBLE_EQ(g.link(ab).igp_weight, 9.0);
+  EXPECT_FALSE(g.link(ab).monitorable);
+  EXPECT_THROW(g.set_igp_weight(ab, 0.0), Error);
+  EXPECT_THROW(g.set_igp_weight(99, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace netmon::topo

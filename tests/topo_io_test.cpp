@@ -1,0 +1,71 @@
+#include "topo/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/geant.hpp"
+#include "util/error.hpp"
+
+namespace netmon::topo {
+namespace {
+
+TEST(TopoIo, RoundTripsSmallGraph) {
+  Graph g;
+  const NodeId a = g.add_node("A", 2.5);
+  const NodeId b = g.add_node("B", 1.0);
+  g.add_link(a, b, 1e9, 3.0, false);
+  g.add_duplex(a, b, 2e9, 4.0);
+
+  const Graph back = graph_from_string(to_string(g));
+  ASSERT_EQ(back.node_count(), 2u);
+  ASSERT_EQ(back.link_count(), 3u);
+  EXPECT_DOUBLE_EQ(back.node(0).mass, 2.5);
+  EXPECT_EQ(back.node(1).name, "B");
+  EXPECT_FALSE(back.link(0).monitorable);
+  EXPECT_TRUE(back.link(1).monitorable);
+  EXPECT_DOUBLE_EQ(back.link(2).igp_weight, 4.0);
+  EXPECT_DOUBLE_EQ(back.link(1).capacity_bps, 2e9);
+}
+
+TEST(TopoIo, RoundTripsGeant) {
+  const GeantNetwork net = make_geant();
+  const Graph back = graph_from_string(to_string(net.graph));
+  ASSERT_EQ(back.node_count(), net.graph.node_count());
+  ASSERT_EQ(back.link_count(), net.graph.link_count());
+  for (LinkId id = 0; id < back.link_count(); ++id) {
+    EXPECT_EQ(back.link(id).src, net.graph.link(id).src);
+    EXPECT_EQ(back.link(id).dst, net.graph.link(id).dst);
+    EXPECT_DOUBLE_EQ(back.link(id).igp_weight,
+                     net.graph.link(id).igp_weight);
+    EXPECT_EQ(back.link(id).monitorable, net.graph.link(id).monitorable);
+  }
+}
+
+TEST(TopoIo, ParsesCommentsAndBlankLines) {
+  const Graph g = graph_from_string(
+      "# a comment\n"
+      "\n"
+      "node A 1.0  # trailing comment\n"
+      "node B 2.0\n"
+      "duplex A B 1000 5 1\n");
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.link_count(), 2u);
+}
+
+TEST(TopoIo, ReportsLineNumbersOnErrors) {
+  try {
+    graph_from_string("node A 1.0\nlink A MISSING 1000 5 1\n");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("MISSING"), std::string::npos);
+  }
+}
+
+TEST(TopoIo, RejectsMalformedRecords) {
+  EXPECT_THROW(graph_from_string("node\n"), Error);
+  EXPECT_THROW(graph_from_string("node A 1\nlink A\n"), Error);
+  EXPECT_THROW(graph_from_string("frobnicate A B\n"), Error);
+}
+
+}  // namespace
+}  // namespace netmon::topo

@@ -1,0 +1,84 @@
+#include "traffic/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace netmon::traffic {
+namespace {
+
+TEST(BoundedPareto, RejectsBadParameters) {
+  EXPECT_THROW(BoundedPareto(0.0, 10.0, 1.2), Error);
+  EXPECT_THROW(BoundedPareto(10.0, 10.0, 1.2), Error);
+  EXPECT_THROW(BoundedPareto(1.0, 10.0, 0.0), Error);
+}
+
+TEST(BoundedPareto, SamplesWithinBounds) {
+  const BoundedPareto dist(2.0, 500.0, 1.3);
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = dist.sample(rng);
+    ASSERT_GE(x, 2.0);
+    ASSERT_LE(x, 500.0);
+  }
+}
+
+// Property sweep: the empirical mean must match the analytic mean across
+// shapes, including the alpha = 1 special case.
+class ParetoMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ParetoMeanTest, EmpiricalMeanMatchesAnalytic) {
+  const double alpha = GetParam();
+  const BoundedPareto dist(1.0, 1e5, alpha);
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += dist.sample(rng);
+  const double empirical = sum / n;
+  const double analytic = dist.mean();
+  EXPECT_NEAR(empirical / analytic, 1.0, 0.05)
+      << "alpha=" << alpha << " empirical=" << empirical
+      << " analytic=" << analytic;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ParetoMeanTest,
+                         ::testing::Values(0.8, 1.0, 1.15, 1.5, 2.5));
+
+TEST(BoundedPareto, HeavyTailProducesElephants) {
+  const BoundedPareto dist(1.0, 1e5, 1.15);
+  Rng rng(11);
+  double max_seen = 0.0;
+  for (int i = 0; i < 100000; ++i) max_seen = std::max(max_seen, dist.sample(rng));
+  EXPECT_GT(max_seen, 1e4);  // the tail must actually be exercised
+}
+
+TEST(PacketSizeModel, TrimodalValues) {
+  const PacketSizeModel model;
+  Rng rng(42);
+  int n40 = 0, n576 = 0, n1500 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    switch (model.sample(rng)) {
+      case 40: ++n40; break;
+      case 576: ++n576; break;
+      case 1500: ++n1500; break;
+      default: FAIL() << "unexpected packet size";
+    }
+  }
+  EXPECT_NEAR(n40 / double(n), 0.50, 0.01);
+  EXPECT_NEAR(n576 / double(n), 0.30, 0.01);
+  EXPECT_NEAR(n1500 / double(n), 0.20, 0.01);
+  EXPECT_NEAR(model.mean(), 0.5 * 40 + 0.3 * 576 + 0.2 * 1500, 1e-12);
+}
+
+TEST(Exponential, MeanIsInverseRate) {
+  Rng rng(42);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += exponential(rng, 4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.005);
+  EXPECT_THROW(exponential(rng, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace netmon::traffic

@@ -1,0 +1,116 @@
+#include "traffic/flow_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace netmon::traffic {
+namespace {
+
+Demand demand(double pps) { return Demand{{2, 5}, pps}; }
+
+TEST(FlowGenerator, TotalPacketsNearDemand) {
+  Rng rng(42);
+  const Demand d = demand(1000.0);  // 300k packets expected
+  const auto flows = generate_flows(rng, d, 0);
+  const double total = static_cast<double>(total_packets(flows));
+  EXPECT_NEAR(total / 300000.0, 1.0, 0.15);
+}
+
+TEST(FlowGenerator, SmallDemandStillConcentrated) {
+  // 20 pkt/s -> 6000 packets; the elephant cap must keep the realized
+  // size within a reasonable band of the demand.
+  Rng rng(1);
+  double worst = 0.0;
+  for (int rep = 0; rep < 20; ++rep) {
+    Rng stream = rng.split(rep);
+    const auto flows = generate_flows(stream, demand(20.0), 0);
+    const double ratio =
+        static_cast<double>(total_packets(flows)) / 6000.0;
+    worst = std::max(worst, std::abs(ratio - 1.0));
+  }
+  EXPECT_LT(worst, 0.5);
+}
+
+TEST(FlowGenerator, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  const auto f1 = generate_flows(a, demand(100.0), 3);
+  const auto f2 = generate_flows(b, demand(100.0), 3);
+  ASSERT_EQ(f1.size(), f2.size());
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    EXPECT_EQ(f1[i].packets, f2[i].packets);
+    EXPECT_EQ(f1[i].key, f2[i].key);
+  }
+}
+
+TEST(FlowGenerator, StampsOdIndexAndAddresses) {
+  Rng rng(42);
+  const Demand d = demand(200.0);
+  const auto flows = generate_flows(rng, d, 17);
+  ASSERT_FALSE(flows.empty());
+  const net::Prefix src_block = pop_prefix(2);
+  const net::Prefix dst_block = pop_prefix(5);
+  for (const Flow& f : flows) {
+    EXPECT_EQ(f.od_index, 17u);
+    EXPECT_TRUE(src_block.contains(f.key.src_ip));
+    EXPECT_TRUE(dst_block.contains(f.key.dst_ip));
+    EXPECT_GE(f.packets, 1u);
+    EXPECT_GE(f.bytes, f.packets * 40);   // smallest packet is 40 B
+    EXPECT_LE(f.bytes, f.packets * 1500);
+  }
+}
+
+TEST(FlowGenerator, TimesWithinInterval) {
+  Rng rng(42);
+  FlowGenOptions options;
+  options.interval_sec = 60.0;
+  const auto flows = generate_flows(rng, demand(500.0), 0, options);
+  for (const Flow& f : flows) {
+    EXPECT_GE(f.start_sec, 0.0);
+    EXPECT_LE(f.end_sec, 60.0 + 1e-9);
+    EXPECT_LE(f.start_sec, f.end_sec);
+  }
+}
+
+TEST(FlowGenerator, ZeroDemandYieldsNoFlows) {
+  Rng rng(42);
+  EXPECT_TRUE(generate_flows(rng, demand(0.0), 0).empty());
+  // Sub-packet demand also rounds to nothing.
+  FlowGenOptions options;
+  options.interval_sec = 0.5;
+  EXPECT_TRUE(generate_flows(rng, demand(1.0), 0, options).empty());
+}
+
+TEST(FlowGenerator, GenerateAllIsOrderIndependentPerOd) {
+  const TrafficMatrix tm{{{0, 1}, 100.0}, {{1, 2}, 200.0}};
+  Rng a(5), b(5);
+  const auto all = generate_all_flows(a, tm);
+  ASSERT_EQ(all.size(), 2u);
+  // Re-generating the second OD alone (same stream id) matches.
+  Rng stream = b.split(2);
+  const auto second = generate_flows(stream, tm[1], 1);
+  ASSERT_EQ(all[1].size(), second.size());
+  EXPECT_EQ(total_packets(all[1]), total_packets(second));
+  EXPECT_EQ(all[1][0].key, second[0].key);
+}
+
+TEST(FlowGenerator, HeavyTailMixesMiceAndElephants) {
+  Rng rng(42);
+  const auto flows = generate_flows(rng, demand(5000.0), 0);
+  std::uint64_t max_flow = 0, mice = 0;
+  for (const Flow& f : flows) {
+    max_flow = std::max(max_flow, f.packets);
+    mice += (f.packets <= 2);
+  }
+  EXPECT_GT(max_flow, 1000u);                      // elephants exist
+  EXPECT_GT(mice, flows.size() / 4);               // plenty of mice
+}
+
+TEST(PopPrefix, DistinctPerNode) {
+  EXPECT_NE(pop_prefix(1).base, pop_prefix(2).base);
+  EXPECT_EQ(pop_prefix(3).len, 16);
+  EXPECT_THROW(pop_prefix(256), netmon::Error);
+}
+
+}  // namespace
+}  // namespace netmon::traffic

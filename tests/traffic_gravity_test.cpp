@@ -1,0 +1,73 @@
+#include "traffic/gravity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "topo/geant.hpp"
+#include "util/error.hpp"
+
+namespace netmon::traffic {
+namespace {
+
+TEST(Gravity, TotalRateIsPreserved) {
+  const topo::Graph g = test::line_graph();
+  GravityOptions options;
+  options.total_pkt_per_sec = 12345.0;
+  const TrafficMatrix tm = gravity_matrix(g, options);
+  EXPECT_NEAR(total_rate(tm), 12345.0, 1e-6);
+  EXPECT_EQ(tm.size(), 12u);  // 4*3 ordered pairs
+}
+
+TEST(Gravity, DemandsProportionalToMassProduct) {
+  const topo::Graph g = test::line_graph();  // masses 4,3,2,1
+  const TrafficMatrix tm = gravity_matrix(g);
+  const double d01 = demand_for(tm, {0, 1});  // 4*3
+  const double d23 = demand_for(tm, {2, 3});  // 2*1
+  EXPECT_NEAR(d01 / d23, 6.0, 1e-9);
+  // Gravity is symmetric for symmetric masses.
+  EXPECT_NEAR(demand_for(tm, {0, 1}), demand_for(tm, {1, 0}), 1e-9);
+}
+
+TEST(Gravity, ZeroMassNodesExcluded) {
+  topo::Graph g;
+  g.add_node("A", 1.0);
+  g.add_node("B", 1.0);
+  g.add_node("EXT", 0.0);
+  const TrafficMatrix tm = gravity_matrix(g);
+  EXPECT_EQ(tm.size(), 2u);
+  for (const Demand& d : tm) {
+    EXPECT_NE(d.od.src, 2u);
+    EXPECT_NE(d.od.dst, 2u);
+  }
+}
+
+TEST(Gravity, JanetExcludedFromGeantBackground) {
+  const topo::GeantNetwork net = topo::make_geant();
+  const TrafficMatrix tm = gravity_matrix(net.graph);
+  EXPECT_EQ(tm.size(), 23u * 22u);
+  for (const Demand& d : tm) {
+    EXPECT_NE(d.od.src, net.janet);
+    EXPECT_NE(d.od.dst, net.janet);
+  }
+}
+
+TEST(Gravity, RejectsDegenerateInputs) {
+  topo::Graph g;
+  g.add_node("A", 1.0);
+  EXPECT_THROW(gravity_matrix(g), Error);  // single active node
+  GravityOptions bad;
+  bad.total_pkt_per_sec = 0.0;
+  const topo::Graph line = test::line_graph();
+  EXPECT_THROW(gravity_matrix(line, bad), Error);
+}
+
+TEST(TrafficMatrixHelpers, ScaleAndQuery) {
+  TrafficMatrix tm{{{0, 1}, 100.0}, {{1, 0}, 50.0}};
+  const TrafficMatrix doubled = scaled(tm, 2.0);
+  EXPECT_DOUBLE_EQ(total_rate(doubled), 300.0);
+  EXPECT_DOUBLE_EQ(demand_for(doubled, {0, 1}), 200.0);
+  EXPECT_DOUBLE_EQ(demand_for(doubled, {0, 2}), 0.0);
+}
+
+}  // namespace
+}  // namespace netmon::traffic

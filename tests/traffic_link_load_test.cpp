@@ -1,0 +1,79 @@
+#include "traffic/link_load.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "util/error.hpp"
+
+namespace netmon::traffic {
+namespace {
+
+TEST(LinkLoads, AccumulatesAlongPaths) {
+  const topo::Graph g = test::line_graph();
+  const TrafficMatrix tm{{{0, 3}, 100.0}, {{1, 3}, 50.0}, {{0, 1}, 10.0}};
+  const LinkLoads loads = link_loads(g, tm);
+  const auto ab = *g.find_link(0, 1);
+  const auto bc = *g.find_link(1, 2);
+  const auto cd = *g.find_link(2, 3);
+  EXPECT_DOUBLE_EQ(loads[ab], 110.0);
+  EXPECT_DOUBLE_EQ(loads[bc], 150.0);
+  EXPECT_DOUBLE_EQ(loads[cd], 150.0);
+  // Reverse links unused.
+  EXPECT_DOUBLE_EQ(loads[*g.find_link(1, 0)], 0.0);
+}
+
+TEST(LinkLoads, ConservationAtTransitNodes) {
+  const topo::Graph g = test::line_graph();
+  const TrafficMatrix tm{{{0, 3}, 100.0}};
+  const LinkLoads loads = link_loads(g, tm);
+  // Node B and C are pure transit for this demand: in = out.
+  double in_b = 0.0, out_b = 0.0;
+  for (auto id : g.in_links(1)) in_b += loads[id];
+  for (auto id : g.out_links(1)) out_b += loads[id];
+  EXPECT_DOUBLE_EQ(in_b, out_b);
+}
+
+TEST(LinkLoads, EcmpSplitsEvenly) {
+  const topo::Graph g = test::diamond_graph();
+  const TrafficMatrix tm{{{0, 3}, 100.0}};
+  const LinkLoads loads = link_loads_ecmp(g, tm);
+  EXPECT_NEAR(loads[*g.find_link(0, 1)], 50.0, 1e-9);
+  EXPECT_NEAR(loads[*g.find_link(0, 2)], 50.0, 1e-9);
+  // Single-path routing instead puts everything on one branch.
+  const LinkLoads single = link_loads(g, tm);
+  EXPECT_DOUBLE_EQ(single[*g.find_link(0, 1)] + single[*g.find_link(0, 2)],
+                   100.0);
+  EXPECT_TRUE(single[*g.find_link(0, 1)] == 0.0 ||
+              single[*g.find_link(0, 2)] == 0.0);
+}
+
+TEST(LinkLoads, FailureReroutes) {
+  const topo::Graph g = test::diamond_graph();
+  const TrafficMatrix tm{{{0, 3}, 100.0}};
+  const auto sx = *g.find_link(0, 1);
+  const LinkLoads loads = link_loads(g, tm, routing::LinkSet{sx});
+  EXPECT_DOUBLE_EQ(loads[sx], 0.0);
+  EXPECT_DOUBLE_EQ(loads[*g.find_link(0, 2)], 100.0);
+}
+
+TEST(LinkLoads, UnreachableDemandThrows) {
+  topo::Graph g;
+  g.add_node("A");
+  g.add_node("B");
+  const TrafficMatrix tm{{{0, 1}, 1.0}};
+  EXPECT_THROW(link_loads(g, tm), netmon::Error);
+  EXPECT_THROW(link_loads_ecmp(g, tm), netmon::Error);
+}
+
+TEST(Utilization, ComputesBitsOverCapacity) {
+  const topo::Graph g = test::line_graph();  // 1e9 bps links
+  LinkLoads loads(g.link_count(), 0.0);
+  const auto ab = *g.find_link(0, 1);
+  loads[ab] = 1000.0;  // pkt/s
+  // 1000 pkt/s * 500 B * 8 = 4 Mb/s over 1 Gb/s.
+  EXPECT_NEAR(utilization(g, ab, loads, 500.0), 0.004, 1e-12);
+  EXPECT_THROW(utilization(g, ab, loads, 0.0), netmon::Error);
+}
+
+}  // namespace
+}  // namespace netmon::traffic

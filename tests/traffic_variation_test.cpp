@@ -1,0 +1,62 @@
+#include "traffic/variation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace netmon::traffic {
+namespace {
+
+TEST(DiurnalPattern, PeaksAtConfiguredTime) {
+  const DiurnalPattern pattern(0.4, 14.0 * 3600.0);  // 2pm peak
+  EXPECT_NEAR(pattern.factor(14.0 * 3600.0), 1.4, 1e-12);
+  EXPECT_NEAR(pattern.factor(2.0 * 3600.0), 0.6, 1e-12);  // 2am trough
+  // 24h periodicity.
+  EXPECT_NEAR(pattern.factor(14.0 * 3600.0 + 86400.0), 1.4, 1e-12);
+}
+
+TEST(DiurnalPattern, ZeroAmplitudeIsFlat) {
+  const DiurnalPattern flat(0.0, 0.0);
+  for (double t = 0.0; t < 86400.0; t += 3600.0)
+    EXPECT_DOUBLE_EQ(flat.factor(t), 1.0);
+}
+
+TEST(DiurnalPattern, RejectsBadAmplitude) {
+  EXPECT_THROW(DiurnalPattern(-0.1, 0.0), Error);
+  EXPECT_THROW(DiurnalPattern(1.0, 0.0), Error);
+}
+
+TEST(AnomalySpike, ActiveWindowIsHalfOpen) {
+  const AnomalySpike spike{{0, 1}, 100.0, 200.0, 50.0};
+  EXPECT_FALSE(spike.active_at(99.9));
+  EXPECT_TRUE(spike.active_at(100.0));
+  EXPECT_TRUE(spike.active_at(199.9));
+  EXPECT_FALSE(spike.active_at(200.0));
+}
+
+TEST(MatrixAt, AppliesDiurnalAndSpikes) {
+  const TrafficMatrix base{{{0, 1}, 100.0}, {{1, 2}, 200.0}};
+  const DiurnalPattern pattern(0.5, 0.0);  // peak at t=0: factor 1.5
+  const std::vector<AnomalySpike> spikes{{{0, 1}, 0.0, 10.0, 10.0}};
+
+  const TrafficMatrix at0 = matrix_at(base, pattern, spikes, 0.0);
+  EXPECT_NEAR(demand_for(at0, {0, 1}), 100.0 * 1.5 * 10.0, 1e-9);
+  EXPECT_NEAR(demand_for(at0, {1, 2}), 200.0 * 1.5, 1e-9);
+
+  // After the spike window, only the diurnal factor remains.
+  const TrafficMatrix at20 = matrix_at(base, pattern, spikes, 20.0);
+  EXPECT_NEAR(demand_for(at20, {0, 1}), 100.0 * pattern.factor(20.0), 1e-9);
+}
+
+TEST(MatrixAt, TotalRateFollowsPattern) {
+  const TrafficMatrix base{{{0, 1}, 100.0}, {{1, 2}, 200.0}};
+  const DiurnalPattern pattern(0.3, 6.0 * 3600.0);
+  const double morning = total_rate(matrix_at(base, pattern, {}, 6.0 * 3600.0));
+  const double evening =
+      total_rate(matrix_at(base, pattern, {}, 18.0 * 3600.0));
+  EXPECT_NEAR(morning, 300.0 * 1.3, 1e-9);
+  EXPECT_NEAR(evening, 300.0 * 0.7, 1e-9);
+}
+
+}  // namespace
+}  // namespace netmon::traffic

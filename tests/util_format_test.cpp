@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace netmon {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name  |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha |"), std::string::npos);
+  // Right-aligned numeric column.
+  EXPECT_NE(out.find("|     1 |"), std::string::npos);
+  EXPECT_NE(out.find("|    22 |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, SeparatorRendersRule) {
+  TextTable t({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // header rule + top + separator + bottom = 4 rules
+  std::size_t rules = 0, pos = 0;
+  while ((pos = out.find("+---", pos)) != std::string::npos) {
+    ++rules;
+    pos += 4;
+  }
+  EXPECT_EQ(rules, 4u);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, AlignmentOverride) {
+  TextTable t({"a", "b"});
+  t.set_align(1, Align::kLeft);
+  t.add_row({"x", "y"});
+  EXPECT_NE(t.render().find("| y |"), std::string::npos);
+}
+
+TEST(TextTable, RejectsBadRows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+  EXPECT_THROW(t.set_align(2, Align::kLeft), Error);
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(Format, FixedSciPercent) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(-1.0, 0), "-1");
+  EXPECT_EQ(fmt_sci(0.000123, 2), "1.23e-04");
+  EXPECT_EQ(fmt_percent(0.245, 1), "24.5%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row(std::vector<std::string>{"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row(std::vector<std::string>{"a,b", "say \"hi\"", "line\nbreak"});
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(CsvWriter, NumericRowRoundTrips) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row(std::vector<double>{0.5, 1e-9, 1.0 / 3.0});
+  std::istringstream in(out.str());
+  std::string cell;
+  std::getline(in, cell, ',');
+  EXPECT_DOUBLE_EQ(std::stod(cell), 0.5);
+  std::getline(in, cell, ',');
+  EXPECT_DOUBLE_EQ(std::stod(cell), 1e-9);
+  std::getline(in, cell);
+  EXPECT_DOUBLE_EQ(std::stod(cell), 1.0 / 3.0);  // full precision kept
+}
+
+}  // namespace
+}  // namespace netmon

@@ -1,0 +1,116 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "core/solver.hpp"
+#include "util/error.hpp"
+
+namespace netmon {
+namespace {
+
+std::string render(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  body(json);
+  return out.str();
+}
+
+TEST(JsonWriter, FlatObject) {
+  const std::string out = render([](JsonWriter& j) {
+    j.begin_object();
+    j.key("name").value("netmon");
+    j.key("version").value(std::int64_t{1});
+    j.key("ratio").value(0.5);
+    j.key("ok").value(true);
+    j.key("none").null();
+    j.end_object();
+  });
+  EXPECT_EQ(out,
+            R"({"name":"netmon","version":1,"ratio":0.5,"ok":true,"none":null})");
+}
+
+TEST(JsonWriter, NestedArrays) {
+  const std::string out = render([](JsonWriter& j) {
+    j.begin_array();
+    j.value(std::int64_t{1});
+    j.begin_array();
+    j.value(std::int64_t{2});
+    j.value(std::int64_t{3});
+    j.end_array();
+    j.begin_object();
+    j.key("k").value("v");
+    j.end_object();
+    j.end_array();
+  });
+  EXPECT_EQ(out, R"([1,[2,3],{"k":"v"}])");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  const std::string out = render([](JsonWriter& j) {
+    j.value("a\"b\\c\nd\te");
+  });
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\te\"");
+}
+
+TEST(JsonWriter, CompletionTracking) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  EXPECT_FALSE(json.complete());
+  json.begin_object();
+  EXPECT_FALSE(json.complete());
+  json.end_object();
+  EXPECT_TRUE(json.complete());
+}
+
+TEST(JsonWriter, RejectsMisuse) {
+  std::ostringstream out;
+  {
+    JsonWriter json(out);
+    json.begin_object();
+    EXPECT_THROW(json.value(1.0), Error);  // value without key
+  }
+  {
+    JsonWriter json(out);
+    json.begin_array();
+    EXPECT_THROW(json.key("x"), Error);  // key inside array
+  }
+  {
+    JsonWriter json(out);
+    EXPECT_THROW(json.end_object(), Error);  // nothing open
+  }
+  {
+    JsonWriter json(out);
+    json.value(1.0);
+    EXPECT_THROW(json.value(2.0), Error);  // two roots
+  }
+}
+
+TEST(Report, PlacementSolutionRoundTripsKeyFields) {
+  const core::GeantScenario s = core::make_geant_scenario();
+  const core::PlacementProblem problem = core::make_problem(s);
+  const core::PlacementSolution solution = core::solve_placement(problem);
+  const std::string json = core::report_json(solution, s.net.graph);
+
+  EXPECT_NE(json.find("\"status\":\"optimal\""), std::string::npos);
+  EXPECT_NE(json.find("\"monitors\":["), std::string::npos);
+  EXPECT_NE(json.find("\"od_pairs\":["), std::string::npos);
+  // Every active monitor appears by name.
+  for (topo::LinkId id : solution.active_monitors) {
+    EXPECT_NE(json.find("\"" + s.net.graph.link_name(id) + "\""),
+              std::string::npos);
+  }
+  // All 20 OD pairs serialized.
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"rho_approx\"", pos)) != std::string::npos) {
+    ++count;
+    pos += 10;
+  }
+  EXPECT_EQ(count, 20u);
+}
+
+}  // namespace
+}  // namespace netmon

@@ -1,0 +1,127 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace netmon {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(42);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowStaysInRangeAndCoversAll) {
+  Rng rng(42);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(42);
+  int hits = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.005);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BinomialMeanAndEdgeCases) {
+  Rng rng(42);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+  double sum = 0.0;
+  const int reps = 20000;
+  for (int i = 0; i < reps; ++i)
+    sum += static_cast<double>(rng.binomial(1000, 0.2));
+  // mean 200, sd of the mean ~ sqrt(160/reps) ~ 0.09
+  EXPECT_NEAR(sum / reps, 200.0, 1.0);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng rng(42);
+  Rng a = rng.split(1);
+  Rng b = rng.split(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng r1(42), r2(42);
+  Rng a = r1.split(9);
+  Rng b = r2.split(9);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, WorksWithStdDistributions) {
+  Rng rng(42);
+  std::normal_distribution<double> normal(0.0, 1.0);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = normal(rng);
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace netmon
