@@ -109,7 +109,7 @@ int main() {
   const auto rhos = sampling::effective_rates_approx(matrix, optimal.rates);
   RunningStats bern_err, per_err;
   for (int rep = 0; rep < 10; ++rep) {
-    Rng r1 = rng.split(rep * 2 + 1), r2 = rng.split(rep * 2 + 2);
+    Rng r1 = rng.substream(rep * 2 + 1), r2 = rng.substream(rep * 2 + 2);
     const auto bern = sampling::simulate_sampling_per_packet(
         r1, matrix, flows, optimal.rates,
         sampling::CountMode::kSumAcrossMonitors,

@@ -56,7 +56,7 @@ int main() {
   Outcome plain, sah;
   RunningStats adaptive_rate;
   for (int rep = 0; rep < reps; ++rep) {
-    Rng lane = rng.split(rep + 1);
+    Rng lane = rng.substream(rep + 1);
 
     // --- plain sampling ---
     {

@@ -1,12 +1,19 @@
 // PERF — google-benchmark microbenchmarks: solver scaling in the number
 // of candidate links and OD pairs, routing matrix construction on GEANT,
-// and the Monte-Carlo sampling engine throughput.
+// and the Monte-Carlo sampling engine throughput. A custom main() then
+// measures batch-solve and Monte-Carlo throughput across thread counts
+// and emits the machine-readable JSON block tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "netmon.hpp"
 #include "opt/barrier.hpp"
+#include "util/bench_report.hpp"
 
 namespace {
 
@@ -142,6 +149,74 @@ void BM_EgressLpmLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_EgressLpmLookup);
 
+// Thread-scaling section: the same batch of problems and the same
+// Monte-Carlo experiment at 1..8 worker threads. Outputs are
+// deterministic per problem, so this doubles as a cross-thread-count
+// consistency check; wall times land in the JSON report.
+void RunThreadScaling() {
+  std::printf("\n-- thread scaling: batch solve + Monte-Carlo --\n");
+  const core::GeantScenario scenario = core::make_geant_scenario();
+
+  // 32 placement problems with randomized budgets (the re-optimization
+  // workload shape: same network, shifting constraints).
+  Rng rng(99);
+  std::vector<double> thetas;
+  for (int i = 0; i < 32; ++i)
+    thetas.push_back(rng.uniform(30000.0, 400000.0));
+  std::sort(thetas.begin(), thetas.end());
+  const auto problems = core::make_theta_sweep(
+      scenario.net.graph, scenario.task, scenario.loads, {}, thetas);
+
+  const core::PlacementProblem problem = core::make_problem(scenario);
+  const core::PlacementSolution solution = core::solve_placement(problem);
+  Rng flow_rng(1);
+  traffic::TrafficMatrix demands;
+  for (std::size_t k = 0; k < scenario.task.ods.size(); ++k) {
+    demands.push_back(
+        {scenario.task.ods[k],
+         scenario.task.expected_packets[k] / scenario.task.interval_sec});
+  }
+  const auto flows = traffic::generate_all_flows(flow_rng, demands);
+
+  BenchReport report("solver_perf", runtime::threads_from_env());
+  double reference_utility = 0.0;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    core::BatchOptions batch;
+    batch.threads = threads;
+    StopWatch solve_watch;
+    const auto solutions = core::BatchSolver(batch).solve(problems);
+    const double solve_ms = solve_watch.elapsed_ms();
+
+    double utility = 0.0;
+    for (const auto& s : solutions) utility += s.total_utility;
+    if (threads == 1) reference_utility = utility;
+
+    runtime::ThreadPool mc_pool(threads);
+    StopWatch mc_watch;
+    const auto runs = sampling::simulate_sampling_runs(
+        mc_pool, Rng(7), problem.routing(), flows, solution.rates, 64);
+    const double mc_ms = mc_watch.elapsed_ms();
+
+    std::printf("  threads=%u  batch_solve(32)=%7.1f ms  monte_carlo(64)="
+                "%7.1f ms  sum_utility=%.6f (%s)\n",
+                threads, solve_ms, mc_ms, utility,
+                utility == reference_utility ? "bit-identical" : "MISMATCH");
+    report.result("threads_" + std::to_string(threads))
+        .metric("batch_solve_ms", solve_ms)
+        .metric("monte_carlo_ms", mc_ms)
+        .metric("batch_problems", static_cast<double>(problems.size()))
+        .metric("mc_runs", static_cast<double>(runs.size()))
+        .metric("sum_utility", utility);
+  }
+  report.emit();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  RunThreadScaling();
+  return 0;
+}

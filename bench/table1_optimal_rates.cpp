@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "netmon.hpp"
+#include "util/bench_report.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -17,11 +18,18 @@ int main() {
       "== TAB1: optimal sampling rates, JANET task on GEANT (paper Table I)"
       " ==\n\n");
 
+  const unsigned threads = runtime::threads_from_env();
+  runtime::ThreadPool pool(threads);
+  BenchReport report("table1_optimal_rates", threads);
+  StopWatch total_watch;
+
+  StopWatch solve_watch;
   const core::GeantScenario scenario = core::make_geant_scenario();
   core::ProblemOptions options;
   options.theta = 100000.0;
   const core::PlacementProblem problem = core::make_problem(scenario, options);
   const core::PlacementSolution solution = core::solve_placement(problem);
+  const double solve_ms = solve_watch.elapsed_ms();
 
   std::printf("theta = %.0f packets / 5 min, alpha_i = 1 for all links\n",
               problem.theta());
@@ -31,7 +39,9 @@ int main() {
                   : "iteration limit",
               solution.iterations, solution.release_events, solution.lambda);
 
-  // --- Monte-Carlo accuracy: 20 sampling experiments (paper §V-B). ---
+  // --- Monte-Carlo accuracy: 20 sampling experiments (paper §V-B),
+  // fanned across the pool. Run r draws from substream r of the fixed
+  // seed, so the accuracies below are bit-identical at any NETMON_THREADS.
   Rng rng(2024);
   traffic::TrafficMatrix task_demands;
   for (std::size_t k = 0; k < scenario.task.ods.size(); ++k) {
@@ -43,13 +53,15 @@ int main() {
   const auto& matrix = problem.routing();
   const auto rhos = sampling::effective_rates_approx(matrix, solution.rates);
   std::vector<RunningStats> accuracy(matrix.od_count());
-  Rng sim_rng(7);
-  for (int run = 0; run < 20; ++run) {
-    const auto counts =
-        sampling::simulate_sampling(sim_rng, matrix, flows, solution.rates);
+  StopWatch mc_watch;
+  const int kRuns = 20;
+  const auto runs = sampling::simulate_sampling_runs(
+      pool, Rng(7), matrix, flows, solution.rates, kRuns);
+  for (const auto& counts : runs) {
     const auto accs = estimate::accuracies(counts, rhos);
     for (std::size_t k = 0; k < accs.size(); ++k) accuracy[k].add(accs[k]);
   }
+  const double mc_ms = mc_watch.elapsed_ms();
 
   // --- Monitor table (columns of the paper's Table I). ---
   TextTable monitors(
@@ -101,5 +113,21 @@ int main() {
   std::printf("  (fairness) paper: accuracy >= 0.89 on average for any OD;"
               " measured worst = %.3f, mean = %.3f\n",
               worst_acc, sum_acc / static_cast<double>(matrix.od_count()));
+
+  report.result("solve")
+      .metric("wall_ms", solve_ms)
+      .metric("iterations", solution.iterations)
+      .metric("release_events", solution.release_events)
+      .metric("total_utility", solution.total_utility)
+      .metric("active_monitors",
+              static_cast<double>(solution.active_monitors.size()));
+  report.result("monte_carlo")
+      .metric("wall_ms", mc_ms)
+      .metric("runs", kRuns)
+      .metric("worst_accuracy", worst_acc)
+      .metric("mean_accuracy",
+              sum_acc / static_cast<double>(matrix.od_count()));
+  report.result("total").metric("wall_ms", total_watch.elapsed_ms());
+  report.emit();
   return 0;
 }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify (full build + ctest) plus a
+# ThreadSanitizer build of the parallel execution subsystem — TSan is the
+# correctness gate for src/runtime/ and everything layered on it.
+#
+# Usage: scripts/ci.sh [build-dir-prefix]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PREFIX="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier-1: build + full test suite =="
+cmake -B "${PREFIX}" -S .
+cmake --build "${PREFIX}" -j "${JOBS}"
+ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
+
+echo "== tier-2: TSan gate on the runtime subsystem =="
+TSAN_TESTS="runtime_thread_pool_test runtime_parallel_test \
+core_batch_solver_test sampling_simulation_test"
+cmake -B "${PREFIX}-tsan" -S . -DNETMON_SANITIZE=thread
+# shellcheck disable=SC2086
+cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target ${TSAN_TESTS}
+ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
+  -R 'runtime_thread_pool_test|runtime_parallel_test|core_batch_solver_test|sampling_simulation_test'
+
+echo "CI OK"

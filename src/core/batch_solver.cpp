@@ -1,0 +1,71 @@
+#include "core/batch_solver.hpp"
+
+#include "core/reoptimize.hpp"
+#include "runtime/parallel.hpp"
+#include "util/error.hpp"
+
+namespace netmon::core {
+
+BatchSolver::BatchSolver(BatchOptions options) : options_(std::move(options)) {
+  NETMON_REQUIRE(options_.chain_chunk >= 1, "chain_chunk must be >= 1");
+}
+
+std::vector<PlacementSolution> BatchSolver::solve(
+    std::span<const PlacementProblem* const> problems) const {
+  const std::size_t n = problems.size();
+  std::vector<PlacementSolution> solutions(n);
+  for (std::size_t i = 0; i < n; ++i)
+    NETMON_REQUIRE(problems[i] != nullptr, "null problem in batch");
+  if (n == 0) return solutions;
+
+  runtime::ThreadPool pool(options_.threads);
+
+  if (!options_.warm_chain) {
+    runtime::parallel_for(pool, n, [&](std::size_t i) {
+      solutions[i] = solve_placement(*problems[i], options_.solver);
+    });
+    return solutions;
+  }
+
+  // Warm chaining: chunks of chain_chunk consecutive problems run
+  // serially (problem i warm-starts from i-1's rates); distinct chunks
+  // run in parallel. The chunk layout depends only on chain_chunk, so
+  // the outputs are thread-count independent.
+  const std::size_t chunk = options_.chain_chunk;
+  const std::size_t chunk_count = (n + chunk - 1) / chunk;
+  runtime::parallel_for(pool, chunk_count, [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(begin + chunk, n);
+    solutions[begin] = solve_placement(*problems[begin], options_.solver);
+    for (std::size_t i = begin + 1; i < end; ++i) {
+      solutions[i] = resolve_warm(*problems[i], solutions[i - 1].rates,
+                                  options_.solver);
+    }
+  });
+  return solutions;
+}
+
+std::vector<PlacementSolution> BatchSolver::solve(
+    const std::vector<PlacementProblem>& problems) const {
+  std::vector<const PlacementProblem*> pointers;
+  pointers.reserve(problems.size());
+  for (const PlacementProblem& problem : problems)
+    pointers.push_back(&problem);
+  return solve(std::span<const PlacementProblem* const>(pointers));
+}
+
+std::vector<PlacementProblem> make_theta_sweep(
+    const topo::Graph& graph, const MeasurementTask& task,
+    const traffic::LinkLoads& loads, const ProblemOptions& base,
+    std::span<const double> thetas) {
+  std::vector<PlacementProblem> problems;
+  problems.reserve(thetas.size());
+  for (const double theta : thetas) {
+    ProblemOptions options = base;
+    options.theta = theta;
+    problems.emplace_back(graph, task, loads, options);
+  }
+  return problems;
+}
+
+}  // namespace netmon::core

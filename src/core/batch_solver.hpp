@@ -1,0 +1,66 @@
+// Batch placement solving: fan a set of PlacementProblem scenarios
+// (theta sweeps, randomized instances, sensitivity perturbations,
+// failure what-ifs) across the runtime thread pool.
+//
+// Production monitoring re-optimizes continuously over many candidate
+// scenarios, so solve *throughput* — not single-solve latency — is the
+// binding constraint (cf. Kallitsis et al., Amjad et al. in PAPERS.md).
+// Every fan-out here is deterministic: each problem is solved by a pure
+// function of its own inputs, and warm-start chaining happens inside
+// fixed-size chunks whose boundaries never depend on the thread count,
+// so batch outputs are bit-identical at every pool size.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/solver.hpp"
+#include "opt/gradient_projection.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace netmon::core {
+
+/// Knobs of a batch solve.
+struct BatchOptions {
+  /// Worker threads; 0 = one per hardware thread.
+  unsigned threads = 0;
+  /// Per-problem solver configuration.
+  opt::SolverOptions solver;
+  /// Warm-start chaining: inside each chunk of `chain_chunk` consecutive
+  /// problems, problem i starts from problem i-1's rates (projected onto
+  /// the new feasible set). Pays off when consecutive problems are close
+  /// (theta sweeps, perturbations); chunk boundaries are fixed by
+  /// chain_chunk alone, so results do not depend on the thread count.
+  bool warm_chain = false;
+  std::size_t chain_chunk = 8;
+};
+
+/// Fans placement problems across a thread pool.
+class BatchSolver {
+ public:
+  explicit BatchSolver(BatchOptions options = {});
+
+  /// Solves every problem; result i corresponds to problems[i]. The
+  /// problems are borrowed and must outlive the call.
+  std::vector<PlacementSolution> solve(
+      std::span<const PlacementProblem* const> problems) const;
+
+  /// Convenience overload for a caller-owned vector of problems.
+  std::vector<PlacementSolution> solve(
+      const std::vector<PlacementProblem>& problems) const;
+
+  const BatchOptions& options() const noexcept { return options_; }
+
+ private:
+  BatchOptions options_;
+};
+
+/// Builds one problem per theta (the Fig. 2 sweep shape): `base` supplies
+/// every option except theta.
+std::vector<PlacementProblem> make_theta_sweep(
+    const topo::Graph& graph, const MeasurementTask& task,
+    const traffic::LinkLoads& loads, const ProblemOptions& base,
+    std::span<const double> thetas);
+
+}  // namespace netmon::core

@@ -1,6 +1,8 @@
 #include "core/reoptimize.hpp"
 
 #include "opt/gradient_projection.hpp"
+#include "runtime/parallel.hpp"
+#include "util/error.hpp"
 
 namespace netmon::core {
 
@@ -23,6 +25,21 @@ PlacementSolution resolve_warm(const PlacementProblem& problem,
   solution.release_events = raw.release_events;
   solution.lambda = raw.lambda;
   return solution;
+}
+
+std::vector<PlacementSolution> resolve_warm_batch(
+    std::span<const PlacementProblem* const> problems,
+    const sampling::RateVector& previous, const BatchOptions& options) {
+  std::vector<PlacementSolution> solutions(problems.size());
+  for (const PlacementProblem* problem : problems)
+    NETMON_REQUIRE(problem != nullptr, "null problem in batch");
+  if (problems.empty()) return solutions;
+
+  runtime::ThreadPool pool(options.threads);
+  runtime::parallel_for(pool, problems.size(), [&](std::size_t i) {
+    solutions[i] = resolve_warm(*problems[i], previous, options.solver);
+  });
+  return solutions;
 }
 
 }  // namespace netmon::core

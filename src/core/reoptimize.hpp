@@ -7,6 +7,10 @@
 // than the cold start — the ablation bench quantifies this.
 #pragma once
 
+#include <span>
+#include <vector>
+
+#include "core/batch_solver.hpp"
 #include "core/problem.hpp"
 #include "core/solver.hpp"
 
@@ -23,5 +27,14 @@ std::vector<double> warm_start_point(const PlacementProblem& problem,
 PlacementSolution resolve_warm(const PlacementProblem& problem,
                                const sampling::RateVector& previous,
                                const opt::SolverOptions& options = {});
+
+/// What-if fan-out: warm-solves every candidate problem (failure
+/// scenarios, perturbed loads, alternative budgets) from the same
+/// currently-running rates, across the thread pool. result[i] matches
+/// problems[i]; outputs are bit-identical at every thread count because
+/// each solve is a pure function of (problem, previous).
+std::vector<PlacementSolution> resolve_warm_batch(
+    std::span<const PlacementProblem* const> problems,
+    const sampling::RateVector& previous, const BatchOptions& options = {});
 
 }  // namespace netmon::core

@@ -54,4 +54,37 @@ topo::LinkId next_monitor_to_activate(
   return topo::kInvalidId;
 }
 
+std::vector<ThetaSensitivityPoint> theta_sensitivity(
+    const topo::Graph& graph, const MeasurementTask& task,
+    const traffic::LinkLoads& loads, const ProblemOptions& base,
+    std::span<const double> thetas, const BatchOptions& batch) {
+  NETMON_REQUIRE(!thetas.empty(), "theta_sensitivity needs >= 1 theta");
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    NETMON_REQUIRE(thetas[i] > 0.0, "thetas must be positive");
+    NETMON_REQUIRE(i == 0 || thetas[i] > thetas[i - 1],
+                   "thetas must be strictly increasing");
+  }
+
+  const std::vector<PlacementProblem> problems =
+      make_theta_sweep(graph, task, loads, base, thetas);
+  BatchOptions options = batch;
+  options.warm_chain = true;  // consecutive thetas are close by design
+  const std::vector<PlacementSolution> solutions =
+      BatchSolver(options).solve(problems);
+
+  std::vector<ThetaSensitivityPoint> points(thetas.size());
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    points[i].theta = thetas[i];
+    points[i].total_utility = solutions[i].total_utility;
+    points[i].lambda = solutions[i].lambda;
+    points[i].active_monitors = solutions[i].active_monitors.size();
+  }
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    points[i].empirical_price =
+        (points[i + 1].total_utility - points[i].total_utility) /
+        (points[i + 1].theta - points[i].theta);
+  }
+  return points;
+}
+
 }  // namespace netmon::core

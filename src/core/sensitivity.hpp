@@ -8,8 +8,10 @@
 // active monitor is barely paying for itself?" without re-solving.
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "core/batch_solver.hpp"
 #include "core/problem.hpp"
 #include "core/solver.hpp"
 
@@ -41,5 +43,27 @@ std::vector<MonitorValue> monitor_values(const PlacementProblem& problem,
 /// among inactive links); kInvalidId when every candidate is active.
 topo::LinkId next_monitor_to_activate(
     const std::vector<MonitorValue>& values);
+
+/// One point of a budget-sensitivity sweep: the re-solved optimum at a
+/// perturbed theta, verifying the KKT shadow-price story empirically.
+struct ThetaSensitivityPoint {
+  double theta = 0.0;
+  double total_utility = 0.0;
+  /// KKT budget multiplier at this theta (analytic dU*/dtheta).
+  double lambda = 0.0;
+  /// Forward finite difference dU*/dtheta against the next point
+  /// (0 for the last point); should track lambda on interior segments.
+  double empirical_price = 0.0;
+  std::size_t active_monitors = 0;
+};
+
+/// Re-solves the task at every theta in `thetas` — fanned across the
+/// thread pool via BatchSolver, warm-chained in sweep order — and
+/// reports utility, shadow price, and its finite-difference check.
+/// `thetas` must be strictly increasing and positive.
+std::vector<ThetaSensitivityPoint> theta_sensitivity(
+    const topo::Graph& graph, const MeasurementTask& task,
+    const traffic::LinkLoads& loads, const ProblemOptions& base,
+    std::span<const double> thetas, const BatchOptions& batch = {});
 
 }  // namespace netmon::core

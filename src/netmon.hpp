@@ -14,6 +14,7 @@
 #pragma once
 
 #include "bgp/rib.hpp"           // IWYU pragma: export
+#include "core/batch_solver.hpp" // IWYU pragma: export
 #include "core/config_gen.hpp"   // IWYU pragma: export
 #include "core/controller.hpp"   // IWYU pragma: export
 #include "core/exact_rate.hpp"   // IWYU pragma: export
@@ -41,6 +42,7 @@
 #include "opt/gradient_projection.hpp"  // IWYU pragma: export
 #include "opt/projected_ascent.hpp"     // IWYU pragma: export
 #include "routing/routing_matrix.hpp"   // IWYU pragma: export
+#include "runtime/runtime.hpp"   // IWYU pragma: export
 #include "sampling/simulation.hpp"      // IWYU pragma: export
 #include "sampling/trajectory.hpp"      // IWYU pragma: export
 #include "telemetry/snmp.hpp"    // IWYU pragma: export

@@ -1,0 +1,32 @@
+#include "runtime/parallel.hpp"
+
+#include "util/error.hpp"
+
+namespace netmon::runtime {
+
+std::vector<std::pair<std::size_t, std::size_t>> make_chunks(
+    std::size_t n, const ChunkOptions& options) {
+  NETMON_REQUIRE(options.max_chunks >= 1, "max_chunks must be >= 1");
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  if (n == 0) return chunks;
+
+  const std::size_t grain = options.grain == 0 ? 1 : options.grain;
+  std::size_t count = (n + grain - 1) / grain;
+  if (count > options.max_chunks) count = options.max_chunks;
+
+  // Balanced split: the first (n % count) chunks get one extra index, so
+  // sizes differ by at most one and the layout is canonical for (n,
+  // grain, max_chunks).
+  const std::size_t base = n / count;
+  const std::size_t extra = n % count;
+  chunks.reserve(count);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::size_t size = base + (c < extra ? 1 : 0);
+    chunks.emplace_back(begin, begin + size);
+    begin += size;
+  }
+  return chunks;
+}
+
+}  // namespace netmon::runtime

@@ -1,0 +1,88 @@
+// Deterministic data-parallel primitives on top of ThreadPool.
+//
+// Work over [0, n) is split into chunks whose boundaries are a pure
+// function of n and the grain option — never of the thread count or of
+// scheduling order. parallel_for writes into caller-owned slots (disjoint
+// per index), and parallel_reduce folds each chunk left-to-right and then
+// combines the per-chunk results in chunk order. Consequently the result
+// of either primitive is bit-identical whether the pool has 1, 4, or 64
+// threads; stochastic workloads stay reproducible by drawing from
+// Rng::substream(i) per index instead of sharing one sequential stream.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace netmon::runtime {
+
+/// Chunking knobs for the parallel primitives.
+struct ChunkOptions {
+  /// Minimum indices per chunk. Raise it when per-index work is tiny and
+  /// scheduling overhead would dominate.
+  std::size_t grain = 1;
+  /// Upper bound on the number of chunks per call (bounds queue pressure
+  /// for huge n). Must be >= 1.
+  std::size_t max_chunks = 256;
+};
+
+/// Half-open index ranges covering [0, n): pure function of (n, options),
+/// independent of thread count — the determinism anchor of this module.
+std::vector<std::pair<std::size_t, std::size_t>> make_chunks(
+    std::size_t n, const ChunkOptions& options = {});
+
+/// Runs fn(i) for every i in [0, n) on the pool and blocks until done.
+/// fn must only touch per-index state (e.g. out[i]); exceptions from any
+/// invocation are rethrown (first captured wins).
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn,
+                  const ChunkOptions& options = {}) {
+  const auto chunks = make_chunks(n, options);
+  if (chunks.empty()) return;
+  if (chunks.size() == 1) {
+    // No point bouncing a single chunk through the queue.
+    for (std::size_t i = chunks[0].first; i < chunks[0].second; ++i) fn(i);
+    return;
+  }
+  TaskGroup group(pool);
+  for (const auto& [begin, end] : chunks) {
+    group.run([&fn, begin = begin, end = end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  group.wait();
+}
+
+/// Folds map(i) over [0, n): within each chunk the fold runs left to
+/// right from a copy of `identity`, and the per-chunk results are then
+/// combined in chunk index order. The grouping depends only on (n,
+/// options), so the result is identical at every thread count; it equals
+/// the plain serial fold whenever `combine` is associative with
+/// `identity` as neutral element (always for integer sums and
+/// RunningStats::merge).
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(ThreadPool& pool, std::size_t n, T identity, Map&& map,
+                  Combine&& combine, const ChunkOptions& options = {}) {
+  const auto chunks = make_chunks(n, options);
+  if (chunks.empty()) return identity;
+
+  std::vector<T> partial(chunks.size(), identity);
+  parallel_for(
+      pool, chunks.size(),
+      [&](std::size_t c) {
+        T acc = identity;
+        for (std::size_t i = chunks[c].first; i < chunks[c].second; ++i)
+          acc = combine(std::move(acc), map(i));
+        partial[c] = std::move(acc);
+      },
+      ChunkOptions{.grain = 1, .max_chunks = options.max_chunks});
+
+  T result = std::move(partial[0]);
+  for (std::size_t c = 1; c < partial.size(); ++c)
+    result = combine(std::move(result), std::move(partial[c]));
+  return result;
+}
+
+}  // namespace netmon::runtime

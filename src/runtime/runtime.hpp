@@ -1,0 +1,7 @@
+// Umbrella header for the parallel execution subsystem: fixed-size
+// thread pool, structured fork/join, and deterministic parallel_for /
+// parallel_reduce. See runtime/parallel.hpp for the determinism contract.
+#pragma once
+
+#include "runtime/parallel.hpp"     // IWYU pragma: export
+#include "runtime/thread_pool.hpp"  // IWYU pragma: export

@@ -1,0 +1,127 @@
+#include "runtime/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/error.hpp"
+
+#if !defined(NETMON_TSAN) && defined(__SANITIZE_THREAD__)
+#define NETMON_TSAN 1
+#endif
+#if !defined(NETMON_TSAN) && defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define NETMON_TSAN 1
+#endif
+#endif
+
+#ifdef NETMON_TSAN
+// glibc's lgamma — reached through std::binomial_distribution's parameter
+// setup in the Monte-Carlo simulation — writes the process-global
+// `signgam` (POSIX marks lgamma MT-Unsafe race:signgam). The library
+// never reads signgam, so suppress that one report instead of
+// serializing every binomial draw.
+extern "C" const char* __tsan_default_suppressions() {
+  return "race:lgamma\n";
+}
+#endif
+
+namespace netmon::runtime {
+
+unsigned resolve_threads(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+unsigned threads_from_env() noexcept {
+  // Digits only: strtoul would silently wrap "-2" to a huge unsigned
+  // value and the pool would then try to spawn billions of threads.
+  constexpr unsigned long kMaxThreads = 4096;
+  const char* raw = std::getenv("NETMON_THREADS");
+  if (raw == nullptr || *raw == '\0') return resolve_threads(0);
+  for (const char* c = raw; *c != '\0'; ++c)
+    if (*c < '0' || *c > '9') return resolve_threads(0);
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(raw, &end, 10);
+  if (end == raw || *end != '\0' || parsed > kMaxThreads)
+    return resolve_threads(0);
+  return resolve_threads(static_cast<unsigned>(parsed));
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = resolve_threads(threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  NETMON_REQUIRE(task != nullptr, "ThreadPool::submit requires a task");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    NETMON_REQUIRE(!stopping_, "ThreadPool::submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping: the destructor promises that
+      // every submitted task runs.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  NETMON_REQUIRE(fn != nullptr, "TaskGroup::run requires a task");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool_.submit([this, fn = std::move(fn)] {
+    std::exception_ptr error;
+    try {
+      fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error && !error_) error_ = error;
+    if (--pending_ == 0) cv_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void TaskGroup::wait_no_throw() noexcept {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+}  // namespace netmon::runtime

@@ -1,0 +1,91 @@
+// Fixed-size thread pool with a shared task queue — the execution layer
+// under every parallel fan-out in netmon (Monte-Carlo sampling runs,
+// batch placement solves, randomized convergence sweeps).
+//
+// The pool is deliberately dumb: workers pop std::function tasks from one
+// mutex-protected queue until shutdown. Determinism and exception
+// propagation live one layer up (TaskGroup, runtime/parallel.hpp), where
+// work is split into chunks whose boundaries never depend on the thread
+// count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace netmon::runtime {
+
+/// Resolves a thread-count knob: 0 means "one thread per hardware
+/// thread"; anything else is taken literally. Never returns 0.
+unsigned resolve_threads(unsigned requested) noexcept;
+
+/// The benches' thread-count knob: reads NETMON_THREADS from the
+/// environment (they run with no CLI arguments); unset, empty, or
+/// unparsable means hardware_concurrency.
+unsigned threads_from_env() noexcept;
+
+/// Fixed-size worker pool. Tasks submitted after construction run on one
+/// of `size()` worker threads; the destructor drains the queue and joins.
+class ThreadPool {
+ public:
+  /// Spawns the workers. `threads` follows resolve_threads().
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Waits for queued tasks to finish, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task. The task must not throw — wrap work that can throw
+  /// in a TaskGroup, which captures and rethrows on wait().
+  void submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+/// Structured fork/join on top of a pool: run() schedules a task, wait()
+/// blocks until every scheduled task finished and rethrows the first
+/// exception any of them raised (first in completion order; the group
+/// stays usable afterwards).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup() { wait_no_throw(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules `fn` on the pool; exceptions are captured for wait().
+  void run(std::function<void()> fn);
+
+  /// Blocks until all scheduled tasks completed; rethrows the first
+  /// captured exception (clearing it, so the group can be reused).
+  void wait();
+
+ private:
+  void wait_no_throw() noexcept;
+
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace netmon::runtime

@@ -2,11 +2,45 @@
 
 #include <memory>
 
+#include "runtime/parallel.hpp"
 #include "sampling/dedup.hpp"
 #include "sampling/sampler.hpp"
 #include "util/error.hpp"
 
 namespace netmon::sampling {
+
+namespace {
+
+/// One OD pair of the fast engine: a pure function of (rng, OD inputs),
+/// shared by the sequential and the parallel entry points.
+OdSampleCount sample_one_od(Rng& rng, const routing::RoutingMatrix& matrix,
+                            std::size_t k,
+                            const std::vector<traffic::Flow>& flows,
+                            const RateVector& rates, CountMode mode) {
+  OdSampleCount out;
+  std::uint64_t actual = 0;
+  for (const traffic::Flow& f : flows) actual += f.packets;
+  out.actual_packets = actual;
+
+  if (mode == CountMode::kDistinctPackets) {
+    // Every packet is counted at most once; it is counted iff sampled
+    // by at least one monitor, which happens with the exact rate.
+    const double rho = effective_rate_exact(matrix, k, rates);
+    out.sampled_packets = rng.binomial(actual, rho);
+  } else {
+    // Counts at different monitors are independent given the packet
+    // stream (independent sampling processes), each Binomial(S_k, r*p).
+    std::uint64_t sum = 0;
+    for (const auto& [link, frac] : matrix.row(k)) {
+      NETMON_REQUIRE(link < rates.size(), "rate vector too short");
+      sum += rng.binomial(actual, frac * rates[link]);
+    }
+    out.sampled_packets = sum;
+  }
+  return out;
+}
+
+}  // namespace
 
 std::vector<OdSampleCount> simulate_sampling(
     Rng& rng, const routing::RoutingMatrix& matrix,
@@ -15,27 +49,47 @@ std::vector<OdSampleCount> simulate_sampling(
   NETMON_REQUIRE(flows.size() == matrix.od_count(),
                  "one flow population per OD row required");
   std::vector<OdSampleCount> out(matrix.od_count());
-  for (std::size_t k = 0; k < matrix.od_count(); ++k) {
-    std::uint64_t actual = 0;
-    for (const traffic::Flow& f : flows[k]) actual += f.packets;
-    out[k].actual_packets = actual;
+  for (std::size_t k = 0; k < matrix.od_count(); ++k)
+    out[k] = sample_one_od(rng, matrix, k, flows[k], rates, mode);
+  return out;
+}
 
-    if (mode == CountMode::kDistinctPackets) {
-      // Every packet is counted at most once; it is counted iff sampled
-      // by at least one monitor, which happens with the exact rate.
-      const double rho = effective_rate_exact(matrix, k, rates);
-      out[k].sampled_packets = rng.binomial(actual, rho);
-    } else {
-      // Counts at different monitors are independent given the packet
-      // stream (independent sampling processes), each Binomial(S_k, r*p).
-      std::uint64_t sum = 0;
-      for (const auto& [link, frac] : matrix.row(k)) {
-        NETMON_REQUIRE(link < rates.size(), "rate vector too short");
-        sum += rng.binomial(actual, frac * rates[link]);
-      }
-      out[k].sampled_packets = sum;
-    }
-  }
+std::vector<OdSampleCount> simulate_sampling(
+    runtime::ThreadPool& pool, const Rng& base,
+    const routing::RoutingMatrix& matrix,
+    const std::vector<std::vector<traffic::Flow>>& flows,
+    const RateVector& rates, CountMode mode) {
+  NETMON_REQUIRE(flows.size() == matrix.od_count(),
+                 "one flow population per OD row required");
+  std::vector<OdSampleCount> out(matrix.od_count());
+  runtime::parallel_for(pool, matrix.od_count(), [&](std::size_t k) {
+    Rng od_rng = base.substream(k);
+    out[k] = sample_one_od(od_rng, matrix, k, flows[k], rates, mode);
+  });
+  return out;
+}
+
+std::vector<std::vector<OdSampleCount>> simulate_sampling_runs(
+    runtime::ThreadPool& pool, const Rng& base,
+    const routing::RoutingMatrix& matrix,
+    const std::vector<std::vector<traffic::Flow>>& flows,
+    const RateVector& rates, int runs, CountMode mode) {
+  NETMON_REQUIRE(flows.size() == matrix.od_count(),
+                 "one flow population per OD row required");
+  NETMON_REQUIRE(runs >= 0, "runs must be non-negative");
+  std::vector<std::vector<OdSampleCount>> out(
+      static_cast<std::size_t>(runs));
+  // Parallelize over (run, od) jointly so small matrices with many runs
+  // still spread across the pool; slot (r, k) is written exactly once.
+  const std::size_t ods = matrix.od_count();
+  for (auto& run : out) run.resize(ods);
+  runtime::parallel_for(
+      pool, static_cast<std::size_t>(runs) * ods, [&](std::size_t job) {
+        const std::size_t r = job / ods;
+        const std::size_t k = job % ods;
+        Rng od_rng = base.substream(r).substream(k);
+        out[r][k] = sample_one_od(od_rng, matrix, k, flows[k], rates, mode);
+      });
   return out;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "routing/routing_matrix.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sampling/effective_rate.hpp"
 #include "traffic/flow.hpp"
 #include "util/rng.hpp"
@@ -45,6 +46,28 @@ std::vector<OdSampleCount> simulate_sampling(
     Rng& rng, const routing::RoutingMatrix& matrix,
     const std::vector<std::vector<traffic::Flow>>& flows,
     const RateVector& rates, CountMode mode = CountMode::kSumAcrossMonitors);
+
+/// Fast engine, parallel per OD pair: OD k draws from base.substream(k),
+/// so the output is bit-identical at every pool size (and to a serial
+/// loop over the same substreams) — unlike the sequential overload, whose
+/// draw order couples consecutive ODs. `base` is not advanced.
+std::vector<OdSampleCount> simulate_sampling(
+    runtime::ThreadPool& pool, const Rng& base,
+    const routing::RoutingMatrix& matrix,
+    const std::vector<std::vector<traffic::Flow>>& flows,
+    const RateVector& rates, CountMode mode = CountMode::kSumAcrossMonitors);
+
+/// Monte-Carlo fan-out: `runs` independent sampling experiments, run r
+/// drawing from base.substream(r) (per-OD substreams nested inside), all
+/// fanned across the pool. result[r][k] is OD k in run r; bit-identical
+/// at every thread count, which is what makes the paper's 20-run Table I
+/// accuracy experiment reproducible under parallel execution.
+std::vector<std::vector<OdSampleCount>> simulate_sampling_runs(
+    runtime::ThreadPool& pool, const Rng& base,
+    const routing::RoutingMatrix& matrix,
+    const std::vector<std::vector<traffic::Flow>>& flows,
+    const RateVector& rates, int runs,
+    CountMode mode = CountMode::kSumAcrossMonitors);
 
 /// Sampler kind for the per-packet reference engine.
 enum class SamplerKind { kBernoulli, kPeriodic };

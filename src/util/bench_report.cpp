@@ -1,0 +1,56 @@
+#include "util/bench_report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace netmon {
+
+BenchReport::BenchReport(std::string bench, unsigned threads)
+    : bench_(std::move(bench)), threads_(threads) {}
+
+BenchReport& BenchReport::result(std::string name) {
+  rows_.push_back(Row{std::move(name), {}});
+  return *this;
+}
+
+BenchReport& BenchReport::metric(std::string key, double value) {
+  NETMON_REQUIRE(!rows_.empty(), "metric() before result()");
+  rows_.back().metrics.emplace_back(std::move(key), value);
+  return *this;
+}
+
+void BenchReport::write(std::ostream& out) const {
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("bench").value(bench_);
+  json.key("threads").value(static_cast<std::uint64_t>(threads_));
+  json.key("results").begin_array();
+  for (const Row& row : rows_) {
+    json.begin_object();
+    json.key("name").value(row.name);
+    for (const auto& [key, value] : row.metrics) json.key(key).value(value);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+void BenchReport::emit() const {
+  std::ostringstream line;
+  write(line);
+  std::cout << "\n--- bench json ---\n" << line.str()
+            << "\n--- end bench json ---\n";
+  if (const char* path = std::getenv("NETMON_BENCH_JSON");
+      path != nullptr && *path != '\0') {
+    std::ofstream file(path, std::ios::app);
+    if (file) file << line.str() << '\n';
+  }
+}
+
+}  // namespace netmon

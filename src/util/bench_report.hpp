@@ -1,0 +1,66 @@
+// Machine-readable bench results: every paper bench emits a JSON block
+// (via util/json) alongside its human-readable tables, so the perf
+// trajectory — wall times, thread counts, convergence stats — can be
+// tracked across PRs by scraping stdout or the file named in
+// NETMON_BENCH_JSON.
+#pragma once
+
+#include <chrono>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace netmon {
+
+/// Wall-clock stopwatch for bench timing.
+class StopWatch {
+ public:
+  StopWatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Milliseconds since construction or the last restart().
+  double elapsed_ms() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - start_).count();
+  }
+
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Collects named results with numeric metrics and renders them as one
+/// JSON object: {"bench": ..., "threads": ..., "results": [{"name": ...,
+/// metric: value, ...}, ...]}.
+class BenchReport {
+ public:
+  /// `bench` names the binary (e.g. "sec4d_convergence"); `threads` is
+  /// the thread-count knob the run used (recorded on every report so
+  /// perf numbers are comparable).
+  BenchReport(std::string bench, unsigned threads);
+
+  /// Starts a result row; metrics attach to the most recent row.
+  BenchReport& result(std::string name);
+  BenchReport& metric(std::string key, double value);
+
+  /// Renders the report as a single-line JSON object.
+  void write(std::ostream& out) const;
+
+  /// Writes the JSON to stdout between "--- bench json ---" markers and,
+  /// when the NETMON_BENCH_JSON environment variable names a file,
+  /// appends one line to that file.
+  void emit() const;
+
+ private:
+  struct Row {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  std::string bench_;
+  unsigned threads_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace netmon

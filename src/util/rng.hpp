@@ -99,6 +99,19 @@ class Rng {
     return Rng(splitmix64(s));
   }
 
+  /// Derives the `shard`-th deterministic substream: a pure function of
+  /// the full current state and the shard index that does not advance
+  /// this generator. Shard k receives the same stream no matter how many
+  /// shards exist, in which order they are derived, or on which thread —
+  /// the reproducibility anchor for parallel fan-out (runtime/). Unlike
+  /// split(), all 256 bits of state enter the derivation.
+  Rng substream(std::uint64_t shard) const noexcept {
+    std::uint64_t s = state_[0] ^ rotl(state_[1], 13) ^ rotl(state_[2], 29) ^
+                      rotl(state_[3], 43);
+    s ^= (shard + 1) * 0xd1342543de82ef95ULL;
+    return Rng(splitmix64(s));
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

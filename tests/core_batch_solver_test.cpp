@@ -1,0 +1,141 @@
+#include "core/batch_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/reoptimize.hpp"
+#include "core/scenario.hpp"
+#include "core/sensitivity.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace netmon::core {
+namespace {
+
+const std::vector<double> kThetas = {40000.0, 70000.0, 100000.0, 160000.0,
+                                     250000.0};
+
+struct BatchFixture : ::testing::Test {
+  GeantScenario scenario = make_geant_scenario();
+  std::vector<PlacementProblem> problems =
+      make_theta_sweep(scenario.net.graph, scenario.task, scenario.loads, {},
+                       kThetas);
+};
+
+TEST_F(BatchFixture, MatchesIndividualSolves) {
+  BatchOptions options;
+  options.threads = 2;
+  const auto batch = BatchSolver(options).solve(problems);
+  ASSERT_EQ(batch.size(), problems.size());
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    const PlacementSolution solo = solve_placement(problems[i]);
+    EXPECT_EQ(batch[i].rates, solo.rates) << "theta=" << kThetas[i];
+    EXPECT_EQ(batch[i].total_utility, solo.total_utility);
+    EXPECT_EQ(batch[i].iterations, solo.iterations);
+  }
+}
+
+TEST_F(BatchFixture, BitIdenticalAcrossThreadCounts) {
+  auto run = [&](unsigned threads) {
+    BatchOptions options;
+    options.threads = threads;
+    return BatchSolver(options).solve(problems);
+  };
+  const auto serial = run(1);
+  for (const unsigned threads :
+       {4u, runtime::resolve_threads(0)}) {
+    const auto parallel = run(threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].rates, serial[i].rates);
+      EXPECT_EQ(parallel[i].total_utility, serial[i].total_utility);
+      EXPECT_EQ(parallel[i].lambda, serial[i].lambda);
+    }
+  }
+}
+
+TEST_F(BatchFixture, WarmChainBitIdenticalAcrossThreadCounts) {
+  auto run = [&](unsigned threads) {
+    BatchOptions options;
+    options.threads = threads;
+    options.warm_chain = true;
+    options.chain_chunk = 2;
+    return BatchSolver(options).solve(problems);
+  };
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(parallel[i].rates, serial[i].rates);
+}
+
+TEST_F(BatchFixture, WarmChainReachesSameOptimum) {
+  BatchOptions cold;
+  const auto cold_solutions = BatchSolver(cold).solve(problems);
+
+  BatchOptions warm;
+  warm.warm_chain = true;
+  const auto warm_solutions = BatchSolver(warm).solve(problems);
+
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    EXPECT_EQ(warm_solutions[i].status, opt::SolveStatus::kOptimal);
+    // Same concave optimum from either start, to solver tolerance.
+    EXPECT_NEAR(warm_solutions[i].total_utility,
+                cold_solutions[i].total_utility,
+                1e-6 * std::abs(cold_solutions[i].total_utility));
+  }
+}
+
+TEST_F(BatchFixture, EmptyBatchIsFine) {
+  const std::vector<const PlacementProblem*> none;
+  EXPECT_TRUE(BatchSolver().solve(none).empty());
+}
+
+TEST_F(BatchFixture, NullProblemThrows) {
+  const std::vector<const PlacementProblem*> bad = {nullptr};
+  EXPECT_THROW(BatchSolver().solve(bad), Error);
+}
+
+TEST_F(BatchFixture, ResolveWarmBatchMatchesSequentialWarmSolves) {
+  const PlacementSolution base = solve_placement(problems[2]);
+  std::vector<const PlacementProblem*> pointers;
+  for (const auto& p : problems) pointers.push_back(&p);
+
+  BatchOptions options;
+  options.threads = 3;
+  const auto batch = resolve_warm_batch(pointers, base.rates, options);
+  ASSERT_EQ(batch.size(), problems.size());
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    const PlacementSolution solo = resolve_warm(problems[i], base.rates);
+    EXPECT_EQ(batch[i].rates, solo.rates);
+  }
+}
+
+TEST_F(BatchFixture, ThetaSensitivityTracksShadowPrice) {
+  ProblemOptions base;
+  const auto points =
+      theta_sensitivity(scenario.net.graph, scenario.task, scenario.loads,
+                        base, kThetas, {});
+  ASSERT_EQ(points.size(), kThetas.size());
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    // Utility is increasing and concave in theta.
+    EXPECT_GT(points[i + 1].total_utility, points[i].total_utility);
+    EXPECT_GT(points[i].lambda, 0.0);
+    // The secant slope lies between the endpoint shadow prices (concavity),
+    // with slack for solver tolerance.
+    EXPECT_LE(points[i].empirical_price, points[i].lambda * 1.05);
+    EXPECT_GE(points[i].empirical_price, points[i + 1].lambda * 0.95);
+  }
+}
+
+TEST_F(BatchFixture, ThetaSweepRequiresIncreasingThetas) {
+  const std::vector<double> bad = {100000.0, 50000.0};
+  EXPECT_THROW(theta_sensitivity(scenario.net.graph, scenario.task,
+                                 scenario.loads, {}, bad, {}),
+               Error);
+}
+
+}  // namespace
+}  // namespace netmon::core

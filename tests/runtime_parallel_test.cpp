@@ -1,0 +1,149 @@
+#include "runtime/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace netmon::runtime {
+namespace {
+
+TEST(MakeChunks, CoversRangeExactlyOnce) {
+  for (std::size_t n : {0u, 1u, 2u, 7u, 100u, 1000u}) {
+    for (std::size_t grain : {1u, 3u, 64u}) {
+      const auto chunks = make_chunks(n, {.grain = grain, .max_chunks = 16});
+      std::size_t covered = 0;
+      std::size_t expect_begin = 0;
+      for (const auto& [begin, end] : chunks) {
+        EXPECT_EQ(begin, expect_begin);
+        EXPECT_LT(begin, end);
+        covered += end - begin;
+        expect_begin = end;
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_LE(chunks.size(), 16u);
+    }
+  }
+}
+
+TEST(MakeChunks, IndependentOfAnyThreadNotion) {
+  // The layout is a pure function of (n, grain, max_chunks): calling it
+  // twice gives the same partition.
+  const auto a = make_chunks(12345, {.grain = 10, .max_chunks = 64});
+  const auto b = make_chunks(12345, {.grain = 10, .max_chunks = 64});
+  EXPECT_EQ(a, b);
+}
+
+TEST(MakeChunks, RespectsGrain) {
+  const auto chunks = make_chunks(100, {.grain = 30, .max_chunks = 256});
+  // ceil(100/30) = 4 chunks of ~25.
+  EXPECT_EQ(chunks.size(), 4u);
+}
+
+TEST(MakeChunks, ZeroMaxChunksThrows) {
+  EXPECT_THROW(make_chunks(10, {.grain = 1, .max_chunks = 0}), Error);
+}
+
+TEST(ParallelFor, ComputesEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(10000, 0);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, EmptyAndSingleElementRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(pool, 1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 100,
+                            [](std::size_t i) {
+                              if (i == 57) throw Error("bad index");
+                            }),
+               Error);
+}
+
+TEST(ParallelFor, SubstreamWorkloadIdenticalAcrossThreadCounts) {
+  // The Monte-Carlo pattern: index i draws from base.substream(i). The
+  // output vector must not depend on the pool size.
+  const Rng base(2024);
+  const std::size_t n = 500;
+  auto run = [&](unsigned threads) {
+    ThreadPool pool(threads);
+    std::vector<std::uint64_t> out(n);
+    parallel_for(pool, n, [&](std::size_t i) {
+      Rng rng = base.substream(i);
+      out[i] = rng.binomial(10000, rng.uniform());
+    });
+    return out;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(4));
+  EXPECT_EQ(serial, run(resolve_threads(0)));
+}
+
+TEST(ParallelReduce, IntegerSumMatchesSerial) {
+  ThreadPool pool(4);
+  const std::size_t n = 12345;
+  const auto sum = parallel_reduce(
+      pool, n, std::uint64_t{0}, [](std::size_t i) { return i; },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(ParallelReduce, DeterministicAcrossThreadCounts) {
+  // Floating-point reduction: grouping is fixed by the chunk layout, so
+  // the result is bit-identical at every pool size.
+  auto run = [](unsigned threads) {
+    ThreadPool pool(threads);
+    return parallel_reduce(
+        pool, 100000, 0.0,
+        [](std::size_t i) { return 1.0 / (1.0 + static_cast<double>(i)); },
+        [](double a, double b) { return a + b; });
+  };
+  const double serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(4));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ParallelReduce, RunningStatsMerge) {
+  ThreadPool pool(3);
+  const std::size_t n = 10000;
+  const RunningStats stats = parallel_reduce(
+      pool, n, RunningStats{},
+      [](std::size_t i) {
+        RunningStats s;
+        s.add(static_cast<double>(i));
+        return s;
+      },
+      [](RunningStats a, const RunningStats& b) {
+        a.merge(b);
+        return a;
+      });
+  EXPECT_EQ(stats.count(), n);
+  EXPECT_DOUBLE_EQ(stats.mean(), static_cast<double>(n - 1) / 2.0);
+  EXPECT_EQ(stats.min(), 0.0);
+  EXPECT_EQ(stats.max(), static_cast<double>(n - 1));
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
+  ThreadPool pool(2);
+  const double out = parallel_reduce(
+      pool, 0, 42.0, [](std::size_t) { return 1.0; },
+      [](double a, double b) { return a + b; });
+  EXPECT_EQ(out, 42.0);
+}
+
+}  // namespace
+}  // namespace netmon::runtime

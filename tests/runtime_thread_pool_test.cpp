@@ -1,0 +1,131 @@
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace netmon::runtime {
+namespace {
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(7), 7u);
+  EXPECT_GE(resolve_threads(0), 1u);  // hardware_concurrency, at least 1
+}
+
+TEST(ThreadPool, ThreadsFromEnvParsesOverride) {
+  ASSERT_EQ(setenv("NETMON_THREADS", "3", 1), 0);
+  EXPECT_EQ(threads_from_env(), 3u);
+  ASSERT_EQ(setenv("NETMON_THREADS", "not-a-number", 1), 0);
+  EXPECT_EQ(threads_from_env(), resolve_threads(0));
+  // Negative or absurd values must not wrap into a gigantic unsigned
+  // thread count (strtoul accepts "-2" as ULONG_MAX - 1).
+  ASSERT_EQ(setenv("NETMON_THREADS", "-2", 1), 0);
+  EXPECT_EQ(threads_from_env(), resolve_threads(0));
+  ASSERT_EQ(setenv("NETMON_THREADS", "999999999999", 1), 0);
+  EXPECT_EQ(threads_from_env(), resolve_threads(0));
+  ASSERT_EQ(unsetenv("NETMON_THREADS"), 0);
+  EXPECT_EQ(threads_from_env(), resolve_threads(0));
+}
+
+TEST(ThreadPool, StartStopRepeatedly) {
+  for (int i = 0; i < 20; ++i) {
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.size(), 2u);
+  }
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    TaskGroup group(pool);
+    for (int i = 0; i < 100; ++i)
+      group.run([&counter] { counter.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(counter.load(), 100);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&counter] { counter.fetch_add(1); });
+    // No explicit wait: the destructor must run every submitted task.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, OversubscriptionManyMoreTasksThanThreads) {
+  std::atomic<std::int64_t> sum{0};
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  for (int i = 1; i <= 5000; ++i)
+    group.run([&sum, i] { sum.fetch_add(i); });
+  group.wait();
+  EXPECT_EQ(sum.load(), 5000LL * 5001 / 2);
+}
+
+TEST(ThreadPool, TasksRunOnWorkerThreads) {
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::set<std::thread::id> ids;
+  TaskGroup group(pool);
+  for (int i = 0; i < 64; ++i) {
+    group.run([&] {
+      std::lock_guard<std::mutex> lock(mutex);
+      ids.insert(std::this_thread::get_id());
+    });
+  }
+  group.wait();
+  EXPECT_FALSE(ids.contains(std::this_thread::get_id()));
+  EXPECT_GE(ids.size(), 1u);
+  EXPECT_LE(ids.size(), 3u);
+}
+
+TEST(TaskGroup, PropagatesFirstException) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 10; ++i) {
+    group.run([&completed, i] {
+      if (i == 3) throw std::runtime_error("task 3 failed");
+      completed.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  EXPECT_EQ(completed.load(), 9);  // the other tasks still ran
+}
+
+TEST(TaskGroup, UsableAfterExceptionalWait) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.run([] { throw Error("boom"); });
+  EXPECT_THROW(group.wait(), Error);
+
+  std::atomic<int> counter{0};
+  group.run([&counter] { counter.fetch_add(1); });
+  EXPECT_NO_THROW(group.wait());  // error was consumed by the first wait
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(TaskGroup, WaitOnEmptyGroupReturnsImmediately) {
+  ThreadPool pool(1);
+  TaskGroup group(pool);
+  EXPECT_NO_THROW(group.wait());
+}
+
+TEST(ThreadPool, SubmitNullTaskThrows) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), Error);
+}
+
+}  // namespace
+}  // namespace netmon::runtime

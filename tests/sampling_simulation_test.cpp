@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 
 #include "helpers.hpp"
 #include "traffic/flow_generator.hpp"
@@ -125,6 +126,97 @@ TEST(Simulation, PeriodicSamplerApproximatesRandom) {
   EXPECT_NEAR(static_cast<double>(periodic[0].sampled_packets),
               rho * static_cast<double>(actual),
               0.2 * rho * static_cast<double>(actual) + 10.0);
+}
+
+TEST(Simulation, ParallelPreservesGroundTruthAndDoesNotAdvanceBase) {
+  LineScenario s;
+  Rng base(2024);
+  const std::uint64_t probe = Rng(2024)();
+  runtime::ThreadPool pool(4);
+  const auto parallel =
+      simulate_sampling(pool, base, s.matrix, s.flows, s.rates);
+
+  ASSERT_EQ(parallel.size(), s.matrix.od_count());
+  for (std::size_t k = 0; k < s.matrix.od_count(); ++k) {
+    std::uint64_t actual = 0;
+    for (const auto& f : s.flows[k]) actual += f.packets;
+    EXPECT_EQ(parallel[k].actual_packets, actual);
+  }
+  // The base generator was only read (substreams), never advanced.
+  EXPECT_EQ(base(), probe);
+}
+
+TEST(Simulation, ParallelBitIdenticalAcrossThreadCounts) {
+  LineScenario s;
+  const Rng base(99);
+  auto run = [&](unsigned threads, CountMode mode) {
+    runtime::ThreadPool pool(threads);
+    return simulate_sampling(pool, base, s.matrix, s.flows, s.rates, mode);
+  };
+  for (const CountMode mode :
+       {CountMode::kSumAcrossMonitors, CountMode::kDistinctPackets}) {
+    const auto serial = run(1, mode);
+    for (const unsigned threads : {2u, 4u, 8u}) {
+      const auto parallel = run(threads, mode);
+      ASSERT_EQ(parallel.size(), serial.size());
+      for (std::size_t k = 0; k < serial.size(); ++k) {
+        EXPECT_EQ(parallel[k].actual_packets, serial[k].actual_packets);
+        EXPECT_EQ(parallel[k].sampled_packets, serial[k].sampled_packets);
+      }
+    }
+  }
+}
+
+TEST(Simulation, ParallelRunsBitIdenticalAcrossThreadCounts) {
+  LineScenario s;
+  const Rng base(7);
+  const int kRuns = 12;
+  auto run = [&](unsigned threads) {
+    runtime::ThreadPool pool(threads);
+    return simulate_sampling_runs(pool, base, s.matrix, s.flows, s.rates,
+                                  kRuns);
+  };
+  const auto serial = run(1);
+  ASSERT_EQ(serial.size(), static_cast<std::size_t>(kRuns));
+  for (const unsigned threads : {3u, 8u}) {
+    const auto parallel = run(threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t r = 0; r < serial.size(); ++r) {
+      for (std::size_t k = 0; k < serial[r].size(); ++k) {
+        EXPECT_EQ(parallel[r][k].sampled_packets,
+                  serial[r][k].sampled_packets);
+      }
+    }
+  }
+}
+
+TEST(Simulation, ParallelRunsAreIndependentExperiments) {
+  LineScenario s;
+  runtime::ThreadPool pool(2);
+  const auto runs =
+      simulate_sampling_runs(pool, Rng(7), s.matrix, s.flows, s.rates, 8);
+  // Same ground truth every run, but the sampled counts differ across
+  // runs (independent substreams).
+  std::set<std::uint64_t> distinct;
+  for (const auto& counts : runs) {
+    EXPECT_EQ(counts[0].actual_packets, runs[0][0].actual_packets);
+    distinct.insert(counts[0].sampled_packets);
+  }
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST(Simulation, ParallelUnbiasedAgainstLinearizedRate) {
+  LineScenario s;
+  runtime::ThreadPool pool(4);
+  const auto runs = simulate_sampling_runs(pool, Rng(11), s.matrix, s.flows,
+                                           s.rates, 60);
+  const double rho0 = effective_rate_approx(s.matrix, 0, s.rates);
+  RunningStats ratio;
+  for (const auto& counts : runs) {
+    ratio.add(counts[0].sampled_packets /
+              (rho0 * counts[0].actual_packets));
+  }
+  EXPECT_NEAR(ratio.mean(), 1.0, 0.01);
 }
 
 TEST(Simulation, ValidatesAlignment) {

@@ -109,6 +109,53 @@ TEST(Rng, SplitIsDeterministic) {
   for (int i = 0; i < 20; ++i) EXPECT_EQ(a(), b());
 }
 
+TEST(Rng, SubstreamIsDeterministic) {
+  const Rng r1(42), r2(42);
+  Rng a = r1.substream(9);
+  Rng b = r2.substream(9);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SubstreamDoesNotAdvanceParent) {
+  Rng with(42), without(42);
+  (void)with.substream(1);
+  (void)with.substream(2);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(with(), without());
+}
+
+TEST(Rng, SubstreamsAreIndependentAcrossShards) {
+  const Rng base(42);
+  Rng a = base.substream(0);
+  Rng b = base.substream(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SubstreamIndependentOfDerivationOrder) {
+  // Shard k's stream must not depend on how many other shards exist or
+  // in which order they were derived — the parallel fan-out contract.
+  const Rng base(7);
+  Rng late = base.substream(5);
+  const Rng base2(7);
+  (void)base2.substream(0);
+  (void)base2.substream(3);
+  Rng early = base2.substream(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(late(), early());
+}
+
+TEST(Rng, SubstreamDependsOnParentState) {
+  // After drawing, the parent state changed, so substream(k) yields a
+  // different (still deterministic) stream.
+  Rng base(42);
+  Rng before = base.substream(1);
+  (void)base();
+  Rng after = base.substream(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (before() == after());
+  EXPECT_LT(equal, 3);
+}
+
 TEST(Rng, WorksWithStdDistributions) {
   Rng rng(42);
   std::normal_distribution<double> normal(0.0, 1.0);
