@@ -132,6 +132,62 @@ void BM_EffectiveRates(benchmark::State& state) {
 }
 BENCHMARK(BM_EffectiveRates);
 
+// -- linalg kernel microbenchmarks on the GEANT objective's CSR matrix --
+
+void BM_SpmvGeant(benchmark::State& state) {
+  const core::GeantScenario scenario = core::make_geant_scenario();
+  const core::PlacementProblem problem = core::make_problem(scenario);
+  const linalg::SparseCsr& m = problem.objective().matrix();
+  std::vector<double> x(m.cols(), 0.01), y(m.rows());
+  for (auto _ : state) {
+    linalg::spmv(m, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["nnz"] = static_cast<double>(m.nnz());
+}
+BENCHMARK(BM_SpmvGeant);
+
+void BM_SpmvTransposedGeant(benchmark::State& state) {
+  const core::GeantScenario scenario = core::make_geant_scenario();
+  const core::PlacementProblem problem = core::make_problem(scenario);
+  const linalg::SparseCsr& m = problem.objective().matrix();
+  std::vector<double> x(m.rows(), 0.01), y(m.cols());
+  for (auto _ : state) {
+    linalg::spmv_t(m, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["nnz"] = static_cast<double>(m.nnz());
+}
+BENCHMARK(BM_SpmvTransposedGeant);
+
+void BM_ObjectiveValueGeant(benchmark::State& state) {
+  const core::GeantScenario scenario = core::make_geant_scenario();
+  const core::PlacementProblem problem = core::make_problem(scenario);
+  const auto& f = problem.objective();
+  const std::vector<double> p = problem.constraints().initial_point();
+  linalg::EvalWorkspace ws;
+  (void)f.value(p, ws);  // warm the workspace: the loop is allocation-free
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.value(p, ws));
+  }
+}
+BENCHMARK(BM_ObjectiveValueGeant);
+
+void BM_ObjectiveGradientGeant(benchmark::State& state) {
+  const core::GeantScenario scenario = core::make_geant_scenario();
+  const core::PlacementProblem problem = core::make_problem(scenario);
+  const auto& f = problem.objective();
+  const std::vector<double> p = problem.constraints().initial_point();
+  std::vector<double> g(f.dimension());
+  linalg::EvalWorkspace ws;
+  f.gradient(p, g, ws);
+  for (auto _ : state) {
+    f.gradient(p, g, ws);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_ObjectiveGradientGeant);
+
 void BM_EgressLpmLookup(benchmark::State& state) {
   const core::GeantScenario scenario = core::make_geant_scenario();
   const netflow::EgressMap map =
@@ -148,6 +204,73 @@ void BM_EgressLpmLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EgressLpmLookup);
+
+// Kernel timing section: nanosecond-scale timings of the flat-CSR
+// kernels and the workspace-based objective evaluation on GEANT, plus
+// cold-vs-warm solve times (warm = reused SolverWorkspace). Lands in
+// the JSON report so kernel regressions show up across PRs.
+void RunKernelBench() {
+  std::printf("\n-- linalg kernels on GEANT --\n");
+  const core::GeantScenario scenario = core::make_geant_scenario();
+  const core::PlacementProblem problem = core::make_problem(scenario);
+  const auto& f = problem.objective();
+  const linalg::SparseCsr& m = f.matrix();
+  const std::vector<double> p = problem.constraints().initial_point();
+
+  constexpr int kReps = 20000;
+  const auto ns_per_call = [](const StopWatch& watch) {
+    return watch.elapsed_ms() * 1e6 / kReps;
+  };
+
+  std::vector<double> y_rows(m.rows()), y_cols(m.cols());
+  StopWatch spmv_watch;
+  for (int i = 0; i < kReps; ++i) linalg::spmv(m, p, y_rows);
+  const double spmv_ns = ns_per_call(spmv_watch);
+
+  StopWatch spmv_t_watch;
+  for (int i = 0; i < kReps; ++i) linalg::spmv_t(m, y_rows, y_cols);
+  const double spmv_t_ns = ns_per_call(spmv_t_watch);
+
+  linalg::EvalWorkspace ws;
+  double sink = f.value(p, ws);
+  StopWatch value_watch;
+  for (int i = 0; i < kReps; ++i) sink += f.value(p, ws);
+  const double value_ns = ns_per_call(value_watch);
+
+  std::vector<double> g(f.dimension());
+  StopWatch gradient_watch;
+  for (int i = 0; i < kReps; ++i) f.gradient(p, g, ws);
+  const double gradient_ns = ns_per_call(gradient_watch);
+
+  StopWatch cold_watch;
+  const core::PlacementSolution cold = core::solve_placement(problem);
+  const double solve_cold_ms = cold_watch.elapsed_ms();
+
+  opt::SolverWorkspace solver_ws;
+  (void)core::solve_placement(problem, {}, &solver_ws);  // warm the scratch
+  StopWatch warm_watch;
+  const core::PlacementSolution warm =
+      core::solve_placement(problem, {}, &solver_ws);
+  const double solve_warm_ms = warm_watch.elapsed_ms();
+
+  std::printf(
+      "  spmv=%.0f ns  spmv_t=%.0f ns  value=%.0f ns  gradient=%.0f ns\n"
+      "  solve cold=%.2f ms  warm=%.2f ms  (utility %s, sink %.3g)\n",
+      spmv_ns, spmv_t_ns, value_ns, gradient_ns, solve_cold_ms, solve_warm_ms,
+      cold.total_utility == warm.total_utility ? "bit-identical" : "MISMATCH",
+      sink);
+
+  BenchReport report("solver_perf_kernels", 1);
+  report.result("geant_kernels")
+      .metric("nnz", static_cast<double>(m.nnz()))
+      .metric("spmv_ns", spmv_ns)
+      .metric("spmv_t_ns", spmv_t_ns)
+      .metric("value_ns", value_ns)
+      .metric("gradient_ns", gradient_ns)
+      .metric("solve_cold_ms", solve_cold_ms)
+      .metric("solve_warm_ms", solve_warm_ms);
+  report.emit();
+}
 
 // Thread-scaling section: the same batch of problems and the same
 // Monte-Carlo experiment at 1..8 worker threads. Outputs are
@@ -217,6 +340,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  RunKernelBench();
   RunThreadScaling();
   return 0;
 }

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify (full build + ctest) plus a
-# ThreadSanitizer build of the parallel execution subsystem — TSan is the
-# correctness gate for src/runtime/ and everything layered on it.
+# CI entry point: tier-1 verify (full build + ctest) plus two sanitizer
+# legs — a ThreadSanitizer build of the parallel execution subsystem
+# (the correctness gate for src/runtime/ and everything layered on it)
+# and an AddressSanitizer build of the flat-CSR linalg kernels and the
+# zero-allocation solver hot path (the gate for src/linalg/ span/pointer
+# arithmetic and workspace reuse).
 #
 # Usage: scripts/ci.sh [build-dir-prefix]
 set -euo pipefail
@@ -23,5 +26,14 @@ cmake -B "${PREFIX}-tsan" -S . -DNETMON_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target ${TSAN_TESTS}
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
   -R 'runtime_thread_pool_test|runtime_parallel_test|core_batch_solver_test|sampling_simulation_test'
+
+echo "== tier-2: ASan gate on the linalg kernels + solver hot path =="
+ASAN_TESTS="linalg_sparse_test opt_objective_test opt_gradient_projection_test \
+opt_zero_alloc_test core_solver_test estimate_flow_inversion_test"
+cmake -B "${PREFIX}-asan" -S . -DNETMON_SANITIZE=address
+# shellcheck disable=SC2086
+cmake --build "${PREFIX}-asan" -j "${JOBS}" --target ${ASAN_TESTS}
+ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
+  -R 'linalg_sparse_test|opt_objective_test|opt_gradient_projection_test|opt_zero_alloc_test|core_solver_test|estimate_flow_inversion_test'
 
 echo "CI OK"

@@ -21,8 +21,16 @@ std::vector<PlacementSolution> BatchSolver::solve(
   runtime::ThreadPool pool(options_.threads);
 
   if (!options_.warm_chain) {
-    runtime::parallel_for(pool, n, [&](std::size_t i) {
-      solutions[i] = solve_placement(*problems[i], options_.solver);
+    // Chunked fan-out with one solver workspace per chunk: each chunk
+    // runs on one worker, so its solves reuse the same iteration scratch
+    // (satellite of the zero-allocation hot path). Chunk layout is a pure
+    // function of n — results stay bit-identical at every thread count.
+    const auto chunks = runtime::make_chunks(n);
+    runtime::parallel_for(pool, chunks.size(), [&](std::size_t c) {
+      opt::SolverWorkspace workspace;
+      for (std::size_t i = chunks[c].first; i < chunks[c].second; ++i)
+        solutions[i] =
+            solve_placement(*problems[i], options_.solver, &workspace);
     });
     return solutions;
   }
@@ -36,10 +44,12 @@ std::vector<PlacementSolution> BatchSolver::solve(
   runtime::parallel_for(pool, chunk_count, [&](std::size_t c) {
     const std::size_t begin = c * chunk;
     const std::size_t end = std::min(begin + chunk, n);
-    solutions[begin] = solve_placement(*problems[begin], options_.solver);
+    opt::SolverWorkspace workspace;
+    solutions[begin] =
+        solve_placement(*problems[begin], options_.solver, &workspace);
     for (std::size_t i = begin + 1; i < end; ++i) {
       solutions[i] = resolve_warm(*problems[i], solutions[i - 1].rates,
-                                  options_.solver);
+                                  options_.solver, &workspace);
     }
   });
   return solutions;

@@ -45,7 +45,8 @@ ExactRateResult solve_exact_placement(const PlacementProblem& problem,
     // Tangent plane of rho_exact at p:
     //   rho(q) ~ rho0 + sum_i c_i (q_i - p_i),
     //   c_i = r_i (1 - rho0) / (1 - p_i)   (d rho / d p_i).
-    opt::SeparableConcaveObjective::SparseRows rows(matrix.od_count());
+    linalg::CsrBuilder builder(candidates.size());
+    builder.reserve(matrix.od_count(), matrix.csr().nnz());
     std::vector<double> offsets(matrix.od_count(), 0.0);
     for (std::size_t k = 0; k < matrix.od_count(); ++k) {
       const double rho0 =
@@ -59,14 +60,14 @@ ExactRateResult solve_exact_placement(const PlacementProblem& problem,
         const double miss = std::max(1.0 - rates[link], 1e-9);
         const double c =
             std::max(0.0, frac * (1.0 - rho0) / miss);
-        rows[k].emplace_back(j, c);
+        builder.push(j, c);
         affine -= c * p[j];
       }
+      builder.finish_row();
       offsets[k] = affine;
     }
     const opt::SeparableConcaveObjective objective(
-        candidates.size(), std::move(rows), problem.utilities(),
-        std::move(offsets));
+        builder.build(), problem.utilities(), std::move(offsets));
 
     const opt::SolveResult inner = opt::maximize(
         objective, problem.constraints(), options.solver, &p);

@@ -14,62 +14,67 @@ SmoothMinObjective::SmoothMinObjective(
   NETMON_REQUIRE(beta > 0.0, "smooth-min beta must be positive");
 }
 
-std::vector<double> SmoothMinObjective::weights(
-    const std::vector<double>& x) const {
-  std::vector<double> m(x.size());
+void SmoothMinObjective::weights_into(std::span<const double> x,
+                                      std::span<double> w) const {
   double m_min = std::numeric_limits<double>::infinity();
   for (std::size_t k = 0; k < x.size(); ++k) {
-    m[k] = base_.utility(k).value(x[k]);
-    m_min = std::min(m_min, m[k]);
+    w[k] = base_.utility(k).value(x[k]);
+    m_min = std::min(m_min, w[k]);
   }
-  std::vector<double> w(x.size());
   double z = 0.0;
   for (std::size_t k = 0; k < x.size(); ++k) {
-    w[k] = std::exp(-beta_ * (m[k] - m_min));
+    w[k] = std::exp(-beta_ * (w[k] - m_min));
     z += w[k];
   }
   for (double& wk : w) wk /= z;
-  return w;
 }
 
-double SmoothMinObjective::value(std::span<const double> p) const {
-  const std::vector<double> x = base_.inner(p);
+double SmoothMinObjective::value(std::span<const double> p,
+                                 linalg::EvalWorkspace& ws) const {
+  const std::size_t n = base_.term_count();
+  const std::span<double> x = ws.rows_a(n);
+  const std::span<double> m = ws.rows_b(n);
+  base_.inner_into(p, x);
   double m_min = std::numeric_limits<double>::infinity();
-  std::vector<double> m(x.size());
-  for (std::size_t k = 0; k < x.size(); ++k) {
+  for (std::size_t k = 0; k < n; ++k) {
     m[k] = base_.utility(k).value(x[k]);
     m_min = std::min(m_min, m[k]);
   }
   double z = 0.0;
-  for (std::size_t k = 0; k < x.size(); ++k)
-    z += std::exp(-beta_ * (m[k] - m_min));
+  for (std::size_t k = 0; k < n; ++k) z += std::exp(-beta_ * (m[k] - m_min));
   return m_min - std::log(z) / beta_;
 }
 
 void SmoothMinObjective::gradient(std::span<const double> p,
-                                  std::span<double> out) const {
+                                  std::span<double> out,
+                                  linalg::EvalWorkspace& ws) const {
   NETMON_REQUIRE(out.size() == dimension(), "gradient dimension mismatch");
-  const std::vector<double> x = base_.inner(p);
-  const std::vector<double> w = weights(x);
-  for (double& g : out) g = 0.0;
-  const auto& rows = base_.rows();
-  for (std::size_t k = 0; k < rows.size(); ++k) {
-    const double d = w[k] * base_.utility(k).deriv(x[k]);
-    for (const auto& [col, coeff] : rows[k]) out[col] += coeff * d;
-  }
+  const std::size_t n = base_.term_count();
+  const std::span<double> x = ws.rows_a(n);
+  const std::span<double> w = ws.rows_b(n);
+  const std::span<double> d = ws.rows_c(n);
+  base_.inner_into(p, x);
+  weights_into(x, w);
+  for (std::size_t k = 0; k < n; ++k)
+    d[k] = w[k] * base_.utility(k).deriv(x[k]);
+  linalg::spmv_t(base_.matrix(), d, out);
 }
 
-double SmoothMinObjective::directional_second(
-    std::span<const double> p, std::span<const double> s) const {
-  const std::vector<double> x = base_.inner(p);
-  const std::vector<double> w = weights(x);
-  const auto& rows = base_.rows();
+double SmoothMinObjective::directional_second(std::span<const double> p,
+                                              std::span<const double> s,
+                                              linalg::EvalWorkspace& ws) const {
+  const std::size_t n = base_.term_count();
+  const std::span<double> x = ws.rows_a(n);
+  const std::span<double> w = ws.rows_b(n);
+  base_.inner_into(p, x);
+  weights_into(x, w);
+  const linalg::SparseCsr& matrix = base_.matrix();
   double curvature = 0.0;   // sum w_k M''_k xdot_k^2
   double mean_a = 0.0;      // sum w_k a_k,  a_k = M'_k xdot_k
   double mean_a2 = 0.0;     // sum w_k a_k^2
-  for (std::size_t k = 0; k < rows.size(); ++k) {
+  for (std::size_t k = 0; k < n; ++k) {
     double xdot = 0.0;
-    for (const auto& [col, coeff] : rows[k]) xdot += coeff * s[col];
+    for (const auto& [col, coeff] : matrix.row(k)) xdot += coeff * s[col];
     const double a = base_.utility(k).deriv(x[k]) * xdot;
     curvature += w[k] * base_.utility(k).second(x[k]) * xdot * xdot;
     mean_a += w[k] * a;
@@ -78,8 +83,23 @@ double SmoothMinObjective::directional_second(
   return curvature - beta_ * (mean_a2 - mean_a * mean_a);
 }
 
+double SmoothMinObjective::value(std::span<const double> p) const {
+  return value(p, scratch_);
+}
+
+void SmoothMinObjective::gradient(std::span<const double> p,
+                                  std::span<double> out) const {
+  gradient(p, out, scratch_);
+}
+
+double SmoothMinObjective::directional_second(std::span<const double> p,
+                                              std::span<const double> s) const {
+  return directional_second(p, s, scratch_);
+}
+
 double SmoothMinObjective::hard_min(std::span<const double> p) const {
-  const std::vector<double> x = base_.inner(p);
+  const std::span<double> x = scratch_.rows_a(base_.term_count());
+  base_.inner_into(p, x);
   double m_min = std::numeric_limits<double>::infinity();
   for (std::size_t k = 0; k < x.size(); ++k)
     m_min = std::min(m_min, base_.utility(k).value(x[k]));

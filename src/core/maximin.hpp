@@ -27,17 +27,30 @@ class SmoothMinObjective final : public opt::Objective {
   double directional_second(std::span<const double> p,
                             std::span<const double> s) const override;
 
+  /// Allocation-free evaluation drawing scratch from `ws` (rows_* slots).
+  double value(std::span<const double> p,
+               linalg::EvalWorkspace& ws) const override;
+  void gradient(std::span<const double> p, std::span<double> out,
+                linalg::EvalWorkspace& ws) const override;
+  double directional_second(std::span<const double> p,
+                            std::span<const double> s,
+                            linalg::EvalWorkspace& ws) const override;
+
   /// The hard minimum of the per-OD utilities at p (for reporting).
   double hard_min(std::span<const double> p) const;
 
   double beta() const noexcept { return beta_; }
 
  private:
-  /// Softmin weights w_k proportional to exp(-beta M_k), summing to 1.
-  std::vector<double> weights(const std::vector<double>& x) const;
+  /// Softmin weights w_k proportional to exp(-beta M_k), summing to 1,
+  /// written over `w` (same size as `x`).
+  void weights_into(std::span<const double> x, std::span<double> w) const;
 
   const opt::SeparableConcaveObjective& base_;
   double beta_;
+  /// Scratch for the workspace-less virtuals (grow-only; see the same
+  /// pattern on SeparableConcaveObjective).
+  mutable linalg::EvalWorkspace scratch_;
 };
 
 }  // namespace netmon::core

@@ -73,16 +73,17 @@ PlacementProblem::PlacementProblem(const topo::Graph& graph,
   }
 
   // Objective rows in candidate space (non-candidate links dropped: no
-  // monitor can be activated there).
-  opt::SeparableConcaveObjective::SparseRows rows(task_.ods.size());
+  // monitor can be activated there), built straight into a CSR arena.
+  linalg::CsrBuilder builder(candidates_.size());
+  builder.reserve(task_.ods.size(), matrix_.csr().nnz());
   for (std::size_t k = 0; k < task_.ods.size(); ++k) {
     for (const auto& [link, frac] : matrix_.row(k)) {
-      if (candidate_index_[link])
-        rows[k].emplace_back(*candidate_index_[link], frac);
+      if (candidate_index_[link]) builder.push(*candidate_index_[link], frac);
     }
+    builder.finish_row();
   }
   objective_ = std::make_unique<opt::SeparableConcaveObjective>(
-      candidates_.size(), std::move(rows), utilities_);
+      builder.build(), utilities_);
 
   // Constraints: budget in packets per interval.
   std::vector<double> u(candidates_.size());

@@ -14,10 +14,11 @@ std::vector<double> warm_start_point(const PlacementProblem& problem,
 
 PlacementSolution resolve_warm(const PlacementProblem& problem,
                                const sampling::RateVector& previous,
-                               const opt::SolverOptions& options) {
+                               const opt::SolverOptions& options,
+                               opt::SolverWorkspace* workspace) {
   const std::vector<double> start = warm_start_point(problem, previous);
   const opt::SolveResult raw = opt::maximize(
-      problem.objective(), problem.constraints(), options, &start);
+      problem.objective(), problem.constraints(), options, &start, workspace);
   PlacementSolution solution =
       evaluate_rates(problem, problem.expand(raw.p));
   solution.status = raw.status;
@@ -35,9 +36,17 @@ std::vector<PlacementSolution> resolve_warm_batch(
     NETMON_REQUIRE(problem != nullptr, "null problem in batch");
   if (problems.empty()) return solutions;
 
+  // One solver workspace per chunk: the chunk layout is deterministic and
+  // each chunk runs on a single worker, so the scratch is reused across
+  // that chunk's solves without synchronization.
   runtime::ThreadPool pool(options.threads);
-  runtime::parallel_for(pool, problems.size(), [&](std::size_t i) {
-    solutions[i] = resolve_warm(*problems[i], previous, options.solver);
+  const auto chunks = runtime::make_chunks(problems.size());
+  runtime::parallel_for(pool, chunks.size(), [&](std::size_t c) {
+    opt::SolverWorkspace workspace;
+    for (std::size_t i = chunks[c].first; i < chunks[c].second; ++i) {
+      solutions[i] =
+          resolve_warm(*problems[i], previous, options.solver, &workspace);
+    }
   });
   return solutions;
 }

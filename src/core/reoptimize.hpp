@@ -24,9 +24,12 @@ std::vector<double> warm_start_point(const PlacementProblem& problem,
                                      const sampling::RateVector& previous);
 
 /// Solves the problem starting from the projected previous rates.
+/// `workspace` as in solve_placement: shared iteration scratch for
+/// repeated calls.
 PlacementSolution resolve_warm(const PlacementProblem& problem,
                                const sampling::RateVector& previous,
-                               const opt::SolverOptions& options = {});
+                               const opt::SolverOptions& options = {},
+                               opt::SolverWorkspace* workspace = nullptr);
 
 /// What-if fan-out: warm-solves every candidate problem (failure
 /// scenarios, perturbed loads, alternative budgets) from the same

@@ -47,9 +47,10 @@ PlacementSolution report(const PlacementProblem& problem,
 }  // namespace
 
 PlacementSolution solve_placement(const PlacementProblem& problem,
-                                  const opt::SolverOptions& options) {
-  const opt::SolveResult raw =
-      opt::maximize(problem.objective(), problem.constraints(), options);
+                                  const opt::SolverOptions& options,
+                                  opt::SolverWorkspace* workspace) {
+  const opt::SolveResult raw = opt::maximize(
+      problem.objective(), problem.constraints(), options, nullptr, workspace);
   PlacementSolution solution = report(problem, problem.expand(raw.p));
   solution.status = raw.status;
   solution.iterations = raw.iterations;

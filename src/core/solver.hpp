@@ -46,9 +46,13 @@ struct PlacementSolution {
   double lambda = 0.0;
 };
 
-/// Runs the gradient-projection solver on the problem.
+/// Runs the gradient-projection solver on the problem. `workspace`, when
+/// given, supplies the solver's iteration scratch — pass the same one to
+/// repeated solves (batch fan-out, re-optimization) to avoid reallocating
+/// it per call.
 PlacementSolution solve_placement(const PlacementProblem& problem,
-                                  const opt::SolverOptions& options = {});
+                                  const opt::SolverOptions& options = {},
+                                  opt::SolverWorkspace* workspace = nullptr);
 
 /// Builds the same report for an externally chosen rate vector (naive
 /// strategies, hand-configured monitors). Rates on non-candidate links

@@ -32,6 +32,8 @@ class SreUtility final : public opt::Concave1d {
   double value(double x) const override;
   double deriv(double x) const override;
   double second(double x) const override;
+  const opt::Concave1d::BatchKernel* batch_kernel(
+      BatchParams& params) const override;
 
   /// Convenience: the pivot for a given c (3c/(1+c)).
   static double pivot_for(double c) noexcept { return 3.0 * c / (1.0 + c); }
@@ -53,6 +55,8 @@ class LogUtility final : public opt::Concave1d {
   double value(double x) const override;
   double deriv(double x) const override;
   double second(double x) const override;
+  const opt::Concave1d::BatchKernel* batch_kernel(
+      BatchParams& params) const override;
 
  private:
   double eps_;
@@ -95,6 +99,8 @@ class DetectionUtility final : public opt::Concave1d {
   double value(double x) const override;
   double deriv(double x) const override;
   double second(double x) const override;
+  const opt::Concave1d::BatchKernel* batch_kernel(
+      BatchParams& params) const override;
 
   double flow_packets() const noexcept { return s_; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/sparse.hpp"
 #include "util/error.hpp"
 
 namespace netmon::estimate {
@@ -43,14 +44,19 @@ FlowInversionResult invert_flow_sizes(
   const std::size_t J = observed.size();   // sampled sizes 1..J
   const std::size_t K = options.max_size;  // original sizes 1..K
 
-  // A[j][k] = P(sampled = j | original = k), j >= 1.
-  std::vector<std::vector<double>> A(J, std::vector<double>(K, 0.0));
+  // A[j][k] = P(sampled = j | original = k), j >= 1. Upper-triangular-ish
+  // (j <= k), so it is stored sparse: row j holds columns k = j..K.
   std::vector<double> detect(K, 0.0);  // d_k = P(sampled >= 1 | k)
-  for (std::size_t k = 1; k <= K; ++k) {
+  for (std::size_t k = 1; k <= K; ++k)
     detect[k - 1] = detection_probability(k, p);
-    for (std::size_t j = 1; j <= std::min(J, k); ++j)
-      A[j - 1][k - 1] = binom_pmf(j, k, p);
+  linalg::CsrBuilder builder(K);
+  builder.reserve(J, J * K - (J * (J - 1)) / 2);
+  for (std::size_t j = 1; j <= J; ++j) {
+    for (std::size_t k = j; k <= K; ++k)
+      builder.push(k - 1, binom_pmf(j, k, p));
+    builder.finish_row();
   }
+  const linalg::SparseCsr A = builder.build();
 
   double total_observed = 0.0;
   for (std::uint64_t m : observed) total_observed += static_cast<double>(m);
@@ -61,26 +67,27 @@ FlowInversionResult invert_flow_sizes(
   std::vector<double> n(K, total_observed / static_cast<double>(K));
 
   FlowInversionResult result;
+  // All EM buffers pre-sized once; the loop body allocates nothing.
   std::vector<double> model(J, 0.0);
+  std::vector<double> q(J, 0.0);
+  std::vector<double> ratio(K, 0.0);
   for (int iter = 1; iter <= options.em_iterations; ++iter) {
     result.iterations = iter;
-    // model_j = (A n)_j
-    for (std::size_t j = 0; j < J; ++j) {
-      double sum = 0.0;
-      for (std::size_t k = 0; k < K; ++k) sum += A[j][k] * n[k];
-      model[j] = sum;
-    }
+    // model = A n  (one spmv over the sparse pmf matrix).
+    linalg::spmv(A, n, model);
     // Multiplicative (zero-truncated EM) update:
-    //   n_k <- n_k * sum_j A_jk m_j / model_j   /   d_k.
+    //   n_k <- n_k * sum_j A_jk m_j / model_j   /   d_k,
+    // computed as ratio = A^T q with q_j = m_j / model_j (guarded).
+    for (std::size_t j = 0; j < J; ++j) {
+      q[j] = (model[j] > 0.0 && observed[j] > 0)
+                 ? static_cast<double>(observed[j]) / model[j]
+                 : 0.0;
+    }
+    linalg::spmv_t(A, q, ratio);
     double change = 0.0, scale = 0.0;
     for (std::size_t k = 0; k < K; ++k) {
       if (n[k] <= 0.0 || detect[k] <= 0.0) continue;
-      double ratio = 0.0;
-      for (std::size_t j = 0; j < J; ++j) {
-        if (model[j] > 0.0 && observed[j] > 0)
-          ratio += A[j][k] * static_cast<double>(observed[j]) / model[j];
-      }
-      const double updated = n[k] * ratio / detect[k];
+      const double updated = n[k] * ratio[k] / detect[k];
       change += std::abs(updated - n[k]);
       scale += std::abs(n[k]);
       n[k] = updated;

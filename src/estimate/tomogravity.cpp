@@ -35,6 +35,14 @@ TomogravityResult tomogravity(const topo::Graph& graph,
   // Links the model can explain.
   const std::vector<topo::LinkId> links = matrix.links_used();
 
+  // IPF iterates over a contiguous per-OD rate array (written back into
+  // the demand structs at the end); per-link modelled volume is one
+  // row_dot over the CSC view of R.
+  std::vector<double> rate(demands.size());
+  for (std::size_t k = 0; k < demands.size(); ++k)
+    rate[k] = demands[k].pkt_per_sec;
+  const linalg::SparseCsr& csc = matrix.csc();
+
   // Rescale the prior globally so the modelled total link volume matches
   // the observed one: this preserves the gravity *shape* (a consistent
   // gravity ground truth is then recovered exactly) and leaves IPF to fix
@@ -42,26 +50,18 @@ TomogravityResult tomogravity(const topo::Graph& graph,
   {
     double modelled_total = 0.0, observed_total = 0.0;
     for (topo::LinkId link : links) {
-      double sum = 0.0;
-      for (const auto& [k, frac] : matrix.ods_on_link(link))
-        sum += frac * demands[k].pkt_per_sec;
-      modelled_total += sum;
+      modelled_total += linalg::row_dot(csc, link, rate);
       observed_total += observed[link];
     }
     if (modelled_total > 0.0 && observed_total > 0.0) {
       const double scale = observed_total / modelled_total;
-      for (traffic::Demand& d : demands) d.pkt_per_sec *= scale;
+      for (double& r : rate) r *= scale;
     }
   }
 
   TomogravityResult result;
-  std::vector<double> modelled(graph.link_count(), 0.0);
   auto recompute_link = [&](topo::LinkId link) {
-    double sum = 0.0;
-    for (const auto& [k, frac] : matrix.ods_on_link(link))
-      sum += frac * demands[k].pkt_per_sec;
-    modelled[link] = sum;
-    return sum;
+    return linalg::row_dot(csc, link, rate);
   };
 
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
@@ -77,10 +77,8 @@ TomogravityResult tomogravity(const topo::Graph& graph,
         continue;
       }
       const double factor = target / current;
-      for (const auto& [k, frac] : matrix.ods_on_link(link)) {
-        (void)frac;
-        demands[k].pkt_per_sec *= factor;
-      }
+      for (const linalg::SparseCsr::Index k : csc.row(link).cols())
+        rate[k] *= factor;
       worst = std::max(worst,
                        std::abs(current - target) / std::max(1.0, target));
     }
@@ -98,7 +96,9 @@ TomogravityResult tomogravity(const topo::Graph& graph,
   }
   result.residual = worst;
 
-  // Drop vanished demands.
+  // Write the fitted rates back and drop vanished demands.
+  for (std::size_t k = 0; k < demands.size(); ++k)
+    demands[k].pkt_per_sec = rate[k];
   traffic::TrafficMatrix cleaned;
   for (const traffic::Demand& d : demands) {
     if (d.pkt_per_sec >= options.min_rate) cleaned.push_back(d);

@@ -1,0 +1,96 @@
+#include "linalg/sparse.hpp"
+
+#include "util/error.hpp"
+
+namespace netmon::linalg {
+
+SparseCsr SparseCsr::transpose() const {
+  SparseCsr t;
+  t.n_cols_ = rows();
+  t.row_ptr_.assign(n_cols_ + 1, 0);
+  for (const Index c : col_idx_) ++t.row_ptr_[c + 1];
+  for (std::size_t i = 1; i <= n_cols_; ++i)
+    t.row_ptr_[i] += t.row_ptr_[i - 1];
+  t.col_idx_.resize(nnz());
+  t.values_.resize(nnz());
+  std::vector<std::size_t> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      const std::size_t pos = cursor[col_idx_[i]]++;
+      t.col_idx_[pos] = static_cast<Index>(r);
+      t.values_[pos] = values_[i];
+    }
+  }
+  return t;
+}
+
+CsrBuilder::CsrBuilder(std::size_t n_cols) { matrix_.n_cols_ = n_cols; }
+
+CsrBuilder& CsrBuilder::reserve(std::size_t rows, std::size_t nnz) {
+  matrix_.row_ptr_.reserve(rows + 1);
+  matrix_.col_idx_.reserve(nnz);
+  matrix_.values_.reserve(nnz);
+  return *this;
+}
+
+void CsrBuilder::push(std::size_t col, double value) {
+  NETMON_REQUIRE(col < matrix_.n_cols_, "sparse column out of range");
+  matrix_.col_idx_.push_back(static_cast<SparseCsr::Index>(col));
+  matrix_.values_.push_back(value);
+}
+
+void CsrBuilder::finish_row() {
+  matrix_.row_ptr_.push_back(matrix_.col_idx_.size());
+}
+
+SparseCsr CsrBuilder::build() {
+  NETMON_REQUIRE(matrix_.row_ptr_.back() == matrix_.col_idx_.size(),
+                 "finish_row() must close the last row before build()");
+  SparseCsr out = std::move(matrix_);
+  matrix_ = SparseCsr{};
+  return out;
+}
+
+void spmv(const SparseCsr& a, std::span<const double> x,
+          std::span<double> y) {
+  NETMON_REQUIRE(y.size() == a.rows(), "spmv output size mismatch");
+  NETMON_REQUIRE(x.size() >= a.cols(), "spmv input too short");
+  const std::span<const std::size_t> row_ptr = a.row_ptr();
+  const std::span<const SparseCsr::Index> cols = a.col_idx();
+  const std::span<const double> vals = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double acc = 0.0;
+    for (std::size_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i)
+      acc += vals[i] * x[cols[i]];
+    y[r] = acc;
+  }
+}
+
+void spmv_t(const SparseCsr& a, std::span<const double> x,
+            std::span<double> y) {
+  NETMON_REQUIRE(y.size() == a.cols(), "spmv_t output size mismatch");
+  NETMON_REQUIRE(x.size() >= a.rows(), "spmv_t input too short");
+  for (double& v : y) v = 0.0;
+  const std::span<const std::size_t> row_ptr = a.row_ptr();
+  const std::span<const SparseCsr::Index> cols = a.col_idx();
+  const std::span<const double> vals = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double xr = x[r];
+    for (std::size_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i)
+      y[cols[i]] += vals[i] * xr;
+  }
+}
+
+double row_dot(const SparseCsr& a, std::size_t i, std::span<const double> x) {
+  NETMON_REQUIRE(i < a.rows(), "row_dot row out of range");
+  NETMON_REQUIRE(x.size() >= a.cols(), "row_dot input too short");
+  const std::span<const std::size_t> row_ptr = a.row_ptr();
+  const std::span<const SparseCsr::Index> cols = a.col_idx();
+  const std::span<const double> vals = a.values();
+  double acc = 0.0;
+  for (std::size_t j = row_ptr[i]; j < row_ptr[i + 1]; ++j)
+    acc += vals[j] * x[cols[j]];
+  return acc;
+}
+
+}  // namespace netmon::linalg

@@ -1,0 +1,174 @@
+// Flat compressed-sparse-row matrices — the one sparse representation
+// shared by every layer (routing matrix R, objective rows, estimator
+// systems).
+//
+// Data layout: three contiguous arenas. `row_ptr` (n_rows+1 offsets)
+// delimits each row's slice of `col_idx` (32-bit columns) and `values`
+// (doubles). Iterating a row touches two adjacent cache streams instead
+// of chasing a vector-of-vectors; the whole matrix is two allocations.
+// A transpose() of the same type doubles as the CSC view for column
+// iteration. The kernels (spmv / spmv_t / row_dot) never allocate and
+// accumulate strictly left to right within a row, so they are
+// bit-compatible with the nested pair-list loops they replaced.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace netmon::linalg {
+
+/// Flat CSR sparse matrix with non-owning row views.
+class SparseCsr {
+ public:
+  /// Column index type: 32 bits halves the index arena versus size_t.
+  /// Matches topo::LinkId, so routing rows store links without casts.
+  using Index = std::uint32_t;
+
+  /// Non-owning view of one row. Iteration yields (column, value) pairs
+  /// by value, so range-for structured bindings work exactly as they did
+  /// over the old vector<pair> rows.
+  class RowView {
+   public:
+    class Iterator {
+     public:
+      using value_type = std::pair<Index, double>;
+      using difference_type = std::ptrdiff_t;
+
+      Iterator() = default;
+      Iterator(const Index* col, const double* val) : col_(col), val_(val) {}
+
+      value_type operator*() const { return {*col_, *val_}; }
+      Iterator& operator++() {
+        ++col_;
+        ++val_;
+        return *this;
+      }
+      Iterator operator++(int) {
+        Iterator old = *this;
+        ++*this;
+        return old;
+      }
+      friend bool operator==(const Iterator& a, const Iterator& b) {
+        return a.col_ == b.col_;
+      }
+
+     private:
+      const Index* col_ = nullptr;
+      const double* val_ = nullptr;
+    };
+
+    RowView() = default;
+    RowView(const Index* cols, const double* values, std::size_t size)
+        : cols_(cols), values_(values), size_(size) {}
+
+    std::size_t size() const noexcept { return size_; }
+    bool empty() const noexcept { return size_ == 0; }
+    Iterator begin() const { return {cols_, values_}; }
+    Iterator end() const { return {cols_ + size_, values_ + size_}; }
+    std::pair<Index, double> operator[](std::size_t i) const {
+      return {cols_[i], values_[i]};
+    }
+
+    /// The raw column/value slices (e.g. for binary search on columns).
+    std::span<const Index> cols() const noexcept { return {cols_, size_}; }
+    std::span<const double> values() const noexcept {
+      return {values_, size_};
+    }
+
+   private:
+    const Index* cols_ = nullptr;
+    const double* values_ = nullptr;
+    std::size_t size_ = 0;
+  };
+
+  /// Empty 0 x 0 matrix.
+  SparseCsr() = default;
+
+  std::size_t rows() const noexcept { return row_ptr_.size() - 1; }
+  std::size_t cols() const noexcept { return n_cols_; }
+  std::size_t nnz() const noexcept { return values_.size(); }
+
+  /// Row i as a view; i must be < rows().
+  RowView row(std::size_t i) const {
+    const std::size_t begin = row_ptr_[i];
+    return {col_idx_.data() + begin, values_.data() + begin,
+            row_ptr_[i + 1] - begin};
+  }
+
+  /// The raw arenas (read-only; for kernels and serialization).
+  std::span<const std::size_t> row_ptr() const noexcept { return row_ptr_; }
+  std::span<const Index> col_idx() const noexcept { return col_idx_; }
+  std::span<const double> values() const noexcept { return values_; }
+
+  /// The transposed matrix (the CSC view of this one). Entries of each
+  /// transposed row come out sorted by column because rows are scanned
+  /// in order.
+  SparseCsr transpose() const;
+
+  /// Builds from a vector-of-pair-lists (any pair-like with integral
+  /// first, double second). Column order within a row is preserved.
+  template <typename Rows>
+  static SparseCsr from_rows(std::size_t n_cols, const Rows& rows);
+
+ private:
+  friend class CsrBuilder;
+
+  std::size_t n_cols_ = 0;
+  std::vector<std::size_t> row_ptr_{0};
+  std::vector<Index> col_idx_;
+  std::vector<double> values_;
+};
+
+/// Incremental row-major builder: push() entries, finish_row() after each
+/// row (empty rows are fine), then build().
+class CsrBuilder {
+ public:
+  explicit CsrBuilder(std::size_t n_cols);
+
+  /// Pre-sizes the arenas (optional; avoids regrowth for known shapes).
+  CsrBuilder& reserve(std::size_t rows, std::size_t nnz);
+
+  /// Appends one entry to the current row. Throws if col >= n_cols.
+  void push(std::size_t col, double value);
+
+  /// Closes the current row and starts the next.
+  void finish_row();
+
+  /// Finalizes; the builder is left empty.
+  SparseCsr build();
+
+ private:
+  SparseCsr matrix_;
+};
+
+template <typename Rows>
+SparseCsr SparseCsr::from_rows(std::size_t n_cols, const Rows& rows) {
+  std::size_t nnz = 0;
+  for (const auto& row : rows) nnz += row.size();
+  CsrBuilder builder(n_cols);
+  builder.reserve(rows.size(), nnz);
+  for (const auto& row : rows) {
+    for (const auto& [col, value] : row)
+      builder.push(static_cast<std::size_t>(col), value);
+    builder.finish_row();
+  }
+  return builder.build();
+}
+
+/// y = A x. Requires y.size() == rows and x.size() >= cols. Each y_i is
+/// accumulated left to right over row i.
+void spmv(const SparseCsr& a, std::span<const double> x, std::span<double> y);
+
+/// y = A^T x (scatter over the CSR itself — no transpose needed).
+/// Requires y.size() == cols and x.size() >= rows. Contributions land in
+/// ascending row order, matching a per-column left-to-right sum.
+void spmv_t(const SparseCsr& a, std::span<const double> x,
+            std::span<double> y);
+
+/// Inner product of row `i` with x (x.size() >= cols), left to right.
+double row_dot(const SparseCsr& a, std::size_t i, std::span<const double> x);
+
+}  // namespace netmon::linalg

@@ -1,0 +1,39 @@
+// Reusable scratch buffers for the evaluation hot path.
+//
+// Conventions: `rows_*` slots are term-count sized (one entry per sparse
+// row, e.g. the inner products (Rp)_k); `cols_*` slots are dimension
+// sized (one entry per variable). Objective implementations may only use
+// `rows_*`; the `cols_*` slots belong to the driver (solver, line
+// search), so a single workspace can be threaded through nested calls
+// without aliasing. Buffers grow on first use and never shrink, making
+// steady-state evaluation allocation-free. A workspace must not be
+// shared between threads.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace netmon::linalg {
+
+class EvalWorkspace {
+ public:
+  /// Each accessor returns a span of exactly `n` doubles backed by the
+  /// named slot; contents are unspecified on entry.
+  std::span<double> rows_a(std::size_t n) { return fit(rows_a_, n); }
+  std::span<double> rows_b(std::size_t n) { return fit(rows_b_, n); }
+  std::span<double> rows_c(std::size_t n) { return fit(rows_c_, n); }
+  std::span<double> cols_a(std::size_t n) { return fit(cols_a_, n); }
+  std::span<double> cols_b(std::size_t n) { return fit(cols_b_, n); }
+
+ private:
+  static std::span<double> fit(std::vector<double>& buf, std::size_t n) {
+    if (buf.size() < n) buf.resize(n);
+    return {buf.data(), n};
+  }
+
+  std::vector<double> rows_a_, rows_b_, rows_c_;
+  std::vector<double> cols_a_, cols_b_;
+};
+
+}  // namespace netmon::linalg

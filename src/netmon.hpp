@@ -34,6 +34,8 @@
 #include "estimate/heavy_hitters.hpp"   // IWYU pragma: export
 #include "estimate/tomogravity.hpp"     // IWYU pragma: export
 #include "isis/lsdb.hpp"         // IWYU pragma: export
+#include "linalg/sparse.hpp"     // IWYU pragma: export
+#include "linalg/workspace.hpp"  // IWYU pragma: export
 #include "netflow/adaptive.hpp"  // IWYU pragma: export
 #include "netflow/pipeline.hpp"  // IWYU pragma: export
 #include "netflow/sample_and_hold.hpp"  // IWYU pragma: export

@@ -1,5 +1,6 @@
 #include "opt/barrier.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -9,36 +10,42 @@ namespace netmon::opt {
 
 namespace {
 
-// Dense linear solve (Gaussian elimination, partial pivoting). The KKT
-// systems here are (n+1)x(n+1) with n = candidate links, i.e. tiny.
-std::vector<double> solve_dense(std::vector<std::vector<double>> a,
-                                std::vector<double> b) {
+// Dense linear solve (Gaussian elimination, partial pivoting) on a flat
+// row-major n x n matrix, in place. The KKT systems here are (n+1)x(n+1)
+// with n = candidate links, i.e. tiny — but the buffers are still reused
+// across Newton iterations so the inner loop does not allocate.
+void solve_dense_inplace(std::span<double> a, std::span<double> b,
+                         std::span<double> x) {
   const std::size_t n = b.size();
+  const auto at = [&](std::size_t r, std::size_t c) -> double& {
+    return a[r * n + c];
+  };
   for (std::size_t col = 0; col < n; ++col) {
     // Pivot.
     std::size_t pivot = col;
     for (std::size_t r = col + 1; r < n; ++r) {
-      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+      if (std::abs(at(r, col)) > std::abs(at(pivot, col))) pivot = r;
     }
-    NETMON_REQUIRE(std::abs(a[pivot][col]) > 1e-300,
+    NETMON_REQUIRE(std::abs(at(pivot, col)) > 1e-300,
                    "singular KKT system in barrier solver");
-    std::swap(a[col], a[pivot]);
-    std::swap(b[col], b[pivot]);
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(at(col, c), at(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
     // Eliminate.
     for (std::size_t r = col + 1; r < n; ++r) {
-      const double factor = a[r][col] / a[col][col];
+      const double factor = at(r, col) / at(col, col);
       if (factor == 0.0) continue;
-      for (std::size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      for (std::size_t c = col; c < n; ++c) at(r, c) -= factor * at(col, c);
       b[r] -= factor * b[col];
     }
   }
-  std::vector<double> x(n);
   for (std::size_t i = n; i-- > 0;) {
     double sum = b[i];
-    for (std::size_t c = i + 1; c < n; ++c) sum -= a[i][c] * x[c];
-    x[i] = sum / a[i][i];
+    for (std::size_t c = i + 1; c < n; ++c) sum -= at(i, c) * x[c];
+    x[i] = sum / at(i, i);
   }
-  return x;
 }
 
 }  // namespace
@@ -62,6 +69,8 @@ BarrierResult maximize_barrier(const SeparableConcaveObjective& f,
   result.p.assign(n, 0.0);
   for (std::size_t j = 0; j < n; ++j) result.p[j] = scale * alpha[j];
 
+  linalg::EvalWorkspace eval;
+
   // phi_t(p) = -t f(p) - sum_j [ln p_j + ln(alpha_j - p_j)].
   auto phi = [&](const std::vector<double>& p, double t) {
     double barrier = 0.0;
@@ -70,10 +79,16 @@ BarrierResult maximize_barrier(const SeparableConcaveObjective& f,
         return std::numeric_limits<double>::infinity();
       barrier -= std::log(p[j]) + std::log(alpha[j] - p[j]);
     }
-    return -t * f.value(p) + barrier;
+    return -t * f.value(p, eval) + barrier;
   };
 
-  std::vector<double> g_f(n), gphi(n), delta(n);
+  const linalg::SparseCsr& matrix = f.matrix();
+  std::vector<double> g_f(n), gphi(n), delta(n), candidate(n);
+  std::vector<double> x(f.term_count());
+  // One flat (n+1)x(n+1) KKT system + rhs + solution, reused across all
+  // Newton iterations.
+  std::vector<double> kkt((n + 1) * (n + 1));
+  std::vector<double> rhs(n + 1), sol(n + 1);
   double t = options.t0;
   const double m = 2.0 * static_cast<double>(n);  // barrier constraints
 
@@ -82,33 +97,34 @@ BarrierResult maximize_barrier(const SeparableConcaveObjective& f,
 
     for (int newton = 0; newton < options.max_newton; ++newton) {
       ++result.newton_iterations;
-      f.gradient(result.p, g_f);
-      const std::vector<double> x = f.inner(result.p);
+      f.gradient(result.p, g_f, eval);
+      f.inner_into(result.p, x);
 
       // Hessian of phi: -t H_f + barrier diagonal.
-      std::vector<std::vector<double>> kkt(
-          n + 1, std::vector<double>(n + 1, 0.0));
-      const auto& rows = f.rows();
-      for (std::size_t k = 0; k < rows.size(); ++k) {
+      std::fill(kkt.begin(), kkt.end(), 0.0);
+      const auto cell = [&](std::size_t r, std::size_t c) -> double& {
+        return kkt[r * (n + 1) + c];
+      };
+      for (std::size_t k = 0; k < matrix.rows(); ++k) {
         const double s2 = f.utility(k).second(x[k]);
-        for (const auto& [i, ci] : rows[k]) {
-          for (const auto& [j, cj] : rows[k]) {
-            kkt[i][j] += -t * s2 * ci * cj;
+        for (const auto& [i, ci] : matrix.row(k)) {
+          for (const auto& [j, cj] : matrix.row(k)) {
+            cell(i, j) += -t * s2 * ci * cj;
           }
         }
       }
       for (std::size_t j = 0; j < n; ++j) {
         const double lo = result.p[j];
         const double hi = alpha[j] - result.p[j];
-        kkt[j][j] += 1.0 / (lo * lo) + 1.0 / (hi * hi);
+        cell(j, j) += 1.0 / (lo * lo) + 1.0 / (hi * hi);
         gphi[j] = -t * g_f[j] - 1.0 / lo + 1.0 / hi;
-        kkt[j][n] = u[j];
-        kkt[n][j] = u[j];
+        cell(j, n) = u[j];
+        cell(n, j) = u[j];
       }
 
-      std::vector<double> rhs(n + 1, 0.0);
+      std::fill(rhs.begin(), rhs.end(), 0.0);
       for (std::size_t j = 0; j < n; ++j) rhs[j] = -gphi[j];
-      const std::vector<double> sol = solve_dense(std::move(kkt), rhs);
+      solve_dense_inplace(kkt, rhs, sol);
       for (std::size_t j = 0; j < n; ++j) delta[j] = sol[j];
 
       double decrement2 = 0.0;
@@ -124,7 +140,6 @@ BarrierResult maximize_barrier(const SeparableConcaveObjective& f,
           step = std::min(step, 0.99 * result.p[j] / -delta[j]);
       }
       const double phi0 = phi(result.p, t);
-      std::vector<double> candidate(n);
       int back = 0;
       for (; back < 60; ++back) {
         for (std::size_t j = 0; j < n; ++j)
@@ -138,7 +153,7 @@ BarrierResult maximize_barrier(const SeparableConcaveObjective& f,
     t *= options.t_growth;
   }
   result.gap_bound = m / (t / options.t_growth);
-  result.value = f.value(result.p);
+  result.value = f.value(result.p, eval);
   return result;
 }
 

@@ -49,7 +49,8 @@ void project_direction(std::span<const double> v, std::span<const double> u,
 SolveResult maximize(const Objective& f,
                      const BoxBudgetConstraints& constraints,
                      const SolverOptions& options,
-                     const std::vector<double>* start) {
+                     const std::vector<double>* start,
+                     SolverWorkspace* workspace) {
   const std::size_t n = constraints.dimension();
   NETMON_REQUIRE(f.dimension() == n,
                  "objective/constraint dimension mismatch");
@@ -93,28 +94,40 @@ SolveResult maximize(const Objective& f,
     }
   };
 
-  std::vector<double> g(n), s(n), d(n), s_prev(n), d_prev(n);
+  SolverWorkspace local;
+  SolverWorkspace& ws = workspace ? *workspace : local;
+  ws.g.resize(n);
+  ws.s.resize(n);
+  ws.d.resize(n);
+  ws.s_prev.resize(n);
+  ws.d_prev.resize(n);
+  ws.dir_tmp.resize(n);
+  std::vector<double>& g = ws.g;
+  std::vector<double>& s = ws.s;
+  std::vector<double>& d = ws.d;
+  std::vector<double>& s_prev = ws.s_prev;
+  std::vector<double>& d_prev = ws.d_prev;
   bool have_prev = false;
 
   int iter = 0;
   while (iter < options.max_iterations) {
     ++iter;
-    f.gradient(result.p, g);
+    f.gradient(result.p, g, ws.eval);
     project_direction(g, u, bounds, s);
 
     const double snorm = norm2(s);
     const double gnorm = norm2(g);
     if (snorm <= options.grad_tol * (1.0 + gnorm)) {
-      const KktReport kkt = compute_kkt(g, u, bounds, options.kkt_tol);
-      result.lambda = kkt.lambda;
-      result.worst_multiplier = kkt.worst;
-      if (kkt.satisfied) {
+      compute_kkt(g, u, bounds, options.kkt_tol, ws.kkt);
+      result.lambda = ws.kkt.lambda;
+      result.worst_multiplier = ws.kkt.worst;
+      if (ws.kkt.satisfied) {
         result.status = SolveStatus::kOptimal;
         break;
       }
       // Release every active constraint whose multiplier is negative
       // (paper §IV-D) and keep searching.
-      for (std::size_t j : kkt.violating) bounds[j] = BoundState::kFree;
+      for (std::size_t j : ws.kkt.violating) bounds[j] = BoundState::kFree;
       ++result.release_events;
       have_prev = false;
       continue;
@@ -132,8 +145,8 @@ SolveResult maximize(const Objective& f,
       if (beta > 0.0) {
         for (std::size_t j = 0; j < n; ++j) d[j] = s[j] + beta * d_prev[j];
         // Keep d inside the active subspace and ascending.
-        std::vector<double> tmp = d;
-        project_direction(tmp, u, bounds, d);
+        std::copy(d.begin(), d.end(), ws.dir_tmp.begin());
+        project_direction(ws.dir_tmp, u, bounds, d);
         if (dot(d, g) <= 0.0) d = s;
       }
     }
@@ -165,18 +178,18 @@ SolveResult maximize(const Objective& f,
     }
 
     const LineSearchResult ls =
-        maximize_along(f, result.p, d, t_max, options.line_search);
+        maximize_along(f, result.p, d, t_max, options.line_search, ws.eval);
     if (ls.t <= 0.0) {
       // No numerical progress possible along d: decide via the KKT
       // multipliers, exactly as when the projected gradient vanishes.
-      const KktReport kkt = compute_kkt(g, u, bounds, options.kkt_tol);
-      result.lambda = kkt.lambda;
-      result.worst_multiplier = kkt.worst;
-      if (kkt.satisfied) {
+      compute_kkt(g, u, bounds, options.kkt_tol, ws.kkt);
+      result.lambda = ws.kkt.lambda;
+      result.worst_multiplier = ws.kkt.worst;
+      if (ws.kkt.satisfied) {
         result.status = SolveStatus::kOptimal;
         break;
       }
-      for (std::size_t j : kkt.violating) bounds[j] = BoundState::kFree;
+      for (std::size_t j : ws.kkt.violating) bounds[j] = BoundState::kFree;
       ++result.release_events;
       have_prev = false;
       continue;
@@ -211,13 +224,13 @@ SolveResult maximize(const Objective& f,
   }
 
   result.iterations = iter;
-  result.value = f.value(result.p);
+  result.value = f.value(result.p, ws.eval);
   if (result.status != SolveStatus::kOptimal) {
     // Record final multipliers for diagnostics.
-    f.gradient(result.p, g);
-    const KktReport kkt = compute_kkt(g, u, bounds, options.kkt_tol);
-    result.lambda = kkt.lambda;
-    result.worst_multiplier = kkt.worst;
+    f.gradient(result.p, g, ws.eval);
+    compute_kkt(g, u, bounds, options.kkt_tol, ws.kkt);
+    result.lambda = ws.kkt.lambda;
+    result.worst_multiplier = ws.kkt.worst;
   }
   return result;
 }

@@ -66,11 +66,30 @@ struct SolveResult {
   std::vector<BoundState> bounds;
 };
 
+/// All iteration scratch of one maximize() call: the objective-evaluation
+/// workspace plus the solver's own per-iteration vectors and the KKT
+/// report. Pass the same instance to repeated solves (warm starts, batch
+/// fan-out) and the iteration loop performs no heap allocations after the
+/// first call has grown the buffers. Not shareable between threads.
+struct SolverWorkspace {
+  linalg::EvalWorkspace eval;
+  std::vector<double> g;        // gradient
+  std::vector<double> s;        // projected gradient
+  std::vector<double> d;        // search direction
+  std::vector<double> s_prev;   // previous projected gradient (PR mixing)
+  std::vector<double> d_prev;   // previous direction (PR mixing)
+  std::vector<double> dir_tmp;  // re-projection scratch for mixed d
+  KktReport kkt;
+};
+
 /// Maximizes `f` over `constraints`. `start` overrides the default
-/// feasible starting point (must itself be feasible).
+/// feasible starting point (must itself be feasible). `workspace`, when
+/// given, supplies all iteration scratch (reused across calls); when
+/// null a call-local workspace is used.
 SolveResult maximize(const Objective& f,
                      const BoxBudgetConstraints& constraints,
                      const SolverOptions& options = {},
-                     const std::vector<double>* start = nullptr);
+                     const std::vector<double>* start = nullptr,
+                     SolverWorkspace* workspace = nullptr);
 
 }  // namespace netmon::opt

@@ -10,10 +10,20 @@ namespace netmon::opt {
 
 KktReport compute_kkt(std::span<const double> g, std::span<const double> u,
                       const std::vector<BoundState>& bounds, double tol) {
+  KktReport report;
+  compute_kkt(g, u, bounds, tol, report);
+  return report;
+}
+
+void compute_kkt(std::span<const double> g, std::span<const double> u,
+                 const std::vector<BoundState>& bounds, double tol,
+                 KktReport& report) {
   const std::size_t n = g.size();
   NETMON_REQUIRE(u.size() == n && bounds.size() == n,
                  "KKT input dimension mismatch");
-  KktReport report;
+  report.lambda = 0.0;
+  report.worst = 0.0;
+  report.violating.clear();
   report.nu.assign(n, 0.0);
   report.mu.assign(n, 0.0);
 
@@ -68,7 +78,6 @@ KktReport compute_kkt(std::span<const double> g, std::span<const double> u,
       report.violating.push_back(j);
     }
   }
-  return report;
 }
 
 }  // namespace netmon::opt

@@ -41,4 +41,11 @@ struct KktReport {
 KktReport compute_kkt(std::span<const double> g, std::span<const double> u,
                       const std::vector<BoundState>& bounds, double tol);
 
+/// In-place variant: overwrites `report`, reusing its vector capacity so
+/// repeated certification (every solver iteration) allocates nothing once
+/// the vectors have grown to dimension.
+void compute_kkt(std::span<const double> g, std::span<const double> u,
+                 const std::vector<BoundState>& bounds, double tol,
+                 KktReport& report);
+
 }  // namespace netmon::opt

@@ -1,7 +1,6 @@
 #include "opt/line_search.hpp"
 
 #include <cmath>
-#include <vector>
 
 #include "util/error.hpp"
 
@@ -16,13 +15,13 @@ struct Derivs {
 };
 
 Derivs derivs_at(const Objective& f, std::span<const double> p,
-                 std::span<const double> d, double t,
-                 std::vector<double>& point, std::vector<double>& grad) {
+                 std::span<const double> d, double t, std::span<double> point,
+                 std::span<double> grad, linalg::EvalWorkspace& ws) {
   for (std::size_t j = 0; j < p.size(); ++j) point[j] = p[j] + t * d[j];
-  f.gradient(point, grad);
+  f.gradient(point, grad, ws);
   double first = 0.0;
   for (std::size_t j = 0; j < d.size(); ++j) first += grad[j] * d[j];
-  const double second = f.directional_second(point, d);
+  const double second = f.directional_second(point, d, ws);
   return {first, second};
 }
 
@@ -31,12 +30,21 @@ Derivs derivs_at(const Objective& f, std::span<const double> p,
 LineSearchResult maximize_along(const Objective& f, std::span<const double> p,
                                 std::span<const double> d, double t_max,
                                 const LineSearchOptions& options) {
+  linalg::EvalWorkspace ws;
+  return maximize_along(f, p, d, t_max, options, ws);
+}
+
+LineSearchResult maximize_along(const Objective& f, std::span<const double> p,
+                                std::span<const double> d, double t_max,
+                                const LineSearchOptions& options,
+                                linalg::EvalWorkspace& ws) {
   NETMON_REQUIRE(t_max > 0.0, "line search needs t_max > 0");
   NETMON_REQUIRE(p.size() == d.size(), "dimension mismatch");
   LineSearchResult result;
-  std::vector<double> point(p.size()), grad(p.size());
+  const std::span<double> point = ws.cols_a(p.size());
+  const std::span<double> grad = ws.cols_b(p.size());
 
-  const Derivs at0 = derivs_at(f, p, d, 0.0, point, grad);
+  const Derivs at0 = derivs_at(f, p, d, 0.0, point, grad, ws);
   if (at0.first <= 0.0) {
     // Not an ascent direction. Near convergence the projected gradient is
     // pure cancellation noise and its inner product with the gradient can
@@ -45,7 +53,7 @@ LineSearchResult maximize_along(const Objective& f, std::span<const double> p,
     return result;
   }
 
-  const Derivs at_max = derivs_at(f, p, d, t_max, point, grad);
+  const Derivs at_max = derivs_at(f, p, d, t_max, point, grad, ws);
   if (at_max.first >= 0.0) {
     // Still ascending at the boundary: the constraint blocks us.
     result.t = t_max;
@@ -65,7 +73,7 @@ LineSearchResult maximize_along(const Objective& f, std::span<const double> p,
   const double target = options.tol * at0.first;
   for (int iter = 0; iter < options.max_iters; ++iter) {
     result.iters = iter + 1;
-    const Derivs at = derivs_at(f, p, d, t, point, grad);
+    const Derivs at = derivs_at(f, p, d, t, point, grad, ws);
     if (std::abs(at.first) <= target) break;
     if (at.first > 0.0) lo = t;
     else hi = t;

@@ -42,4 +42,14 @@ LineSearchResult maximize_along(const Objective& f, std::span<const double> p,
                                 std::span<const double> d, double t_max,
                                 const LineSearchOptions& options = {});
 
+/// Workspace variant: the trial point and gradient live in the cols_a /
+/// cols_b slots of `ws`, and f is evaluated through its workspace
+/// overloads — zero allocations once `ws` is warm. The same `ws` may be
+/// (and in the solver is) the one threaded through the objective: the
+/// objective only touches rows_* slots.
+LineSearchResult maximize_along(const Objective& f, std::span<const double> p,
+                                std::span<const double> d, double t_max,
+                                const LineSearchOptions& options,
+                                linalg::EvalWorkspace& ws);
+
 }  // namespace netmon::opt

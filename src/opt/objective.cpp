@@ -1,8 +1,22 @@
 #include "opt/objective.hpp"
 
+#include <algorithm>
+
+#include "runtime/parallel.hpp"
 #include "util/error.hpp"
 
 namespace netmon::opt {
+
+SeparableConcaveObjective::SeparableConcaveObjective(
+    linalg::SparseCsr matrix,
+    std::vector<std::shared_ptr<const Concave1d>> utilities,
+    std::vector<double> offsets)
+    : matrix_(std::move(matrix)),
+      utilities_(std::move(utilities)),
+      offsets_(std::move(offsets)) {
+  validate();
+  compile_batch_runs();
+}
 
 SeparableConcaveObjective::SeparableConcaveObjective(
     std::size_t dimension, SparseRows rows,
@@ -14,64 +28,163 @@ SeparableConcaveObjective::SeparableConcaveObjective(
     std::size_t dimension, SparseRows rows,
     std::vector<std::shared_ptr<const Concave1d>> utilities,
     std::vector<double> offsets)
-    : dimension_(dimension),
-      rows_(std::move(rows)),
-      utilities_(std::move(utilities)),
-      offsets_(std::move(offsets)) {
-  NETMON_REQUIRE(offsets_.empty() || offsets_.size() == rows_.size(),
+    : SeparableConcaveObjective(linalg::SparseCsr::from_rows(dimension, rows),
+                                std::move(utilities), std::move(offsets)) {}
+
+void SeparableConcaveObjective::validate() {
+  NETMON_REQUIRE(offsets_.empty() || offsets_.size() == matrix_.rows(),
                  "one offset per row required when offsets are given");
-  NETMON_REQUIRE(rows_.size() == utilities_.size(),
+  NETMON_REQUIRE(matrix_.rows() == utilities_.size(),
                  "one utility per objective term required");
-  for (const auto& row : rows_) {
-    for (const auto& [col, coeff] : row) {
-      NETMON_REQUIRE(col < dimension_, "sparse column out of range");
-      NETMON_REQUIRE(coeff >= 0.0, "routing coefficients must be >= 0");
-    }
-  }
+  for (const double coeff : matrix_.values())
+    NETMON_REQUIRE(coeff >= 0.0, "routing coefficients must be >= 0");
   for (const auto& u : utilities_)
     NETMON_REQUIRE(u != nullptr, "null utility");
 }
 
+void SeparableConcaveObjective::compile_batch_runs() {
+  const std::size_t n = utilities_.size();
+  params_.resize(n);
+  runs_.clear();
+  for (std::size_t k = 0; k < n; ++k) {
+    const Concave1d::BatchKernel* kernel =
+        utilities_[k]->batch_kernel(params_[k]);
+    if (!runs_.empty() && runs_.back().kernel == kernel) {
+      runs_.back().end = k + 1;
+    } else {
+      runs_.push_back({kernel, k, k + 1});
+    }
+  }
+}
+
+void SeparableConcaveObjective::map_terms(Map mode, std::span<const double> x,
+                                          std::span<double> out) const {
+  for (const BatchRun& run : runs_) {
+    const std::size_t n = run.end - run.begin;
+    if (run.kernel != nullptr) {
+      const Concave1d::BatchKernel::Fn fn =
+          mode == Map::kValue    ? run.kernel->value
+          : mode == Map::kDeriv  ? run.kernel->deriv
+                                 : run.kernel->second;
+      fn(params_.data() + run.begin, x.data() + run.begin,
+         out.data() + run.begin, n);
+      continue;
+    }
+    for (std::size_t k = run.begin; k < run.end; ++k) {
+      switch (mode) {
+        case Map::kValue:
+          out[k] = utilities_[k]->value(x[k]);
+          break;
+        case Map::kDeriv:
+          out[k] = utilities_[k]->deriv(x[k]);
+          break;
+        case Map::kSecond:
+          out[k] = utilities_[k]->second(x[k]);
+          break;
+      }
+    }
+  }
+}
+
+void SeparableConcaveObjective::inner_into(std::span<const double> p,
+                                           std::span<double> x) const {
+  NETMON_REQUIRE(p.size() == matrix_.cols(), "variable dimension mismatch");
+  NETMON_REQUIRE(x.size() == matrix_.rows(), "inner output size mismatch");
+  if (offsets_.empty()) {
+    linalg::spmv(matrix_, p, x);
+    return;
+  }
+  // Offset-first accumulation, matching the historical pair-list loop
+  // bit for bit: x_k = a_k + sum_i r_{k,i} p_i, left to right.
+  const std::span<const std::size_t> row_ptr = matrix_.row_ptr();
+  const std::span<const linalg::SparseCsr::Index> cols = matrix_.col_idx();
+  const std::span<const double> vals = matrix_.values();
+  for (std::size_t k = 0; k < matrix_.rows(); ++k) {
+    double acc = offsets_[k];
+    for (std::size_t i = row_ptr[k]; i < row_ptr[k + 1]; ++i)
+      acc += vals[i] * p[cols[i]];
+    x[k] = acc;
+  }
+}
+
 std::vector<double> SeparableConcaveObjective::inner(
     std::span<const double> p) const {
-  NETMON_REQUIRE(p.size() == dimension_, "variable dimension mismatch");
-  std::vector<double> x(rows_.size(), 0.0);
-  for (std::size_t k = 0; k < rows_.size(); ++k) {
-    if (!offsets_.empty()) x[k] = offsets_[k];
-    for (const auto& [col, coeff] : rows_[k]) x[k] += coeff * p[col];
-  }
+  std::vector<double> x(matrix_.rows());
+  inner_into(p, x);
   return x;
 }
 
-double SeparableConcaveObjective::value(std::span<const double> p) const {
-  const std::vector<double> x = inner(p);
+double SeparableConcaveObjective::value(std::span<const double> p,
+                                        linalg::EvalWorkspace& ws) const {
+  const std::size_t n = term_count();
+  const std::span<double> x = ws.rows_a(n);
+  const std::span<double> m = ws.rows_b(n);
+  inner_into(p, x);
+  map_terms(Map::kValue, x, m);
   double sum = 0.0;
-  for (std::size_t k = 0; k < x.size(); ++k) sum += utilities_[k]->value(x[k]);
+  for (std::size_t k = 0; k < n; ++k) sum += m[k];
   return sum;
 }
 
 void SeparableConcaveObjective::gradient(std::span<const double> p,
+                                         std::span<double> out,
+                                         linalg::EvalWorkspace& ws) const {
+  NETMON_REQUIRE(out.size() == matrix_.cols(), "gradient dimension mismatch");
+  const std::size_t n = term_count();
+  const std::span<double> x = ws.rows_a(n);
+  const std::span<double> d = ws.rows_b(n);
+  inner_into(p, x);
+  map_terms(Map::kDeriv, x, d);
+  // grad f = R^T M'(x): the scatter visits rows in ascending order, so
+  // each out[j] accumulates in the same order as the old nested loop.
+  linalg::spmv_t(matrix_, d, out);
+}
+
+double SeparableConcaveObjective::directional_second(
+    std::span<const double> p, std::span<const double> s,
+    linalg::EvalWorkspace& ws) const {
+  NETMON_REQUIRE(s.size() == matrix_.cols(), "direction dimension mismatch");
+  const std::size_t n = term_count();
+  const std::span<double> x = ws.rows_a(n);
+  const std::span<double> rs = ws.rows_b(n);
+  const std::span<double> m2 = ws.rows_c(n);
+  inner_into(p, x);
+  linalg::spmv(matrix_, s, rs);  // (Rs)_k, no offsets in the derivative
+  map_terms(Map::kSecond, x, m2);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) sum += m2[k] * rs[k] * rs[k];
+  return sum;
+}
+
+double SeparableConcaveObjective::value(std::span<const double> p) const {
+  return value(p, scratch_);
+}
+
+void SeparableConcaveObjective::gradient(std::span<const double> p,
                                          std::span<double> out) const {
-  NETMON_REQUIRE(out.size() == dimension_, "gradient dimension mismatch");
-  const std::vector<double> x = inner(p);
-  for (double& g : out) g = 0.0;
-  for (std::size_t k = 0; k < rows_.size(); ++k) {
-    const double d = utilities_[k]->deriv(x[k]);
-    for (const auto& [col, coeff] : rows_[k]) out[col] += coeff * d;
-  }
+  gradient(p, out, scratch_);
 }
 
 double SeparableConcaveObjective::directional_second(
     std::span<const double> p, std::span<const double> s) const {
-  NETMON_REQUIRE(s.size() == dimension_, "direction dimension mismatch");
-  const std::vector<double> x = inner(p);
-  double sum = 0.0;
-  for (std::size_t k = 0; k < rows_.size(); ++k) {
-    double rs = 0.0;
-    for (const auto& [col, coeff] : rows_[k]) rs += coeff * s[col];
-    sum += utilities_[k]->second(x[k]) * rs * rs;
-  }
-  return sum;
+  return directional_second(p, s, scratch_);
+}
+
+double SeparableConcaveObjective::value_parallel(
+    std::span<const double> p, runtime::ThreadPool& pool) const {
+  NETMON_REQUIRE(p.size() == matrix_.cols(), "variable dimension mismatch");
+  // Per-chunk partial sums over CSR row ranges; the chunk layout is a
+  // pure function of the term count, so the result is bit-identical at
+  // every thread count (though not to the serial single-sum value()).
+  return runtime::parallel_reduce(
+      pool, term_count(), 0.0,
+      [&](std::size_t k) {
+        double x = offsets_.empty() ? 0.0 : offsets_[k];
+        x += linalg::row_dot(matrix_, k, p);
+        return utilities_[k]->value(x);
+      },
+      [](double a, double b) { return a + b; },
+      runtime::ChunkOptions{.grain = 64});
 }
 
 }  // namespace netmon::opt

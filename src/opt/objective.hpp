@@ -4,13 +4,24 @@
 // Objective — value, gradient, and second directional derivative — and
 // knows nothing about networks. The placement problem instantiates
 // SeparableConcaveObjective: f(p) = sum_k M_k((Rp)_k) with M_k concave
-// 1-D utilities and R a sparse non-negative matrix.
+// 1-D utilities and R a sparse non-negative matrix stored as a flat CSR
+// (linalg::SparseCsr). Every evaluation entry point has a workspace-
+// taking variant that draws scratch from linalg::EvalWorkspace and
+// performs zero heap allocations at steady state.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <span>
 #include <utility>
 #include <vector>
+
+#include "linalg/sparse.hpp"
+#include "linalg/workspace.hpp"
+
+namespace netmon::runtime {
+class ThreadPool;
+}  // namespace netmon::runtime
 
 namespace netmon::opt {
 
@@ -32,16 +43,62 @@ class Objective {
   /// d^2/dt^2 f(p + t s) at t = 0. Non-positive for concave f.
   virtual double directional_second(std::span<const double> p,
                                     std::span<const double> s) const = 0;
+
+  /// Workspace-aware variants: implementations that can evaluate without
+  /// allocating draw term-sized scratch from `ws` (only the rows_* slots;
+  /// cols_* belong to the caller). The defaults forward to the plain
+  /// virtuals, so existing objectives keep working unchanged.
+  virtual double value(std::span<const double> p,
+                       linalg::EvalWorkspace& ws) const {
+    (void)ws;
+    return value(p);
+  }
+  virtual void gradient(std::span<const double> p, std::span<double> out,
+                        linalg::EvalWorkspace& ws) const {
+    (void)ws;
+    gradient(p, out);
+  }
+  virtual double directional_second(std::span<const double> p,
+                                    std::span<const double> s,
+                                    linalg::EvalWorkspace& ws) const {
+    (void)ws;
+    return directional_second(p, s);
+  }
 };
 
 /// A strictly increasing, concave, twice continuously differentiable
 /// scalar function (the utility M of the paper).
 class Concave1d {
  public:
+  /// Fixed-arity per-term parameter pack for batch kernels.
+  static constexpr std::size_t kBatchParamCount = 4;
+  using BatchParams = std::array<double, kBatchParamCount>;
+
+  /// A batch kernel evaluates out[i] = f(params[i], x[i]) for n terms in
+  /// one plain-function call — no per-term virtual dispatch. Terms whose
+  /// utilities return the same kernel pointer are grouped into contiguous
+  /// runs by SeparableConcaveObjective and evaluated together.
+  struct BatchKernel {
+    using Fn = void (*)(const BatchParams* params, const double* x,
+                        double* out, std::size_t n);
+    Fn value = nullptr;
+    Fn deriv = nullptr;
+    Fn second = nullptr;
+  };
+
   virtual ~Concave1d() = default;
   virtual double value(double x) const = 0;
   virtual double deriv(double x) const = 0;
   virtual double second(double x) const = 0;
+
+  /// Batch fast path: fills `params` with this instance's parameters and
+  /// returns a (statically allocated) kernel, or nullptr when only the
+  /// scalar virtuals exist (the default). A kernel must compute exactly
+  /// what the scalar virtuals compute, operation for operation.
+  virtual const BatchKernel* batch_kernel(BatchParams& params) const {
+    (void)params;
+    return nullptr;
+  }
 };
 
 /// f(p) = sum_k M_k( a_k + (Rp)_k ) with sparse non-negative R and
@@ -49,44 +106,88 @@ class Concave1d {
 /// the exact effective rate, where the tangent plane has a constant term).
 class SeparableConcaveObjective final : public Objective {
  public:
-  /// One sparse row per term: (column, coefficient) pairs.
+  /// Pair-list row format accepted by the converting constructors.
   using SparseRows = std::vector<std::vector<std::pair<std::size_t, double>>>;
 
-  /// `utilities[k]` applies to row k; all rows index columns < dimension.
+  /// CSR-native constructor: `matrix` is R (one row per term, one column
+  /// per variable); `offsets` is empty or one a_k per row.
+  SeparableConcaveObjective(linalg::SparseCsr matrix,
+                            std::vector<std::shared_ptr<const Concave1d>>
+                                utilities,
+                            std::vector<double> offsets = {});
+
+  /// Pair-list conveniences (convert to CSR on construction).
   SeparableConcaveObjective(std::size_t dimension, SparseRows rows,
                             std::vector<std::shared_ptr<const Concave1d>>
                                 utilities);
-
-  /// Same, with per-row constant offsets a_k.
   SeparableConcaveObjective(std::size_t dimension, SparseRows rows,
                             std::vector<std::shared_ptr<const Concave1d>>
                                 utilities,
                             std::vector<double> offsets);
 
-  std::size_t dimension() const override { return dimension_; }
+  std::size_t dimension() const override { return matrix_.cols(); }
   double value(std::span<const double> p) const override;
   void gradient(std::span<const double> p,
                 std::span<double> out) const override;
   double directional_second(std::span<const double> p,
                             std::span<const double> s) const override;
 
-  /// The inner products (Rp)_k — the effective sampling rates.
+  /// Allocation-free evaluation through a caller-provided workspace.
+  double value(std::span<const double> p,
+               linalg::EvalWorkspace& ws) const override;
+  void gradient(std::span<const double> p, std::span<double> out,
+                linalg::EvalWorkspace& ws) const override;
+  double directional_second(std::span<const double> p,
+                            std::span<const double> s,
+                            linalg::EvalWorkspace& ws) const override;
+
+  /// Deterministic parallel value: CSR row ranges are folded via
+  /// runtime::parallel_reduce, so the result is bit-identical at every
+  /// thread count (chunk layout is thread-count independent).
+  double value_parallel(std::span<const double> p,
+                        runtime::ThreadPool& pool) const;
+
+  /// Writes the inner products a_k + (Rp)_k — the effective sampling
+  /// rates — into `x` (size term_count()). Allocation-free.
+  void inner_into(std::span<const double> p, std::span<double> x) const;
+
+  /// The inner products as a fresh vector.
   std::vector<double> inner(std::span<const double> p) const;
 
   /// Number of separable terms (rows of R).
-  std::size_t term_count() const noexcept { return rows_.size(); }
+  std::size_t term_count() const noexcept { return matrix_.rows(); }
 
   /// Utility value of one term at the given inner product.
   const Concave1d& utility(std::size_t k) const { return *utilities_[k]; }
 
-  /// The sparse rows of R (used by composing objectives, e.g. smooth-min).
-  const SparseRows& rows() const noexcept { return rows_; }
+  /// R as a flat CSR (used by composing objectives, e.g. smooth-min).
+  const linalg::SparseCsr& matrix() const noexcept { return matrix_; }
 
  private:
-  std::size_t dimension_;
-  SparseRows rows_;
+  /// One maximal run of consecutive terms sharing a batch kernel
+  /// (kernel == nullptr marks a scalar-dispatch run).
+  struct BatchRun {
+    const Concave1d::BatchKernel* kernel = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  enum class Map { kValue, kDeriv, kSecond };
+
+  void validate();
+  void compile_batch_runs();
+  /// out[k] = M_k / M'_k / M''_k applied to x[k], batched per run.
+  void map_terms(Map mode, std::span<const double> x,
+                 std::span<double> out) const;
+
+  linalg::SparseCsr matrix_;
   std::vector<std::shared_ptr<const Concave1d>> utilities_;
   std::vector<double> offsets_;
+  std::vector<Concave1d::BatchParams> params_;
+  std::vector<BatchRun> runs_;
+  /// Scratch for the workspace-less virtuals; grow-only, so repeated
+  /// calls allocate nothing. Not for concurrent evaluation of the same
+  /// instance — concurrent callers must use the workspace overloads.
+  mutable linalg::EvalWorkspace scratch_;
 };
 
 }  // namespace netmon::opt

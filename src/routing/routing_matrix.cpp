@@ -7,29 +7,36 @@
 
 namespace netmon::routing {
 
+namespace {
+
+using PairRows = std::vector<std::vector<std::pair<topo::LinkId, double>>>;
+
+}  // namespace
+
 RoutingMatrix RoutingMatrix::single_path(const topo::Graph& graph,
                                          std::vector<OdPair> ods,
                                          const LinkSet& failed) {
   RoutingMatrix matrix;
   matrix.ods_ = std::move(ods);
-  matrix.rows_.resize(matrix.ods_.size());
+  PairRows rows(matrix.ods_.size());
 
   // Group OD pairs by source so each source needs one Dijkstra run.
   std::map<topo::NodeId, std::vector<std::size_t>> by_source;
   for (std::size_t k = 0; k < matrix.ods_.size(); ++k)
     by_source[matrix.ods_[k].src].push_back(k);
 
-  for (const auto& [src, rows] : by_source) {
+  for (const auto& [src, row_ids] : by_source) {
     const SpfResult spf = dijkstra(graph, src, failed);
-    for (std::size_t k : rows) {
+    for (std::size_t k : row_ids) {
       const auto path = extract_path(spf, graph, matrix.ods_[k].dst);
-      auto& row = matrix.rows_[k];
+      auto& row = rows[k];
       row.reserve(path.size());
       for (topo::LinkId id : path) row.emplace_back(id, 1.0);
       std::sort(row.begin(), row.end());
     }
   }
-  matrix.index_columns(graph.link_count());
+  matrix.csr_ = linalg::SparseCsr::from_rows(graph.link_count(), rows);
+  matrix.csc_ = matrix.csr_.transpose();
   return matrix;
 }
 
@@ -38,7 +45,7 @@ RoutingMatrix RoutingMatrix::ecmp(const topo::Graph& graph,
                                   const LinkSet& failed) {
   RoutingMatrix matrix;
   matrix.ods_ = std::move(ods);
-  matrix.rows_.resize(matrix.ods_.size());
+  PairRows rows(matrix.ods_.size());
   for (std::size_t k = 0; k < matrix.ods_.size(); ++k) {
     auto row = ecmp_fractions(graph, matrix.ods_[k].src, matrix.ods_[k].dst,
                               failed);
@@ -46,42 +53,40 @@ RoutingMatrix RoutingMatrix::ecmp(const topo::Graph& graph,
                    "OD pair destination unreachable: " +
                        graph.node(matrix.ods_[k].dst).name);
     std::sort(row.begin(), row.end());
-    matrix.rows_[k] = std::move(row);
+    rows[k] = std::move(row);
   }
-  matrix.index_columns(graph.link_count());
+  matrix.csr_ = linalg::SparseCsr::from_rows(graph.link_count(), rows);
+  matrix.csc_ = matrix.csr_.transpose();
   return matrix;
 }
 
-void RoutingMatrix::index_columns(std::size_t n_links) {
-  cols_.assign(n_links, {});
-  for (std::size_t k = 0; k < rows_.size(); ++k) {
-    for (const auto& [link, frac] : rows_[k]) cols_[link].emplace_back(k, frac);
-  }
+RoutingMatrix::RowView RoutingMatrix::row(std::size_t k) const {
+  NETMON_REQUIRE(k < csr_.rows(), "OD row index out of range");
+  return csr_.row(k);
 }
 
-const std::vector<std::pair<topo::LinkId, double>>& RoutingMatrix::row(
-    std::size_t k) const {
-  NETMON_REQUIRE(k < rows_.size(), "OD row index out of range");
-  return rows_[k];
-}
-
-const std::vector<std::pair<std::size_t, double>>& RoutingMatrix::ods_on_link(
-    topo::LinkId link) const {
-  NETMON_REQUIRE(link < cols_.size(), "link id out of range");
-  return cols_[link];
+RoutingMatrix::RowView RoutingMatrix::ods_on_link(topo::LinkId link) const {
+  NETMON_REQUIRE(link < csc_.rows(), "link id out of range");
+  return csc_.row(link);
 }
 
 double RoutingMatrix::fraction(std::size_t k, topo::LinkId link) const {
-  for (const auto& [id, frac] : row(k)) {
-    if (id == link) return frac;
-  }
-  return 0.0;
+  const RowView r = row(k);
+  const std::span<const linalg::SparseCsr::Index> cols = r.cols();
+  const auto it = std::lower_bound(cols.begin(), cols.end(), link);
+  if (it == cols.end() || *it != link) return 0.0;
+  return r.values()[static_cast<std::size_t>(it - cols.begin())];
 }
 
 std::vector<topo::LinkId> RoutingMatrix::links_used() const {
+  std::size_t used = 0;
+  for (topo::LinkId id = 0; id < csc_.rows(); ++id) {
+    if (!csc_.row(id).empty()) ++used;
+  }
   std::vector<topo::LinkId> links;
-  for (topo::LinkId id = 0; id < cols_.size(); ++id) {
-    if (!cols_[id].empty()) links.push_back(id);
+  links.reserve(used);
+  for (topo::LinkId id = 0; id < csc_.rows(); ++id) {
+    if (!csc_.row(id).empty()) links.push_back(id);
   }
   return links;
 }

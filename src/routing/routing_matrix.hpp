@@ -2,12 +2,15 @@
 //
 // Rows are OD pairs, columns are links; entry r_{k,i} is the fraction of
 // OD pair k's traffic crossing link i (1/0 under single-path routing,
-// fractional under ECMP). Stored sparsely in both row-major and
-// column-major form because the optimizer iterates both ways.
+// fractional under ECMP). Stored as one flat CSR arena plus its
+// transpose (the CSC view) because the optimizer iterates both ways;
+// both are linalg::SparseCsr, so the solver kernels (spmv et al.)
+// operate on R directly.
 #pragma once
 
 #include <vector>
 
+#include "linalg/sparse.hpp"
 #include "routing/spf.hpp"
 #include "topo/graph.hpp"
 
@@ -24,9 +27,13 @@ struct OdPair {
   friend bool operator==(const OdPair&, const OdPair&) = default;
 };
 
-/// Sparse routing matrix over a fixed OD pair set.
+/// Sparse routing matrix over a fixed OD pair set: a thin wrapper around
+/// one CSR (OD rows) / CSC (link columns) pair.
 class RoutingMatrix {
  public:
+  /// A (column, fraction) row slice of either orientation.
+  using RowView = linalg::SparseCsr::RowView;
+
   /// Builds R with deterministic single shortest paths (r_{k,i} in {0,1}).
   /// Throws if any OD pair is unreachable.
   static RoutingMatrix single_path(const topo::Graph& graph,
@@ -38,9 +45,9 @@ class RoutingMatrix {
                             const LinkSet& failed = {});
 
   /// Number of OD pairs (rows).
-  std::size_t od_count() const noexcept { return rows_.size(); }
+  std::size_t od_count() const noexcept { return csr_.rows(); }
   /// Number of links in the underlying graph (columns).
-  std::size_t link_count() const noexcept { return cols_.size(); }
+  std::size_t link_count() const noexcept { return csr_.cols(); }
 
   /// The OD pair of row k.
   const OdPair& od(std::size_t k) const { return ods_[k]; }
@@ -48,27 +55,30 @@ class RoutingMatrix {
   const std::vector<OdPair>& ods() const noexcept { return ods_; }
 
   /// Sparse row k: (link id, fraction) pairs sorted by link id.
-  const std::vector<std::pair<topo::LinkId, double>>& row(
-      std::size_t k) const;
+  RowView row(std::size_t k) const;
 
-  /// Sparse column: (od index, fraction) pairs for one link.
-  const std::vector<std::pair<std::size_t, double>>& ods_on_link(
-      topo::LinkId link) const;
+  /// Sparse column: (od index, fraction) pairs for one link, sorted by od.
+  RowView ods_on_link(topo::LinkId link) const;
 
-  /// Dense entry r_{k,i}; 0 when k does not traverse i.
+  /// Dense entry r_{k,i}; 0 when k does not traverse i. Binary search on
+  /// the sorted link ids of row k.
   double fraction(std::size_t k, topo::LinkId link) const;
 
   /// Distinct links traversed by at least one OD pair, sorted by id —
   /// the set L of the paper.
   std::vector<topo::LinkId> links_used() const;
 
+  /// R itself (OD rows x link columns) for the solver kernels.
+  const linalg::SparseCsr& csr() const noexcept { return csr_; }
+  /// R^T (link rows x OD columns) — the CSC view.
+  const linalg::SparseCsr& csc() const noexcept { return csc_; }
+
  private:
   RoutingMatrix() = default;
-  void index_columns(std::size_t n_links);
 
   std::vector<OdPair> ods_;
-  std::vector<std::vector<std::pair<topo::LinkId, double>>> rows_;
-  std::vector<std::vector<std::pair<std::size_t, double>>> cols_;
+  linalg::SparseCsr csr_;
+  linalg::SparseCsr csc_;
 };
 
 }  // namespace netmon::routing

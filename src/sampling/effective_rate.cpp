@@ -41,6 +41,14 @@ std::vector<double> effective_rates_exact(const routing::RoutingMatrix& matrix,
 std::vector<double> effective_rates_approx(
     const routing::RoutingMatrix& matrix, const RateVector& rates) {
   std::vector<double> out(matrix.od_count());
+  if (rates.size() >= matrix.link_count()) {
+    // All rows at once: rho = R p. Row-wise left-to-right accumulation,
+    // identical to the per-row scalar path.
+    linalg::spmv(matrix.csr(), rates, out);
+    return out;
+  }
+  // Short rate vector: fall back to the per-row path, which validates
+  // only the links actually traversed.
   for (std::size_t k = 0; k < out.size(); ++k)
     out[k] = effective_rate_approx(matrix, k, rates);
   return out;

@@ -1,0 +1,181 @@
+#include "linalg/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/workspace.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace netmon::linalg {
+namespace {
+
+using PairRows = std::vector<std::vector<std::pair<std::uint32_t, double>>>;
+
+// Random sparse matrix with sorted, duplicate-free columns per row, a
+// configurable chance of entirely empty rows, and fractional ECMP-style
+// entries. Deterministic via netmon::Rng.
+PairRows random_rows(netmon::Rng& rng, std::size_t n_rows, std::size_t n_cols,
+                     double empty_prob) {
+  PairRows rows(n_rows);
+  for (auto& row : rows) {
+    if (rng.uniform() < empty_prob) continue;
+    for (std::uint32_t c = 0; c < n_cols; ++c) {
+      if (rng.uniform() < 0.3)
+        row.emplace_back(c, rng.uniform());  // fractional in (0,1)
+    }
+  }
+  return rows;
+}
+
+std::vector<std::vector<double>> dense_of(const PairRows& rows,
+                                          std::size_t n_cols) {
+  std::vector<std::vector<double>> dense(
+      rows.size(), std::vector<double>(n_cols, 0.0));
+  for (std::size_t r = 0; r < rows.size(); ++r)
+    for (const auto& [c, v] : rows[r]) dense[r][c] += v;
+  return dense;
+}
+
+TEST(SparseCsr, FromRowsRoundTrip) {
+  const PairRows rows{{{1, 0.5}, {3, 1.0}}, {}, {{0, 2.0}}};
+  const SparseCsr m = SparseCsr::from_rows(4, rows);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.row(0).size(), 2u);
+  EXPECT_TRUE(m.row(1).empty());
+  EXPECT_EQ(m.row(2).size(), 1u);
+  const auto [c0, v0] = m.row(0)[0];
+  EXPECT_EQ(c0, 1u);
+  EXPECT_DOUBLE_EQ(v0, 0.5);
+  // Structured-binding iteration works like the old pair rows.
+  std::size_t seen = 0;
+  for (const auto& [col, value] : m.row(0)) {
+    EXPECT_EQ(col, rows[0][seen].first);
+    EXPECT_DOUBLE_EQ(value, rows[0][seen].second);
+    ++seen;
+  }
+  EXPECT_EQ(seen, 2u);
+}
+
+TEST(SparseCsr, SpmvMatchesDenseOnRandomMatrices) {
+  netmon::Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n_rows = 1 + static_cast<std::size_t>(rng.uniform() * 12);
+    const std::size_t n_cols = 1 + static_cast<std::size_t>(rng.uniform() * 9);
+    const PairRows rows = random_rows(rng, n_rows, n_cols, 0.25);
+    const SparseCsr m = SparseCsr::from_rows(n_cols, rows);
+    const auto dense = dense_of(rows, n_cols);
+
+    std::vector<double> x(n_cols);
+    for (double& v : x) v = rng.uniform() * 2.0 - 1.0;
+
+    std::vector<double> y(n_rows, -7.0);
+    spmv(m, x, y);
+    for (std::size_t r = 0; r < n_rows; ++r) {
+      double expect = 0.0;
+      for (std::size_t c = 0; c < n_cols; ++c) expect += dense[r][c] * x[c];
+      EXPECT_NEAR(y[r], expect, 1e-12) << "trial " << trial << " row " << r;
+    }
+  }
+}
+
+TEST(SparseCsr, SpmvTransposedMatchesDense) {
+  netmon::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n_rows = 1 + static_cast<std::size_t>(rng.uniform() * 12);
+    const std::size_t n_cols = 1 + static_cast<std::size_t>(rng.uniform() * 9);
+    const PairRows rows = random_rows(rng, n_rows, n_cols, 0.25);
+    const SparseCsr m = SparseCsr::from_rows(n_cols, rows);
+    const auto dense = dense_of(rows, n_cols);
+
+    std::vector<double> x(n_rows);
+    for (double& v : x) v = rng.uniform() * 2.0 - 1.0;
+
+    std::vector<double> y(n_cols, 99.0);  // spmv_t must zero the output
+    spmv_t(m, x, y);
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      double expect = 0.0;
+      for (std::size_t r = 0; r < n_rows; ++r) expect += dense[r][c] * x[r];
+      EXPECT_NEAR(y[c], expect, 1e-12) << "trial " << trial << " col " << c;
+    }
+  }
+}
+
+TEST(SparseCsr, RowDotMatchesSpmv) {
+  netmon::Rng rng(3);
+  const PairRows rows = random_rows(rng, 10, 6, 0.3);
+  const SparseCsr m = SparseCsr::from_rows(6, rows);
+  std::vector<double> x(6);
+  for (double& v : x) v = rng.uniform();
+  std::vector<double> y(10);
+  spmv(m, x, y);
+  for (std::size_t r = 0; r < 10; ++r)
+    EXPECT_DOUBLE_EQ(row_dot(m, r, x), y[r]);  // same accumulation order
+}
+
+TEST(SparseCsr, TransposeIsInvolutiveAndSorted) {
+  netmon::Rng rng(11);
+  const PairRows rows = random_rows(rng, 8, 5, 0.2);
+  const SparseCsr m = SparseCsr::from_rows(5, rows);
+  const SparseCsr t = m.transpose();
+  EXPECT_EQ(t.rows(), m.cols());
+  EXPECT_EQ(t.cols(), m.rows());
+  EXPECT_EQ(t.nnz(), m.nnz());
+  // Transposed rows come out sorted by column.
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    const auto cols = t.row(r).cols();
+    for (std::size_t i = 1; i < cols.size(); ++i)
+      EXPECT_LT(cols[i - 1], cols[i]);
+  }
+  // Double transpose restores every entry (rows were built sorted).
+  const SparseCsr tt = t.transpose();
+  ASSERT_EQ(tt.rows(), m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    ASSERT_EQ(tt.row(r).size(), m.row(r).size());
+    for (std::size_t i = 0; i < m.row(r).size(); ++i) {
+      EXPECT_EQ(tt.row(r)[i].first, m.row(r)[i].first);
+      EXPECT_DOUBLE_EQ(tt.row(r)[i].second, m.row(r)[i].second);
+    }
+  }
+}
+
+TEST(SparseCsr, BuilderValidatesColumnRange) {
+  CsrBuilder builder(3);
+  builder.push(2, 1.0);
+  EXPECT_THROW(builder.push(3, 1.0), Error);
+}
+
+TEST(SparseCsr, KernelsValidateSizes) {
+  const SparseCsr m = SparseCsr::from_rows(3, PairRows{{{0, 1.0}}, {}});
+  std::vector<double> x(3), y_bad(1), y_ok(2);
+  EXPECT_THROW(spmv(m, x, y_bad), Error);
+  EXPECT_NO_THROW(spmv(m, x, y_ok));
+  std::vector<double> xt(2), yt(3);
+  EXPECT_NO_THROW(spmv_t(m, xt, yt));
+  EXPECT_THROW(row_dot(m, 2, x), Error);
+}
+
+TEST(EvalWorkspace, SlotsGrowAndStayStable) {
+  EvalWorkspace ws;
+  const std::span<double> a1 = ws.rows_a(4);
+  EXPECT_EQ(a1.size(), 4u);
+  a1[3] = 42.0;
+  // Same size: same backing memory, contents preserved.
+  const std::span<double> a2 = ws.rows_a(4);
+  EXPECT_EQ(a1.data(), a2.data());
+  EXPECT_DOUBLE_EQ(a2[3], 42.0);
+  // Smaller request keeps the grown buffer (no shrink).
+  const std::span<double> a3 = ws.rows_a(2);
+  EXPECT_EQ(a3.size(), 2u);
+  EXPECT_EQ(a3.data(), a2.data());
+  // Slots are distinct.
+  EXPECT_NE(ws.rows_a(4).data(), ws.rows_b(4).data());
+  EXPECT_NE(ws.cols_a(4).data(), ws.cols_b(4).data());
+}
+
+}  // namespace
+}  // namespace netmon::linalg
