@@ -1,16 +1,22 @@
-// Operations center: every control-plane substrate wired together.
+// Operations center: every control-plane substrate wired into the
+// placement query service.
 //
 // What a deployment of the paper's system actually looks like:
 //   - the BGP RIB maps customer prefixes to egress PoPs (Feldmann [4]),
-//   - the IS-IS LSDB tells the controller which links are down,
+//   - the IS-IS LSDB tells the operator which links are down,
 //   - SNMP counters supply measured link loads,
-//   - the MonitorController re-optimizes with hysteresis and warm starts,
+//   - placement queries go through serve::Server, the long-running query
+//     service: operator consoles submit solves, failure what-ifs, and
+//     theta sweeps over a LoopbackTransport and get typed responses,
 //   - accepted placements are rendered as router sampling stanzas.
-// The run simulates four cycles: steady state, a noisy-load cycle (no
-// reconfiguration thanks to hysteresis), a link failure advertised via an
-// LSP, and recovery.
+// The run also demonstrates the service's backpressure contract: a
+// request with an impossible deadline gets a typed kDeadlineExpired, and
+// submissions beyond the queue bound get a typed kRejectedQueueFull —
+// never a hang, never a silent drop.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <thread>
 
 #include "netmon.hpp"
 #include "util/table.hpp"
@@ -18,7 +24,7 @@
 int main() {
   using namespace netmon;
 
-  std::printf("== operations center: BGP + IS-IS + SNMP + controller ==\n\n");
+  std::printf("== operations center: BGP + IS-IS + SNMP + query service ==\n\n");
 
   const core::GeantScenario scenario = core::make_geant_scenario();
   const auto& graph = scenario.net.graph;
@@ -42,62 +48,107 @@ int main() {
   isis::LinkStateDb lsdb(graph);
   for (const isis::Lsp& lsp : isis::LinkStateDb::full_database(graph, 1))
     lsdb.install(lsp);
-  std::printf("IS-IS LSDB complete: %s; failed links: %zu\n\n",
+  const topo::LinkId uk_nl = *graph.find_link("UK", "NL");
+  std::printf("IS-IS LSDB complete: %s; failed links: %zu\n",
               lsdb.complete() ? "yes" : "no", lsdb.failed_links().size());
 
-  // --- The controller loop. ---
-  core::MonitorController controller(graph, scenario.task);
-  Rng rng(7);
-  const topo::LinkId uk_nl = *graph.find_link("UK", "NL");
+  // --- Control plane 3: SNMP-measured link loads. ---
+  Rng snmp(7);
+  const traffic::LinkLoads loads = telemetry::measured_loads(
+      graph, scenario.demands, 120.0, 60.0, snmp, {});
+  std::printf("SNMP: %zu link load measurements\n\n", loads.size());
 
-  TextTable table({"cycle", "event", "reconfigured", "utility gain",
-                   "active monitors"});
-  auto run = [&](const char* event, double load_noise,
-                 std::uint32_t lsp_seq, bool link_down) {
-    // IS-IS event, if any.
-    if (lsp_seq > 1) {
-      isis::Lsp update;
-      update.origin = graph.link(uk_nl).src;
-      update.sequence = lsp_seq;
-      for (topo::LinkId id : graph.out_links(update.origin))
-        update.adjacencies.push_back(
-            isis::Adjacency{id, !(link_down && id == uk_nl)});
-      lsdb.install(update);
-    }
-    const routing::LinkSet failed = lsdb.failed_links();
+  // --- The query service. ---
+  serve::ServerOptions service_options;
+  service_options.queue_capacity = 16;
+  service_options.batch.max_batch = 8;
+  serve::Server server(graph, scenario.task, loads, service_options);
+  serve::LoopbackTransport console(server, /*via_wire=*/true);
+  std::printf("service up: %u worker threads, queue capacity %zu, wire"
+              " transport\n\n",
+              server.threads(), service_options.queue_capacity);
 
-    // SNMP-measured loads on the LSDB's topology view.
-    traffic::TrafficMatrix demands = scenario.demands;
-    for (traffic::Demand& d : demands)
-      d.pkt_per_sec *= 1.0 + rng.uniform(-load_noise, load_noise);
-    Rng snmp = rng.split(controller.cycles() + 1);
-    const traffic::LinkLoads loads =
-        telemetry::measured_loads(graph, demands, 120.0, 60.0, snmp, failed);
+  // Query 1: the running placement.
+  serve::Request solve;
+  solve.id = 1;
+  const serve::Response running = console.call(solve);
+  std::printf("[query 1] solve: %s, %zu active monitors, utility %.3f\n",
+              serve::to_string(running.status),
+              running.solutions[0].active_monitors.size(),
+              running.solutions[0].total_utility);
 
-    const core::CycleResult cycle = controller.run_cycle(loads, failed);
-    table.add_row({std::to_string(cycle.cycle), event,
-                   cycle.reconfigured ? "yes" : "no (hysteresis)",
-                   fmt_sci(cycle.utility_gain, 2),
-                   std::to_string(cycle.solution.active_monitors.size())});
-    return cycle;
-  };
+  // Query 2: what-if failure fleet, warm-started from the running rates
+  // (the LSDB says which links to worry about; here: UK->NL and its
+  // reverse).
+  serve::Request what_if;
+  what_if.id = 2;
+  what_if.kind = serve::RequestKind::kWhatIfBatch;
+  what_if.what_if = {{uk_nl}, {*graph.find_link("NL", "UK")}};
+  what_if.warm_start = running.solutions[0].rates;
+  const serve::Response failures = console.call(what_if);
+  TextTable fail_table({"scenario", "status", "monitors", "utility"});
+  for (std::size_t i = 0; i < failures.solutions.size(); ++i)
+    fail_table.add_row(
+        {"fail link " + std::to_string(what_if.what_if[i][0]),
+         serve::to_string(failures.status),
+         std::to_string(failures.solutions[i].active_monitors.size()),
+         fmt_sci(failures.solutions[i].total_utility, 3)});
+  std::printf("[query 2] what-if batch (served in a batch of %u):\n%s\n",
+              failures.batch_size, fail_table.render().c_str());
 
-  run("cold start", 0.0, 1, false);
-  run("load noise 0.5%", 0.005, 1, false);
-  const core::CycleResult failure = run("UK->NL fails (LSP seq 2)", 0.0, 2, true);
-  run("UK->NL recovers (LSP seq 3)", 0.0, 3, false);
-  std::cout << table.render() << "\n";
+  // Query 3: theta sensitivity sweep.
+  serve::Request sweep;
+  sweep.id = 3;
+  sweep.kind = serve::RequestKind::kThetaSweep;
+  sweep.thetas = {40000.0, 70000.0, 100000.0, 160000.0, 250000.0};
+  const serve::Response sensitivity = console.call(sweep);
+  TextTable sweep_table({"theta", "utility", "lambda", "monitors"});
+  for (const serve::ThetaPoint& point : sensitivity.sweep)
+    sweep_table.add_row({fmt_sci(point.theta, 1),
+                         fmt_sci(point.total_utility, 3),
+                         fmt_sci(point.lambda, 2),
+                         std::to_string(point.active_monitors)});
+  std::printf("[query 3] theta sweep:\n%s\n", sweep_table.render().c_str());
+
+  // --- Backpressure demonstration. ---
+  // A deadline the service cannot meet is answered with a typed
+  // kDeadlineExpired, not a hang: pause the dispatcher so the request
+  // ages out in the queue.
+  server.pause();
+  serve::Request urgent;
+  urgent.id = 4;
+  urgent.deadline_ms = 1;
+  auto urgent_future = console.send(urgent);
+
+  // And submissions beyond the queue bound are rejected immediately.
+  std::size_t rejected = 0;
+  std::vector<std::future<serve::Response>> flood;
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    serve::Request query;
+    query.id = 100 + i;
+    flood.push_back(console.send(std::move(query)));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));  // age it out
+  server.resume();
+  const serve::Response urgent_response = urgent_future.get();
+  std::printf("[query 4] 1 ms deadline while paused -> %s (%s)\n",
+              serve::to_string(urgent_response.status),
+              urgent_response.error.c_str());
+  for (auto& future : flood)
+    if (future.get().status == serve::ResponseStatus::kRejectedQueueFull)
+      ++rejected;
+  std::printf("[flood] 24 submissions against capacity %zu -> %zu typed"
+              " rejections, rest served\n\n",
+              service_options.queue_capacity, rejected);
 
   // --- Deployment artifacts for the failure-epoch placement. ---
-  const auto configs =
-      core::router_configs(failure.solution, graph);
+  const auto configs = core::router_configs(failures.solutions[0], graph);
   std::printf("router configs for the failure epoch (%zu routers, worst"
               " 1-in-N quantization error %.3f%%):\n\n",
               configs.size(),
               100.0 * core::worst_quantization_error(configs));
   std::printf("%s", core::render_config(configs.front(), graph).c_str());
 
-  std::printf("\nJSON report (truncated): %.120s...\n",
-              core::report_json(failure.solution, graph).c_str());
+  std::printf("\nservice stats: %s\n", server.stats_json().c_str());
   return 0;
 }

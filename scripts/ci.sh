@@ -18,14 +18,15 @@ cmake -B "${PREFIX}" -S .
 cmake --build "${PREFIX}" -j "${JOBS}"
 ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 
-echo "== tier-2: TSan gate on the runtime subsystem =="
+echo "== tier-2: TSan gate on the runtime + serving subsystems =="
 TSAN_TESTS="runtime_thread_pool_test runtime_parallel_test \
-core_batch_solver_test sampling_simulation_test"
+core_batch_solver_test sampling_simulation_test serve_service_test \
+serve_stress_test"
 cmake -B "${PREFIX}-tsan" -S . -DNETMON_SANITIZE=thread
 # shellcheck disable=SC2086
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target ${TSAN_TESTS}
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-  -R 'runtime_thread_pool_test|runtime_parallel_test|core_batch_solver_test|sampling_simulation_test'
+  -R 'runtime_thread_pool_test|runtime_parallel_test|core_batch_solver_test|sampling_simulation_test|serve_service_test|serve_stress_test'
 
 echo "== tier-2: ASan gate on the linalg kernels + solver hot path =="
 ASAN_TESTS="linalg_sparse_test opt_objective_test opt_gradient_projection_test \

@@ -55,6 +55,40 @@ std::vector<PlacementSolution> BatchSolver::solve(
   return solutions;
 }
 
+std::vector<PlacementSolution> BatchSolver::solve_items(
+    std::span<const BatchItem> items) const {
+  runtime::ThreadPool pool(options_.threads);
+  return solve_items(pool, items);
+}
+
+std::vector<PlacementSolution> BatchSolver::solve_items(
+    runtime::ThreadPool& pool, std::span<const BatchItem> items) const {
+  const std::size_t n = items.size();
+  std::vector<PlacementSolution> solutions(n);
+  for (const BatchItem& item : items)
+    NETMON_REQUIRE(item.problem != nullptr, "null problem in batch item");
+  if (n == 0) return solutions;
+
+  // Chunked fan-out with one solver workspace per chunk, exactly like
+  // solve(): the chunk layout is a pure function of n, and each item is
+  // solved by a pure function of (problem, warm, options), so the batch
+  // composition never leaks into the results.
+  const auto chunks = runtime::make_chunks(n);
+  runtime::parallel_for(pool, chunks.size(), [&](std::size_t c) {
+    opt::SolverWorkspace workspace;
+    for (std::size_t i = chunks[c].first; i < chunks[c].second; ++i) {
+      const BatchItem& item = items[i];
+      const opt::SolverOptions& solver =
+          item.solver ? *item.solver : options_.solver;
+      solutions[i] =
+          item.warm
+              ? resolve_warm(*item.problem, *item.warm, solver, &workspace)
+              : solve_placement(*item.problem, solver, &workspace);
+    }
+  });
+  return solutions;
+}
+
 std::vector<PlacementSolution> BatchSolver::solve(
     const std::vector<PlacementProblem>& problems) const {
   std::vector<const PlacementProblem*> pointers;

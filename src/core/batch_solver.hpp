@@ -36,6 +36,17 @@ struct BatchOptions {
   std::size_t chain_chunk = 8;
 };
 
+/// One unit of a heterogeneous batch: a problem plus optional per-item
+/// overrides. Everything is borrowed and must outlive the solve call.
+struct BatchItem {
+  const PlacementProblem* problem = nullptr;
+  /// Warm-start rates (full link-id space); null = cold start.
+  const sampling::RateVector* warm = nullptr;
+  /// Per-item solver options (e.g. a deadline hook); null = the batch
+  /// default. Must not dangle while the batch runs.
+  const opt::SolverOptions* solver = nullptr;
+};
+
 /// Fans placement problems across a thread pool.
 class BatchSolver {
  public:
@@ -49,6 +60,19 @@ class BatchSolver {
   /// Convenience overload for a caller-owned vector of problems.
   std::vector<PlacementSolution> solve(
       const std::vector<PlacementProblem>& problems) const;
+
+  /// Heterogeneous batch: each item may carry its own warm start and
+  /// solver options (the serving layer's per-request deadline hooks).
+  /// Every solve is a pure function of its item, so results are
+  /// bit-identical at every thread count and to the equivalent direct
+  /// solve_placement / resolve_warm calls. Spawns a pool per call.
+  std::vector<PlacementSolution> solve_items(
+      std::span<const BatchItem> items) const;
+
+  /// Same, on a caller-owned pool — the serving layer reuses one
+  /// long-lived pool across batches instead of spawning per call.
+  std::vector<PlacementSolution> solve_items(
+      runtime::ThreadPool& pool, std::span<const BatchItem> items) const;
 
   const BatchOptions& options() const noexcept { return options_; }
 

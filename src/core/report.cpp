@@ -13,7 +13,9 @@ void write_report(std::ostream& out, const PlacementSolution& solution,
   json.begin_object();
   json.key("status").value(solution.status == opt::SolveStatus::kOptimal
                                ? "optimal"
-                               : "iteration_limit");
+                               : solution.status == opt::SolveStatus::kCancelled
+                                     ? "cancelled"
+                                     : "iteration_limit");
   json.key("iterations").value(solution.iterations);
   json.key("release_events").value(solution.release_events);
   json.key("lambda").value(solution.lambda);

@@ -46,6 +46,7 @@
 #include "routing/routing_matrix.hpp"   // IWYU pragma: export
 #include "runtime/runtime.hpp"   // IWYU pragma: export
 #include "sampling/simulation.hpp"      // IWYU pragma: export
+#include "serve/serve.hpp"       // IWYU pragma: export
 #include "sampling/trajectory.hpp"      // IWYU pragma: export
 #include "telemetry/snmp.hpp"    // IWYU pragma: export
 #include "topo/abilene.hpp"      // IWYU pragma: export

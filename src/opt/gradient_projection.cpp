@@ -111,6 +111,10 @@ SolveResult maximize(const Objective& f,
 
   int iter = 0;
   while (iter < options.max_iterations) {
+    if (options.should_stop && options.should_stop(iter)) {
+      result.status = SolveStatus::kCancelled;
+      break;
+    }
     ++iter;
     f.gradient(result.p, g, ws.eval);
     project_direction(g, u, bounds, s);

@@ -12,6 +12,7 @@
 // negative multipliers are released and the search continues.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "opt/constraints.hpp"
@@ -38,6 +39,12 @@ struct SolverOptions {
   bool polak_ribiere = true;
   /// 1-D search configuration (Newton by default; bisection ablation).
   LineSearchOptions line_search;
+  /// Cooperative cancellation hook, polled between iterations with the
+  /// number of completed iterations. Returning true stops the solve with
+  /// SolveStatus::kCancelled and the best-so-far (feasible) point. The
+  /// serving layer uses this for per-request deadlines and iteration
+  /// budgets; when unset the iteration path is byte-for-byte unchanged.
+  std::function<bool(int iterations)> should_stop;
 };
 
 /// Why the solver stopped.
@@ -46,6 +53,9 @@ enum class SolveStatus {
   kOptimal,
   /// Iteration cap reached before certification.
   kIterationLimit,
+  /// SolverOptions::should_stop asked for an early exit (deadline or
+  /// iteration budget). The returned point is feasible but uncertified.
+  kCancelled,
 };
 
 /// Solver outcome and diagnostics.

@@ -1,5 +1,7 @@
 #include "runtime/thread_pool.hpp"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <string>
 
@@ -28,23 +30,26 @@ extern "C" const char* __tsan_default_suppressions() {
 namespace netmon::runtime {
 
 unsigned resolve_threads(unsigned requested) noexcept {
-  if (requested != 0) return requested;
+  if (requested != 0) return std::min(requested, kMaxThreads);
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  return hw == 0 ? 1 : std::min(hw, kMaxThreads);
 }
 
 unsigned threads_from_env() noexcept {
   // Digits only: strtoul would silently wrap "-2" to a huge unsigned
-  // value and the pool would then try to spawn billions of threads.
-  constexpr unsigned long kMaxThreads = 4096;
+  // value, so negative (or otherwise non-numeric) input falls back to
+  // the hardware default instead of being taken literally.
   const char* raw = std::getenv("NETMON_THREADS");
   if (raw == nullptr || *raw == '\0') return resolve_threads(0);
   for (const char* c = raw; *c != '\0'; ++c)
     if (*c < '0' || *c > '9') return resolve_threads(0);
+  errno = 0;
   char* end = nullptr;
   const unsigned long parsed = std::strtoul(raw, &end, 10);
-  if (end == raw || *end != '\0' || parsed > kMaxThreads)
-    return resolve_threads(0);
+  if (end == raw || *end != '\0') return resolve_threads(0);
+  // Absurdly large (including overflowed) values clamp to the cap: the
+  // operator clearly asked for "as many as possible".
+  if (errno == ERANGE || parsed > kMaxThreads) return kMaxThreads;
   return resolve_threads(static_cast<unsigned>(parsed));
 }
 

@@ -20,13 +20,21 @@
 
 namespace netmon::runtime {
 
+/// Hard cap on any resolved thread count. Guards against misconfigured
+/// knobs (NETMON_THREADS=999999999, a negative value wrapped through an
+/// unsigned conversion) asking the pool to spawn an absurd number of
+/// workers; 4096 is far above any real machine while staying spawnable.
+inline constexpr unsigned kMaxThreads = 4096;
+
 /// Resolves a thread-count knob: 0 means "one thread per hardware
-/// thread"; anything else is taken literally. Never returns 0.
+/// thread"; anything else is taken literally, clamped to kMaxThreads.
+/// Never returns 0.
 unsigned resolve_threads(unsigned requested) noexcept;
 
 /// The benches' thread-count knob: reads NETMON_THREADS from the
 /// environment (they run with no CLI arguments); unset, empty, or
-/// unparsable means hardware_concurrency.
+/// unparsable (including negative values) means hardware_concurrency;
+/// absurdly large values clamp to kMaxThreads.
 unsigned threads_from_env() noexcept;
 
 /// Fixed-size worker pool. Tasks submitted after construction run on one

@@ -1,0 +1,36 @@
+#include "serve/batcher.hpp"
+
+#include "util/error.hpp"
+
+namespace netmon::serve {
+
+Batcher::Batcher(RequestQueue& queue, BatchPolicy policy)
+    : queue_(queue), policy_(policy) {
+  NETMON_REQUIRE(policy_.max_batch >= 1, "max_batch must be >= 1");
+  NETMON_REQUIRE(policy_.linger.count() >= 0, "linger must be >= 0");
+}
+
+std::vector<QueuedRequest> Batcher::collect(std::chrono::milliseconds poll) {
+  std::vector<QueuedRequest> batch;
+  QueuedRequest first;
+  if (!queue_.pop_until(first, ServeClock::now() + poll)) return batch;
+  batch.push_back(std::move(first));
+
+  // Fill greedily from what is already queued, then linger for stragglers.
+  const ServeClock::time_point linger_until =
+      ServeClock::now() + policy_.linger;
+  while (batch.size() < policy_.max_batch) {
+    QueuedRequest next;
+    if (queue_.try_pop(next)) {
+      batch.push_back(std::move(next));
+      continue;
+    }
+    if (policy_.linger.count() == 0 ||
+        !queue_.pop_until(next, linger_until))
+      break;
+    batch.push_back(std::move(next));
+  }
+  return batch;
+}
+
+}  // namespace netmon::serve

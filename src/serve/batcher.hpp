@@ -1,0 +1,48 @@
+// Dynamic request batching: coalesce queued requests into one
+// BatchSolver fan-out.
+//
+// Throughput on the solve path comes from fanning many independent
+// problems across the thread pool at once (core::BatchSolver), so the
+// dispatcher wants batches, not single requests. The Batcher implements
+// the classic batch-size/linger-time policy: once a first request is
+// popped it keeps collecting until either max_batch requests are in hand
+// or linger time has passed. Every request kind is batch-compatible
+// because each expands into solves that are pure functions of their own
+// request — coalescing changes wall-clock latency, never results.
+#pragma once
+
+#include <chrono>
+#include <vector>
+
+#include "serve/queue.hpp"
+
+namespace netmon::serve {
+
+/// The coalescing policy.
+struct BatchPolicy {
+  /// Maximum requests per dispatch batch.
+  std::size_t max_batch = 16;
+  /// How long to keep collecting after the first request arrived. Zero
+  /// means "whatever is already queued" (no added latency).
+  std::chrono::milliseconds linger{0};
+};
+
+/// Pops dispatch batches off a RequestQueue per a BatchPolicy.
+class Batcher {
+ public:
+  Batcher(RequestQueue& queue, BatchPolicy policy);
+
+  /// Collects the next batch: waits up to `poll` for a first request,
+  /// then fills the batch per the policy. Returns an empty vector on
+  /// poll timeout or when the queue closed empty — callers loop, so a
+  /// short poll doubles as the dispatcher's shutdown/pause check.
+  std::vector<QueuedRequest> collect(std::chrono::milliseconds poll);
+
+  const BatchPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  RequestQueue& queue_;
+  BatchPolicy policy_;
+};
+
+}  // namespace netmon::serve

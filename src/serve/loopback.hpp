@@ -1,0 +1,52 @@
+// In-process transport: submits directly to a Server, optionally
+// round-tripping request and response through the wire codec.
+//
+// Loopback is the deterministic reference transport — tests and examples
+// use it to talk to the service exactly the way a remote client would
+// (typed rejections, deadlines, batching) with no sockets involved. The
+// `via_wire` mode encodes every request and decodes every response
+// through serve/wire, so it also proves the codec is lossless on live
+// traffic: responses are bit-identical either way.
+#pragma once
+
+#include <future>
+#include <utility>
+
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+
+namespace netmon::serve {
+
+class LoopbackTransport {
+ public:
+  /// Borrows the server; `via_wire` routes every request/response through
+  /// encode/decode as a real byte transport would.
+  explicit LoopbackTransport(Server& server, bool via_wire = false)
+      : server_(server), via_wire_(via_wire) {}
+
+  /// Fire-and-forget submit; the future always completes (typed).
+  std::future<Response> send(Request request) {
+    if (!via_wire_) return server_.submit(std::move(request));
+    Request decoded = decode_request(encode_request(request));
+    std::future<Response> inner = server_.submit(std::move(decoded));
+    // Re-frame the response on the way back, asynchronously, so send()
+    // stays non-blocking.
+    return std::async(std::launch::deferred,
+                      [inner = std::move(inner)]() mutable {
+                        return decode_response(
+                            encode_response(inner.get()));
+                      });
+  }
+
+  /// Blocking request/response call.
+  Response call(Request request) { return send(std::move(request)).get(); }
+
+  Server& server() noexcept { return server_; }
+  bool via_wire() const noexcept { return via_wire_; }
+
+ private:
+  Server& server_;
+  bool via_wire_;
+};
+
+}  // namespace netmon::serve

@@ -1,0 +1,70 @@
+#include "serve/queue.hpp"
+
+#include "util/error.hpp"
+
+namespace netmon::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  NETMON_REQUIRE(capacity >= 1, "queue capacity must be >= 1");
+}
+
+PushResult RequestQueue::try_push(QueuedRequest& item) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return PushResult::kClosed;
+    if (items_.size() >= capacity_) return PushResult::kFull;
+    items_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+  return PushResult::kOk;
+}
+
+bool RequestQueue::pop_until(QueuedRequest& out,
+                             ServeClock::time_point until) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait_until(lock, until,
+                 [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return false;
+  out = std::move(items_.front());
+  items_.pop_front();
+  return true;
+}
+
+bool RequestQueue::try_pop(QueuedRequest& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (items_.empty()) return false;
+  out = std::move(items_.front());
+  items_.pop_front();
+  return true;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::vector<QueuedRequest> RequestQueue::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<QueuedRequest> out;
+  out.reserve(items_.size());
+  while (!items_.empty()) {
+    out.push_back(std::move(items_.front()));
+    items_.pop_front();
+  }
+  return out;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace netmon::serve

@@ -1,0 +1,26 @@
+#include "serve/request.hpp"
+
+namespace netmon::serve {
+
+const char* to_string(ResponseStatus status) noexcept {
+  switch (status) {
+    case ResponseStatus::kOk: return "ok";
+    case ResponseStatus::kRejectedQueueFull: return "rejected_queue_full";
+    case ResponseStatus::kDeadlineExpired: return "deadline_expired";
+    case ResponseStatus::kBadRequest: return "bad_request";
+    case ResponseStatus::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+const char* to_string(RequestKind kind) noexcept {
+  switch (kind) {
+    case RequestKind::kSolve: return "solve";
+    case RequestKind::kWhatIfBatch: return "what_if_batch";
+    case RequestKind::kThetaSweep: return "theta_sweep";
+    case RequestKind::kAccuracyReport: return "accuracy_report";
+  }
+  return "unknown";
+}
+
+}  // namespace netmon::serve

@@ -1,0 +1,372 @@
+#include "serve/server.hpp"
+
+#include <cmath>
+#include <deque>
+#include <span>
+#include <utility>
+
+#include "core/reoptimize.hpp"
+#include "util/error.hpp"
+
+namespace netmon::serve {
+
+namespace {
+
+double ms_between(ServeClock::time_point from, ServeClock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+core::BatchOptions make_batch_options(const ServerOptions& options) {
+  core::BatchOptions batch;
+  batch.threads = options.threads;
+  batch.solver = options.solver;
+  return batch;
+}
+
+}  // namespace
+
+Server::Server(const topo::Graph& graph, core::MeasurementTask task,
+               traffic::LinkLoads loads, ServerOptions options)
+    : graph_(graph),
+      task_(std::move(task)),
+      loads_(std::move(loads)),
+      options_(std::move(options)),
+      pool_(options_.threads),
+      solver_(make_batch_options(options_)),
+      queue_(options_.queue_capacity),
+      batcher_(queue_, options_.batch) {
+  NETMON_REQUIRE(loads_.size() == graph_.link_count(),
+                 "loads must cover every link");
+  paused_ = options_.start_paused;
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+std::string Server::validate(const Request& request) const {
+  const double theta =
+      request.theta != 0.0 ? request.theta : options_.problem.theta;
+  if (!(theta > 0.0) || !std::isfinite(theta))
+    return "theta must be positive and finite";
+  if (request.default_alpha != 0.0 &&
+      (!(request.default_alpha > 0.0) || request.default_alpha > 1.0))
+    return "default_alpha must be in (0, 1]";
+  for (topo::LinkId id : request.failed)
+    if (id >= graph_.link_count()) return "failed link id out of range";
+  if (!request.warm_start.empty() &&
+      request.warm_start.size() != graph_.link_count())
+    return "warm_start must cover every link or be empty";
+  for (double rate : request.warm_start)
+    if (!std::isfinite(rate) || rate < 0.0 || rate > 1.0)
+      return "warm_start rates must be in [0, 1]";
+  switch (request.kind) {
+    case RequestKind::kWhatIfBatch:
+      if (request.what_if.empty())
+        return "what_if_batch requires at least one scenario";
+      for (const auto& scenario : request.what_if)
+        for (topo::LinkId id : scenario)
+          if (id >= graph_.link_count())
+            return "what_if link id out of range";
+      break;
+    case RequestKind::kThetaSweep:
+      if (request.thetas.empty())
+        return "theta_sweep requires at least one theta";
+      for (double value : request.thetas)
+        if (!(value > 0.0) || !std::isfinite(value))
+          return "sweep thetas must be positive and finite";
+      break;
+    case RequestKind::kSolve:
+    case RequestKind::kAccuracyReport:
+      break;
+  }
+  return {};
+}
+
+std::future<Response> Server::submit(Request request) {
+  stats_.on_submitted();
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+
+  if (std::string error = validate(request); !error.empty()) {
+    stats_.on_bad_request();
+    Response response;
+    response.id = request.id;
+    response.kind = request.kind;
+    response.status = ResponseStatus::kBadRequest;
+    response.error = std::move(error);
+    promise.set_value(std::move(response));
+    return future;
+  }
+
+  QueuedRequest item;
+  item.enqueued_at = ServeClock::now();
+  if (request.deadline_ms > 0)
+    item.deadline =
+        item.enqueued_at + std::chrono::milliseconds(request.deadline_ms);
+  item.request = std::move(request);
+  item.promise = std::move(promise);
+
+  const PushResult pushed = queue_.try_push(item);
+  if (pushed == PushResult::kOk) {
+    stats_.on_enqueued(queue_.size());
+    return future;
+  }
+
+  Response response;
+  response.id = item.request.id;
+  response.kind = item.request.kind;
+  if (pushed == PushResult::kFull) {
+    stats_.on_rejected_queue_full();
+    response.status = ResponseStatus::kRejectedQueueFull;
+    response.error = "queue full (capacity " +
+                     std::to_string(queue_.capacity()) + ")";
+  } else {
+    stats_.on_rejected_shutdown();
+    response.status = ResponseStatus::kShutdown;
+    response.error = "server stopped";
+  }
+  item.promise.set_value(std::move(response));
+  return future;
+}
+
+void Server::pause() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  paused_ = true;
+  // Wait for the dispatcher to actually park: parked_ is only true while
+  // it is blocked in its state wait, and with paused_ set it will stay
+  // there until resume() or stop().
+  state_cv_.wait(lock, [this] { return parked_ || stopping_; });
+}
+
+void Server::resume() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    paused_ = false;
+  }
+  state_cv_.notify_all();
+}
+
+void Server::stop() {
+  std::call_once(stop_once_, [this] {
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      stopping_ = true;
+    }
+    state_cv_.notify_all();
+    queue_.close();
+    if (dispatcher_.joinable()) dispatcher_.join();
+    // Everything still parked gets a typed answer — never a silent drop.
+    for (QueuedRequest& item : queue_.drain()) {
+      stats_.on_rejected_shutdown();
+      Response response;
+      response.id = item.request.id;
+      response.kind = item.request.kind;
+      response.status = ResponseStatus::kShutdown;
+      response.error = "server stopped before the request was served";
+      item.promise.set_value(std::move(response));
+    }
+  });
+}
+
+void Server::dispatch_loop() {
+  // The poll interval bounds how fast the dispatcher notices a pause or
+  // stop when idle; queue pushes and close() wake it immediately.
+  constexpr std::chrono::milliseconds kPoll{20};
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state_mutex_);
+      parked_ = true;
+      state_cv_.notify_all();
+      state_cv_.wait(lock, [this] { return stopping_ || !paused_; });
+      parked_ = false;
+      if (stopping_) return;
+    }
+    std::vector<QueuedRequest> batch = batcher_.collect(kPoll);
+    if (!batch.empty()) process_batch(std::move(batch));
+  }
+}
+
+void Server::process_batch(std::vector<QueuedRequest> batch) {
+  const ServeClock::time_point dispatch_time = ServeClock::now();
+
+  // One slot per still-live request; expired/bad ones are answered right
+  // here. Problems live in a deque (stable addresses while growing).
+  struct Slot {
+    QueuedRequest item;
+    opt::SolverOptions solver;
+    std::size_t first = 0;
+    std::size_t count = 0;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(batch.size());
+  std::deque<core::PlacementProblem> problems;
+
+  auto answer_now = [&](QueuedRequest& item, ResponseStatus status,
+                        std::string error) {
+    Response response;
+    response.id = item.request.id;
+    response.kind = item.request.kind;
+    response.status = status;
+    response.error = std::move(error);
+    response.batch_size = static_cast<std::uint32_t>(batch.size());
+    response.queue_ms = ms_between(item.enqueued_at, dispatch_time);
+    item.promise.set_value(std::move(response));
+  };
+
+  auto problem_options = [&](const Request& request) {
+    core::ProblemOptions base = options_.problem;
+    if (request.theta > 0.0) base.theta = request.theta;
+    if (request.default_alpha > 0.0)
+      base.default_alpha = request.default_alpha;
+    for (topo::LinkId id : request.failed) base.failed.insert(id);
+    return base;
+  };
+
+  for (QueuedRequest& item : batch) {
+    // Deadline check at dequeue: a request that aged out while queued is
+    // answered without spending a solve on it.
+    if (dispatch_time >= item.deadline) {
+      stats_.on_expired_in_queue();
+      answer_now(item, ResponseStatus::kDeadlineExpired,
+                 "deadline expired in queue");
+      continue;
+    }
+
+    Slot slot;
+    slot.first = problems.size();
+    const Request& request = item.request;
+    try {
+      switch (request.kind) {
+        case RequestKind::kSolve:
+        case RequestKind::kAccuracyReport:
+          problems.emplace_back(graph_, task_, loads_,
+                                problem_options(request));
+          break;
+        case RequestKind::kWhatIfBatch:
+          for (const auto& scenario : request.what_if) {
+            core::ProblemOptions with_scenario = problem_options(request);
+            for (topo::LinkId id : scenario) with_scenario.failed.insert(id);
+            problems.emplace_back(graph_, task_, loads_, with_scenario);
+          }
+          break;
+        case RequestKind::kThetaSweep:
+          for (double theta : request.thetas) {
+            core::ProblemOptions at_theta = problem_options(request);
+            at_theta.theta = theta;
+            problems.emplace_back(graph_, task_, loads_, at_theta);
+          }
+          break;
+      }
+    } catch (const Error& error) {
+      // Problem assembly rejected the query (e.g. a failure set that
+      // disconnects a task OD pair). Typed answer; orphaned problems
+      // from the partial expansion are never referenced by any item.
+      stats_.on_bad_request();
+      answer_now(item, ResponseStatus::kBadRequest, error.what());
+      continue;
+    }
+    slot.count = problems.size() - slot.first;
+
+    slot.solver = options_.solver;
+    if (request.deadline_ms > 0 || request.iteration_budget > 0) {
+      // Per-request deadline hook: polled between solver iterations on
+      // whichever worker runs this request's problems.
+      const ServeClock::time_point deadline = item.deadline;
+      const std::uint32_t budget = request.iteration_budget;
+      slot.solver.should_stop = [deadline, budget](int iterations) {
+        if (budget > 0 && iterations >= static_cast<int>(budget))
+          return true;
+        return deadline != ServeClock::time_point::max() &&
+               ServeClock::now() >= deadline;
+      };
+    }
+    slot.item = std::move(item);
+    slots.push_back(std::move(slot));
+  }
+
+  // Addresses are taken only now that slots and problems stopped moving.
+  std::vector<core::BatchItem> items;
+  items.reserve(problems.size());
+  for (Slot& slot : slots) {
+    const sampling::RateVector* warm = slot.item.request.warm_start.empty()
+                                           ? nullptr
+                                           : &slot.item.request.warm_start;
+    for (std::size_t i = 0; i < slot.count; ++i)
+      items.push_back(
+          core::BatchItem{&problems[slot.first + i], warm, &slot.solver});
+  }
+  stats_.on_batch(batch.size(), items.size());
+
+  std::vector<core::PlacementSolution> solutions;
+  if (!items.empty()) solutions = solver_.solve_items(pool_, items);
+  const double solve_ms = ms_between(dispatch_time, ServeClock::now());
+
+  std::size_t next = 0;
+  for (Slot& slot : slots) {
+    const std::span<core::PlacementSolution> slice(solutions.data() + next,
+                                                   slot.count);
+    next += slot.count;
+    const Request& request = slot.item.request;
+
+    Response response;
+    response.id = request.id;
+    response.kind = request.kind;
+    response.batch_size = static_cast<std::uint32_t>(batch.size());
+    response.queue_ms = ms_between(slot.item.enqueued_at, dispatch_time);
+    response.solve_ms = solve_ms;
+
+    bool cancelled = false;
+    int cancelled_iterations = 0;
+    for (const core::PlacementSolution& solution : slice) {
+      if (solution.status == opt::SolveStatus::kCancelled) {
+        cancelled = true;
+        cancelled_iterations = solution.iterations;
+      }
+    }
+
+    switch (request.kind) {
+      case RequestKind::kSolve:
+      case RequestKind::kWhatIfBatch:
+        response.solutions.assign(std::move_iterator(slice.begin()),
+                                  std::move_iterator(slice.end()));
+        break;
+      case RequestKind::kThetaSweep:
+        response.sweep.reserve(slice.size());
+        for (std::size_t j = 0; j < slice.size(); ++j) {
+          const core::PlacementSolution& solution = slice[j];
+          response.sweep.push_back(ThetaPoint{
+              request.thetas[j], solution.total_utility, solution.lambda,
+              static_cast<std::uint32_t>(solution.active_monitors.size())});
+        }
+        break;
+      case RequestKind::kAccuracyReport: {
+        const core::PlacementSolution& solution = slice[0];
+        response.accuracy.reserve(solution.per_od.size());
+        for (const core::OdReport& od : solution.per_od) {
+          response.accuracy.push_back(
+              OdAccuracy{od.od, od.expected_packets, od.rho_approx,
+                         od.rho_exact, od.predicted_accuracy});
+        }
+        response.solutions.push_back(std::move(slice[0]));
+        break;
+      }
+    }
+
+    if (cancelled) {
+      stats_.on_expired_mid_solve();
+      response.status = ResponseStatus::kDeadlineExpired;
+      response.error =
+          request.iteration_budget > 0 &&
+                  cancelled_iterations >=
+                      static_cast<int>(request.iteration_budget)
+              ? "iteration budget exhausted mid-solve"
+              : "deadline expired mid-solve";
+    } else {
+      response.status = ResponseStatus::kOk;
+      stats_.on_served(response.queue_ms, solve_ms);
+    }
+    slot.item.promise.set_value(std::move(response));
+  }
+}
+
+}  // namespace netmon::serve

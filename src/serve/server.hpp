@@ -1,0 +1,137 @@
+// The placement query service: queue -> batcher -> BatchSolver.
+//
+//   transports (any thread)                 dispatcher (one thread)
+//   ----------------------                  -----------------------
+//   submit(Request)                         Batcher::collect()
+//     validate -> typed kBadRequest            |  max_batch / linger
+//     stamp deadline                           v
+//     RequestQueue::try_push  --------->   deadline check at dequeue
+//     full -> typed kRejectedQueueFull        |  expired -> typed response
+//                                             v
+//                                          expand requests -> problems
+//                                             |
+//                                             v
+//                                  BatchSolver::solve_items(pool, items)
+//                                     per-request SolverOptions carry the
+//                                     deadline / iteration-budget hook
+//                                             |
+//                                             v
+//                                     responses -> promises
+//
+// The Server owns one long-lived runtime::ThreadPool; batches are fanned
+// across it with the same deterministic chunking as every other netmon
+// fan-out, and each solve is a pure function of (model, request), so
+// responses are bit-identical to direct core::BatchSolver /
+// solve_placement calls regardless of thread count or batch/linger
+// policy. Backpressure contract: a full queue rejects at submit time
+// (typed), an expired deadline is answered (typed), shutdown answers
+// everything still parked (typed) — an admitted request always gets
+// exactly one Response.
+#pragma once
+
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch_solver.hpp"
+#include "core/problem.hpp"
+#include "core/task.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/batcher.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/stats.hpp"
+#include "topo/graph.hpp"
+#include "traffic/link_load.hpp"
+
+namespace netmon::serve {
+
+/// Service configuration.
+struct ServerOptions {
+  /// Bound on parked requests; submissions beyond it are rejected.
+  std::size_t queue_capacity = 64;
+  /// Request coalescing policy.
+  BatchPolicy batch;
+  /// Worker threads for the solve fan-out; 0 = hardware concurrency.
+  unsigned threads = 0;
+  /// Base solver configuration; per-request deadline hooks are layered
+  /// on top of a copy, never mutated in place.
+  opt::SolverOptions solver;
+  /// Problem-assembly defaults (theta, alpha, restrict_to, ecmp); a
+  /// request's theta/default_alpha/failed override per query.
+  core::ProblemOptions problem;
+  /// Start with the dispatcher parked (tests and examples use this to
+  /// stage deterministic queue states); resume() starts serving.
+  bool start_paused = false;
+};
+
+/// The transport-agnostic query server. Construct one per network model
+/// (graph + task + loads); transports submit Requests from any thread.
+class Server {
+ public:
+  /// The graph is borrowed and must outlive the server; task and loads
+  /// are snapshotted.
+  Server(const topo::Graph& graph, core::MeasurementTask task,
+         traffic::LinkLoads loads, ServerOptions options = {});
+
+  /// Stops and drains (typed kShutdown responses for parked requests).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Submits a query. The returned future always completes: immediately
+  /// with a typed rejection (kBadRequest / kRejectedQueueFull /
+  /// kShutdown), or with the served Response.
+  std::future<Response> submit(Request request);
+
+  /// Parks the dispatcher and returns once it is actually parked (after
+  /// the in-flight batch, at most one poll interval later). Requests keep
+  /// queueing while paused (and the queue keeps rejecting when full), so
+  /// a paused server stages deterministic queue states.
+  void pause();
+  /// Resumes dispatching.
+  void resume();
+
+  /// Stops the dispatcher and answers everything still queued with
+  /// kShutdown. Subsequent submits are rejected. Idempotent.
+  void stop();
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  unsigned threads() const noexcept { return pool_.size(); }
+  const ServerOptions& options() const noexcept { return options_; }
+
+  StatsSnapshot stats() const { return stats_.snapshot(); }
+  /// The serve::Stats block as one util::bench_report JSON line.
+  std::string stats_json() const { return stats_.json("serve", threads()); }
+
+ private:
+  void dispatch_loop();
+  void process_batch(std::vector<QueuedRequest> batch);
+  /// Validation error for `request`, or empty when admissible.
+  std::string validate(const Request& request) const;
+
+  const topo::Graph& graph_;
+  core::MeasurementTask task_;
+  traffic::LinkLoads loads_;
+  ServerOptions options_;
+
+  runtime::ThreadPool pool_;
+  core::BatchSolver solver_;
+  RequestQueue queue_;
+  Batcher batcher_;
+  ServeStats stats_;
+
+  std::mutex state_mutex_;
+  std::condition_variable state_cv_;
+  bool paused_ = false;
+  /// True only while the dispatcher is blocked in its state wait; lets
+  /// pause() rendezvous with the dispatcher instead of racing it.
+  bool parked_ = false;
+  bool stopping_ = false;
+  std::once_flag stop_once_;
+  std::thread dispatcher_;
+};
+
+}  // namespace netmon::serve

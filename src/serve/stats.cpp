@@ -1,0 +1,130 @@
+#include "serve/stats.hpp"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace netmon::serve {
+
+namespace {
+
+std::size_t bucket_of(double value) noexcept {
+  if (!(value > 1.0)) return 0;  // <= 1 (and NaN) land in bucket 0
+  const double clamped = std::min(value, 1e18);
+  const auto ceiled = static_cast<std::uint64_t>(std::ceil(clamped));
+  const std::size_t bits = std::bit_width(ceiled - 1) + 1;
+  return std::min<std::size_t>(bits - 1, 39);
+}
+
+}  // namespace
+
+void Histogram::add(double value) noexcept {
+  stats_.add(value);
+  ++buckets_[bucket_of(value)];
+}
+
+double Histogram::approx_quantile(double q) const noexcept {
+  const std::uint64_t n = stats_.count();
+  if (n == 0) return 0.0;
+  const double clamped_q = std::min(std::max(q, 0.0), 1.0);
+  const auto rank = static_cast<std::uint64_t>(std::ceil(clamped_q * n));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      const double upper = b == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(b));
+      return std::min(upper, stats_.max());
+    }
+  }
+  return stats_.max();
+}
+
+void ServeStats::on_enqueued(std::size_t queue_depth_after) {
+  enqueued_.fetch_add(1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_depth_.add(static_cast<double>(queue_depth_after));
+}
+
+void ServeStats::on_batch(std::size_t batch_size,
+                          std::size_t problem_count) {
+  batches_.fetch_add(1);
+  problems_solved_.fetch_add(problem_count);
+  std::lock_guard<std::mutex> lock(mutex_);
+  batch_size_.add(static_cast<double>(batch_size));
+}
+
+void ServeStats::on_served(double queue_ms, double solve_ms) {
+  served_ok_.fetch_add(1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_ms_.add(queue_ms);
+  solve_ms_.add(solve_ms);
+}
+
+StatsSnapshot ServeStats::snapshot() const {
+  StatsSnapshot s;
+  s.submitted = submitted_.load();
+  s.enqueued = enqueued_.load();
+  s.rejected_queue_full = rejected_full_.load();
+  s.rejected_shutdown = rejected_shutdown_.load();
+  s.bad_requests = bad_requests_.load();
+  s.expired_in_queue = expired_in_queue_.load();
+  s.expired_mid_solve = expired_mid_solve_.load();
+  s.served_ok = served_ok_.load();
+  s.batches = batches_.load();
+  s.problems_solved = problems_solved_.load();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto fill = [](const Histogram& h, double& mean, double* max,
+                       double& p99) {
+    const RunningStats& r = h.summary();
+    mean = r.count() ? r.mean() : 0.0;
+    if (max != nullptr) *max = r.count() ? r.max() : 0.0;
+    p99 = h.approx_quantile(0.99);
+  };
+  fill(queue_depth_, s.queue_depth_mean, &s.queue_depth_max,
+       s.queue_depth_p99);
+  fill(batch_size_, s.batch_size_mean, &s.batch_size_max, s.batch_size_p99);
+  fill(queue_ms_, s.queue_ms_mean, nullptr, s.queue_ms_p99);
+  fill(solve_ms_, s.solve_ms_mean, nullptr, s.solve_ms_p99);
+  return s;
+}
+
+void ServeStats::fill(BenchReport& report) const {
+  const StatsSnapshot s = snapshot();
+  report.result("counters")
+      .metric("submitted", static_cast<double>(s.submitted))
+      .metric("enqueued", static_cast<double>(s.enqueued))
+      .metric("rejected_queue_full",
+              static_cast<double>(s.rejected_queue_full))
+      .metric("rejected_shutdown", static_cast<double>(s.rejected_shutdown))
+      .metric("bad_requests", static_cast<double>(s.bad_requests))
+      .metric("expired_in_queue", static_cast<double>(s.expired_in_queue))
+      .metric("expired_mid_solve", static_cast<double>(s.expired_mid_solve))
+      .metric("served_ok", static_cast<double>(s.served_ok))
+      .metric("batches", static_cast<double>(s.batches))
+      .metric("problems_solved", static_cast<double>(s.problems_solved));
+  report.result("queue_depth")
+      .metric("mean", s.queue_depth_mean)
+      .metric("max", s.queue_depth_max)
+      .metric("p99", s.queue_depth_p99);
+  report.result("batch_size")
+      .metric("mean", s.batch_size_mean)
+      .metric("max", s.batch_size_max)
+      .metric("p99", s.batch_size_p99);
+  report.result("latency_ms")
+      .metric("queue_mean", s.queue_ms_mean)
+      .metric("queue_p99", s.queue_ms_p99)
+      .metric("solve_mean", s.solve_ms_mean)
+      .metric("solve_p99", s.solve_ms_p99);
+}
+
+std::string ServeStats::json(const std::string& name,
+                             unsigned threads) const {
+  BenchReport report(name, threads);
+  fill(report);
+  std::ostringstream out;
+  report.write(out);
+  return out.str();
+}
+
+}  // namespace netmon::serve

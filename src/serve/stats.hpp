@@ -1,0 +1,103 @@
+// Serving-layer instrumentation: admission/outcome counters plus
+// queue-depth, batch-size and latency histograms, exported as one
+// util::bench_report JSON block so the serve path's health is scraped
+// the same way the paper benches are.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/bench_report.hpp"
+#include "util/stats.hpp"
+
+namespace netmon::serve {
+
+/// Fixed-footprint histogram: Welford summary (util::stats) plus
+/// power-of-two buckets, so a long-running server records millions of
+/// observations in O(1) memory. Quantiles are approximate (bucket upper
+/// bounds) — good enough for "p99 batch size" style reporting.
+class Histogram {
+ public:
+  void add(double value) noexcept;
+
+  const RunningStats& summary() const noexcept { return stats_; }
+
+  /// Approximate quantile, q in [0,1]: the upper bound of the bucket the
+  /// q-th observation falls in (capped at the observed max). 0 if empty.
+  double approx_quantile(double q) const noexcept;
+
+ private:
+  RunningStats stats_;
+  /// buckets_[0] counts values <= 1; buckets_[b] counts values whose
+  /// ceiling needs b+1 bits, i.e. (2^b / 2, 2^b].
+  std::array<std::uint64_t, 40> buckets_{};
+};
+
+/// Point-in-time view of the counters and histogram summaries.
+struct StatsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t enqueued = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t bad_requests = 0;
+  std::uint64_t expired_in_queue = 0;
+  std::uint64_t expired_mid_solve = 0;
+  std::uint64_t served_ok = 0;
+  std::uint64_t batches = 0;
+  /// Problems solved (a request may expand to many).
+  std::uint64_t problems_solved = 0;
+
+  double queue_depth_mean = 0.0, queue_depth_max = 0.0,
+         queue_depth_p99 = 0.0;
+  double batch_size_mean = 0.0, batch_size_max = 0.0, batch_size_p99 = 0.0;
+  double queue_ms_mean = 0.0, queue_ms_p99 = 0.0;
+  double solve_ms_mean = 0.0, solve_ms_p99 = 0.0;
+};
+
+/// Thread-safe counters + histograms for one Server. Counters are
+/// atomics (hot, touched by every producer); histograms take a mutex
+/// (touched by the single dispatcher and by producers on enqueue).
+class ServeStats {
+ public:
+  void on_submitted() noexcept { submitted_.fetch_add(1); }
+  void on_enqueued(std::size_t queue_depth_after);
+  void on_rejected_queue_full() noexcept { rejected_full_.fetch_add(1); }
+  void on_rejected_shutdown() noexcept { rejected_shutdown_.fetch_add(1); }
+  void on_bad_request() noexcept { bad_requests_.fetch_add(1); }
+  void on_expired_in_queue() noexcept { expired_in_queue_.fetch_add(1); }
+  void on_expired_mid_solve() noexcept { expired_mid_solve_.fetch_add(1); }
+  void on_batch(std::size_t batch_size, std::size_t problem_count);
+  void on_served(double queue_ms, double solve_ms);
+
+  StatsSnapshot snapshot() const;
+
+  /// Appends the stats as result rows on a BenchReport (rows: counters,
+  /// queue_depth, batch_size, latency_ms).
+  void fill(BenchReport& report) const;
+
+  /// One-line JSON via BenchReport, e.g. for a /stats endpoint or logs.
+  std::string json(const std::string& name, unsigned threads) const;
+
+ private:
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> rejected_full_{0};
+  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> bad_requests_{0};
+  std::atomic<std::uint64_t> expired_in_queue_{0};
+  std::atomic<std::uint64_t> expired_mid_solve_{0};
+  std::atomic<std::uint64_t> served_ok_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> problems_solved_{0};
+
+  mutable std::mutex mutex_;
+  Histogram queue_depth_;
+  Histogram batch_size_;
+  Histogram queue_ms_;
+  Histogram solve_ms_;
+};
+
+}  // namespace netmon::serve

@@ -1,0 +1,54 @@
+// Binary wire format for the placement query service.
+//
+// Frames are length-prefixed so a byte-stream transport (TCP, a pipe, a
+// file of captured queries) can reassemble them without parsing bodies:
+//
+//   u32 length  | payload (`length` bytes)
+//   payload  =  'N' 'M' | u8 version (=1) | u8 type (1=request,
+//               2=response) | body
+//
+// All integers are big-endian (network byte order, same convention as
+// netflow/v5_codec); doubles travel as the big-endian bytes of their
+// IEEE-754 bit pattern, so a decode(encode(x)) round trip is bit-exact —
+// the serving layer's determinism guarantee survives the wire. Decoders
+// are defensive: truncated, corrupt, or absurdly-sized frames throw
+// netmon::Error, never read out of bounds, and never allocate
+// attacker-controlled amounts of memory.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace netmon::serve {
+
+/// Frame payload magic + version.
+inline constexpr std::uint8_t kWireMagic0 = 'N';
+inline constexpr std::uint8_t kWireMagic1 = 'M';
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Frame type bytes.
+inline constexpr std::uint8_t kWireRequest = 1;
+inline constexpr std::uint8_t kWireResponse = 2;
+/// Upper bound on any element count in a frame (links, scenarios, OD
+/// rows, string bytes). Corrupt length fields beyond this are rejected
+/// before any allocation.
+inline constexpr std::uint32_t kWireMaxCount = 1u << 22;
+
+/// Encodes one request/response as a single length-prefixed frame.
+std::vector<std::uint8_t> encode_request(const Request& request);
+std::vector<std::uint8_t> encode_response(const Response& response);
+
+/// Decodes one complete frame. Throws netmon::Error on truncation, bad
+/// magic/version, wrong frame type, or corrupt field values.
+Request decode_request(std::span<const std::uint8_t> frame);
+Response decode_response(std::span<const std::uint8_t> frame);
+
+/// Stream reassembly helper: the total size of the frame starting at
+/// `buffer[0]`, or 0 when fewer than 4 bytes are buffered. Throws
+/// netmon::Error when the length prefix itself is absurd (corrupt
+/// stream), so transports fail fast instead of waiting for 4 GiB.
+std::size_t frame_size(std::span<const std::uint8_t> buffer);
+
+}  // namespace netmon::serve

@@ -1,5 +1,6 @@
 #include "util/json.hpp"
 
+#include <cmath>
 #include <cstdio>
 
 #include "util/error.hpp"
@@ -81,6 +82,12 @@ JsonWriter& JsonWriter::value(const char* text) {
 
 JsonWriter& JsonWriter::value(double number) {
   before_value();
+  // JSON has no NaN/Infinity literals; "%.17g" would emit "nan"/"inf"
+  // and corrupt the document. Serialize non-finite doubles as null.
+  if (!std::isfinite(number)) {
+    out_ << "null";
+    return *this;
+  }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.17g", number);
   out_ << buf;

@@ -29,7 +29,8 @@ class JsonWriter {
   /// Names the next value (only inside an object).
   JsonWriter& key(std::string_view name);
 
-  /// Scalar values.
+  /// Scalar values. Non-finite doubles (NaN, +-Inf) have no JSON
+  /// representation and are serialized as null.
   JsonWriter& value(std::string_view text);
   JsonWriter& value(const char* text);
   JsonWriter& value(double number);

@@ -6,6 +6,7 @@
 
 #include "netflow/v5_codec.hpp"
 #include "net/ip.hpp"
+#include "serve/wire.hpp"
 #include "topo/io.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -96,6 +97,53 @@ TEST_P(FuzzSeed, AddressParserNeverCrashes) {
       const net::Prefix prefix = net::parse_prefix(text);
       EXPECT_GE(prefix.len, 0);
       EXPECT_LE(prefix.len, 32);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeed, ServeWireDecoderNeverCrashesOnRandomBytes) {
+  Rng rng(46000 + GetParam());
+  for (int round = 0; round < 300; ++round) {
+    std::vector<std::uint8_t> bytes(rng.below(300));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+    try {
+      const serve::Request decoded = serve::decode_request(bytes);
+      EXPECT_LE(static_cast<std::uint8_t>(decoded.kind), 3);
+    } catch (const Error&) {
+    }
+    try {
+      const serve::Response decoded = serve::decode_response(bytes);
+      EXPECT_LE(static_cast<std::uint8_t>(decoded.status), 4);
+    } catch (const Error&) {
+    }
+    try {
+      const std::size_t size = serve::frame_size(bytes);
+      // When decidable, the frame covers at least its envelope.
+      EXPECT_TRUE(size == 0 || size >= 8);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(FuzzSeed, ServeWireDecoderSurvivesBitFlipsOfValidFrames) {
+  Rng rng(47000 + GetParam());
+  serve::Request request;
+  request.id = 17;
+  request.kind = serve::RequestKind::kWhatIfBatch;
+  request.failed = {1, 2};
+  request.what_if = {{0}, {3, 4}};
+  request.warm_start = {0.5, 0.25, 0.125};
+  const std::vector<std::uint8_t> good = serve::encode_request(request);
+  for (int round = 0; round < 300; ++round) {
+    auto mutated = good;
+    const std::size_t at = rng.below(mutated.size());
+    mutated[at] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    try {
+      const serve::Request decoded = serve::decode_request(mutated);
+      // If it decoded, the structural invariants must hold.
+      EXPECT_LE(decoded.failed.size(), serve::kWireMaxCount);
+      EXPECT_LE(decoded.what_if.size(), serve::kWireMaxCount);
     } catch (const Error&) {
     }
   }

@@ -16,6 +16,12 @@ TEST(ThreadPool, ResolveThreads) {
   EXPECT_EQ(resolve_threads(1), 1u);
   EXPECT_EQ(resolve_threads(7), 7u);
   EXPECT_GE(resolve_threads(0), 1u);  // hardware_concurrency, at least 1
+  EXPECT_LE(resolve_threads(0), kMaxThreads);
+  // Explicit requests clamp to the cap instead of being taken literally:
+  // resolve_threads(-1 cast to unsigned) must not spawn 4 billion workers.
+  EXPECT_EQ(resolve_threads(kMaxThreads), kMaxThreads);
+  EXPECT_EQ(resolve_threads(kMaxThreads + 1), kMaxThreads);
+  EXPECT_EQ(resolve_threads(static_cast<unsigned>(-1)), kMaxThreads);
 }
 
 TEST(ThreadPool, ThreadsFromEnvParsesOverride) {
@@ -23,14 +29,36 @@ TEST(ThreadPool, ThreadsFromEnvParsesOverride) {
   EXPECT_EQ(threads_from_env(), 3u);
   ASSERT_EQ(setenv("NETMON_THREADS", "not-a-number", 1), 0);
   EXPECT_EQ(threads_from_env(), resolve_threads(0));
-  // Negative or absurd values must not wrap into a gigantic unsigned
-  // thread count (strtoul accepts "-2" as ULONG_MAX - 1).
+  // Negative values must not wrap into a gigantic unsigned thread count
+  // (strtoul accepts "-2" as ULONG_MAX - 1); they fall back to the
+  // hardware default.
   ASSERT_EQ(setenv("NETMON_THREADS", "-2", 1), 0);
   EXPECT_EQ(threads_from_env(), resolve_threads(0));
-  ASSERT_EQ(setenv("NETMON_THREADS", "999999999999", 1), 0);
+  ASSERT_EQ(setenv("NETMON_THREADS", "-1", 1), 0);
   EXPECT_EQ(threads_from_env(), resolve_threads(0));
   ASSERT_EQ(unsetenv("NETMON_THREADS"), 0);
   EXPECT_EQ(threads_from_env(), resolve_threads(0));
+}
+
+TEST(ThreadPool, ThreadsFromEnvClampsAbsurdValues) {
+  // Absurdly large values — including ones that overflow unsigned long —
+  // clamp to the cap instead of being rejected or taken literally.
+  ASSERT_EQ(setenv("NETMON_THREADS", "4097", 1), 0);
+  EXPECT_EQ(threads_from_env(), kMaxThreads);
+  ASSERT_EQ(setenv("NETMON_THREADS", "999999999999", 1), 0);
+  EXPECT_EQ(threads_from_env(), kMaxThreads);
+  ASSERT_EQ(setenv("NETMON_THREADS",
+                   "99999999999999999999999999999999999999", 1), 0);
+  EXPECT_EQ(threads_from_env(), kMaxThreads);
+  // The cap itself and values below it are honored exactly.
+  ASSERT_EQ(setenv("NETMON_THREADS", "4096", 1), 0);
+  EXPECT_EQ(threads_from_env(), kMaxThreads);
+  ASSERT_EQ(setenv("NETMON_THREADS", "2", 1), 0);
+  EXPECT_EQ(threads_from_env(), 2u);
+  // "0" keeps its knob meaning: hardware default.
+  ASSERT_EQ(setenv("NETMON_THREADS", "0", 1), 0);
+  EXPECT_EQ(threads_from_env(), resolve_threads(0));
+  ASSERT_EQ(unsetenv("NETMON_THREADS"), 0);
 }
 
 TEST(ThreadPool, StartStopRepeatedly) {

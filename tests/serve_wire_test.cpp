@@ -1,0 +1,228 @@
+// Wire codec: bit-exact round trips, and clean typed rejection of every
+// truncated or corrupt frame.
+#include "serve/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace netmon::serve {
+namespace {
+
+Request sample_request() {
+  Request request;
+  request.id = 0x0123456789abcdefULL;
+  request.kind = RequestKind::kWhatIfBatch;
+  request.theta = 123456.789;
+  request.default_alpha = 0.75;
+  request.failed = {1, 7, 42};
+  request.what_if = {{0}, {3, 4}, {}};
+  request.thetas = {1e4, 2.5e5};
+  request.warm_start = {0.0, 0.125, 1.0, 3.0e-7};
+  request.deadline_ms = 1500;
+  request.iteration_budget = 64;
+  return request;
+}
+
+Response sample_response() {
+  Response response;
+  response.id = 99;
+  response.kind = RequestKind::kAccuracyReport;
+  response.status = ResponseStatus::kDeadlineExpired;
+  response.error = "deadline expired mid-solve";
+
+  core::PlacementSolution solution;
+  solution.rates = {0.0, 0.5, 0.0625, 1.0};
+  solution.active_monitors = {1, 2, 3};
+  core::OdReport od;
+  od.od = {4, 9};
+  od.expected_packets = 5000.0;
+  od.rho_approx = 0.123456789012345;
+  od.rho_exact = 0.123456789012344;
+  od.utility = -3.5;
+  od.predicted_accuracy = 0.987;
+  od.monitored_links = {1, 3};
+  solution.per_od = {od};
+  solution.total_utility = -17.25;
+  solution.budget_used = 99999.5;
+  solution.status = opt::SolveStatus::kCancelled;
+  solution.iterations = 12;
+  solution.release_events = 2;
+  solution.lambda = 1.25e-5;
+  response.solutions = {solution};
+
+  response.sweep = {{1e4, -20.0, 2e-5, 6}, {1e5, -10.0, 1e-5, 9}};
+  response.accuracy = {{{4, 9}, 5000.0, 0.12, 0.11, 0.98}};
+  response.batch_size = 3;
+  response.queue_ms = 0.25;
+  response.solve_ms = 17.5;
+  return response;
+}
+
+void expect_equal(const Request& a, const Request& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.theta, b.theta);
+  EXPECT_EQ(a.default_alpha, b.default_alpha);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.what_if, b.what_if);
+  EXPECT_EQ(a.thetas, b.thetas);
+  EXPECT_EQ(a.warm_start, b.warm_start);
+  EXPECT_EQ(a.deadline_ms, b.deadline_ms);
+  EXPECT_EQ(a.iteration_budget, b.iteration_budget);
+}
+
+void expect_equal(const core::PlacementSolution& a,
+                  const core::PlacementSolution& b) {
+  EXPECT_EQ(a.rates, b.rates);
+  EXPECT_EQ(a.active_monitors, b.active_monitors);
+  ASSERT_EQ(a.per_od.size(), b.per_od.size());
+  for (std::size_t k = 0; k < a.per_od.size(); ++k) {
+    EXPECT_EQ(a.per_od[k].od, b.per_od[k].od);
+    EXPECT_EQ(a.per_od[k].expected_packets, b.per_od[k].expected_packets);
+    EXPECT_EQ(a.per_od[k].rho_approx, b.per_od[k].rho_approx);
+    EXPECT_EQ(a.per_od[k].rho_exact, b.per_od[k].rho_exact);
+    EXPECT_EQ(a.per_od[k].utility, b.per_od[k].utility);
+    EXPECT_EQ(a.per_od[k].predicted_accuracy,
+              b.per_od[k].predicted_accuracy);
+    EXPECT_EQ(a.per_od[k].monitored_links, b.per_od[k].monitored_links);
+  }
+  EXPECT_EQ(a.total_utility, b.total_utility);
+  EXPECT_EQ(a.budget_used, b.budget_used);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.release_events, b.release_events);
+  EXPECT_EQ(a.lambda, b.lambda);
+}
+
+void expect_equal(const Response& a, const Response& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.error, b.error);
+  ASSERT_EQ(a.solutions.size(), b.solutions.size());
+  for (std::size_t i = 0; i < a.solutions.size(); ++i)
+    expect_equal(a.solutions[i], b.solutions[i]);
+  EXPECT_EQ(a.sweep, b.sweep);
+  EXPECT_EQ(a.accuracy, b.accuracy);
+  EXPECT_EQ(a.batch_size, b.batch_size);
+  EXPECT_EQ(a.queue_ms, b.queue_ms);
+  EXPECT_EQ(a.solve_ms, b.solve_ms);
+}
+
+TEST(ServeWire, RequestRoundTripIsBitExact) {
+  const Request original = sample_request();
+  expect_equal(decode_request(encode_request(original)), original);
+}
+
+TEST(ServeWire, EmptyRequestRoundTrips) {
+  expect_equal(decode_request(encode_request(Request{})), Request{});
+}
+
+TEST(ServeWire, ResponseRoundTripIsBitExact) {
+  const Response original = sample_response();
+  expect_equal(decode_response(encode_response(original)), original);
+}
+
+TEST(ServeWire, DoublesSurviveBitExactlyIncludingSpecialValues) {
+  Request request;
+  request.kind = RequestKind::kThetaSweep;
+  request.thetas = {std::numeric_limits<double>::denorm_min(),
+                    std::numeric_limits<double>::max(),
+                    -0.0,
+                    std::numeric_limits<double>::infinity(),
+                    0.1};  // 0.1 has no exact binary representation
+  request.warm_start = {std::nan("")};
+  const Request decoded = decode_request(encode_request(request));
+  ASSERT_EQ(decoded.thetas.size(), request.thetas.size());
+  for (std::size_t i = 0; i < request.thetas.size(); ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded.thetas[i]),
+              std::bit_cast<std::uint64_t>(request.thetas[i]));
+  EXPECT_TRUE(std::isnan(decoded.warm_start[0]));
+  EXPECT_TRUE(std::signbit(decoded.thetas[2]));
+}
+
+TEST(ServeWire, EveryTruncationIsRejected) {
+  const std::vector<std::uint8_t> req = encode_request(sample_request());
+  const std::vector<std::uint8_t> resp = encode_response(sample_response());
+  for (std::size_t n = 0; n < req.size(); ++n) {
+    EXPECT_THROW(decode_request(std::span(req.data(), n)), Error)
+        << "prefix length " << n;
+  }
+  for (std::size_t n = 0; n < resp.size(); ++n) {
+    EXPECT_THROW(decode_response(std::span(resp.data(), n)), Error)
+        << "prefix length " << n;
+  }
+}
+
+TEST(ServeWire, TrailingBytesAreRejected) {
+  std::vector<std::uint8_t> bytes = encode_request(sample_request());
+  bytes.push_back(0);
+  EXPECT_THROW(decode_request(bytes), Error);
+}
+
+TEST(ServeWire, CorruptEnvelopeIsRejected) {
+  const std::vector<std::uint8_t> good = encode_request(sample_request());
+
+  auto corrupt = [&](std::size_t at, std::uint8_t value) {
+    std::vector<std::uint8_t> bad = good;
+    bad[at] = value;
+    return bad;
+  };
+  EXPECT_THROW(decode_request(corrupt(4, 'X')), Error);   // magic 0
+  EXPECT_THROW(decode_request(corrupt(5, 'X')), Error);   // magic 1
+  EXPECT_THROW(decode_request(corrupt(6, 99)), Error);    // version
+  EXPECT_THROW(decode_request(corrupt(7, 7)), Error);     // type
+  // A request frame is not a response frame.
+  EXPECT_THROW(decode_response(good), Error);
+  // Lying length prefix.
+  EXPECT_THROW(decode_request(corrupt(3, good[3] + 1)), Error);
+}
+
+TEST(ServeWire, AbsurdCountsAreRejectedBeforeAllocation) {
+  std::vector<std::uint8_t> bad = encode_request(Request{});
+  // The failed-link count sits right after id(8) + kind(1) + theta(8) +
+  // alpha(8) in the body (offset 8 for the envelope).
+  const std::size_t count_at = 8 + 8 + 1 + 8 + 8;
+  bad[count_at] = 0xff;
+  bad[count_at + 1] = 0xff;
+  bad[count_at + 2] = 0xff;
+  bad[count_at + 3] = 0xff;
+  EXPECT_THROW(decode_request(bad), Error);
+}
+
+TEST(ServeWire, FrameSizeSupportsStreamReassembly) {
+  const std::vector<std::uint8_t> frame = encode_request(sample_request());
+
+  // Fewer than 4 buffered bytes: not decidable yet.
+  EXPECT_EQ(frame_size(std::span(frame.data(), 0)), 0u);
+  EXPECT_EQ(frame_size(std::span(frame.data(), 3)), 0u);
+  // With the prefix visible, the full frame size is known.
+  EXPECT_EQ(frame_size(std::span(frame.data(), 4)), frame.size());
+  EXPECT_EQ(frame_size(frame), frame.size());
+
+  // Two frames back to back split correctly.
+  std::vector<std::uint8_t> stream = frame;
+  const std::vector<std::uint8_t> second =
+      encode_response(sample_response());
+  stream.insert(stream.end(), second.begin(), second.end());
+  const std::size_t first_size = frame_size(stream);
+  ASSERT_EQ(first_size, frame.size());
+  expect_equal(decode_request(std::span(stream.data(), first_size)),
+               sample_request());
+  expect_equal(
+      decode_response(std::span(stream).subspan(first_size)),
+      sample_response());
+
+  // A corrupt prefix fails fast instead of asking for gigabytes.
+  std::vector<std::uint8_t> absurd = {0xff, 0xff, 0xff, 0xff};
+  EXPECT_THROW(frame_size(absurd), Error);
+  std::vector<std::uint8_t> tiny = {0, 0, 0, 2};
+  EXPECT_THROW(frame_size(tiny), Error);
+}
+
+}  // namespace
+}  // namespace netmon::serve

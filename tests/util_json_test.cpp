@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "core/report.hpp"
 #include "core/scenario.hpp"
 #include "core/solver.hpp"
+#include "util/bench_report.hpp"
 #include "util/error.hpp"
 
 namespace netmon {
@@ -54,6 +57,36 @@ TEST(JsonWriter, EscapesStrings) {
     j.value("a\"b\\c\nd\te");
   });
   EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\te\"");
+}
+
+TEST(JsonWriter, NonFiniteDoublesSerializeAsNull) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::string out = render([&](JsonWriter& j) {
+    j.begin_object();
+    j.key("nan").value(nan);
+    j.key("pos_inf").value(inf);
+    j.key("neg_inf").value(-inf);
+    j.key("finite").value(1.5);
+    j.end_object();
+  });
+  EXPECT_EQ(out,
+            R"({"nan":null,"pos_inf":null,"neg_inf":null,"finite":1.5})");
+}
+
+TEST(JsonWriter, BenchReportSurvivesNonFiniteMetrics) {
+  // Round trip through the bench-report path: a NaN metric (e.g. a 0/0
+  // rate on an empty run) must still yield a valid JSON document.
+  BenchReport report("json_test", 1);
+  report.result("row").metric("bad", std::nan(""))
+      .metric("worse", std::numeric_limits<double>::infinity())
+      .metric("fine", 2.0);
+  std::ostringstream out;
+  report.write(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"bad\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"worse\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"fine\":2"), std::string::npos) << json;
 }
 
 TEST(JsonWriter, CompletionTracking) {
