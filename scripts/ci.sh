@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify (full build + ctest) plus two sanitizer
+# CI entry point: tier-1 verify (full build + ctest) plus three sanitizer
 # legs — a ThreadSanitizer build of the parallel execution subsystem
-# (the correctness gate for src/runtime/ and everything layered on it)
-# and an AddressSanitizer build of the flat-CSR linalg kernels and the
+# (the correctness gate for src/runtime/ and everything layered on it),
+# an AddressSanitizer build of the flat-CSR linalg kernels and the
 # zero-allocation solver hot path (the gate for src/linalg/ span/pointer
-# arithmetic and workspace reuse).
+# arithmetic and workspace reuse), and a UBSan build of the fused batch
+# kernels and solver (the gate for the branch-free select arithmetic in
+# src/core/utility_kernels.hpp) — and finally the perf gate comparing
+# the solver_perf kernel timings against the committed BENCH_solver.json.
 #
 # Usage: scripts/ci.sh [build-dir-prefix]
 set -euo pipefail
@@ -36,5 +39,18 @@ cmake -B "${PREFIX}-asan" -S . -DNETMON_SANITIZE=address
 cmake --build "${PREFIX}-asan" -j "${JOBS}" --target ${ASAN_TESTS}
 ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
   -R 'linalg_sparse_test|opt_objective_test|opt_gradient_projection_test|opt_zero_alloc_test|core_solver_test|estimate_flow_inversion_test'
+
+echo "== tier-2: UBSan gate on the fused batch kernels + solver =="
+UBSAN_TESTS="core_utility_test opt_fused_eval_test opt_objective_test \
+opt_gradient_projection_test core_solver_test"
+cmake -B "${PREFIX}-ubsan" -S . -DNETMON_SANITIZE=undefined
+# shellcheck disable=SC2086
+cmake --build "${PREFIX}-ubsan" -j "${JOBS}" --target ${UBSAN_TESTS}
+ctest --test-dir "${PREFIX}-ubsan" --output-on-failure -j "${JOBS}" \
+  -R 'core_utility_test|opt_fused_eval_test|opt_objective_test|opt_gradient_projection_test|core_solver_test'
+
+echo "== perf gate: solver_perf kernels vs committed baseline =="
+cmake --build "${PREFIX}" -j "${JOBS}" --target solver_perf
+scripts/perf_gate.sh "${PREFIX}"
 
 echo "CI OK"

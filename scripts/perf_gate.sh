@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Perf gate: reruns the solver_perf kernel sections (fixed seeds, min-
+# over-blocks timing) and compares the tracked metrics against the
+# committed baseline BENCH_solver.json. Fails on a >20% regression —
+# slower for the ns-scale kernel timings, lower for the throughput and
+# speedup metrics — and on any scalar/SIMD bit-identity mismatch.
+#
+# Usage: scripts/perf_gate.sh [build-dir]   (expects solver_perf built)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+BASELINE="BENCH_solver.json"
+BIN="${BUILD}/bench/solver_perf"
+
+[ -f "${BASELINE}" ] || { echo "perf_gate: missing ${BASELINE}"; exit 1; }
+[ -x "${BIN}" ] || { echo "perf_gate: ${BIN} not built"; exit 1; }
+
+TMP="$(mktemp)"
+trap 'rm -f "${TMP}"' EXIT
+NETMON_PERF_KERNELS_ONLY=1 NETMON_BENCH_JSON="${TMP}" "${BIN}" >/dev/null
+
+# The bench JSON is one flat object per line with "key":number metrics,
+# so plain grep extraction works without a JSON parser.
+extract() { # file key -> first numeric value for the key
+  grep -o "\"$2\":[0-9.eE+-]*" "$1" | head -1 | cut -d: -f2
+}
+
+TOL=1.20 # 20% regression budget
+fail=0
+
+# check <key> <lower|higher> — lower: new must be <= old * TOL;
+# higher: new must be >= old / TOL.
+check() {
+  local key="$1" dir="$2" old new
+  old="$(extract "${BASELINE}" "${key}")"
+  new="$(extract "${TMP}" "${key}")"
+  if [ -z "${old}" ] || [ -z "${new}" ]; then
+    echo "perf_gate: FAIL ${key}: missing (baseline='${old}' new='${new}')"
+    fail=1
+    return
+  fi
+  if awk -v o="${old}" -v n="${new}" -v t="${TOL}" -v d="${dir}" \
+      'BEGIN { ok = (d == "lower") ? (n <= o * t) : (n >= o / t);
+               exit ok ? 0 : 1 }'; then
+    printf 'perf_gate: ok   %-22s baseline=%-12s new=%s\n' \
+      "${key}" "${old}" "${new}"
+  else
+    printf 'perf_gate: FAIL %-22s baseline=%-12s new=%s (>20%% regression)\n' \
+      "${key}" "${old}" "${new}"
+    fail=1
+  fi
+}
+
+# Kernel latencies: lower is better.
+check spmv_ns lower
+check spmv_t_ns lower
+check value_ns lower
+check gradient_ns lower
+check eval_fused_ns lower
+check grad_hess_ns lower
+check ls_probe_ns lower
+
+# Solver throughput: higher is better.
+check iters_per_sec_fused higher
+
+# The fusion win is gated on its absolute acceptance floor (>= 2x)
+# rather than the baseline ratio: the separate-path denominator is the
+# slow branchy pre-fusion path, whose timing is too noisy for a 20%
+# relative band, while the fused numerator is already gated above.
+speedup="$(extract "${TMP}" eval_path_speedup)"
+if awk -v s="${speedup:-0}" 'BEGIN { exit (s >= 2.0) ? 0 : 1 }'; then
+  echo "perf_gate: ok   eval_path_speedup      ${speedup} (floor 2.0)"
+else
+  echo "perf_gate: FAIL eval_path_speedup      ${speedup} (< 2.0 floor)"
+  fail=1
+fi
+
+# Scalar/SIMD dispatch must stay bit-identical — a correctness bit, not
+# a perf number: any mismatch fails outright.
+identical="$(extract "${TMP}" bit_identical)"
+if [ "${identical}" != "1" ]; then
+  echo "perf_gate: FAIL bit_identical: scalar vs SIMD kernels diverged"
+  fail=1
+else
+  echo "perf_gate: ok   bit_identical"
+fi
+
+[ "${fail}" -eq 0 ] && echo "perf_gate: PASS" || echo "perf_gate: FAIL"
+exit "${fail}"

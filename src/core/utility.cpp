@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/utility_kernels.hpp"
 #include "util/error.hpp"
 
 namespace netmon::core {
@@ -11,109 +12,45 @@ namespace {
 using BatchParams = opt::Concave1d::BatchParams;
 using BatchKernel = opt::Concave1d::BatchKernel;
 
-// The scalar virtuals and the batch kernels below share these inline
-// helpers, so batch evaluation is bit-identical to scalar evaluation by
-// construction. SRE parameter pack layout: {c, x0, a1, a2}.
-
-inline double sre_value(double c, double x0, double a1, double a2, double x) {
-  NETMON_REQUIRE(x >= -1.0, "utility argument out of domain");
-  if (x < x0) return (a1 + a2 * x) * x;
-  return 1.0 + c - c / x;  // = 1 - c(1-x)/x
-}
-
-inline double sre_deriv(double c, double x0, double a1, double a2, double x) {
-  NETMON_REQUIRE(x >= -1.0, "utility argument out of domain");
-  if (x < x0) return a1 + 2.0 * a2 * x;
-  return c / (x * x);
-}
-
-inline double sre_second(double c, double x0, double /*a1*/, double a2,
-                         double x) {
-  NETMON_REQUIRE(x >= -1.0, "utility argument out of domain");
-  if (x < x0) return 2.0 * a2;
-  return -2.0 * c / (x * x * x);
-}
+// The scalar virtuals and every batch kernel route through the Ops
+// structs in core/utility_kernels.hpp, so batch (and SIMD) evaluation is
+// bit-identical to scalar evaluation by construction. The ScalarPath tag
+// pins these instantiations to this TU's (default) compile flags; the
+// VectorPath instantiations live in core/utility_simd.cpp.
 
 const BatchKernel kSreKernel{
-    [](const BatchParams* q, const double* x, double* out, std::size_t n) {
-      for (std::size_t i = 0; i < n; ++i)
-        out[i] = sre_value(q[i][0], q[i][1], q[i][2], q[i][3], x[i]);
-    },
-    [](const BatchParams* q, const double* x, double* out, std::size_t n) {
-      for (std::size_t i = 0; i < n; ++i)
-        out[i] = sre_deriv(q[i][0], q[i][1], q[i][2], q[i][3], x[i]);
-    },
-    [](const BatchParams* q, const double* x, double* out, std::size_t n) {
-      for (std::size_t i = 0; i < n; ++i)
-        out[i] = sre_second(q[i][0], q[i][1], q[i][2], q[i][3], x[i]);
-    },
+    kernels::map_value<kernels::SreOps, kernels::ScalarPath>,
+    kernels::map_deriv<kernels::SreOps, kernels::ScalarPath>,
+    kernels::map_second<kernels::SreOps, kernels::ScalarPath>,
+    kernels::fused<kernels::SreOps, kernels::ScalarPath>,
+    kernels::deriv2<kernels::SreOps, kernels::ScalarPath>,
+#ifdef NETMON_HAVE_SIMD
+    kernels::sre_fused_simd,
+    kernels::sre_deriv2_simd,
+#else
+    nullptr,
+    nullptr,
+#endif
 };
-
-// Log parameter pack layout: {eps}.
-
-inline double log_value(double eps, double x) {
-  // The natural domain is x > -eps (where the log diverges); slightly
-  // negative arguments arise from linearization offsets.
-  NETMON_REQUIRE(x > -eps, "utility argument out of domain");
-  return std::log1p(x / eps);
-}
-
-inline double log_deriv(double eps, double x) {
-  NETMON_REQUIRE(x > -eps, "utility argument out of domain");
-  return 1.0 / (eps + x);
-}
-
-inline double log_second(double eps, double x) {
-  NETMON_REQUIRE(x > -eps, "utility argument out of domain");
-  return -1.0 / ((eps + x) * (eps + x));
-}
 
 const BatchKernel kLogKernel{
-    [](const BatchParams* q, const double* x, double* out, std::size_t n) {
-      for (std::size_t i = 0; i < n; ++i) out[i] = log_value(q[i][0], x[i]);
-    },
-    [](const BatchParams* q, const double* x, double* out, std::size_t n) {
-      for (std::size_t i = 0; i < n; ++i) out[i] = log_deriv(q[i][0], x[i]);
-    },
-    [](const BatchParams* q, const double* x, double* out, std::size_t n) {
-      for (std::size_t i = 0; i < n; ++i) out[i] = log_second(q[i][0], x[i]);
-    },
+    kernels::map_value<kernels::LogOps, kernels::ScalarPath>,
+    kernels::map_deriv<kernels::LogOps, kernels::ScalarPath>,
+    kernels::map_second<kernels::LogOps, kernels::ScalarPath>,
+    kernels::fused<kernels::LogOps, kernels::ScalarPath>,
+    kernels::deriv2<kernels::LogOps, kernels::ScalarPath>,
+    nullptr,  // libm-bound: no vectorized variant
+    nullptr,
 };
 
-// Clamp the effective rate into the open domain of (1-x)^S.
-inline double clamp_rate(double x) {
-  NETMON_REQUIRE(x >= -1e-9, "utility argument must be >= 0");
-  return std::min(std::max(x, 0.0), 1.0 - 1e-12);
-}
-
-// Detection parameter pack layout: {s}.
-
-inline double detect_value(double s, double x) {
-  const double c = clamp_rate(x);
-  return -std::expm1(s * std::log1p(-c));  // 1 - (1-c)^S
-}
-
-inline double detect_deriv(double s, double x) {
-  const double c = clamp_rate(x);
-  return s * std::exp((s - 1.0) * std::log1p(-c));
-}
-
-inline double detect_second(double s, double x) {
-  const double c = clamp_rate(x);
-  return -s * (s - 1.0) * std::exp((s - 2.0) * std::log1p(-c));
-}
-
 const BatchKernel kDetectKernel{
-    [](const BatchParams* q, const double* x, double* out, std::size_t n) {
-      for (std::size_t i = 0; i < n; ++i) out[i] = detect_value(q[i][0], x[i]);
-    },
-    [](const BatchParams* q, const double* x, double* out, std::size_t n) {
-      for (std::size_t i = 0; i < n; ++i) out[i] = detect_deriv(q[i][0], x[i]);
-    },
-    [](const BatchParams* q, const double* x, double* out, std::size_t n) {
-      for (std::size_t i = 0; i < n; ++i)
-        out[i] = detect_second(q[i][0], x[i]);
-    },
+    kernels::map_value<kernels::DetectOps, kernels::ScalarPath>,
+    kernels::map_deriv<kernels::DetectOps, kernels::ScalarPath>,
+    kernels::map_second<kernels::DetectOps, kernels::ScalarPath>,
+    kernels::fused<kernels::DetectOps, kernels::ScalarPath>,
+    kernels::deriv2<kernels::DetectOps, kernels::ScalarPath>,
+    nullptr,  // libm-bound: no vectorized variant
+    nullptr,
 };
 
 }  // namespace
@@ -133,15 +70,18 @@ double SreUtility::value(double x) const {
   // Slightly negative arguments arise from floating-point undershoot at
   // the bounds and from the constant term of the sequential exact-rate
   // linearization; the quadratic branch is their analytic extension.
-  return sre_value(c_, x0_, a1_, a2_, x);
+  NETMON_REQUIRE(x >= -1.0, "utility argument out of domain");
+  return kernels::SreOps::value({c_, x0_, a1_, a2_}, x);
 }
 
 double SreUtility::deriv(double x) const {
-  return sre_deriv(c_, x0_, a1_, a2_, x);
+  NETMON_REQUIRE(x >= -1.0, "utility argument out of domain");
+  return kernels::SreOps::deriv({c_, x0_, a1_, a2_}, x);
 }
 
 double SreUtility::second(double x) const {
-  return sre_second(c_, x0_, a1_, a2_, x);
+  NETMON_REQUIRE(x >= -1.0, "utility argument out of domain");
+  return kernels::SreOps::second({c_, x0_, a1_, a2_}, x);
 }
 
 const BatchKernel* SreUtility::batch_kernel(BatchParams& params) const {
@@ -153,11 +93,22 @@ LogUtility::LogUtility(double eps) : eps_(eps) {
   NETMON_REQUIRE(eps > 0.0, "log utility eps must be positive");
 }
 
-double LogUtility::value(double x) const { return log_value(eps_, x); }
+double LogUtility::value(double x) const {
+  // The natural domain is x > -eps (where the log diverges); slightly
+  // negative arguments arise from linearization offsets.
+  NETMON_REQUIRE(x > -eps_, "utility argument out of domain");
+  return kernels::LogOps::value({eps_}, x);
+}
 
-double LogUtility::deriv(double x) const { return log_deriv(eps_, x); }
+double LogUtility::deriv(double x) const {
+  NETMON_REQUIRE(x > -eps_, "utility argument out of domain");
+  return kernels::LogOps::deriv({eps_}, x);
+}
 
-double LogUtility::second(double x) const { return log_second(eps_, x); }
+double LogUtility::second(double x) const {
+  NETMON_REQUIRE(x > -eps_, "utility argument out of domain");
+  return kernels::LogOps::second({eps_}, x);
+}
 
 const BatchKernel* LogUtility::batch_kernel(BatchParams& params) const {
   params = {eps_, 0.0, 0.0, 0.0};
@@ -184,12 +135,19 @@ DetectionUtility::DetectionUtility(double flow_packets) : s_(flow_packets) {
                  "detection utility needs flow size >= 2 packets");
 }
 
-double DetectionUtility::value(double x) const { return detect_value(s_, x); }
+double DetectionUtility::value(double x) const {
+  NETMON_REQUIRE(x >= -1e-9, "utility argument must be >= 0");
+  return kernels::DetectOps::value({s_}, x);
+}
 
-double DetectionUtility::deriv(double x) const { return detect_deriv(s_, x); }
+double DetectionUtility::deriv(double x) const {
+  NETMON_REQUIRE(x >= -1e-9, "utility argument must be >= 0");
+  return kernels::DetectOps::deriv({s_}, x);
+}
 
 double DetectionUtility::second(double x) const {
-  return detect_second(s_, x);
+  NETMON_REQUIRE(x >= -1e-9, "utility argument must be >= 0");
+  return kernels::DetectOps::second({s_}, x);
 }
 
 const BatchKernel* DetectionUtility::batch_kernel(BatchParams& params) const {

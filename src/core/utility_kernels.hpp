@@ -1,0 +1,193 @@
+// Per-family utility math shared by the scalar virtuals, the scalar
+// batch kernels and the vectorized batch kernels — one source of truth,
+// so every dispatch path is bit-identical by construction.
+//
+// Layout contract (see opt::Concave1d::BatchKernel): parameters are
+// structure-of-arrays, parameter j of term i at soa[j * stride + i].
+// Each Ops struct gathers its pack with load(), states its domain with
+// in_domain(), and computes value/deriv/second as BRANCH-FREE selects:
+// both sides of the pivot are evaluated and the comparison picks one,
+// which is what lets the compiler if-convert and vectorize the loops.
+// The discarded lane may divide by zero — that is well-defined IEEE
+// arithmetic (inf) and the result is never selected.
+//
+// The loop templates take a Tag type parameter solely to force DISTINCT
+// instantiations in the scalar TU (core/utility.cpp, default flags) and
+// the SIMD TU (core/utility_simd.cpp, -O3 + vectorization flags): with a
+// shared inline symbol the linker would merge the two and the dispatch
+// knob would be a no-op. None of the enabled flags change floating-point
+// results (-fno-trapping-math / -fno-math-errno only licence speculation
+// and drop errno), so the two instantiations stay bit-identical.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "util/error.hpp"
+
+namespace netmon::core::kernels {
+
+struct ScalarPath;  // tag: reference instantiation (core/utility.cpp)
+struct VectorPath;  // tag: vectorized instantiation (core/utility_simd.cpp)
+
+/// SRE utility (paper eq. 7 linearized below the pivot x0):
+///   M(x) = (a1 + a2 x) x        for x < x0
+///   M(x) = 1 + c - c / x        for x >= x0
+/// Pack layout {c, x0, a1, a2}.
+struct SreOps {
+  struct P {
+    double c, x0, a1, a2;
+  };
+  static inline P load(const double* soa, std::size_t stride,
+                       std::size_t i) {
+    return {soa[i], soa[stride + i], soa[2 * stride + i],
+            soa[3 * stride + i]};
+  }
+  static inline bool in_domain(const P&, double x) { return x >= -1.0; }
+  static inline double value(const P& q, double x) {
+    const double quad = (q.a1 + q.a2 * x) * x;
+    const double rat = 1.0 + q.c - q.c / x;  // = 1 - c(1-x)/x
+    return x < q.x0 ? quad : rat;
+  }
+  static inline double deriv(const P& q, double x) {
+    const double quad = q.a1 + 2.0 * q.a2 * x;
+    const double rat = q.c / (x * x);
+    return x < q.x0 ? quad : rat;
+  }
+  static inline double second(const P& q, double x) {
+    const double quad = 2.0 * q.a2;
+    const double rat = -2.0 * q.c / (x * x * x);
+    return x < q.x0 ? quad : rat;
+  }
+};
+
+/// Logarithmic utility M(x) = ln(1 + x/eps). Pack layout {eps}.
+struct LogOps {
+  struct P {
+    double eps;
+  };
+  static inline P load(const double* soa, std::size_t /*stride*/,
+                       std::size_t i) {
+    return {soa[i]};
+  }
+  static inline bool in_domain(const P& q, double x) { return x > -q.eps; }
+  static inline double value(const P& q, double x) {
+    return std::log1p(x / q.eps);
+  }
+  static inline double deriv(const P& q, double x) {
+    return 1.0 / (q.eps + x);
+  }
+  static inline double second(const P& q, double x) {
+    return -1.0 / ((q.eps + x) * (q.eps + x));
+  }
+};
+
+/// Detection utility M(x) = 1 - (1-x)^S on the clamped rate. Pack {s}.
+struct DetectOps {
+  struct P {
+    double s;
+  };
+  static inline P load(const double* soa, std::size_t /*stride*/,
+                       std::size_t i) {
+    return {soa[i]};
+  }
+  static inline bool in_domain(const P&, double x) { return x >= -1e-9; }
+  static inline double clamp_rate(double x) {
+    return std::min(std::max(x, 0.0), 1.0 - 1e-12);
+  }
+  static inline double value(const P& q, double x) {
+    const double c = clamp_rate(x);
+    return -std::expm1(q.s * std::log1p(-c));  // 1 - (1-c)^S
+  }
+  static inline double deriv(const P& q, double x) {
+    const double c = clamp_rate(x);
+    return q.s * std::exp((q.s - 1.0) * std::log1p(-c));
+  }
+  static inline double second(const P& q, double x) {
+    const double c = clamp_rate(x);
+    return -q.s * (q.s - 1.0) * std::exp((q.s - 2.0) * std::log1p(-c));
+  }
+};
+
+/// Domain pre-check over a whole run: a single fold the vectorizer
+/// handles, then one NETMON_REQUIRE. (The historical per-element check
+/// threw mid-run; a domain violation is fatal either way.)
+template <typename Ops>
+inline void check_domain(const double* soa, std::size_t stride,
+                         const double* x, std::size_t n) {
+  bool ok = true;
+  for (std::size_t i = 0; i < n; ++i)
+    ok &= Ops::in_domain(Ops::load(soa, stride, i), x[i]);
+  NETMON_REQUIRE(ok, "utility argument out of domain");
+}
+
+template <typename Ops, typename Tag>
+void map_value(const double* soa, std::size_t stride,
+               const double* __restrict x, double* __restrict out,
+               std::size_t n) {
+  check_domain<Ops>(soa, stride, x, n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = Ops::value(Ops::load(soa, stride, i), x[i]);
+}
+
+template <typename Ops, typename Tag>
+void map_deriv(const double* soa, std::size_t stride,
+               const double* __restrict x, double* __restrict out,
+               std::size_t n) {
+  check_domain<Ops>(soa, stride, x, n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = Ops::deriv(Ops::load(soa, stride, i), x[i]);
+}
+
+template <typename Ops, typename Tag>
+void map_second(const double* soa, std::size_t stride,
+                const double* __restrict x, double* __restrict out,
+                std::size_t n) {
+  check_domain<Ops>(soa, stride, x, n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = Ops::second(Ops::load(soa, stride, i), x[i]);
+}
+
+/// M, M', M'' from one pass over x — the fused evaluation kernel.
+template <typename Ops, typename Tag>
+void fused(const double* soa, std::size_t stride,
+           const double* __restrict x, double* __restrict v,
+           double* __restrict m1, double* __restrict m2, std::size_t n) {
+  check_domain<Ops>(soa, stride, x, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const typename Ops::P q = Ops::load(soa, stride, i);
+    const double xi = x[i];
+    v[i] = Ops::value(q, xi);
+    m1[i] = Ops::deriv(q, xi);
+    m2[i] = Ops::second(q, xi);
+  }
+}
+
+/// M', M'' only (line-search probes skip the value).
+template <typename Ops, typename Tag>
+void deriv2(const double* soa, std::size_t stride,
+            const double* __restrict x, double* __restrict m1,
+            double* __restrict m2, std::size_t n) {
+  check_domain<Ops>(soa, stride, x, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const typename Ops::P q = Ops::load(soa, stride, i);
+    const double xi = x[i];
+    m1[i] = Ops::deriv(q, xi);
+    m2[i] = Ops::second(q, xi);
+  }
+}
+
+#ifdef NETMON_HAVE_SIMD
+// Vectorized instantiations, defined in core/utility_simd.cpp (the TU
+// compiled with -O3 and the vectorization flags). SRE is the family
+// whose math is pure arithmetic and actually vectorizes; the log and
+// detection families are libm-bound, so their fused kernels stay in the
+// scalar TU and the dispatch falls through.
+void sre_fused_simd(const double* soa, std::size_t stride, const double* x,
+                    double* v, double* m1, double* m2, std::size_t n);
+void sre_deriv2_simd(const double* soa, std::size_t stride, const double* x,
+                     double* m1, double* m2, std::size_t n);
+#endif
+
+}  // namespace netmon::core::kernels

@@ -1,0 +1,31 @@
+// Vectorized instantiations of the fused utility kernels.
+//
+// This TU (and only this TU) is compiled with the auto-vectorization
+// flag set — -O3 -ftree-vectorize -fno-trapping-math -fno-math-errno —
+// wired up in src/CMakeLists.txt when the NETMON_SIMD option is ON. The
+// loop bodies are the exact templates the scalar reference kernels
+// instantiate (core/utility_kernels.hpp); the VectorPath tag only forces
+// a distinct symbol so this TU's codegen is actually used. None of the
+// extra flags change floating-point results (no -ffast-math, no FMA
+// contraction on the SSE2 baseline), so the vectorized kernels are
+// bit-identical to the scalar ones — enforced by tests/opt_fused_eval_
+// test.cpp across utility families and pivot regimes.
+#ifdef NETMON_HAVE_SIMD
+
+#include "core/utility_kernels.hpp"
+
+namespace netmon::core::kernels {
+
+void sre_fused_simd(const double* soa, std::size_t stride, const double* x,
+                    double* v, double* m1, double* m2, std::size_t n) {
+  fused<SreOps, VectorPath>(soa, stride, x, v, m1, m2, n);
+}
+
+void sre_deriv2_simd(const double* soa, std::size_t stride, const double* x,
+                     double* m1, double* m2, std::size_t n) {
+  deriv2<SreOps, VectorPath>(soa, stride, x, m1, m2, n);
+}
+
+}  // namespace netmon::core::kernels
+
+#endif  // NETMON_HAVE_SIMD

@@ -81,6 +81,40 @@ void spmv_t(const SparseCsr& a, std::span<const double> x,
   }
 }
 
+void spmv_t_grad_hess(const SparseCsr& a, std::span<const double> w,
+                      std::span<const double> q, std::span<double> g,
+                      std::span<double> h) {
+  NETMON_REQUIRE(g.size() == a.cols() && h.size() == a.cols(),
+                 "spmv_t_grad_hess output size mismatch");
+  NETMON_REQUIRE(w.size() >= a.rows() && q.size() >= a.rows(),
+                 "spmv_t_grad_hess input too short");
+  for (double& v : g) v = 0.0;
+  for (double& v : h) v = 0.0;
+  const std::span<const std::size_t> row_ptr = a.row_ptr();
+  const std::span<const SparseCsr::Index> cols = a.col_idx();
+  const std::span<const double> vals = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double wr = w[r];
+    const double qr = q[r];
+    for (std::size_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      const double v = vals[i];
+      g[cols[i]] += v * wr;
+      h[cols[i]] += v * v * qr;
+    }
+  }
+}
+
+void row_axpy(const SparseCsr& a, std::size_t i, double delta,
+              std::span<double> y) {
+  NETMON_REQUIRE(i < a.rows(), "row_axpy row out of range");
+  NETMON_REQUIRE(y.size() >= a.cols(), "row_axpy output too short");
+  const std::span<const std::size_t> row_ptr = a.row_ptr();
+  const std::span<const SparseCsr::Index> cols = a.col_idx();
+  const std::span<const double> vals = a.values();
+  for (std::size_t j = row_ptr[i]; j < row_ptr[i + 1]; ++j)
+    y[cols[j]] += vals[j] * delta;
+}
+
 double row_dot(const SparseCsr& a, std::size_t i, std::span<const double> x) {
   NETMON_REQUIRE(i < a.rows(), "row_dot row out of range");
   NETMON_REQUIRE(x.size() >= a.cols(), "row_dot input too short");

@@ -171,4 +171,21 @@ void spmv_t(const SparseCsr& a, std::span<const double> x,
 /// Inner product of row `i` with x (x.size() >= cols), left to right.
 double row_dot(const SparseCsr& a, std::size_t i, std::span<const double> x);
 
+/// Fused transposed scatter: one traversal of `a` accumulating BOTH
+///   g = A^T w   and   h_j = sum_r a_{r,j}^2 * q_r
+/// i.e. the gradient scatter and the Hessian diagonal of a separable
+/// objective (w = M'(x), q = M''(x)) from a single pass over the arenas.
+/// Requires g.size() == h.size() == cols, w.size() >= rows, q.size() >=
+/// rows. Contributions land in ascending row order, so g is bit-identical
+/// to spmv_t(a, w, g).
+void spmv_t_grad_hess(const SparseCsr& a, std::span<const double> w,
+                      std::span<const double> q, std::span<double> g,
+                      std::span<double> h);
+
+/// y += delta * row `i` of `a`, scattered by column. On a transposed
+/// (CSC-view) matrix this is the column update the solver uses to patch
+/// the inner products rho = R p when a single coordinate p_i changes.
+void row_axpy(const SparseCsr& a, std::size_t i, double delta,
+              std::span<double> y);
+
 }  // namespace netmon::linalg

@@ -19,10 +19,13 @@ namespace netmon::linalg {
 class EvalWorkspace {
  public:
   /// Each accessor returns a span of exactly `n` doubles backed by the
-  /// named slot; contents are unspecified on entry.
+  /// named slot; contents are unspecified on entry. rows_d exists for the
+  /// fused evaluation path, which needs four term-sized buffers at once
+  /// (inner products plus M / M' / M'').
   std::span<double> rows_a(std::size_t n) { return fit(rows_a_, n); }
   std::span<double> rows_b(std::size_t n) { return fit(rows_b_, n); }
   std::span<double> rows_c(std::size_t n) { return fit(rows_c_, n); }
+  std::span<double> rows_d(std::size_t n) { return fit(rows_d_, n); }
   std::span<double> cols_a(std::size_t n) { return fit(cols_a_, n); }
   std::span<double> cols_b(std::size_t n) { return fit(cols_b_, n); }
 
@@ -32,7 +35,7 @@ class EvalWorkspace {
     return {buf.data(), n};
   }
 
-  std::vector<double> rows_a_, rows_b_, rows_c_;
+  std::vector<double> rows_a_, rows_b_, rows_c_, rows_d_;
   std::vector<double> cols_a_, cols_b_;
 };
 

@@ -1,0 +1,113 @@
+#include "opt/fused_eval.hpp"
+
+#include "util/error.hpp"
+
+namespace netmon::opt {
+
+void SeparableRestriction::reset(const SeparableConcaveObjective& f,
+                                 std::span<const double> x0,
+                                 std::span<const double> d,
+                                 std::span<const double> m2_at_x0) {
+  const std::size_t n = f.term_count();
+  NETMON_REQUIRE(x0.size() == n, "restriction inner-product size mismatch");
+  NETMON_REQUIRE(d.size() == f.dimension(),
+                 "restriction direction size mismatch");
+  f_ = &f;
+
+  rd_.resize(n);
+  linalg::spmv(f.matrix_, d, {rd_.data(), n});  // offsets drop in d/dt
+
+  // Gather the active terms (rd_k != 0) in order, preserving the batch-
+  // run structure. All buffers are grow-only.
+  x0c_.clear();
+  rdc_.clear();
+  idx_.clear();
+  runs_.clear();
+  for (const auto& run : f.runs_) {
+    for (std::size_t k = run.begin; k < run.end; ++k) {
+      if (rd_[k] == 0.0) continue;
+      const std::size_t slot = x0c_.size();
+      if (!runs_.empty() && runs_.back().kernel == run.kernel &&
+          runs_.back().end == slot) {
+        runs_.back().end = slot + 1;
+      } else {
+        runs_.push_back({run.kernel, slot, slot + 1});
+      }
+      x0c_.push_back(x0[k]);
+      rdc_.push_back(rd_[k]);
+      idx_.push_back(k);
+    }
+  }
+
+  // Compact SoA coefficient table: parameter j of slot i at soa_[j*m+i],
+  // gathered from the objective's full-width table.
+  const std::size_t m = x0c_.size();
+  soa_.resize(Concave1d::kBatchParamCount * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t k = idx_[i];
+    for (std::size_t j = 0; j < Concave1d::kBatchParamCount; ++j)
+      soa_[j * m + i] = f.soa_[j * n + k];
+  }
+  xt_.resize(m);
+  m1_.resize(m);
+  m2_.resize(m);
+
+  // phi''(0) from the caller's per-term M'' at x0, when provided: the
+  // inactive terms contribute exactly zero (rd_k == 0), so the compact
+  // sum is the full sum.
+  have_second0_ = !m2_at_x0.empty();
+  if (have_second0_) {
+    NETMON_REQUIRE(m2_at_x0.size() == n, "restriction m2 size mismatch");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double r = rdc_[i];
+      sum += m2_at_x0[idx_[i]] * r * r;
+    }
+    second0_ = sum;
+  }
+}
+
+Phi::Derivs SeparableRestriction::derivs(double t) {
+  NETMON_REQUIRE(f_ != nullptr, "restriction not reset");
+  const std::size_t m = x0c_.size();
+  double* __restrict xt = xt_.data();
+  const double* __restrict x0c = x0c_.data();
+  const double* __restrict rdc = rdc_.data();
+  for (std::size_t i = 0; i < m; ++i) xt[i] = x0c[i] + t * rdc[i];
+
+  const bool simd = simd_dispatch_enabled();
+  for (const CompactRun& run : runs_) {
+    const std::size_t len = run.end - run.begin;
+    if (run.kernel != nullptr && run.kernel->deriv2 != nullptr) {
+      const Concave1d::BatchKernel::Deriv2Fn fn =
+          simd && run.kernel->deriv2_simd != nullptr
+              ? run.kernel->deriv2_simd
+              : run.kernel->deriv2;
+      fn(soa_.data() + run.begin, m, xt + run.begin, m1_.data() + run.begin,
+         m2_.data() + run.begin, len);
+      continue;
+    }
+    for (std::size_t i = run.begin; i < run.end; ++i) {
+      const Concave1d& u = *f_->utilities_[idx_[i]];
+      m1_[i] = u.deriv(xt[i]);
+      m2_[i] = u.second(xt[i]);
+    }
+  }
+
+  Derivs out;
+  const double* __restrict m1 = m1_.data();
+  const double* __restrict m2 = m2_.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double r = rdc[i];
+    out.first += m1[i] * r;
+    out.second += m2[i] * r * r;
+  }
+  return out;
+}
+
+double SeparableRestriction::second_at_zero() {
+  if (have_second0_) return second0_;
+  return derivs(0.0).second;
+}
+
+}  // namespace netmon::opt

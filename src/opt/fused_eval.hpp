@@ -1,0 +1,83 @@
+// Line-search restriction over a separable objective, evaluated with no
+// matrix traversal per probe.
+//
+// A 1-D search from p along d probes phi(t) = f(p + t d). For the
+// separable objective f(p) = sum_k M_k(a_k + (Rp)_k) the restriction is
+//   phi'(t)  = sum_k M'_k (x0_k + t rd_k) rd_k,
+//   phi''(t) = sum_k M''_k(x0_k + t rd_k) rd_k^2,
+// with x0 = a + Rp and rd = R d. Both R-products are computed ONCE in
+// reset(); every probe after that is a single batched pass over the
+// terms with rd_k != 0. Terms with rd_k == 0 sit at the same inner
+// product for the whole search — their utility evaluations are dropped
+// at reset (the sums are unchanged because their contribution is exactly
+// zero), which is the probe-to-probe evaluation cache: on a typical
+// iteration the search direction touches a fraction of the OD pairs, and
+// only those terms are ever re-evaluated.
+//
+// The active terms are gathered into compact arrays (inner products,
+// rd, structure-of-arrays coefficients), so the probe kernels are the
+// same branch-free batched loops the fused evaluation uses — including
+// the SIMD dispatch.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "opt/line_search.hpp"
+#include "opt/objective.hpp"
+
+namespace netmon::opt {
+
+class SeparableRestriction final : public Phi {
+ public:
+  SeparableRestriction() = default;
+
+  /// Prepares a search from inner products `x0` (= a + Rp, term_count-
+  /// sized) along direction `d` (dimension-sized): computes rd = R d —
+  /// the only matrix traversal of the whole line search — and gathers
+  /// the terms with rd_k != 0. When `m2_at_x0` (per-term M'' at x0, e.g.
+  /// from the solver's fused evaluation at p) is non-empty, phi''(0) is
+  /// precomputed from it so the Newton first step costs no extra kernel
+  /// pass. All buffers are grow-only: repeated resets on problems of the
+  /// same size allocate nothing.
+  void reset(const SeparableConcaveObjective& f, std::span<const double> x0,
+             std::span<const double> d,
+             std::span<const double> m2_at_x0 = {});
+
+  /// One batched pass over the active terms; no matrix traversal.
+  Derivs derivs(double t) override;
+
+  double second_at_zero() override;
+
+  /// rd = R d, dense over all terms — the solver reuses it for the
+  /// incremental inner-product update x += t * rd after the step.
+  std::span<const double> rd() const { return {rd_.data(), rd_.size()}; }
+
+  /// Number of terms participating in the probes (rd_k != 0).
+  std::size_t active_terms() const { return x0c_.size(); }
+
+ private:
+  /// A maximal group of consecutive compact slots sharing a batch kernel
+  /// (nullptr = per-term virtual dispatch via idx_).
+  struct CompactRun {
+    const Concave1d::BatchKernel* kernel = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  const SeparableConcaveObjective* f_ = nullptr;
+  std::vector<double> rd_;    // dense R d (term_count)
+  std::vector<double> x0c_;   // compact x0 over active terms
+  std::vector<double> rdc_;   // compact rd over active terms
+  std::vector<double> soa_;   // compact SoA coefficients (stride = active)
+  std::vector<double> xt_;    // probe inner products x0c + t rdc
+  std::vector<double> m1_;    // probe M'
+  std::vector<double> m2_;    // probe M''
+  std::vector<std::size_t> idx_;  // original term per compact slot
+  std::vector<CompactRun> runs_;
+  double second0_ = 0.0;
+  bool have_second0_ = false;
+};
+
+}  // namespace netmon::opt

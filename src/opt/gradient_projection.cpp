@@ -12,6 +12,11 @@ namespace {
 
 constexpr double kSnapLower = 1e-13;   // absolute snap-to-zero threshold
 constexpr double kSnapUpperRel = 1e-13;  // relative snap-to-alpha threshold
+// Fused path: full inner-product recompute cadence. Delta updates keep
+// rho = R p in sync to within a few ulps per update; a periodic refresh
+// (and one after any mass-update iteration) bounds the accumulated drift
+// independently of the iteration count.
+constexpr int kInnerRefreshInterval = 64;
 
 double norm2(std::span<const double> v) {
   double sum = 0.0;
@@ -57,6 +62,12 @@ SolveResult maximize(const Objective& f,
   const std::vector<double>& u = constraints.loads();
   const std::vector<double>& alpha = constraints.upper();
 
+  // Fused fast path: separable objectives evaluate value, gradient and
+  // per-term M'/M'' from one matrix traversal, keep rho = R p patched
+  // incrementally, and run line-search probes with no traversal at all.
+  const SeparableConcaveObjective* sep =
+      options.use_fused ? f.separable() : nullptr;
+
   SolveResult result;
   result.p = start ? *start : constraints.initial_point();
   NETMON_REQUIRE(result.p.size() == n, "start point dimension mismatch");
@@ -65,12 +76,26 @@ SolveResult maximize(const Objective& f,
 
   std::vector<BoundState>& bounds = result.bounds;
   bounds.assign(n, BoundState::kFree);
+
+  // Every mutation of p after the inner products exist goes through
+  // set_p, which mirrors the change into x via one CSC-column walk —
+  // the incremental active-set update that replaces the full R p.
+  bool maintain_x = false;
+  std::span<double> x;
+  std::size_t deltas_this_iter = 0;
+  auto set_p = [&](std::size_t j, double v) {
+    if (maintain_x && v != result.p[j]) {
+      sep->inner_axpy(j, v - result.p[j], x);
+      ++deltas_this_iter;
+    }
+    result.p[j] = v;
+  };
   auto classify = [&](std::size_t j) {
     if (result.p[j] <= kSnapLower) {
-      result.p[j] = 0.0;
+      set_p(j, 0.0);
       bounds[j] = BoundState::kAtLower;
     } else if (alpha[j] - result.p[j] <= kSnapUpperRel * alpha[j]) {
-      result.p[j] = alpha[j];
+      set_p(j, alpha[j]);
       bounds[j] = BoundState::kAtUpper;
     } else {
       bounds[j] = BoundState::kFree;
@@ -89,8 +114,7 @@ SolveResult maximize(const Objective& f,
     if (uu <= 0.0) return;
     for (std::size_t j = 0; j < n; ++j) {
       if (bounds[j] != BoundState::kFree) continue;
-      result.p[j] =
-          std::clamp(result.p[j] + drift * u[j] / uu, 0.0, alpha[j]);
+      set_p(j, std::clamp(result.p[j] + drift * u[j] / uu, 0.0, alpha[j]));
     }
   };
 
@@ -109,6 +133,21 @@ SolveResult maximize(const Objective& f,
   std::vector<double>& d_prev = ws.d_prev;
   bool have_prev = false;
 
+  if (sep != nullptr) {
+    ws.x.resize(sep->term_count());
+    x = {ws.x.data(), ws.x.size()};
+    sep->inner_into(result.p, x);
+    maintain_x = true;
+  }
+
+  // Whether g (and, on the fused path, current_value and m2_terms) were
+  // produced at the CURRENT p — false as soon as a step moves p, so the
+  // exit path knows whether one final evaluation is needed.
+  bool eval_current = false;
+  double current_value = 0.0;
+  std::span<const double> m2_terms;  // per-term M'' at p (fused path)
+  int iters_since_refresh = 0;
+
   int iter = 0;
   while (iter < options.max_iterations) {
     if (options.should_stop && options.should_stop(iter)) {
@@ -116,7 +155,16 @@ SolveResult maximize(const Objective& f,
       break;
     }
     ++iter;
-    f.gradient(result.p, g, ws.eval);
+    deltas_this_iter = 0;
+    if (sep != nullptr) {
+      const SeparableConcaveObjective::FusedEval fe =
+          sep->fused_eval_from_inner(x, g, ws.eval);
+      current_value = fe.value;
+      m2_terms = fe.m2;
+    } else {
+      f.gradient(result.p, g, ws.eval);
+    }
+    eval_current = true;
     project_direction(g, u, bounds, s);
 
     const double snorm = norm2(s);
@@ -181,8 +229,20 @@ SolveResult maximize(const Objective& f,
       continue;
     }
 
-    const LineSearchResult ls =
-        maximize_along(f, result.p, d, t_max, options.line_search, ws.eval);
+    // 1-D search. phi'(0) = dot(g, d) is already in hand — the search
+    // never re-evaluates the objective at t = 0.
+    const double phi0 = dot(g, d);
+    LineSearchResult ls;
+    if (sep != nullptr) {
+      // One traversal for rd = R d; every probe after that is a batched
+      // pass over the terms the direction actually touches. phi''(0)
+      // comes for free from this iteration's fused M''.
+      ws.restriction.reset(*sep, x, d, m2_terms);
+      ls = maximize_phi(ws.restriction, t_max, options.line_search, phi0);
+    } else {
+      GenericPhi phi(f, result.p, d, ws.eval);
+      ls = maximize_phi(phi, t_max, options.line_search, phi0);
+    }
     if (ls.t <= 0.0) {
       // No numerical progress possible along d: decide via the KKT
       // multipliers, exactly as when the projected gradient vanishes.
@@ -198,9 +258,27 @@ SolveResult maximize(const Objective& f,
       have_prev = false;
       continue;
     }
-    for (std::size_t j = 0; j < n; ++j) {
-      result.p[j] = std::clamp(result.p[j] + ls.t * d[j], 0.0, alpha[j]);
+    if (sep != nullptr) {
+      // Dense inner-product update x += t * rd (rd cached from the line
+      // search), then per-column corrections for the clamped coordinates
+      // only — no full R p recompute.
+      const std::span<const double> rd = ws.restriction.rd();
+      for (std::size_t k = 0; k < rd.size(); ++k) x[k] += ls.t * rd[k];
+      for (std::size_t j = 0; j < n; ++j) {
+        const double moved = result.p[j] + ls.t * d[j];
+        const double v = std::clamp(moved, 0.0, alpha[j]);
+        if (v != moved) {
+          sep->inner_axpy(j, v - moved, x);
+          ++deltas_this_iter;
+        }
+        result.p[j] = v;
+      }
+    } else {
+      for (std::size_t j = 0; j < n; ++j) {
+        result.p[j] = std::clamp(result.p[j] + ls.t * d[j], 0.0, alpha[j]);
+      }
     }
+    eval_current = false;
 
     if (ls.hit_boundary) {
       for (std::size_t j = 0; j < n; ++j) {
@@ -225,13 +303,35 @@ SolveResult maximize(const Objective& f,
       }
     }
     correct_budget();
+
+    if (maintain_x && (++iters_since_refresh >= kInnerRefreshInterval ||
+                       deltas_this_iter > n / 4)) {
+      sep->inner_into(result.p, x);
+      iters_since_refresh = 0;
+    }
   }
 
   result.iterations = iter;
-  result.value = f.value(result.p, ws.eval);
+  if (sep != nullptr) {
+    if (!eval_current) {
+      // One exact evaluation at the exit point: refresh rho and run the
+      // fused kernel once (value + gradient in a single traversal).
+      sep->inner_into(result.p, x);
+      const SeparableConcaveObjective::FusedEval fe =
+          sep->fused_eval_from_inner(x, g, ws.eval);
+      current_value = fe.value;
+    }
+    result.value = current_value;
+  } else {
+    result.value = f.value(result.p, ws.eval);
+    if (result.status != SolveStatus::kOptimal && !eval_current) {
+      f.gradient(result.p, g, ws.eval);
+    }
+  }
   if (result.status != SolveStatus::kOptimal) {
-    // Record final multipliers for diagnostics.
-    f.gradient(result.p, g, ws.eval);
+    // Final multipliers for diagnostics, from the gradient already in
+    // ws.g — recomputed above only when p moved after the last fused
+    // evaluation, never twice.
     compute_kkt(g, u, bounds, options.kkt_tol, ws.kkt);
     result.lambda = ws.kkt.lambda;
     result.worst_multiplier = ws.kkt.worst;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "opt/constraints.hpp"
+#include "opt/fused_eval.hpp"
 #include "opt/kkt.hpp"
 #include "opt/line_search.hpp"
 #include "opt/objective.hpp"
@@ -39,6 +40,13 @@ struct SolverOptions {
   bool polak_ribiere = true;
   /// 1-D search configuration (Newton by default; bisection ablation).
   LineSearchOptions line_search;
+  /// Use the fused evaluation path when the objective is separable:
+  /// value + gradient + per-term derivatives from one matrix traversal,
+  /// inner products rho = R p maintained incrementally across steps, and
+  /// line-search probes that never touch the matrix. Off = the generic
+  /// per-virtual path, byte-for-byte the historical iteration (ablation
+  /// and bit-identity reference).
+  bool use_fused = true;
   /// Cooperative cancellation hook, polled between iterations with the
   /// number of completed iterations. Returning true stops the solve with
   /// SolveStatus::kCancelled and the best-so-far (feasible) point. The
@@ -89,6 +97,8 @@ struct SolverWorkspace {
   std::vector<double> s_prev;   // previous projected gradient (PR mixing)
   std::vector<double> d_prev;   // previous direction (PR mixing)
   std::vector<double> dir_tmp;  // re-projection scratch for mixed d
+  std::vector<double> x;        // maintained inner products (fused path)
+  SeparableRestriction restriction;  // line-search probes (fused path)
   KktReport kkt;
 };
 

@@ -6,46 +6,38 @@
 
 namespace netmon::opt {
 
-namespace {
+GenericPhi::GenericPhi(const Objective& f, std::span<const double> p,
+                       std::span<const double> d, linalg::EvalWorkspace& ws)
+    : f_(f), p_(p), d_(d), ws_(ws) {
+  NETMON_REQUIRE(p.size() == d.size(), "dimension mismatch");
+}
 
-// phi'(t) and phi''(t) evaluated in one pass.
-struct Derivs {
-  double first;
-  double second;
-};
-
-Derivs derivs_at(const Objective& f, std::span<const double> p,
-                 std::span<const double> d, double t, std::span<double> point,
-                 std::span<double> grad, linalg::EvalWorkspace& ws) {
-  for (std::size_t j = 0; j < p.size(); ++j) point[j] = p[j] + t * d[j];
-  f.gradient(point, grad, ws);
+Phi::Derivs GenericPhi::derivs(double t) {
+  const std::span<double> point = ws_.cols_a(p_.size());
+  const std::span<double> grad = ws_.cols_b(p_.size());
+  for (std::size_t j = 0; j < p_.size(); ++j) point[j] = p_[j] + t * d_[j];
+  f_.gradient(point, grad, ws_);
   double first = 0.0;
-  for (std::size_t j = 0; j < d.size(); ++j) first += grad[j] * d[j];
-  const double second = f.directional_second(point, d, ws);
+  for (std::size_t j = 0; j < d_.size(); ++j) first += grad[j] * d_[j];
+  const double second = f_.directional_second(point, d_, ws_);
   return {first, second};
 }
 
-}  // namespace
-
-LineSearchResult maximize_along(const Objective& f, std::span<const double> p,
-                                std::span<const double> d, double t_max,
-                                const LineSearchOptions& options) {
-  linalg::EvalWorkspace ws;
-  return maximize_along(f, p, d, t_max, options, ws);
+double GenericPhi::second_at_zero() {
+  // Form the t = 0 trial point exactly as derivs() would (p + 0*d), so
+  // the curvature matches the historical evaluation bit for bit.
+  const std::span<double> point = ws_.cols_a(p_.size());
+  for (std::size_t j = 0; j < p_.size(); ++j) point[j] = p_[j] + 0.0 * d_[j];
+  return f_.directional_second(point, d_, ws_);
 }
 
-LineSearchResult maximize_along(const Objective& f, std::span<const double> p,
-                                std::span<const double> d, double t_max,
-                                const LineSearchOptions& options,
-                                linalg::EvalWorkspace& ws) {
+LineSearchResult maximize_phi(Phi& phi, double t_max,
+                              const LineSearchOptions& options,
+                              double derivative_at_zero) {
   NETMON_REQUIRE(t_max > 0.0, "line search needs t_max > 0");
-  NETMON_REQUIRE(p.size() == d.size(), "dimension mismatch");
   LineSearchResult result;
-  const std::span<double> point = ws.cols_a(p.size());
-  const std::span<double> grad = ws.cols_b(p.size());
 
-  const Derivs at0 = derivs_at(f, p, d, 0.0, point, grad, ws);
-  if (at0.first <= 0.0) {
+  if (derivative_at_zero <= 0.0) {
     // Not an ascent direction. Near convergence the projected gradient is
     // pure cancellation noise and its inner product with the gradient can
     // round below zero; report "no progress" and let the caller run the
@@ -53,7 +45,7 @@ LineSearchResult maximize_along(const Objective& f, std::span<const double> p,
     return result;
   }
 
-  const Derivs at_max = derivs_at(f, p, d, t_max, point, grad, ws);
+  const Phi::Derivs at_max = phi.derivs(t_max);
   if (at_max.first >= 0.0) {
     // Still ascending at the boundary: the constraint blocks us.
     result.t = t_max;
@@ -64,16 +56,18 @@ LineSearchResult maximize_along(const Objective& f, std::span<const double> p,
   // Bracket [lo, hi] with phi'(lo) > 0 > phi'(hi).
   double lo = 0.0, hi = t_max;
   double t = t_max;
-  if (options.newton && at0.second < 0.0) {
-    t = std::min(t_max, -at0.first / at0.second);  // first Newton step from 0
+  if (options.newton) {
+    const double second0 = phi.second_at_zero();
+    t = second0 < 0.0 ? std::min(t_max, -derivative_at_zero / second0)
+                      : 0.5 * t_max;
   } else {
     t = 0.5 * t_max;
   }
 
-  const double target = options.tol * at0.first;
+  const double target = options.tol * derivative_at_zero;
   for (int iter = 0; iter < options.max_iters; ++iter) {
     result.iters = iter + 1;
-    const Derivs at = derivs_at(f, p, d, t, point, grad, ws);
+    const Phi::Derivs at = phi.derivs(t);
     if (std::abs(at.first) <= target) break;
     if (at.first > 0.0) lo = t;
     else hi = t;
@@ -93,6 +87,30 @@ LineSearchResult maximize_along(const Objective& f, std::span<const double> p,
   result.t = t;
   result.hit_boundary = false;
   return result;
+}
+
+LineSearchResult maximize_along(const Objective& f, std::span<const double> p,
+                                std::span<const double> d, double t_max,
+                                const LineSearchOptions& options) {
+  linalg::EvalWorkspace ws;
+  return maximize_along(f, p, d, t_max, options, ws);
+}
+
+LineSearchResult maximize_along(const Objective& f, std::span<const double> p,
+                                std::span<const double> d, double t_max,
+                                const LineSearchOptions& options,
+                                linalg::EvalWorkspace& ws) {
+  NETMON_REQUIRE(t_max > 0.0, "line search needs t_max > 0");
+  GenericPhi phi(f, p, d, ws);
+  // Without a caller-provided phi'(0), compute it with one gradient
+  // evaluation at the t = 0 trial point (the historical evaluation).
+  const std::span<double> point = ws.cols_a(p.size());
+  const std::span<double> grad = ws.cols_b(p.size());
+  for (std::size_t j = 0; j < p.size(); ++j) point[j] = p[j] + 0.0 * d[j];
+  f.gradient(point, grad, ws);
+  double first = 0.0;
+  for (std::size_t j = 0; j < d.size(); ++j) first += grad[j] * d[j];
+  return maximize_phi(phi, t_max, options, first);
 }
 
 }  // namespace netmon::opt

@@ -4,6 +4,14 @@
 // maximized on the segment or an inactive constraint is hit. The paper
 // uses Newton's method for the 1-D search (fast, needs C^2); a bisection
 // fallback doubles as the safeguard and as the ablation variant.
+//
+// The search itself only ever sees the restriction phi(t) = f(p + t d)
+// through the Phi interface: GenericPhi evaluates it via the objective's
+// gradient (any Objective), while opt::SeparableRestriction (fused_eval.
+// hpp) evaluates separable objectives in one pass over the active terms
+// with no matrix traversal per probe. phi'(0) is threaded in by the
+// caller — the solver already holds the gradient at p, so the search
+// never re-evaluates the objective at t = 0.
 #pragma once
 
 #include <span>
@@ -33,11 +41,58 @@ struct LineSearchResult {
   int iters = 0;
 };
 
+/// A 1-D restriction phi(t) = f(p + t d), evaluated by its derivatives.
+class Phi {
+ public:
+  struct Derivs {
+    double first = 0.0;
+    double second = 0.0;
+  };
+
+  virtual ~Phi() = default;
+
+  /// phi'(t) and phi''(t) in one evaluation.
+  virtual Derivs derivs(double t) = 0;
+
+  /// phi''(0) alone — the Newton search's first step needs only the
+  /// curvature at 0 (phi'(0) comes from the caller). Override when this
+  /// is cheaper than a full derivs(0).
+  virtual double second_at_zero() { return derivs(0.0).second; }
+};
+
+/// Generic restriction over any Objective: each probe forms the trial
+/// point in ws.cols_a, evaluates the gradient into ws.cols_b and takes
+/// the directional second derivative — exactly the historical line-
+/// search evaluation, unchanged bit for bit.
+class GenericPhi final : public Phi {
+ public:
+  GenericPhi(const Objective& f, std::span<const double> p,
+             std::span<const double> d, linalg::EvalWorkspace& ws);
+
+  Derivs derivs(double t) override;
+  double second_at_zero() override;
+
+ private:
+  const Objective& f_;
+  std::span<const double> p_, d_;
+  linalg::EvalWorkspace& ws_;
+};
+
+/// Maximizes phi over t in [0, t_max]. `derivative_at_zero` is phi'(0),
+/// which every caller already has (the solver as dot(g, d)); when it is
+/// <= 0 the direction is not an ascent direction (at numerical
+/// convergence the projected gradient is cancellation noise) and the
+/// search returns t = 0 without evaluating phi at all.
+LineSearchResult maximize_phi(Phi& phi, double t_max,
+                              const LineSearchOptions& options,
+                              double derivative_at_zero);
+
 /// Maximizes phi(t) = f(p + t d) over t in [0, t_max].
 ///
 /// Preconditions: f concave along d, t_max > 0. When d is not an ascent
-/// direction (phi'(0) <= 0, which happens at numerical convergence where
-/// the projected gradient is cancellation noise), returns t = 0.
+/// direction (phi'(0) <= 0), returns t = 0. Computes phi'(0) itself via
+/// one gradient evaluation; callers that already hold the gradient at p
+/// should use maximize_phi directly and skip that evaluation.
 LineSearchResult maximize_along(const Objective& f, std::span<const double> p,
                                 std::span<const double> d, double t_max,
                                 const LineSearchOptions& options = {});

@@ -1,11 +1,38 @@
 #include "opt/objective.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 
 #include "runtime/parallel.hpp"
 #include "util/error.hpp"
 
 namespace netmon::opt {
+
+namespace {
+
+bool simd_enabled_from_env() {
+  const char* env = std::getenv("NETMON_SIMD");
+  if (env == nullptr) return true;
+  return std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0 &&
+         std::strcmp(env, "scalar") != 0;
+}
+
+std::atomic<bool>& simd_flag() {
+  static std::atomic<bool> enabled{simd_enabled_from_env()};
+  return enabled;
+}
+
+}  // namespace
+
+bool simd_dispatch_enabled() {
+  return simd_flag().load(std::memory_order_relaxed);
+}
+
+void set_simd_dispatch(bool enabled) {
+  simd_flag().store(enabled, std::memory_order_relaxed);
+}
 
 SeparableConcaveObjective::SeparableConcaveObjective(
     linalg::SparseCsr matrix,
@@ -16,6 +43,7 @@ SeparableConcaveObjective::SeparableConcaveObjective(
       offsets_(std::move(offsets)) {
   validate();
   compile_batch_runs();
+  matrix_t_ = matrix_.transpose();
 }
 
 SeparableConcaveObjective::SeparableConcaveObjective(
@@ -44,11 +72,15 @@ void SeparableConcaveObjective::validate() {
 
 void SeparableConcaveObjective::compile_batch_runs() {
   const std::size_t n = utilities_.size();
-  params_.resize(n);
+  soa_.assign(Concave1d::kBatchParamCount * n, 0.0);
   runs_.clear();
   for (std::size_t k = 0; k < n; ++k) {
+    Concave1d::BatchParams params{};
     const Concave1d::BatchKernel* kernel =
-        utilities_[k]->batch_kernel(params_[k]);
+        utilities_[k]->batch_kernel(params);
+    // Transpose the per-term parameter pack into the SoA columns.
+    for (std::size_t j = 0; j < Concave1d::kBatchParamCount; ++j)
+      soa_[j * n + k] = params[j];
     if (!runs_.empty() && runs_.back().kernel == kernel) {
       runs_.back().end = k + 1;
     } else {
@@ -59,14 +91,15 @@ void SeparableConcaveObjective::compile_batch_runs() {
 
 void SeparableConcaveObjective::map_terms(Map mode, std::span<const double> x,
                                           std::span<double> out) const {
+  const std::size_t stride = term_count();
   for (const BatchRun& run : runs_) {
     const std::size_t n = run.end - run.begin;
     if (run.kernel != nullptr) {
-      const Concave1d::BatchKernel::Fn fn =
+      const Concave1d::BatchKernel::MapFn fn =
           mode == Map::kValue    ? run.kernel->value
           : mode == Map::kDeriv  ? run.kernel->deriv
                                  : run.kernel->second;
-      fn(params_.data() + run.begin, x.data() + run.begin,
+      fn(soa_base(run.begin), stride, x.data() + run.begin,
          out.data() + run.begin, n);
       continue;
     }
@@ -82,6 +115,31 @@ void SeparableConcaveObjective::map_terms(Map mode, std::span<const double> x,
           out[k] = utilities_[k]->second(x[k]);
           break;
       }
+    }
+  }
+}
+
+void SeparableConcaveObjective::fused_terms(std::span<const double> x,
+                                            std::span<double> v,
+                                            std::span<double> m1,
+                                            std::span<double> m2) const {
+  const std::size_t stride = term_count();
+  const bool simd = simd_dispatch_enabled();
+  for (const BatchRun& run : runs_) {
+    const std::size_t n = run.end - run.begin;
+    const std::size_t b = run.begin;
+    if (run.kernel != nullptr && run.kernel->fused != nullptr) {
+      const Concave1d::BatchKernel::FusedFn fn =
+          simd && run.kernel->fused_simd != nullptr ? run.kernel->fused_simd
+                                                    : run.kernel->fused;
+      fn(soa_base(b), stride, x.data() + b, v.data() + b, m1.data() + b,
+         m2.data() + b, n);
+      continue;
+    }
+    for (std::size_t k = b; k < run.end; ++k) {
+      v[k] = utilities_[k]->value(x[k]);
+      m1[k] = utilities_[k]->deriv(x[k]);
+      m2[k] = utilities_[k]->second(x[k]);
     }
   }
 }
@@ -107,6 +165,12 @@ void SeparableConcaveObjective::inner_into(std::span<const double> p,
   }
 }
 
+void SeparableConcaveObjective::inner_axpy(std::size_t col, double delta,
+                                           std::span<double> x) const {
+  NETMON_REQUIRE(x.size() == matrix_.rows(), "inner size mismatch");
+  linalg::row_axpy(matrix_t_, col, delta, x);
+}
+
 std::vector<double> SeparableConcaveObjective::inner(
     std::span<const double> p) const {
   std::vector<double> x(matrix_.rows());
@@ -120,6 +184,17 @@ double SeparableConcaveObjective::value(std::span<const double> p,
   const std::span<double> x = ws.rows_a(n);
   const std::span<double> m = ws.rows_b(n);
   inner_into(p, x);
+  map_terms(Map::kValue, x, m);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) sum += m[k];
+  return sum;
+}
+
+double SeparableConcaveObjective::value_from_inner(
+    std::span<const double> x, linalg::EvalWorkspace& ws) const {
+  NETMON_REQUIRE(x.size() == term_count(), "inner size mismatch");
+  const std::size_t n = term_count();
+  const std::span<double> m = ws.rows_b(n);
   map_terms(Map::kValue, x, m);
   double sum = 0.0;
   for (std::size_t k = 0; k < n; ++k) sum += m[k];
@@ -153,6 +228,52 @@ double SeparableConcaveObjective::directional_second(
   map_terms(Map::kSecond, x, m2);
   double sum = 0.0;
   for (std::size_t k = 0; k < n; ++k) sum += m2[k] * rs[k] * rs[k];
+  return sum;
+}
+
+SeparableConcaveObjective::FusedEval SeparableConcaveObjective::fused_eval(
+    std::span<const double> p, std::span<double> grad,
+    linalg::EvalWorkspace& ws) const {
+  const std::span<double> x = ws.rows_a(term_count());
+  inner_into(p, x);
+  return fused_eval_from_inner(x, grad, ws);
+}
+
+SeparableConcaveObjective::FusedEval
+SeparableConcaveObjective::fused_eval_from_inner(
+    std::span<const double> x, std::span<double> grad,
+    linalg::EvalWorkspace& ws) const {
+  NETMON_REQUIRE(x.size() == term_count(), "inner size mismatch");
+  NETMON_REQUIRE(grad.size() == matrix_.cols(),
+                 "gradient dimension mismatch");
+  const std::size_t n = term_count();
+  const std::span<double> v = ws.rows_b(n);
+  const std::span<double> m1 = ws.rows_c(n);
+  const std::span<double> m2 = ws.rows_d(n);
+  fused_terms(x, v, m1, m2);
+  linalg::spmv_t(matrix_, m1, grad);
+  FusedEval out;
+  // Same left-to-right sum as value(), so the result is bit-identical.
+  for (std::size_t k = 0; k < n; ++k) out.value += v[k];
+  out.x = x;
+  out.m1 = m1;
+  out.m2 = m2;
+  return out;
+}
+
+void SeparableConcaveObjective::grad_hess_diag_from_terms(
+    std::span<const double> m1, std::span<const double> m2,
+    std::span<double> grad, std::span<double> hess_diag) const {
+  linalg::spmv_t_grad_hess(matrix_, m1, m2, grad, hess_diag);
+}
+
+double SeparableConcaveObjective::directional_second_from_terms(
+    std::span<const double> m2, std::span<const double> rs) const {
+  NETMON_REQUIRE(m2.size() == term_count() && rs.size() == term_count(),
+                 "term size mismatch");
+  double sum = 0.0;
+  for (std::size_t k = 0; k < term_count(); ++k)
+    sum += m2[k] * rs[k] * rs[k];
   return sum;
 }
 

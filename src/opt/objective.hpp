@@ -8,6 +8,15 @@
 // (linalg::SparseCsr). Every evaluation entry point has a workspace-
 // taking variant that draws scratch from linalg::EvalWorkspace and
 // performs zero heap allocations at steady state.
+//
+// The fused evaluation layer: per-OD utility math runs through batch
+// kernels over structure-of-arrays coefficient tables (parameter j of
+// term i of a run lives at soa[j * stride + i]), so a whole run is one
+// plain-function call over contiguous arrays — branch-free and
+// auto-vectorizable. Each kernel family ships a scalar reference
+// variant and (when compiled with NETMON_SIMD) a vectorized variant
+// that is bit-identical by construction; opt::simd_dispatch_enabled()
+// selects between them at runtime.
 #pragma once
 
 #include <array>
@@ -24,6 +33,18 @@ class ThreadPool;
 }  // namespace netmon::runtime
 
 namespace netmon::opt {
+
+class SeparableConcaveObjective;
+
+/// Whether batch kernels dispatch to their vectorized variants. Defaults
+/// to on when the library was built with NETMON_SIMD and the NETMON_SIMD
+/// environment variable is not "0"/"off"/"scalar". The scalar and SIMD
+/// variants are bit-identical, so flipping this never changes results —
+/// only throughput.
+bool simd_dispatch_enabled();
+
+/// Overrides the dispatch decision (tests sweep both paths explicitly).
+void set_simd_dispatch(bool enabled);
 
 /// A twice continuously differentiable concave objective to MAXIMIZE.
 class Objective {
@@ -64,6 +85,15 @@ class Objective {
     (void)ws;
     return directional_second(p, s);
   }
+
+  /// Optional capability hook: objectives with separable structure
+  /// f(p) = sum_k M_k(a_k + (Rp)_k) return themselves, which lets the
+  /// solver use the fused evaluation kernels and maintain the inner
+  /// products rho = R p incrementally. The default (no structure)
+  /// returns nullptr and the solver falls back to the generic virtuals.
+  virtual const SeparableConcaveObjective* separable() const {
+    return nullptr;
+  }
 };
 
 /// A strictly increasing, concave, twice continuously differentiable
@@ -74,16 +104,35 @@ class Concave1d {
   static constexpr std::size_t kBatchParamCount = 4;
   using BatchParams = std::array<double, kBatchParamCount>;
 
-  /// A batch kernel evaluates out[i] = f(params[i], x[i]) for n terms in
-  /// one plain-function call — no per-term virtual dispatch. Terms whose
-  /// utilities return the same kernel pointer are grouped into contiguous
-  /// runs by SeparableConcaveObjective and evaluated together.
+  /// A batch kernel evaluates a contiguous run of n terms in one plain-
+  /// function call — no per-term virtual dispatch. Parameters are laid
+  /// out as structure-of-arrays by the objective: parameter j of term i
+  /// lives at soa[j * stride + i]. Terms whose utilities return the same
+  /// kernel pointer are grouped into contiguous runs.
   struct BatchKernel {
-    using Fn = void (*)(const BatchParams* params, const double* x,
-                        double* out, std::size_t n);
-    Fn value = nullptr;
-    Fn deriv = nullptr;
-    Fn second = nullptr;
+    /// out[i] = f(params_i, x[i]).
+    using MapFn = void (*)(const double* soa, std::size_t stride,
+                           const double* x, double* out, std::size_t n);
+    /// Fused: v[i], m1[i], m2[i] = M, M', M'' at x[i] from one pass.
+    using FusedFn = void (*)(const double* soa, std::size_t stride,
+                             const double* x, double* v, double* m1,
+                             double* m2, std::size_t n);
+    /// Derivative pair only (line-search probes skip the value).
+    using Deriv2Fn = void (*)(const double* soa, std::size_t stride,
+                              const double* x, double* m1, double* m2,
+                              std::size_t n);
+
+    MapFn value = nullptr;
+    MapFn deriv = nullptr;
+    MapFn second = nullptr;
+    /// Scalar reference fused variants (required when the maps exist).
+    FusedFn fused = nullptr;
+    Deriv2Fn deriv2 = nullptr;
+    /// Vectorized variants; nullptr when the family does not vectorize
+    /// (libm-bound kernels) or the build disabled NETMON_SIMD. Must be
+    /// bit-identical to the scalar variants, element for element.
+    FusedFn fused_simd = nullptr;
+    Deriv2Fn deriv2_simd = nullptr;
   };
 
   virtual ~Concave1d() = default;
@@ -141,6 +190,63 @@ class SeparableConcaveObjective final : public Objective {
                             std::span<const double> s,
                             linalg::EvalWorkspace& ws) const override;
 
+  const SeparableConcaveObjective* separable() const override {
+    return this;
+  }
+
+  /// ---- Fused evaluation layer ----
+
+  /// Per-term state produced by one fused evaluation. The spans alias
+  /// the workspace (or solver-maintained buffers) handed to the call and
+  /// stay valid until those buffers are next reused.
+  struct FusedEval {
+    double value = 0.0;
+    std::span<const double> x;   ///< inner products a + Rp per term
+    std::span<const double> m1;  ///< M'_k(x_k) per term
+    std::span<const double> m2;  ///< M''_k(x_k) per term
+  };
+
+  /// Objective value + gradient + per-term derivatives from ONE matrix
+  /// traversal for the inner products, ONE fused pass over the utility
+  /// terms (all of M, M', M'' per term) and ONE transposed scatter —
+  /// versus the three traversals and three term passes of calling
+  /// value() + gradient() + directional_second() separately. The value
+  /// and gradient are bit-identical to the separate entry points.
+  FusedEval fused_eval(std::span<const double> p, std::span<double> grad,
+                       linalg::EvalWorkspace& ws) const;
+
+  /// Same, starting from known inner products `x` (e.g. the solver's
+  /// incrementally maintained rho = R p): skips the matrix traversal.
+  FusedEval fused_eval_from_inner(std::span<const double> x,
+                                  std::span<double> grad,
+                                  linalg::EvalWorkspace& ws) const;
+
+  /// Hessian diagonal h_j = sum_k M''_k r_{k,j}^2 together with the
+  /// gradient, from the m1/m2 of a fused evaluation — one traversal for
+  /// both scatters (linalg::spmv_t_grad_hess).
+  void grad_hess_diag_from_terms(std::span<const double> m1,
+                                 std::span<const double> m2,
+                                 std::span<double> grad,
+                                 std::span<double> hess_diag) const;
+
+  /// d^2/dt^2 f(p + t s) given per-term M'' and rs = R s: sum m2 rs^2.
+  double directional_second_from_terms(std::span<const double> m2,
+                                       std::span<const double> rs) const;
+
+  /// f value from known inner products (one term pass, no traversal).
+  double value_from_inner(std::span<const double> x,
+                          linalg::EvalWorkspace& ws) const;
+
+  /// Per-term M, M', M'' at inner products x: one fused batch-kernel
+  /// pass per run, dispatched to the SIMD variant when enabled.
+  void fused_terms(std::span<const double> x, std::span<double> v,
+                   std::span<double> m1, std::span<double> m2) const;
+
+  /// Incremental inner-product maintenance: x += delta * R e_col, one
+  /// walk of the CSC column (the delta-update the solver applies when a
+  /// projection step clamps or snaps coordinate `col`).
+  void inner_axpy(std::size_t col, double delta, std::span<double> x) const;
+
   /// Deterministic parallel value: CSR row ranges are folded via
   /// runtime::parallel_reduce, so the result is bit-identical at every
   /// thread count (chunk layout is thread-count independent).
@@ -163,7 +269,14 @@ class SeparableConcaveObjective final : public Objective {
   /// R as a flat CSR (used by composing objectives, e.g. smooth-min).
   const linalg::SparseCsr& matrix() const noexcept { return matrix_; }
 
+  /// R^T as a flat CSR — the CSC view used for column delta-updates.
+  const linalg::SparseCsr& matrix_transposed() const noexcept {
+    return matrix_t_;
+  }
+
  private:
+  friend class SeparableRestriction;
+
   /// One maximal run of consecutive terms sharing a batch kernel
   /// (kernel == nullptr marks a scalar-dispatch run).
   struct BatchRun {
@@ -178,11 +291,20 @@ class SeparableConcaveObjective final : public Objective {
   /// out[k] = M_k / M'_k / M''_k applied to x[k], batched per run.
   void map_terms(Map mode, std::span<const double> x,
                  std::span<double> out) const;
+  /// SoA table base pointer for the run starting at term `begin`:
+  /// parameter j of term (begin + i) is soa_base(begin)[j * n + i] with
+  /// n = term_count() the column stride.
+  const double* soa_base(std::size_t begin) const {
+    return soa_.data() + begin;
+  }
 
   linalg::SparseCsr matrix_;
+  linalg::SparseCsr matrix_t_;  // transpose (CSC view) for column updates
   std::vector<std::shared_ptr<const Concave1d>> utilities_;
   std::vector<double> offsets_;
-  std::vector<Concave1d::BatchParams> params_;
+  /// Structure-of-arrays coefficient table: parameter j of term i at
+  /// soa_[j * term_count() + i]. Runs index into it via soa_base().
+  std::vector<double> soa_;
   std::vector<BatchRun> runs_;
   /// Scratch for the workspace-less virtuals; grow-only, so repeated
   /// calls allocate nothing. Not for concurrent evaluation of the same

@@ -174,10 +174,16 @@ TEST(BitIdentity, SolverReachesIdenticalSolutionOnBothImplementations) {
   const GeantFixture fx;
   const PairListObjective reference = fx.pair_list_clone();
 
+  // The generic (use_fused = false) iteration is the strict bit-identity
+  // path: both objectives then run the exact same solver sequence. (The
+  // fused path changes summation orders; it is compared against this
+  // path with tolerances in opt_fused_eval_test.cpp.)
+  SolverOptions generic;
+  generic.use_fused = false;
   const SolveResult via_csr =
-      maximize(fx.problem.objective(), fx.problem.constraints());
+      maximize(fx.problem.objective(), fx.problem.constraints(), generic);
   const SolveResult via_pairs =
-      maximize(reference, fx.problem.constraints());
+      maximize(reference, fx.problem.constraints(), generic);
 
   EXPECT_EQ(via_csr.status, SolveStatus::kOptimal);
   EXPECT_EQ(via_csr.status, via_pairs.status);
@@ -227,6 +233,42 @@ TEST(ZeroAlloc, LineSearchThroughWarmWorkspace) {
   linalg::EvalWorkspace ws;
   (void)maximize_along(f, p, d, 1e-6, {}, ws);  // warm-up
   EXPECT_EQ(allocations_in([&] { (void)maximize_along(f, p, d, 1e-6, {}, ws); }),
+            0u);
+}
+
+TEST(ZeroAlloc, FusedEvalThroughWarmWorkspace) {
+  const GeantFixture fx;
+  const auto& f = fx.problem.objective();
+  const std::vector<double> p = fx.interior_point();
+  std::vector<double> g(f.dimension()), h(f.dimension());
+  linalg::EvalWorkspace ws;
+
+  const auto warm = f.fused_eval(p, g, ws);  // grows rows_a..rows_d
+  EXPECT_EQ(allocations_in([&] { (void)f.fused_eval(p, g, ws); }), 0u);
+  EXPECT_EQ(
+      allocations_in([&] { f.grad_hess_diag_from_terms(warm.m1, warm.m2, g, h); }),
+      0u);
+  std::vector<double> x(warm.x.begin(), warm.x.end());
+  EXPECT_EQ(allocations_in([&] { (void)f.fused_eval_from_inner(x, g, ws); }),
+            0u);
+  EXPECT_EQ(allocations_in([&] { f.inner_axpy(0, 1e-6, x); }), 0u);
+}
+
+TEST(ZeroAlloc, RestrictionProbesAfterWarmReset) {
+  const GeantFixture fx;
+  const auto& f = fx.problem.objective();
+  const std::vector<double> p = fx.interior_point();
+  const std::vector<double> x0 = f.inner(p);
+  std::vector<double> d(f.dimension(), 0.1);
+
+  SeparableRestriction restriction;
+  restriction.reset(f, x0, d);  // warm-up grows the compact buffers
+  (void)restriction.derivs(1e-5);
+  EXPECT_EQ(allocations_in([&] {
+              restriction.reset(f, x0, d);
+              (void)restriction.derivs(1e-5);
+              (void)restriction.derivs(2e-5);
+            }),
             0u);
 }
 
