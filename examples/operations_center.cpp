@@ -15,7 +15,10 @@
 // never a hang, never a silent drop.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <thread>
 
 #include "netmon.hpp"
@@ -23,6 +26,11 @@
 
 int main() {
   using namespace netmon;
+
+  // With NETMON_OBS_DIR set, the run leaves its observability artifacts
+  // behind: the per-iteration solver trace, the Prometheus metrics
+  // snapshot, and the flight-recorder event log.
+  const char* obs_dir = std::getenv("NETMON_OBS_DIR");
 
   std::printf("== operations center: BGP + IS-IS + SNMP + query service ==\n\n");
 
@@ -59,9 +67,11 @@ int main() {
   std::printf("SNMP: %zu link load measurements\n\n", loads.size());
 
   // --- The query service. ---
+  obs::SolverTrace trace(1 << 14);
   serve::ServerOptions service_options;
   service_options.queue_capacity = 16;
   service_options.batch.max_batch = 8;
+  if (obs_dir != nullptr) service_options.solver_trace = &trace;
   serve::Server server(graph, scenario.task, loads, service_options);
   serve::LoopbackTransport console(server, /*via_wire=*/true);
   std::printf("service up: %u worker threads, queue capacity %zu, wire"
@@ -150,5 +160,16 @@ int main() {
   std::printf("%s", core::render_config(configs.front(), graph).c_str());
 
   std::printf("\nservice stats: %s\n", server.stats_json().c_str());
+
+  if (obs_dir != nullptr) {
+    const std::string dir(obs_dir);
+    std::ofstream(dir + "/trace.jsonl") << trace.jsonl();
+    std::ofstream(dir + "/metrics.prom") << server.prometheus();
+    std::ofstream(dir + "/flight.jsonl") << server.flight_recorder().jsonl();
+    std::printf("obs artifacts: %s/{trace.jsonl,metrics.prom,flight.jsonl}"
+                " (%zu trace records, %zu flight events)\n",
+                obs_dir, trace.snapshot().size(),
+                server.flight_recorder().dump().size());
+  }
   return 0;
 }

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Validates the observability artifacts a traced run leaves behind in
+# $1 (the NETMON_OBS_DIR handed to examples/operations_center):
+#   trace.jsonl   — per-iteration solver trace, schema-complete lines,
+#                   one final summary record per solve with KKT fields,
+#   metrics.prom  — Prometheus 0.0.4 text: serve + solver families,
+#                   cumulative buckets ending at +Inf == _count,
+#   flight.jsonl  — flight-recorder events covering the request
+#                   lifecycle, timestamps non-decreasing.
+#
+# Usage: scripts/check_obs.sh <obs-dir>
+set -euo pipefail
+
+DIR="${1:?usage: scripts/check_obs.sh <obs-dir>}"
+fail=0
+
+ok()   { printf 'check_obs: ok   %s\n' "$1"; }
+bad()  { printf 'check_obs: FAIL %s\n' "$1"; fail=1; }
+
+for f in trace.jsonl metrics.prom flight.jsonl; do
+  [ -s "${DIR}/${f}" ] && ok "${f} exists and is non-empty" \
+                       || bad "${f} missing or empty"
+done
+[ "${fail}" -eq 0 ] || { echo "check_obs: FAIL"; exit 1; }
+
+# -- trace.jsonl: every line carries the full iteration schema. --
+TRACE_KEYS='"solve": "iter": "final": "fused": "status": "value":
+"grad_inf": "proj_grad_norm": "step": "active_set": "restriction_terms":
+"kkt_lambda": "kkt_residual":'
+# shellcheck disable=SC2086
+if awk -v keys="$(echo ${TRACE_KEYS})" '
+    BEGIN { n = split(keys, want, " ") }
+    { for (i = 1; i <= n; ++i) if (index($0, want[i]) == 0) {
+        printf "line %d missing %s\n", NR, want[i]; exit 1 } }
+  ' "${DIR}/trace.jsonl"; then
+  ok "trace.jsonl lines carry the full schema"
+else
+  bad "trace.jsonl schema incomplete"
+fi
+
+finals="$(grep -c '"final":true' "${DIR}/trace.jsonl" || true)"
+if [ "${finals}" -ge 1 ]; then
+  ok "trace.jsonl has ${finals} final summary record(s)"
+else
+  bad "trace.jsonl has no final summary record"
+fi
+# The final records report the converged KKT state, not NaN placeholders.
+# (Single grep — a `grep | grep -q` pipe dies by SIGPIPE under pipefail
+# once -q short-circuits. kkt_residual follows "final" on the line.)
+if grep -q '"final":true.*"kkt_residual":-\{0,1\}[0-9]' \
+    "${DIR}/trace.jsonl"; then
+  ok "final records carry numeric KKT residuals"
+else
+  bad "final records lack numeric KKT residuals"
+fi
+
+# -- metrics.prom: families, types, and cumulative bucket invariants. --
+for family in netmon_serve_submitted_total netmon_serve_served_total \
+              netmon_serve_batches_total netmon_solver_solves_total \
+              netmon_solver_iterations_total; do
+  grep -q "^${family} " "${DIR}/metrics.prom" \
+    && ok "metrics.prom exports ${family}" \
+    || bad "metrics.prom missing ${family}"
+done
+for hist in netmon_serve_queue_ms netmon_serve_batch_size \
+            netmon_solver_iterations; do
+  grep -q "^# TYPE ${hist} histogram$" "${DIR}/metrics.prom" \
+    && ok "metrics.prom declares histogram ${hist}" \
+    || bad "metrics.prom missing histogram ${hist}"
+done
+# Buckets must be cumulative (non-decreasing in le order, the export
+# order) and the +Inf bucket must equal _count for every histogram.
+if awk '
+    /_bucket\{le="/ {
+      name = $1; sub(/_bucket\{.*/, "", name)
+      if (name != cur) { cur = name; prev = -1 }
+      if ($2 + 0 < prev) { printf "%s buckets not cumulative\n", cur; bad = 1 }
+      prev = $2 + 0
+      if (index($1, "le=\"+Inf\"")) inf[cur] = $2 + 0
+    }
+    /_count / { name = $1; sub(/_count$/, "", name); cnt[name] = $2 + 0 }
+    END {
+      for (h in inf) if (!(h in cnt) || inf[h] != cnt[h]) {
+        printf "%s +Inf bucket %d != count %d\n", h, inf[h], cnt[h]; bad = 1 }
+      exit bad ? 1 : 0
+    }
+  ' "${DIR}/metrics.prom"; then
+  ok "metrics.prom buckets cumulative, +Inf == _count"
+else
+  bad "metrics.prom bucket invariants violated"
+fi
+
+# -- flight.jsonl: lifecycle coverage and causal timestamps. --
+for event in admit dequeue batch_formed solve_done; do
+  grep -q "\"event\":\"${event}\"" "${DIR}/flight.jsonl" \
+    && ok "flight.jsonl records ${event}" \
+    || bad "flight.jsonl missing ${event}"
+done
+# Ring order is append-ticket order; concurrent submitters can claim
+# tickets out of timestamp order, so global monotonicity is not the
+# invariant. What IS causal: each request's own lifecycle (admit ->
+# dequeue -> ... -> solve_done) runs through the queue mutex, so per
+# request the timestamps must be non-decreasing in ring order.
+if awk '
+    {
+      t = $0; sub(/.*"t_ns":/, "", t); sub(/,.*/, "", t)
+      id = $0; sub(/.*"request_id":/, "", id); sub(/[,}].*/, "", id)
+      if (id in prev && t + 0 < prev[id]) {
+        printf "request %s t_ns decreases at line %d\n", id, NR; exit 1 }
+      prev[id] = t + 0
+    }
+  ' "${DIR}/flight.jsonl"; then
+  ok "flight.jsonl per-request timestamps non-decreasing"
+else
+  bad "flight.jsonl per-request timestamps not causal"
+fi
+
+[ "${fail}" -eq 0 ] && echo "check_obs: PASS" || echo "check_obs: FAIL"
+exit "${fail}"

@@ -76,6 +76,18 @@ else
   fail=1
 fi
 
+# Observability tax: the warm fused GEANT solve with trace + counters +
+# histogram attached must stay within an absolute 3% of the
+# uninstrumented throughput. Absolute, like the speedup floor: the
+# overhead is a ratio of two same-run timings, so it needs no baseline.
+overhead="$(extract "${TMP}" obs_overhead_pct)"
+if awk -v o="${overhead:-100}" 'BEGIN { exit (o <= 3.0) ? 0 : 1 }'; then
+  echo "perf_gate: ok   obs_overhead_pct       ${overhead} (cap 3.0)"
+else
+  echo "perf_gate: FAIL obs_overhead_pct       ${overhead} (> 3.0 cap)"
+  fail=1
+fi
+
 # Scalar/SIMD dispatch must stay bit-identical — a correctness bit, not
 # a perf number: any mismatch fails outright.
 identical="$(extract "${TMP}" bit_identical)"

@@ -8,6 +8,20 @@ namespace netmon::core {
 
 BatchSolver::BatchSolver(BatchOptions options) : options_(std::move(options)) {
   NETMON_REQUIRE(options_.chain_chunk >= 1, "chain_chunk must be >= 1");
+  if (options_.metrics != nullptr) {
+    counters_ = obs::register_solver_counters(*options_.metrics);
+    iterations_hist_ = options_.metrics->histogram(
+        "netmon_solver_iterations",
+        {10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0},
+        "Gradient-projection iterations per solve");
+  }
+  instrumented_ = options_.metrics != nullptr || options_.trace != nullptr;
+  effective_solver_ = options_.solver;
+  if (instrumented_) {
+    if (effective_solver_.trace == nullptr)
+      effective_solver_.trace = options_.trace;
+    effective_solver_.counters = counters_;
+  }
 }
 
 std::vector<PlacementSolution> BatchSolver::solve(
@@ -28,9 +42,12 @@ std::vector<PlacementSolution> BatchSolver::solve(
     const auto chunks = runtime::make_chunks(n);
     runtime::parallel_for(pool, chunks.size(), [&](std::size_t c) {
       opt::SolverWorkspace workspace;
-      for (std::size_t i = chunks[c].first; i < chunks[c].second; ++i)
+      for (std::size_t i = chunks[c].first; i < chunks[c].second; ++i) {
         solutions[i] =
-            solve_placement(*problems[i], options_.solver, &workspace);
+            solve_placement(*problems[i], effective_solver_, &workspace);
+        iterations_hist_.observe(
+            static_cast<double>(solutions[i].iterations));
+      }
     });
     return solutions;
   }
@@ -46,10 +63,12 @@ std::vector<PlacementSolution> BatchSolver::solve(
     const std::size_t end = std::min(begin + chunk, n);
     opt::SolverWorkspace workspace;
     solutions[begin] =
-        solve_placement(*problems[begin], options_.solver, &workspace);
+        solve_placement(*problems[begin], effective_solver_, &workspace);
+    iterations_hist_.observe(static_cast<double>(solutions[begin].iterations));
     for (std::size_t i = begin + 1; i < end; ++i) {
       solutions[i] = resolve_warm(*problems[i], solutions[i - 1].rates,
-                                  options_.solver, &workspace);
+                                  effective_solver_, &workspace);
+      iterations_hist_.observe(static_cast<double>(solutions[i].iterations));
     }
   });
   return solutions;
@@ -76,14 +95,25 @@ std::vector<PlacementSolution> BatchSolver::solve_items(
   const auto chunks = runtime::make_chunks(n);
   runtime::parallel_for(pool, chunks.size(), [&](std::size_t c) {
     opt::SolverWorkspace workspace;
+    opt::SolverOptions overlay;  // per-item options + instrumentation
     for (std::size_t i = chunks[c].first; i < chunks[c].second; ++i) {
       const BatchItem& item = items[i];
-      const opt::SolverOptions& solver =
-          item.solver ? *item.solver : options_.solver;
+      const opt::SolverOptions* solver = &effective_solver_;
+      if (item.solver != nullptr) {
+        if (instrumented_) {
+          overlay = *item.solver;
+          if (overlay.trace == nullptr) overlay.trace = options_.trace;
+          overlay.counters = counters_;
+          solver = &overlay;
+        } else {
+          solver = item.solver;
+        }
+      }
       solutions[i] =
           item.warm
-              ? resolve_warm(*item.problem, *item.warm, solver, &workspace)
-              : solve_placement(*item.problem, solver, &workspace);
+              ? resolve_warm(*item.problem, *item.warm, *solver, &workspace)
+              : solve_placement(*item.problem, *solver, &workspace);
+      iterations_hist_.observe(static_cast<double>(solutions[i].iterations));
     }
   });
   return solutions;

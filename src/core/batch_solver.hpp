@@ -16,6 +16,8 @@
 
 #include "core/problem.hpp"
 #include "core/solver.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "opt/gradient_projection.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -34,6 +36,16 @@ struct BatchOptions {
   /// chain_chunk alone, so results do not depend on the thread count.
   bool warm_chain = false;
   std::size_t chain_chunk = 8;
+  /// Observability (obs/). When set, the solver counter family and a
+  /// per-solve iteration histogram are registered on this registry and
+  /// every solve in every batch reports into them (sharded per worker
+  /// thread, so the fan-out never contends). Borrowed; must outlive the
+  /// BatchSolver.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// When set, every solve appends per-iteration records here (records
+  /// carry a solve id, so concurrent chunk workers interleave safely).
+  /// A per-item SolverOptions::trace, if any, takes precedence.
+  obs::SolverTrace* trace = nullptr;
 };
 
 /// One unit of a heterogeneous batch: a problem plus optional per-item
@@ -78,6 +90,13 @@ class BatchSolver {
 
  private:
   BatchOptions options_;
+  /// options_.solver with the trace sink and counter handles installed
+  /// (identical copy when uninstrumented) — built once so the fan-out
+  /// loops never copy SolverOptions per item.
+  opt::SolverOptions effective_solver_;
+  bool instrumented_ = false;
+  obs::SolverCounters counters_;
+  obs::Histogram iterations_hist_;
 };
 
 /// Builds one problem per theta (the Fig. 2 sweep shape): `base` supplies

@@ -40,6 +40,7 @@
 #include "netflow/pipeline.hpp"  // IWYU pragma: export
 #include "netflow/sample_and_hold.hpp"  // IWYU pragma: export
 #include "netflow/v5_codec.hpp"  // IWYU pragma: export
+#include "obs/obs.hpp"           // IWYU pragma: export
 #include "opt/barrier.hpp"       // IWYU pragma: export
 #include "opt/gradient_projection.hpp"  // IWYU pragma: export
 #include "opt/projected_ascent.hpp"     // IWYU pragma: export

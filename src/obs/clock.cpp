@@ -1,0 +1,10 @@
+#include "obs/clock.hpp"
+
+namespace netmon::obs {
+
+const Clock& Clock::system() noexcept {
+  static const Clock instance;
+  return instance;
+}
+
+}  // namespace netmon::obs

@@ -1,0 +1,71 @@
+// The observability subsystem's single monotonic clock source.
+//
+// Every time-stamped observation in the system — serve deadline stamping
+// and expiry checks, queue/solve latency accounting, flight-recorder
+// event timestamps — goes through one obs::Clock so (a) they can never
+// disagree about "now" and (b) tests can inject a ManualClock and drive
+// deadline expiry deterministically, with no sleeps and no wall-clock
+// races. The default source is std::chrono::steady_clock: monotonic, so
+// deadlines survive wall-clock adjustments.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace netmon::obs {
+
+/// The subsystem-wide monotonic time point type (steady_clock based, so
+/// existing serve deadline arithmetic keeps its types).
+using TimePoint = std::chrono::steady_clock::time_point;
+using Duration = std::chrono::steady_clock::duration;
+
+/// Monotonic clock interface. The base class *is* the production clock
+/// (steady_clock); tests subclass or use ManualClock. Implementations
+/// must be thread-safe and monotonic.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  virtual TimePoint now() const noexcept {
+    return std::chrono::steady_clock::now();
+  }
+
+  /// The process-wide default (steady-clock) instance.
+  static const Clock& system() noexcept;
+};
+
+/// Deterministic test clock: time only moves when advanced. Thread-safe
+/// (reads and advances are atomic), so it can be shared with a running
+/// serve dispatcher.
+class ManualClock final : public Clock {
+ public:
+  /// Starts at an arbitrary fixed epoch (not 0, so subtracting small
+  /// durations in tests never underflows the time_point).
+  ManualClock() : ns_(kEpochNs) {}
+
+  TimePoint now() const noexcept override {
+    return TimePoint(std::chrono::nanoseconds(
+        ns_.load(std::memory_order_acquire)));
+  }
+
+  void advance(Duration by) noexcept {
+    ns_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(by).count(),
+        std::memory_order_acq_rel);
+  }
+
+ private:
+  static constexpr std::int64_t kEpochNs = 1'000'000'000'000;  // t = 1000 s
+  std::atomic<std::int64_t> ns_;
+};
+
+/// Nanoseconds since the time_point epoch — the flight recorder's stored
+/// timestamp representation.
+inline std::int64_t to_ns(TimePoint t) noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+}  // namespace netmon::obs

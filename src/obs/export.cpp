@@ -1,0 +1,111 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace netmon::obs {
+
+namespace {
+
+// Prometheus number formatting: shortest round-trip decimal, with the
+// non-finite spellings the exposition format defines.
+void write_number(std::ostream& out, double value) {
+  if (std::isnan(value)) {
+    out << "NaN";
+  } else if (std::isinf(value)) {
+    out << (value > 0 ? "+Inf" : "-Inf");
+  } else {
+    std::ostringstream tmp;
+    tmp.precision(std::numeric_limits<double>::max_digits10);
+    tmp << value;
+    out << tmp.str();
+  }
+}
+
+void write_header(std::ostream& out, const MetricSnapshot& metric) {
+  if (!metric.help.empty())
+    out << "# HELP " << metric.name << ' ' << metric.help << '\n';
+  out << "# TYPE " << metric.name << ' ' << to_string(metric.kind) << '\n';
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& out, const RegistrySnapshot& snapshot) {
+  for (const MetricSnapshot& metric : snapshot.metrics) {
+    write_header(out, metric);
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out << metric.name << ' ';
+        write_number(out, metric.value);
+        out << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < metric.buckets.size(); ++b) {
+          cumulative += metric.buckets[b];
+          out << metric.name << "_bucket{le=\"";
+          if (b < metric.bounds.size()) {
+            write_number(out, metric.bounds[b]);
+          } else {
+            out << "+Inf";
+          }
+          out << "\"} " << cumulative << '\n';
+        }
+        out << metric.name << "_sum ";
+        write_number(out, metric.sum);
+        out << '\n';
+        out << metric.name << "_count " << metric.count << '\n';
+        break;
+      }
+    }
+  }
+}
+
+std::string prometheus_text(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  write_prometheus(out, registry.snapshot());
+  return out.str();
+}
+
+void write_metrics_jsonl(std::ostream& out, const RegistrySnapshot& snapshot) {
+  for (const MetricSnapshot& metric : snapshot.metrics) {
+    JsonWriter json(out);
+    json.begin_object()
+        .key("name").value(metric.name)
+        .key("kind").value(to_string(metric.kind));
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        json.key("value").value(metric.value);
+        break;
+      case MetricKind::kHistogram: {
+        json.key("count").value(metric.count)
+            .key("sum").value(metric.sum)
+            .key("max").value(metric.max)
+            .key("mean").value(metric.mean())
+            .key("p99").value(metric.approx_quantile(0.99));
+        json.key("bounds").begin_array();
+        for (double bound : metric.bounds) json.value(bound);
+        json.end_array();
+        json.key("buckets").begin_array();
+        for (std::uint64_t bucket : metric.buckets) json.value(bucket);
+        json.end_array();
+        break;
+      }
+    }
+    json.end_object();
+    out << '\n';
+  }
+}
+
+std::string metrics_jsonl(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  write_metrics_jsonl(out, registry.snapshot());
+  return out.str();
+}
+
+}  // namespace netmon::obs

@@ -1,0 +1,25 @@
+// Exporters for MetricsRegistry snapshots: Prometheus text exposition
+// (for scraping / the serve layer's /metrics-style endpoint) and JSONL
+// (one metric per line, for offline diffing next to solver traces and
+// flight-recorder dumps).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace netmon::obs {
+
+/// Prometheus text exposition format, version 0.0.4: `# HELP` / `# TYPE`
+/// lines per metric, histograms as cumulative `_bucket{le="..."}` series
+/// plus `_sum` and `_count`.
+void write_prometheus(std::ostream& out, const RegistrySnapshot& snapshot);
+std::string prometheus_text(const MetricsRegistry& registry);
+
+/// One JSON object per metric, newline-terminated. Histograms carry
+/// their bucket bounds and per-bucket (non-cumulative) counts.
+void write_metrics_jsonl(std::ostream& out, const RegistrySnapshot& snapshot);
+std::string metrics_jsonl(const MetricsRegistry& registry);
+
+}  // namespace netmon::obs

@@ -1,0 +1,80 @@
+#include "obs/flight_recorder.hpp"
+
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace netmon::obs {
+
+const char* to_string(ServeEvent event) noexcept {
+  switch (event) {
+    case ServeEvent::kAdmit: return "admit";
+    case ServeEvent::kRejectFull: return "reject_full";
+    case ServeEvent::kBadRequest: return "bad_request";
+    case ServeEvent::kDequeue: return "dequeue";
+    case ServeEvent::kBatchFormed: return "batch_formed";
+    case ServeEvent::kSolveDone: return "solve_done";
+    case ServeEvent::kDeadlineMissQueue: return "deadline_miss_queue";
+    case ServeEvent::kDeadlineMissSolve: return "deadline_miss_solve";
+    case ServeEvent::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(capacity == 0 ? nullptr
+                          : std::make_unique<AtomicRing<kWords>>(capacity)) {}
+
+std::size_t FlightRecorder::capacity() const noexcept {
+  return ring_ ? ring_->capacity() : 0;
+}
+
+std::uint64_t FlightRecorder::total_recorded() const noexcept {
+  return ring_ ? ring_->total() : 0;
+}
+
+void FlightRecorder::record(ServeEvent event, std::uint64_t request_id,
+                            std::uint64_t arg, TimePoint at) noexcept {
+  if (ring_ == nullptr) return;
+  AtomicRing<kWords>::Record words;
+  words[0] = static_cast<std::uint64_t>(to_ns(at));
+  words[1] = static_cast<std::uint64_t>(event);
+  words[2] = request_id;
+  words[3] = arg;
+  ring_->append(words);
+}
+
+std::vector<FlightRecord> FlightRecorder::dump() const {
+  std::vector<FlightRecord> out;
+  if (ring_ == nullptr) return out;
+  for (const auto& words : ring_->snapshot()) {
+    FlightRecord record;
+    record.t_ns = static_cast<std::int64_t>(words[0]);
+    record.event = static_cast<ServeEvent>(words[1]);
+    record.request_id = words[2];
+    record.arg = words[3];
+    out.push_back(record);
+  }
+  return out;
+}
+
+void FlightRecorder::write_jsonl(std::ostream& out) const {
+  for (const FlightRecord& record : dump()) {
+    JsonWriter json(out);
+    json.begin_object()
+        .key("t_ns").value(static_cast<std::int64_t>(record.t_ns))
+        .key("event").value(to_string(record.event))
+        .key("request_id").value(record.request_id)
+        .key("arg").value(record.arg)
+        .end_object();
+    out << '\n';
+  }
+}
+
+std::string FlightRecorder::jsonl() const {
+  std::ostringstream out;
+  write_jsonl(out);
+  return out.str();
+}
+
+}  // namespace netmon::obs

@@ -1,0 +1,78 @@
+// FlightRecorder: a bounded lock-free ring of recent serving-layer
+// events, dumpable on demand (or on error) for postmortems.
+//
+// "Why did request 4711 miss its deadline" is unanswerable from counters
+// alone: you need the event sequence — when it was admitted and at what
+// queue depth, when the dispatcher dequeued it, how large the batch was,
+// when the solve finished or the deadline fired. The recorder keeps the
+// last N such events with timestamps from the injected obs::Clock (the
+// same clock the deadline checks use, so recorded times and expiry
+// decisions can never disagree). Recording is wait-free and
+// allocation-free; dumping is a consistent snapshot that skips at most
+// the records being overwritten at that instant.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/ring.hpp"
+
+namespace netmon::obs {
+
+/// What happened. `arg` in the record is event-specific (queue depth for
+/// admits, batch size for batch-formed, status code for solve-done).
+enum class ServeEvent : std::uint8_t {
+  kAdmit = 0,
+  kRejectFull = 1,
+  kBadRequest = 2,
+  kDequeue = 3,
+  kBatchFormed = 4,
+  kSolveDone = 5,
+  kDeadlineMissQueue = 6,
+  kDeadlineMissSolve = 7,
+  kShutdown = 8,
+};
+
+const char* to_string(ServeEvent event) noexcept;
+
+struct FlightRecord {
+  /// Clock timestamp, nanoseconds since the clock's epoch.
+  std::int64_t t_ns = 0;
+  ServeEvent event = ServeEvent::kAdmit;
+  /// Request correlation id (0 for request-less events like
+  /// batch-formed).
+  std::uint64_t request_id = 0;
+  /// Event-specific detail (see ServeEvent).
+  std::uint64_t arg = 0;
+};
+
+class FlightRecorder {
+ public:
+  /// Capacity in events, rounded up to a power of two; 0 disables the
+  /// recorder entirely (record() becomes a no-op).
+  explicit FlightRecorder(std::size_t capacity = 1024);
+
+  bool enabled() const noexcept { return ring_ != nullptr; }
+  std::size_t capacity() const noexcept;
+  std::uint64_t total_recorded() const noexcept;
+
+  /// Appends one event. Lock-free, allocation-free, any thread.
+  void record(ServeEvent event, std::uint64_t request_id, std::uint64_t arg,
+              TimePoint at) noexcept;
+
+  /// The retained events, oldest first.
+  std::vector<FlightRecord> dump() const;
+
+  /// One JSON object per retained event, newline-terminated.
+  void write_jsonl(std::ostream& out) const;
+  std::string jsonl() const;
+
+ private:
+  static constexpr std::size_t kWords = 4;
+  std::unique_ptr<AtomicRing<kWords>> ring_;
+};
+
+}  // namespace netmon::obs

@@ -1,0 +1,243 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace netmon::obs {
+
+namespace {
+
+// Histogram cell layout (per shard, starting at the descriptor's cell):
+//   [0] observation count
+//   [1] sum (double bits)
+//   [2] max (double bits; initialized to -inf at registration)
+//   [3 ..] one count per bucket: bounds.size() finite buckets + overflow
+constexpr std::uint32_t kHistCount = 0;
+constexpr std::uint32_t kHistSum = 1;
+constexpr std::uint32_t kHistMax = 2;
+constexpr std::uint32_t kHistBuckets = 3;
+
+double decode(std::uint64_t bits) noexcept {
+  return std::bit_cast<double>(bits);
+}
+std::uint64_t encode(double value) noexcept {
+  return std::bit_cast<std::uint64_t>(value);
+}
+
+void atomic_add_double(std::atomic<std::uint64_t>& cell, double v) noexcept {
+  std::uint64_t cur = cell.load(std::memory_order_relaxed);
+  while (!cell.compare_exchange_weak(cur, encode(decode(cur) + v),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<std::uint64_t>& cell, double v) noexcept {
+  std::uint64_t cur = cell.load(std::memory_order_relaxed);
+  while (decode(cur) < v) {
+    if (cell.compare_exchange_weak(cur, encode(v),
+                                   std::memory_order_relaxed))
+      return;
+  }
+}
+
+}  // namespace
+
+std::size_t this_thread_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+const char* to_string(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+void Counter::inc(std::uint64_t n) const noexcept {
+  if (registry_ == nullptr) return;
+  registry_->cell(registry_->shard_for_this_thread(), cell_)
+      .fetch_add(n, std::memory_order_relaxed);
+}
+
+void Gauge::set(double value) const noexcept {
+  if (registry_ == nullptr) return;
+  // Last-write-wins: one authoritative cell in shard 0.
+  registry_->cell(0, cell_).store(encode(value), std::memory_order_relaxed);
+}
+
+void Histogram::observe(double value) const noexcept {
+  if (registry_ == nullptr) return;
+  const std::size_t shard = registry_->shard_for_this_thread();
+  registry_->cell(shard, cell_ + kHistCount)
+      .fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(registry_->cell(shard, cell_ + kHistSum), value);
+  atomic_max_double(registry_->cell(shard, cell_ + kHistMax), value);
+  const std::vector<double>& bounds = *bounds_;
+  const auto bucket = static_cast<std::uint32_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), value) -
+      bounds.begin());
+  registry_->cell(shard, cell_ + kHistBuckets + bucket)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+double MetricSnapshot::approx_quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  const double clamped_q = std::min(std::max(q, 0.0), 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(clamped_q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      const double upper =
+          b < bounds.size() ? bounds[b] : max;  // overflow bucket
+      return std::min(upper, max);
+    }
+  }
+  return max;
+}
+
+const MetricSnapshot* RegistrySnapshot::find(
+    std::string_view name) const noexcept {
+  for (const MetricSnapshot& metric : metrics)
+    if (metric.name == name) return &metric;
+  return nullptr;
+}
+
+MetricsRegistry::MetricsRegistry(MetricsOptions options)
+    : shards_(options.shards), cells_per_shard_(options.cells_per_shard) {
+  if (shards_ == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    shards_ = hw == 0 ? 1 : hw;
+  }
+  shards_ = std::min<std::size_t>(shards_, 64);
+  NETMON_REQUIRE(cells_per_shard_ >= 1, "cells_per_shard must be >= 1");
+  // Value-initialized arena: every cell starts at 0 (= 0.0 for doubles).
+  cells_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      shards_ * cells_per_shard_);
+}
+
+const MetricsRegistry::Descriptor& MetricsRegistry::register_metric(
+    const std::string& name, std::string help, MetricKind kind,
+    std::uint32_t cells, std::vector<double> bounds) {
+  NETMON_REQUIRE(!name.empty(), "metric name must not be empty");
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Descriptor& existing : descriptors_) {
+    if (existing.name != name) continue;
+    NETMON_REQUIRE(existing.kind == kind,
+                   "metric re-registered with a different kind: " + name);
+    NETMON_REQUIRE(existing.bounds == bounds,
+                   "histogram re-registered with different buckets: " + name);
+    return existing;
+  }
+  NETMON_REQUIRE(next_cell_ + cells <= cells_per_shard_,
+                 "metrics cell arena exhausted registering " + name +
+                     " (raise MetricsOptions::cells_per_shard)");
+  Descriptor descriptor;
+  descriptor.name = name;
+  descriptor.help = std::move(help);
+  descriptor.kind = kind;
+  descriptor.cell = next_cell_;
+  descriptor.cells = cells;
+  descriptor.bounds = std::move(bounds);
+  next_cell_ += cells;
+  if (kind == MetricKind::kHistogram) {
+    // Max cells start at -inf so negative observations merge correctly.
+    for (std::size_t shard = 0; shard < shards_; ++shard)
+      cell(shard, descriptor.cell + kHistMax)
+          .store(encode(-std::numeric_limits<double>::infinity()),
+                 std::memory_order_relaxed);
+  }
+  descriptors_.push_back(std::move(descriptor));
+  return descriptors_.back();
+}
+
+Counter MetricsRegistry::counter(const std::string& name, std::string help) {
+  const Descriptor& d =
+      register_metric(name, std::move(help), MetricKind::kCounter, 1, {});
+  return Counter(this, d.cell);
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name, std::string help) {
+  const Descriptor& d =
+      register_metric(name, std::move(help), MetricKind::kGauge, 1, {});
+  return Gauge(this, d.cell);
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name,
+                                     std::vector<double> bounds,
+                                     std::string help) {
+  NETMON_REQUIRE(!bounds.empty(), "histogram needs at least one bound");
+  for (std::size_t b = 1; b < bounds.size(); ++b)
+    NETMON_REQUIRE(bounds[b - 1] < bounds[b],
+                   "histogram bounds must be strictly increasing");
+  const auto cells =
+      static_cast<std::uint32_t>(kHistBuckets + bounds.size() + 1);
+  const Descriptor& d = register_metric(name, std::move(help),
+                                        MetricKind::kHistogram, cells,
+                                        std::move(bounds));
+  return Histogram(this, &d.bounds, d.cell);
+}
+
+std::size_t MetricsRegistry::cells_used() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_cell_;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  RegistrySnapshot out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.metrics.reserve(descriptors_.size());
+  for (const Descriptor& d : descriptors_) {
+    MetricSnapshot m;
+    m.name = d.name;
+    m.help = d.help;
+    m.kind = d.kind;
+    switch (d.kind) {
+      case MetricKind::kCounter: {
+        std::uint64_t total = 0;
+        for (std::size_t shard = 0; shard < shards_; ++shard)
+          total += cell(shard, d.cell).load(std::memory_order_relaxed);
+        m.value = static_cast<double>(total);
+        break;
+      }
+      case MetricKind::kGauge:
+        m.value = decode(cell(0, d.cell).load(std::memory_order_relaxed));
+        break;
+      case MetricKind::kHistogram: {
+        m.bounds = d.bounds;
+        m.buckets.assign(d.bounds.size() + 1, 0);
+        double max = -std::numeric_limits<double>::infinity();
+        for (std::size_t shard = 0; shard < shards_; ++shard) {
+          m.count +=
+              cell(shard, d.cell + kHistCount).load(std::memory_order_relaxed);
+          m.sum += decode(
+              cell(shard, d.cell + kHistSum).load(std::memory_order_relaxed));
+          max = std::max(max, decode(cell(shard, d.cell + kHistMax)
+                                         .load(std::memory_order_relaxed)));
+          for (std::size_t b = 0; b < m.buckets.size(); ++b)
+            m.buckets[b] +=
+                cell(shard,
+                     d.cell + kHistBuckets + static_cast<std::uint32_t>(b))
+                    .load(std::memory_order_relaxed);
+        }
+        m.max = m.count != 0 ? max : 0.0;
+        break;
+      }
+    }
+    out.metrics.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace netmon::obs

@@ -1,0 +1,201 @@
+// MetricsRegistry: counters, gauges, and fixed-bucket histograms with
+// per-thread sharded storage.
+//
+// Design constraints, in order:
+//   1. Hot-path cost. An increment from a runtime::ThreadPool worker is
+//      one thread-index lookup plus one relaxed fetch_add into that
+//      worker's own shard — no mutex, no cache-line ping-pong between
+//      workers. A default-constructed (detached) handle is a single
+//      branch, so instrumented code paths cost nothing measurable when
+//      observability is off and the disabled path stays bit-identical.
+//   2. Zero allocation after setup. The cell arena (shards x cells, all
+//      std::atomic<uint64_t>) is sized at construction; registering a
+//      metric claims cells from it and throws when the arena is full.
+//      Nothing on the observation path ever allocates.
+//   3. One snapshot path. snapshot() merges the shards into plain
+//      structs; the Prometheus and JSON exporters (obs/export.hpp) and
+//      the serve::Stats shim all render from the same snapshot.
+//
+// Value encoding: every cell is a uint64. Counters hold integer counts;
+// gauges and histogram sum/max cells hold the bit pattern of a double
+// (std::bit_cast). Gauges are last-write-wins and live in shard 0 only.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netmon::obs {
+
+/// Stable small index for the calling thread, assigned on first use.
+/// Used to pick a registry shard; indices are process-wide, so one
+/// thread maps to the same shard in every registry.
+std::size_t this_thread_index() noexcept;
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+const char* to_string(MetricKind kind) noexcept;
+
+class MetricsRegistry;
+
+/// Monotonic event counter handle. Trivially copyable; default
+/// constructed = detached no-op.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) const noexcept;
+  explicit operator bool() const noexcept { return registry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* registry, std::uint32_t cell)
+      : registry_(registry), cell_(cell) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::uint32_t cell_ = 0;
+};
+
+/// Last-write-wins instantaneous value handle.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double value) const noexcept;
+  explicit operator bool() const noexcept { return registry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* registry, std::uint32_t cell)
+      : registry_(registry), cell_(cell) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::uint32_t cell_ = 0;
+};
+
+/// Fixed-bucket histogram handle. Buckets are set at registration; each
+/// shard additionally tracks count, sum, and exact max.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double value) const noexcept;
+  explicit operator bool() const noexcept { return registry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricsRegistry* registry, const std::vector<double>* bounds,
+            std::uint32_t cell)
+      : registry_(registry), bounds_(bounds), cell_(cell) {}
+  MetricsRegistry* registry_ = nullptr;
+  /// Borrowed from the registry descriptor (stable storage), so observe()
+  /// never touches the descriptor table.
+  const std::vector<double>* bounds_ = nullptr;
+  std::uint32_t cell_ = 0;
+};
+
+/// Point-in-time merged (cross-shard) view of one metric.
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  /// Counter: total count. Gauge: last set value.
+  double value = 0.0;
+  /// Histogram summary (zero/empty for other kinds).
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+  /// Finite bucket upper bounds; buckets has one extra overflow entry.
+  /// Bucket counts are per-bucket (NOT cumulative).
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+
+  double mean() const noexcept {
+    return count != 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+  /// Approximate quantile, q in [0,1]: the upper bound of the bucket the
+  /// q-th observation falls in, capped at the exact observed max.
+  double approx_quantile(double q) const noexcept;
+};
+
+/// Snapshot of a whole registry, in registration order.
+struct RegistrySnapshot {
+  std::vector<MetricSnapshot> metrics;
+  /// Lookup by name; null when absent.
+  const MetricSnapshot* find(std::string_view name) const noexcept;
+};
+
+struct MetricsOptions {
+  /// Storage shards. 0 = one per hardware thread, clamped to [1, 64].
+  /// Contention-free as long as concurrent writers land on distinct
+  /// shards (thread index modulo shards).
+  std::size_t shards = 0;
+  /// Cell arena size per shard, claimed by registrations (a counter or
+  /// gauge takes 1 cell; a histogram takes bounds+4). Fixed at
+  /// construction so observation never allocates or resizes.
+  std::size_t cells_per_shard = 1024;
+};
+
+/// The registry. Registration (setup path) takes a mutex; observation
+/// (hot path) is lock-free. Registering the same name twice returns the
+/// same metric (kinds and bounds must match).
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(MetricsOptions options = {});
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter counter(const std::string& name, std::string help = {});
+  Gauge gauge(const std::string& name, std::string help = {});
+  /// `bounds` are the finite bucket upper bounds, strictly increasing;
+  /// an implicit overflow bucket is appended.
+  Histogram histogram(const std::string& name, std::vector<double> bounds,
+                      std::string help = {});
+
+  RegistrySnapshot snapshot() const;
+
+  std::size_t shards() const noexcept { return shards_; }
+  std::size_t cells_per_shard() const noexcept { return cells_per_shard_; }
+  /// Cells claimed so far (monitoring the arena headroom).
+  std::size_t cells_used() const;
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  struct Descriptor {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    std::uint32_t cell = 0;   // first cell of this metric
+    std::uint32_t cells = 1;  // cells claimed
+    std::vector<double> bounds;
+  };
+
+  std::atomic<std::uint64_t>& cell(std::size_t shard,
+                                   std::uint32_t index) const noexcept {
+    return cells_[shard * cells_per_shard_ + index];
+  }
+  std::size_t shard_for_this_thread() const noexcept {
+    return this_thread_index() % shards_;
+  }
+  /// Claims `cells` consecutive cells for a new or existing metric.
+  const Descriptor& register_metric(const std::string& name,
+                                    std::string help, MetricKind kind,
+                                    std::uint32_t cells,
+                                    std::vector<double> bounds);
+
+  std::size_t shards_;
+  std::size_t cells_per_shard_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;
+
+  mutable std::mutex mutex_;
+  /// Deque: descriptor addresses (and the bounds vectors inside) stay
+  /// stable across registrations, so handles can borrow them.
+  std::deque<Descriptor> descriptors_;
+  std::uint32_t next_cell_ = 0;
+};
+
+}  // namespace netmon::obs

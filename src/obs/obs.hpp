@@ -1,0 +1,25 @@
+// Umbrella header for the observability subsystem.
+//
+// netmon::obs provides low-overhead instrumentation for the solver and
+// serving layers:
+//   - MetricsRegistry  counters / gauges / histograms, sharded per
+//                      thread so hot-path increments never contend
+//   - SolverTrace      per-iteration solver records in a lock-free ring,
+//                      exportable as JSONL
+//   - FlightRecorder   recent serve events (admit/batch/solve/miss) for
+//                      postmortems
+//   - Clock            injectable monotonic time source shared by
+//                      deadline checks and recorder timestamps
+//   - export           Prometheus text exposition and JSONL snapshots
+//
+// Everything here is opt-in and allocation-free on the record path;
+// detached handles (default-constructed Counter/Gauge/Histogram) cost a
+// single branch, so uninstrumented code paths stay bit-identical.
+#pragma once
+
+#include "obs/clock.hpp"           // IWYU pragma: export
+#include "obs/export.hpp"          // IWYU pragma: export
+#include "obs/flight_recorder.hpp" // IWYU pragma: export
+#include "obs/metrics.hpp"         // IWYU pragma: export
+#include "obs/ring.hpp"            // IWYU pragma: export
+#include "obs/trace.hpp"           // IWYU pragma: export

@@ -1,0 +1,99 @@
+// Bounded lock-free ring of fixed-width records — the storage primitive
+// under both the solver iteration trace and the serve flight recorder.
+//
+// Writers from any thread claim a monotonically increasing ticket with
+// one fetch_add and publish their record into slot (ticket & mask) under
+// a per-slot sequence word: seq = 2*ticket+1 while the payload words are
+// being stored, 2*ticket+2 once complete. Readers validate the sequence
+// before and after copying the payload, so a snapshot taken while
+// writers are active simply skips the (at most #writers) slots that are
+// mid-overwrite — no locks, no blocking, no torn records. Every word is
+// a relaxed atomic, which keeps the scheme exact under ThreadSanitizer
+// rather than a benign-race hand-wave.
+//
+// The ring is pre-sized at construction (capacity rounded up to a power
+// of two) and append() performs no allocation — a hard requirement for
+// the solver hot loop, which records one entry per iteration.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace netmon::obs {
+
+/// Rounds `n` up to a power of two (minimum 1).
+constexpr std::size_t ceil_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+template <std::size_t Words>
+class AtomicRing {
+ public:
+  using Record = std::array<std::uint64_t, Words>;
+
+  /// Pre-sizes the ring to hold ceil_pow2(max(capacity, 2)) records.
+  explicit AtomicRing(std::size_t capacity)
+      : capacity_(ceil_pow2(capacity < 2 ? 2 : capacity)),
+        mask_(capacity_ - 1),
+        slots_(std::make_unique<Slot[]>(capacity_)) {}
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Number of records ever appended (monotonic; the ring retains the
+  /// most recent capacity() of them).
+  std::uint64_t total() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Appends one record. Lock-free, allocation-free, callable from any
+  /// thread.
+  void append(const Record& record) noexcept {
+    const std::uint64_t ticket =
+        head_.fetch_add(1, std::memory_order_acq_rel);
+    Slot& slot = slots_[ticket & mask_];
+    slot.seq.store(2 * ticket + 1, std::memory_order_release);
+    for (std::size_t w = 0; w < Words; ++w)
+      slot.words[w].store(record[w], std::memory_order_relaxed);
+    slot.seq.store(2 * ticket + 2, std::memory_order_release);
+  }
+
+  /// Copies the retained records, oldest first. Records being
+  /// overwritten concurrently are skipped; completed records are always
+  /// internally consistent.
+  std::vector<Record> snapshot() const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t start = head > capacity_ ? head - capacity_ : 0;
+    std::vector<Record> out;
+    out.reserve(static_cast<std::size_t>(head - start));
+    for (std::uint64_t ticket = start; ticket < head; ++ticket) {
+      const Slot& slot = slots_[ticket & mask_];
+      const std::uint64_t expect = 2 * ticket + 2;
+      if (slot.seq.load(std::memory_order_acquire) != expect) continue;
+      Record record;
+      for (std::size_t w = 0; w < Words; ++w)
+        record[w] = slot.words[w].load(std::memory_order_relaxed);
+      if (slot.seq.load(std::memory_order_acquire) != expect) continue;
+      out.push_back(record);
+    }
+    return out;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::array<std::atomic<std::uint64_t>, Words> words{};
+  };
+
+  std::size_t capacity_;
+  std::uint64_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace netmon::obs

@@ -149,6 +149,53 @@ SolveResult maximize(const Objective& f,
   int iters_since_refresh = 0;
 
   int iter = 0;
+
+  // Opt-in iteration tracing. Everything below only READS solver state:
+  // with trace unset the iterate sequence is bit-identical, and with it
+  // set the only extra per-iteration work is two O(n) reductions plus
+  // one lock-free ring append — no allocation either way.
+  obs::SolverTrace* const trace = options.trace;
+  const std::uint64_t solve_id = trace ? trace->begin_solve() : 0;
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  // `kkt_valid`: ws.kkt holds multipliers computed at this iterate.
+  auto trace_iter = [&](double snorm, double step, bool kkt_valid) {
+    if (trace == nullptr) return;
+    obs::TraceRecord r;
+    r.solve_id = solve_id;
+    r.iteration = static_cast<std::uint32_t>(iter);
+    r.fused = sep != nullptr;
+    r.value = sep != nullptr ? current_value : kNan;
+    // One fused pass, four max accumulators: a single max chain over
+    // |g| is latency-bound and would dominate the per-iteration tax.
+    double m0 = 0.0, m1 = 0.0, m2 = 0.0, m3 = 0.0;
+    std::uint32_t active = 0;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      m0 = std::max(m0, std::abs(g[j]));
+      m1 = std::max(m1, std::abs(g[j + 1]));
+      m2 = std::max(m2, std::abs(g[j + 2]));
+      m3 = std::max(m3, std::abs(g[j + 3]));
+      active += (bounds[j] != BoundState::kFree) +
+                (bounds[j + 1] != BoundState::kFree) +
+                (bounds[j + 2] != BoundState::kFree) +
+                (bounds[j + 3] != BoundState::kFree);
+    }
+    for (; j < n; ++j) {
+      m0 = std::max(m0, std::abs(g[j]));
+      active += bounds[j] != BoundState::kFree;
+    }
+    r.grad_inf = std::max(std::max(m0, m1), std::max(m2, m3));
+    r.proj_grad_norm = snorm;
+    r.step = step;
+    r.active_set = active;
+    r.restriction_terms =
+        sep != nullptr && step > 0.0
+            ? static_cast<std::uint32_t>(ws.restriction.active_terms())
+            : 0;
+    r.kkt_lambda = kkt_valid ? ws.kkt.lambda : kNan;
+    r.kkt_residual = kkt_valid ? ws.kkt.worst : kNan;
+    trace->record(r);
+  };
   while (iter < options.max_iterations) {
     if (options.should_stop && options.should_stop(iter)) {
       result.status = SolveStatus::kCancelled;
@@ -173,6 +220,7 @@ SolveResult maximize(const Objective& f,
       compute_kkt(g, u, bounds, options.kkt_tol, ws.kkt);
       result.lambda = ws.kkt.lambda;
       result.worst_multiplier = ws.kkt.worst;
+      trace_iter(snorm, 0.0, /*kkt_valid=*/true);
       if (ws.kkt.satisfied) {
         result.status = SolveStatus::kOptimal;
         break;
@@ -225,6 +273,7 @@ SolveResult maximize(const Objective& f,
         }
       }
       have_prev = false;
+      trace_iter(snorm, 0.0, /*kkt_valid=*/false);
       if (!changed) break;  // nothing to activate: give up this path
       continue;
     }
@@ -249,6 +298,7 @@ SolveResult maximize(const Objective& f,
       compute_kkt(g, u, bounds, options.kkt_tol, ws.kkt);
       result.lambda = ws.kkt.lambda;
       result.worst_multiplier = ws.kkt.worst;
+      trace_iter(snorm, 0.0, /*kkt_valid=*/true);
       if (ws.kkt.satisfied) {
         result.status = SolveStatus::kOptimal;
         break;
@@ -303,6 +353,7 @@ SolveResult maximize(const Objective& f,
       }
     }
     correct_budget();
+    trace_iter(snorm, ls.t, /*kkt_valid=*/false);
 
     if (maintain_x && (++iters_since_refresh >= kInnerRefreshInterval ||
                        deltas_this_iter > n / 4)) {
@@ -335,6 +386,34 @@ SolveResult maximize(const Objective& f,
     compute_kkt(g, u, bounds, options.kkt_tol, ws.kkt);
     result.lambda = ws.kkt.lambda;
     result.worst_multiplier = ws.kkt.worst;
+  }
+
+  options.counters.iterations.inc(static_cast<std::uint64_t>(iter));
+  options.counters.release_events.inc(
+      static_cast<std::uint64_t>(result.release_events));
+  options.counters.solves.inc();
+  if (result.status == SolveStatus::kCancelled) options.counters.cancelled.inc();
+
+  if (trace != nullptr) {
+    // Summary record: KKT fields equal the SolveResult report exactly.
+    obs::TraceRecord r;
+    r.solve_id = solve_id;
+    r.iteration = static_cast<std::uint32_t>(result.iterations);
+    r.final_record = true;
+    r.fused = sep != nullptr;
+    r.status = static_cast<std::uint8_t>(result.status);
+    r.value = result.value;
+    double ginf = 0.0;
+    for (double v : g) ginf = std::max(ginf, std::abs(v));
+    r.grad_inf = ginf;
+    r.proj_grad_norm = kNan;
+    r.step = kNan;
+    std::uint32_t active = 0;
+    for (BoundState b : bounds) active += b != BoundState::kFree;
+    r.active_set = active;
+    r.kkt_lambda = result.lambda;
+    r.kkt_residual = result.worst_multiplier;
+    trace->record(r);
   }
   return result;
 }

@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "opt/constraints.hpp"
 #include "opt/fused_eval.hpp"
 #include "opt/kkt.hpp"
@@ -53,6 +54,17 @@ struct SolverOptions {
   /// serving layer uses this for per-request deadlines and iteration
   /// budgets; when unset the iteration path is byte-for-byte unchanged.
   std::function<bool(int iterations)> should_stop;
+  /// Optional iteration trace sink (obs/trace.hpp). When set, the solver
+  /// appends one record per iteration plus a final summary record whose
+  /// KKT fields equal the SolveResult report. Recording is lock-free and
+  /// allocation-free, so the hot loop stays zero-allocation; when null
+  /// the iterate sequence is bit-identical to the untraced solve (the
+  /// trace only reads solver state, never steers it).
+  obs::SolverTrace* trace = nullptr;
+  /// Metric counter handles bumped once per solve (iterations, release
+  /// events, completions, cancellations). Default handles are detached
+  /// no-ops costing one branch each at solve exit.
+  obs::SolverCounters counters;
 };
 
 /// Why the solver stopped.

@@ -57,6 +57,25 @@ class RequestQueue {
   /// the promise and must answer it with a typed response.
   PushResult try_push(QueuedRequest& item);
 
+  /// As try_push, but on admission invokes `on_admit(depth)` while still
+  /// holding the queue lock. Admission records (stats, flight-recorder
+  /// events) issued from the hook are therefore ordered strictly before
+  /// anything the dispatcher does with the request — without the hook,
+  /// the dispatcher can dequeue and record before the producer gets to
+  /// its own admit record. Keep the hook cheap: it runs under the lock.
+  template <typename OnAdmit>
+  PushResult try_push(QueuedRequest& item, OnAdmit&& on_admit) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
+      items_.push_back(std::move(item));
+      on_admit(items_.size());
+    }
+    cv_.notify_one();
+    return PushResult::kOk;
+  }
+
   /// Pops into `out`, waiting until an item arrives, `until` passes, or
   /// the queue is closed. Returns false on timeout or closed-and-empty.
   bool pop_until(QueuedRequest& out, ServeClock::time_point until);

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/reoptimize.hpp"
+#include "obs/export.hpp"
 #include "util/error.hpp"
 
 namespace netmon::serve {
@@ -16,10 +17,13 @@ double ms_between(ServeClock::time_point from, ServeClock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
-core::BatchOptions make_batch_options(const ServerOptions& options) {
+core::BatchOptions make_batch_options(const ServerOptions& options,
+                                      obs::MetricsRegistry& metrics) {
   core::BatchOptions batch;
   batch.threads = options.threads;
   batch.solver = options.solver;
+  batch.metrics = &metrics;
+  batch.trace = options.solver_trace;
   return batch;
 }
 
@@ -31,14 +35,22 @@ Server::Server(const topo::Graph& graph, core::MeasurementTask task,
       task_(std::move(task)),
       loads_(std::move(loads)),
       options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : &obs::Clock::system()),
+      recorder_(options_.flight_recorder),
       pool_(options_.threads),
-      solver_(make_batch_options(options_)),
+      solver_(make_batch_options(options_, metrics_)),
       queue_(options_.queue_capacity),
-      batcher_(queue_, options_.batch) {
+      batcher_(queue_, options_.batch),
+      stats_(metrics_) {
   NETMON_REQUIRE(loads_.size() == graph_.link_count(),
                  "loads must cover every link");
   paused_ = options_.start_paused;
   dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+std::string Server::prometheus() const {
+  return obs::prometheus_text(metrics_);
 }
 
 Server::~Server() { stop(); }
@@ -89,6 +101,8 @@ std::future<Response> Server::submit(Request request) {
 
   if (std::string error = validate(request); !error.empty()) {
     stats_.on_bad_request();
+    recorder_.record(obs::ServeEvent::kBadRequest, request.id, 0,
+                     clock_->now());
     Response response;
     response.id = request.id;
     response.kind = request.kind;
@@ -99,24 +113,31 @@ std::future<Response> Server::submit(Request request) {
   }
 
   QueuedRequest item;
-  item.enqueued_at = ServeClock::now();
+  item.enqueued_at = clock_->now();
   if (request.deadline_ms > 0)
     item.deadline =
         item.enqueued_at + std::chrono::milliseconds(request.deadline_ms);
   item.request = std::move(request);
   item.promise = std::move(promise);
 
-  const PushResult pushed = queue_.try_push(item);
-  if (pushed == PushResult::kOk) {
-    stats_.on_enqueued(queue_.size());
-    return future;
-  }
+  // The admit record runs under the queue lock: its ring ticket (and
+  // stats update) land strictly before any dequeue of this request.
+  const std::uint64_t id = item.request.id;
+  const auto enqueued_at = item.enqueued_at;
+  const PushResult pushed =
+      queue_.try_push(item, [&](std::size_t depth) {
+        stats_.on_enqueued(depth);
+        recorder_.record(obs::ServeEvent::kAdmit, id, depth, enqueued_at);
+      });
+  if (pushed == PushResult::kOk) return future;
 
   Response response;
   response.id = item.request.id;
   response.kind = item.request.kind;
   if (pushed == PushResult::kFull) {
     stats_.on_rejected_queue_full();
+    recorder_.record(obs::ServeEvent::kRejectFull, item.request.id,
+                     queue_.capacity(), item.enqueued_at);
     response.status = ResponseStatus::kRejectedQueueFull;
     response.error = "queue full (capacity " +
                      std::to_string(queue_.capacity()) + ")";
@@ -155,6 +176,8 @@ void Server::stop() {
     state_cv_.notify_all();
     queue_.close();
     if (dispatcher_.joinable()) dispatcher_.join();
+    recorder_.record(obs::ServeEvent::kShutdown, 0, queue_.size(),
+                     clock_->now());
     // Everything still parked gets a typed answer — never a silent drop.
     for (QueuedRequest& item : queue_.drain()) {
       stats_.on_rejected_shutdown();
@@ -187,7 +210,7 @@ void Server::dispatch_loop() {
 }
 
 void Server::process_batch(std::vector<QueuedRequest> batch) {
-  const ServeClock::time_point dispatch_time = ServeClock::now();
+  const ServeClock::time_point dispatch_time = clock_->now();
 
   // One slot per still-live request; expired/bad ones are answered right
   // here. Problems live in a deque (stable addresses while growing).
@@ -223,10 +246,14 @@ void Server::process_batch(std::vector<QueuedRequest> batch) {
   };
 
   for (QueuedRequest& item : batch) {
+    recorder_.record(obs::ServeEvent::kDequeue, item.request.id,
+                     queue_.size(), dispatch_time);
     // Deadline check at dequeue: a request that aged out while queued is
     // answered without spending a solve on it.
     if (dispatch_time >= item.deadline) {
       stats_.on_expired_in_queue();
+      recorder_.record(obs::ServeEvent::kDeadlineMissQueue, item.request.id,
+                       0, dispatch_time);
       answer_now(item, ResponseStatus::kDeadlineExpired,
                  "deadline expired in queue");
       continue;
@@ -270,14 +297,17 @@ void Server::process_batch(std::vector<QueuedRequest> batch) {
     slot.solver = options_.solver;
     if (request.deadline_ms > 0 || request.iteration_budget > 0) {
       // Per-request deadline hook: polled between solver iterations on
-      // whichever worker runs this request's problems.
+      // whichever worker runs this request's problems. Uses the same
+      // injected clock as the dequeue expiry check above, so the two can
+      // never disagree (and a ManualClock drives both in tests).
       const ServeClock::time_point deadline = item.deadline;
       const std::uint32_t budget = request.iteration_budget;
-      slot.solver.should_stop = [deadline, budget](int iterations) {
+      const obs::Clock* clock = clock_;
+      slot.solver.should_stop = [deadline, budget, clock](int iterations) {
         if (budget > 0 && iterations >= static_cast<int>(budget))
           return true;
         return deadline != ServeClock::time_point::max() &&
-               ServeClock::now() >= deadline;
+               clock->now() >= deadline;
       };
     }
     slot.item = std::move(item);
@@ -296,10 +326,13 @@ void Server::process_batch(std::vector<QueuedRequest> batch) {
           core::BatchItem{&problems[slot.first + i], warm, &slot.solver});
   }
   stats_.on_batch(batch.size(), items.size());
+  recorder_.record(obs::ServeEvent::kBatchFormed, 0, batch.size(),
+                   dispatch_time);
 
   std::vector<core::PlacementSolution> solutions;
   if (!items.empty()) solutions = solver_.solve_items(pool_, items);
-  const double solve_ms = ms_between(dispatch_time, ServeClock::now());
+  const ServeClock::time_point solved_at = clock_->now();
+  const double solve_ms = ms_between(dispatch_time, solved_at);
 
   std::size_t next = 0;
   for (Slot& slot : slots) {
@@ -354,6 +387,9 @@ void Server::process_batch(std::vector<QueuedRequest> batch) {
 
     if (cancelled) {
       stats_.on_expired_mid_solve();
+      recorder_.record(obs::ServeEvent::kDeadlineMissSolve, request.id,
+                       static_cast<std::uint64_t>(cancelled_iterations),
+                       solved_at);
       response.status = ResponseStatus::kDeadlineExpired;
       response.error =
           request.iteration_budget > 0 &&
@@ -364,6 +400,8 @@ void Server::process_batch(std::vector<QueuedRequest> batch) {
     } else {
       response.status = ResponseStatus::kOk;
       stats_.on_served(response.queue_ms, solve_ms);
+      recorder_.record(obs::ServeEvent::kSolveDone, request.id, slot.count,
+                       solved_at);
     }
     slot.item.promise.set_value(std::move(response));
   }

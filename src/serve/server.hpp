@@ -37,6 +37,10 @@
 #include "core/batch_solver.hpp"
 #include "core/problem.hpp"
 #include "core/task.hpp"
+#include "obs/clock.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/batcher.hpp"
 #include "serve/queue.hpp"
@@ -64,6 +68,19 @@ struct ServerOptions {
   /// Start with the dispatcher parked (tests and examples use this to
   /// stage deterministic queue states); resume() starts serving.
   bool start_paused = false;
+  /// Monotonic clock for deadline stamping, expiry checks, latency
+  /// accounting, and flight-recorder timestamps — one source, so they
+  /// can never disagree. Null = the process steady clock; tests inject
+  /// an obs::ManualClock to drive deadline expiry deterministically.
+  /// Borrowed; must outlive the server.
+  const obs::Clock* clock = nullptr;
+  /// Flight-recorder capacity in events (admit/dequeue/batch/solve/
+  /// deadline-miss/...); 0 disables recording entirely.
+  std::size_t flight_recorder = 1024;
+  /// Optional solver iteration trace shared by every request's solves
+  /// (per-request deadline hooks are layered on top without detaching
+  /// it). Borrowed; must outlive the server.
+  obs::SolverTrace* solver_trace = nullptr;
 };
 
 /// The transport-agnostic query server. Construct one per network model
@@ -106,6 +123,18 @@ class Server {
   /// The serve::Stats block as one util::bench_report JSON line.
   std::string stats_json() const { return stats_.json("serve", threads()); }
 
+  /// The registry holding both the serve metrics and the solver metrics
+  /// of this server's BatchSolver.
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+  /// Prometheus text exposition of metrics() (a /metrics endpoint body).
+  std::string prometheus() const;
+  /// Recent serve events (admit/batch/solve/deadline-miss), for dumps.
+  const obs::FlightRecorder& flight_recorder() const noexcept {
+    return recorder_;
+  }
+  /// The clock every deadline decision and timestamp goes through.
+  const obs::Clock& clock() const noexcept { return *clock_; }
+
  private:
   void dispatch_loop();
   void process_batch(std::vector<QueuedRequest> batch);
@@ -116,6 +145,11 @@ class Server {
   core::MeasurementTask task_;
   traffic::LinkLoads loads_;
   ServerOptions options_;
+
+  /// Declared before solver_ and stats_: both register metrics here.
+  obs::MetricsRegistry metrics_;
+  const obs::Clock* clock_;  // never null
+  obs::FlightRecorder recorder_;
 
   runtime::ThreadPool pool_;
   core::BatchSolver solver_;

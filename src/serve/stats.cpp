@@ -1,91 +1,107 @@
 #include "serve/stats.hpp"
 
-#include <bit>
-#include <cmath>
 #include <sstream>
+#include <vector>
 
 namespace netmon::serve {
 
 namespace {
 
-std::size_t bucket_of(double value) noexcept {
-  if (!(value > 1.0)) return 0;  // <= 1 (and NaN) land in bucket 0
-  const double clamped = std::min(value, 1e18);
-  const auto ceiled = static_cast<std::uint64_t>(std::ceil(clamped));
-  const std::size_t bits = std::bit_width(ceiled - 1) + 1;
-  return std::min<std::size_t>(bits - 1, 39);
+/// Power-of-two bucket bounds, the historical serve histogram shape:
+/// bucket 0 counts values <= 1, bucket b counts (2^(b-1), 2^b].
+std::vector<double> pow2_bounds(int max_exp) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(max_exp) + 1);
+  double bound = 1.0;
+  for (int e = 0; e <= max_exp; ++e, bound *= 2.0) bounds.push_back(bound);
+  return bounds;
+}
+
+std::uint64_t as_count(const obs::MetricSnapshot* metric) noexcept {
+  return metric != nullptr ? static_cast<std::uint64_t>(metric->value) : 0;
 }
 
 }  // namespace
 
-void Histogram::add(double value) noexcept {
-  stats_.add(value);
-  ++buckets_[bucket_of(value)];
+ServeStats::ServeStats()
+    : owned_(std::make_unique<obs::MetricsRegistry>()),
+      registry_(owned_.get()) {
+  register_metrics();
 }
 
-double Histogram::approx_quantile(double q) const noexcept {
-  const std::uint64_t n = stats_.count();
-  if (n == 0) return 0.0;
-  const double clamped_q = std::min(std::max(q, 0.0), 1.0);
-  const auto rank = static_cast<std::uint64_t>(std::ceil(clamped_q * n));
-  std::uint64_t seen = 0;
-  for (std::size_t b = 0; b < buckets_.size(); ++b) {
-    seen += buckets_[b];
-    if (seen >= rank) {
-      const double upper = b == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(b));
-      return std::min(upper, stats_.max());
-    }
-  }
-  return stats_.max();
+ServeStats::ServeStats(obs::MetricsRegistry& registry)
+    : registry_(&registry) {
+  register_metrics();
 }
 
-void ServeStats::on_enqueued(std::size_t queue_depth_after) {
-  enqueued_.fetch_add(1);
-  std::lock_guard<std::mutex> lock(mutex_);
-  queue_depth_.add(static_cast<double>(queue_depth_after));
-}
-
-void ServeStats::on_batch(std::size_t batch_size,
-                          std::size_t problem_count) {
-  batches_.fetch_add(1);
-  problems_solved_.fetch_add(problem_count);
-  std::lock_guard<std::mutex> lock(mutex_);
-  batch_size_.add(static_cast<double>(batch_size));
-}
-
-void ServeStats::on_served(double queue_ms, double solve_ms) {
-  served_ok_.fetch_add(1);
-  std::lock_guard<std::mutex> lock(mutex_);
-  queue_ms_.add(queue_ms);
-  solve_ms_.add(solve_ms);
+void ServeStats::register_metrics() {
+  obs::MetricsRegistry& r = *registry_;
+  submitted_ = r.counter("netmon_serve_submitted_total",
+                         "Requests submitted (accepted or not)");
+  enqueued_ = r.counter("netmon_serve_enqueued_total", "Requests admitted");
+  rejected_full_ = r.counter("netmon_serve_rejected_queue_full_total",
+                             "Requests rejected: queue full");
+  rejected_shutdown_ = r.counter("netmon_serve_rejected_shutdown_total",
+                                 "Requests rejected: server stopping");
+  bad_requests_ =
+      r.counter("netmon_serve_bad_requests_total", "Requests failing validation");
+  expired_in_queue_ = r.counter("netmon_serve_expired_in_queue_total",
+                                "Deadlines missed while queued");
+  expired_mid_solve_ = r.counter("netmon_serve_expired_mid_solve_total",
+                                 "Deadlines missed during the solve");
+  served_ok_ = r.counter("netmon_serve_served_total", "Requests served");
+  batches_ = r.counter("netmon_serve_batches_total", "Batches dispatched");
+  problems_solved_ = r.counter("netmon_serve_problems_solved_total",
+                               "Placement problems solved");
+  // Depth/size: pow2 buckets to 2^16; latencies: pow2 milliseconds to
+  // ~134 s. Per-shard exact max keeps StatsSnapshot max fields exact.
+  queue_depth_ = r.histogram("netmon_serve_queue_depth", pow2_bounds(16),
+                             "Queue depth after each admit");
+  batch_size_ = r.histogram("netmon_serve_batch_size", pow2_bounds(16),
+                            "Requests per dispatched batch");
+  queue_ms_ = r.histogram("netmon_serve_queue_ms", pow2_bounds(27),
+                          "Admit-to-dispatch latency, ms");
+  solve_ms_ = r.histogram("netmon_serve_solve_ms", pow2_bounds(27),
+                          "Batch solve latency share, ms");
 }
 
 StatsSnapshot ServeStats::snapshot() const {
+  const obs::RegistrySnapshot reg = registry_->snapshot();
   StatsSnapshot s;
-  s.submitted = submitted_.load();
-  s.enqueued = enqueued_.load();
-  s.rejected_queue_full = rejected_full_.load();
-  s.rejected_shutdown = rejected_shutdown_.load();
-  s.bad_requests = bad_requests_.load();
-  s.expired_in_queue = expired_in_queue_.load();
-  s.expired_mid_solve = expired_mid_solve_.load();
-  s.served_ok = served_ok_.load();
-  s.batches = batches_.load();
-  s.problems_solved = problems_solved_.load();
+  s.submitted = as_count(reg.find("netmon_serve_submitted_total"));
+  s.enqueued = as_count(reg.find("netmon_serve_enqueued_total"));
+  s.rejected_queue_full =
+      as_count(reg.find("netmon_serve_rejected_queue_full_total"));
+  s.rejected_shutdown =
+      as_count(reg.find("netmon_serve_rejected_shutdown_total"));
+  s.bad_requests = as_count(reg.find("netmon_serve_bad_requests_total"));
+  s.expired_in_queue =
+      as_count(reg.find("netmon_serve_expired_in_queue_total"));
+  s.expired_mid_solve =
+      as_count(reg.find("netmon_serve_expired_mid_solve_total"));
+  s.served_ok = as_count(reg.find("netmon_serve_served_total"));
+  s.batches = as_count(reg.find("netmon_serve_batches_total"));
+  s.problems_solved =
+      as_count(reg.find("netmon_serve_problems_solved_total"));
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto fill = [](const Histogram& h, double& mean, double* max,
-                       double& p99) {
-    const RunningStats& r = h.summary();
-    mean = r.count() ? r.mean() : 0.0;
-    if (max != nullptr) *max = r.count() ? r.max() : 0.0;
-    p99 = h.approx_quantile(0.99);
-  };
-  fill(queue_depth_, s.queue_depth_mean, &s.queue_depth_max,
-       s.queue_depth_p99);
-  fill(batch_size_, s.batch_size_mean, &s.batch_size_max, s.batch_size_p99);
-  fill(queue_ms_, s.queue_ms_mean, nullptr, s.queue_ms_p99);
-  fill(solve_ms_, s.solve_ms_mean, nullptr, s.solve_ms_p99);
+  if (const auto* h = reg.find("netmon_serve_queue_depth")) {
+    s.queue_depth_mean = h->mean();
+    s.queue_depth_max = h->max;
+    s.queue_depth_p99 = h->approx_quantile(0.99);
+  }
+  if (const auto* h = reg.find("netmon_serve_batch_size")) {
+    s.batch_size_mean = h->mean();
+    s.batch_size_max = h->max;
+    s.batch_size_p99 = h->approx_quantile(0.99);
+  }
+  if (const auto* h = reg.find("netmon_serve_queue_ms")) {
+    s.queue_ms_mean = h->mean();
+    s.queue_ms_p99 = h->approx_quantile(0.99);
+  }
+  if (const auto* h = reg.find("netmon_serve_solve_ms")) {
+    s.solve_ms_mean = h->mean();
+    s.solve_ms_p99 = h->approx_quantile(0.99);
+  }
   return s;
 }
 

@@ -1,40 +1,22 @@
-// Serving-layer instrumentation: admission/outcome counters plus
-// queue-depth, batch-size and latency histograms, exported as one
-// util::bench_report JSON block so the serve path's health is scraped
-// the same way the paper benches are.
+// Serving-layer instrumentation, rewired onto obs::MetricsRegistry.
+//
+// ServeStats is now a thin naming shim: every counter and histogram
+// lives in a MetricsRegistry (per-thread sharded cells, exact max per
+// histogram), so the serve metrics share one snapshot/export path with
+// the solver metrics — the same registry renders the Prometheus text,
+// the JSONL dump, and this struct's BenchReport rows. The historical
+// accessor API (on_* hooks, StatsSnapshot, fill/json) is unchanged, so
+// existing callers and tests keep working.
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "util/bench_report.hpp"
-#include "util/stats.hpp"
 
 namespace netmon::serve {
-
-/// Fixed-footprint histogram: Welford summary (util::stats) plus
-/// power-of-two buckets, so a long-running server records millions of
-/// observations in O(1) memory. Quantiles are approximate (bucket upper
-/// bounds) — good enough for "p99 batch size" style reporting.
-class Histogram {
- public:
-  void add(double value) noexcept;
-
-  const RunningStats& summary() const noexcept { return stats_; }
-
-  /// Approximate quantile, q in [0,1]: the upper bound of the bucket the
-  /// q-th observation falls in (capped at the observed max). 0 if empty.
-  double approx_quantile(double q) const noexcept;
-
- private:
-  RunningStats stats_;
-  /// buckets_[0] counts values <= 1; buckets_[b] counts values whose
-  /// ceiling needs b+1 bits, i.e. (2^b / 2, 2^b].
-  std::array<std::uint64_t, 40> buckets_{};
-};
 
 /// Point-in-time view of the counters and histogram summaries.
 struct StatsSnapshot {
@@ -50,6 +32,8 @@ struct StatsSnapshot {
   /// Problems solved (a request may expand to many).
   std::uint64_t problems_solved = 0;
 
+  /// Histogram summaries. max is exact; p99 is approximate (bucket upper
+  /// bound, capped at the exact max).
   double queue_depth_mean = 0.0, queue_depth_max = 0.0,
          queue_depth_p99 = 0.0;
   double batch_size_mean = 0.0, batch_size_max = 0.0, batch_size_p99 = 0.0;
@@ -57,22 +41,43 @@ struct StatsSnapshot {
   double solve_ms_mean = 0.0, solve_ms_p99 = 0.0;
 };
 
-/// Thread-safe counters + histograms for one Server. Counters are
-/// atomics (hot, touched by every producer); histograms take a mutex
-/// (touched by the single dispatcher and by producers on enqueue).
+/// Thread-safe serve metrics for one Server, stored in an
+/// obs::MetricsRegistry under the netmon_serve_* names. Every on_* hook
+/// is a sharded lock-free update.
 class ServeStats {
  public:
-  void on_submitted() noexcept { submitted_.fetch_add(1); }
-  void on_enqueued(std::size_t queue_depth_after);
-  void on_rejected_queue_full() noexcept { rejected_full_.fetch_add(1); }
-  void on_rejected_shutdown() noexcept { rejected_shutdown_.fetch_add(1); }
-  void on_bad_request() noexcept { bad_requests_.fetch_add(1); }
-  void on_expired_in_queue() noexcept { expired_in_queue_.fetch_add(1); }
-  void on_expired_mid_solve() noexcept { expired_mid_solve_.fetch_add(1); }
-  void on_batch(std::size_t batch_size, std::size_t problem_count);
-  void on_served(double queue_ms, double solve_ms);
+  /// Owns a private registry (standalone use, tests).
+  ServeStats();
+  /// Registers the serve metrics on a shared registry (the Server passes
+  /// its own, so solver and serve metrics export together). Borrowed;
+  /// must outlive this object.
+  explicit ServeStats(obs::MetricsRegistry& registry);
+
+  void on_submitted() noexcept { submitted_.inc(); }
+  void on_enqueued(std::size_t queue_depth_after) noexcept {
+    enqueued_.inc();
+    queue_depth_.observe(static_cast<double>(queue_depth_after));
+  }
+  void on_rejected_queue_full() noexcept { rejected_full_.inc(); }
+  void on_rejected_shutdown() noexcept { rejected_shutdown_.inc(); }
+  void on_bad_request() noexcept { bad_requests_.inc(); }
+  void on_expired_in_queue() noexcept { expired_in_queue_.inc(); }
+  void on_expired_mid_solve() noexcept { expired_mid_solve_.inc(); }
+  void on_batch(std::size_t batch_size, std::size_t problem_count) noexcept {
+    batches_.inc();
+    problems_solved_.inc(problem_count);
+    batch_size_.observe(static_cast<double>(batch_size));
+  }
+  void on_served(double queue_ms, double solve_ms) noexcept {
+    served_ok_.inc();
+    queue_ms_.observe(queue_ms);
+    solve_ms_.observe(solve_ms);
+  }
 
   StatsSnapshot snapshot() const;
+
+  /// The backing registry (for Prometheus/JSONL export).
+  obs::MetricsRegistry& registry() const noexcept { return *registry_; }
 
   /// Appends the stats as result rows on a BenchReport (rows: counters,
   /// queue_depth, batch_size, latency_ms).
@@ -82,22 +87,15 @@ class ServeStats {
   std::string json(const std::string& name, unsigned threads) const;
 
  private:
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> enqueued_{0};
-  std::atomic<std::uint64_t> rejected_full_{0};
-  std::atomic<std::uint64_t> rejected_shutdown_{0};
-  std::atomic<std::uint64_t> bad_requests_{0};
-  std::atomic<std::uint64_t> expired_in_queue_{0};
-  std::atomic<std::uint64_t> expired_mid_solve_{0};
-  std::atomic<std::uint64_t> served_ok_{0};
-  std::atomic<std::uint64_t> batches_{0};
-  std::atomic<std::uint64_t> problems_solved_{0};
+  void register_metrics();
 
-  mutable std::mutex mutex_;
-  Histogram queue_depth_;
-  Histogram batch_size_;
-  Histogram queue_ms_;
-  Histogram solve_ms_;
+  std::unique_ptr<obs::MetricsRegistry> owned_;
+  obs::MetricsRegistry* registry_;
+
+  obs::Counter submitted_, enqueued_, rejected_full_, rejected_shutdown_,
+      bad_requests_, expired_in_queue_, expired_mid_solve_, served_ok_,
+      batches_, problems_solved_;
+  obs::Histogram queue_depth_, batch_size_, queue_ms_, solve_ms_;
 };
 
 }  // namespace netmon::serve

@@ -1,0 +1,201 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "util/error.hpp"
+
+namespace netmon::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterSumsAcrossThreads) {
+  MetricsRegistry registry({.shards = 4});
+  Counter hits = registry.counter("hits_total", "test counter");
+
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([hits] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) hits.inc();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const RegistrySnapshot snap = registry.snapshot();
+  const MetricSnapshot* m = snap.find("hits_total");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, MetricKind::kCounter);
+  EXPECT_EQ(m->value, static_cast<double>(kThreads * kPerThread));
+}
+
+TEST(MetricsRegistry, DetachedHandlesAreNoOps) {
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+  EXPECT_FALSE(static_cast<bool>(counter));
+  counter.inc();
+  gauge.set(1.0);
+  histogram.observe(1.0);  // must not crash
+}
+
+TEST(MetricsRegistry, GaugeIsLastWriteWins) {
+  MetricsRegistry registry;
+  Gauge depth = registry.gauge("queue_depth", "test gauge");
+  depth.set(3.0);
+  depth.set(7.5);
+  const RegistrySnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.find("queue_depth")->value, 7.5);
+}
+
+TEST(MetricsRegistry, HistogramBucketEdgesAreInclusiveUpper) {
+  MetricsRegistry registry;
+  Histogram h = registry.histogram("h", {1.0, 2.0, 4.0});
+
+  // Exactly on a bound lands in that bound's bucket (le semantics);
+  // above the last bound lands in the overflow bucket.
+  h.observe(0.5);   // bucket 0 (<= 1)
+  h.observe(1.0);   // bucket 0
+  h.observe(1.001); // bucket 1 (<= 2)
+  h.observe(2.0);   // bucket 1
+  h.observe(4.0);   // bucket 2 (<= 4)
+  h.observe(4.5);   // overflow
+  h.observe(100.0); // overflow
+
+  const RegistrySnapshot snap = registry.snapshot();
+  const MetricSnapshot* m = snap.find("h");
+  ASSERT_NE(m, nullptr);
+  ASSERT_EQ(m->buckets.size(), 4u);
+  EXPECT_EQ(m->buckets[0], 2u);
+  EXPECT_EQ(m->buckets[1], 2u);
+  EXPECT_EQ(m->buckets[2], 1u);
+  EXPECT_EQ(m->buckets[3], 2u);
+  EXPECT_EQ(m->count, 7u);
+  EXPECT_DOUBLE_EQ(m->sum, 0.5 + 1.0 + 1.001 + 2.0 + 4.0 + 4.5 + 100.0);
+  EXPECT_EQ(m->max, 100.0);  // exact, not a bucket bound
+}
+
+TEST(MetricsRegistry, HistogramMergesShards) {
+  MetricsRegistry registry({.shards = 4});
+  Histogram h = registry.histogram("lat", {1.0, 10.0, 100.0});
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([h, t] {
+      for (int i = 0; i < 1000; ++i) h.observe(static_cast<double>(t));
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const RegistrySnapshot snap = registry.snapshot();
+  const MetricSnapshot* m = snap.find("lat");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->count, 8000u);
+  EXPECT_EQ(m->max, 7.0);
+  double sum = 0.0;
+  for (int t = 0; t < kThreads; ++t) sum += 1000.0 * t;
+  EXPECT_DOUBLE_EQ(m->sum, sum);
+  std::uint64_t total = 0;
+  for (std::uint64_t b : m->buckets) total += b;
+  EXPECT_EQ(total, 8000u);
+}
+
+TEST(MetricsRegistry, HistogramHandlesNegativeObservations) {
+  MetricsRegistry registry;
+  Histogram h = registry.histogram("signed", {0.0, 10.0});
+  h.observe(-5.0);
+  h.observe(-1.0);
+  const RegistrySnapshot snap = registry.snapshot();
+  const MetricSnapshot* m = snap.find("signed");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->count, 2u);
+  EXPECT_EQ(m->max, -1.0);  // -inf init, not 0
+  EXPECT_EQ(m->buckets[0], 2u);
+}
+
+TEST(MetricsRegistry, ApproxQuantileUsesBucketUpperBoundCappedAtMax) {
+  MetricsRegistry registry;
+  Histogram h = registry.histogram("q", {1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 99; ++i) h.observe(0.5);
+  h.observe(3.0);
+
+  const RegistrySnapshot snap = registry.snapshot();
+  const MetricSnapshot* m = snap.find("q");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->approx_quantile(0.5), 1.0);   // bucket 0 upper bound
+  EXPECT_EQ(m->approx_quantile(1.0), 3.0);   // bucket bound 4 capped at max
+  EXPECT_EQ(m->mean(), (99 * 0.5 + 3.0) / 100.0);
+}
+
+TEST(MetricsRegistry, ReRegistrationReturnsSameMetric) {
+  MetricsRegistry registry;
+  Counter a = registry.counter("dup_total");
+  Counter b = registry.counter("dup_total");
+  a.inc();
+  b.inc(2);
+  EXPECT_EQ(registry.snapshot().find("dup_total")->value, 3.0);
+  // Kind mismatch on an existing name is an error.
+  EXPECT_THROW(registry.gauge("dup_total"), Error);
+  // Histogram bound mismatch too.
+  registry.histogram("hist", {1.0, 2.0});
+  EXPECT_THROW(registry.histogram("hist", {1.0, 3.0}), Error);
+}
+
+TEST(MetricsRegistry, ArenaExhaustionThrows) {
+  MetricsRegistry registry({.shards = 1, .cells_per_shard = 3});
+  registry.counter("a");
+  registry.counter("b");
+  registry.counter("c");
+  EXPECT_THROW(registry.counter("d"), Error);
+}
+
+TEST(PrometheusExport, RendersCountersGaugesAndCumulativeBuckets) {
+  MetricsRegistry registry;
+  registry.counter("requests_total", "requests seen").inc(5);
+  registry.gauge("depth", "queue depth").set(2.0);
+  Histogram h = registry.histogram("lat_ms", {1.0, 10.0}, "latency");
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+
+  const std::string text = prometheus_text(registry);
+  EXPECT_NE(text.find("# HELP requests_total requests seen\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE requests_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("requests_total 5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("depth 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_ms histogram\n"), std::string::npos);
+  // Buckets are cumulative and end with +Inf == count.
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"10\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_sum 55.5\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_count 3\n"), std::string::npos);
+}
+
+TEST(JsonlExport, OneObjectPerMetric) {
+  MetricsRegistry registry;
+  registry.counter("n_total").inc(2);
+  Histogram h = registry.histogram("sizes", {1.0, 2.0});
+  h.observe(1.5);
+
+  const std::string jsonl = metrics_jsonl(registry);
+  // Two metrics -> two lines.
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 2);
+  EXPECT_NE(jsonl.find(R"("name":"n_total")"), std::string::npos);
+  EXPECT_NE(jsonl.find(R"("kind":"counter")"), std::string::npos);
+  EXPECT_NE(jsonl.find(R"("value":2)"), std::string::npos);
+  EXPECT_NE(jsonl.find(R"("name":"sizes")"), std::string::npos);
+  EXPECT_NE(jsonl.find(R"("buckets":[0,1,0])"), std::string::npos);
+  EXPECT_NE(jsonl.find(R"("bounds":[1,2])"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netmon::obs

@@ -1,0 +1,81 @@
+#include "obs/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace netmon::obs {
+namespace {
+
+TEST(CeilPow2, RoundsUp) {
+  EXPECT_EQ(ceil_pow2(0), 1u);
+  EXPECT_EQ(ceil_pow2(1), 1u);
+  EXPECT_EQ(ceil_pow2(2), 2u);
+  EXPECT_EQ(ceil_pow2(3), 4u);
+  EXPECT_EQ(ceil_pow2(4), 4u);
+  EXPECT_EQ(ceil_pow2(1000), 1024u);
+  EXPECT_EQ(ceil_pow2(1024), 1024u);
+}
+
+TEST(AtomicRing, CapacityIsPow2AndAtLeastTwo) {
+  EXPECT_EQ(AtomicRing<1>(0).capacity(), 2u);
+  EXPECT_EQ(AtomicRing<1>(1).capacity(), 2u);
+  EXPECT_EQ(AtomicRing<1>(5).capacity(), 8u);
+  EXPECT_EQ(AtomicRing<1>(64).capacity(), 64u);
+}
+
+TEST(AtomicRing, RetainsEverythingBelowCapacity) {
+  AtomicRing<2> ring(8);
+  for (std::uint64_t i = 0; i < 5; ++i) ring.append({i, 10 * i});
+  EXPECT_EQ(ring.total(), 5u);
+
+  const auto records = ring.snapshot();
+  ASSERT_EQ(records.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(records[i][0], i);
+    EXPECT_EQ(records[i][1], 10 * i);
+  }
+}
+
+TEST(AtomicRing, WraparoundKeepsNewestOldestFirst) {
+  AtomicRing<1> ring(4);  // capacity 4
+  for (std::uint64_t i = 0; i < 11; ++i) ring.append({i});
+  EXPECT_EQ(ring.total(), 11u);
+
+  const auto records = ring.snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  // Tickets 7..10 survive, oldest first.
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(records[i][0], 7 + i);
+}
+
+TEST(AtomicRing, ConcurrentWritersNeverProduceTornRecords) {
+  // Each record holds (k, 2k): a torn record would break the invariant.
+  AtomicRing<2> ring(64);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 5000;
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&ring, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        const std::uint64_t k = static_cast<std::uint64_t>(t) * kPerThread + i;
+        ring.append({k, 2 * k});
+        if (i % 64 == 0) {
+          for (const auto& record : ring.snapshot())
+            ASSERT_EQ(record[1], 2 * record[0]);
+        }
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+
+  EXPECT_EQ(ring.total(), kThreads * kPerThread);
+  const auto records = ring.snapshot();
+  EXPECT_EQ(records.size(), ring.capacity());
+  for (const auto& record : records) EXPECT_EQ(record[1], 2 * record[0]);
+}
+
+}  // namespace
+}  // namespace netmon::obs

@@ -307,5 +307,34 @@ TEST(ZeroAlloc, WarmRepeatSolveAllocatesOnlyTheResult) {
   EXPECT_LE(allocs, 8u) << "solver hot path is allocating per iteration";
 }
 
+TEST(ZeroAlloc, InstrumentedWarmRepeatSolveAllocatesOnlyTheResult) {
+  // Full observability on: per-iteration tracing into the pre-sized ring
+  // plus registry counters. The hot loop must STAY zero-allocation — the
+  // trace ring and metric cells were sized up front.
+  const GeantFixture fx;
+  obs::MetricsRegistry registry;
+  obs::SolverTrace trace(8192);
+
+  SolverOptions options;
+  options.trace = &trace;
+  options.counters = obs::register_solver_counters(registry);
+
+  SolverWorkspace workspace;
+  const SolveResult first = maximize(fx.problem.objective(),
+                                     fx.problem.constraints(), options,
+                                     nullptr, &workspace);
+  ASSERT_EQ(first.status, SolveStatus::kOptimal);
+  ASSERT_GT(trace.total_recorded(), 0u);
+
+  const std::size_t allocs = allocations_in([&] {
+    (void)maximize(fx.problem.objective(), fx.problem.constraints(), options,
+                   nullptr, &workspace);
+  });
+  EXPECT_LE(allocs, 8u) << "tracing is allocating in the solver hot loop";
+  // And tracing records every iteration (plus the final summary).
+  EXPECT_EQ(trace.total_recorded(),
+            2 * (static_cast<std::uint64_t>(first.iterations) + 1));
+}
+
 }  // namespace
 }  // namespace netmon::opt
