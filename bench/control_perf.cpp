@@ -1,0 +1,137 @@
+// PERF — control-loop step latency, decomposed by stage. The streaming
+// re-optimization loop (src/control/) runs once per 5-minute measurement
+// bin, so its absolute budget is generous; what matters is that the
+// common path (track -> decide -> hold) stays microseconds-cheap so an
+// operator can run it per-bin for thousands of tasks, and that the
+// re-solve path is dominated by the (warm-started) solver, not by loop
+// bookkeeping. Emits BENCH_control.json rows:
+//   stages       — tracker observe / policy decide / actuator decide, ns
+//   step_track   — full ControlLoop::step on a steady bin (no re-solve)
+//   step_resolve — full step with a forced warm re-solve + push
+#include <cstdio>
+#include <vector>
+
+#include "netmon.hpp"
+#include "util/bench_report.hpp"
+
+namespace {
+
+using namespace netmon;
+
+/// Min-over-blocks timing (scheduling noise only ever adds time).
+template <typename Body>
+double min_ns_per_call(int reps, Body&& body) {
+  double best = 0.0;
+  for (int b = 0; b < 5; ++b) {
+    StopWatch watch;
+    for (int i = 0; i < reps; ++i) body();
+    const double ns = watch.elapsed_ms() * 1e6 / reps;
+    if (b == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+control::BinObservation steady_observation(const core::GeantScenario& s) {
+  control::BinObservation bin;
+  bin.loads = s.loads;
+  bin.od_rates.reserve(s.task.ods.size());
+  for (const routing::OdPair& od : s.task.ods)
+    bin.od_rates.push_back(traffic::demand_for(s.demands, od));
+  return bin;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== control_perf: loop step latency by stage ==\n");
+  const core::GeantScenario scenario = core::make_geant_scenario();
+  const control::BinObservation bin = steady_observation(scenario);
+
+  BenchReport report("control_perf", 1);
+
+  // --- Stage microbenchmarks. ---
+  control::TrafficTracker tracker(scenario.task);
+  const double track_ns = min_ns_per_call(
+      20000, [&] { (void)tracker.observe(bin.od_rates); });
+
+  control::ReoptimizePolicy policy;
+  control::PolicyInput decide_input;
+  decide_input.bins_since_resolve = 1;
+  decide_input.have_incumbent = true;
+  decide_input.innovation_rms = 0.5;
+  decide_input.budget_used = 100000.0;
+  decide_input.theta = 100000.0;
+  double sink = 0.0;
+  const double decide_ns = min_ns_per_call(200000, [&] {
+    decide_input.innovation_rms += 1e-9;  // defeat value caching
+    sink += static_cast<double>(policy.decide(decide_input));
+  });
+
+  const control::Actuator actuator;
+  control::ActuationInput act_input;
+  act_input.incumbent_utility = 10.0;
+  act_input.fresh_utility = 10.5;
+  act_input.bins_since_push = 5;
+  const double actuate_ns = min_ns_per_call(200000, [&] {
+    act_input.fresh_utility += 1e-12;
+    sink += actuator.decide(act_input).utility_gain ? 1.0 : 0.0;
+  });
+
+  std::printf("  tracker.observe(20 ODs)=%.0f ns  policy.decide=%.0f ns"
+              "  actuator.decide=%.0f ns (sink %.3g)\n",
+              track_ns, decide_ns, actuate_ns, sink);
+  report.result("stages")
+      .metric("track_ns", track_ns)
+      .metric("decide_ns", decide_ns)
+      .metric("actuate_ns", actuate_ns);
+
+  // --- Full steps: the steady (hold) path and the re-solve path. ---
+  // Steady: after convergence the policy stops triggering, so step() is
+  // track + incumbent evaluation + decide.
+  {
+    control::ControlLoop loop(scenario.net.graph, scenario.task);
+    for (int i = 0; i < 8; ++i) (void)loop.step(bin);  // converge
+    const double step_us =
+        min_ns_per_call(500, [&] { (void)loop.step(bin); }) / 1e3;
+    std::printf("  step(track+hold)=%.1f us\n", step_us);
+    report.result("step_track").metric("step_us", step_us);
+  }
+
+  // Re-solve: staleness bound of 1 forces a warm re-solve every bin, a
+  // zero hysteresis threshold pushes every fresh optimum, and the
+  // observed rates swing +/-20% between bins in alternating directions
+  // per OD (a uniform swing would leave the optimal allocation fixed),
+  // so each warm solve does real tracker-sized-delta work instead of
+  // confirming a fixed point.
+  {
+    control::ControlConfig config;
+    config.policy.max_bins_between = 1;
+    config.actuator.min_utility_gain = 0.0;
+    control::ControlLoop loop(scenario.net.graph, scenario.task, config);
+    control::BinObservation hi = bin, lo = bin;
+    for (std::size_t k = 0; k < bin.od_rates.size(); ++k) {
+      hi.od_rates[k] *= (k % 2 == 0) ? 1.20 : 0.80;
+      lo.od_rates[k] *= (k % 2 == 0) ? 0.80 : 1.20;
+    }
+    (void)loop.step(hi);
+    (void)loop.step(lo);  // warm the scratch on both phases
+    int iterations = 0;
+    bool flip = false;
+    const double step_us = min_ns_per_call(200, [&] {
+                             flip = !flip;
+                             const control::StepResult r =
+                                 loop.step(flip ? hi : lo);
+                             iterations = r.solve_iterations;
+                           }) /
+                           1e3;
+    std::printf("  step(track+resolve+actuate)=%.1f us (%d warm solver"
+                " iterations per bin)\n",
+                step_us, iterations);
+    report.result("step_resolve")
+        .metric("step_us", step_us)
+        .metric("solve_iterations", iterations);
+  }
+
+  report.emit();
+  return 0;
+}

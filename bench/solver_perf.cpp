@@ -472,6 +472,71 @@ void RunSimdKernelSweep() {
   report.emit();
 }
 
+// Warm-start savings at control-loop perturbation sizes: the streaming
+// loop (src/control/) re-solves a problem whose task sizes moved a few
+// percent between 5-minute bins — tracker-tracked diurnal drift — and
+// warm-starts from the incumbent rates. This section measures how many
+// solver iterations the warm start saves versus a cold solve of the
+// same perturbed problem, across small/medium/large deltas.
+void RunWarmDeltaBench() {
+  std::printf("\n-- warm-start savings on tracker-sized deltas --\n");
+  const core::GeantScenario scenario = core::make_geant_scenario();
+  const core::PlacementProblem base_problem = core::make_problem(scenario);
+  const core::PlacementSolution incumbent = core::solve_placement(base_problem);
+
+  BenchReport report("solver_perf_warm_delta", 1);
+  constexpr int kSolveReps = 50;
+  constexpr int kBlocks = 5;
+  for (const double delta : {0.01, 0.05, 0.20}) {
+    // One bin of drift at the tracker's scale: every OD's size moves by
+    // uniform(1 +/- delta).
+    core::MeasurementTask task = scenario.task;
+    Rng d_rng(static_cast<std::uint64_t>(delta * 1000.0));
+    for (double& s : task.expected_packets)
+      s *= d_rng.uniform(1.0 - delta, 1.0 + delta);
+    const core::PlacementProblem problem(scenario.net.graph, task,
+                                         scenario.loads, {});
+
+    // Iteration counts are deterministic per (problem, start point).
+    opt::SolverWorkspace cold_ws, warm_ws;
+    const int cold_iters =
+        core::solve_placement(problem, {}, &cold_ws).iterations;
+    const int warm_iters =
+        core::resolve_warm(problem, incumbent.rates, {}, &warm_ws).iterations;
+
+    const auto min_solve_ms = [&](auto&& body) {
+      double best = 0.0;
+      for (int b = 0; b < kBlocks; ++b) {
+        StopWatch watch;
+        for (int i = 0; i < kSolveReps; ++i) body();
+        const double ms = watch.elapsed_ms() / kSolveReps;
+        if (b == 0 || ms < best) best = ms;
+      }
+      return best;
+    };
+    const double cold_ms = min_solve_ms(
+        [&] { (void)core::solve_placement(problem, {}, &cold_ws); });
+    const double warm_ms = min_solve_ms([&] {
+      (void)core::resolve_warm(problem, incumbent.rates, {}, &warm_ws);
+    });
+
+    const double savings =
+        1.0 - static_cast<double>(warm_iters) / cold_iters;
+    std::printf("  delta=%.0f%%  cold=%d iters (%.3f ms)  warm=%d iters"
+                " (%.3f ms)  savings=%.0f%%\n",
+                delta * 100.0, cold_iters, cold_ms, warm_iters, warm_ms,
+                savings * 100.0);
+    report.result("delta_" + std::to_string(static_cast<int>(delta * 100)))
+        .metric("delta_pct", delta * 100.0)
+        .metric("cold_iters", cold_iters)
+        .metric("warm_iters", warm_iters)
+        .metric("warm_iter_savings", savings)
+        .metric("cold_ms", cold_ms)
+        .metric("warm_ms", warm_ms);
+  }
+  report.emit();
+}
+
 // Thread-scaling section: the same batch of problems and the same
 // Monte-Carlo experiment at 1..8 worker threads. Outputs are
 // deterministic per problem, so this doubles as a cross-thread-count
@@ -550,6 +615,7 @@ int main(int argc, char** argv) {
   }
   RunKernelBench();
   RunSimdKernelSweep();
+  RunWarmDeltaBench();
   if (!kernels_only) RunThreadScaling();
   return 0;
 }

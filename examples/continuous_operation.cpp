@@ -1,131 +1,199 @@
-// Continuous operation: a day in the life of the monitoring system.
+// Continuous operation: one replayed day of GEANT traffic under the
+// streaming re-optimization loop (src/control/), hosted by the placement
+// service (src/serve/).
 //
-// This example wires the full operational loop the paper envisions
-// (§I, §VI): traffic follows a diurnal cycle with a mid-day anomaly
-// spike; link loads are not oracle values but come from SNMP counters via
-// the RatePoller; the traffic matrix itself is reconstructed from those
-// loads with tomogravity; every 2-hour epoch the placement is re-solved
-// with a warm start from the previous rates; and per-epoch accuracy is
-// verified by Monte-Carlo sampling of the true traffic.
-#include <algorithm>
+// The day's script: a diurnal cycle peaking at 14:00 (20% swing), the
+// UK-NL link down from 08:00 to 16:00, and an 8x surge on three JANET OD
+// pairs from 18:00 to 19:00. Every 5-minute bin the loop is fed what a
+// real telemetry plane would deliver:
+//   - link loads from simulated SNMP counter polls (telemetry::), and
+//   - per-OD rate estimates inverted from NetFlow records sampled *at
+//     the rates the loop itself deployed* (sampling:: X_k / rho_k) — the
+//     measurement loop is closed: the placement in force produces the
+//     estimates that drive the next placement.
+// An injected obs::ManualClock drives every timestamp and deadline, so
+// the whole day replays deterministically in seconds of wall time, and
+// an every-bin oracle re-solve runs alongside (config.track_oracle) to
+// show tracked utility staying within a few percent of always-fresh
+// optima at a fraction of the router pushes.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <random>
+#include <string>
+#include <vector>
 
-#include "core/reoptimize.hpp"
-#include "estimate/tomogravity.hpp"
 #include "netmon.hpp"
-#include "telemetry/snmp.hpp"
-#include "traffic/variation.hpp"
-#include "util/stats.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+std::string hhmm(int bin) {
+  const int minutes = (bin - 1) * 5;
+  char out[8];
+  std::snprintf(out, sizeof(out), "%02d:%02d", minutes / 60, minutes % 60);
+  return out;
+}
+
+}  // namespace
 
 int main() {
   using namespace netmon;
+  using namespace std::chrono_literals;
 
-  std::printf("== continuous operation: 24h with diurnal traffic, an"
-              " anomaly, SNMP-fed re-optimization ==\n\n");
+  std::printf("== continuous operation: a replayed day under the control"
+              " loop ==\n\n");
 
   const core::GeantScenario base = core::make_geant_scenario();
   const auto& graph = base.net.graph;
+  const double interval = base.task.interval_sec;  // 300 s bins
 
-  // Diurnal pattern peaking at 14:00, 35% swing; a 50x anomaly towards
-  // Luxembourg between 11:00 and 13:00 (paper §I: small prefixes matter
-  // for anomaly detection).
-  const traffic::DiurnalPattern pattern(0.35, 14.0 * 3600.0);
-  const std::vector<traffic::AnomalySpike> spikes{
-      {{base.net.janet, *graph.find_node("LU")}, 11.0 * 3600.0,
-       13.0 * 3600.0, 50.0}};
+  // The day's script.
+  const traffic::DiurnalPattern pattern(0.2, 14.0 * 3600.0);
+  std::vector<traffic::AnomalySpike> spikes;
+  for (int k = 0; k < 3; ++k) {
+    traffic::AnomalySpike spike;
+    spike.od = base.task.ods[static_cast<std::size_t>(k)];
+    spike.start_sec = 18.0 * 3600.0;
+    spike.end_sec = 19.0 * 3600.0;
+    spike.factor = 8.0;
+    spikes.push_back(spike);
+  }
+  const topo::LinkId uk_nl = *graph.find_link("UK", "NL");
+  constexpr int kBins = 288;             // one day of 5-minute bins
+  constexpr int kFailBin = 97;           // 08:00: UK-NL goes down
+  constexpr int kRecoverBin = 193;       // 16:00: ...and comes back
+
+  // One clock for the server, the loop, and every flight-recorder event.
+  obs::ManualClock clock;
+  serve::ServerOptions service;
+  service.clock = &clock;
+  service.threads = 4;
+  service.flight_recorder = 4096;  // hold the full day's events
+  serve::Server server(graph, base.task, base.loads, service);
+
+  control::ControlConfig config;
+  config.track_oracle = true;  // the regret reference: re-solve every bin
+  server.start_control(config);
+  const control::ControlLoop& loop = *server.control_loop();
 
   Rng rng(2026);
-  sampling::RateVector running_rates(graph.link_count(), 0.0);
-  bool have_rates = false;
+  TextTable table({"window", "diurnal", "innov rms", "resolves", "pushes",
+                   "monitors", "utility", "oracle"});
+  double loop_utility = 0.0;
+  double oracle_utility = 0.0;
+  int window_resolves = 0;
+  int window_pushes = 0;
 
-  TextTable table({"epoch", "diurnal", "theta load factor", "solver iters",
-                   "warm iters", "avg acc", "worst acc", "worst OD"});
-
-  for (int hour = 0; hour < 24; hour += 2) {
-    const double t = hour * 3600.0;
-    // True demands at this time (background + task, both modulated).
-    const traffic::TrafficMatrix true_demands =
+  for (int bin = 1; bin <= kBins; ++bin) {
+    const double t = (bin - 1) * interval;
+    const traffic::TrafficMatrix tm =
         traffic::matrix_at(base.demands, pattern, spikes, t);
+    routing::LinkSet failed;
+    if (bin >= kFailBin && bin < kRecoverBin) failed.insert(uk_nl);
 
-    // --- Measurement plane: SNMP counters -> loads. ---
-    Rng snmp_rng = rng.split(hour + 1);
-    const traffic::LinkLoads measured = telemetry::measured_loads(
-        graph, true_demands, /*duration=*/120.0, /*poll=*/60.0, snmp_rng);
+    control::BinObservation bin_obs;
+    bin_obs.failed = failed;
 
-    // --- Optional: reconstruct the background TM from the loads (shown
-    // here as a sanity metric; the placement needs only the loads). ---
-    const estimate::TomogravityResult tomo =
-        estimate::tomogravity(graph, measured);
+    // SNMP plane: two minutes of per-second Poisson counter increments,
+    // polled every 60 s.
+    Rng snmp_rng = rng.split(bin);
+    bin_obs.loads =
+        telemetry::measured_loads(graph, tm, 120.0, 60.0, snmp_rng, failed);
 
-    // --- Task sizes as currently believed (scale with diurnal). ---
-    core::MeasurementTask task = base.task;
-    for (std::size_t k = 0; k < task.ods.size(); ++k) {
-      double rate = task.expected_packets[k] / task.interval_sec;
-      rate *= pattern.factor(t);
-      for (const auto& spike : spikes) {
-        if (spike.od == task.ods[k] && spike.active_at(t))
-          rate *= spike.factor;
+    // NetFlow plane: sample the bin's true task flows at the rates the
+    // loop currently has deployed, then invert the counts back to OD
+    // rates (X_k / rho_k). Before the first placement exists there are
+    // no flow records at all — the loop falls back to tomogravity on the
+    // loads (and JANET ODs the inversion cannot see coast on the prior).
+    if (loop.have_rates()) {
+      // Packet-count sampling only sees per-OD totals, so each OD's bin
+      // is its Poisson packet total in a single flow record (the full
+      // heavy-tailed populations are exercised in the accuracy benches).
+      Rng flow_rng = rng.split(1000 + bin);
+      std::vector<std::vector<traffic::Flow>> flows(base.task.ods.size());
+      for (std::size_t k = 0; k < base.task.ods.size(); ++k) {
+        std::poisson_distribution<std::uint64_t> packets(
+            traffic::demand_for(tm, base.task.ods[k]) * interval);
+        traffic::Flow flow;
+        flow.packets = packets(flow_rng);
+        flow.od_index = static_cast<std::uint32_t>(k);
+        flows[k].push_back(flow);
       }
-      task.expected_packets[k] = rate * task.interval_sec;
+      const auto matrix =
+          routing::RoutingMatrix::single_path(graph, base.task.ods, failed);
+      const auto rhos =
+          sampling::effective_rates_approx(matrix, loop.rates());
+      Rng sim_rng = rng.split(2000 + bin);
+      const auto counts =
+          sampling::simulate_sampling(sim_rng, matrix, flows, loop.rates());
+      bin_obs.od_rates.assign(counts.size(), control::kMissing);
+      for (std::size_t k = 0; k < counts.size(); ++k)
+        if (rhos[k] > 1e-9)
+          bin_obs.od_rates[k] =
+              static_cast<double>(counts[k].sampled_packets) /
+              (rhos[k] * interval);
     }
 
-    core::ProblemOptions options;
-    options.theta = 100000.0;
-    const core::PlacementProblem problem(graph, task, measured, options);
+    const control::StepResult r = server.control_step(bin_obs);
+    loop_utility += r.utility;
+    oracle_utility += r.oracle_utility;
+    if (r.resolved) ++window_resolves;
+    if (r.reconfigured) ++window_pushes;
 
-    // Cold vs warm solve (warm from the previous epoch's rates).
-    const core::PlacementSolution cold = core::solve_placement(problem);
-    core::PlacementSolution current =
-        have_rates ? core::resolve_warm(problem, running_rates) : cold;
-    running_rates = current.rates;
-    have_rates = true;
+    // Narrate the contract events; routine diurnal churn goes in the
+    // table.
+    if (r.reason == control::ResolveReason::kFirstBin ||
+        r.reason == control::ResolveReason::kTopology)
+      std::printf("[%s] %s -> %s (%zu monitors, utility %.4g)\n",
+                  hhmm(bin).c_str(), control::to_string(r.reason),
+                  r.reconfigured ? "reconfigured" : "held",
+                  r.active_monitors, r.utility);
 
-    // --- Verification: sample the *true* traffic at the chosen rates. ---
-    traffic::TrafficMatrix task_true;
-    for (std::size_t k = 0; k < task.ods.size(); ++k)
-      task_true.push_back(
-          {task.ods[k], task.expected_packets[k] / task.interval_sec});
-    Rng flow_rng = rng.split(1000 + hour);
-    const auto flows = traffic::generate_all_flows(flow_rng, task_true);
-    const auto rhos =
-        sampling::effective_rates_approx(problem.routing(), current.rates);
-    std::vector<RunningStats> acc(task.ods.size());
-    Rng sim_rng = rng.split(2000 + hour);
-    for (int run = 0; run < 5; ++run) {
-      const auto counts = sampling::simulate_sampling(
-          sim_rng, problem.routing(), flows, current.rates);
-      const auto a = estimate::accuracies(counts, rhos);
-      for (std::size_t k = 0; k < a.size(); ++k) acc[k].add(a[k]);
+    if (bin % 24 == 0) {  // one row per 2 hours
+      table.add_row({hhmm(bin - 23) + "-" + hhmm(bin + 1),
+                     fmt_fixed(pattern.factor(t), 2),
+                     fmt_fixed(r.tracked.innovation_rms, 2),
+                     std::to_string(window_resolves),
+                     std::to_string(window_pushes),
+                     std::to_string(r.active_monitors),
+                     fmt_sci(r.utility, 3), fmt_sci(r.oracle_utility, 3)});
+      window_resolves = 0;
+      window_pushes = 0;
     }
-    double avg = 0.0, worst = 1.0;
-    std::size_t worst_k = 0;
-    for (std::size_t k = 0; k < acc.size(); ++k) {
-      avg += acc[k].mean();
-      if (acc[k].mean() < worst) {
-        worst = acc[k].mean();
-        worst_k = k;
-      }
-    }
-    avg /= static_cast<double>(acc.size());
 
-    char label[32];
-    std::snprintf(label, sizeof(label), "%02d:00-%02d:00", hour, hour + 2);
-    table.add_row(
-        {label, fmt_fixed(pattern.factor(t), 2),
-         fmt_fixed(problem.budget_used(current.rates) / options.theta, 2),
-         std::to_string(cold.iterations), std::to_string(current.iterations),
-         fmt_fixed(avg, 3), fmt_fixed(worst, 3),
-         "JANET-" + graph.node(task.ods[worst_k].dst).name});
-    (void)tomo;
+    clock.advance(300s);
   }
 
-  std::cout << table.render();
+  std::printf("\n%s", table.render().c_str());
+  const obs::RegistrySnapshot metrics = server.metrics().snapshot();
+  const obs::MetricSnapshot* outliers =
+      metrics.find("netmon_control_outliers_total");
   std::printf(
-      "\nnotes: the 11:00/13:00 epochs include the 50x JANET-LU anomaly —"
-      " re-optimization\nshifts budget towards FR-LU automatically; warm"
-      " starts cut solver iterations\nroughly in half once the system is"
-      " in steady state.\n");
+      "\nday summary: %d bins, %d re-solves, %d pushes (the oracle pushes"
+      " all %d),\n%d hysteresis holds, %d gated outlier estimates\n"
+      "tracked utility / every-bin-oracle utility = %.4f (time-averaged)\n",
+      loop.bins(), loop.resolves(), loop.reconfigurations(), kBins,
+      loop.holds(), outliers != nullptr ? static_cast<int>(outliers->value) : 0,
+      loop_utility / oracle_utility);
+  std::printf(
+      "\nnotes: the 08:00 failure and 16:00 recovery reconfigure on the"
+      " bin they happen;\nthe 18:00 surge is first gated as an outlier,"
+      " then re-seeds the tracker and\ntriggers an innovation re-solve;"
+      " in between, the budget contract tracks the\ndiurnal swing with"
+      " far fewer pushes than an every-bin re-solve.\n");
+
+  const char* obs_dir = std::getenv("NETMON_OBS_DIR");
+  if (obs_dir != nullptr) {
+    const std::string dir(obs_dir);
+    std::ofstream(dir + "/control_metrics.prom") << server.prometheus();
+    std::ofstream(dir + "/control_flight.jsonl")
+        << server.flight_recorder().jsonl();
+    std::printf("\nobs artifacts: %s/{control_metrics.prom,"
+                "control_flight.jsonl} (%zu flight events)\n",
+                obs_dir, server.flight_recorder().dump().size());
+  }
   return 0;
 }

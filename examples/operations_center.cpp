@@ -19,7 +19,6 @@
 #include <fstream>
 #include <iostream>
 #include <string>
-#include <thread>
 
 #include "netmon.hpp"
 #include "util/table.hpp"
@@ -67,10 +66,16 @@ int main() {
   std::printf("SNMP: %zu link load measurements\n\n", loads.size());
 
   // --- The query service. ---
+  // One injected clock drives deadline stamping, expiry checks, and
+  // flight-recorder timestamps, so the backpressure demonstration below
+  // ages requests out by advancing time instead of sleeping — the run is
+  // deterministic and never waits on the wall clock.
+  obs::ManualClock clock;
   obs::SolverTrace trace(1 << 14);
   serve::ServerOptions service_options;
   service_options.queue_capacity = 16;
   service_options.batch.max_batch = 8;
+  service_options.clock = &clock;
   if (obs_dir != nullptr) service_options.solver_trace = &trace;
   serve::Server server(graph, scenario.task, loads, service_options);
   serve::LoopbackTransport console(server, /*via_wire=*/true);
@@ -138,7 +143,7 @@ int main() {
     query.id = 100 + i;
     flood.push_back(console.send(std::move(query)));
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));  // age it out
+  clock.advance(std::chrono::milliseconds(10));  // age it out, no sleep
   server.resume();
   const serve::Response urgent_response = urgent_future.get();
   std::printf("[query 4] 1 ms deadline while paused -> %s (%s)\n",

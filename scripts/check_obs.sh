@@ -7,6 +7,13 @@
 #                   cumulative buckets ending at +Inf == _count,
 #   flight.jsonl  — flight-recorder events covering the request
 #                   lifecycle, timestamps non-decreasing.
+# When the continuous-operation demo also ran into the same directory,
+# its control-loop artifacts are validated too:
+#   control_flight.jsonl  — control events (track/resolve/reconfig),
+#                           at least one reconfiguration, per-bin
+#                           timestamps non-decreasing,
+#   control_metrics.prom  — netmon_control_* counter and histogram
+#                           families with the same bucket invariants.
 #
 # Usage: scripts/check_obs.sh <obs-dir>
 set -euo pipefail
@@ -113,6 +120,76 @@ if awk '
   ok "flight.jsonl per-request timestamps non-decreasing"
 else
   bad "flight.jsonl per-request timestamps not causal"
+fi
+
+# -- control-loop artifacts (present when continuous_operation ran). --
+if [ -s "${DIR}/control_flight.jsonl" ] || [ -s "${DIR}/control_metrics.prom" ]; then
+  for f in control_flight.jsonl control_metrics.prom; do
+    [ -s "${DIR}/${f}" ] && ok "${f} exists and is non-empty" \
+                         || bad "${f} missing or empty"
+  done
+
+  # Every stage of the loop shows up in the event stream, and the day
+  # actually reconfigured the network at least once.
+  for event in control_track control_resolve control_reconfig; do
+    grep -q "\"event\":\"${event}\"" "${DIR}/control_flight.jsonl" \
+      && ok "control_flight.jsonl records ${event}" \
+      || bad "control_flight.jsonl missing ${event}"
+  done
+  reconfigs="$(grep -c '"event":"control_reconfig"' \
+      "${DIR}/control_flight.jsonl" || true)"
+  if [ "${reconfigs}" -ge 1 ]; then
+    ok "control_flight.jsonl has ${reconfigs} reconfiguration event(s)"
+  else
+    bad "control_flight.jsonl has no reconfiguration events"
+  fi
+  # Control events use the measurement bin as request_id; within one bin
+  # the stage timestamps (track -> resolve -> reconfig/hold) are causal.
+  if awk '
+      /"event":"control_/ {
+        t = $0; sub(/.*"t_ns":/, "", t); sub(/,.*/, "", t)
+        id = $0; sub(/.*"request_id":/, "", id); sub(/[,}].*/, "", id)
+        if (id in prev && t + 0 < prev[id]) {
+          printf "bin %s t_ns decreases at line %d\n", id, NR; exit 1 }
+        prev[id] = t + 0
+      }
+    ' "${DIR}/control_flight.jsonl"; then
+    ok "control_flight.jsonl per-bin timestamps non-decreasing"
+  else
+    bad "control_flight.jsonl per-bin timestamps not causal"
+  fi
+
+  for family in netmon_control_bins_total netmon_control_resolves_total \
+                netmon_control_reconfigurations_total \
+                netmon_control_holds_total; do
+    grep -q "^${family} " "${DIR}/control_metrics.prom" \
+      && ok "control_metrics.prom exports ${family}" \
+      || bad "control_metrics.prom missing ${family}"
+  done
+  for hist in netmon_control_innovation netmon_control_step_ms; do
+    grep -q "^# TYPE ${hist} histogram$" "${DIR}/control_metrics.prom" \
+      && ok "control_metrics.prom declares histogram ${hist}" \
+      || bad "control_metrics.prom missing histogram ${hist}"
+  done
+  if awk '
+      /_bucket\{le="/ {
+        name = $1; sub(/_bucket\{.*/, "", name)
+        if (name != cur) { cur = name; prev = -1 }
+        if ($2 + 0 < prev) { printf "%s buckets not cumulative\n", cur; bad = 1 }
+        prev = $2 + 0
+        if (index($1, "le=\"+Inf\"")) inf[cur] = $2 + 0
+      }
+      /_count / { name = $1; sub(/_count$/, "", name); cnt[name] = $2 + 0 }
+      END {
+        for (h in inf) if (!(h in cnt) || inf[h] != cnt[h]) {
+          printf "%s +Inf bucket %d != count %d\n", h, inf[h], cnt[h]; bad = 1 }
+        exit bad ? 1 : 0
+      }
+    ' "${DIR}/control_metrics.prom"; then
+    ok "control_metrics.prom buckets cumulative, +Inf == _count"
+  else
+    bad "control_metrics.prom bucket invariants violated"
+  fi
 fi
 
 [ "${fail}" -eq 0 ] && echo "check_obs: PASS" || echo "check_obs: FAIL"

@@ -24,12 +24,14 @@ ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
 echo "== tier-2: TSan gate on the runtime + serving + obs subsystems =="
 TSAN_TESTS="runtime_thread_pool_test runtime_parallel_test \
 core_batch_solver_test sampling_simulation_test serve_service_test \
-serve_stress_test obs_ring_test obs_metrics_test serve_obs_test"
+serve_stress_test obs_ring_test obs_metrics_test serve_obs_test \
+control_tracker_test control_policy_test control_actuator_test \
+control_loop_test"
 cmake -B "${PREFIX}-tsan" -S . -DNETMON_SANITIZE=thread
 # shellcheck disable=SC2086
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target ${TSAN_TESTS}
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-  -R 'runtime_thread_pool_test|runtime_parallel_test|core_batch_solver_test|sampling_simulation_test|serve_service_test|serve_stress_test|obs_ring_test|obs_metrics_test|serve_obs_test'
+  -R 'runtime_thread_pool_test|runtime_parallel_test|core_batch_solver_test|sampling_simulation_test|serve_service_test|serve_stress_test|obs_ring_test|obs_metrics_test|serve_obs_test|control_tracker_test|control_policy_test|control_actuator_test|control_loop_test'
 
 echo "== tier-2: ASan gate on the linalg kernels + solver hot path =="
 ASAN_TESTS="linalg_sparse_test opt_objective_test opt_gradient_projection_test \
@@ -49,11 +51,14 @@ cmake --build "${PREFIX}-ubsan" -j "${JOBS}" --target ${UBSAN_TESTS}
 ctest --test-dir "${PREFIX}-ubsan" --output-on-failure -j "${JOBS}" \
   -R 'core_utility_test|opt_fused_eval_test|opt_objective_test|opt_gradient_projection_test|core_solver_test'
 
-echo "== obs gate: traced run artifacts (trace/metrics/flight) =="
-cmake --build "${PREFIX}" -j "${JOBS}" --target operations_center
+echo "== obs gate: traced run artifacts (trace/metrics/flight/control) =="
+cmake --build "${PREFIX}" -j "${JOBS}" --target operations_center \
+  continuous_operation
 OBS_DIR="$(mktemp -d)"
 trap 'rm -rf "${OBS_DIR}"' EXIT
 NETMON_OBS_DIR="${OBS_DIR}" "${PREFIX}/examples/operations_center" >/dev/null
+NETMON_OBS_DIR="${OBS_DIR}" "${PREFIX}/examples/continuous_operation" \
+  >/dev/null
 scripts/check_obs.sh "${OBS_DIR}"
 
 echo "== perf gate: solver_perf kernels vs committed baseline =="

@@ -1,0 +1,26 @@
+#include "control/actuator.hpp"
+
+#include "util/error.hpp"
+
+namespace netmon::control {
+
+Actuator::Actuator(ActuatorConfig config) : config_(config) {
+  NETMON_REQUIRE(config_.min_utility_gain >= 0.0,
+                 "hysteresis threshold must be >= 0");
+  NETMON_REQUIRE(config_.cooldown_bins >= 0, "cooldown must be >= 0");
+}
+
+Actuation Actuator::decide(const ActuationInput& input) const noexcept {
+  Actuation out;
+  out.utility_gain = input.fresh_utility - input.incumbent_utility;
+  if (input.forced) {
+    out.push = true;
+    out.forced = true;
+    return out;
+  }
+  if (input.bins_since_push < config_.cooldown_bins) return out;
+  out.push = out.utility_gain >= config_.min_utility_gain;
+  return out;
+}
+
+}  // namespace netmon::control

@@ -1,0 +1,55 @@
+#include "control/policy.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace netmon::control {
+
+const char* to_string(ResolveReason reason) noexcept {
+  switch (reason) {
+    case ResolveReason::kNone: return "none";
+    case ResolveReason::kFirstBin: return "first_bin";
+    case ResolveReason::kTopology: return "topology";
+    case ResolveReason::kBudget: return "budget";
+    case ResolveReason::kInnovation: return "innovation";
+    case ResolveReason::kElapsed: return "elapsed";
+  }
+  return "unknown";
+}
+
+ReoptimizePolicy::ReoptimizePolicy(PolicyConfig config) : config_(config) {
+  NETMON_REQUIRE(config_.innovation_threshold >= 0.0,
+                 "innovation threshold must be >= 0");
+  NETMON_REQUIRE(config_.max_bins_between >= 1,
+                 "staleness bound must be >= 1 bin");
+  NETMON_REQUIRE(config_.min_bins_between >= 0 &&
+                     config_.min_bins_between < config_.max_bins_between,
+                 "damping must be shorter than the staleness bound");
+  NETMON_REQUIRE(config_.budget_tolerance >= 0.0,
+                 "budget tolerance must be >= 0");
+}
+
+bool ReoptimizePolicy::budget_violated(double budget_used,
+                                       double theta) const noexcept {
+  return std::abs(budget_used - theta) > config_.budget_tolerance * theta;
+}
+
+ResolveReason ReoptimizePolicy::decide(
+    const PolicyInput& input) const noexcept {
+  if (!input.have_incumbent) return ResolveReason::kFirstBin;
+  // Contract triggers first: they are never damped.
+  if (input.topology_changed) return ResolveReason::kTopology;
+  if (budget_violated(input.budget_used, input.theta))
+    return ResolveReason::kBudget;
+  // Signal triggers respect the damping window.
+  if (input.bins_since_resolve < config_.min_bins_between)
+    return ResolveReason::kNone;
+  if (input.innovation_rms >= config_.innovation_threshold)
+    return ResolveReason::kInnovation;
+  if (input.bins_since_resolve >= config_.max_bins_between)
+    return ResolveReason::kElapsed;
+  return ResolveReason::kNone;
+}
+
+}  // namespace netmon::control

@@ -1,0 +1,83 @@
+// ReoptimizePolicy: when is the placement problem worth re-solving?
+//
+// Re-solving is cheap (~0.2 ms warm on GEANT) but not free at fleet
+// scale, and every re-solve is a chance for the actuator to churn the
+// network. The policy separates *information* triggers — the tracker's
+// innovation norm says the traffic model moved, a topology event says the
+// routing moved, the incumbent's spend says the resource contract broke —
+// from a *staleness* bound (elapsed bins) that guarantees the placement
+// is never older than a configurable horizon even when every bin looks
+// quiet (cf. the SDN dynamic-flow-rates operation model, arXiv:2409.05966).
+#pragma once
+
+#include <cstdint>
+
+namespace netmon::control {
+
+/// Why a re-solve was (or was not) triggered, in priority order.
+enum class ResolveReason : std::uint8_t {
+  kNone = 0,
+  /// No incumbent yet: the first bin always solves.
+  kFirstBin = 1,
+  /// The failed-link set changed since the last bin.
+  kTopology = 2,
+  /// The incumbent's spend on this bin's loads violates the budget
+  /// contract beyond tolerance.
+  kBudget = 3,
+  /// The tracker's innovation norm says the traffic model moved.
+  kInnovation = 4,
+  /// Staleness bound: too many bins since the last re-solve.
+  kElapsed = 5,
+};
+
+const char* to_string(ResolveReason reason) noexcept;
+
+/// Trigger thresholds.
+struct PolicyConfig {
+  /// Re-solve when the tracker's normalized-innovation RMS reaches this
+  /// (steady state sits near 1 when the model fits).
+  double innovation_threshold = 2.0;
+  /// Staleness bound: re-solve after this many bins regardless of
+  /// signals (12 x 5-min bins = hourly).
+  int max_bins_between = 12;
+  /// Damping: innovation/staleness triggers are suppressed this many
+  /// bins after a re-solve (topology/budget triggers are never damped).
+  int min_bins_between = 0;
+  /// Relative budget-contract tolerance: the incumbent violates when
+  /// |spend - theta| > budget_tolerance * theta.
+  double budget_tolerance = 0.02;
+};
+
+/// What the policy sees each bin.
+struct PolicyInput {
+  /// Bins since the last re-solve (0 on the bin right after one).
+  int bins_since_resolve = 0;
+  bool have_incumbent = false;
+  /// The failed-link set changed since the previous bin.
+  bool topology_changed = false;
+  /// Tracker innovation RMS for this bin.
+  double innovation_rms = 0.0;
+  /// Incumbent spend on this bin's loads (packets per interval).
+  double budget_used = 0.0;
+  /// Budget theta of the problem.
+  double theta = 0.0;
+};
+
+/// Pure decision function over the thresholds (stateless: the loop owns
+/// the counters that feed PolicyInput).
+class ReoptimizePolicy {
+ public:
+  explicit ReoptimizePolicy(PolicyConfig config = {});
+
+  ResolveReason decide(const PolicyInput& input) const noexcept;
+
+  /// Whether the incumbent's spend violates the budget contract.
+  bool budget_violated(double budget_used, double theta) const noexcept;
+
+  const PolicyConfig& config() const noexcept { return config_; }
+
+ private:
+  PolicyConfig config_;
+};
+
+}  // namespace netmon::control

@@ -1,0 +1,138 @@
+#include "control/tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace netmon::control {
+
+TrafficTracker::TrafficTracker(const core::MeasurementTask& task,
+                               TrackerConfig config)
+    : task_(task), config_(config) {
+  NETMON_REQUIRE(!task_.ods.empty(), "tracker needs >= 1 OD pair");
+  NETMON_REQUIRE(task_.expected_packets.size() == task_.ods.size(),
+                 "task sizes must match the OD set");
+  NETMON_REQUIRE(task_.interval_sec > 0.0, "interval must be positive");
+  NETMON_REQUIRE(config_.meas_noise_rel > 0.0 &&
+                     config_.level_noise_rel > 0.0 &&
+                     config_.drift_noise_rel >= 0.0,
+                 "noise scales must be positive");
+  NETMON_REQUIRE(config_.gate_sigmas > 0.0, "gate must be positive");
+  NETMON_REQUIRE(config_.reaccept_after >= 1,
+                 "reaccept_after must be >= 1");
+
+  const std::size_t n = task_.ods.size();
+  level_.resize(n);
+  drift_.assign(n, 0.0);
+  p00_.resize(n);
+  p01_.assign(n, 0.0);
+  p11_.resize(n);
+  outlier_run_.assign(n, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double seed = std::max(
+        config_.rate_floor, task_.expected_packets[k] / task_.interval_sec);
+    level_[k] = seed;
+    const double sigma0 = config_.init_noise_rel * seed;
+    p00_[k] = sigma0 * sigma0;
+    // Drift is unknown at seed time; give it the same order of freedom
+    // the per-bin drift noise would accumulate over ~one diurnal quarter.
+    const double sigma_d = config_.drift_noise_rel * seed * 10.0;
+    p11_[k] = sigma_d * sigma_d;
+  }
+}
+
+TrackerStep TrafficTracker::observe(std::span<const double> measurements) {
+  NETMON_REQUIRE(measurements.size() == level_.size(),
+                 "measurement vector must cover every tracked OD");
+  ++bins_;
+  TrackerStep step;
+  double sum_sq = 0.0;
+
+  for (std::size_t k = 0; k < level_.size(); ++k) {
+    // -- Predict: local linear trend, x = [level, drift], F = [[1,1],[0,1]].
+    const double scale = std::max(level_[k], config_.rate_floor);
+    const double q_l = config_.level_noise_rel * scale;
+    const double q_d = config_.drift_noise_rel * scale;
+    double level = level_[k] + drift_[k];
+    const double drift = drift_[k];
+    double p00 = p00_[k] + 2.0 * p01_[k] + p11_[k] + q_l * q_l;
+    double p01 = p01_[k] + p11_[k];
+    double p11 = p11_[k] + q_d * q_d;
+    if (level < config_.rate_floor) level = config_.rate_floor;
+
+    const double z = measurements[k];
+    if (!(z >= 0.0) || !std::isfinite(z)) {
+      // Predict-only bin: coast on the model.
+      ++step.missing;
+      level_[k] = level;
+      drift_[k] = drift;
+      p00_[k] = p00;
+      p01_[k] = p01;
+      p11_[k] = p11;
+      continue;
+    }
+
+    ++step.measured;
+    const double sigma_z =
+        config_.meas_noise_rel * std::max(z, config_.rate_floor);
+    const double r = sigma_z * sigma_z;
+    const double innovation = z - level;
+    const double s = p00 + r;
+    const double normalized = innovation / std::sqrt(s);
+    sum_sq += normalized * normalized;
+    step.innovation_max =
+        std::max(step.innovation_max, std::abs(normalized));
+
+    if (std::abs(normalized) > config_.gate_sigmas) {
+      ++step.outliers;
+      if (++outlier_run_[k] >= config_.reaccept_after) {
+        // Persistent disagreement is a level shift, not noise: re-seed
+        // the filter on the measurement so it re-converges immediately.
+        ++step.reaccepted;
+        outlier_run_[k] = 0;
+        level_[k] = std::max(z, config_.rate_floor);
+        drift_[k] = 0.0;
+        const double sigma0 = config_.init_noise_rel * level_[k];
+        p00_[k] = sigma0 * sigma0;
+        p01_[k] = 0.0;
+        const double sigma_d = config_.drift_noise_rel * level_[k] * 10.0;
+        p11_[k] = sigma_d * sigma_d;
+      } else {
+        // Reject the measurement; keep the prediction.
+        level_[k] = level;
+        drift_[k] = drift;
+        p00_[k] = p00;
+        p01_[k] = p01;
+        p11_[k] = p11;
+      }
+      continue;
+    }
+
+    // -- Correct: H = [1, 0].
+    outlier_run_[k] = 0;
+    const double k0 = p00 / s;
+    const double k1 = p01 / s;
+    level_[k] = std::max(level + k0 * innovation, config_.rate_floor);
+    drift_[k] = drift + k1 * innovation;
+    p00_[k] = (1.0 - k0) * p00;
+    p01_[k] = (1.0 - k0) * p01;
+    p11_[k] = p11 - k1 * p01;
+  }
+
+  if (step.measured > 0)
+    step.innovation_rms =
+        std::sqrt(sum_sq / static_cast<double>(step.measured));
+  return step;
+}
+
+core::MeasurementTask TrafficTracker::tracked_task() const {
+  core::MeasurementTask task = task_;
+  for (std::size_t k = 0; k < level_.size(); ++k) {
+    task.expected_packets[k] = std::max(
+        config_.min_expected_packets, level_[k] * task_.interval_sec);
+  }
+  return task;
+}
+
+}  // namespace netmon::control

@@ -1,0 +1,119 @@
+// TrafficTracker: Kalman-style predict/correct filtering of the task's
+// OD rates across measurement bins.
+//
+// The paper computes one optimal placement for a *known* traffic matrix,
+// but the matrix drifts the moment traffic changes (§I). Following the
+// state-space formulation of Kallitsis et al. (arXiv:1306.5793), each OD
+// pair carries a local-linear-trend filter — a level (pkt/s) plus a
+// per-bin drift term that absorbs the diurnal ramp — corrected every bin
+// by the NetFlow/tomogravity rate estimate for that pair. Innovations are
+// gated: a measurement more than `gate_sigmas` predicted standard
+// deviations away is rejected as an estimation outlier, but a *persistent*
+// run of gated innovations is a genuine level shift (a surge, a rerouted
+// customer) and snaps the filter onto the new level so the control loop
+// re-converges in bins, not hours. The normalized innovation RMS across
+// the task is the drift signal the ReoptimizePolicy triggers on.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/task.hpp"
+
+namespace netmon::control {
+
+/// Sentinel for "no measurement for this OD this bin" (any negative
+/// value is treated the same; rates are never negative).
+inline constexpr double kMissing = -1.0;
+
+/// Filter configuration. Noise magnitudes are relative to the current
+/// level, so one configuration covers ODs spanning 20..30,000 pkt/s.
+struct TrackerConfig {
+  /// Measurement noise: sigma_z = meas_noise_rel * max(z, rate_floor).
+  /// NetFlow-estimated rates carry ~10% error at Table-I sizes.
+  double meas_noise_rel = 0.10;
+  /// Per-bin process noise on the level (random walk component).
+  double level_noise_rel = 0.02;
+  /// Per-bin process noise on the drift (how fast the slope can turn;
+  /// the diurnal cycle turns over hours, so this is small).
+  double drift_noise_rel = 0.005;
+  /// Initial state uncertainty relative to the seed level.
+  double init_noise_rel = 0.5;
+  /// Innovation gate in predicted standard deviations.
+  double gate_sigmas = 4.0;
+  /// A run of this many consecutive gated innovations on one OD is a
+  /// level shift: the filter re-seeds on the latest measurement.
+  int reaccept_after = 3;
+  /// Rates are floored here (pkt/s): keeps the state positive and the
+  /// noise scales well-defined when an OD goes quiet.
+  double rate_floor = 1e-3;
+  /// Floor on tracked_task() interval sizes (packets): the SRE utility
+  /// needs c = 1/S <= 0.5, i.e. S >= 2.
+  double min_expected_packets = 2.0;
+};
+
+/// Per-bin summary of one predict/correct pass.
+struct TrackerStep {
+  /// RMS of the normalized innovations over the measured ODs (≈1 in
+  /// steady state when the model fits; the policy triggers above ~2).
+  double innovation_rms = 0.0;
+  /// Largest |normalized innovation| this bin.
+  double innovation_max = 0.0;
+  /// ODs that received a measurement.
+  int measured = 0;
+  /// Measurements rejected by the innovation gate this bin.
+  int outliers = 0;
+  /// ODs re-seeded after a persistent outlier run (level shifts).
+  int reaccepted = 0;
+  /// ODs with no measurement (predict-only).
+  int missing = 0;
+};
+
+/// One filter per task OD pair, advanced one measurement bin at a time.
+class TrafficTracker {
+ public:
+  /// Seeds every OD's level from the task's expected interval sizes
+  /// (expected_packets / interval_sec) with init_noise_rel uncertainty.
+  explicit TrafficTracker(const core::MeasurementTask& task,
+                          TrackerConfig config = {});
+
+  /// One bin: predicts every OD one bin ahead, then corrects with the
+  /// measurements (pkt/s; negative/kMissing = predict-only for that OD).
+  /// `measurements.size()` must equal od_count().
+  TrackerStep observe(std::span<const double> measurements);
+
+  std::size_t od_count() const noexcept { return level_.size(); }
+  /// Tracked rate of OD k (pkt/s), floored at rate_floor.
+  double rate(std::size_t k) const noexcept { return level_[k]; }
+  /// Tracked per-bin drift of OD k (pkt/s per bin).
+  double drift(std::size_t k) const noexcept { return drift_[k]; }
+  /// Level variance of OD k (diagnostics and tests).
+  double level_variance(std::size_t k) const noexcept { return p00_[k]; }
+  /// Bins observed so far.
+  int bins() const noexcept { return bins_; }
+
+  /// The task with expected_packets refreshed from the tracked rates
+  /// (each size floored at min_expected_packets so the per-OD utility
+  /// stays well-defined).
+  core::MeasurementTask tracked_task() const;
+
+  /// The task as given at construction (OD order = measurement order).
+  const core::MeasurementTask& task() const noexcept { return task_; }
+
+  const TrackerConfig& config() const noexcept { return config_; }
+
+ private:
+  core::MeasurementTask task_;
+  TrackerConfig config_;
+  // SoA filter state: level/drift and the symmetric 2x2 covariance.
+  std::vector<double> level_;
+  std::vector<double> drift_;
+  std::vector<double> p00_;
+  std::vector<double> p01_;
+  std::vector<double> p11_;
+  std::vector<int> outlier_run_;
+  int bins_ = 0;
+};
+
+}  // namespace netmon::control

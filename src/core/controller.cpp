@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "control/actuator.hpp"
 #include "util/error.hpp"
 
 namespace netmon::core {
@@ -30,6 +31,12 @@ CycleResult MonitorController::run_cycle(const traffic::LinkLoads& loads,
   const bool topology_changed = failed != last_failed_;
   last_failed_ = failed;
 
+  // The push/hold decision is control::Actuator's — one hysteresis
+  // implementation for this legacy per-cycle loop and the streaming
+  // control::ControlLoop alike.
+  const control::Actuator actuator(
+      control::ActuatorConfig{options_.min_utility_gain, 0});
+
   if (!have_rates_) {
     result.solution = solve_placement(problem, options_.solver);
     result.reconfigured = true;
@@ -38,12 +45,16 @@ CycleResult MonitorController::run_cycle(const traffic::LinkLoads& loads,
     const PlacementSolution running = evaluate_rates(problem, rates_);
     const PlacementSolution fresh =
         resolve_warm(problem, rates_, options_.solver);
-    result.utility_gain = fresh.total_utility - running.total_utility;
     result.budget_violated =
         std::abs(running.budget_used - options_.theta) >
         options_.budget_tolerance * options_.theta;
-    if (topology_changed || result.budget_violated ||
-        result.utility_gain >= options_.min_utility_gain) {
+    control::ActuationInput input;
+    input.incumbent_utility = running.total_utility;
+    input.fresh_utility = fresh.total_utility;
+    input.forced = topology_changed || result.budget_violated;
+    const control::Actuation actuation = actuator.decide(input);
+    result.utility_gain = actuation.utility_gain;
+    if (actuation.push) {
       result.solution = fresh;
       result.reconfigured = true;
     } else {

@@ -6,6 +6,14 @@
 // decides whether to push new sampling rates to the routers. A hysteresis
 // threshold avoids reconfiguring the network for negligible gains — the
 // practical concern behind the paper's "low resource consumption" goal.
+//
+// This is the simple synchronous entry point: it re-solves every cycle
+// unconditionally and tracks nothing between cycles. New code driving a
+// live feed of measurement bins should use control::ControlLoop
+// (src/control/loop.hpp) instead — it adds per-OD Kalman tracking, a
+// trigger policy that skips needless re-solves, solve deadlines, and
+// obs/ instrumentation, and it shares this controller's hysteresis
+// implementation (control::Actuator).
 #pragma once
 
 #include <optional>

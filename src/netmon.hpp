@@ -14,6 +14,7 @@
 #pragma once
 
 #include "bgp/rib.hpp"           // IWYU pragma: export
+#include "control/control.hpp"   // IWYU pragma: export
 #include "core/batch_solver.hpp" // IWYU pragma: export
 #include "core/config_gen.hpp"   // IWYU pragma: export
 #include "core/controller.hpp"   // IWYU pragma: export

@@ -17,6 +17,12 @@ const char* to_string(ServeEvent event) noexcept {
     case ServeEvent::kDeadlineMissQueue: return "deadline_miss_queue";
     case ServeEvent::kDeadlineMissSolve: return "deadline_miss_solve";
     case ServeEvent::kShutdown: return "shutdown";
+    case ServeEvent::kControlTrack: return "control_track";
+    case ServeEvent::kControlTopology: return "control_topology";
+    case ServeEvent::kControlResolve: return "control_resolve";
+    case ServeEvent::kControlReconfigure: return "control_reconfig";
+    case ServeEvent::kControlHold: return "control_hold";
+    case ServeEvent::kControlSolveExpired: return "control_solve_expired";
   }
   return "unknown";
 }

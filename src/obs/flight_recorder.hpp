@@ -24,6 +24,10 @@ namespace netmon::obs {
 
 /// What happened. `arg` in the record is event-specific (queue depth for
 /// admits, batch size for batch-formed, status code for solve-done).
+/// The control-loop events (src/control/) share the recorder: their
+/// `request_id` is the measurement bin number, so the causal per-id
+/// timestamp invariant covers a bin's track -> resolve -> actuate chain
+/// the same way it covers a request's admit -> dequeue -> solve chain.
 enum class ServeEvent : std::uint8_t {
   kAdmit = 0,
   kRejectFull = 1,
@@ -34,6 +38,19 @@ enum class ServeEvent : std::uint8_t {
   kDeadlineMissQueue = 6,
   kDeadlineMissSolve = 7,
   kShutdown = 8,
+  /// Control loop: tracker predict/correct ran (arg = gated outliers).
+  kControlTrack = 9,
+  /// Control loop: the failed-link set changed (arg = failed count).
+  kControlTopology = 10,
+  /// Control loop: a re-solve was triggered (arg = ResolveReason).
+  kControlResolve = 11,
+  /// Control loop: fresh rates pushed (arg = active monitors).
+  kControlReconfigure = 12,
+  /// Control loop: fresh optimum held back by hysteresis (arg = 0).
+  kControlHold = 13,
+  /// Control loop: re-solve abandoned on its deadline, incumbent kept
+  /// (arg = iterations completed).
+  kControlSolveExpired = 14,
 };
 
 const char* to_string(ServeEvent event) noexcept;

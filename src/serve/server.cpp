@@ -53,6 +53,26 @@ std::string Server::prometheus() const {
   return obs::prometheus_text(metrics_);
 }
 
+control::ControlLoop& Server::start_control(control::ControlConfig config) {
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  control::ControlDeps deps;
+  deps.clock = clock_;
+  deps.metrics = &metrics_;
+  deps.recorder = &recorder_;
+  deps.pool = &pool_;
+  control_ = std::make_unique<control::ControlLoop>(graph_, task_,
+                                                    std::move(config), deps);
+  return *control_;
+}
+
+control::StepResult Server::control_step(
+    const control::BinObservation& observation) {
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  NETMON_REQUIRE(control_ != nullptr,
+                 "control_step requires start_control first");
+  return control_->step(observation);
+}
+
 Server::~Server() { stop(); }
 
 std::string Server::validate(const Request& request) const {

@@ -30,10 +30,12 @@
 #pragma once
 
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "control/loop.hpp"
 #include "core/batch_solver.hpp"
 #include "core/problem.hpp"
 #include "core/task.hpp"
@@ -135,6 +137,22 @@ class Server {
   /// The clock every deadline decision and timestamp goes through.
   const obs::Clock& clock() const noexcept { return *clock_; }
 
+  /// Hosts a streaming re-optimization loop (src/control/) on this
+  /// server's infrastructure: the loop solves on the server's thread
+  /// pool, stamps events into the server's flight recorder, and reports
+  /// into the server's metrics registry through the server's clock.
+  /// The loop tracks the server's own task; the config is used verbatim
+  /// (its problem/solver fields default to the same paper defaults as
+  /// ServerOptions). Replaces any previously started loop; the reference
+  /// stays valid until the next start_control() or server destruction.
+  control::ControlLoop& start_control(control::ControlConfig config = {});
+  /// The hosted loop, or null when start_control was never called.
+  control::ControlLoop* control_loop() noexcept { return control_.get(); }
+  /// Advances the hosted loop one measurement bin. Steps are serialized
+  /// (callers may feed bins from any thread); query traffic keeps being
+  /// served concurrently on the shared pool.
+  control::StepResult control_step(const control::BinObservation& observation);
+
  private:
   void dispatch_loop();
   void process_batch(std::vector<QueuedRequest> batch);
@@ -156,6 +174,10 @@ class Server {
   RequestQueue queue_;
   Batcher batcher_;
   ServeStats stats_;
+
+  /// Hosted control loop (optional); steps serialize on control_mutex_.
+  std::unique_ptr<control::ControlLoop> control_;
+  std::mutex control_mutex_;
 
   std::mutex state_mutex_;
   std::condition_variable state_cv_;

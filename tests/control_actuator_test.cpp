@@ -1,0 +1,93 @@
+#include "control/actuator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace netmon::control {
+namespace {
+
+TEST(Actuator, GainAboveThresholdPushes) {
+  const Actuator actuator;  // min_utility_gain = 1e-3
+  ActuationInput input;
+  input.incumbent_utility = 10.0;
+  input.fresh_utility = 10.5;
+  const Actuation out = actuator.decide(input);
+  EXPECT_TRUE(out.push);
+  EXPECT_FALSE(out.forced);
+  EXPECT_DOUBLE_EQ(out.utility_gain, 0.5);
+}
+
+TEST(Actuator, GainExactlyAtThresholdPushes) {
+  ActuatorConfig config;
+  config.min_utility_gain = 0.25;
+  const Actuator actuator(config);
+  ActuationInput input;
+  input.incumbent_utility = 10.0;
+  input.fresh_utility = 10.25;  // gain == threshold: >= pushes
+  EXPECT_TRUE(actuator.decide(input).push);
+  input.fresh_utility = 10.2499;
+  EXPECT_FALSE(actuator.decide(input).push);
+}
+
+TEST(Actuator, NegligibleOrNegativeGainHolds) {
+  const Actuator actuator;
+  ActuationInput input;
+  input.incumbent_utility = 10.0;
+  input.fresh_utility = 10.0005;
+  EXPECT_FALSE(actuator.decide(input).push);
+  input.fresh_utility = 9.0;  // a worse optimum never replaces a better run
+  const Actuation out = actuator.decide(input);
+  EXPECT_FALSE(out.push);
+  EXPECT_DOUBLE_EQ(out.utility_gain, -1.0);
+}
+
+TEST(Actuator, ForcedPushOverridesGainAndCooldown) {
+  ActuatorConfig config;
+  config.min_utility_gain = 1.0;
+  config.cooldown_bins = 100;
+  const Actuator actuator(config);
+  ActuationInput input;
+  input.incumbent_utility = 10.0;
+  input.fresh_utility = 9.0;  // negative gain
+  input.forced = true;        // contract repair: push anyway
+  input.bins_since_push = 0;  // deep inside the cooldown: push anyway
+  const Actuation out = actuator.decide(input);
+  EXPECT_TRUE(out.push);
+  EXPECT_TRUE(out.forced);
+}
+
+TEST(Actuator, CooldownDampsOscillation) {
+  ActuatorConfig config;
+  config.min_utility_gain = 0.1;
+  config.cooldown_bins = 3;
+  const Actuator actuator(config);
+  // Oscillating traffic keeps producing threshold-clearing gains; the
+  // cooldown admits at most one push per 3 bins.
+  int pushes = 0;
+  int bins_since_push = 100;
+  for (int bin = 0; bin < 12; ++bin) {
+    ActuationInput input;
+    input.incumbent_utility = 10.0;
+    input.fresh_utility = 11.0;  // always clears the threshold
+    input.bins_since_push = bins_since_push;
+    if (actuator.decide(input).push) {
+      ++pushes;
+      bins_since_push = 0;
+    }
+    ++bins_since_push;
+  }
+  EXPECT_EQ(pushes, 4);  // bins 0, 3, 6, 9 — not all 12
+}
+
+TEST(Actuator, RejectsMalformedConfig) {
+  ActuatorConfig bad;
+  bad.min_utility_gain = -1.0;
+  EXPECT_THROW(Actuator{bad}, Error);
+  bad = ActuatorConfig{};
+  bad.cooldown_bins = -1;
+  EXPECT_THROW(Actuator{bad}, Error);
+}
+
+}  // namespace
+}  // namespace netmon::control

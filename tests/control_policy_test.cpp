@@ -1,0 +1,110 @@
+#include "control/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace netmon::control {
+namespace {
+
+PolicyInput steady_input() {
+  PolicyInput input;
+  input.bins_since_resolve = 1;
+  input.have_incumbent = true;
+  input.topology_changed = false;
+  input.innovation_rms = 0.5;
+  input.budget_used = 100000.0;
+  input.theta = 100000.0;
+  return input;
+}
+
+TEST(Policy, FirstBinAlwaysResolves) {
+  const ReoptimizePolicy policy;
+  PolicyInput input = steady_input();
+  input.have_incumbent = false;
+  EXPECT_EQ(policy.decide(input), ResolveReason::kFirstBin);
+}
+
+TEST(Policy, SteadyStateDoesNotResolve) {
+  const ReoptimizePolicy policy;
+  EXPECT_EQ(policy.decide(steady_input()), ResolveReason::kNone);
+}
+
+TEST(Policy, TopologyBeatsEverything) {
+  const ReoptimizePolicy policy;
+  PolicyInput input = steady_input();
+  input.topology_changed = true;
+  input.innovation_rms = 100.0;  // would also trigger; topology wins
+  EXPECT_EQ(policy.decide(input), ResolveReason::kTopology);
+}
+
+TEST(Policy, BudgetViolationTriggers) {
+  const ReoptimizePolicy policy;
+  PolicyInput input = steady_input();
+  input.budget_used = 110000.0;  // 10% over on a 2% tolerance
+  EXPECT_EQ(policy.decide(input), ResolveReason::kBudget);
+  input.budget_used = 90000.0;  // under-spend breaks the contract too
+  EXPECT_EQ(policy.decide(input), ResolveReason::kBudget);
+  input.budget_used = 101000.0;  // within tolerance
+  EXPECT_EQ(policy.decide(input), ResolveReason::kNone);
+}
+
+TEST(Policy, InnovationNormTriggers) {
+  const ReoptimizePolicy policy;
+  PolicyInput input = steady_input();
+  input.innovation_rms = 2.0;  // exactly at the threshold triggers
+  EXPECT_EQ(policy.decide(input), ResolveReason::kInnovation);
+  input.innovation_rms = 1.99;
+  EXPECT_EQ(policy.decide(input), ResolveReason::kNone);
+}
+
+TEST(Policy, StalenessBoundsTheGapBetweenResolves) {
+  const ReoptimizePolicy policy;
+  PolicyInput input = steady_input();
+  input.bins_since_resolve = 11;
+  EXPECT_EQ(policy.decide(input), ResolveReason::kNone);
+  input.bins_since_resolve = 12;
+  EXPECT_EQ(policy.decide(input), ResolveReason::kElapsed);
+}
+
+TEST(Policy, DampingHoldsSignalTriggersButNotContractOnes) {
+  PolicyConfig config;
+  config.min_bins_between = 4;
+  const ReoptimizePolicy policy(config);
+  PolicyInput input = steady_input();
+  input.bins_since_resolve = 2;
+  input.innovation_rms = 50.0;
+  // Inside the damping window the innovation trigger is held...
+  EXPECT_EQ(policy.decide(input), ResolveReason::kNone);
+  // ...but a topology change or budget violation never is.
+  input.topology_changed = true;
+  EXPECT_EQ(policy.decide(input), ResolveReason::kTopology);
+  input.topology_changed = false;
+  input.budget_used = 200000.0;
+  EXPECT_EQ(policy.decide(input), ResolveReason::kBudget);
+  // Outside the window the held trigger fires.
+  input.budget_used = 100000.0;
+  input.bins_since_resolve = 4;
+  EXPECT_EQ(policy.decide(input), ResolveReason::kInnovation);
+}
+
+TEST(Policy, RejectsMalformedConfig) {
+  PolicyConfig bad;
+  bad.max_bins_between = 0;
+  EXPECT_THROW(ReoptimizePolicy{bad}, Error);
+  bad = PolicyConfig{};
+  bad.min_bins_between = bad.max_bins_between;
+  EXPECT_THROW(ReoptimizePolicy{bad}, Error);
+}
+
+TEST(Policy, ReasonNamesAreStable) {
+  EXPECT_STREQ(to_string(ResolveReason::kNone), "none");
+  EXPECT_STREQ(to_string(ResolveReason::kFirstBin), "first_bin");
+  EXPECT_STREQ(to_string(ResolveReason::kTopology), "topology");
+  EXPECT_STREQ(to_string(ResolveReason::kBudget), "budget");
+  EXPECT_STREQ(to_string(ResolveReason::kInnovation), "innovation");
+  EXPECT_STREQ(to_string(ResolveReason::kElapsed), "elapsed");
+}
+
+}  // namespace
+}  // namespace netmon::control

@@ -1,0 +1,126 @@
+#include "control/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace netmon::control {
+namespace {
+
+core::MeasurementTask small_task(std::vector<double> packets,
+                                 double interval = 300.0) {
+  core::MeasurementTask task;
+  for (std::size_t k = 0; k < packets.size(); ++k)
+    task.ods.push_back({static_cast<topo::NodeId>(k),
+                        static_cast<topo::NodeId>(k + 1)});
+  task.expected_packets = std::move(packets);
+  task.interval_sec = interval;
+  return task;
+}
+
+TrackerStep feed(TrafficTracker& tracker, std::vector<double> z) {
+  return tracker.observe(z);
+}
+
+TEST(Tracker, SeedsFromExpectedPackets) {
+  const TrafficTracker tracker(small_task({3000.0, 30000.0}));
+  EXPECT_EQ(tracker.od_count(), 2u);
+  EXPECT_DOUBLE_EQ(tracker.rate(0), 10.0);   // 3000 pkts / 300 s
+  EXPECT_DOUBLE_EQ(tracker.rate(1), 100.0);
+  EXPECT_DOUBLE_EQ(tracker.drift(0), 0.0);
+  EXPECT_GT(tracker.level_variance(0), 0.0);
+}
+
+TEST(Tracker, ConvergesToSteadyMeasurement) {
+  TrafficTracker tracker(small_task({3000.0}));
+  // Constant truth at 14 pkt/s, seeded at 10: the filter closes the gap.
+  TrackerStep last;
+  for (int i = 0; i < 20; ++i) last = feed(tracker, {14.0});
+  EXPECT_NEAR(tracker.rate(0), 14.0, 0.1);
+  // In steady state the innovations are small relative to their sigma.
+  EXPECT_LT(last.innovation_rms, 1.0);
+  EXPECT_EQ(last.measured, 1);
+  EXPECT_EQ(last.outliers, 0);
+}
+
+TEST(Tracker, TracksDiurnalRampThroughDrift) {
+  TrafficTracker tracker(small_task({3000.0}));
+  // A steady ramp of +0.2 pkt/s per bin: the drift term absorbs it, so
+  // late predictions stay close without lagging a fixed offset behind.
+  double z = 10.0;
+  for (int i = 0; i < 60; ++i) {
+    z += 0.2;
+    feed(tracker, {z});
+  }
+  EXPECT_NEAR(tracker.drift(0), 0.2, 0.1);
+  EXPECT_NEAR(tracker.rate(0), z, 0.5);
+}
+
+TEST(Tracker, GatesIsolatedOutlier) {
+  TrafficTracker tracker(small_task({3000.0}));
+  for (int i = 0; i < 10; ++i) feed(tracker, {10.0});
+  const double before = tracker.rate(0);
+  // One wild estimate (inversion glitch): rejected, state barely moves.
+  const TrackerStep step = feed(tracker, {500.0});
+  EXPECT_EQ(step.outliers, 1);
+  EXPECT_EQ(step.reaccepted, 0);
+  EXPECT_GT(step.innovation_max, 4.0);
+  EXPECT_NEAR(tracker.rate(0), before, 0.5);
+  // The next sane measurement clears the outlier run.
+  const TrackerStep next = feed(tracker, {10.0});
+  EXPECT_EQ(next.outliers, 0);
+}
+
+TEST(Tracker, PersistentShiftReseedsTheFilter) {
+  TrackerConfig config;
+  config.reaccept_after = 3;
+  TrafficTracker tracker(small_task({3000.0}), config);
+  for (int i = 0; i < 10; ++i) feed(tracker, {10.0});
+  // A genuine 8x surge: two bins of rejection, the third re-seeds.
+  EXPECT_EQ(feed(tracker, {80.0}).reaccepted, 0);
+  EXPECT_EQ(feed(tracker, {80.0}).reaccepted, 0);
+  const TrackerStep third = feed(tracker, {80.0});
+  EXPECT_EQ(third.reaccepted, 1);
+  EXPECT_DOUBLE_EQ(tracker.rate(0), 80.0);
+  EXPECT_DOUBLE_EQ(tracker.drift(0), 0.0);
+}
+
+TEST(Tracker, MissingMeasurementsCoast) {
+  TrafficTracker tracker(small_task({3000.0}));
+  for (int i = 0; i < 10; ++i) feed(tracker, {12.0});
+  const double before = tracker.rate(0);
+  const double var_before = tracker.level_variance(0);
+  const TrackerStep step = feed(tracker, {kMissing});
+  EXPECT_EQ(step.missing, 1);
+  EXPECT_EQ(step.measured, 0);
+  EXPECT_DOUBLE_EQ(step.innovation_rms, 0.0);
+  // Prediction coasts (drift ~0 in steady state) and uncertainty grows.
+  EXPECT_NEAR(tracker.rate(0), before, 0.2);
+  EXPECT_GT(tracker.level_variance(0), var_before);
+}
+
+TEST(Tracker, TrackedTaskFollowsRatesWithFloor) {
+  TrafficTracker tracker(small_task({3000.0, 3000.0}));
+  // OD 0 grows to 50 pkt/s; OD 1 goes silent (floored at rate_floor).
+  for (int i = 0; i < 40; ++i) feed(tracker, {50.0, 0.0});
+  const core::MeasurementTask tracked = tracker.tracked_task();
+  EXPECT_NEAR(tracked.expected_packets[0], 15000.0, 500.0);
+  // 300 s at the rate floor is below min_expected_packets: the utility
+  // floor S >= 2 keeps c = 1/S well-defined.
+  EXPECT_DOUBLE_EQ(tracked.expected_packets[1], 2.0);
+  // The original task is untouched.
+  EXPECT_DOUBLE_EQ(tracker.task().expected_packets[0], 3000.0);
+}
+
+TEST(Tracker, RejectsMalformedInput) {
+  EXPECT_THROW(TrafficTracker(core::MeasurementTask{}), Error);
+  TrafficTracker tracker(small_task({3000.0}));
+  const std::vector<double> wrong_size = {1.0, 2.0};
+  EXPECT_THROW(tracker.observe(wrong_size), Error);
+}
+
+}  // namespace
+}  // namespace netmon::control
