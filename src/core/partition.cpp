@@ -1,0 +1,99 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace netmon::core {
+
+namespace {
+
+/// Builds a Partition from a per-candidate group label, compacting
+/// empty groups so group indices are dense.
+Partition from_labels(const std::vector<std::size_t>& label,
+                      std::size_t label_count) {
+  std::vector<std::size_t> remap(label_count, SIZE_MAX);
+  Partition part;
+  part.group_of_candidate.resize(label.size());
+  for (std::size_t j = 0; j < label.size(); ++j) {
+    std::size_t& slot = remap[label[j]];
+    if (slot == SIZE_MAX) {
+      slot = part.groups.size();
+      part.groups.emplace_back();
+    }
+    part.groups[slot].push_back(j);
+    part.group_of_candidate[j] = slot;
+  }
+  return part;
+}
+
+}  // namespace
+
+Partition partition_by_region(const PlacementProblem& problem,
+                              const topo::HierarchicalNetwork& net) {
+  NETMON_REQUIRE(net.region_of_node.size() == problem.graph().node_count(),
+                 "hierarchy does not match the problem's graph");
+  const std::vector<topo::LinkId>& candidates = problem.candidates();
+  std::vector<std::size_t> label(candidates.size());
+  std::size_t max_region = 0;
+  for (std::size_t j = 0; j < candidates.size(); ++j) {
+    const topo::Link& link = problem.graph().link(candidates[j]);
+    label[j] = net.region_of_node[link.src];
+    max_region = std::max(max_region, label[j]);
+  }
+  return from_labels(label, max_region + 1);
+}
+
+Partition partition_bfs(const PlacementProblem& problem,
+                        std::size_t target_groups) {
+  NETMON_REQUIRE(target_groups >= 1, "need at least one group");
+  const topo::Graph& graph = problem.graph();
+  const std::size_t nodes = graph.node_count();
+  NETMON_REQUIRE(nodes >= 1, "graph is empty");
+
+  // BFS order over all components, lowest unvisited node first.
+  std::vector<topo::NodeId> order;
+  order.reserve(nodes);
+  std::vector<bool> visited(nodes, false);
+  std::deque<topo::NodeId> frontier;
+  for (topo::NodeId start = 0; start < nodes; ++start) {
+    if (visited[start]) continue;
+    visited[start] = true;
+    frontier.push_back(start);
+    while (!frontier.empty()) {
+      const topo::NodeId v = frontier.front();
+      frontier.pop_front();
+      order.push_back(v);
+      for (topo::LinkId id : graph.out_links(v)) {
+        const topo::NodeId w = graph.link(id).dst;
+        if (!visited[w]) {
+          visited[w] = true;
+          frontier.push_back(w);
+        }
+      }
+    }
+  }
+
+  // Contiguous BFS slices of roughly equal node count.
+  const std::size_t groups = std::min(target_groups, nodes);
+  std::vector<std::size_t> group_of_node(nodes);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    group_of_node[order[i]] = i * groups / nodes;
+
+  const std::vector<topo::LinkId>& candidates = problem.candidates();
+  std::vector<std::size_t> label(candidates.size());
+  for (std::size_t j = 0; j < candidates.size(); ++j)
+    label[j] = group_of_node[graph.link(candidates[j]).src];
+  return from_labels(label, groups);
+}
+
+Partition partition_auto(const PlacementProblem& problem,
+                         const topo::HierarchicalNetwork* net,
+                         std::size_t target_groups) {
+  if (net != nullptr) return partition_by_region(problem, *net);
+  return partition_bfs(problem, target_groups);
+}
+
+}  // namespace netmon::core

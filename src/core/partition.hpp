@@ -1,0 +1,51 @@
+// Candidate-space partitioning for the approximation tier (core/approx).
+//
+// The approximation tier decomposes one placement problem into per-group
+// subproblems solved independently in parallel. Groups follow the
+// topology hierarchy when the instance carries one (every pod of a
+// hierarchical network is a group — the natural administrative and
+// locality boundary), and fall back to a deterministic BFS slicing of
+// the graph otherwise. Partitions live in CANDIDATE index space — the
+// optimizer's variable space — so groups plug directly into the
+// constraint/objective column structure.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "topo/hierarchical.hpp"
+
+namespace netmon::core {
+
+/// A disjoint cover of the candidate index space.
+struct Partition {
+  /// groups[g] lists candidate indices (ascending) belonging to group g.
+  /// Every group is non-empty; empty groups are compacted away.
+  std::vector<std::vector<std::size_t>> groups;
+  /// Inverse map: candidate index -> group index.
+  std::vector<std::size_t> group_of_candidate;
+
+  std::size_t group_count() const noexcept { return groups.size(); }
+};
+
+/// Groups candidates by the pod (region) of their link's source node in
+/// a hierarchical network. The network must be the one the problem was
+/// built over.
+Partition partition_by_region(const PlacementProblem& problem,
+                              const topo::HierarchicalNetwork& net);
+
+/// Topology-agnostic fallback: breadth-first layers from node 0 (then
+/// from the lowest unvisited node of each further component) are cut
+/// into `target_groups` contiguous slices of roughly equal node count;
+/// a candidate joins the group of its link's source node. Deterministic
+/// in the graph alone.
+Partition partition_bfs(const PlacementProblem& problem,
+                        std::size_t target_groups);
+
+/// partition_by_region when `net` is non-null, else partition_bfs.
+Partition partition_auto(const PlacementProblem& problem,
+                         const topo::HierarchicalNetwork* net,
+                         std::size_t target_groups);
+
+}  // namespace netmon::core

@@ -1,0 +1,30 @@
+#include "linalg/parallel_kernels.hpp"
+
+#include "runtime/parallel.hpp"
+#include "util/error.hpp"
+
+namespace netmon::linalg {
+
+void spmv_parallel(const SparseCsr& a, std::span<const double> x,
+                   std::span<double> y, runtime::ThreadPool& pool) {
+  NETMON_REQUIRE(y.size() == a.rows(), "spmv output size mismatch");
+  NETMON_REQUIRE(x.size() >= a.cols(), "spmv input too short");
+  const std::span<const std::size_t> row_ptr = a.row_ptr();
+  const std::span<const SparseCsr::Index> cols = a.col_idx();
+  const std::span<const double> vals = a.values();
+  // Same per-row loop as the serial spmv; rows are disjoint output slots,
+  // so any sharding of [0, rows) yields bit-identical y.
+  runtime::parallel_for(pool, a.rows(), [&](std::size_t r) {
+    double acc = 0.0;
+    for (std::size_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i)
+      acc += vals[i] * x[cols[i]];
+    y[r] = acc;
+  });
+}
+
+void spmv_t_parallel(const SparseCsr& at, std::span<const double> x,
+                     std::span<double> y, runtime::ThreadPool& pool) {
+  spmv_parallel(at, x, y, pool);
+}
+
+}  // namespace netmon::linalg

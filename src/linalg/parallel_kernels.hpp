@@ -1,0 +1,32 @@
+// Row-sharded CSR kernels on the runtime thread pool.
+//
+// Sharding is by output row: each chunk of rows is accumulated with
+// exactly the same left-to-right per-row loop as the serial kernels in
+// sparse.hpp, and no two chunks touch the same output slot. The results
+// are therefore bit-identical to the serial kernels at every thread
+// count — parallelism here changes throughput only, never a single bit
+// of output. The transpose product reuses the same fact: a materialized
+// transpose's rows hold their entries in ascending original-row order
+// (SparseCsr::transpose's counting sort), so spmv over A^T accumulates
+// each output slot in the same order as spmv_t's serial scatter over A
+// and produces the identical doubles.
+#pragma once
+
+#include <span>
+
+#include "linalg/sparse.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace netmon::linalg {
+
+/// y = A x, rows sharded across `pool`. Bit-identical to spmv(a, x, y).
+void spmv_parallel(const SparseCsr& a, std::span<const double> x,
+                   std::span<double> y, runtime::ThreadPool& pool);
+
+/// y = A^T x computed as spmv over the *materialized transpose* `at`
+/// (i.e. at = a.transpose()), rows of A^T sharded across `pool`.
+/// Bit-identical to spmv_t(a, x, y) — see the header comment.
+void spmv_t_parallel(const SparseCsr& at, std::span<const double> x,
+                     std::span<double> y, runtime::ThreadPool& pool);
+
+}  // namespace netmon::linalg

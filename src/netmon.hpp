@@ -15,6 +15,7 @@
 
 #include "bgp/rib.hpp"           // IWYU pragma: export
 #include "control/control.hpp"   // IWYU pragma: export
+#include "core/approx.hpp"       // IWYU pragma: export
 #include "core/batch_solver.hpp" // IWYU pragma: export
 #include "core/config_gen.hpp"   // IWYU pragma: export
 #include "core/controller.hpp"   // IWYU pragma: export
@@ -23,6 +24,7 @@
 #include "core/problem.hpp"      // IWYU pragma: export
 #include "core/reoptimize.hpp"   // IWYU pragma: export
 #include "core/report.hpp"       // IWYU pragma: export
+#include "core/scale_scenario.hpp"      // IWYU pragma: export
 #include "core/scenario.hpp"     // IWYU pragma: export
 #include "core/sensitivity.hpp"  // IWYU pragma: export
 #include "core/solver.hpp"       // IWYU pragma: export
@@ -53,7 +55,9 @@
 #include "telemetry/snmp.hpp"    // IWYU pragma: export
 #include "topo/abilene.hpp"      // IWYU pragma: export
 #include "topo/geant.hpp"        // IWYU pragma: export
+#include "topo/hierarchical.hpp" // IWYU pragma: export
 #include "topo/io.hpp"           // IWYU pragma: export
+#include "traffic/fanout.hpp"    // IWYU pragma: export
 #include "traffic/flow_generator.hpp"   // IWYU pragma: export
 #include "traffic/gravity.hpp"   // IWYU pragma: export
 #include "traffic/variation.hpp" // IWYU pragma: export

@@ -1,0 +1,61 @@
+#include "opt/certificate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace netmon::opt {
+
+GapCertificate certified_gap(const Objective& f,
+                             const BoxBudgetConstraints& constraints,
+                             std::span<const double> p) {
+  const std::size_t n = constraints.dimension();
+  NETMON_REQUIRE(p.size() == n, "certificate point dimension mismatch");
+  NETMON_REQUIRE(constraints.feasible(p, 1e-6),
+                 "certificate point must be feasible");
+
+  GapCertificate cert;
+  cert.value = f.value(p);
+  std::vector<double> g(n);
+  f.gradient(p, g);
+
+  const std::vector<double>& u = constraints.loads();
+  const std::vector<double>& alpha = constraints.upper();
+
+  // max g.q over the knapsack: fill best ratio first. The budget is an
+  // equality with theta <= sum u_j alpha_j, so the fill always lands
+  // exactly on theta (possibly spending on low-ratio items last).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ra = g[a] / u[a];
+    const double rb = g[b] / u[b];
+    if (ra != rb) return ra > rb;
+    return a < b;  // deterministic on ties
+  });
+
+  double remaining = constraints.theta();
+  double best_linear = 0.0;
+  for (std::size_t j : order) {
+    if (remaining <= 0.0) break;
+    const double take = std::min(alpha[j], remaining / u[j]);
+    best_linear += g[j] * take;
+    remaining -= u[j] * take;
+  }
+
+  double g_dot_p = 0.0;
+  for (std::size_t j = 0; j < n; ++j) g_dot_p += g[j] * p[j];
+
+  cert.gap = std::max(0.0, best_linear - g_dot_p);
+  cert.upper_bound = cert.value + cert.gap;
+  cert.relative_gap =
+      cert.gap / std::max(std::abs(cert.value),
+                          std::numeric_limits<double>::min());
+  return cert;
+}
+
+}  // namespace netmon::opt

@@ -1,0 +1,44 @@
+// A-posteriori optimality certificate for approximate solutions.
+//
+// For a concave objective f over the convex feasible set C (box bounds
+// plus one budget equality), any feasible p_hat admits the Frank-Wolfe
+// bound
+//   f* <= f(p_hat) + max_{q in C} grad f(p_hat) . (q - p_hat)
+// because the first-order expansion overestimates a concave function
+// everywhere. The inner maximization is a continuous knapsack — maximize
+// a linear functional over { sum u_j q_j = theta, 0 <= q_j <= alpha_j }
+// — solved exactly by the ratio-greedy fill (sort by g_j / u_j
+// descending, fill each q_j to alpha_j until the budget is spent, split
+// the marginal item). One gradient evaluation therefore certifies an
+// optimality gap for ANY feasible point, independently of how it was
+// produced; the partitioned approximation tier (core/approx) reports
+// this bound next to its solution.
+#pragma once
+
+#include <span>
+
+#include "opt/constraints.hpp"
+#include "opt/objective.hpp"
+
+namespace netmon::opt {
+
+/// A certified bound on the distance to the optimum.
+struct GapCertificate {
+  /// f(p_hat) at the certified point.
+  double value = 0.0;
+  /// Certified bound: f* <= upper_bound.
+  double upper_bound = 0.0;
+  /// upper_bound - value (the Frank-Wolfe gap), clamped at zero.
+  double gap = 0.0;
+  /// gap / max(|value|, eps) — the figure the acceptance gates compare
+  /// against (e.g. "certified within 1% of optimal").
+  double relative_gap = 0.0;
+};
+
+/// Computes the certificate at feasible point `p`. One objective value,
+/// one gradient, and one O(n log n) knapsack fill.
+GapCertificate certified_gap(const Objective& f,
+                             const BoxBudgetConstraints& constraints,
+                             std::span<const double> p);
+
+}  // namespace netmon::opt

@@ -1,21 +1,37 @@
 #include "opt/fused_eval.hpp"
 
+#include <algorithm>
+
+#include "linalg/parallel_kernels.hpp"
+#include "runtime/parallel.hpp"
 #include "util/error.hpp"
 
 namespace netmon::opt {
 
+namespace {
+/// Probes with fewer active slots than this stay serial even when a pool
+/// is attached — at that size the fork/join overhead beats the work.
+constexpr std::size_t kParallelMinSlots = 2048;
+}  // namespace
+
 void SeparableRestriction::reset(const SeparableConcaveObjective& f,
                                  std::span<const double> x0,
                                  std::span<const double> d,
-                                 std::span<const double> m2_at_x0) {
+                                 std::span<const double> m2_at_x0,
+                                 runtime::ThreadPool* pool) {
   const std::size_t n = f.term_count();
   NETMON_REQUIRE(x0.size() == n, "restriction inner-product size mismatch");
   NETMON_REQUIRE(d.size() == f.dimension(),
                  "restriction direction size mismatch");
   f_ = &f;
+  pool_ = pool;
 
   rd_.resize(n);
-  linalg::spmv(f.matrix_, d, {rd_.data(), n});  // offsets drop in d/dt
+  if (pool != nullptr) {
+    linalg::spmv_parallel(f.matrix_, d, {rd_.data(), n}, *pool);
+  } else {
+    linalg::spmv(f.matrix_, d, {rd_.data(), n});  // offsets drop in d/dt
+  }
 
   // Gather the active terms (rd_k != 0) in order, preserving the batch-
   // run structure. All buffers are grow-only.
@@ -67,34 +83,56 @@ void SeparableRestriction::reset(const SeparableConcaveObjective& f,
   }
 }
 
-Phi::Derivs SeparableRestriction::derivs(double t) {
-  NETMON_REQUIRE(f_ != nullptr, "restriction not reset");
+void SeparableRestriction::eval_range(std::size_t begin, std::size_t end,
+                                      double t, bool simd) {
   const std::size_t m = x0c_.size();
   double* __restrict xt = xt_.data();
   const double* __restrict x0c = x0c_.data();
   const double* __restrict rdc = rdc_.data();
-  for (std::size_t i = 0; i < m; ++i) xt[i] = x0c[i] + t * rdc[i];
+  for (std::size_t i = begin; i < end; ++i) xt[i] = x0c[i] + t * rdc[i];
 
-  const bool simd = simd_dispatch_enabled();
-  for (const CompactRun& run : runs_) {
-    const std::size_t len = run.end - run.begin;
-    if (run.kernel != nullptr && run.kernel->deriv2 != nullptr) {
+  auto it = std::partition_point(
+      runs_.begin(), runs_.end(),
+      [begin](const CompactRun& run) { return run.end <= begin; });
+  for (; it != runs_.end() && it->begin < end; ++it) {
+    const std::size_t lo = std::max(it->begin, begin);
+    const std::size_t hi = std::min(it->end, end);
+    if (it->kernel != nullptr && it->kernel->deriv2 != nullptr) {
       const Concave1d::BatchKernel::Deriv2Fn fn =
-          simd && run.kernel->deriv2_simd != nullptr
-              ? run.kernel->deriv2_simd
-              : run.kernel->deriv2;
-      fn(soa_.data() + run.begin, m, xt + run.begin, m1_.data() + run.begin,
-         m2_.data() + run.begin, len);
+          simd && it->kernel->deriv2_simd != nullptr ? it->kernel->deriv2_simd
+                                                     : it->kernel->deriv2;
+      fn(soa_.data() + lo, m, xt + lo, m1_.data() + lo, m2_.data() + lo,
+         hi - lo);
       continue;
     }
-    for (std::size_t i = run.begin; i < run.end; ++i) {
+    for (std::size_t i = lo; i < hi; ++i) {
       const Concave1d& u = *f_->utilities_[idx_[i]];
       m1_[i] = u.deriv(xt[i]);
       m2_[i] = u.second(xt[i]);
     }
   }
+}
+
+Phi::Derivs SeparableRestriction::derivs(double t) {
+  NETMON_REQUIRE(f_ != nullptr, "restriction not reset");
+  const std::size_t m = x0c_.size();
+  const bool simd = simd_dispatch_enabled();
+  if (pool_ != nullptr && m >= kParallelMinSlots) {
+    // Elementwise probe work sharded; the sums below stay serial, so the
+    // Derivs are bit-identical to the serial path.
+    const auto chunks = runtime::make_chunks_for_width(
+        m, runtime::ChunkOptions{.grain = 512}, pool_->size());
+    runtime::TaskGroup group(*pool_);
+    for (const auto& [b, e] : chunks) {
+      group.run([this, b = b, e = e, t, simd] { eval_range(b, e, t, simd); });
+    }
+    group.wait();
+  } else {
+    eval_range(0, m, t, simd);
+  }
 
   Derivs out;
+  const double* __restrict rdc = rdc_.data();
   const double* __restrict m1 = m1_.data();
   const double* __restrict m2 = m2_.data();
   for (std::size_t i = 0; i < m; ++i) {

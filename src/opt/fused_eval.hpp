@@ -41,9 +41,15 @@ class SeparableRestriction final : public Phi {
   /// precomputed from it so the Newton first step costs no extra kernel
   /// pass. All buffers are grow-only: repeated resets on problems of the
   /// same size allocate nothing.
+  ///
+  /// A non-null `pool` shards the rd spmv and each probe's elementwise
+  /// work (xt fill + kernel sub-ranges) across it; the probe sums stay
+  /// serial, so every Derivs is bit-identical to the serial path. The
+  /// pool is borrowed until the next reset.
   void reset(const SeparableConcaveObjective& f, std::span<const double> x0,
              std::span<const double> d,
-             std::span<const double> m2_at_x0 = {});
+             std::span<const double> m2_at_x0 = {},
+             runtime::ThreadPool* pool = nullptr);
 
   /// One batched pass over the active terms; no matrix traversal.
   Derivs derivs(double t) override;
@@ -66,7 +72,11 @@ class SeparableRestriction final : public Phi {
     std::size_t end = 0;
   };
 
+  /// Fills xt_/m1_/m2_ for compact slots [begin, end) at probe point t.
+  void eval_range(std::size_t begin, std::size_t end, double t, bool simd);
+
   const SeparableConcaveObjective* f_ = nullptr;
+  runtime::ThreadPool* pool_ = nullptr;  // borrowed; null = serial probes
   std::vector<double> rd_;    // dense R d (term_count)
   std::vector<double> x0c_;   // compact x0 over active terms
   std::vector<double> rdc_;   // compact rd over active terms

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "runtime/parallel.hpp"
 #include "util/error.hpp"
 
 namespace netmon::opt {
@@ -32,10 +33,13 @@ double dot(std::span<const double> a, std::span<const double> b) {
 
 // Projects `v` onto the subspace of the active constraints: zero on bound-
 // active coordinates, orthogonal (in the free coordinates) to the budget
-// normal u.
+// normal u. The reductions stay serial (summation order is part of the
+// bit-identity contract); a non-null pool shards only the elementwise
+// write pass, which is bit-identical under any sharding.
 void project_direction(std::span<const double> v, std::span<const double> u,
                        const std::vector<BoundState>& bounds,
-                       std::span<double> out) {
+                       std::span<double> out,
+                       runtime::ThreadPool* pool = nullptr) {
   double vu = 0.0, uu = 0.0;
   for (std::size_t j = 0; j < v.size(); ++j) {
     if (bounds[j] == BoundState::kFree) {
@@ -44,8 +48,13 @@ void project_direction(std::span<const double> v, std::span<const double> u,
     }
   }
   const double lambda = uu > 0.0 ? vu / uu : 0.0;
-  for (std::size_t j = 0; j < v.size(); ++j) {
+  auto write = [&](std::size_t j) {
     out[j] = bounds[j] == BoundState::kFree ? v[j] - lambda * u[j] : 0.0;
+  };
+  if (pool != nullptr) {
+    runtime::parallel_for(*pool, v.size(), write);
+  } else {
+    for (std::size_t j = 0; j < v.size(); ++j) write(j);
   }
 }
 
@@ -67,6 +76,19 @@ SolveResult maximize(const Objective& f,
   // incrementally, and run line-search probes with no traversal at all.
   const SeparableConcaveObjective* sep =
       options.use_fused ? f.separable() : nullptr;
+
+  // Intra-solve parallelism, engaged only above the instance-size
+  // threshold: `par` shards term-dimension work (fused kernels, spmv,
+  // probes), `par_dim` shards variable-dimension writes (projection,
+  // clamps) and needs its own floor because the variable count is often
+  // far below the term count. Null = the historical serial path.
+  runtime::ThreadPool* const par =
+      options.pool != nullptr && sep != nullptr &&
+              sep->term_count() >= options.parallel_min_terms
+          ? options.pool
+          : nullptr;
+  runtime::ThreadPool* const par_dim =
+      par != nullptr && n >= options.parallel_min_terms ? par : nullptr;
 
   SolveResult result;
   result.p = start ? *start : constraints.initial_point();
@@ -133,10 +155,19 @@ SolveResult maximize(const Objective& f,
   std::vector<double>& d_prev = ws.d_prev;
   bool have_prev = false;
 
+  // Full inner-product recompute, sharded when the pool is engaged.
+  auto refresh_inner = [&] {
+    if (par != nullptr) {
+      sep->inner_into(result.p, x, *par);
+    } else {
+      sep->inner_into(result.p, x);
+    }
+  };
+
   if (sep != nullptr) {
     ws.x.resize(sep->term_count());
     x = {ws.x.data(), ws.x.size()};
-    sep->inner_into(result.p, x);
+    refresh_inner();
     maintain_x = true;
   }
 
@@ -205,14 +236,14 @@ SolveResult maximize(const Objective& f,
     deltas_this_iter = 0;
     if (sep != nullptr) {
       const SeparableConcaveObjective::FusedEval fe =
-          sep->fused_eval_from_inner(x, g, ws.eval);
+          sep->fused_eval_from_inner(x, g, ws.eval, par);
       current_value = fe.value;
       m2_terms = fe.m2;
     } else {
       f.gradient(result.p, g, ws.eval);
     }
     eval_current = true;
-    project_direction(g, u, bounds, s);
+    project_direction(g, u, bounds, s, par_dim);
 
     const double snorm = norm2(s);
     const double gnorm = norm2(g);
@@ -246,7 +277,7 @@ SolveResult maximize(const Objective& f,
         for (std::size_t j = 0; j < n; ++j) d[j] = s[j] + beta * d_prev[j];
         // Keep d inside the active subspace and ascending.
         std::copy(d.begin(), d.end(), ws.dir_tmp.begin());
-        project_direction(ws.dir_tmp, u, bounds, d);
+        project_direction(ws.dir_tmp, u, bounds, d, par_dim);
         if (dot(d, g) <= 0.0) d = s;
       }
     }
@@ -286,7 +317,7 @@ SolveResult maximize(const Objective& f,
       // One traversal for rd = R d; every probe after that is a batched
       // pass over the terms the direction actually touches. phi''(0)
       // comes for free from this iteration's fused M''.
-      ws.restriction.reset(*sep, x, d, m2_terms);
+      ws.restriction.reset(*sep, x, d, m2_terms, par);
       ls = maximize_phi(ws.restriction, t_max, options.line_search, phi0);
     } else {
       GenericPhi phi(f, result.p, d, ws.eval);
@@ -313,7 +344,13 @@ SolveResult maximize(const Objective& f,
       // search), then per-column corrections for the clamped coordinates
       // only — no full R p recompute.
       const std::span<const double> rd = ws.restriction.rd();
-      for (std::size_t k = 0; k < rd.size(); ++k) x[k] += ls.t * rd[k];
+      if (par != nullptr) {
+        const double t = ls.t;
+        runtime::parallel_for(*par, rd.size(),
+                              [&x, rd, t](std::size_t k) { x[k] += t * rd[k]; });
+      } else {
+        for (std::size_t k = 0; k < rd.size(); ++k) x[k] += ls.t * rd[k];
+      }
       for (std::size_t j = 0; j < n; ++j) {
         const double moved = result.p[j] + ls.t * d[j];
         const double v = std::clamp(moved, 0.0, alpha[j]);
@@ -357,7 +394,7 @@ SolveResult maximize(const Objective& f,
 
     if (maintain_x && (++iters_since_refresh >= kInnerRefreshInterval ||
                        deltas_this_iter > n / 4)) {
-      sep->inner_into(result.p, x);
+      refresh_inner();
       iters_since_refresh = 0;
     }
   }
@@ -367,9 +404,9 @@ SolveResult maximize(const Objective& f,
     if (!eval_current) {
       // One exact evaluation at the exit point: refresh rho and run the
       // fused kernel once (value + gradient in a single traversal).
-      sep->inner_into(result.p, x);
+      refresh_inner();
       const SeparableConcaveObjective::FusedEval fe =
-          sep->fused_eval_from_inner(x, g, ws.eval);
+          sep->fused_eval_from_inner(x, g, ws.eval, par);
       current_value = fe.value;
     }
     result.value = current_value;

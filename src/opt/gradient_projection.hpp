@@ -65,6 +65,21 @@ struct SolverOptions {
   /// events, completions, cancellations). Default handles are detached
   /// no-ops costing one branch each at solve exit.
   obs::SolverCounters counters;
+  /// Intra-solve parallelism: when set and the objective is separable
+  /// with at least `parallel_min_terms` terms, the per-iteration
+  /// evaluation work — inner-product spmv, fused term kernels, gradient
+  /// scatter, line-search probes, projection/update writes — is sharded
+  /// across this pool with deterministic chunking. Order-sensitive
+  /// reductions stay serial, so the iterate sequence (and hence the
+  /// SolveResult) is bit-identical to the serial solve at every thread
+  /// count; the knob changes throughput only. Borrowed; must outlive the
+  /// solve. Safe to use from tasks already running on the same pool
+  /// (TaskGroup waits help instead of blocking).
+  runtime::ThreadPool* pool = nullptr;
+  /// Term-count threshold below which `pool` is ignored: paper-scale
+  /// instances (GEANT: dozens of terms) keep the historical
+  /// single-threaded fast path with zero added overhead.
+  std::size_t parallel_min_terms = 8192;
 };
 
 /// Why the solver stopped.

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "linalg/parallel_kernels.hpp"
 #include "runtime/parallel.hpp"
 #include "util/error.hpp"
 
@@ -123,25 +124,60 @@ void SeparableConcaveObjective::fused_terms(std::span<const double> x,
                                             std::span<double> v,
                                             std::span<double> m1,
                                             std::span<double> m2) const {
+  fused_terms_range(0, term_count(), x, v, m1, m2, simd_dispatch_enabled());
+}
+
+void SeparableConcaveObjective::fused_terms_range(
+    std::size_t begin, std::size_t end, std::span<const double> x,
+    std::span<double> v, std::span<double> m1, std::span<double> m2,
+    bool simd) const {
   const std::size_t stride = term_count();
-  const bool simd = simd_dispatch_enabled();
-  for (const BatchRun& run : runs_) {
-    const std::size_t n = run.end - run.begin;
-    const std::size_t b = run.begin;
-    if (run.kernel != nullptr && run.kernel->fused != nullptr) {
+  // First run overlapping [begin, end): runs_ partitions [0, n) in order.
+  auto it = std::partition_point(
+      runs_.begin(), runs_.end(),
+      [begin](const BatchRun& run) { return run.end <= begin; });
+  for (; it != runs_.end() && it->begin < end; ++it) {
+    const std::size_t lo = std::max(it->begin, begin);
+    const std::size_t hi = std::min(it->end, end);
+    const std::size_t n = hi - lo;
+    if (it->kernel != nullptr && it->kernel->fused != nullptr) {
+      // Sub-range dispatch is safe because the kernels are elementwise:
+      // the SIMD variants are bit-identical per element no matter where
+      // the range starts.
       const Concave1d::BatchKernel::FusedFn fn =
-          simd && run.kernel->fused_simd != nullptr ? run.kernel->fused_simd
-                                                    : run.kernel->fused;
-      fn(soa_base(b), stride, x.data() + b, v.data() + b, m1.data() + b,
-         m2.data() + b, n);
+          simd && it->kernel->fused_simd != nullptr ? it->kernel->fused_simd
+                                                    : it->kernel->fused;
+      fn(soa_base(lo), stride, x.data() + lo, v.data() + lo, m1.data() + lo,
+         m2.data() + lo, n);
       continue;
     }
-    for (std::size_t k = b; k < run.end; ++k) {
+    for (std::size_t k = lo; k < hi; ++k) {
       v[k] = utilities_[k]->value(x[k]);
       m1[k] = utilities_[k]->deriv(x[k]);
       m2[k] = utilities_[k]->second(x[k]);
     }
   }
+}
+
+void SeparableConcaveObjective::fused_terms(std::span<const double> x,
+                                            std::span<double> v,
+                                            std::span<double> m1,
+                                            std::span<double> m2,
+                                            runtime::ThreadPool& pool) const {
+  const bool simd = simd_dispatch_enabled();
+  const auto chunks = runtime::make_chunks_for_width(
+      term_count(), runtime::ChunkOptions{.grain = 512}, pool.size());
+  if (chunks.size() <= 1) {
+    fused_terms_range(0, term_count(), x, v, m1, m2, simd);
+    return;
+  }
+  runtime::TaskGroup group(pool);
+  for (const auto& [b, e] : chunks) {
+    group.run([this, b = b, e = e, x, v, m1, m2, simd] {
+      fused_terms_range(b, e, x, v, m1, m2, simd);
+    });
+  }
+  group.wait();
 }
 
 void SeparableConcaveObjective::inner_into(std::span<const double> p,
@@ -163,6 +199,28 @@ void SeparableConcaveObjective::inner_into(std::span<const double> p,
       acc += vals[i] * p[cols[i]];
     x[k] = acc;
   }
+}
+
+void SeparableConcaveObjective::inner_into(std::span<const double> p,
+                                           std::span<double> x,
+                                           runtime::ThreadPool& pool) const {
+  NETMON_REQUIRE(p.size() == matrix_.cols(), "variable dimension mismatch");
+  NETMON_REQUIRE(x.size() == matrix_.rows(), "inner output size mismatch");
+  if (offsets_.empty()) {
+    linalg::spmv_parallel(matrix_, p, x, pool);
+    return;
+  }
+  // Row-sharded offset-first accumulation; same per-row loop as the
+  // serial overload, disjoint output slots — bit-identical.
+  const std::span<const std::size_t> row_ptr = matrix_.row_ptr();
+  const std::span<const linalg::SparseCsr::Index> cols = matrix_.col_idx();
+  const std::span<const double> vals = matrix_.values();
+  runtime::parallel_for(pool, matrix_.rows(), [&](std::size_t k) {
+    double acc = offsets_[k];
+    for (std::size_t i = row_ptr[k]; i < row_ptr[k + 1]; ++i)
+      acc += vals[i] * p[cols[i]];
+    x[k] = acc;
+  });
 }
 
 void SeparableConcaveObjective::inner_axpy(std::size_t col, double delta,
@@ -243,6 +301,13 @@ SeparableConcaveObjective::FusedEval
 SeparableConcaveObjective::fused_eval_from_inner(
     std::span<const double> x, std::span<double> grad,
     linalg::EvalWorkspace& ws) const {
+  return fused_eval_from_inner(x, grad, ws, nullptr);
+}
+
+SeparableConcaveObjective::FusedEval
+SeparableConcaveObjective::fused_eval_from_inner(
+    std::span<const double> x, std::span<double> grad,
+    linalg::EvalWorkspace& ws, runtime::ThreadPool* pool) const {
   NETMON_REQUIRE(x.size() == term_count(), "inner size mismatch");
   NETMON_REQUIRE(grad.size() == matrix_.cols(),
                  "gradient dimension mismatch");
@@ -250,8 +315,15 @@ SeparableConcaveObjective::fused_eval_from_inner(
   const std::span<double> v = ws.rows_b(n);
   const std::span<double> m1 = ws.rows_c(n);
   const std::span<double> m2 = ws.rows_d(n);
-  fused_terms(x, v, m1, m2);
-  linalg::spmv_t(matrix_, m1, grad);
+  if (pool != nullptr) {
+    fused_terms(x, v, m1, m2, *pool);
+    // grad = R^T m1 as a row-parallel spmv over the stored transpose —
+    // bit-identical to the serial scatter (parallel_kernels.hpp).
+    linalg::spmv_t_parallel(matrix_t_, m1, grad, *pool);
+  } else {
+    fused_terms(x, v, m1, m2);
+    linalg::spmv_t(matrix_, m1, grad);
+  }
   FusedEval out;
   // Same left-to-right sum as value(), so the result is bit-identical.
   for (std::size_t k = 0; k < n; ++k) out.value += v[k];

@@ -221,6 +221,37 @@ class SeparableConcaveObjective final : public Objective {
                                   std::span<double> grad,
                                   linalg::EvalWorkspace& ws) const;
 
+  /// ---- Intra-solve parallel evaluation ----
+  //
+  // Pool-taking variants of the hot entry points, used by the solver for
+  // instances above SolverOptions::parallel_min_terms. Each one shards
+  // only elementwise work (term-kernel sub-ranges, matrix rows) with
+  // deterministic chunking and keeps every order-sensitive reduction
+  // (the value sum) serial, so the outputs are bit-identical to the
+  // serial entry points at every thread count — not merely stable across
+  // thread counts. The gradient runs as a row-parallel spmv over the
+  // stored transpose, which is bit-identical to the serial spmv_t
+  // scatter (see linalg/parallel_kernels.hpp).
+
+  /// inner_into, rows sharded across `pool`. Bit-identical.
+  void inner_into(std::span<const double> p, std::span<double> x,
+                  runtime::ThreadPool& pool) const;
+
+  /// fused_terms, term ranges sharded across `pool` (run structure is
+  /// respected; kernels see contiguous sub-ranges of the SoA table).
+  /// Bit-identical.
+  void fused_terms(std::span<const double> x, std::span<double> v,
+                   std::span<double> m1, std::span<double> m2,
+                   runtime::ThreadPool& pool) const;
+
+  /// fused_eval_from_inner with the term pass and the gradient sharded
+  /// across `pool` when non-null (the value sum stays serial).
+  /// Bit-identical to the serial overload.
+  FusedEval fused_eval_from_inner(std::span<const double> x,
+                                  std::span<double> grad,
+                                  linalg::EvalWorkspace& ws,
+                                  runtime::ThreadPool* pool) const;
+
   /// Hessian diagonal h_j = sum_k M''_k r_{k,j}^2 together with the
   /// gradient, from the m1/m2 of a fused evaluation — one traversal for
   /// both scatters (linalg::spmv_t_grad_hess).
@@ -291,6 +322,13 @@ class SeparableConcaveObjective final : public Objective {
   /// out[k] = M_k / M'_k / M''_k applied to x[k], batched per run.
   void map_terms(Map mode, std::span<const double> x,
                  std::span<double> out) const;
+  /// fused_terms restricted to terms [begin, end): the unit of work the
+  /// parallel overload shards. `simd` is hoisted so every shard of one
+  /// evaluation dispatches identically.
+  void fused_terms_range(std::size_t begin, std::size_t end,
+                         std::span<const double> x, std::span<double> v,
+                         std::span<double> m1, std::span<double> m2,
+                         bool simd) const;
   /// SoA table base pointer for the run starting at term `begin`:
   /// parameter j of term (begin + i) is soa_base(begin)[j * n + i] with
   /// n = term_count() the column stride.

@@ -1,7 +1,7 @@
 #include "routing/routing_matrix.hpp"
 
 #include <algorithm>
-#include <map>
+#include <numeric>
 
 #include "util/error.hpp"
 
@@ -18,24 +18,43 @@ RoutingMatrix RoutingMatrix::single_path(const topo::Graph& graph,
                                          const LinkSet& failed) {
   RoutingMatrix matrix;
   matrix.ods_ = std::move(ods);
-  PairRows rows(matrix.ods_.size());
+  const std::size_t count = matrix.ods_.size();
 
-  // Group OD pairs by source so each source needs one Dijkstra run.
-  std::map<topo::NodeId, std::vector<std::size_t>> by_source;
-  for (std::size_t k = 0; k < matrix.ods_.size(); ++k)
-    by_source[matrix.ods_[k].src].push_back(k);
+  // Visit rows grouped by source (stable within a source) so each
+  // distinct source needs exactly one Dijkstra, reused in place.
+  std::vector<std::size_t> order(count);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (matrix.ods_[a].src != matrix.ods_[b].src)
+      return matrix.ods_[a].src < matrix.ods_[b].src;
+    return a < b;
+  });
 
-  for (const auto& [src, row_ids] : by_source) {
-    const SpfResult spf = dijkstra(graph, src, failed);
-    for (std::size_t k : row_ids) {
-      const auto path = extract_path(spf, graph, matrix.ods_[k].dst);
-      auto& row = rows[k];
-      row.reserve(path.size());
-      for (topo::LinkId id : path) row.emplace_back(id, 1.0);
-      std::sort(row.begin(), row.end());
-    }
+  // All paths land in one LinkId arena with per-row spans: allocation
+  // count stays flat in the OD count (the arena grows O(log nnz) times).
+  std::vector<topo::LinkId> arena;
+  arena.reserve(count * 8);
+  std::vector<std::pair<std::size_t, std::size_t>> spans(count);
+  SpfResult spf;
+  for (std::size_t pos = 0; pos < count; ++pos) {
+    const std::size_t k = order[pos];
+    const topo::NodeId src = matrix.ods_[k].src;
+    if (pos == 0 || src != matrix.ods_[order[pos - 1]].src)
+      dijkstra_into(graph, src, failed, spf);
+    const std::size_t begin = arena.size();
+    extract_path_into(spf, graph, matrix.ods_[k].dst, arena);
+    spans[k] = {begin, arena.size()};
+    std::sort(arena.begin() + static_cast<std::ptrdiff_t>(begin),
+              arena.end());
   }
-  matrix.csr_ = linalg::SparseCsr::from_rows(graph.link_count(), rows);
+
+  linalg::CsrBuilder builder(graph.link_count());
+  builder.reserve(count, arena.size());
+  for (const auto& [begin, end] : spans) {
+    for (std::size_t i = begin; i < end; ++i) builder.push(arena[i], 1.0);
+    builder.finish_row();
+  }
+  matrix.csr_ = builder.build();
   matrix.csc_ = matrix.csr_.transpose();
   return matrix;
 }

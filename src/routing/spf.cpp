@@ -44,14 +44,13 @@ bool SpfResult::reachable(topo::NodeId v) const {
   return v < dist.size() && std::isfinite(dist[v]);
 }
 
-SpfResult dijkstra(const topo::Graph& graph, topo::NodeId source,
-                   const LinkSet& failed) {
+void dijkstra_into(const topo::Graph& graph, topo::NodeId source,
+                   const LinkSet& failed, SpfResult& out) {
   NETMON_REQUIRE(source < graph.node_count(), "SPF source out of range");
-  SpfResult result;
-  result.source = source;
-  result.dist.assign(graph.node_count(), kInf);
-  result.parent.assign(graph.node_count(), topo::kInvalidId);
-  result.dist[source] = 0.0;
+  out.source = source;
+  out.dist.assign(graph.node_count(), kInf);
+  out.parent.assign(graph.node_count(), topo::kInvalidId);
+  out.dist[source] = 0.0;
 
   using Item = std::pair<double, topo::NodeId>;
   std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
@@ -59,36 +58,48 @@ SpfResult dijkstra(const topo::Graph& graph, topo::NodeId source,
   while (!queue.empty()) {
     const auto [d, u] = queue.top();
     queue.pop();
-    if (d > result.dist[u]) continue;
+    if (d > out.dist[u]) continue;
     for (topo::LinkId id : graph.out_links(u)) {
       if (failed.count(id)) continue;
       const topo::Link& l = graph.link(id);
       const double nd = d + l.igp_weight;
-      if (nd < result.dist[l.dst] ||
-          (nd == result.dist[l.dst] && id < result.parent[l.dst])) {
-        result.dist[l.dst] = nd;
-        result.parent[l.dst] = id;
+      if (nd < out.dist[l.dst] ||
+          (nd == out.dist[l.dst] && id < out.parent[l.dst])) {
+        out.dist[l.dst] = nd;
+        out.parent[l.dst] = id;
         queue.emplace(nd, l.dst);
       }
     }
   }
+}
+
+SpfResult dijkstra(const topo::Graph& graph, topo::NodeId source,
+                   const LinkSet& failed) {
+  SpfResult result;
+  dijkstra_into(graph, source, failed, result);
   return result;
+}
+
+void extract_path_into(const SpfResult& spf, const topo::Graph& graph,
+                       topo::NodeId dst, std::vector<topo::LinkId>& out) {
+  NETMON_REQUIRE(dst < graph.node_count(), "path destination out of range");
+  NETMON_REQUIRE(spf.reachable(dst), "destination unreachable: " +
+                                         graph.node(dst).name);
+  const std::size_t begin = out.size();
+  topo::NodeId v = dst;
+  while (v != spf.source) {
+    const topo::LinkId id = spf.parent[v];
+    out.push_back(id);
+    v = graph.link(id).src;
+  }
+  std::reverse(out.begin() + static_cast<std::ptrdiff_t>(begin), out.end());
 }
 
 std::vector<topo::LinkId> extract_path(const SpfResult& spf,
                                        const topo::Graph& graph,
                                        topo::NodeId dst) {
-  NETMON_REQUIRE(dst < graph.node_count(), "path destination out of range");
-  NETMON_REQUIRE(spf.reachable(dst), "destination unreachable: " +
-                                         graph.node(dst).name);
   std::vector<topo::LinkId> path;
-  topo::NodeId v = dst;
-  while (v != spf.source) {
-    const topo::LinkId id = spf.parent[v];
-    path.push_back(id);
-    v = graph.link(id).src;
-  }
-  std::reverse(path.begin(), path.end());
+  extract_path_into(spf, graph, dst, path);
   return path;
 }
 

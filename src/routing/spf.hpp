@@ -36,11 +36,23 @@ struct SpfResult {
 SpfResult dijkstra(const topo::Graph& graph, topo::NodeId source,
                    const LinkSet& failed = {});
 
+/// Same computation into a caller-owned result: `out`'s vectors are
+/// assign()ed in place, so running many sources through one SpfResult
+/// reuses its buffers after the first call — the per-source unit of
+/// routing-matrix construction at scale (RoutingMatrix::single_path).
+void dijkstra_into(const topo::Graph& graph, topo::NodeId source,
+                   const LinkSet& failed, SpfResult& out);
+
 /// Extracts the single shortest path source->dst as a sequence of link ids
 /// (in travel order). Throws netmon::Error if dst is unreachable.
 std::vector<topo::LinkId> extract_path(const SpfResult& spf,
                                        const topo::Graph& graph,
                                        topo::NodeId dst);
+
+/// Appends the path (travel order) to `out` instead of allocating a
+/// fresh vector — paths from many ODs share one arena.
+void extract_path_into(const SpfResult& spf, const topo::Graph& graph,
+                       topo::NodeId dst, std::vector<topo::LinkId>& out);
 
 /// Equal-cost multipath fractions for one OD pair: for every link on some
 /// shortest src->dst path, the fraction of the OD traffic crossing it under

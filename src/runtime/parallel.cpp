@@ -29,4 +29,14 @@ std::vector<std::pair<std::size_t, std::size_t>> make_chunks(
   return chunks;
 }
 
+std::vector<std::pair<std::size_t, std::size_t>> make_chunks_for_width(
+    std::size_t n, const ChunkOptions& options, unsigned width) {
+  NETMON_REQUIRE(width >= 1, "pool width must be >= 1");
+  const std::size_t target = kChunksPerWorker * static_cast<std::size_t>(width);
+  const std::size_t width_grain = (n + target - 1) / target;
+  ChunkOptions effective = options;
+  if (width_grain > effective.grain) effective.grain = width_grain;
+  return make_chunks(n, effective);
+}
+
 }  // namespace netmon::runtime

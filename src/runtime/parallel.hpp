@@ -21,17 +21,35 @@ namespace netmon::runtime {
 /// Chunking knobs for the parallel primitives.
 struct ChunkOptions {
   /// Minimum indices per chunk. Raise it when per-index work is tiny and
-  /// scheduling overhead would dominate.
+  /// scheduling overhead would dominate. parallel_for additionally
+  /// derives an effective grain from the range size and the pool width
+  /// (see make_chunks_for_width), so very large ranges produce O(width)
+  /// chunks instead of max_chunks tiny ones.
   std::size_t grain = 1;
   /// Upper bound on the number of chunks per call (bounds queue pressure
   /// for huge n). Must be >= 1.
   std::size_t max_chunks = 256;
 };
 
+/// Chunks-per-worker target for the width-derived grain: enough slack to
+/// balance uneven per-index work without flooding the queue.
+inline constexpr std::size_t kChunksPerWorker = 4;
+
 /// Half-open index ranges covering [0, n): pure function of (n, options),
 /// independent of thread count — the determinism anchor of this module.
 std::vector<std::pair<std::size_t, std::size_t>> make_chunks(
     std::size_t n, const ChunkOptions& options = {});
+
+/// The layout parallel_for dispatches on a pool of `width` workers: like
+/// make_chunks, but the effective grain is raised to
+/// ceil(n / (kChunksPerWorker * width)) so the chunk count scales with
+/// the pool instead of hitting max_chunks on very large ranges. Still a
+/// pure function of its arguments. parallel_for may depend on width
+/// because per-index writes are disjoint — the *result* stays identical
+/// at every pool size; parallel_reduce keeps the width-independent
+/// make_chunks layout so reduction grouping never varies with width.
+std::vector<std::pair<std::size_t, std::size_t>> make_chunks_for_width(
+    std::size_t n, const ChunkOptions& options, unsigned width);
 
 /// Runs fn(i) for every i in [0, n) on the pool and blocks until done.
 /// fn must only touch per-index state (e.g. out[i]); exceptions from any
@@ -39,7 +57,7 @@ std::vector<std::pair<std::size_t, std::size_t>> make_chunks(
 template <typename Fn>
 void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn,
                   const ChunkOptions& options = {}) {
-  const auto chunks = make_chunks(n, options);
+  const auto chunks = make_chunks_for_width(n, options, pool.size());
   if (chunks.empty()) return;
   if (chunks.size() == 1) {
     // No point bouncing a single chunk through the queue.

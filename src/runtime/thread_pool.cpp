@@ -95,38 +95,89 @@ void ThreadPool::worker_loop() {
   }
 }
 
+// Completion state shared between the group, its pool wrappers, and the
+// helping waiter. A shared_ptr keeps it alive past group destruction:
+// a slot claimed and executed by the helper leaves its no-op pool
+// wrapper queued, and that wrapper may run after the group is gone.
+struct TaskGroup::State {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t pending = 0;
+  std::exception_ptr error;
+};
+
+struct TaskGroup::Slot {
+  Slot(std::shared_ptr<State> s, std::function<void()> f)
+      : state(std::move(s)), fn(std::move(f)) {}
+  std::shared_ptr<State> state;
+  std::function<void()> fn;
+  /// Exactly one of {a pool worker, the helping waiter} wins the claim
+  /// and executes; the loser does nothing.
+  std::atomic<bool> claimed{false};
+};
+
+TaskGroup::TaskGroup(ThreadPool& pool)
+    : pool_(pool), state_(std::make_shared<State>()) {}
+
+void TaskGroup::execute(Slot& slot) {
+  std::exception_ptr error;
+  try {
+    slot.fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  State& state = *slot.state;
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (error && !state.error) state.error = error;
+  if (--state.pending == 0) state.cv.notify_all();
+}
+
 void TaskGroup::run(std::function<void()> fn) {
   NETMON_REQUIRE(fn != nullptr, "TaskGroup::run requires a task");
+  auto slot = std::make_shared<Slot>(state_, std::move(fn));
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++pending_;
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    ++state_->pending;
   }
-  pool_.submit([this, fn = std::move(fn)] {
-    std::exception_ptr error;
-    try {
-      fn();
-    } catch (...) {
-      error = std::current_exception();
-    }
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (error && !error_) error_ = error;
-    if (--pending_ == 0) cv_.notify_all();
+  slots_.push_back(slot);
+  pool_.submit([slot] {
+    if (!slot->claimed.exchange(true)) execute(*slot);
   });
 }
 
+void TaskGroup::help_until_done() {
+  // Scoped helping: claim and run THIS group's unstarted tasks on the
+  // waiting thread; a task whose claim is already taken is executing on
+  // some worker. Unrelated pool work is never run here — the caller may
+  // hold locks around wait(), and an arbitrary task could re-enter
+  // them. Nested fan-outs still cannot deadlock: even with every worker
+  // busy, the owner drains its own slots itself.
+  while (!slots_.empty()) {
+    const std::shared_ptr<Slot> slot = std::move(slots_.front());
+    slots_.pop_front();
+    if (!slot->claimed.exchange(true)) execute(*slot);
+  }
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [this] { return state_->pending == 0; });
+}
+
 void TaskGroup::wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] { return pending_ == 0; });
-  if (error_) {
-    std::exception_ptr error = error_;
-    error_ = nullptr;
+  help_until_done();
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (state_->error) {
+    std::exception_ptr error = state_->error;
+    state_->error = nullptr;
     std::rethrow_exception(error);
   }
 }
 
 void TaskGroup::wait_no_throw() noexcept {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] { return pending_ == 0; });
+  try {
+    help_until_done();
+  } catch (...) {
+    // help_until_done only throws through a task body, and execute()
+    // captures those; nothing to do.
+  }
 }
 
 }  // namespace netmon::runtime

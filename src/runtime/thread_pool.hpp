@@ -9,9 +9,11 @@
 // count.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -71,9 +73,21 @@ class ThreadPool {
 /// blocks until every scheduled task finished and rethrows the first
 /// exception any of them raised (first in completion order; the group
 /// stays usable afterwards).
+///
+/// wait() is a *helping* wait, scoped to THIS group's tasks: while some
+/// of them have not been started by a worker, the waiting thread claims
+/// and runs them itself, and only sleeps once every remaining task is
+/// already executing on some worker. That makes nested fan-outs
+/// deadlock-free at any pool size — a pool task that forks its own
+/// TaskGroup executes its children itself if no worker is free — while
+/// never running *unrelated* queued work on the waiter, which could
+/// re-enter a lock the caller holds around wait().
+///
+/// A group must be driven from one thread at a time (run/wait are not
+/// concurrency-safe against each other), matching fork/join usage.
 class TaskGroup {
  public:
-  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  explicit TaskGroup(ThreadPool& pool);
   ~TaskGroup() { wait_no_throw(); }
 
   TaskGroup(const TaskGroup&) = delete;
@@ -82,18 +96,26 @@ class TaskGroup {
   /// Schedules `fn` on the pool; exceptions are captured for wait().
   void run(std::function<void()> fn);
 
-  /// Blocks until all scheduled tasks completed; rethrows the first
-  /// captured exception (clearing it, so the group can be reused).
+  /// Helps run this group's unstarted tasks until all scheduled tasks
+  /// completed; rethrows the first captured exception (clearing it, so
+  /// the group can be reused).
   void wait();
 
  private:
+  struct State;  // shared completion state, outlives the group
+  struct Slot;   // one scheduled task + its claim flag
+
+  /// Claims-checked execution + completion bookkeeping on `slot.state`.
+  static void execute(Slot& slot);
+  /// The helping loop shared by wait() and the destructor.
+  void help_until_done();
   void wait_no_throw() noexcept;
 
   ThreadPool& pool_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::size_t pending_ = 0;
-  std::exception_ptr error_;
+  std::shared_ptr<State> state_;
+  /// This group's scheduled tasks, claimable by the helping waiter.
+  /// Touched only by the owning thread (run/wait), never by workers.
+  std::deque<std::shared_ptr<Slot>> slots_;
 };
 
 }  // namespace netmon::runtime

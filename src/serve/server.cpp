@@ -24,6 +24,9 @@ core::BatchOptions make_batch_options(const ServerOptions& options,
   batch.solver = options.solver;
   batch.metrics = &metrics;
   batch.trace = options.solver_trace;
+  batch.tier = options.tier;
+  batch.approx = options.approx;
+  batch.approx_groups = options.approx_groups;
   return batch;
 }
 

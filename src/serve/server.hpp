@@ -83,6 +83,14 @@ struct ServerOptions {
   /// (per-request deadline hooks are layered on top without detaching
   /// it). Borrowed; must outlive the server.
   obs::SolverTrace* solver_trace = nullptr;
+  /// Tier selection (core/approx): served instances at or above
+  /// tier.approx_min_candidates route to the partitioned approximation
+  /// tier — certified gap instead of an exact KKT certificate — when
+  /// approx_groups > 0 enables it. 0 keeps every solve exact.
+  core::TierPolicy tier;
+  std::size_t approx_groups = 0;
+  /// Approximation-tier solve configuration (rounds, subsolver, polish).
+  core::ApproxOptions approx;
 };
 
 /// The transport-agnostic query server. Construct one per network model

@@ -4,6 +4,16 @@
 
 namespace netmon::topo {
 
+void Graph::reserve(std::size_t nodes, std::size_t links,
+                    std::size_t links_per_node) {
+  nodes_.reserve(nodes);
+  out_.reserve(nodes);
+  in_.reserve(nodes);
+  by_name_.reserve(nodes);
+  links_.reserve(links);
+  degree_hint_ = links_per_node;
+}
+
 NodeId Graph::add_node(std::string name, double mass) {
   NETMON_REQUIRE(!name.empty(), "node name must be non-empty");
   NETMON_REQUIRE(by_name_.find(name) == by_name_.end(),
@@ -14,6 +24,10 @@ NodeId Graph::add_node(std::string name, double mass) {
   nodes_.push_back(Node{id, std::move(name), mass});
   out_.emplace_back();
   in_.emplace_back();
+  if (degree_hint_ != 0) {
+    out_.back().reserve(degree_hint_);
+    in_.back().reserve(degree_hint_);
+  }
   return id;
 }
 

@@ -49,6 +49,15 @@ struct Link {
 /// Directed multigraph with stable integer ids and name lookup.
 class Graph {
  public:
+  /// Pre-sizes every container for a known build plan: `nodes` / `links`
+  /// are upper bounds on the add_node / add_link calls to come, and a
+  /// non-zero `links_per_node` additionally pre-reserves each node's
+  /// adjacency lists at add_node time. With accurate bounds the whole
+  /// build performs no vector reallocation (generators building 100k+
+  /// link instances call this first; see topo/hierarchical.hpp).
+  void reserve(std::size_t nodes, std::size_t links,
+               std::size_t links_per_node = 0);
+
   /// Adds a node; names must be unique and non-empty. Returns its id.
   NodeId add_node(std::string name, double mass = 1.0);
 
@@ -101,6 +110,8 @@ class Graph {
   std::vector<std::vector<LinkId>> out_;
   std::vector<std::vector<LinkId>> in_;
   std::unordered_map<std::string, NodeId> by_name_;
+  /// Per-node adjacency reservation applied in add_node (reserve()).
+  std::size_t degree_hint_ = 0;
 };
 
 }  // namespace netmon::topo

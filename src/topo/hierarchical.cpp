@@ -1,0 +1,151 @@
+#include "topo/hierarchical.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace netmon::topo {
+
+namespace {
+
+/// Compact deterministic names: "c3", "a3.7", "e3.7.250". All fit in
+/// small-string storage, so naming 25k nodes costs no heap traffic
+/// beyond the node vector itself.
+std::string core_name(unsigned c) { return "c" + std::to_string(c); }
+std::string agg_name(unsigned c, unsigned a) {
+  return "a" + std::to_string(c) + "." + std::to_string(a);
+}
+std::string edge_name(unsigned c, unsigned a, unsigned e) {
+  return "e" + std::to_string(c) + "." + std::to_string(a) + "." +
+         std::to_string(e);
+}
+
+}  // namespace
+
+std::size_t hierarchy_node_count(const HierarchyOptions& o) {
+  const std::size_t cores = o.cores;
+  const std::size_t aggs = cores * o.aggs_per_core;
+  return cores + aggs + aggs * o.edges_per_agg;
+}
+
+std::size_t hierarchy_link_count(const HierarchyOptions& o) {
+  const std::size_t cores = o.cores;
+  const std::size_t aggs = cores * o.aggs_per_core;
+  const std::size_t edges = aggs * o.edges_per_agg;
+  // Core full mesh: one duplex pair per unordered core pair. Every agg
+  // and every edge is dual-homed: two duplex pairs = four directed links.
+  return cores * (cores - 1) + aggs * 4 + edges * 4;
+}
+
+HierarchicalNetwork make_hierarchical(const HierarchyOptions& options) {
+  NETMON_REQUIRE(options.cores >= 2, "hierarchy needs at least 2 cores");
+  NETMON_REQUIRE(options.aggs_per_core >= 1, "aggs_per_core must be >= 1");
+  NETMON_REQUIRE(options.edges_per_agg >= 1, "edges_per_agg must be >= 1");
+
+  HierarchicalNetwork net;
+  net.options = options;
+  const unsigned C = options.cores;
+  const unsigned A = options.aggs_per_core;
+  const unsigned E = options.edges_per_agg;
+
+  const std::size_t nodes = hierarchy_node_count(options);
+  const std::size_t links = hierarchy_link_count(options);
+  // Degree hint 4 fits the edge tier exactly (two duplex homes), which
+  // is the overwhelming majority of nodes; core/agg adjacency lists grow
+  // past it O(log degree) times — a constant number of reallocations.
+  net.graph.reserve(nodes, links, 4);
+  net.tier_of_node.reserve(nodes);
+  net.region_of_node.reserve(nodes);
+  net.cores.reserve(C);
+  net.aggs.reserve(std::size_t{C} * A);
+  net.edges.reserve(std::size_t{C} * A * E);
+
+  const netmon::Rng base(options.seed);
+
+  // Nodes, tier by tier: cores, then aggs, then edges — ids are dense
+  // per tier, and region (pod) labels follow ownership.
+  for (unsigned c = 0; c < C; ++c) {
+    net.cores.push_back(net.graph.add_node(core_name(c), 0.0));
+    net.tier_of_node.push_back(Tier::kCore);
+    net.region_of_node.push_back(c);
+  }
+  for (unsigned c = 0; c < C; ++c) {
+    for (unsigned a = 0; a < A; ++a) {
+      net.aggs.push_back(net.graph.add_node(agg_name(c, a), 0.0));
+      net.tier_of_node.push_back(Tier::kAgg);
+      net.region_of_node.push_back(c);
+    }
+  }
+  for (unsigned c = 0; c < C; ++c) {
+    for (unsigned a = 0; a < A; ++a) {
+      for (unsigned e = 0; e < E; ++e) {
+        // Heavy-tailed gravity mass, deterministic per edge index.
+        const std::size_t index =
+            (static_cast<std::size_t>(c) * A + a) * E + e;
+        netmon::Rng rng = base.substream(index);
+        const double mass =
+            options.edge_mass *
+            std::exp(rng.uniform(-options.mass_log_spread,
+                                 options.mass_log_spread));
+        net.edges.push_back(net.graph.add_node(edge_name(c, a, e), mass));
+        net.tier_of_node.push_back(Tier::kEdge);
+        net.region_of_node.push_back(c);
+      }
+    }
+  }
+
+  // Core full mesh.
+  for (unsigned i = 0; i < C; ++i) {
+    for (unsigned j = i + 1; j < C; ++j) {
+      net.graph.add_duplex(net.cores[i], net.cores[j],
+                           options.core_capacity_bps,
+                           options.core_igp_weight);
+    }
+  }
+  // Aggs: dual-homed to the owning core and the next pod's core.
+  for (unsigned c = 0; c < C; ++c) {
+    for (unsigned a = 0; a < A; ++a) {
+      const NodeId agg = net.aggs[std::size_t{c} * A + a];
+      net.graph.add_duplex(agg, net.cores[c], options.agg_capacity_bps,
+                           options.agg_igp_weight);
+      net.graph.add_duplex(agg, net.cores[(c + 1) % C],
+                           options.agg_capacity_bps,
+                           options.agg_igp_weight);
+    }
+  }
+  // Edges: dual-homed to the owning agg and the next agg in the pod
+  // (same agg twice would create parallel links when A == 1, so fall
+  // back to the owning core as the second home in that degenerate case).
+  for (unsigned c = 0; c < C; ++c) {
+    for (unsigned a = 0; a < A; ++a) {
+      const NodeId agg = net.aggs[std::size_t{c} * A + a];
+      const NodeId second =
+          A > 1 ? net.aggs[std::size_t{c} * A + (a + 1) % A] : net.cores[c];
+      for (unsigned e = 0; e < E; ++e) {
+        const NodeId edge =
+            net.edges[(std::size_t{c} * A + a) * E + e];
+        net.graph.add_duplex(edge, agg, options.edge_capacity_bps,
+                             options.edge_igp_weight);
+        net.graph.add_duplex(edge, second, options.edge_capacity_bps,
+                             options.edge_igp_weight);
+      }
+    }
+  }
+
+  NETMON_REQUIRE(net.graph.node_count() == nodes &&
+                     net.graph.link_count() == links,
+                 "hierarchy closed-form counts out of sync with generator");
+  return net;
+}
+
+HierarchyOptions hierarchy_scale_options() {
+  HierarchyOptions o;
+  o.cores = 10;
+  o.aggs_per_core = 8;
+  o.edges_per_agg = 320;
+  return o;
+}
+
+}  // namespace netmon::topo

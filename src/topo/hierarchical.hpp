@@ -1,0 +1,93 @@
+// Deterministic hierarchical topology generator: core / aggregation /
+// edge (PoP) tiers at Internet scale.
+//
+// The paper's evaluation stops at GEANT (72 links); the production
+// north-star is topologies three orders of magnitude larger. This
+// generator builds them with the structure real ISP networks have —
+// a full-mesh core, aggregation routers dual-homed across adjacent core
+// pods, and edge/PoP routers dual-homed across adjacent aggregation
+// routers — so the routing matrix a scale instance induces has the same
+// shape (heavy shared trunks, long thin access tails) the placement
+// problem exploits on the reference networks.
+//
+// Everything is a pure function of HierarchyOptions: node order, link
+// order, names, masses, capacities and IGP weights are all derived from
+// tier indices (masses through Rng::substream of the seed), so two
+// builds with equal options are equal graph-for-graph, and the expected
+// node/link counts are closed-form (hierarchy_node_count /
+// hierarchy_link_count) — which is also what lets the generator
+// Graph::reserve() everything up front and build without reallocation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace netmon::topo {
+
+/// Shape and attribute knobs. The defaults build a small (~2k links)
+/// instance; scale presets live in hierarchy_scale_options().
+struct HierarchyOptions {
+  /// Full-mesh core routers; each owns one "pod" of the hierarchy.
+  unsigned cores = 4;
+  /// Aggregation routers per pod, each dual-homed to its own core and
+  /// the next pod's core.
+  unsigned aggs_per_core = 4;
+  /// Edge (PoP) routers per aggregation router, each dual-homed to its
+  /// own aggregation router and the next one in the same pod.
+  unsigned edges_per_agg = 30;
+
+  /// Tier line rates (bps).
+  double core_capacity_bps = 400e9;
+  double agg_capacity_bps = 100e9;
+  double edge_capacity_bps = 25e9;
+
+  /// Tier IGP weights: core < agg < edge keeps transit traffic on the
+  /// trunk mesh, like production IS-IS metrics do.
+  double core_igp_weight = 1.0;
+  double agg_igp_weight = 4.0;
+  double edge_igp_weight = 10.0;
+
+  /// Gravity mass scale of an edge node; per-node masses are heavy-tailed
+  /// around it (deterministic in `seed`). Core/agg nodes carry no mass —
+  /// traffic originates and terminates at the edge.
+  double edge_mass = 1.0;
+  /// Mass spread: per-edge mass = edge_mass * exp(U[-s, s]).
+  double mass_log_spread = 1.5;
+  std::uint64_t seed = 7;
+};
+
+/// Node tier labels (HierarchicalNetwork::tier_of_node).
+enum class Tier : std::uint8_t { kCore = 0, kAgg = 1, kEdge = 2 };
+
+/// A generated instance plus the hierarchy metadata the partitioned
+/// approximation tier keys on.
+struct HierarchicalNetwork {
+  Graph graph;
+  /// Tier of every node, indexed by NodeId.
+  std::vector<Tier> tier_of_node;
+  /// Owning pod (core index) of every node, indexed by NodeId. Pods are
+  /// the natural solve partition: intra-pod traffic never leaves them.
+  std::vector<std::uint32_t> region_of_node;
+  std::vector<NodeId> cores;
+  std::vector<NodeId> aggs;
+  std::vector<NodeId> edges;
+  HierarchyOptions options;
+};
+
+/// Closed-form node count for `options` (cores + aggs + edges).
+std::size_t hierarchy_node_count(const HierarchyOptions& options);
+/// Closed-form directed-link count for `options`: the core mesh plus
+/// four unidirectional links per agg and per edge (two duplex homes).
+std::size_t hierarchy_link_count(const HierarchyOptions& options);
+
+/// Builds the network. Deterministic in `options`; reserves everything
+/// up front from the closed-form counts.
+HierarchicalNetwork make_hierarchical(const HierarchyOptions& options = {});
+
+/// Preset that clears the 100k directed-link bar used by the scaling
+/// bench: 10 pods x 8 aggs x 320 edges = 25,690 nodes, 102,810 links.
+HierarchyOptions hierarchy_scale_options();
+
+}  // namespace netmon::topo

@@ -1,0 +1,122 @@
+#include "traffic/fanout.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace netmon::traffic {
+
+namespace {
+
+/// Index of the first cumulative weight exceeding `r` — the standard
+/// inverse-CDF draw over a discrete mass distribution.
+std::size_t draw(const std::vector<double>& cumulative, double r) {
+  const auto it =
+      std::upper_bound(cumulative.begin(), cumulative.end(), r);
+  const std::size_t i = static_cast<std::size_t>(it - cumulative.begin());
+  return std::min(i, cumulative.size() - 1);
+}
+
+}  // namespace
+
+TrafficMatrix gravity_fanout(const topo::HierarchicalNetwork& net,
+                             const FanoutOptions& options) {
+  NETMON_REQUIRE(options.od_count >= 1, "fanout needs at least one OD");
+  NETMON_REQUIRE(options.max_sources >= 1, "fanout needs a source");
+  NETMON_REQUIRE(options.total_pkt_per_sec > 0.0,
+                 "fanout rate must be positive");
+  const std::vector<topo::NodeId>& edges = net.edges;
+  NETMON_REQUIRE(edges.size() >= 2, "fanout needs at least two edge nodes");
+
+  // Sources: the heaviest edge nodes (mass desc, id asc) up to the cap —
+  // where a production deployment parks its collectors.
+  std::vector<topo::NodeId> sources = edges;
+  std::sort(sources.begin(), sources.end(),
+            [&](topo::NodeId a, topo::NodeId b) {
+              const double ma = net.graph.node(a).mass;
+              const double mb = net.graph.node(b).mass;
+              if (ma != mb) return ma > mb;
+              return a < b;
+            });
+  if (sources.size() > options.max_sources)
+    sources.resize(options.max_sources);
+
+  // Cumulative mass tables for the inverse-CDF draws.
+  auto cumulate = [&](const std::vector<topo::NodeId>& ids) {
+    std::vector<double> cum(ids.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      acc += net.graph.node(ids[i]).mass;
+      cum[i] = acc;
+    }
+    NETMON_REQUIRE(acc > 0.0, "fanout needs positive edge mass");
+    return cum;
+  };
+  const std::vector<double> src_cum = cumulate(sources);
+  const std::vector<double> dst_cum = cumulate(edges);
+
+  const netmon::Rng base(options.seed);
+  struct Draw {
+    routing::OdPair od;
+    double weight;
+  };
+  std::vector<Draw> draws;
+  draws.reserve(options.od_count);
+  for (std::size_t i = 0; i < options.od_count; ++i) {
+    netmon::Rng rng = base.substream(i);
+    const topo::NodeId src =
+        sources[draw(src_cum, rng.uniform() * src_cum.back())];
+    topo::NodeId dst = edges[draw(dst_cum, rng.uniform() * dst_cum.back())];
+    if (dst == src) {
+      // Redraw once, then fall back to the neighbor slot: keeps the draw
+      // count per OD bounded and deterministic.
+      dst = edges[draw(dst_cum, rng.uniform() * dst_cum.back())];
+      if (dst == src) dst = edges[(draw(dst_cum, 0.0) + 1) % edges.size()];
+    }
+    const double w =
+        net.graph.node(src).mass * net.graph.node(dst).mass;
+    draws.push_back({{src, dst}, w});
+  }
+
+  // Merge duplicate pairs deterministically: sort by (src, dst), fold.
+  std::sort(draws.begin(), draws.end(), [](const Draw& a, const Draw& b) {
+    if (a.od.src != b.od.src) return a.od.src < b.od.src;
+    return a.od.dst < b.od.dst;
+  });
+  TrafficMatrix tm;
+  tm.reserve(draws.size());
+  for (const Draw& d : draws) {
+    if (!tm.empty() && tm.back().od == d.od) {
+      tm.back().pkt_per_sec += d.weight;
+    } else {
+      tm.push_back({d.od, d.weight});
+    }
+  }
+
+  // Normalize weights to the target aggregate, then apply the rate floor.
+  double total = 0.0;
+  for (const Demand& d : tm) total += d.pkt_per_sec;
+  const double scale = options.total_pkt_per_sec / total;
+  for (Demand& d : tm) {
+    d.pkt_per_sec =
+        std::max(d.pkt_per_sec * scale, options.min_pkt_per_sec);
+  }
+  return tm;
+}
+
+LinkLoads background_loads(const topo::Graph& graph, double utilization,
+                           double mean_packet_bytes) {
+  NETMON_REQUIRE(utilization >= 0.0 && utilization <= 1.0,
+                 "utilization must be in [0, 1]");
+  NETMON_REQUIRE(mean_packet_bytes > 0.0, "packet size must be positive");
+  LinkLoads loads(graph.link_count(), 0.0);
+  for (const topo::Link& link : graph.links()) {
+    loads[link.id] =
+        link.capacity_bps * utilization / (8.0 * mean_packet_bytes);
+  }
+  return loads;
+}
+
+}  // namespace netmon::traffic

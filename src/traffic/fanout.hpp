@@ -1,0 +1,52 @@
+// Tier-keyed gravity OD fan-out for hierarchical instances.
+//
+// gravity_matrix() enumerates every ordered node pair — quadratic in the
+// node count and unusable at 25k nodes. At scale the measurement task is
+// a *fan-out*: a bounded set of heavy source PoPs (where collectors sit)
+// talking to gravity-weighted destinations across the edge tier. Demand
+// sizes follow mass(s)*mass(d), as in the gravity model, normalized to a
+// target aggregate rate; sources are bounded so shortest-path routing
+// stays one Dijkstra per source rather than per OD. Deterministic in the
+// options (Rng::substream per OD draw).
+//
+// background_loads() complements the routed task demands with
+// capacity-proportional transit load on every link — the cross traffic
+// the paper takes from NetFlow — so candidate links are loaded (and
+// sampling them costs budget) even where no task OD travels.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/hierarchical.hpp"
+#include "traffic/demand.hpp"
+#include "traffic/link_load.hpp"
+
+namespace netmon::traffic {
+
+/// Fan-out shape knobs.
+struct FanoutOptions {
+  /// OD pairs to draw (collisions merge, so the result may be smaller).
+  std::size_t od_count = 20000;
+  /// Bound on distinct source nodes (the heaviest edge nodes by mass):
+  /// caps the Dijkstra count of single-path routing at scale.
+  std::size_t max_sources = 64;
+  /// Aggregate packet rate across all demands.
+  double total_pkt_per_sec = 5.0e8;
+  /// Per-demand rate floor (keeps expected packets per interval >= 2,
+  /// the SreUtility domain requirement, at 300 s intervals).
+  double min_pkt_per_sec = 0.05;
+  std::uint64_t seed = 11;
+};
+
+/// Draws the fan-out over `net`'s edge tier. Demands are sorted by
+/// (src, dst) with duplicates merged; rates sum to total_pkt_per_sec
+/// before the min_pkt_per_sec floor is applied.
+TrafficMatrix gravity_fanout(const topo::HierarchicalNetwork& net,
+                             const FanoutOptions& options = {});
+
+/// Synthetic transit load: every link carries `utilization` of its
+/// capacity, converted to packets per second at `mean_packet_bytes`.
+LinkLoads background_loads(const topo::Graph& graph, double utilization,
+                           double mean_packet_bytes = 500.0);
+
+}  // namespace netmon::traffic

@@ -1,0 +1,100 @@
+// End-to-end smoke of the scale pipeline at test-sized dimensions: a
+// hierarchical instance (a few thousand links), gravity fan-out task,
+// pod partition, approximate solve with intra-solve parallelism — and a
+// certified gap within the tier's 1% target. The 100k+-link instance
+// runs the same path in bench/scaling_perf.cpp.
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "core/approx.hpp"
+#include "core/batch_solver.hpp"
+#include "core/partition.hpp"
+#include "core/scale_scenario.hpp"
+#include "core/solver.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace netmon::core {
+namespace {
+
+ScaleScenarioOptions smoke_options() {
+  ScaleScenarioOptions options;
+  options.hierarchy.cores = 4;
+  options.hierarchy.aggs_per_core = 3;
+  options.hierarchy.edges_per_agg = 40;  // 496 nodes, 2,988 links
+  options.fanout.od_count = 3000;
+  options.fanout.max_sources = 24;
+  return options;
+}
+
+TEST(ScaleSmoke, ScenarioAssembles) {
+  const ScaleScenario scenario = make_scale_scenario(smoke_options());
+  EXPECT_EQ(scenario.net.graph.link_count(),
+            topo::hierarchy_link_count(smoke_options().hierarchy));
+  EXPECT_EQ(scenario.task.ods.size(), scenario.demands.size());
+  ASSERT_EQ(scenario.loads.size(), scenario.net.graph.link_count());
+  for (double load : scenario.loads) EXPECT_GT(load, 0.0);
+  for (double s : scenario.task.expected_packets) EXPECT_GE(s, 2.0);
+}
+
+TEST(ScaleSmoke, ApproxTierCertifiesWithinOnePercent) {
+  const ScaleScenario scenario = make_scale_scenario(smoke_options());
+  ProblemOptions options;
+  options.theta = 0.0;  // default_scale_theta
+  const PlacementProblem problem = make_problem(scenario, options);
+  EXPECT_GT(problem.candidates().size(), 100u);
+
+  const Partition partition = partition_by_region(problem, scenario.net);
+  EXPECT_EQ(partition.group_count(), 4u);  // one group per pod
+
+  runtime::ThreadPool pool(4);
+  ApproxOptions approx;
+  approx.pool = &pool;
+  approx.subsolver.parallel_min_terms = 0;  // exercise nested sharding too
+  approx.polish.pool = &pool;
+  const ApproxResult result = solve_approx(problem, partition, approx);
+
+  EXPECT_LE(result.certificate.relative_gap, 0.01)
+      << "certified gap above the tier's 1% target";
+  EXPECT_EQ(result.solution.tier, SolveTier::kApprox);
+  EXPECT_GT(result.solution.active_monitors.size(), 0u);
+  // Feasibility of the stitched + polished placement.
+  EXPECT_NEAR(result.solution.budget_used, problem.theta(),
+              1e-6 * problem.theta());
+}
+
+TEST(ScaleSmoke, BatchSolverRoutesLargeInstancesToTheApproxTier) {
+  const ScaleScenario scenario = make_scale_scenario(smoke_options());
+  ProblemOptions po;
+  po.theta = 0.0;
+  const PlacementProblem problem = make_problem(scenario, po);
+  const Partition partition = partition_by_region(problem, scenario.net);
+
+  BatchOptions batch;
+  batch.threads = 2;
+  batch.tier.approx_min_candidates = 64;  // force routing at test scale
+  const BatchSolver solver(batch);
+
+  BatchItem item;
+  item.problem = &problem;
+  item.partition = &partition;
+  const auto solutions =
+      solver.solve_items(std::span<const BatchItem>(&item, 1));
+  ASSERT_EQ(solutions.size(), 1u);
+  EXPECT_EQ(solutions[0].tier, SolveTier::kApprox);
+  EXPECT_GT(solutions[0].certified_upper_bound,
+            solutions[0].total_utility - 1e-9);
+
+  // Below the threshold the same item solves exactly.
+  BatchOptions exact_batch;
+  exact_batch.threads = 2;
+  exact_batch.tier.approx_min_candidates = 1u << 30;
+  const BatchSolver exact_solver(exact_batch);
+  const auto exact = exact_solver.solve_items(
+      std::span<const BatchItem>(&item, 1));
+  EXPECT_EQ(exact[0].tier, SolveTier::kExact);
+  EXPECT_EQ(exact[0].certified_gap, 0.0);
+}
+
+}  // namespace
+}  // namespace netmon::core

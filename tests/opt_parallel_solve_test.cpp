@@ -1,0 +1,148 @@
+// Intra-solve parallelism (SolverOptions::pool): the sharded evaluation
+// path must be BIT-IDENTICAL to the serial solver — not merely stable
+// across thread counts — because order-sensitive reductions stay serial
+// and only elementwise/disjoint-write work is sharded.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "core/solver.hpp"
+#include "linalg/parallel_kernels.hpp"
+#include "linalg/sparse.hpp"
+#include "opt/gradient_projection.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace netmon::opt {
+namespace {
+
+linalg::SparseCsr random_matrix(std::size_t rows, std::size_t cols,
+                                std::size_t nnz_per_row, std::uint64_t seed) {
+  netmon::Rng rng(seed);
+  linalg::CsrBuilder builder(cols);
+  builder.reserve(rows, rows * nnz_per_row);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::size_t col = rng.below(cols / nnz_per_row);
+    for (std::size_t i = 0; i < nnz_per_row && col < cols; ++i) {
+      builder.push(col, rng.uniform(0.1, 2.0));
+      col += 1 + rng.below(cols / nnz_per_row);
+    }
+    builder.finish_row();
+  }
+  return builder.build();
+}
+
+TEST(ParallelKernels, SpmvMatchesSerialBitwise) {
+  const linalg::SparseCsr a = random_matrix(997, 512, 7, 3);
+  netmon::Rng rng(17);
+  std::vector<double> x(a.cols());
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+
+  std::vector<double> serial(a.rows()), parallel(a.rows());
+  linalg::spmv(a, x, serial);
+  for (unsigned threads : {1u, 2u, 4u}) {
+    runtime::ThreadPool pool(threads);
+    linalg::spmv_parallel(a, x, parallel, pool);
+    for (std::size_t r = 0; r < serial.size(); ++r)
+      EXPECT_EQ(serial[r], parallel[r]) << "row " << r << " @" << threads;
+  }
+}
+
+TEST(ParallelKernels, TransposedSpmvEqualsSerialScatterBitwise) {
+  // The parallel gradient runs as spmv over the stored transpose; the
+  // serial reference is the scatter spmv_t over the original. They must
+  // agree bit-for-bit: transpose()'s counting sort orders each transposed
+  // row by ascending original row, which is exactly the scatter's
+  // accumulation order.
+  const linalg::SparseCsr a = random_matrix(997, 512, 7, 5);
+  const linalg::SparseCsr at = a.transpose();
+  netmon::Rng rng(19);
+  std::vector<double> x(a.rows());
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+
+  std::vector<double> scatter(a.cols()), gathered(a.cols());
+  linalg::spmv_t(a, x, scatter);
+  for (unsigned threads : {1u, 2u, 4u}) {
+    runtime::ThreadPool pool(threads);
+    linalg::spmv_t_parallel(at, x, gathered, pool);
+    for (std::size_t c = 0; c < scatter.size(); ++c)
+      EXPECT_EQ(scatter[c], gathered[c]) << "col " << c << " @" << threads;
+  }
+}
+
+TEST(ParallelSolve, BitIdenticalToSerialAtEveryThreadCount) {
+  // GEANT Table-I problem with parallel_min_terms = 0 to force the
+  // sharded path even at paper scale. The full SolveResult — iterate
+  // count, value, every rate — must EXPECT_EQ the serial solve.
+  const core::GeantScenario scenario = core::make_geant_scenario();
+  const core::PlacementProblem problem = core::make_problem(scenario);
+
+  const SolveResult serial =
+      maximize(problem.objective(), problem.constraints());
+  ASSERT_EQ(serial.status, SolveStatus::kOptimal);
+
+  for (unsigned threads : {1u, 2u, 4u}) {
+    runtime::ThreadPool pool(threads);
+    SolverOptions options;
+    options.pool = &pool;
+    options.parallel_min_terms = 0;
+    const SolveResult parallel =
+        maximize(problem.objective(), problem.constraints(), options);
+
+    EXPECT_EQ(parallel.status, serial.status) << "@" << threads;
+    EXPECT_EQ(parallel.iterations, serial.iterations) << "@" << threads;
+    EXPECT_EQ(parallel.release_events, serial.release_events)
+        << "@" << threads;
+    EXPECT_EQ(parallel.value, serial.value) << "@" << threads;
+    EXPECT_EQ(parallel.lambda, serial.lambda) << "@" << threads;
+    ASSERT_EQ(parallel.p.size(), serial.p.size());
+    for (std::size_t j = 0; j < serial.p.size(); ++j)
+      EXPECT_EQ(parallel.p[j], serial.p[j])
+          << "rate @" << j << " threads=" << threads;
+  }
+}
+
+TEST(ParallelSolve, ThresholdKeepsSmallInstancesOnTheSerialPath) {
+  // Default parallel_min_terms is far above GEANT's term count, so
+  // setting a pool alone must not change a thing (it is never touched).
+  const core::GeantScenario scenario = core::make_geant_scenario();
+  const core::PlacementProblem problem = core::make_problem(scenario);
+  const SolveResult serial =
+      maximize(problem.objective(), problem.constraints());
+
+  runtime::ThreadPool pool(2);
+  SolverOptions options;
+  options.pool = &pool;
+  const SolveResult gated =
+      maximize(problem.objective(), problem.constraints(), options);
+  EXPECT_EQ(gated.iterations, serial.iterations);
+  EXPECT_EQ(gated.value, serial.value);
+  for (std::size_t j = 0; j < serial.p.size(); ++j)
+    EXPECT_EQ(gated.p[j], serial.p[j]);
+}
+
+TEST(ParallelSolve, SafeFromTasksOnTheSamePool) {
+  // A solve launched FROM a pool task that parallelizes on the same pool
+  // must complete (helping waits) and still match the serial result.
+  const core::GeantScenario scenario = core::make_geant_scenario();
+  const core::PlacementProblem problem = core::make_problem(scenario);
+  const SolveResult serial =
+      maximize(problem.objective(), problem.constraints());
+
+  runtime::ThreadPool pool(1);  // worst case: no spare worker
+  SolveResult nested;
+  runtime::TaskGroup group(pool);
+  group.run([&] {
+    SolverOptions options;
+    options.pool = &pool;
+    options.parallel_min_terms = 0;
+    nested = maximize(problem.objective(), problem.constraints(), options);
+  });
+  group.wait();
+  EXPECT_EQ(nested.iterations, serial.iterations);
+  EXPECT_EQ(nested.value, serial.value);
+}
+
+}  // namespace
+}  // namespace netmon::opt

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <numeric>
 #include <vector>
 
@@ -135,6 +136,70 @@ TEST(ParallelReduce, RunningStatsMerge) {
   EXPECT_DOUBLE_EQ(stats.mean(), static_cast<double>(n - 1) / 2.0);
   EXPECT_EQ(stats.min(), 0.0);
   EXPECT_EQ(stats.max(), static_cast<double>(n - 1));
+}
+
+TEST(MakeChunksForWidth, RaisesGrainForLargeRanges) {
+  // A million-element range on an 8-wide pool must not shatter into
+  // thousands of tiny tasks: the effective grain rises so at most
+  // kChunksPerWorker chunks exist per worker.
+  const auto chunks = make_chunks_for_width(1'000'000, {.grain = 1}, 8);
+  EXPECT_LE(chunks.size(), kChunksPerWorker * 8);
+  EXPECT_GE(chunks.size(), 8u);  // still enough chunks to occupy the pool
+  std::size_t covered = 0;
+  std::size_t expect_begin = 0;
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_EQ(begin, expect_begin);
+    covered += end - begin;
+    expect_begin = end;
+  }
+  EXPECT_EQ(covered, 1'000'000u);
+}
+
+TEST(MakeChunksForWidth, NeverLowersAnExplicitGrain) {
+  // Small ranges / wide pools: the caller's grain floor still applies.
+  const auto chunks = make_chunks_for_width(100, {.grain = 30}, 64);
+  EXPECT_LE(chunks.size(), 4u);  // ceil(100/30) chunks, as with make_chunks
+  const auto plain = make_chunks(100, {.grain = 30});
+  ASSERT_EQ(chunks.size(), plain.size());
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].first, plain[i].first);
+    EXPECT_EQ(chunks[i].second, plain[i].second);
+  }
+}
+
+TEST(MakeChunksForWidth, PureFunctionOfArguments) {
+  const auto a = make_chunks_for_width(12345, {.grain = 7}, 3);
+  const auto b = make_chunks_for_width(12345, {.grain = 7}, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first);
+    EXPECT_EQ(a[i].second, b[i].second);
+  }
+}
+
+TEST(ParallelFor, NestedFanOutCompletesOnAOneThreadPool) {
+  // Deadlock regression: a parallel_for task that runs parallel_for on
+  // the SAME pool. The helping TaskGroup wait executes queued tasks on
+  // the waiting thread, so even a 1-thread pool makes progress.
+  ThreadPool pool(1);
+  std::vector<int> out(64, 0);
+  parallel_for(pool, 4, [&](std::size_t outer) {
+    parallel_for(pool, 16, [&](std::size_t inner) {
+      out[outer * 16 + inner] = static_cast<int>(outer * 16 + inner);
+    });
+  });
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(ParallelFor, NestedFanOutCompletesOnAWidePool) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  parallel_for(pool, 8, [&](std::size_t) {
+    parallel_for(pool, 8, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(count.load(), 64);
 }
 
 TEST(ParallelReduce, EmptyRangeReturnsIdentity) {

@@ -101,7 +101,10 @@ TEST(ThreadPool, OversubscriptionManyMoreTasksThanThreads) {
   EXPECT_EQ(sum.load(), 5000LL * 5001 / 2);
 }
 
-TEST(ThreadPool, TasksRunOnWorkerThreads) {
+TEST(ThreadPool, TasksRunOnWorkersOrTheHelpingWaiter) {
+  // wait() is a helping wait: a task runs either on one of the 3 workers
+  // or on the waiting thread itself (claimed before a worker got to it)
+  // — never anywhere else.
   ThreadPool pool(3);
   std::mutex mutex;
   std::set<std::thread::id> ids;
@@ -113,9 +116,45 @@ TEST(ThreadPool, TasksRunOnWorkerThreads) {
     });
   }
   group.wait();
-  EXPECT_FALSE(ids.contains(std::this_thread::get_id()));
   EXPECT_GE(ids.size(), 1u);
-  EXPECT_LE(ids.size(), 3u);
+  EXPECT_LE(ids.size(), 4u);  // 3 workers + the helping waiter
+}
+
+TEST(ThreadPool, HelpingWaitIsSafeUnderACallerHeldLock) {
+  // Regression: the helping wait must only run THIS group's tasks. If it
+  // popped arbitrary queued work, an unrelated task locking `mutex` could
+  // run on the waiter while the waiter holds it — same-thread relock.
+  ThreadPool pool(1);
+  std::mutex mutex;
+  int shared = 0;
+  // Keep the lone worker busy so unrelated work stays queued while the
+  // group below waits.
+  TaskGroup blocker(pool);
+  std::atomic<bool> release{false};
+  blocker.run([&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  // Unrelated work that locks `mutex` — queued behind the blocker.
+  TaskGroup unrelated(pool);
+  for (int i = 0; i < 8; ++i) {
+    unrelated.run([&] {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++shared;
+    });
+  }
+  {
+    // Wait on our own group WHILE holding the mutex the unrelated tasks
+    // need. The helper must drain only its own slots.
+    std::lock_guard<std::mutex> lock(mutex);
+    TaskGroup mine(pool);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i) mine.run([&] { ran.fetch_add(1); });
+    mine.wait();
+    EXPECT_EQ(ran.load(), 8);
+  }
+  release.store(true);
+  unrelated.wait();
+  EXPECT_EQ(shared, 8);
 }
 
 TEST(TaskGroup, PropagatesFirstException) {

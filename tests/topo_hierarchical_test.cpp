@@ -1,0 +1,160 @@
+// The hierarchical topology generator (topo/hierarchical.hpp): closed-form
+// counts, determinism, structure, io round-trip, and the gravity fan-out
+// built on top of it (traffic/fanout.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "routing/spf.hpp"
+#include "topo/hierarchical.hpp"
+#include "topo/io.hpp"
+#include "traffic/fanout.hpp"
+#include "traffic/link_load.hpp"
+#include "util/error.hpp"
+
+namespace netmon::topo {
+namespace {
+
+TEST(Hierarchical, CountsMatchClosedForms) {
+  const HierarchyOptions o;  // 4 cores x 4 aggs x 30 edges
+  const HierarchicalNetwork net = make_hierarchical(o);
+  EXPECT_EQ(net.graph.node_count(), hierarchy_node_count(o));
+  EXPECT_EQ(net.graph.link_count(), hierarchy_link_count(o));
+  EXPECT_EQ(net.cores.size(), 4u);
+  EXPECT_EQ(net.aggs.size(), 16u);
+  EXPECT_EQ(net.edges.size(), 480u);
+  EXPECT_EQ(net.tier_of_node.size(), net.graph.node_count());
+  EXPECT_EQ(net.region_of_node.size(), net.graph.node_count());
+}
+
+TEST(Hierarchical, ScalePresetClears100kLinks) {
+  const HierarchyOptions o = hierarchy_scale_options();
+  EXPECT_GE(hierarchy_link_count(o), 100000u);
+  EXPECT_GE(hierarchy_node_count(o), 20000u);
+}
+
+TEST(Hierarchical, DeterministicAcrossCalls) {
+  const HierarchicalNetwork a = make_hierarchical({});
+  const HierarchicalNetwork b = make_hierarchical({});
+  ASSERT_EQ(a.graph.node_count(), b.graph.node_count());
+  for (NodeId v = 0; v < a.graph.node_count(); ++v) {
+    EXPECT_EQ(a.graph.node(v).name, b.graph.node(v).name);
+    EXPECT_EQ(a.graph.node(v).mass, b.graph.node(v).mass);
+  }
+  ASSERT_EQ(a.graph.link_count(), b.graph.link_count());
+  for (LinkId l = 0; l < a.graph.link_count(); ++l) {
+    EXPECT_EQ(a.graph.link(l).src, b.graph.link(l).src);
+    EXPECT_EQ(a.graph.link(l).dst, b.graph.link(l).dst);
+  }
+}
+
+TEST(Hierarchical, EveryEdgeReachesEveryOtherEdge) {
+  const HierarchicalNetwork net = make_hierarchical(
+      {.cores = 3, .aggs_per_core = 2, .edges_per_agg = 4});
+  const routing::SpfResult spf =
+      routing::dijkstra(net.graph, net.edges.front());
+  for (NodeId e : net.edges) EXPECT_TRUE(spf.reachable(e));
+}
+
+TEST(Hierarchical, TiersAndRegionsAreConsistent) {
+  const HierarchicalNetwork net = make_hierarchical({});
+  for (NodeId v : net.cores) {
+    EXPECT_EQ(net.tier_of_node[v], Tier::kCore);
+    EXPECT_EQ(net.region_of_node[v], v);  // cores are added first, in order
+  }
+  for (NodeId v : net.aggs) EXPECT_EQ(net.tier_of_node[v], Tier::kAgg);
+  for (NodeId v : net.edges) EXPECT_EQ(net.tier_of_node[v], Tier::kEdge);
+  // Edge nodes attach (first home) to an agg of their own region.
+  for (NodeId v : net.edges) {
+    const LinkId first = net.graph.out_links(v).front();
+    EXPECT_EQ(net.region_of_node[net.graph.link(first).dst],
+              net.region_of_node[v]);
+  }
+}
+
+TEST(Hierarchical, IoRoundTripPreservesTheGraph) {
+  const HierarchicalNetwork net = make_hierarchical(
+      {.cores = 2, .aggs_per_core = 2, .edges_per_agg = 3});
+  const Graph parsed = graph_from_string(to_string(net.graph));
+  ASSERT_EQ(parsed.node_count(), net.graph.node_count());
+  ASSERT_EQ(parsed.link_count(), net.graph.link_count());
+  for (NodeId v = 0; v < parsed.node_count(); ++v) {
+    EXPECT_EQ(parsed.node(v).name, net.graph.node(v).name);
+    // The text format prints at stream precision (6 significant digits).
+    EXPECT_NEAR(parsed.node(v).mass, net.graph.node(v).mass,
+                1e-5 * net.graph.node(v).mass);
+  }
+  for (LinkId l = 0; l < parsed.link_count(); ++l) {
+    EXPECT_EQ(parsed.link(l).src, net.graph.link(l).src);
+    EXPECT_EQ(parsed.link(l).dst, net.graph.link(l).dst);
+    EXPECT_EQ(parsed.link(l).capacity_bps, net.graph.link(l).capacity_bps);
+    EXPECT_EQ(parsed.link(l).igp_weight, net.graph.link(l).igp_weight);
+  }
+}
+
+TEST(Hierarchical, RejectsDegenerateShapes) {
+  EXPECT_THROW(make_hierarchical({.cores = 1}), netmon::Error);
+  EXPECT_THROW(make_hierarchical({.aggs_per_core = 0}), netmon::Error);
+}
+
+TEST(Fanout, DeterministicBoundedAndNormalized) {
+  const HierarchicalNetwork net = make_hierarchical({});
+  traffic::FanoutOptions fo;
+  fo.od_count = 2000;
+  fo.max_sources = 16;
+  const traffic::TrafficMatrix a = traffic::gravity_fanout(net, fo);
+  const traffic::TrafficMatrix b = traffic::gravity_fanout(net, fo);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].od, b[i].od);
+    EXPECT_EQ(a[i].pkt_per_sec, b[i].pkt_per_sec);
+  }
+
+  std::set<NodeId> sources;
+  double total = 0.0;
+  for (const traffic::Demand& d : a) {
+    EXPECT_NE(d.od.src, d.od.dst);
+    EXPECT_GE(d.pkt_per_sec, fo.min_pkt_per_sec);
+    sources.insert(d.od.src);
+    total += d.pkt_per_sec;
+  }
+  EXPECT_LE(sources.size(), fo.max_sources);
+  // The min-rate floor only adds; without it rates sum to the target.
+  EXPECT_GE(total, fo.total_pkt_per_sec * (1.0 - 1e-9));
+  // Sorted by (src, dst) with no duplicates.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    const bool ordered =
+        a[i - 1].od.src < a[i].od.src ||
+        (a[i - 1].od.src == a[i].od.src && a[i - 1].od.dst < a[i].od.dst);
+    EXPECT_TRUE(ordered) << "demand " << i << " out of order";
+  }
+}
+
+TEST(Fanout, BackgroundLoadsFollowCapacity) {
+  const HierarchicalNetwork net = make_hierarchical(
+      {.cores = 2, .aggs_per_core = 1, .edges_per_agg = 2});
+  const traffic::LinkLoads loads =
+      traffic::background_loads(net.graph, 0.1, 500.0);
+  ASSERT_EQ(loads.size(), net.graph.link_count());
+  for (const Link& l : net.graph.links()) {
+    EXPECT_DOUBLE_EQ(loads[l.id], l.capacity_bps * 0.1 / (8.0 * 500.0));
+    EXPECT_GT(loads[l.id], 0.0);
+  }
+}
+
+TEST(Fanout, RoutableOverTheHierarchy) {
+  const HierarchicalNetwork net = make_hierarchical({});
+  traffic::FanoutOptions fo;
+  fo.od_count = 500;
+  fo.max_sources = 8;
+  const traffic::TrafficMatrix tm = traffic::gravity_fanout(net, fo);
+  // Every OD routes (throws on unreachable), and task load lands on links.
+  const traffic::LinkLoads loads = traffic::link_loads(net.graph, tm);
+  double carried = 0.0;
+  for (double l : loads) carried += l;
+  EXPECT_GT(carried, 0.0);
+}
+
+}  // namespace
+}  // namespace netmon::topo

@@ -1,0 +1,139 @@
+// Pre-sized construction paths (the scale satellite): topo::Graph
+// building under reserve(), CsrBuilder under reserve(), and the arena
+// routing-matrix build whose allocation count is flat in the OD count.
+// Same counting-allocator idiom as opt_zero_alloc_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "linalg/sparse.hpp"
+#include "routing/routing_matrix.hpp"
+#include "topo/graph.hpp"
+#include "topo/hierarchical.hpp"
+
+namespace {
+std::size_t g_alloc_count = 0;
+
+void* counted_alloc(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_alloc_count;
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_alloc_count;
+  return std::malloc(size ? size : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace netmon {
+namespace {
+
+template <typename Fn>
+std::size_t allocations_in(Fn&& fn) {
+  const std::size_t before = g_alloc_count;
+  fn();
+  return g_alloc_count - before;
+}
+
+TEST(Presize, GraphLinkAddsAllocateNothingAfterReserve) {
+  // A ring: every node has out-degree 1 and in-degree 1.
+  constexpr std::size_t kNodes = 64;
+  topo::Graph graph;
+  graph.reserve(kNodes, kNodes, 1);
+  std::vector<topo::NodeId> ids;
+  ids.reserve(kNodes);
+  // Node names allocate (heap strings into the name map), links must not.
+  for (std::size_t v = 0; v < kNodes; ++v)
+    ids.push_back(graph.add_node("n" + std::to_string(v)));
+  const std::size_t allocs = allocations_in([&] {
+    for (std::size_t v = 0; v < kNodes; ++v)
+      graph.add_link(ids[v], ids[(v + 1) % kNodes], 1e9, 1.0);
+  });
+  EXPECT_EQ(allocs, 0u) << "add_link reallocated despite reserve()";
+}
+
+TEST(Presize, CsrBuilderPushesAllocateNothingAfterReserve) {
+  constexpr std::size_t kRows = 128;
+  constexpr std::size_t kNnzPerRow = 8;
+  linalg::CsrBuilder builder(1024);
+  builder.reserve(kRows, kRows * kNnzPerRow);
+  const std::size_t allocs = allocations_in([&] {
+    for (std::size_t r = 0; r < kRows; ++r) {
+      for (std::size_t i = 0; i < kNnzPerRow; ++i)
+        builder.push(r + i, 1.0);
+      builder.finish_row();
+    }
+  });
+  EXPECT_EQ(allocs, 0u) << "CsrBuilder reallocated despite reserve()";
+}
+
+TEST(Presize, HierarchicalGeneratorStaysWithinLinearAllocationBudget) {
+  // The generator pre-reserves everything from the closed-form counts;
+  // what remains is node-name map inserts (one per node) plus a constant
+  // number of adjacency-list growths past the degree hint. Assert the
+  // total stays within a small multiple of the node count — quadratic or
+  // per-link reallocation would blow far past this.
+  const topo::HierarchyOptions o{.cores = 4, .aggs_per_core = 4,
+                                 .edges_per_agg = 30};
+  const std::size_t nodes = topo::hierarchy_node_count(o);
+  const std::size_t allocs =
+      allocations_in([&] { (void)topo::make_hierarchical(o); });
+  EXPECT_LE(allocs, 6 * nodes + 256)
+      << "generator allocation count is not linear-with-small-constant";
+}
+
+TEST(Presize, RoutingMatrixAllocationCountIsFlatInTheOdCount) {
+  // The arena build allocates per distinct SOURCE (one Dijkstra reuse
+  // buffer) and O(log) arena growths — NOT per OD. Compare the same
+  // 4-source instance at 40 vs 400 ODs: the small instance's count must
+  // not scale with the ~10x OD growth (allow the arena's extra
+  // power-of-two doublings).
+  const topo::HierarchicalNetwork net = topo::make_hierarchical(
+      {.cores = 2, .aggs_per_core = 2, .edges_per_agg = 8});
+  auto make_ods = [&](std::size_t count) {
+    std::vector<routing::OdPair> ods;
+    ods.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+      ods.push_back({net.edges[i % 4],
+                     net.edges[4 + (i % (net.edges.size() - 4))]});
+    return ods;
+  };
+
+  auto ods_small = make_ods(40);
+  auto ods_large = make_ods(400);
+  // Warm once so lazy one-time setup does not skew the comparison.
+  (void)routing::RoutingMatrix::single_path(net.graph, make_ods(40));
+  const std::size_t small = allocations_in([&] {
+    (void)routing::RoutingMatrix::single_path(net.graph,
+                                              std::move(ods_small));
+  });
+  const std::size_t large = allocations_in([&] {
+    (void)routing::RoutingMatrix::single_path(net.graph,
+                                              std::move(ods_large));
+  });
+  // Pair-list construction allocated one row vector per OD, so 400 ODs
+  // cost >= 360 more allocations than 40. The arena build's delta is a
+  // handful of geometric growths.
+  EXPECT_LE(large, small + 40)
+      << "single_path allocation count scales with the OD count";
+}
+
+}  // namespace
+}  // namespace netmon
