@@ -192,5 +192,71 @@ if [ -s "${DIR}/control_flight.jsonl" ] || [ -s "${DIR}/control_metrics.prom" ];
   fi
 fi
 
+# -- ingest artifacts (present when ingest_replay ran). --
+if [ -s "${DIR}/ingest_metrics.prom" ] || [ -s "${DIR}/ingest_metrics.jsonl" ]; then
+  for f in ingest_metrics.prom ingest_metrics.jsonl; do
+    [ -s "${DIR}/${f}" ] && ok "${f} exists and is non-empty" \
+                         || bad "${f} missing or empty"
+  done
+
+  for family in netmon_ingest_packets_total netmon_ingest_sampled_total \
+                netmon_ingest_dropped_total netmon_ingest_batches_total \
+                netmon_ingest_exported_records_total; do
+    grep -q "^${family} " "${DIR}/ingest_metrics.prom" \
+      && ok "ingest_metrics.prom exports ${family}" \
+      || bad "ingest_metrics.prom missing ${family}"
+  done
+  for hist in netmon_ingest_ring_occupancy netmon_ingest_consume_batch_ns; do
+    grep -q "^# TYPE ${hist} histogram$" "${DIR}/ingest_metrics.prom" \
+      && ok "ingest_metrics.prom declares histogram ${hist}" \
+      || bad "ingest_metrics.prom missing histogram ${hist}"
+  done
+  # A replay that ingested packets must have sampled some of them, and
+  # the sampled count can never exceed the offered count.
+  if awk '
+      /^netmon_ingest_packets_total / { offered = $2 + 0 }
+      /^netmon_ingest_sampled_total / { sampled = $2 + 0 }
+      END { exit (offered > 0 && sampled > 0 && sampled <= offered) ? 0 : 1 }
+    ' "${DIR}/ingest_metrics.prom"; then
+    ok "ingest_metrics.prom 0 < sampled <= offered"
+  else
+    bad "ingest_metrics.prom sample accounting implausible"
+  fi
+  if awk '
+      /_bucket\{le="/ {
+        name = $1; sub(/_bucket\{.*/, "", name)
+        if (name != cur) { cur = name; prev = -1 }
+        if ($2 + 0 < prev) { printf "%s buckets not cumulative\n", cur; bad = 1 }
+        prev = $2 + 0
+        if (index($1, "le=\"+Inf\"")) inf[cur] = $2 + 0
+      }
+      /_count / { name = $1; sub(/_count$/, "", name); cnt[name] = $2 + 0 }
+      END {
+        for (h in inf) if (!(h in cnt) || inf[h] != cnt[h]) {
+          printf "%s +Inf bucket %d != count %d\n", h, inf[h], cnt[h]; bad = 1 }
+        exit bad ? 1 : 0
+      }
+    ' "${DIR}/ingest_metrics.prom"; then
+    ok "ingest_metrics.prom buckets cumulative, +Inf == _count"
+  else
+    bad "ingest_metrics.prom bucket invariants violated"
+  fi
+  # The JSONL export mirrors the same registry: every Prometheus family
+  # name must appear as a "name" field in the JSONL stream.
+  if awk '
+      NR == FNR {
+        if ($0 ~ /^# TYPE netmon_ingest_/) names[$3] = 1
+        next
+      }
+      { for (n in names) if (index($0, "\"" n "\"")) delete names[n] }
+      END { for (n in names) { printf "missing %s\n", n; bad = 1 }
+            exit bad ? 1 : 0 }
+    ' "${DIR}/ingest_metrics.prom" "${DIR}/ingest_metrics.jsonl"; then
+    ok "ingest_metrics.jsonl mirrors every Prometheus family"
+  else
+    bad "ingest_metrics.jsonl missing families"
+  fi
+fi
+
 [ "${fail}" -eq 0 ] && echo "check_obs: PASS" || echo "check_obs: FAIL"
 exit "${fail}"

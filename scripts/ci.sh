@@ -27,12 +27,12 @@ core_batch_solver_test sampling_simulation_test serve_service_test \
 serve_stress_test obs_ring_test obs_metrics_test serve_obs_test \
 control_tracker_test control_policy_test control_actuator_test \
 control_loop_test opt_parallel_solve_test core_approx_test \
-core_scale_smoke_test"
+core_scale_smoke_test ingest_spsc_ring_test ingest_pipeline_test"
 cmake -B "${PREFIX}-tsan" -S . -DNETMON_SANITIZE=thread
 # shellcheck disable=SC2086
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target ${TSAN_TESTS}
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-  -R 'runtime_thread_pool_test|runtime_parallel_test|core_batch_solver_test|sampling_simulation_test|serve_service_test|serve_stress_test|obs_ring_test|obs_metrics_test|serve_obs_test|control_tracker_test|control_policy_test|control_actuator_test|control_loop_test|opt_parallel_solve_test|core_approx_test|core_scale_smoke_test'
+  -R 'runtime_thread_pool_test|runtime_parallel_test|core_batch_solver_test|sampling_simulation_test|serve_service_test|serve_stress_test|obs_ring_test|obs_metrics_test|serve_obs_test|control_tracker_test|control_policy_test|control_actuator_test|control_loop_test|opt_parallel_solve_test|core_approx_test|core_scale_smoke_test|ingest_spsc_ring_test|ingest_pipeline_test'
 
 echo "== tier-2: ASan gate on the linalg kernels + solver hot path =="
 ASAN_TESTS="linalg_sparse_test opt_objective_test opt_gradient_projection_test \
@@ -54,16 +54,18 @@ ctest --test-dir "${PREFIX}-ubsan" --output-on-failure -j "${JOBS}" \
 
 echo "== obs gate: traced run artifacts (trace/metrics/flight/control) =="
 cmake --build "${PREFIX}" -j "${JOBS}" --target operations_center \
-  continuous_operation
+  continuous_operation ingest_replay
 OBS_DIR="$(mktemp -d)"
 trap 'rm -rf "${OBS_DIR}"' EXIT
 NETMON_OBS_DIR="${OBS_DIR}" "${PREFIX}/examples/operations_center" >/dev/null
 NETMON_OBS_DIR="${OBS_DIR}" "${PREFIX}/examples/continuous_operation" \
   >/dev/null
+NETMON_OBS_DIR="${OBS_DIR}" "${PREFIX}/examples/ingest_replay" >/dev/null
 scripts/check_obs.sh "${OBS_DIR}"
 
-echo "== perf gate: solver_perf kernels + scaling_perf vs baselines =="
-cmake --build "${PREFIX}" -j "${JOBS}" --target solver_perf scaling_perf
+echo "== perf gate: solver_perf + scaling_perf + ingest_perf vs baselines =="
+cmake --build "${PREFIX}" -j "${JOBS}" --target solver_perf scaling_perf \
+  ingest_perf
 scripts/perf_gate.sh "${PREFIX}"
 
 echo "CI OK"

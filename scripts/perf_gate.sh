@@ -10,24 +10,32 @@
 # with >= 8 hardware threads, and the scale timings get a wider (50%)
 # regression band — second-scale wall times on a shared machine are
 # noisier than the ns-scale kernel minima.
+# A third section reruns ingest_perf against BENCH_ingest.json: the
+# lossless (kBlock) pipeline must drop exactly nothing and the kDrop
+# accounting must close on every run; the >= 1M pkts/sec throughput
+# floor applies on machines with >= 4 hardware threads; and both
+# throughput rows get the same 50% band as the scale timings.
 #
 # Usage: scripts/perf_gate.sh [build-dir]
-#        (expects solver_perf + scaling_perf built)
+#        (expects solver_perf + scaling_perf + ingest_perf built)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 BASELINE="BENCH_solver.json"
 SCALING_BASELINE="BENCH_scaling.json"
+INGEST_BASELINE="BENCH_ingest.json"
 BIN="${BUILD}/bench/solver_perf"
 SCALING_BIN="${BUILD}/bench/scaling_perf"
+INGEST_BIN="${BUILD}/bench/ingest_perf"
 
 [ -f "${BASELINE}" ] || { echo "perf_gate: missing ${BASELINE}"; exit 1; }
 [ -x "${BIN}" ] || { echo "perf_gate: ${BIN} not built"; exit 1; }
 
 TMP="$(mktemp)"
 SCALING_TMP="$(mktemp)"
-trap 'rm -f "${TMP}" "${SCALING_TMP}"' EXIT
+INGEST_TMP="$(mktemp)"
+trap 'rm -f "${TMP}" "${SCALING_TMP}" "${INGEST_TMP}"' EXIT
 NETMON_PERF_KERNELS_ONLY=1 NETMON_BENCH_JSON="${TMP}" "${BIN}" >/dev/null
 
 # The bench JSON is one flat object per line with "key":number metrics,
@@ -178,6 +186,77 @@ check_scaling gen_ms
 check_scaling build_ms
 check_scaling approx_ms
 check_scaling solve1_ms
+
+# ---- ingest section: packet pipeline throughput -----------------------
+
+[ -f "${INGEST_BASELINE}" ] || {
+  echo "perf_gate: missing ${INGEST_BASELINE}"; exit 1; }
+[ -x "${INGEST_BIN}" ] || {
+  echo "perf_gate: ${INGEST_BIN} not built"; exit 1; }
+NETMON_BENCH_JSON="${INGEST_TMP}" "${INGEST_BIN}" >/dev/null || {
+  echo "perf_gate: FAIL ingest_perf exited nonzero (drop accounting)"
+  fail=1
+}
+
+# The lossless (kBlock) pipeline must deliver every offered packet — a
+# correctness bit measured per run, never trusted from the baseline.
+drop_rate="$(extract "${INGEST_TMP}" ingest_drop_rate)"
+if awk -v d="${drop_rate:-1}" 'BEGIN { exit (d == 0) ? 0 : 1 }'; then
+  echo "perf_gate: ok   ingest_drop_rate       0 (lossless)"
+else
+  echo "perf_gate: FAIL ingest_drop_rate       ${drop_rate} (kBlock must be 0)"
+  fail=1
+fi
+
+# Under kDrop with a tiny ring, offered == consumed + dropped must hold.
+closed="$(extract "${INGEST_TMP}" drop_accounting_closed)"
+if [ "${closed}" != "1" ]; then
+  echo "perf_gate: FAIL drop_accounting_closed: packets went missing"
+  fail=1
+else
+  echo "perf_gate: ok   drop_accounting_closed"
+fi
+
+# Throughput floor: >= 1M pkts/sec through the full pipeline — only
+# demanded when the machine has >= 4 hardware threads to run the
+# 2 producers + consumers + driver on.
+ingest_hw="$(extract "${INGEST_TMP}" hw_threads)"
+pkts_per_sec="$(extract "${INGEST_TMP}" ingest_pkts_per_sec)"
+if awk -v h="${ingest_hw:-0}" 'BEGIN { exit (h >= 4) ? 0 : 1 }'; then
+  if awk -v p="${pkts_per_sec:-0}" 'BEGIN { exit (p >= 1e6) ? 0 : 1 }'; then
+    echo "perf_gate: ok   ingest_pkts_per_sec    ${pkts_per_sec} (floor 1e6)"
+  else
+    echo "perf_gate: FAIL ingest_pkts_per_sec    ${pkts_per_sec} (< 1e6 floor)"
+    fail=1
+  fi
+else
+  echo "perf_gate: skip ingest_pkts_per_sec floor (hw_threads=${ingest_hw} < 4)"
+fi
+
+# Regression band vs the committed baseline: higher is better, with the
+# wide 50% band — seconds-scale pipeline runs share the scaling section's
+# noise profile, not the kernel minima's.
+check_ingest() { # key — throughput metric, higher is better
+  local key="$1" old new
+  old="$(extract "${INGEST_BASELINE}" "${key}")"
+  new="$(extract "${INGEST_TMP}" "${key}")"
+  if [ -z "${old}" ] || [ -z "${new}" ]; then
+    echo "perf_gate: FAIL ${key}: missing (baseline='${old}' new='${new}')"
+    fail=1
+    return
+  fi
+  if awk -v o="${old}" -v n="${new}" -v t="${TOL}" \
+      'BEGIN { exit (n >= o / t) ? 0 : 1 }'; then
+    printf 'perf_gate: ok   %-22s baseline=%-12s new=%s\n' \
+      "${key}" "${old}" "${new}"
+  else
+    printf 'perf_gate: FAIL %-22s baseline=%-12s new=%s (>50%% regression)\n' \
+      "${key}" "${old}" "${new}"
+    fail=1
+  fi
+}
+check_ingest ingest_pkts_per_sec
+check_ingest ring_records_per_sec
 
 [ "${fail}" -eq 0 ] && echo "perf_gate: PASS" || echo "perf_gate: FAIL"
 exit "${fail}"

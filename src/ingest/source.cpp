@@ -1,0 +1,27 @@
+#include "ingest/source.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace netmon::ingest {
+
+std::size_t ring_capacity_from_env(std::size_t configured,
+                                   std::size_t fallback) noexcept {
+  constexpr std::size_t kMin = 2;
+  constexpr std::size_t kMax = std::size_t{1} << 24;
+  std::size_t value = configured;
+  if (value == 0) {
+    value = fallback;
+    if (const char* env = std::getenv("NETMON_INGEST_RING")) {
+      char* end = nullptr;
+      const long long parsed = std::strtoll(env, &end, 10);
+      if (end != env && *end == '\0' && parsed > 0)
+        value = static_cast<std::size_t>(parsed);
+    }
+  }
+  if (value < kMin) value = kMin;
+  if (value > kMax) value = kMax;
+  return value;
+}
+
+}  // namespace netmon::ingest

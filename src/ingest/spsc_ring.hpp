@@ -1,0 +1,140 @@
+// Single-producer / single-consumer lock-free ring — the queue between
+// one packet source (producer thread) and the consumer shard that owns
+// its link (ingest/pipeline.hpp).
+//
+// Design points, in hot-path order:
+//   - Capacity is a power of two; slot index is (position & mask), and
+//     positions are monotonically increasing 64-bit tickets so
+//     full/empty never needs a separate flag or a wasted slot.
+//   - The producer owns head_, the consumer owns tail_, and each side
+//     keeps a *cached* copy of the other's index (the classic bounded
+//     SPSC optimization): a batch push touches the consumer's cache line
+//     only when the cached view says the ring might be full, so in
+//     steady state the two sides ping-pong no cache lines at all. The
+//     hot indices are alignas(64)-padded against false sharing.
+//   - Batch push/pop move whole arrays per synchronization point; the
+//     per-record cost is one T copy (T must be trivially copyable).
+//   - Overflow is the *caller's* policy: try_push reports a partial
+//     push, push_or_drop counts the overflow into dropped() — the
+//     pipeline's counted drop-on-full policy — and a blocking producer
+//     simply retries try_push (backpressure).
+//
+// Memory ordering: the producer publishes slots with a release store of
+// head_, the consumer acquires it before reading those slots (and vice
+// versa for tail_ when slots are reused), so slot accesses themselves
+// are plain (non-atomic) and the scheme is exact under ThreadSanitizer —
+// the TSan interleave test in tests/ingest_spsc_ring_test.cpp gates it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#include "obs/ring.hpp"  // obs::ceil_pow2
+#include "util/error.hpp"
+
+namespace netmon::ingest {
+
+template <typename T>
+class SpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ring slots are copied as raw values");
+
+ public:
+  /// Pre-sizes the ring to ceil_pow2(max(capacity, 2)) slots. Nothing
+  /// allocates after construction.
+  explicit SpscRing(std::size_t capacity)
+      : capacity_(obs::ceil_pow2(capacity < 2 ? 2 : capacity)),
+        mask_(capacity_ - 1),
+        slots_(std::make_unique<T[]>(capacity_)) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  // --- producer side (one thread only) ---
+
+  /// Pushes up to `count` items; returns how many fit (0 when full).
+  std::size_t try_push(const T* items, std::size_t count) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    std::size_t free =
+        capacity_ - static_cast<std::size_t>(head - cached_tail_);
+    if (free < count) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      free = capacity_ - static_cast<std::size_t>(head - cached_tail_);
+      if (free < count) count = free;
+    }
+    for (std::size_t i = 0; i < count; ++i)
+      slots_[(head + i) & mask_] = items[i];
+    head_.store(head + count, std::memory_order_release);
+    return count;
+  }
+
+  /// Pushes what fits and counts the remainder as dropped — the counted
+  /// drop-on-full overflow policy. Returns how many were enqueued.
+  std::size_t push_or_drop(const T* items, std::size_t count) noexcept {
+    const std::size_t pushed = try_push(items, count);
+    if (pushed < count)
+      dropped_.fetch_add(count - pushed, std::memory_order_relaxed);
+    return pushed;
+  }
+
+  // --- consumer side (one thread only) ---
+
+  /// Pops up to `max` items into `out`; returns how many (0 when empty).
+  std::size_t pop(T* out, std::size_t max) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t avail = static_cast<std::size_t>(cached_head_ - tail);
+    if (avail < max) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      avail = static_cast<std::size_t>(cached_head_ - tail);
+    }
+    if (avail < max) max = avail;
+    for (std::size_t i = 0; i < max; ++i) out[i] = slots_[(tail + i) & mask_];
+    tail_.store(tail + max, std::memory_order_release);
+    return max;
+  }
+
+  // --- either side (approximate across threads, exact when quiescent) ---
+
+  /// Records currently enqueued.
+  std::size_t size() const noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(head - tail);
+  }
+
+  bool empty() const noexcept { return size() == 0; }
+
+  /// Records ever pushed / popped / dropped by push_or_drop.
+  std::uint64_t pushed() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+  std::uint64_t popped() const noexcept {
+    return tail_.load(std::memory_order_acquire);
+  }
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t mask_;
+  std::unique_ptr<T[]> slots_;
+
+  /// Producer-owned write position; consumer acquires it.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  /// Producer's cached view of tail_ (no sharing: producer-only).
+  alignas(64) std::uint64_t cached_tail_ = 0;
+  /// Consumer-owned read position; producer acquires it.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  /// Consumer's cached view of head_ (consumer-only).
+  alignas(64) std::uint64_t cached_head_ = 0;
+  /// Overflow count under push_or_drop (producer writes, anyone reads).
+  alignas(64) std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace netmon::ingest

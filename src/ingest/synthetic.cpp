@@ -1,0 +1,167 @@
+#include "ingest/synthetic.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace netmon::ingest {
+
+namespace {
+
+/// Deterministic per-(flow, link) coin for fractional (ECMP) routing
+/// entries: mixes the flow-key hash with the link id so the same flow
+/// resolves consistently on every run.
+bool flow_crosses(const traffic::FlowKey& key, topo::LinkId link,
+                  double fraction) noexcept {
+  if (fraction >= 1.0) return true;
+  std::uint64_t h = traffic::FlowKeyHash{}(key);
+  h ^= (static_cast<std::uint64_t>(link) + 1) * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 32;
+  const double u =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform in [0,1)
+  return u < fraction;
+}
+
+}  // namespace
+
+/// Replays one link's schedule: a min-heap over the active spans keyed
+/// by next emission time, activated lazily in start order. No allocation
+/// after construction (the heap vector is reserved to the span count).
+class SyntheticLinkSource final : public PacketSource {
+ public:
+  SyntheticLinkSource(topo::LinkId link,
+                      const std::vector<SyntheticTraffic::PacketSpan>* spans)
+      : link_(link), spans_(spans) {
+    heap_.reserve(spans_->size());
+  }
+
+  topo::LinkId link() const noexcept override { return link_; }
+
+  std::size_t next_batch(PacketRecord* out, std::size_t max) override {
+    const auto& spans = *spans_;
+    std::size_t n = 0;
+    while (n < max) {
+      // Activate every span due at or before the emission front; with an
+      // empty heap the front is the next span's own start.
+      while (next_span_ < spans.size() &&
+             (heap_.empty() ||
+              spans[next_span_].start_sec <= heap_.front().next_ts)) {
+        heap_.push_back(Active{spans[next_span_].start_sec,
+                               static_cast<std::uint32_t>(next_span_),
+                               spans[next_span_].packets});
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
+        ++next_span_;
+      }
+      if (heap_.empty()) break;
+
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      Active& active = heap_.back();
+      const SyntheticTraffic::PacketSpan& span = spans[active.span];
+      PacketRecord& record = out[n++];
+      record.key = span.key;
+      record.bytes = span.pkt_bytes;
+      record.flags =
+          (span.fin_last && active.remaining == 1) ? kPacketFin : 0;
+      record.ts_sec = active.next_ts;
+      if (--active.remaining == 0) {
+        heap_.pop_back();
+      } else {
+        active.next_ts += span.dt_sec;
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
+      }
+    }
+    return n;
+  }
+
+  bool exhausted() const noexcept override {
+    return heap_.empty() && next_span_ >= spans_->size();
+  }
+
+ private:
+  struct Active {
+    double next_ts = 0.0;
+    std::uint32_t span = 0;
+    std::uint32_t remaining = 0;
+  };
+  /// Min-heap order on (time, span index) — the index tie-break keeps
+  /// the emission order fully deterministic.
+  struct Later {
+    bool operator()(const Active& a, const Active& b) const noexcept {
+      if (a.next_ts != b.next_ts) return a.next_ts > b.next_ts;
+      return a.span > b.span;
+    }
+  };
+
+  topo::LinkId link_;
+  const std::vector<SyntheticTraffic::PacketSpan>* spans_;
+  std::vector<Active> heap_;
+  std::size_t next_span_ = 0;
+};
+
+SyntheticTraffic::SyntheticTraffic(const routing::RoutingMatrix& matrix,
+                                   const traffic::TrafficMatrix& tm,
+                                   SyntheticOptions options)
+    : options_(options), spans_(matrix.link_count()) {
+  NETMON_REQUIRE(tm.size() == matrix.od_count(),
+                 "traffic matrix rows must match routing-matrix ODs");
+  Rng rng(options_.seed);
+  flows_ = traffic::generate_all_flows(rng, tm, options_.flowgen);
+
+  for (std::size_t k = 0; k < flows_.size(); ++k) {
+    const auto row = matrix.row(k);
+    for (const traffic::Flow& flow : flows_[k]) {
+      PacketSpan span;
+      span.key = flow.key;
+      span.packets = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(flow.packets, 0xffffffffULL));
+      if (span.packets == 0) continue;
+      span.pkt_bytes = static_cast<std::uint32_t>(
+          std::max<std::uint64_t>(flow.bytes / flow.packets,
+                                  options_.min_packet_bytes));
+      span.start_sec = flow.start_sec;
+      span.dt_sec = flow.end_sec > flow.start_sec
+                        ? (flow.end_sec - flow.start_sec) / span.packets
+                        : 0.0;
+      span.fin_last = flow.key.proto == 6;  // TCP closes with FIN
+      for (const auto& [column, fraction] : row) {
+        const auto link = static_cast<topo::LinkId>(column);
+        if (!flow_crosses(flow.key, link, fraction)) continue;
+        spans_[link].push_back(span);
+      }
+    }
+  }
+  for (auto& link_spans : spans_) {
+    std::stable_sort(link_spans.begin(), link_spans.end(),
+                     [](const PacketSpan& a, const PacketSpan& b) {
+                       return a.start_sec < b.start_sec;
+                     });
+  }
+}
+
+std::unique_ptr<PacketSource> SyntheticTraffic::source(
+    topo::LinkId link) const {
+  NETMON_REQUIRE(link < spans_.size(), "link id out of range");
+  return std::make_unique<SyntheticLinkSource>(link, &spans_[link]);
+}
+
+std::vector<std::unique_ptr<PacketSource>> SyntheticTraffic::sources(
+    const sampling::RateVector& rates) const {
+  std::vector<std::unique_ptr<PacketSource>> out;
+  for (std::size_t link = 0; link < spans_.size(); ++link) {
+    if (link >= rates.size() || rates[link] <= 0.0) continue;
+    if (spans_[link].empty()) continue;
+    out.push_back(source(static_cast<topo::LinkId>(link)));
+  }
+  return out;
+}
+
+std::uint64_t SyntheticTraffic::packets_on(topo::LinkId link) const {
+  NETMON_REQUIRE(link < spans_.size(), "link id out of range");
+  std::uint64_t total = 0;
+  for (const PacketSpan& span : spans_[link]) total += span.packets;
+  return total;
+}
+
+}  // namespace netmon::ingest

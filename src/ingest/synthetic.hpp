@@ -1,0 +1,92 @@
+// Deterministic synthetic packet sources driven by the traffic models.
+//
+// SyntheticTraffic expands a traffic matrix (gravity / fan-out, any
+// TrafficMatrix) into per-OD flow populations via traffic::
+// generate_flows, routes each flow over the routing matrix, and builds
+// one per-link *packet schedule*: the time-ordered stream of packets
+// crossing that link during one measurement interval. A
+// SyntheticLinkSource then replays a link's schedule as PacketRecord
+// batches with an O(log active-flows) heap merge — allocation-free after
+// construction, which is what lets the ingest bench sustain millions of
+// packets per second per producer.
+//
+// Determinism: the flow populations are a pure function of (seed,
+// traffic matrix) — generate_all_flows derives one Rng stream per OD —
+// and each link's schedule replays in a fixed order, so the packet
+// stream a link's monitor sees is identical across runs, producer
+// partitions, and consumer thread counts. Fractional (ECMP) routing
+// entries are resolved per (flow, link) by hashing the flow key: a flow
+// either crosses a link or it does not, reproducibly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ingest/source.hpp"
+#include "routing/routing_matrix.hpp"
+#include "sampling/effective_rate.hpp"
+#include "traffic/flow_generator.hpp"
+
+namespace netmon::ingest {
+
+/// Synthetic generation knobs.
+struct SyntheticOptions {
+  /// Flow population shape (interval length, Pareto sizes).
+  traffic::FlowGenOptions flowgen;
+  /// Seed for the flow populations (per-OD streams derive from it).
+  std::uint64_t seed = 42;
+  /// Floor on the derived per-packet wire size.
+  std::uint32_t min_packet_bytes = 40;
+};
+
+/// One interval of network-wide synthetic traffic, pre-routed into
+/// per-link packet schedules. Keep it alive while sources built from it
+/// are running (they borrow the schedules).
+class SyntheticTraffic {
+ public:
+  SyntheticTraffic(const routing::RoutingMatrix& matrix,
+                   const traffic::TrafficMatrix& tm,
+                   SyntheticOptions options = {});
+
+  /// A replay source for one link (empty schedule = empty source).
+  std::unique_ptr<PacketSource> source(topo::LinkId link) const;
+
+  /// Sources for every link with rates[link] > 0 and a non-empty
+  /// schedule — the monitored-link set of the pipeline.
+  std::vector<std::unique_ptr<PacketSource>> sources(
+      const sampling::RateVector& rates) const;
+
+  /// The generated flow populations, one row per traffic-matrix entry
+  /// (ground truth for accuracy checks).
+  const std::vector<std::vector<traffic::Flow>>& flows() const noexcept {
+    return flows_;
+  }
+
+  /// Total packets scheduled on a link across the interval.
+  std::uint64_t packets_on(topo::LinkId link) const;
+
+  double interval_sec() const noexcept { return options_.flowgen.interval_sec; }
+  std::size_t link_count() const noexcept { return spans_.size(); }
+
+ private:
+  friend class SyntheticLinkSource;
+
+  /// One flow's appearance on one link: `packets` packets evenly spaced
+  /// over [start, start + packets * dt), FIN on the last TCP packet.
+  struct PacketSpan {
+    traffic::FlowKey key;
+    std::uint32_t pkt_bytes = 0;
+    std::uint32_t packets = 0;
+    double start_sec = 0.0;
+    double dt_sec = 0.0;
+    bool fin_last = false;
+  };
+
+  SyntheticOptions options_;
+  std::vector<std::vector<traffic::Flow>> flows_;
+  /// Per-link schedules sorted by start_sec, indexed by link id.
+  std::vector<std::vector<PacketSpan>> spans_;
+};
+
+}  // namespace netmon::ingest

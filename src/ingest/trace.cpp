@@ -1,0 +1,296 @@
+#include "ingest/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace netmon::ingest {
+
+namespace {
+
+constexpr std::size_t kGlobalHeaderBytes = 24;
+constexpr std::size_t kFrameHeaderBytes = 16;
+constexpr std::size_t kIpv4HeaderBytes = 20;
+constexpr std::size_t kTcpHeaderBytes = 20;
+constexpr std::size_t kUdpHeaderBytes = 8;
+
+void put_u16le(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u16be(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32be(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t read_u32le(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint32_t bswap32(std::uint32_t v) noexcept {
+  return (v >> 24) | ((v >> 8) & 0xff00u) | ((v << 8) & 0xff0000u) |
+         (v << 24);
+}
+
+std::uint16_t read_u16be(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t read_u32be(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+std::size_t l4_header_bytes(std::uint8_t proto) noexcept {
+  if (proto == 6) return kTcpHeaderBytes;
+  if (proto == 17) return kUdpHeaderBytes;
+  return 0;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_trace(
+    std::span<const PacketRecord> packets) {
+  std::vector<std::uint8_t> out;
+  std::size_t payload = 0;
+  for (const PacketRecord& r : packets)
+    payload += kIpv4HeaderBytes + l4_header_bytes(r.key.proto);
+  out.reserve(kGlobalHeaderBytes +
+              packets.size() * kFrameHeaderBytes + payload);
+
+  put_u32le(out, kPcapMagicUsec);
+  put_u16le(out, 2);  // version major
+  put_u16le(out, 4);  // version minor
+  put_u32le(out, 0);  // thiszone
+  put_u32le(out, 0);  // sigfigs
+  put_u32le(out, kMaxCaplen);
+  put_u32le(out, kLinkTypeIpv4);
+
+  for (const PacketRecord& r : packets) {
+    const std::size_t header_bytes =
+        kIpv4HeaderBytes + l4_header_bytes(r.key.proto);
+    const auto caplen = static_cast<std::uint32_t>(header_bytes);
+    const std::uint32_t orig_len = std::max(r.bytes, caplen);
+    const double ts = std::max(r.ts_sec, 0.0);
+    const auto sec = static_cast<std::uint32_t>(ts);
+    const auto usec = std::min<std::uint32_t>(
+        static_cast<std::uint32_t>((ts - sec) * 1e6), 999999);
+
+    put_u32le(out, sec);
+    put_u32le(out, usec);
+    put_u32le(out, caplen);
+    put_u32le(out, orig_len);
+
+    // IPv4 header carrying the flow key.
+    out.push_back(0x45);  // version 4, IHL 5
+    out.push_back(0);     // TOS
+    put_u16be(out, static_cast<std::uint16_t>(
+                       std::min<std::uint32_t>(orig_len, 0xffff)));
+    put_u16be(out, 0);  // identification
+    put_u16be(out, 0);  // flags/fragment
+    out.push_back(64);  // TTL
+    out.push_back(r.key.proto);
+    put_u16be(out, 0);  // checksum (not validated by the reader)
+    put_u32be(out, r.key.src_ip);
+    put_u32be(out, r.key.dst_ip);
+
+    if (r.key.proto == 6) {
+      put_u16be(out, r.key.src_port);
+      put_u16be(out, r.key.dst_port);
+      put_u32be(out, 0);  // seq
+      put_u32be(out, 0);  // ack
+      out.push_back(0x50);  // data offset 5
+      out.push_back(static_cast<std::uint8_t>(0x10 | (r.fin() ? 0x01 : 0)));
+      put_u16be(out, 0xffff);  // window
+      put_u16be(out, 0);       // checksum
+      put_u16be(out, 0);       // urgent
+    } else if (r.key.proto == 17) {
+      put_u16be(out, r.key.src_port);
+      put_u16be(out, r.key.dst_port);
+      put_u16be(out, static_cast<std::uint16_t>(
+                         std::min<std::uint32_t>(orig_len, 0xffff)));
+      put_u16be(out, 0);  // checksum
+    }
+  }
+  return out;
+}
+
+void write_trace(const std::string& path,
+                 std::span<const PacketRecord> packets) {
+  const std::vector<std::uint8_t> bytes = encode_trace(packets);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  NETMON_REQUIRE(file != nullptr, "cannot open trace file for writing: " + path);
+  const std::size_t written =
+      std::fwrite(bytes.data(), 1, bytes.size(), file);
+  std::fclose(file);
+  NETMON_REQUIRE(written == bytes.size(), "short write to " + path);
+}
+
+TraceReader::TraceReader(std::vector<std::uint8_t> bytes,
+                         TraceReadOptions options)
+    : bytes_(std::move(bytes)), options_(options) {
+  validate();
+}
+
+TraceReader TraceReader::from_file(const std::string& path,
+                                   TraceReadOptions options) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  NETMON_REQUIRE(file != nullptr, "cannot open trace file: " + path);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), file)) > 0)
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  std::fclose(file);
+  return TraceReader(std::move(bytes), options);
+}
+
+void TraceReader::validate() {
+  NETMON_REQUIRE(bytes_.size() >= kGlobalHeaderBytes,
+                 "pcap shorter than its global header");
+  const std::uint32_t magic = read_u32le(bytes_.data());
+  if (magic == kPcapMagicUsec || magic == kPcapMagicNsec) {
+    swapped_ = false;
+  } else if (bswap32(magic) == kPcapMagicUsec ||
+             bswap32(magic) == kPcapMagicNsec) {
+    swapped_ = true;
+  } else {
+    throw Error("pcap magic not recognized");
+  }
+  const std::uint32_t native = swapped_ ? bswap32(magic) : magic;
+  nanos_ = native == kPcapMagicNsec;
+
+  auto u32 = [&](std::size_t at) {
+    const std::uint32_t v = read_u32le(bytes_.data() + at);
+    return swapped_ ? bswap32(v) : v;
+  };
+  const std::uint32_t snaplen = std::min(u32(16), kMaxCaplen);
+  const std::uint32_t linktype = u32(20);
+  NETMON_REQUIRE(linktype == kLinkTypeIpv4,
+                 "unsupported pcap linktype (expected LINKTYPE_IPV4)");
+
+  // Walk every frame: a record header must be complete, its caplen must
+  // respect both the snaplen and the bytes actually remaining, and the
+  // original length must cover the captured slice. Any violation rejects
+  // the whole trace — replay never has to bounds-check again.
+  std::size_t offset = kGlobalHeaderBytes;
+  while (offset < bytes_.size()) {
+    NETMON_REQUIRE(bytes_.size() - offset >= kFrameHeaderBytes,
+                   "truncated pcap record header");
+    const std::uint32_t caplen = u32(offset + 8);
+    const std::uint32_t orig_len = u32(offset + 12);
+    NETMON_REQUIRE(caplen <= snaplen, "pcap caplen exceeds snaplen");
+    NETMON_REQUIRE(caplen <= bytes_.size() - offset - kFrameHeaderBytes,
+                   "pcap record body truncated");
+    NETMON_REQUIRE(orig_len >= caplen,
+                   "pcap original length below captured length");
+    offset += kFrameHeaderBytes + caplen;
+    ++frames_;
+  }
+  cursor_ = kGlobalHeaderBytes;
+}
+
+bool TraceReader::decode_frame(std::size_t offset,
+                               PacketRecord* out) const noexcept {
+  auto u32 = [&](std::size_t at) {
+    const std::uint32_t v = read_u32le(bytes_.data() + at);
+    return swapped_ ? bswap32(v) : v;
+  };
+  const std::uint32_t sec = u32(offset);
+  const std::uint32_t sub = u32(offset + 4);
+  const std::uint32_t caplen = u32(offset + 8);
+  const std::uint32_t orig_len = u32(offset + 12);
+  const std::uint8_t* body = bytes_.data() + offset + kFrameHeaderBytes;
+
+  if (caplen < kIpv4HeaderBytes) return false;
+  if ((body[0] >> 4) != 4) return false;
+  const std::size_t ihl = static_cast<std::size_t>(body[0] & 0x0f) * 4;
+  if (ihl < kIpv4HeaderBytes || ihl > caplen) return false;
+
+  PacketRecord record;
+  record.key.proto = body[9];
+  record.key.src_ip = read_u32be(body + 12);
+  record.key.dst_ip = read_u32be(body + 16);
+  const std::size_t l4 = l4_header_bytes(record.key.proto);
+  if (l4 != 0 && caplen >= ihl + 4) {
+    record.key.src_port = read_u16be(body + ihl);
+    record.key.dst_port = read_u16be(body + ihl + 2);
+  }
+  if (record.key.proto == 6 && caplen >= ihl + 14)
+    record.flags = (body[ihl + 13] & 0x01) != 0 ? kPacketFin : 0;
+  record.bytes = orig_len;
+  record.ts_sec =
+      static_cast<double>(sec) + (nanos_ ? sub * 1e-9 : sub * 1e-6);
+  *out = record;
+  return true;
+}
+
+std::size_t TraceReader::next_batch(PacketRecord* out, std::size_t max) {
+  auto u32 = [&](std::size_t at) {
+    const std::uint32_t v = read_u32le(bytes_.data() + at);
+    return swapped_ ? bswap32(v) : v;
+  };
+
+  double allowed_ts = 0.0;
+  if (options_.speed > 0.0) {
+    const obs::Clock& clock =
+        options_.clock != nullptr ? *options_.clock : obs::Clock::system();
+    if (!pacing_started_) {
+      pacing_started_ = true;
+      pace_start_ = clock.now();
+      // The pace origin is the first frame's timestamp.
+      if (cursor_ < bytes_.size()) {
+        PacketRecord probe;
+        (void)decode_frame(cursor_, &probe);
+        first_ts_ = probe.ts_sec;
+      }
+    }
+    const double elapsed =
+        std::chrono::duration<double>(clock.now() - pace_start_).count();
+    allowed_ts = first_ts_ + elapsed * options_.speed;
+  }
+
+  std::size_t n = 0;
+  while (n < max && cursor_ < bytes_.size()) {
+    PacketRecord record;
+    const bool parsed = decode_frame(cursor_, &record);
+    if (parsed && options_.speed > 0.0 && record.ts_sec > allowed_ts)
+      break;  // not due yet; the frame stays for the next call
+    cursor_ += kFrameHeaderBytes + u32(cursor_ + 8);
+    if (!parsed) {
+      ++malformed_;
+      continue;
+    }
+    // Monotonic clamp: a well-behaved PacketSource never goes backwards
+    // even if the trace on disk does.
+    last_ts_ = std::max(last_ts_, record.ts_sec);
+    record.ts_sec = last_ts_;
+    out[n++] = record;
+  }
+  return n;
+}
+
+}  // namespace netmon::ingest

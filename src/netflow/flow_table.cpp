@@ -58,15 +58,22 @@ void FlowTable::advance(double now_sec) {
     expire(lru_.front());
   }
   // Active-timeout expiry needs a full scan; amortize it to once per
-  // second of simulated time so per-packet cost stays O(1).
+  // second of simulated time so per-packet cost stays O(1). The scratch
+  // vector is a reused member: after reserve() (or the first scans) the
+  // scan allocates nothing.
   if (now_sec - last_active_scan_sec_ < 1.0) return;
   last_active_scan_sec_ = now_sec;
-  std::vector<traffic::FlowKey> over_age;
+  scan_scratch_.clear();
   for (const auto& [key, entry] : entries_) {
     if (now_sec - entry.record.start_sec >= options_.active_timeout_sec)
-      over_age.push_back(key);
+      scan_scratch_.push_back(key);
   }
-  for (const auto& key : over_age) expire(key);
+  for (const auto& key : scan_scratch_) expire(key);
+}
+
+void FlowTable::reserve(std::size_t flows) {
+  entries_.reserve(flows);
+  scan_scratch_.reserve(flows);
 }
 
 void FlowTable::flush(double now_sec) {

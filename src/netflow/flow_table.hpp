@@ -11,6 +11,7 @@
 #include <functional>
 #include <list>
 #include <unordered_map>
+#include <vector>
 
 #include "netflow/record.hpp"
 
@@ -48,6 +49,12 @@ class FlowTable {
   /// Expires everything (end of measurement / export interval).
   void flush(double now_sec);
 
+  /// Pre-sizes internal storage for `flows` concurrent entries so the
+  /// steady-state packet path (observe on a cached flow, periodic
+  /// active-timeout scans) performs no allocations — the ingest hot
+  /// path's contract, enforced by tests/ingest_zero_alloc_test.cpp.
+  void reserve(std::size_t flows);
+
   /// Current number of cached entries.
   std::size_t size() const noexcept { return entries_.size(); }
 
@@ -73,6 +80,8 @@ class FlowTable {
   std::uint64_t exported_ = 0;
   std::uint64_t evictions_ = 0;
   double last_active_scan_sec_ = -1.0e300;
+  /// Reused by the active-timeout scan (no per-scan allocation).
+  std::vector<traffic::FlowKey> scan_scratch_;
 };
 
 }  // namespace netmon::netflow

@@ -36,6 +36,7 @@
 #include "estimate/flow_inversion.hpp"  // IWYU pragma: export
 #include "estimate/heavy_hitters.hpp"   // IWYU pragma: export
 #include "estimate/tomogravity.hpp"     // IWYU pragma: export
+#include "ingest/ingest.hpp"     // IWYU pragma: export
 #include "isis/lsdb.hpp"         // IWYU pragma: export
 #include "linalg/sparse.hpp"     // IWYU pragma: export
 #include "linalg/workspace.hpp"  // IWYU pragma: export

@@ -37,4 +37,23 @@ double PeriodicSampler::rate() const noexcept {
   return period_ == 0 ? 0.0 : 1.0 / static_cast<double>(period_);
 }
 
+const char* to_string(SamplerKind kind) noexcept {
+  switch (kind) {
+    case SamplerKind::kBernoulli: return "bernoulli";
+    case SamplerKind::kPeriodic: return "periodic";
+  }
+  return "?";
+}
+
+LinkSampler::LinkSampler(SamplerKind kind, double probability,
+                         std::uint64_t seed)
+    : kind_(kind),
+      bernoulli_(probability, seed),
+      periodic_(probability, seed) {}
+
+double LinkSampler::rate() const noexcept {
+  return kind_ == SamplerKind::kBernoulli ? bernoulli_.rate()
+                                          : periodic_.rate();
+}
+
 }  // namespace netmon::sampling

@@ -45,4 +45,32 @@ class PeriodicSampler {
   std::uint64_t counter_ = 0;
 };
 
+/// Sampler policy selector — how the ingest pipeline configures its
+/// per-link monitors.
+enum class SamplerKind : std::uint8_t { kBernoulli, kPeriodic };
+
+const char* to_string(SamplerKind kind) noexcept;
+
+/// A per-link sampler of either policy behind one branch (no virtual
+/// dispatch on the packet path).
+class LinkSampler {
+ public:
+  LinkSampler(SamplerKind kind, double probability, std::uint64_t seed);
+
+  /// Decides for the next packet.
+  bool sample() {
+    return kind_ == SamplerKind::kBernoulli ? bernoulli_.sample()
+                                            : periodic_.sample();
+  }
+
+  SamplerKind kind() const noexcept { return kind_; }
+  /// The realized sampling rate of the active policy.
+  double rate() const noexcept;
+
+ private:
+  SamplerKind kind_;
+  BernoulliSampler bernoulli_;
+  PeriodicSampler periodic_;
+};
+
 }  // namespace netmon::sampling

@@ -17,6 +17,7 @@
 #include "routing/routing_matrix.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sampling/effective_rate.hpp"
+#include "sampling/sampler.hpp"
 #include "traffic/flow.hpp"
 #include "util/rng.hpp"
 
@@ -69,8 +70,8 @@ std::vector<std::vector<OdSampleCount>> simulate_sampling_runs(
     const RateVector& rates, int runs,
     CountMode mode = CountMode::kSumAcrossMonitors);
 
-/// Sampler kind for the per-packet reference engine.
-enum class SamplerKind { kBernoulli, kPeriodic };
+// SamplerKind (used by the per-packet reference engine below and by the
+// ingest pipeline) lives in sampling/sampler.hpp next to the samplers.
 
 /// Reference engine: walks every packet of every flow over every monitor
 /// on its path. O(total packets x monitors) — use at reduced scale.

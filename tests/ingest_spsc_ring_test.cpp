@@ -1,0 +1,193 @@
+#include "ingest/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace netmon::ingest {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(8192).capacity(), 8192u);
+}
+
+TEST(SpscRing, EmptyAndFullEdges) {
+  SpscRing<int> ring(4);
+  int out[8];
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.pop(out, 8), 0u);
+
+  const int in[4] = {1, 2, 3, 4};
+  EXPECT_EQ(ring.try_push(in, 4), 4u);
+  EXPECT_EQ(ring.size(), 4u);
+  // Full: nothing fits.
+  EXPECT_EQ(ring.try_push(in, 1), 0u);
+
+  EXPECT_EQ(ring.pop(out, 8), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], in[i]);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, PartialBatchPushReportsWhatFit) {
+  SpscRing<int> ring(4);
+  const int in[6] = {10, 11, 12, 13, 14, 15};
+  EXPECT_EQ(ring.try_push(in, 3), 3u);
+  // Only one slot left of the 3 requested.
+  EXPECT_EQ(ring.try_push(in + 3, 3), 1u);
+  int out[8];
+  EXPECT_EQ(ring.pop(out, 8), 4u);
+  EXPECT_EQ(out[0], 10);
+  EXPECT_EQ(out[3], 13);
+}
+
+TEST(SpscRing, PushOrDropCountsOverflow) {
+  SpscRing<int> ring(4);
+  const int in[7] = {0, 1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(ring.push_or_drop(in, 7), 4u);
+  EXPECT_EQ(ring.dropped(), 3u);
+  int out[8];
+  EXPECT_EQ(ring.pop(out, 8), 4u);
+  // Drops come off the tail of the batch: the first 4 survive in order.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(ring.push_or_drop(in, 2), 2u);
+  EXPECT_EQ(ring.dropped(), 3u);
+}
+
+TEST(SpscRing, WraparoundPreservesFifoOrder) {
+  // Positions are monotonic tickets; drive them far past the capacity
+  // so the slot index wraps many times.
+  SpscRing<std::uint32_t> ring(8);
+  Rng rng(7);
+  std::uint32_t next_in = 0, next_out = 0;
+  std::uint32_t buf[8];
+  for (int step = 0; step < 10000; ++step) {
+    const std::size_t want = 1 + rng.below(6);
+    std::uint32_t in[8];
+    for (std::size_t i = 0; i < want; ++i) in[i] = next_in + i;
+    next_in += static_cast<std::uint32_t>(ring.try_push(in, want));
+    const std::size_t got = ring.pop(buf, 1 + rng.below(8));
+    for (std::size_t i = 0; i < got; ++i) EXPECT_EQ(buf[i], next_out + i);
+    next_out += static_cast<std::uint32_t>(got);
+  }
+  while (next_out < next_in) {
+    const std::size_t got = ring.pop(buf, 8);
+    for (std::size_t i = 0; i < got; ++i) EXPECT_EQ(buf[i], next_out + i);
+    next_out += static_cast<std::uint32_t>(got);
+  }
+  EXPECT_EQ(ring.pushed(), ring.popped());
+  EXPECT_GT(ring.pushed(), 8u);  // wrapped the slot space many times over
+}
+
+/// A slot wide enough that a torn read would be visible: both halves
+/// must always agree.
+struct Mirrored {
+  std::uint64_t value = 0;
+  std::uint64_t check = 0;
+};
+
+// The TSan leg's star witness: one producer, one consumer, small ring,
+// randomized batch sizes. Checks (a) no data race (TSan), (b) exact
+// FIFO sequence, (c) no torn reads across the two 64-bit halves.
+TEST(SpscRing, ConcurrentInterleaveDeliversExactSequence) {
+  constexpr std::uint64_t kTotal = 200000;
+  SpscRing<Mirrored> ring(64);
+
+  std::thread producer([&ring] {
+    Rng rng(1);
+    Mirrored batch[32];
+    std::uint64_t next = 0;
+    while (next < kTotal) {
+      const std::size_t want =
+          std::min<std::uint64_t>(1 + rng.below(32), kTotal - next);
+      for (std::size_t i = 0; i < want; ++i)
+        batch[i] = {next + i, ~(next + i)};
+      std::size_t sent = 0;
+      while (sent < want) {
+        const std::size_t n = ring.try_push(batch + sent, want - sent);
+        if (n == 0) std::this_thread::yield();
+        sent += n;
+      }
+      next += want;
+    }
+  });
+
+  Rng rng(2);
+  Mirrored out[48];
+  std::uint64_t expected = 0;
+  std::uint64_t torn = 0, misordered = 0;
+  while (expected < kTotal) {
+    const std::size_t n = ring.pop(out, 1 + rng.below(48));
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (out[i].check != ~out[i].value) ++torn;
+      if (out[i].value != expected + i) ++misordered;
+    }
+    expected += n;
+  }
+  producer.join();
+  EXPECT_EQ(torn, 0u);
+  EXPECT_EQ(misordered, 0u);
+  EXPECT_EQ(ring.pushed(), kTotal);
+  EXPECT_EQ(ring.popped(), kTotal);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_TRUE(ring.empty());
+}
+
+// Same interleave under the lossy policy: whatever survives must still
+// be an order-preserving subsequence, and pushed + dropped must equal
+// the offered total.
+TEST(SpscRing, ConcurrentDropPolicyKeepsSubsequence) {
+  constexpr std::uint64_t kTotal = 100000;
+  SpscRing<Mirrored> ring(32);
+
+  std::thread producer([&ring] {
+    Mirrored batch[16];
+    std::uint64_t next = 0;
+    while (next < kTotal) {
+      const std::size_t want = std::min<std::uint64_t>(16, kTotal - next);
+      for (std::size_t i = 0; i < want; ++i)
+        batch[i] = {next + i, ~(next + i)};
+      ring.push_or_drop(batch, want);
+      next += want;
+    }
+  });
+
+  Mirrored out[32];
+  std::uint64_t last = 0;
+  bool have_last = false;
+  std::uint64_t received = 0, torn = 0, misordered = 0;
+  for (;;) {
+    const std::size_t n = ring.pop(out, 32);
+    if (n == 0) {
+      if (ring.pushed() + ring.dropped() >= kTotal && ring.empty()) break;
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (out[i].check != ~out[i].value) ++torn;
+      if (have_last && out[i].value <= last) ++misordered;
+      last = out[i].value;
+      have_last = true;
+    }
+    received += n;
+  }
+  producer.join();
+  EXPECT_EQ(torn, 0u);
+  EXPECT_EQ(misordered, 0u);
+  EXPECT_EQ(received, ring.popped());
+  EXPECT_EQ(ring.pushed() + ring.dropped(), kTotal);
+}
+
+}  // namespace
+}  // namespace netmon::ingest

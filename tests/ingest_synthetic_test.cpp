@@ -1,0 +1,153 @@
+#include "ingest/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "helpers.hpp"
+#include "traffic/flow_generator.hpp"
+
+namespace netmon::ingest {
+namespace {
+
+struct LineScenario {
+  topo::Graph graph = test::line_graph();
+  traffic::TrafficMatrix tm{{{0, 3}, 120.0}, {{0, 1}, 240.0}};
+  routing::RoutingMatrix matrix =
+      routing::RoutingMatrix::single_path(graph, {{0, 3}, {0, 1}});
+  topo::LinkId ab, bc;
+  SyntheticOptions options;
+
+  LineScenario() {
+    ab = *graph.find_link(0, 1);
+    bc = *graph.find_link(1, 2);
+    options.flowgen.interval_sec = 60.0;
+    options.seed = 42;
+  }
+};
+
+std::vector<PacketRecord> drain(PacketSource& source) {
+  std::vector<PacketRecord> out;
+  PacketRecord buf[128];
+  while (!source.exhausted()) {
+    const std::size_t n = source.next_batch(buf, 128);
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  return out;
+}
+
+TEST(Synthetic, SchedulesMatchFlowPopulations) {
+  LineScenario s;
+  SyntheticTraffic traffic(s.matrix, s.tm, s.options);
+  ASSERT_EQ(traffic.flows().size(), 2u);
+  const std::uint64_t od0 = traffic::total_packets(traffic.flows()[0]);
+  const std::uint64_t od1 = traffic::total_packets(traffic.flows()[1]);
+  // A->B carries both ODs, B->C only OD 0 (0 -> 3).
+  EXPECT_EQ(traffic.packets_on(s.ab), od0 + od1);
+  EXPECT_EQ(traffic.packets_on(s.bc), od0);
+  EXPECT_GT(od0, 0u);
+  EXPECT_GT(od1, 0u);
+}
+
+TEST(Synthetic, ReplayDeliversEveryScheduledPacketInTimeOrder) {
+  LineScenario s;
+  SyntheticTraffic traffic(s.matrix, s.tm, s.options);
+  auto source = traffic.source(s.ab);
+  ASSERT_NE(source, nullptr);
+  EXPECT_EQ(source->link(), s.ab);
+  const std::vector<PacketRecord> packets = drain(*source);
+  EXPECT_EQ(packets.size(), traffic.packets_on(s.ab));
+  double last = -1.0;
+  for (const PacketRecord& p : packets) {
+    EXPECT_GE(p.ts_sec, last);
+    EXPECT_GE(p.ts_sec, 0.0);
+    EXPECT_GE(p.bytes, s.options.min_packet_bytes);
+    last = p.ts_sec;
+  }
+  EXPECT_LE(last, s.options.flowgen.interval_sec + 1.0);
+  EXPECT_TRUE(source->exhausted());
+}
+
+TEST(Synthetic, FinMarksEndOfTcpFlowsOnly) {
+  LineScenario s;
+  SyntheticTraffic traffic(s.matrix, s.tm, s.options);
+  auto source = traffic.source(s.ab);
+  std::uint64_t fins = 0;
+  for (const PacketRecord& p : drain(*source)) {
+    if (p.fin()) {
+      EXPECT_EQ(p.key.proto, 6) << "FIN on a non-TCP packet";
+      ++fins;
+    }
+  }
+  EXPECT_GT(fins, 0u);
+  // At most one FIN per flow appearance on the link.
+  std::uint64_t tcp_flows = 0;
+  for (const auto& population : traffic.flows())
+    for (const auto& flow : population)
+      if (flow.key.proto == 6) ++tcp_flows;
+  EXPECT_LE(fins, tcp_flows);
+}
+
+TEST(Synthetic, DeterministicForFixedSeed) {
+  LineScenario s;
+  SyntheticTraffic a(s.matrix, s.tm, s.options);
+  SyntheticTraffic b(s.matrix, s.tm, s.options);
+  auto sa = a.source(s.ab);
+  auto sb = b.source(s.ab);
+  const std::vector<PacketRecord> pa = drain(*sa);
+  const std::vector<PacketRecord> pb = drain(*sb);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].key, pb[i].key);
+    EXPECT_EQ(pa[i].bytes, pb[i].bytes);
+    EXPECT_EQ(pa[i].flags, pb[i].flags);
+    EXPECT_EQ(pa[i].ts_sec, pb[i].ts_sec);  // bit-identical
+  }
+}
+
+TEST(Synthetic, SeedChangesTheStream) {
+  LineScenario s;
+  SyntheticTraffic a(s.matrix, s.tm, s.options);
+  s.options.seed = 43;
+  SyntheticTraffic b(s.matrix, s.tm, s.options);
+  EXPECT_NE(a.packets_on(s.ab), b.packets_on(s.ab));
+}
+
+TEST(Synthetic, SourcesFollowTheMonitoredSet) {
+  LineScenario s;
+  SyntheticTraffic traffic(s.matrix, s.tm, s.options);
+  sampling::RateVector rates(s.graph.link_count(), 0.0);
+  rates[s.ab] = 0.1;
+  auto sources = traffic.sources(rates);
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(sources[0]->link(), s.ab);
+
+  rates[s.bc] = 0.2;
+  EXPECT_EQ(traffic.sources(rates).size(), 2u);
+
+  // A monitored link nothing is routed over yields no source.
+  sampling::RateVector off_path(s.graph.link_count(), 0.0);
+  off_path[*s.graph.find_link(3, 2)] = 0.5;
+  EXPECT_TRUE(traffic.sources(off_path).empty());
+}
+
+TEST(Synthetic, BatchSizeDoesNotChangeTheStream) {
+  LineScenario s;
+  SyntheticTraffic traffic(s.matrix, s.tm, s.options);
+  auto big = traffic.source(s.ab);
+  auto small = traffic.source(s.ab);
+  const std::vector<PacketRecord> big_stream = drain(*big);
+  std::vector<PacketRecord> small_stream;
+  PacketRecord one;
+  while (small->next_batch(&one, 1) == 1) small_stream.push_back(one);
+  ASSERT_EQ(big_stream.size(), small_stream.size());
+  for (std::size_t i = 0; i < big_stream.size(); ++i) {
+    EXPECT_EQ(big_stream[i].key, small_stream[i].key);
+    EXPECT_EQ(big_stream[i].ts_sec, small_stream[i].ts_sec);
+  }
+}
+
+}  // namespace
+}  // namespace netmon::ingest
