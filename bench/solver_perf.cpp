@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +21,7 @@
 #include "opt/barrier.hpp"
 #include "opt/fused_eval.hpp"
 #include "util/bench_report.hpp"
+#include "util/page_alloc.hpp"
 
 namespace {
 
@@ -411,64 +413,193 @@ void RunKernelBench() {
   report.emit();
 }
 
-// Scalar-vs-vectorized dispatch of the SRE batch kernel on a large
-// synthetic run (one kernel family, SIMD-friendly shape). The two
-// variants must agree bit for bit; the sweep records the throughput gap
-// and the identity check in the JSON report.
+// Leveled SIMD sweep over the utility batch kernels: per-family rows
+// (SRE — the vectorized family — and log, the scalar-only control) and
+// per-regime-mix rows (all-quadratic, all-rational, regime-partitioned
+// split, unpartitioned interleave) at 256 / 4096 / 65536 terms. Every
+// row times the scalar reference and every available dispatch level
+// (min over blocks) and verifies bit identity across ALL levels. The
+// headline row, sre_fused_4096, is the regime-partitioned split at 4096
+// terms — the layout the line-search restriction feeds the kernels
+// after its reset()-time partition — and carries the gated metrics
+// (fused_scalar_ns / fused_simd_ns / simd_speedup / bit_identical /
+// simd_level) plus the opt-in fast-math leg's speedup and measured
+// relative error.
 void RunSimdKernelSweep() {
-  std::printf("\n-- SRE batch kernel: scalar vs vectorized dispatch --\n");
-  constexpr std::size_t kTerms = 4096;
-  constexpr int kReps = 2000;
-  const SyntheticInstance instance(kTerms);
-  const auto& f = *instance.objective;
+  const opt::SimdLevel max_level = opt::simd_max_level();
+  std::printf(
+      "\n-- utility batch kernels: leveled SIMD dispatch (max=%s) --\n",
+      opt::simd_level_name(max_level));
+  const opt::SimdLevel saved_level = opt::simd_dispatch_level();
+  const bool saved_fm = opt::simd_fastmath_enabled();
+  opt::set_simd_fastmath(false);
 
-  // Inner products straddling both pivot regimes of the SRE utility.
-  Rng rng(17);
-  std::vector<double> x(f.term_count());
-  for (auto& xi : x) xi = rng.uniform(1e-8, 1e-3);
+  enum Mix { kQuad, kRat, kSplit, kInterleaved, kLogUniform };
+  struct Sweep {
+    std::unique_ptr<opt::SeparableConcaveObjective> f;
+    // Page-backed like the solver's own workspace buffers, so the sweep
+    // times the kernels under the library's buffer placement.
+    util::PageVector<double> x;
+  };
+  const auto make_sweep = [](Mix mix, std::size_t terms) {
+    Sweep s;
+    Rng rng(terms * 31 + static_cast<std::size_t>(mix));
+    opt::SeparableConcaveObjective::SparseRows rows(terms);
+    std::vector<std::shared_ptr<const opt::Concave1d>> utilities;
+    for (std::size_t k = 0; k < terms; ++k) {
+      rows[k].emplace_back(0, 1.0);
+      if (mix == kLogUniform) {
+        utilities.push_back(
+            std::make_shared<core::LogUtility>(rng.uniform(0.01, 1.0)));
+        s.x.push_back(rng.uniform(0.0, 1.0));
+        continue;
+      }
+      const double c = rng.uniform(0.01, 0.5);
+      const double x0 = core::SreUtility::pivot_for(c);
+      utilities.push_back(std::make_shared<core::SreUtility>(c));
+      const bool quad = mix == kQuad || (mix == kSplit && k < terms / 2) ||
+                        (mix == kInterleaved && rng.below(2) == 0);
+      s.x.push_back(quad ? x0 * rng.uniform(0.05, 0.95)
+                         : x0 * (1.0 + rng.uniform(0.05, 3.0)));
+    }
+    s.f = std::make_unique<opt::SeparableConcaveObjective>(
+        1, std::move(rows), std::move(utilities));
+    return s;
+  };
 
-  std::vector<double> v_s(kTerms), m1_s(kTerms), m2_s(kTerms);
-  std::vector<double> v_v(kTerms), m1_v(kTerms), m2_v(kTerms);
-
-  const auto min_ns_per_call = [&](std::vector<double>& v,
-                                   std::vector<double>& m1,
-                                   std::vector<double>& m2) {
-    f.fused_terms(x, v, m1, m2);  // warm
+  // Rep counts scale inversely with the term count so every size gets
+  // comparable total work per timed block; min over blocks as usual.
+  const auto min_ns = [](const Sweep& s, util::PageVector<double>& v,
+                         util::PageVector<double>& m1,
+                         util::PageVector<double>& m2) {
+    const int reps = static_cast<int>(
+        std::max<std::size_t>(32, (std::size_t{1} << 23) / s.x.size()));
+    s.f->fused_terms(s.x, v, m1, m2);  // warm
     double best = 0.0;
     for (int b = 0; b < 5; ++b) {
       StopWatch watch;
-      for (int i = 0; i < kReps; ++i) f.fused_terms(x, v, m1, m2);
-      const double ns = watch.elapsed_ms() * 1e6 / kReps;
+      for (int i = 0; i < reps; ++i) s.f->fused_terms(s.x, v, m1, m2);
+      const double ns = watch.elapsed_ms() * 1e6 / reps;
       if (b == 0 || ns < best) best = ns;
     }
     return best;
   };
-
-  const bool saved = opt::simd_dispatch_enabled();
-  opt::set_simd_dispatch(false);
-  const double scalar_ns = min_ns_per_call(v_s, m1_s, m2_s);
-  opt::set_simd_dispatch(true);
-  const double simd_ns = min_ns_per_call(v_v, m1_v, m2_v);
-  opt::set_simd_dispatch(saved);
-
-  const auto bits_equal = [](const std::vector<double>& a,
-                             const std::vector<double>& b) {
+  const auto bits_equal = [](const util::PageVector<double>& a,
+                             const util::PageVector<double>& b) {
     return std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
   };
-  const bool identical =
-      bits_equal(v_s, v_v) && bits_equal(m1_s, m1_v) && bits_equal(m2_s, m2_v);
 
-  std::printf("  terms=%zu  scalar=%.0f ns  simd=%.0f ns  speedup=%.2fx  %s\n",
-              kTerms, scalar_ns, simd_ns, scalar_ns / simd_ns,
-              identical ? "bit-identical" : "MISMATCH");
+  // One sweep row: scalar baseline, then every available vector level —
+  // timed and bit-compared against the scalar outputs.
+  struct Row {
+    std::string name;
+    std::size_t terms = 0;
+    double scalar_ns = 0.0;
+    double simd_ns = 0.0;  // at max_level
+    bool identical = true;
+  };
+  const auto run_row = [&](const char* name, Mix mix, std::size_t terms,
+                           std::vector<double>* scalar_out = nullptr) {
+    const Sweep s = make_sweep(mix, terms);
+    const std::size_t m = s.x.size();
+    util::PageVector<double> v_s(m), m1_s(m), m2_s(m), v(m), m1(m), m2(m);
+    Row row;
+    row.name = name;
+    row.terms = terms;
+    opt::set_simd_dispatch_level(opt::SimdLevel::kScalar);
+    row.scalar_ns = min_ns(s, v_s, m1_s, m2_s);
+    row.simd_ns = row.scalar_ns;
+    for (int l = 1; l <= static_cast<int>(max_level); ++l) {
+      opt::set_simd_dispatch_level(static_cast<opt::SimdLevel>(l));
+      row.simd_ns = min_ns(s, v, m1, m2);
+      row.identical = row.identical && bits_equal(v_s, v) &&
+                      bits_equal(m1_s, m1) && bits_equal(m2_s, m2);
+    }
+    std::printf("  %-18s terms=%-6zu scalar=%8.0f ns  %s=%8.0f ns  "
+                "speedup=%.2fx  %s\n",
+                name, terms, row.scalar_ns, opt::simd_level_name(max_level),
+                row.simd_ns, row.scalar_ns / row.simd_ns,
+                row.identical ? "bit-identical" : "MISMATCH");
+    if (scalar_out != nullptr) {
+      scalar_out->clear();
+      scalar_out->insert(scalar_out->end(), v_s.begin(), v_s.end());
+      scalar_out->insert(scalar_out->end(), m1_s.begin(), m1_s.end());
+      scalar_out->insert(scalar_out->end(), m2_s.begin(), m2_s.end());
+    }
+    return row;
+  };
 
+  // Headline case first: regime-partitioned SRE at 4096 terms, plus its
+  // fast-math leg (reciprocal + Newton; gated on relative error, not on
+  // bit identity).
+  std::vector<double> headline_ref;
+  const Row headline = run_row("sre_split_4096", kSplit, 4096, &headline_ref);
+  double fastmath_ns = headline.simd_ns;
+  double fastmath_rel_err = 0.0;
+  if (max_level != opt::SimdLevel::kScalar) {
+    const Sweep s = make_sweep(kSplit, 4096);
+    const std::size_t m = s.x.size();
+    util::PageVector<double> v(m), m1(m), m2(m);
+    opt::set_simd_dispatch_level(max_level);
+    opt::set_simd_fastmath(true);
+    fastmath_ns = min_ns(s, v, m1, m2);
+    opt::set_simd_fastmath(false);
+    const auto rel = [&](double got, double ref) {
+      return std::abs(got - ref) / std::max(1.0, std::abs(ref));
+    };
+    for (std::size_t k = 0; k < m; ++k) {
+      fastmath_rel_err = std::max(
+          {fastmath_rel_err, rel(v[k], headline_ref[k]),
+           rel(m1[k], headline_ref[m + k]), rel(m2[k], headline_ref[2 * m + k])});
+    }
+    std::printf("  %-18s terms=%-6zu fastmath=%6.0f ns  speedup=%.2fx  "
+                "rel_err=%.2e\n",
+                "sre_split_4096/fm", m, fastmath_ns,
+                headline.scalar_ns / fastmath_ns, fastmath_rel_err);
+  }
+
+  // The full grid: every family x regime mix x size.
+  std::vector<Row> rows;
+  for (const std::size_t terms : {std::size_t{256}, std::size_t{4096},
+                                  std::size_t{65536}}) {
+    const auto label = [terms](const char* mix) {
+      return std::string("sre_") + mix + "_" + std::to_string(terms);
+    };
+    rows.push_back(run_row(label("quad").c_str(), kQuad, terms));
+    rows.push_back(run_row(label("rat").c_str(), kRat, terms));
+    rows.push_back(run_row(label("split").c_str(), kSplit, terms));
+    rows.push_back(run_row(label("mixed").c_str(), kInterleaved, terms));
+    rows.push_back(run_row(
+        ("log_uniform_" + std::to_string(terms)).c_str(), kLogUniform,
+        terms));
+  }
+  opt::set_simd_dispatch_level(saved_level);
+  opt::set_simd_fastmath(saved_fm);
+
+  bool all_identical = headline.identical;
+  for (const Row& row : rows) all_identical = all_identical && row.identical;
+
+  // Headline row first so the gate's first-match extraction lands on the
+  // gated keys; bit_identical aggregates EVERY row at EVERY level.
   BenchReport report("solver_perf_simd", 1);
   report.result("sre_fused_4096")
-      .metric("terms", static_cast<double>(kTerms))
-      .metric("fused_scalar_ns", scalar_ns)
-      .metric("fused_simd_ns", simd_ns)
-      .metric("simd_speedup", scalar_ns / simd_ns)
-      .metric("bit_identical", identical ? 1.0 : 0.0);
+      .metric("terms", static_cast<double>(headline.terms))
+      .metric("simd_level", static_cast<double>(max_level))
+      .metric("fused_scalar_ns", headline.scalar_ns)
+      .metric("fused_simd_ns", headline.simd_ns)
+      .metric("simd_speedup", headline.scalar_ns / headline.simd_ns)
+      .metric("fastmath_ns", fastmath_ns)
+      .metric("fastmath_speedup", headline.scalar_ns / fastmath_ns)
+      .metric("fastmath_rel_err", fastmath_rel_err)
+      .metric("bit_identical", all_identical ? 1.0 : 0.0);
+  for (const Row& row : rows) {
+    report.result(row.name)
+        .metric("terms", static_cast<double>(row.terms))
+        .metric("scalar_ns", row.scalar_ns)
+        .metric("simd_ns", row.simd_ns)
+        .metric("speedup", row.scalar_ns / row.simd_ns)
+        .metric("identical", row.identical ? 1.0 : 0.0);
+  }
   report.emit();
 }
 

@@ -5,9 +5,15 @@
 # an AddressSanitizer build of the flat-CSR linalg kernels and the
 # zero-allocation solver hot path (the gate for src/linalg/ span/pointer
 # arithmetic and workspace reuse), and a UBSan build of the fused batch
-# kernels and solver (the gate for the branch-free select arithmetic in
-# src/core/utility_kernels.hpp) — and finally the perf gate comparing
-# the solver_perf kernel timings against the committed BENCH_solver.json.
+# kernels and solver — including the explicit AVX2/AVX-512 intrinsic TUs
+# via opt_simd_dispatch_test (the gate for the branch-free select
+# arithmetic in src/core/utility_kernels.hpp and the intrinsic kernels).
+# A dedicated -march=x86-64-v3 leg then rebuilds the tree with the wider
+# baseline ISA and runs the SIMD suites at EVERY dispatch level
+# (NETMON_SIMD=scalar|avx2|avx512|auto), so cross-level bit-identity is
+# checked even when the compiler may auto-vectorize the scalar paths.
+# Finally the perf gate compares the solver_perf kernel timings against
+# the committed BENCH_solver.json.
 #
 # Usage: scripts/ci.sh [build-dir-prefix]
 set -euo pipefail
@@ -45,12 +51,30 @@ ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
 
 echo "== tier-2: UBSan gate on the fused batch kernels + solver =="
 UBSAN_TESTS="core_utility_test opt_fused_eval_test opt_objective_test \
-opt_gradient_projection_test core_solver_test"
+opt_gradient_projection_test core_solver_test opt_simd_dispatch_test"
 cmake -B "${PREFIX}-ubsan" -S . -DNETMON_SANITIZE=undefined
 # shellcheck disable=SC2086
 cmake --build "${PREFIX}-ubsan" -j "${JOBS}" --target ${UBSAN_TESTS}
 ctest --test-dir "${PREFIX}-ubsan" --output-on-failure -j "${JOBS}" \
-  -R 'core_utility_test|opt_fused_eval_test|opt_objective_test|opt_gradient_projection_test|core_solver_test'
+  -R 'core_utility_test|opt_fused_eval_test|opt_objective_test|opt_gradient_projection_test|core_solver_test|opt_simd_dispatch_test'
+
+echo "== tier-2: x86-64-v3 leg — SIMD suites at every dispatch level =="
+# The wider baseline ISA lets the compiler auto-vectorize every TU; the
+# explicit kernels must still be bit-identical to the (-fno-tree-
+# vectorize pinned) scalar reference at every runtime level. Unsupported
+# levels clamp to the hardware maximum, so the env sweep is safe on
+# AVX2-only machines.
+SIMD_TESTS="opt_simd_dispatch_test opt_fused_eval_test core_utility_test \
+opt_objective_test"
+cmake -B "${PREFIX}-v3" -S . -DCMAKE_CXX_FLAGS="-march=x86-64-v3"
+# shellcheck disable=SC2086
+cmake --build "${PREFIX}-v3" -j "${JOBS}" --target ${SIMD_TESTS}
+for level in scalar avx2 avx512 auto; do
+  echo "-- NETMON_SIMD=${level} --"
+  NETMON_SIMD="${level}" ctest --test-dir "${PREFIX}-v3" \
+    --output-on-failure -j "${JOBS}" \
+    -R 'opt_simd_dispatch_test|opt_fused_eval_test|core_utility_test|opt_objective_test'
+done
 
 echo "== obs gate: traced run artifacts (trace/metrics/flight/control) =="
 cmake --build "${PREFIX}" -j "${JOBS}" --target operations_center \

@@ -13,47 +13,103 @@ using BatchParams = opt::Concave1d::BatchParams;
 using BatchKernel = opt::Concave1d::BatchKernel;
 
 // The scalar virtuals and every batch kernel route through the Ops
-// structs in core/utility_kernels.hpp, so batch (and SIMD) evaluation is
-// bit-identical to scalar evaluation by construction. The ScalarPath tag
-// pins these instantiations to this TU's (default) compile flags; the
-// VectorPath instantiations live in core/utility_simd.cpp.
+// structs in core/utility_kernels.hpp, so batch (and vector) evaluation
+// is bit-identical to scalar evaluation by construction. This TU is the
+// scalar reference: it is pinned to -fno-tree-vectorize
+// -ffp-contract=off (src/CMakeLists.txt) so NETMON_SIMD=scalar means
+// genuinely scalar, contraction-free execution even under -march flags.
+// The leveled vector variants live in core/utility_avx2.cpp and
+// core/utility_avx512.cpp; which slot runs is a runtime decision
+// (opt::simd_dispatch_level).
 
 const BatchKernel kSreKernel{
-    kernels::map_value<kernels::SreOps, kernels::ScalarPath>,
-    kernels::map_deriv<kernels::SreOps, kernels::ScalarPath>,
-    kernels::map_second<kernels::SreOps, kernels::ScalarPath>,
-    kernels::fused<kernels::SreOps, kernels::ScalarPath>,
-    kernels::deriv2<kernels::SreOps, kernels::ScalarPath>,
-#ifdef NETMON_HAVE_SIMD
-    kernels::sre_fused_simd,
-    kernels::sre_deriv2_simd,
+    .value = kernels::map_value<kernels::SreOps>,
+    .deriv = kernels::map_deriv<kernels::SreOps>,
+    .second = kernels::map_second<kernels::SreOps>,
+    .fused = kernels::fused<kernels::SreOps>,
+    .deriv2 = kernels::deriv2<kernels::SreOps>,
+    .fused_lvl =
+        {
+#ifdef NETMON_HAVE_AVX2
+            kernels::sre_fused_avx2,
 #else
-    nullptr,
-    nullptr,
+            nullptr,
 #endif
+#ifdef NETMON_HAVE_AVX512
+            kernels::sre_fused_avx512,
+#else
+            nullptr,
+#endif
+        },
+    .deriv2_lvl =
+        {
+#ifdef NETMON_HAVE_AVX2
+            kernels::sre_deriv2_avx2,
+#else
+            nullptr,
+#endif
+#ifdef NETMON_HAVE_AVX512
+            kernels::sre_deriv2_avx512,
+#else
+            nullptr,
+#endif
+        },
+    .fused_fm =
+        {
+#ifdef NETMON_HAVE_AVX2
+            kernels::sre_fused_avx2_fm,
+#else
+            nullptr,
+#endif
+#ifdef NETMON_HAVE_AVX512
+            kernels::sre_fused_avx512_fm,
+#else
+            nullptr,
+#endif
+        },
+    .deriv2_fm =
+        {
+#ifdef NETMON_HAVE_AVX2
+            kernels::sre_deriv2_avx2_fm,
+#else
+            nullptr,
+#endif
+#ifdef NETMON_HAVE_AVX512
+            kernels::sre_deriv2_avx512_fm,
+#else
+            nullptr,
+#endif
+        },
+    .pivot_param = 1,  // x0 splits the quadratic / rational regimes
 };
 
 const BatchKernel kLogKernel{
-    kernels::map_value<kernels::LogOps, kernels::ScalarPath>,
-    kernels::map_deriv<kernels::LogOps, kernels::ScalarPath>,
-    kernels::map_second<kernels::LogOps, kernels::ScalarPath>,
-    kernels::fused<kernels::LogOps, kernels::ScalarPath>,
-    kernels::deriv2<kernels::LogOps, kernels::ScalarPath>,
-    nullptr,  // libm-bound: no vectorized variant
-    nullptr,
+    .value = kernels::map_value<kernels::LogOps>,
+    .deriv = kernels::map_deriv<kernels::LogOps>,
+    .second = kernels::map_second<kernels::LogOps>,
+    .fused = kernels::fused<kernels::LogOps>,
+    .deriv2 = kernels::deriv2<kernels::LogOps>,
+    // libm-bound (log1p): no vector variants, every level falls back to
+    // the scalar reference; single regime, no pivot.
 };
 
 const BatchKernel kDetectKernel{
-    kernels::map_value<kernels::DetectOps, kernels::ScalarPath>,
-    kernels::map_deriv<kernels::DetectOps, kernels::ScalarPath>,
-    kernels::map_second<kernels::DetectOps, kernels::ScalarPath>,
-    kernels::fused<kernels::DetectOps, kernels::ScalarPath>,
-    kernels::deriv2<kernels::DetectOps, kernels::ScalarPath>,
-    nullptr,  // libm-bound: no vectorized variant
-    nullptr,
+    .value = kernels::map_value<kernels::DetectOps>,
+    .deriv = kernels::map_deriv<kernels::DetectOps>,
+    .second = kernels::map_second<kernels::DetectOps>,
+    .fused = kernels::fused<kernels::DetectOps>,
+    .deriv2 = kernels::deriv2<kernels::DetectOps>,
+    // libm-bound (expm1/exp): scalar-only; single regime, no pivot.
 };
 
 }  // namespace
+
+void kernels::fill_affine_scalar(double* __restrict dst,
+                                 const double* __restrict x0,
+                                 const double* __restrict rd, double t,
+                                 std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = std::fma(t, rd[i], x0[i]);
+}
 
 SreUtility::SreUtility(double inv_mean_size) : c_(inv_mean_size) {
   NETMON_REQUIRE(c_ > 0.0 && c_ <= 0.5,

@@ -12,7 +12,8 @@
 
 #include <cstddef>
 #include <span>
-#include <vector>
+
+#include "util/page_alloc.hpp"
 
 namespace netmon::linalg {
 
@@ -30,13 +31,17 @@ class EvalWorkspace {
   std::span<double> cols_b(std::size_t n) { return fit(cols_b_, n); }
 
  private:
-  static std::span<double> fit(std::vector<double>& buf, std::size_t n) {
+  // Page-backed buffers: the fused path streams all four rows_* arrays
+  // per evaluation, and dedicated mappings keep that streaming fast on
+  // term counts past L1 (see util/page_alloc.hpp).
+  static std::span<double> fit(util::PageVector<double>& buf,
+                               std::size_t n) {
     if (buf.size() < n) buf.resize(n);
     return {buf.data(), n};
   }
 
-  std::vector<double> rows_a_, rows_b_, rows_c_, rows_d_;
-  std::vector<double> cols_a_, cols_b_;
+  util::PageVector<double> rows_a_, rows_b_, rows_c_, rows_d_;
+  util::PageVector<double> cols_a_, cols_b_;
 };
 
 }  // namespace netmon::linalg

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/utility_kernels.hpp"
 #include "linalg/parallel_kernels.hpp"
 #include "runtime/parallel.hpp"
 #include "util/error.hpp"
@@ -12,6 +13,23 @@ namespace {
 /// Probes with fewer active slots than this stay serial even when a pool
 /// is attached — at that size the fork/join overhead beats the work.
 constexpr std::size_t kParallelMinSlots = 2048;
+
+/// Probe-point fill xt[i] = fma(t, rd[i], x0[i]) at the requested
+/// dispatch level. All variants are element-for-element bit-identical
+/// (std::fma and vfmadd are both correctly rounded), so the level only
+/// changes throughput.
+using FillFn = void (*)(double*, const double*, const double*, double,
+                        std::size_t);
+FillFn select_fill(SimdLevel level) {
+#ifdef NETMON_HAVE_AVX512
+  if (level >= SimdLevel::kAvx512) return core::kernels::fill_affine_avx512;
+#endif
+#ifdef NETMON_HAVE_AVX2
+  if (level >= SimdLevel::kAvx2) return core::kernels::fill_affine_avx2;
+#endif
+  (void)level;
+  return core::kernels::fill_affine_scalar;
+}
 }  // namespace
 
 void SeparableRestriction::reset(const SeparableConcaveObjective& f,
@@ -33,25 +51,55 @@ void SeparableRestriction::reset(const SeparableConcaveObjective& f,
     linalg::spmv(f.matrix_, d, {rd_.data(), n});  // offsets drop in d/dt
   }
 
-  // Gather the active terms (rd_k != 0) in order, preserving the batch-
-  // run structure. All buffers are grow-only.
+  // Gather the active terms (rd_k != 0), partitioned for the vector
+  // kernels: by batch kernel first (first-appearance order; nullptr =
+  // per-term virtual dispatch is its own group), then — for piecewise
+  // families — by the pivot regime the term starts in at x0. Lane-
+  // uniform blocks let the kernels' uniform-regime fast paths (skip the
+  // division leg / the quadratic leg) hit on nearly every vector;
+  // mid-search regime migration is handled by their per-vector re-check,
+  // so the partition never affects results. The family pass count is
+  // tiny (a handful of kernels x two phases) and all buffers are
+  // grow-only, so repeated resets allocate nothing at steady state.
   x0c_.clear();
   rdc_.clear();
   idx_.clear();
   runs_.clear();
+  groups_.clear();
   for (const auto& run : f.runs_) {
-    for (std::size_t k = run.begin; k < run.end; ++k) {
-      if (rd_[k] == 0.0) continue;
-      const std::size_t slot = x0c_.size();
-      if (!runs_.empty() && runs_.back().kernel == run.kernel &&
-          runs_.back().end == slot) {
-        runs_.back().end = slot + 1;
-      } else {
-        runs_.push_back({run.kernel, slot, slot + 1});
+    if (std::find(groups_.begin(), groups_.end(), run.kernel) ==
+        groups_.end()) {
+      groups_.push_back(run.kernel);
+    }
+  }
+  for (const Concave1d::BatchKernel* kernel : groups_) {
+    const std::size_t pivot = kernel != nullptr
+                                  ? kernel->pivot_param
+                                  : Concave1d::BatchKernel::kNoPivot;
+    const int phases = pivot == Concave1d::BatchKernel::kNoPivot ? 1 : 2;
+    for (int phase = 0; phase < phases; ++phase) {
+      for (const auto& run : f.runs_) {
+        if (run.kernel != kernel) continue;
+        for (std::size_t k = run.begin; k < run.end; ++k) {
+          if (rd_[k] == 0.0) continue;
+          if (phases == 2) {
+            // Phase 0 collects the below-pivot regime, phase 1 the rest;
+            // same quiet compare the kernels use.
+            const bool below = x0[k] < f.soa_[pivot * n + k];
+            if (below != (phase == 0)) continue;
+          }
+          const std::size_t slot = x0c_.size();
+          if (!runs_.empty() && runs_.back().kernel == kernel &&
+              runs_.back().end == slot) {
+            runs_.back().end = slot + 1;
+          } else {
+            runs_.push_back({kernel, slot, slot + 1});
+          }
+          x0c_.push_back(x0[k]);
+          rdc_.push_back(rd_[k]);
+          idx_.push_back(k);
+        }
       }
-      x0c_.push_back(x0[k]);
-      rdc_.push_back(rd_[k]);
-      idx_.push_back(k);
     }
   }
 
@@ -84,12 +132,12 @@ void SeparableRestriction::reset(const SeparableConcaveObjective& f,
 }
 
 void SeparableRestriction::eval_range(std::size_t begin, std::size_t end,
-                                      double t, bool simd) {
+                                      double t, SimdLevel level,
+                                      bool fastmath) {
   const std::size_t m = x0c_.size();
   double* __restrict xt = xt_.data();
-  const double* __restrict x0c = x0c_.data();
-  const double* __restrict rdc = rdc_.data();
-  for (std::size_t i = begin; i < end; ++i) xt[i] = x0c[i] + t * rdc[i];
+  select_fill(level)(xt + begin, x0c_.data() + begin, rdc_.data() + begin, t,
+                     end - begin);
 
   auto it = std::partition_point(
       runs_.begin(), runs_.end(),
@@ -99,8 +147,7 @@ void SeparableRestriction::eval_range(std::size_t begin, std::size_t end,
     const std::size_t hi = std::min(it->end, end);
     if (it->kernel != nullptr && it->kernel->deriv2 != nullptr) {
       const Concave1d::BatchKernel::Deriv2Fn fn =
-          simd && it->kernel->deriv2_simd != nullptr ? it->kernel->deriv2_simd
-                                                     : it->kernel->deriv2;
+          it->kernel->select_deriv2(level, fastmath);
       fn(soa_.data() + lo, m, xt + lo, m1_.data() + lo, m2_.data() + lo,
          hi - lo);
       continue;
@@ -116,7 +163,8 @@ void SeparableRestriction::eval_range(std::size_t begin, std::size_t end,
 Phi::Derivs SeparableRestriction::derivs(double t) {
   NETMON_REQUIRE(f_ != nullptr, "restriction not reset");
   const std::size_t m = x0c_.size();
-  const bool simd = simd_dispatch_enabled();
+  const SimdLevel level = simd_dispatch_level();
+  const bool fastmath = simd_fastmath_enabled();
   if (pool_ != nullptr && m >= kParallelMinSlots) {
     // Elementwise probe work sharded; the sums below stay serial, so the
     // Derivs are bit-identical to the serial path.
@@ -124,11 +172,13 @@ Phi::Derivs SeparableRestriction::derivs(double t) {
         m, runtime::ChunkOptions{.grain = 512}, pool_->size());
     runtime::TaskGroup group(*pool_);
     for (const auto& [b, e] : chunks) {
-      group.run([this, b = b, e = e, t, simd] { eval_range(b, e, t, simd); });
+      group.run([this, b = b, e = e, t, level, fastmath] {
+        eval_range(b, e, t, level, fastmath);
+      });
     }
     group.wait();
   } else {
-    eval_range(0, m, t, simd);
+    eval_range(0, m, t, level, fastmath);
   }
 
   Derivs out;

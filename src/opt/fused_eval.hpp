@@ -17,7 +17,14 @@
 // The active terms are gathered into compact arrays (inner products,
 // rd, structure-of-arrays coefficients), so the probe kernels are the
 // same branch-free batched loops the fused evaluation uses — including
-// the SIMD dispatch.
+// the leveled SIMD dispatch. The gather PARTITIONS the compact slots by
+// utility family (batch-kernel pointer, first-appearance order) and, for
+// piecewise families, by the pivot regime the term starts in at x0 —
+// vector kernels then see lane-uniform blocks and their uniform-regime
+// fast paths (skip the division leg, or the quadratic leg) hit on nearly
+// every vector. Probes can migrate terms across the pivot as t moves, so
+// the partition is a strong hint, not an invariant; the kernels re-check
+// per vector and blend on mixed vectors, which keeps them bit-exact.
 #pragma once
 
 #include <cstddef>
@@ -26,6 +33,7 @@
 
 #include "opt/line_search.hpp"
 #include "opt/objective.hpp"
+#include "util/page_alloc.hpp"
 
 namespace netmon::opt {
 
@@ -73,19 +81,27 @@ class SeparableRestriction final : public Phi {
   };
 
   /// Fills xt_/m1_/m2_ for compact slots [begin, end) at probe point t.
-  void eval_range(std::size_t begin, std::size_t end, double t, bool simd);
+  /// The dispatch level and fast-math flag are hoisted by the caller so
+  /// every shard of one probe dispatches identically.
+  void eval_range(std::size_t begin, std::size_t end, double t,
+                  SimdLevel level, bool fastmath);
 
   const SeparableConcaveObjective* f_ = nullptr;
   runtime::ThreadPool* pool_ = nullptr;  // borrowed; null = serial probes
-  std::vector<double> rd_;    // dense R d (term_count)
-  std::vector<double> x0c_;   // compact x0 over active terms
-  std::vector<double> rdc_;   // compact rd over active terms
-  std::vector<double> soa_;   // compact SoA coefficients (stride = active)
-  std::vector<double> xt_;    // probe inner products x0c + t rdc
-  std::vector<double> m1_;    // probe M'
-  std::vector<double> m2_;    // probe M''
+  // The probe arrays are page-backed: every probe streams all of them,
+  // and dedicated mappings keep large searches fast (util/page_alloc.hpp).
+  util::PageVector<double> rd_;   // dense R d (term_count)
+  util::PageVector<double> x0c_;  // compact x0 over active terms
+  util::PageVector<double> rdc_;  // compact rd over active terms
+  util::PageVector<double> soa_;  // compact SoA coeffs (stride = active)
+  util::PageVector<double> xt_;   // probe inner products x0c + t rdc
+  util::PageVector<double> m1_;   // probe M'
+  util::PageVector<double> m2_;   // probe M''
   std::vector<std::size_t> idx_;  // original term per compact slot
   std::vector<CompactRun> runs_;
+  // Distinct batch kernels in first-appearance order — the gather's
+  // family partition; grow-only scratch reused across resets.
+  std::vector<const Concave1d::BatchKernel*> groups_;
   double second0_ = 0.0;
   bool have_second0_ = false;
 };

@@ -13,26 +13,111 @@ namespace netmon::opt {
 
 namespace {
 
-bool simd_enabled_from_env() {
-  const char* env = std::getenv("NETMON_SIMD");
-  if (env == nullptr) return true;
-  return std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0 &&
-         std::strcmp(env, "scalar") != 0;
+SimdLevel clamp_level(SimdLevel level) {
+  const int max = static_cast<int>(simd_max_level());
+  const int requested = static_cast<int>(level);
+  return static_cast<SimdLevel>(std::min(std::max(requested, 0), max));
 }
 
-std::atomic<bool>& simd_flag() {
-  static std::atomic<bool> enabled{simd_enabled_from_env()};
+SimdLevel level_from_env() {
+  const char* env = std::getenv("NETMON_SIMD");
+  return env == nullptr ? simd_max_level() : clamp_level(parse_simd_level(env));
+}
+
+bool fastmath_from_env() {
+  const char* env = std::getenv("NETMON_SIMD_FASTMATH");
+  return env != nullptr && parse_simd_fastmath(env);
+}
+
+std::atomic<int>& simd_level_flag() {
+  static std::atomic<int> level{static_cast<int>(level_from_env())};
+  return level;
+}
+
+std::atomic<bool>& fastmath_flag() {
+  static std::atomic<bool> enabled{fastmath_from_env()};
   return enabled;
 }
 
 }  // namespace
 
+SimdLevel simd_max_level() {
+#if defined(NETMON_HAVE_AVX512) || defined(NETMON_HAVE_AVX2)
+  static const SimdLevel detected = [] {
+#ifdef NETMON_HAVE_AVX512
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512dq")) {
+      return SimdLevel::kAvx512;
+    }
+#endif
+#ifdef NETMON_HAVE_AVX2
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+      return SimdLevel::kAvx2;
+#endif
+    return SimdLevel::kScalar;
+  }();
+  return detected;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel parse_simd_level(std::string_view value) {
+  if (value == "scalar" || value == "0" || value == "off")
+    return SimdLevel::kScalar;
+  if (value == "avx2") return SimdLevel::kAvx2;
+  if (value == "avx512") return SimdLevel::kAvx512;
+  if (value == "auto" || value == "on" || value == "1" || value.empty())
+    return simd_max_level();
+  NETMON_REQUIRE(false, "NETMON_SIMD: unknown value '" + std::string(value) +
+                            "' (expected scalar|avx2|avx512|auto, or "
+                            "0|off|1|on)");
+  return SimdLevel::kScalar;  // unreachable
+}
+
+bool parse_simd_fastmath(std::string_view value) {
+  if (value == "0" || value == "off" || value.empty()) return false;
+  if (value == "1" || value == "on") return true;
+  NETMON_REQUIRE(false, "NETMON_SIMD_FASTMATH: unknown value '" +
+                            std::string(value) + "' (expected 0|off|1|on)");
+  return false;  // unreachable
+}
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx512:
+      return "avx512";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+SimdLevel simd_dispatch_level() {
+  return static_cast<SimdLevel>(
+      simd_level_flag().load(std::memory_order_relaxed));
+}
+
+void set_simd_dispatch_level(SimdLevel level) {
+  simd_level_flag().store(static_cast<int>(clamp_level(level)),
+                          std::memory_order_relaxed);
+}
+
+bool simd_fastmath_enabled() {
+  return fastmath_flag().load(std::memory_order_relaxed);
+}
+
+void set_simd_fastmath(bool enabled) {
+  fastmath_flag().store(enabled, std::memory_order_relaxed);
+}
+
 bool simd_dispatch_enabled() {
-  return simd_flag().load(std::memory_order_relaxed);
+  return simd_dispatch_level() != SimdLevel::kScalar;
 }
 
 void set_simd_dispatch(bool enabled) {
-  simd_flag().store(enabled, std::memory_order_relaxed);
+  set_simd_dispatch_level(enabled ? simd_max_level() : SimdLevel::kScalar);
 }
 
 SeparableConcaveObjective::SeparableConcaveObjective(
@@ -124,13 +209,14 @@ void SeparableConcaveObjective::fused_terms(std::span<const double> x,
                                             std::span<double> v,
                                             std::span<double> m1,
                                             std::span<double> m2) const {
-  fused_terms_range(0, term_count(), x, v, m1, m2, simd_dispatch_enabled());
+  fused_terms_range(0, term_count(), x, v, m1, m2, simd_dispatch_level(),
+                    simd_fastmath_enabled());
 }
 
 void SeparableConcaveObjective::fused_terms_range(
     std::size_t begin, std::size_t end, std::span<const double> x,
     std::span<double> v, std::span<double> m1, std::span<double> m2,
-    bool simd) const {
+    SimdLevel level, bool fastmath) const {
   const std::size_t stride = term_count();
   // First run overlapping [begin, end): runs_ partitions [0, n) in order.
   auto it = std::partition_point(
@@ -142,11 +228,10 @@ void SeparableConcaveObjective::fused_terms_range(
     const std::size_t n = hi - lo;
     if (it->kernel != nullptr && it->kernel->fused != nullptr) {
       // Sub-range dispatch is safe because the kernels are elementwise:
-      // the SIMD variants are bit-identical per element no matter where
-      // the range starts.
+      // every level is bit-identical per element no matter where the
+      // range starts.
       const Concave1d::BatchKernel::FusedFn fn =
-          simd && it->kernel->fused_simd != nullptr ? it->kernel->fused_simd
-                                                    : it->kernel->fused;
+          it->kernel->select_fused(level, fastmath);
       fn(soa_base(lo), stride, x.data() + lo, v.data() + lo, m1.data() + lo,
          m2.data() + lo, n);
       continue;
@@ -164,17 +249,18 @@ void SeparableConcaveObjective::fused_terms(std::span<const double> x,
                                             std::span<double> m1,
                                             std::span<double> m2,
                                             runtime::ThreadPool& pool) const {
-  const bool simd = simd_dispatch_enabled();
+  const SimdLevel level = simd_dispatch_level();
+  const bool fastmath = simd_fastmath_enabled();
   const auto chunks = runtime::make_chunks_for_width(
       term_count(), runtime::ChunkOptions{.grain = 512}, pool.size());
   if (chunks.size() <= 1) {
-    fused_terms_range(0, term_count(), x, v, m1, m2, simd);
+    fused_terms_range(0, term_count(), x, v, m1, m2, level, fastmath);
     return;
   }
   runtime::TaskGroup group(pool);
   for (const auto& [b, e] : chunks) {
-    group.run([this, b = b, e = e, x, v, m1, m2, simd] {
-      fused_terms_range(b, e, x, v, m1, m2, simd);
+    group.run([this, b = b, e = e, x, v, m1, m2, level, fastmath] {
+      fused_terms_range(b, e, x, v, m1, m2, level, fastmath);
     });
   }
   group.wait();

@@ -22,11 +22,13 @@
 #include <array>
 #include <memory>
 #include <span>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "linalg/sparse.hpp"
 #include "linalg/workspace.hpp"
+#include "util/page_alloc.hpp"
 
 namespace netmon::runtime {
 class ThreadPool;
@@ -36,14 +38,54 @@ namespace netmon::opt {
 
 class SeparableConcaveObjective;
 
-/// Whether batch kernels dispatch to their vectorized variants. Defaults
-/// to on when the library was built with NETMON_SIMD and the NETMON_SIMD
-/// environment variable is not "0"/"off"/"scalar". The scalar and SIMD
-/// variants are bit-identical, so flipping this never changes results —
-/// only throughput.
-bool simd_dispatch_enabled();
+/// Batch-kernel dispatch levels, ordered by capability. Every level is
+/// bit-identical to every other (the vector kernels replay the scalar
+/// reference op sequence, lane for lane), so the level only changes
+/// throughput — never results.
+enum class SimdLevel : int {
+  kScalar = 0,  ///< scalar reference kernels (core/utility.cpp)
+  kAvx2 = 1,    ///< AVX2+FMA intrinsics (core/utility_avx2.cpp)
+  kAvx512 = 2,  ///< AVX-512F intrinsics (core/utility_avx512.cpp)
+};
 
-/// Overrides the dispatch decision (tests sweep both paths explicitly).
+/// Highest level this build + this CPU can run: compiled-in kernel TUs
+/// intersected with CPUID (__builtin_cpu_supports) at first call.
+SimdLevel simd_max_level();
+
+/// The resolved dispatch level. Defaults to the NETMON_SIMD environment
+/// variable — "scalar"/"0"/"off", "avx2", "avx512", or "auto"/"1"/"on"
+/// (= highest supported); unknown values throw netmon::Error. A
+/// requested level the hardware lacks falls back to the highest
+/// supported one (per-level fallback), so the result is always runnable.
+SimdLevel simd_dispatch_level();
+
+/// Overrides the dispatch level (tests sweep levels explicitly). Clamped
+/// to simd_max_level().
+void set_simd_dispatch_level(SimdLevel level);
+
+/// Whether the fast-math kernel variants (reciprocal + Newton instead of
+/// IEEE division) are dispatched. Default off; NETMON_SIMD_FASTMATH=1
+/// opts in. Fast-math results are NOT bit-exact — they carry ≤ ~1e-12
+/// relative error and are gated on that bound, not on bit identity.
+bool simd_fastmath_enabled();
+void set_simd_fastmath(bool enabled);
+
+/// Parses a NETMON_SIMD value ("auto"/"on"/"1" resolve to
+/// simd_max_level()). Throws netmon::Error on unknown values (exposed
+/// for tests; the env init path uses it).
+SimdLevel parse_simd_level(std::string_view value);
+
+/// Parses a NETMON_SIMD_FASTMATH value ("0"/"off"/"1"/"on"); throws
+/// netmon::Error on anything else.
+bool parse_simd_fastmath(std::string_view value);
+
+/// Lower-case level name ("scalar"/"avx2"/"avx512") for reports.
+const char* simd_level_name(SimdLevel level);
+
+/// Compatibility shims for the historical on/off knob: enabled means
+/// "any vector level", and enabling resolves to the highest supported
+/// level.
+bool simd_dispatch_enabled();
 void set_simd_dispatch(bool enabled);
 
 /// A twice continuously differentiable concave objective to MAXIMIZE.
@@ -128,11 +170,41 @@ class Concave1d {
     /// Scalar reference fused variants (required when the maps exist).
     FusedFn fused = nullptr;
     Deriv2Fn deriv2 = nullptr;
-    /// Vectorized variants; nullptr when the family does not vectorize
-    /// (libm-bound kernels) or the build disabled NETMON_SIMD. Must be
+    /// Leveled bit-exact vector variants, indexed by SimdLevel - 1
+    /// (slot 0 = AVX2, slot 1 = AVX-512). nullptr when the family does
+    /// not vectorize (libm-bound) or the build lacks the TU. Must be
     /// bit-identical to the scalar variants, element for element.
-    FusedFn fused_simd = nullptr;
-    Deriv2Fn deriv2_simd = nullptr;
+    std::array<FusedFn, 2> fused_lvl{};
+    std::array<Deriv2Fn, 2> deriv2_lvl{};
+    /// Fast-math variants (reciprocal + Newton): ≤ ~1e-12 relative
+    /// error, opt-in via simd_fastmath_enabled(). Same level indexing.
+    std::array<FusedFn, 2> fused_fm{};
+    std::array<Deriv2Fn, 2> deriv2_fm{};
+    /// Index (into the SoA parameter pack) of the pivot that splits this
+    /// family's piecewise regimes, or kNoPivot for single-regime
+    /// families. The line-search restriction partitions its compacted
+    /// terms on x < pivot so vector kernels see lane-uniform blocks.
+    static constexpr std::size_t kNoPivot = static_cast<std::size_t>(-1);
+    std::size_t pivot_param = kNoPivot;
+
+    /// Variant selection with per-level fallback: the requested level's
+    /// slot, else each lower vector level, else the scalar reference.
+    /// Fast-math slots are consulted first (same fallback walk) when
+    /// `fastmath` is set.
+    FusedFn select_fused(SimdLevel level, bool fastmath) const {
+      for (int l = static_cast<int>(level); l >= 1; --l) {
+        if (fastmath && fused_fm[l - 1] != nullptr) return fused_fm[l - 1];
+        if (fused_lvl[l - 1] != nullptr) return fused_lvl[l - 1];
+      }
+      return fused;
+    }
+    Deriv2Fn select_deriv2(SimdLevel level, bool fastmath) const {
+      for (int l = static_cast<int>(level); l >= 1; --l) {
+        if (fastmath && deriv2_fm[l - 1] != nullptr) return deriv2_fm[l - 1];
+        if (deriv2_lvl[l - 1] != nullptr) return deriv2_lvl[l - 1];
+      }
+      return deriv2;
+    }
   };
 
   virtual ~Concave1d() = default;
@@ -323,12 +395,12 @@ class SeparableConcaveObjective final : public Objective {
   void map_terms(Map mode, std::span<const double> x,
                  std::span<double> out) const;
   /// fused_terms restricted to terms [begin, end): the unit of work the
-  /// parallel overload shards. `simd` is hoisted so every shard of one
-  /// evaluation dispatches identically.
+  /// parallel overload shards. The dispatch level and fast-math flag are
+  /// hoisted so every shard of one evaluation dispatches identically.
   void fused_terms_range(std::size_t begin, std::size_t end,
                          std::span<const double> x, std::span<double> v,
                          std::span<double> m1, std::span<double> m2,
-                         bool simd) const;
+                         SimdLevel level, bool fastmath) const;
   /// SoA table base pointer for the run starting at term `begin`:
   /// parameter j of term (begin + i) is soa_base(begin)[j * n + i] with
   /// n = term_count() the column stride.
@@ -342,7 +414,9 @@ class SeparableConcaveObjective final : public Objective {
   std::vector<double> offsets_;
   /// Structure-of-arrays coefficient table: parameter j of term i at
   /// soa_[j * term_count() + i]. Runs index into it via soa_base().
-  std::vector<double> soa_;
+  /// Page-backed: the batch kernels stream all four parameter columns
+  /// per pass (see util/page_alloc.hpp).
+  util::PageVector<double> soa_;
   std::vector<BatchRun> runs_;
   /// Scratch for the workspace-less virtuals; grow-only, so repeated
   /// calls allocate nothing. Not for concurrent evaluation of the same
