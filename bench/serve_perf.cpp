@@ -1,0 +1,199 @@
+// PERF — serving-layer throughput and the tenant solve cache's value.
+// Emits BENCH_serve.json rows the perf gate tracks:
+//   transport — requests/sec through the full multi-tenant pipeline via
+//               LoopbackTransport vs. a real TCP socket pair (same
+//               service, so the delta IS the transport tax)
+//   cache     — exact-hit replay latency vs. the solved miss it replays,
+//               plus two correctness bits measured per run: the hit is
+//               bit-identical to the original answer, and the solver
+//               invocation counter did not move while hits were served
+//   warm      — solver iterations for a cold solve vs. the same query
+//               warm-started from the nearest cached neighbour (the
+//               fleet pattern: many close-by scenarios)
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "netmon.hpp"
+#include "util/bench_report.hpp"
+
+namespace {
+
+using namespace netmon;
+
+tenant::TenantModel geant_model(double theta = 0.0) {
+  const core::GeantScenario scenario = core::make_geant_scenario();
+  tenant::TenantModel model;
+  model.graph = scenario.net.graph;
+  model.task = scenario.task;
+  model.loads = scenario.loads;
+  if (theta > 0.0) model.problem.theta = theta;
+  return model;
+}
+
+serve::Request solve_at(std::uint64_t id, double theta) {
+  serve::Request request;
+  request.id = id;
+  request.theta = theta;
+  return request;
+}
+
+bool identical(const serve::Response& a, const serve::Response& b) {
+  if (a.solutions.size() != b.solutions.size()) return false;
+  for (std::size_t i = 0; i < a.solutions.size(); ++i) {
+    const core::PlacementSolution& x = a.solutions[i];
+    const core::PlacementSolution& y = b.solutions[i];
+    if (x.rates != y.rates || x.total_utility != y.total_utility ||
+        x.lambda != y.lambda || x.iterations != y.iterations ||
+        x.active_monitors != y.active_monitors)
+      return false;
+  }
+  return true;
+}
+
+/// Requests/sec for `count` distinct queries through `send`, pipelined.
+template <typename Send>
+double reqs_per_sec(std::size_t count, Send&& send) {
+  std::vector<std::future<serve::Response>> futures;
+  futures.reserve(count);
+  StopWatch watch;
+  for (std::size_t i = 0; i < count; ++i) futures.push_back(send(i));
+  for (auto& future : futures)
+    if (future.get().status != serve::ResponseStatus::kOk) return 0.0;
+  return static_cast<double>(count) / (watch.elapsed_ms() / 1000.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== serve_perf: transport throughput + solve cache ==\n");
+  const unsigned hw = std::thread::hardware_concurrency();
+  BenchReport report("serve_perf", hw);
+
+  // --- Transport throughput: loopback vs. real sockets. ---
+  // Distinct thetas defeat the cache, so every request runs the whole
+  // pipeline (resolve -> validate -> queue -> batch -> solve); the GEANT
+  // solve dominates, which is exactly the deployed ratio.
+  {
+    tenant::TenantRegistry registry;
+    registry.publish("geant", geant_model());
+    tenant::TenantServiceOptions options;
+    options.queue_capacity = 2048;
+    options.batch.max_batch = 32;
+    tenant::TenantService service(registry, options);
+
+    constexpr std::size_t kCount = 256;
+    serve::LoopbackTransport loopback(service, /*via_wire=*/true);
+    const double loopback_rps = reqs_per_sec(kCount, [&](std::size_t i) {
+      return loopback.send(
+          solve_at(1000 + i, 90000.0 + 10.0 * static_cast<double>(i)));
+    });
+
+    serve::TcpServer tcp_server(service);
+    serve::TcpClient tcp(
+        "127.0.0.1", tcp_server.port());
+    const double tcp_rps = reqs_per_sec(kCount, [&](std::size_t i) {
+      return tcp.send(
+          solve_at(5000 + i, 70000.0 + 10.0 * static_cast<double>(i)));
+    });
+
+    std::printf("  loopback %.0f req/s, tcp %.0f req/s (%zu distinct"
+                " queries each)\n",
+                loopback_rps, tcp_rps, kCount);
+    report.result("transport")
+        .metric("hw_threads", hw)
+        .metric("loopback_reqs_per_sec", loopback_rps)
+        .metric("tcp_reqs_per_sec", tcp_rps);
+  }
+
+  // --- Cache: exact-hit replay vs. the miss it replays. ---
+  {
+    tenant::TenantRegistry registry;
+    registry.publish("geant", geant_model());
+    tenant::TenantService service(registry);
+
+    serve::Request query = solve_at(1, 100000.0);
+    StopWatch miss_watch;
+    const serve::Response first = service.submit(query).get();
+    const double miss_ms = miss_watch.elapsed_ms();
+    const std::uint64_t solves_before_hits = service.solver_invocations();
+
+    double hit_ms_min = 0.0;
+    bool bit_identical = first.status == serve::ResponseStatus::kOk;
+    constexpr int kHits = 200;
+    for (int i = 0; i < kHits; ++i) {
+      serve::Request repeat = query;
+      repeat.id = 100 + static_cast<std::uint64_t>(i);
+      StopWatch hit_watch;
+      const serve::Response hit = service.submit(repeat).get();
+      const double ms = hit_watch.elapsed_ms();
+      if (i == 0 || ms < hit_ms_min) hit_ms_min = ms;
+      bit_identical = bit_identical &&
+                      hit.cache == serve::CacheOutcome::kHit &&
+                      identical(first, hit);
+    }
+    const bool no_solve =
+        service.solver_invocations() == solves_before_hits;
+    const double speedup = hit_ms_min > 0.0 ? miss_ms / hit_ms_min : 0.0;
+
+    std::printf("  miss %.3f ms, best hit %.4f ms (%.0fx), bit_identical=%d,"
+                " hits_no_solve=%d\n",
+                miss_ms, hit_ms_min, speedup, bit_identical ? 1 : 0,
+                no_solve ? 1 : 0);
+    report.result("cache")
+        .metric("miss_ms", miss_ms)
+        .metric("hit_ms", hit_ms_min)
+        .metric("cache_hit_speedup", speedup)
+        .metric("hit_bit_identical", bit_identical ? 1.0 : 0.0)
+        .metric("hits_no_solve", no_solve ? 1.0 : 0.0);
+  }
+
+  // --- Warm start: iterations with and without a cached neighbour. ---
+  {
+    const double seed_theta = 100000.0;
+    const double query_theta = 104000.0;
+
+    // Cold reference: no cache at all.
+    tenant::TenantRegistry cold_registry;
+    cold_registry.publish("geant", geant_model());
+    tenant::TenantServiceOptions cold_options;
+    cold_options.cache.max_entries = 0;
+    tenant::TenantService cold(cold_registry, cold_options);
+    const serve::Response cold_answer =
+        cold.submit(solve_at(1, query_theta)).get();
+    const double iters_cold =
+        cold_answer.status == serve::ResponseStatus::kOk
+            ? static_cast<double>(cold_answer.solutions[0].iterations)
+            : 0.0;
+
+    // Warm: the cache holds the neighbouring theta's solution.
+    tenant::TenantRegistry warm_registry;
+    warm_registry.publish("geant", geant_model());
+    tenant::TenantService warm(warm_registry, {});
+    (void)warm.submit(solve_at(2, seed_theta)).get();
+    const serve::Response warm_answer =
+        warm.submit(solve_at(3, query_theta)).get();
+    const bool warm_started =
+        warm_answer.cache == serve::CacheOutcome::kWarmStart;
+    const double iters_warm =
+        warm_answer.status == serve::ResponseStatus::kOk
+            ? static_cast<double>(warm_answer.solutions[0].iterations)
+            : iters_cold;
+    const double savings_pct =
+        iters_cold > 0.0 ? 100.0 * (1.0 - iters_warm / iters_cold) : 0.0;
+
+    std::printf("  cold %d iters, warm-started %d iters -> %.1f%% saved"
+                " (donor used=%d)\n",
+                static_cast<int>(iters_cold), static_cast<int>(iters_warm),
+                savings_pct, warm_started ? 1 : 0);
+    report.result("warm")
+        .metric("iters_cold", iters_cold)
+        .metric("iters_warm", iters_warm)
+        .metric("warm_iter_savings_pct", savings_pct)
+        .metric("warm_donor_used", warm_started ? 1.0 : 0.0);
+  }
+
+  report.emit();
+  return 0;
+}

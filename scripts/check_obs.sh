@@ -3,10 +3,14 @@
 # $1 (the NETMON_OBS_DIR handed to examples/operations_center):
 #   trace.jsonl   — per-iteration solver trace, schema-complete lines,
 #                   one final summary record per solve with KKT fields,
-#   metrics.prom  — Prometheus 0.0.4 text: serve + solver families,
-#                   cumulative buckets ending at +Inf == _count,
+#   metrics.prom  — Prometheus 0.0.4 text: serve + solver families plus
+#                   the multi-tenant netmon_cache_* / netmon_tenant_*
+#                   families with plausible accounting, cumulative
+#                   buckets ending at +Inf == _count,
 #   flight.jsonl  — flight-recorder events covering the request
-#                   lifecycle, timestamps non-decreasing.
+#                   lifecycle (admit through solve_done, plus cache,
+#                   quota, and tenant-swap events), timestamps
+#                   non-decreasing.
 # When the continuous-operation demo also ran into the same directory,
 # its control-loop artifacts are validated too:
 #   control_flight.jsonl  — control events (track/resolve/reconfig),
@@ -96,6 +100,49 @@ if awk '
 else
   bad "metrics.prom bucket invariants violated"
 fi
+
+# -- multi-tenant serving: solve cache + tenant registry families. --
+# The operations-center run serves two tenants through the keyed solve
+# cache, so the metrics snapshot must export both families with
+# plausible accounting: the demo replays at least one exact hit, keeps
+# at least one entry resident, and never inserts more entries than it
+# missed (only completed kOk misses are cached).
+for family in netmon_cache_hits_total netmon_cache_misses_total \
+              netmon_cache_warm_starts_total netmon_cache_insertions_total \
+              netmon_cache_entries netmon_tenant_swaps_total \
+              netmon_tenant_count netmon_tenant_quota_rejects_total; do
+  grep -q "^${family} " "${DIR}/metrics.prom" \
+    && ok "metrics.prom exports ${family}" \
+    || bad "metrics.prom missing ${family}"
+done
+if awk '
+    /^netmon_cache_hits_total /       { hits = $2 + 0 }
+    /^netmon_cache_misses_total /     { misses = $2 + 0 }
+    /^netmon_cache_insertions_total / { ins = $2 + 0 }
+    /^netmon_cache_entries /          { entries = $2 + 0 }
+    END { exit (hits >= 1 && entries >= 1 && ins <= misses) ? 0 : 1 }
+  ' "${DIR}/metrics.prom"; then
+  ok "metrics.prom cache accounting plausible (hits >= 1, inserts <= misses)"
+else
+  bad "metrics.prom cache accounting implausible"
+fi
+if awk '
+    /^netmon_tenant_swaps_total /        { swaps = $2 + 0 }
+    /^netmon_tenant_count /              { count = $2 + 0 }
+    /^netmon_tenant_quota_rejects_total /{ rejects = $2 + 0 }
+    END { exit (count >= 2 && swaps >= count && rejects >= 1) ? 0 : 1 }
+  ' "${DIR}/metrics.prom"; then
+  ok "metrics.prom tenant accounting plausible (>= 2 tenants, swaps, rejects)"
+else
+  bad "metrics.prom tenant accounting implausible"
+fi
+# The flight recorder sees the same story: cache hits and quota rejects
+# are lifecycle events too.
+for event in cache_hit cache_miss quota_reject tenant_swap; do
+  grep -q "\"event\":\"${event}\"" "${DIR}/flight.jsonl" \
+    && ok "flight.jsonl records ${event}" \
+    || bad "flight.jsonl missing ${event}"
+done
 
 # -- flight.jsonl: lifecycle coverage and causal timestamps. --
 for event in admit dequeue batch_formed solve_done; do

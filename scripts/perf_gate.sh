@@ -18,9 +18,16 @@
 # accounting must close on every run; the >= 1M pkts/sec throughput
 # floor applies on machines with >= 4 hardware threads; and both
 # throughput rows get the same 50% band as the scale timings.
+# A fourth section reruns serve_perf against BENCH_serve.json: the
+# cache-hit replay must be bit-identical and must not move the solver
+# invocation counter (both hard correctness bits measured per run), the
+# exact-hit speedup has a >= 5x floor, the warm-start iteration savings
+# from the nearest cached neighbour have a >= 10% floor, and the
+# loopback/TCP requests-per-second rows get the wide 50% band.
 #
 # Usage: scripts/perf_gate.sh [build-dir]
-#        (expects solver_perf + scaling_perf + ingest_perf built)
+#        (expects solver_perf + scaling_perf + ingest_perf + serve_perf
+#        built)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,9 +35,11 @@ BUILD="${1:-build}"
 BASELINE="BENCH_solver.json"
 SCALING_BASELINE="BENCH_scaling.json"
 INGEST_BASELINE="BENCH_ingest.json"
+SERVE_BASELINE="BENCH_serve.json"
 BIN="${BUILD}/bench/solver_perf"
 SCALING_BIN="${BUILD}/bench/scaling_perf"
 INGEST_BIN="${BUILD}/bench/ingest_perf"
+SERVE_BIN="${BUILD}/bench/serve_perf"
 
 [ -f "${BASELINE}" ] || { echo "perf_gate: missing ${BASELINE}"; exit 1; }
 [ -x "${BIN}" ] || { echo "perf_gate: ${BIN} not built"; exit 1; }
@@ -38,7 +47,8 @@ INGEST_BIN="${BUILD}/bench/ingest_perf"
 TMP="$(mktemp)"
 SCALING_TMP="$(mktemp)"
 INGEST_TMP="$(mktemp)"
-trap 'rm -f "${TMP}" "${SCALING_TMP}" "${INGEST_TMP}"' EXIT
+SERVE_TMP="$(mktemp)"
+trap 'rm -f "${TMP}" "${SCALING_TMP}" "${INGEST_TMP}" "${SERVE_TMP}"' EXIT
 NETMON_PERF_KERNELS_ONLY=1 NETMON_BENCH_JSON="${TMP}" "${BIN}" >/dev/null
 
 # The bench JSON is one flat object per line with "key":number metrics,
@@ -301,6 +311,82 @@ check_ingest() { # key — throughput metric, higher is better
 }
 check_ingest ingest_pkts_per_sec
 check_ingest ring_records_per_sec
+
+# ---- serve section: transport throughput + the tenant solve cache ----
+
+[ -f "${SERVE_BASELINE}" ] || {
+  echo "perf_gate: missing ${SERVE_BASELINE}"; exit 1; }
+[ -x "${SERVE_BIN}" ] || {
+  echo "perf_gate: ${SERVE_BIN} not built"; exit 1; }
+NETMON_BENCH_JSON="${SERVE_TMP}" "${SERVE_BIN}" >/dev/null
+
+# Exact hits must replay the solved answer bit-identically... —
+# correctness bits measured per run, never trusted from the baseline.
+hit_identical="$(extract "${SERVE_TMP}" hit_bit_identical)"
+if [ "${hit_identical}" != "1" ]; then
+  echo "perf_gate: FAIL hit_bit_identical: cached replay diverged"
+  fail=1
+else
+  echo "perf_gate: ok   hit_bit_identical"
+fi
+# ...and without invoking the solver (the invocation counter is the
+# acceptance probe: it must not move while hits are served).
+no_solve="$(extract "${SERVE_TMP}" hits_no_solve)"
+if [ "${no_solve}" != "1" ]; then
+  echo "perf_gate: FAIL hits_no_solve: cache hits invoked the solver"
+  fail=1
+else
+  echo "perf_gate: ok   hits_no_solve"
+fi
+
+# Replaying from the cache must beat solving by a wide margin: a hit is
+# a sharded-map lookup + response copy vs. a full GEANT solve. The 5x
+# floor is absolute (measured per run); typical is two orders.
+hit_speedup="$(extract "${SERVE_TMP}" cache_hit_speedup)"
+if awk -v s="${hit_speedup:-0}" 'BEGIN { exit (s >= 5.0) ? 0 : 1 }'; then
+  echo "perf_gate: ok   cache_hit_speedup      ${hit_speedup} (floor 5.0)"
+else
+  echo "perf_gate: FAIL cache_hit_speedup      ${hit_speedup} (< 5.0 floor)"
+  fail=1
+fi
+
+# Warm-starting from the nearest cached neighbour must save iterations
+# (the donor must actually have been used). >= 10% floor; typical ~40%.
+donor_used="$(extract "${SERVE_TMP}" warm_donor_used)"
+savings="$(extract "${SERVE_TMP}" warm_iter_savings_pct)"
+if [ "${donor_used}" != "1" ]; then
+  echo "perf_gate: FAIL warm_donor_used: nearest() donated nothing"
+  fail=1
+elif awk -v s="${savings:-0}" 'BEGIN { exit (s >= 10.0) ? 0 : 1 }'; then
+  echo "perf_gate: ok   warm_iter_savings_pct  ${savings} (floor 10.0)"
+else
+  echo "perf_gate: FAIL warm_iter_savings_pct  ${savings} (< 10.0 floor)"
+  fail=1
+fi
+
+# Throughput rows vs. the committed baseline: higher is better, wide
+# 50% band (wall-clock request floods share the ingest noise profile).
+check_serve() { # key — throughput metric, higher is better
+  local key="$1" old new
+  old="$(extract "${SERVE_BASELINE}" "${key}")"
+  new="$(extract "${SERVE_TMP}" "${key}")"
+  if [ -z "${old}" ] || [ -z "${new}" ]; then
+    echo "perf_gate: FAIL ${key}: missing (baseline='${old}' new='${new}')"
+    fail=1
+    return
+  fi
+  if awk -v o="${old}" -v n="${new}" -v t="${TOL}" \
+      'BEGIN { exit (n >= o / t) ? 0 : 1 }'; then
+    printf 'perf_gate: ok   %-22s baseline=%-12s new=%s\n' \
+      "${key}" "${old}" "${new}"
+  else
+    printf 'perf_gate: FAIL %-22s baseline=%-12s new=%s (>50%% regression)\n' \
+      "${key}" "${old}" "${new}"
+    fail=1
+  fi
+}
+check_serve loopback_reqs_per_sec
+check_serve tcp_reqs_per_sec
 
 [ "${fail}" -eq 0 ] && echo "perf_gate: PASS" || echo "perf_gate: FAIL"
 exit "${fail}"

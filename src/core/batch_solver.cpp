@@ -45,6 +45,7 @@ std::vector<PlacementSolution> BatchSolver::solve(
       for (std::size_t i = chunks[c].first; i < chunks[c].second; ++i) {
         solutions[i] =
             solve_placement(*problems[i], effective_solver_, &workspace);
+        solves_.fetch_add(1, std::memory_order_relaxed);
         iterations_hist_.observe(
             static_cast<double>(solutions[i].iterations));
       }
@@ -64,10 +65,12 @@ std::vector<PlacementSolution> BatchSolver::solve(
     opt::SolverWorkspace workspace;
     solutions[begin] =
         solve_placement(*problems[begin], effective_solver_, &workspace);
+    solves_.fetch_add(1, std::memory_order_relaxed);
     iterations_hist_.observe(static_cast<double>(solutions[begin].iterations));
     for (std::size_t i = begin + 1; i < end; ++i) {
       solutions[i] = resolve_warm(*problems[i], solutions[i - 1].rates,
                                   effective_solver_, &workspace);
+      solves_.fetch_add(1, std::memory_order_relaxed);
       iterations_hist_.observe(static_cast<double>(solutions[i].iterations));
     }
   });
@@ -117,6 +120,7 @@ std::vector<PlacementSolution> BatchSolver::solve_items(
             solutions[i] =
                 solve_approx(*item.problem, part, options_.approx).solution;
           }
+          solves_.fetch_add(1, std::memory_order_relaxed);
           iterations_hist_.observe(
               static_cast<double>(solutions[i].iterations));
           continue;
@@ -137,6 +141,7 @@ std::vector<PlacementSolution> BatchSolver::solve_items(
           item.warm
               ? resolve_warm(*item.problem, *item.warm, *solver, &workspace)
               : solve_placement(*item.problem, *solver, &workspace);
+      solves_.fetch_add(1, std::memory_order_relaxed);
       iterations_hist_.observe(static_cast<double>(solutions[i].iterations));
     }
   });

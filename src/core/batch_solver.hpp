@@ -11,6 +11,8 @@
 // so batch outputs are bit-identical at every pool size.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -109,6 +111,13 @@ class BatchSolver {
 
   const BatchOptions& options() const noexcept { return options_; }
 
+  /// Total problems actually solved (exact or approx tier) across every
+  /// batch this solver ran. The serve cache's acceptance test hinges on
+  /// this: an exact cache hit must answer without moving this counter.
+  std::uint64_t solves() const noexcept {
+    return solves_.load(std::memory_order_relaxed);
+  }
+
  private:
   BatchOptions options_;
   /// options_.solver with the trace sink and counter handles installed
@@ -118,6 +127,9 @@ class BatchSolver {
   bool instrumented_ = false;
   obs::SolverCounters counters_;
   obs::Histogram iterations_hist_;
+  /// Lifetime solver-invocation count; see solves(). Relaxed: the count
+  /// is a monotone statistic, never a synchronization edge.
+  mutable std::atomic<std::uint64_t> solves_{0};
 };
 
 /// Builds one problem per theta (the Fig. 2 sweep shape): `base` supplies

@@ -52,6 +52,7 @@
 #include "runtime/runtime.hpp"   // IWYU pragma: export
 #include "sampling/simulation.hpp"      // IWYU pragma: export
 #include "serve/serve.hpp"       // IWYU pragma: export
+#include "tenant/tenant.hpp"   // IWYU pragma: export
 #include "sampling/trajectory.hpp"      // IWYU pragma: export
 #include "telemetry/snmp.hpp"    // IWYU pragma: export
 #include "topo/abilene.hpp"      // IWYU pragma: export

@@ -23,6 +23,12 @@ const char* to_string(ServeEvent event) noexcept {
     case ServeEvent::kControlReconfigure: return "control_reconfig";
     case ServeEvent::kControlHold: return "control_hold";
     case ServeEvent::kControlSolveExpired: return "control_solve_expired";
+    case ServeEvent::kCacheHit: return "cache_hit";
+    case ServeEvent::kCacheMiss: return "cache_miss";
+    case ServeEvent::kQuotaReject: return "quota_reject";
+    case ServeEvent::kTenantSwap: return "tenant_swap";
+    case ServeEvent::kConnOpen: return "conn_open";
+    case ServeEvent::kConnClose: return "conn_close";
   }
   return "unknown";
 }

@@ -51,6 +51,20 @@ enum class ServeEvent : std::uint8_t {
   /// Control loop: re-solve abandoned on its deadline, incumbent kept
   /// (arg = iterations completed).
   kControlSolveExpired = 14,
+  /// Tenant cache: exact fingerprint hit, solver skipped (arg = shard).
+  kCacheHit = 15,
+  /// Tenant cache: miss (arg = 1 when warm-started from a neighbor).
+  kCacheMiss = 16,
+  /// Tenant quota rejected the request (arg = quota::Decision).
+  kQuotaReject = 17,
+  /// Tenant registry published a new snapshot (arg = new epoch).
+  kTenantSwap = 18,
+  /// TCP transport: connection accepted (request_id = connection id,
+  /// arg = live connection count).
+  kConnOpen = 19,
+  /// TCP transport: connection closed (request_id = connection id,
+  /// arg = live connection count after the close).
+  kConnClose = 20,
 };
 
 const char* to_string(ServeEvent event) noexcept;

@@ -1,0 +1,89 @@
+#include "serve/epoll_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "util/error.hpp"
+
+namespace netmon::serve {
+
+EpollLoop::EpollLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  NETMON_REQUIRE(epoll_fd_ >= 0, "epoll_create1 failed");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    NETMON_REQUIRE(false, "eventfd failed");
+  }
+  ::epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    NETMON_REQUIRE(false, "epoll_ctl(wake) failed");
+  }
+}
+
+EpollLoop::~EpollLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EpollLoop::add(int fd, std::uint64_t tag, std::uint32_t events) {
+  NETMON_REQUIRE(tag != kWakeTag, "tag 0 is reserved for the wake channel");
+  ::epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  NETMON_REQUIRE(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+                 "epoll_ctl(add) failed");
+}
+
+void EpollLoop::modify(int fd, std::uint64_t tag, std::uint32_t events) {
+  ::epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  NETMON_REQUIRE(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0,
+                 "epoll_ctl(mod) failed");
+}
+
+void EpollLoop::remove(int fd) {
+  // Best-effort: the fd may already be gone (peer reset) — either way it
+  // leaves the interest set when closed.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+std::size_t EpollLoop::wait(std::vector<Event>& out, int timeout_ms) {
+  ::epoll_event events[64];
+  int n;
+  do {
+    n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  NETMON_REQUIRE(n >= 0, "epoll_wait failed");
+  out.clear();
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (events[i].data.u64 == kWakeTag) {
+      // Drain so the eventfd is level-idle again; one wake() = one
+      // kWakeTag event, coalescing bursts.
+      std::uint64_t value = 0;
+      [[maybe_unused]] const ssize_t r =
+          ::read(wake_fd_, &value, sizeof(value));
+    }
+    out.push_back(Event{events[i].data.u64, events[i].events});
+  }
+  return out.size();
+}
+
+void EpollLoop::wake() noexcept {
+  const std::uint64_t one = 1;
+  // The eventfd counter saturates rather than blocks with EFD_NONBLOCK;
+  // a failed write means a wake is already pending, which is fine.
+  [[maybe_unused]] const ssize_t r =
+      ::write(wake_fd_, &one, sizeof(one));
+}
+
+}  // namespace netmon::serve

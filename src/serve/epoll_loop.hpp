@@ -1,0 +1,57 @@
+// Thin RAII wrapper around a Linux epoll instance plus an eventfd wake
+// channel — the readiness core of the nonblocking TCP transport.
+//
+// The loop maps file descriptors to opaque 64-bit tags (never raw fds in
+// the event payload, so a recycled fd can't be confused with a stale
+// registration) and adds one cross-thread primitive: wake(), which makes
+// the current or next wait() return immediately. That is how the serve
+// dispatcher's completion callbacks — which run on dispatcher threads —
+// hand encoded responses back to the single I/O thread without touching
+// any socket themselves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace netmon::serve {
+
+class EpollLoop {
+ public:
+  /// The tag wait() reports when wake() was called.
+  static constexpr std::uint64_t kWakeTag = 0;
+
+  struct Event {
+    std::uint64_t tag = 0;
+    /// EPOLLIN / EPOLLOUT / EPOLLERR / EPOLLHUP bits.
+    std::uint32_t events = 0;
+  };
+
+  EpollLoop();
+  ~EpollLoop();
+
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  /// Registers `fd` under `tag` for `events` (EPOLLIN | EPOLLOUT bits;
+  /// level-triggered). The tag must not be kWakeTag.
+  void add(int fd, std::uint64_t tag, std::uint32_t events);
+  /// Changes the interest set of a registered fd.
+  void modify(int fd, std::uint64_t tag, std::uint32_t events);
+  /// Deregisters `fd` (call before closing it).
+  void remove(int fd);
+
+  /// Blocks up to `timeout_ms` (-1 = indefinitely), replaces `out` with
+  /// the ready events, and returns their count. A pending wake() is
+  /// drained (so it fires once) and reported as tag kWakeTag.
+  std::size_t wait(std::vector<Event>& out, int timeout_ms);
+
+  /// Makes the current or next wait() return immediately. Safe from any
+  /// thread, async-signal-unsafe-free, never blocks.
+  void wake() noexcept;
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+};
+
+}  // namespace netmon::serve

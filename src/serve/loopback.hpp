@@ -1,4 +1,4 @@
-// In-process transport: submits directly to a Server, optionally
+// In-process transport: submits directly to a Service, optionally
 // round-tripping request and response through the wire codec.
 //
 // Loopback is the deterministic reference transport — tests and examples
@@ -6,46 +6,50 @@
 // (typed rejections, deadlines, batching) with no sockets involved. The
 // `via_wire` mode encodes every request and decodes every response
 // through serve/wire, so it also proves the codec is lossless on live
-// traffic: responses are bit-identical either way.
+// traffic: responses are bit-identical either way, and bit-identical to
+// the same fleet sent over serve::TcpClient.
 #pragma once
 
 #include <future>
+#include <memory>
 #include <utility>
 
-#include "serve/server.hpp"
+#include "serve/transport.hpp"
 #include "serve/wire.hpp"
 
 namespace netmon::serve {
 
-class LoopbackTransport {
+class LoopbackTransport final : public Transport {
  public:
-  /// Borrows the server; `via_wire` routes every request/response through
-  /// encode/decode as a real byte transport would.
-  explicit LoopbackTransport(Server& server, bool via_wire = false)
-      : server_(server), via_wire_(via_wire) {}
+  /// Borrows the service; `via_wire` routes every request/response
+  /// through encode/decode as a real byte transport would.
+  explicit LoopbackTransport(Service& service, bool via_wire = false)
+      : service_(service), via_wire_(via_wire) {}
 
-  /// Fire-and-forget submit; the future always completes (typed).
-  std::future<Response> send(Request request) {
-    if (!via_wire_) return server_.submit(std::move(request));
-    Request decoded = decode_request(encode_request(request));
-    std::future<Response> inner = server_.submit(std::move(decoded));
-    // Re-frame the response on the way back, asynchronously, so send()
-    // stays non-blocking.
-    return std::async(std::launch::deferred,
-                      [inner = std::move(inner)]() mutable {
-                        return decode_response(
-                            encode_response(inner.get()));
+  std::future<Response> send(Request request) override {
+    auto promise = std::make_shared<std::promise<Response>>();
+    std::future<Response> future = promise->get_future();
+    if (!via_wire_) {
+      service_.submit(std::move(request),
+                      [promise](Response&& response) {
+                        promise->set_value(std::move(response));
                       });
+    } else {
+      Request decoded = decode_request(encode_request(request));
+      service_.submit(std::move(decoded),
+                      [promise](Response&& response) {
+                        promise->set_value(
+                            decode_response(encode_response(response)));
+                      });
+    }
+    return future;
   }
 
-  /// Blocking request/response call.
-  Response call(Request request) { return send(std::move(request)).get(); }
-
-  Server& server() noexcept { return server_; }
+  Service& service() noexcept { return service_; }
   bool via_wire() const noexcept { return via_wire_; }
 
  private:
-  Server& server_;
+  Service& service_;
   bool via_wire_;
 };
 

@@ -14,7 +14,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <future>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -30,7 +30,14 @@ using ServeClock = std::chrono::steady_clock;
 /// admission-time stamps the deadline/latency accounting needs.
 struct QueuedRequest {
   Request request;
-  std::promise<Response> promise;
+  /// Completion channel: invoked exactly once with the typed Response
+  /// (serve::ResponseCallback contract).
+  ResponseCallback done;
+  /// Opaque lifetime pin held until after `done` runs. The tenant layer
+  /// parks the RCU model snapshot the request resolves against here, so
+  /// a registry swap can never retire the model under an in-flight
+  /// solve; the serve layer itself stays tenant-agnostic.
+  std::shared_ptr<const void> context;
   ServeClock::time_point enqueued_at{};
   /// Absolute deadline (admission time + Request::deadline_ms);
   /// time_point::max() when the request has none.
@@ -54,7 +61,7 @@ class RequestQueue {
 
   /// Admits `item` unless the queue is full or closed. Never blocks.
   /// Moves from `item` only on kOk — on rejection the caller still holds
-  /// the promise and must answer it with a typed response.
+  /// the completion callback and must answer it with a typed response.
   PushResult try_push(QueuedRequest& item);
 
   /// As try_push, but on admission invokes `on_admit(depth)` while still

@@ -9,6 +9,16 @@ const char* to_string(ResponseStatus status) noexcept {
     case ResponseStatus::kDeadlineExpired: return "deadline_expired";
     case ResponseStatus::kBadRequest: return "bad_request";
     case ResponseStatus::kShutdown: return "shutdown";
+    case ResponseStatus::kRejectedQuota: return "rejected_quota";
+  }
+  return "unknown";
+}
+
+const char* to_string(CacheOutcome outcome) noexcept {
+  switch (outcome) {
+    case CacheOutcome::kNone: return "none";
+    case CacheOutcome::kHit: return "hit";
+    case CacheOutcome::kWarmStart: return "warm_start";
   }
   return "unknown";
 }

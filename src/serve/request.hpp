@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,10 @@ struct Request {
   /// Client-chosen correlation id, echoed in the Response.
   std::uint64_t id = 0;
   RequestKind kind = RequestKind::kSolve;
+  /// Tenant the query resolves against. Single-tenant servers ignore it;
+  /// tenant::TenantService resolves it in its TenantRegistry (empty =
+  /// the registry's default tenant) and rejects unknown names.
+  std::string tenant;
   /// System capacity theta; 0 = the server's default.
   double theta = 0.0;
   /// Per-link rate cap; 0 = the server's default.
@@ -82,10 +87,27 @@ enum class ResponseStatus : std::uint8_t {
   kBadRequest = 3,
   /// The server was stopped before the request could be served.
   kShutdown = 4,
+  /// The tenant's admission quota (token bucket or max in-flight) was
+  /// exhausted at submit time; `error` says which.
+  kRejectedQuota = 5,
+};
+
+/// How the tenant solve cache participated in answering a request.
+enum class CacheOutcome : std::uint8_t {
+  /// Served without cache involvement (cache disabled, or nothing
+  /// usable was cached).
+  kNone = 0,
+  /// Exact fingerprint hit: the stored Response returned bit-identically
+  /// without invoking the solver.
+  kHit = 1,
+  /// Miss, but the solve was warm-started from the nearest cached
+  /// solution's rates.
+  kWarmStart = 2,
 };
 
 const char* to_string(ResponseStatus status) noexcept;
 const char* to_string(RequestKind kind) noexcept;
+const char* to_string(CacheOutcome outcome) noexcept;
 
 /// One point of a theta-sweep answer.
 struct ThetaPoint {
@@ -125,6 +147,11 @@ struct Response {
   std::vector<ThetaPoint> sweep;
   /// kAccuracyReport: one row per task OD pair.
   std::vector<OdAccuracy> accuracy;
+  /// Tenant that served the request (echo of Request::tenant after
+  /// default resolution; empty on single-tenant servers).
+  std::string tenant;
+  /// Solve-cache participation (tenant::SolveCache).
+  CacheOutcome cache = CacheOutcome::kNone;
   /// Transport metadata (not covered by the determinism guarantee): how
   /// many requests rode in this request's dispatch batch, and wall-clock
   /// queue / solve time.
@@ -132,5 +159,10 @@ struct Response {
   double queue_ms = 0.0;
   double solve_ms = 0.0;
 };
+
+/// Completion channel of an asynchronous submission: invoked exactly once
+/// with the typed Response, possibly on a dispatcher thread. Must be
+/// copyable (capture shared state via shared_ptr).
+using ResponseCallback = std::function<void(Response&&)>;
 
 }  // namespace netmon::serve

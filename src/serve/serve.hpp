@@ -8,10 +8,13 @@
 // serve/server.hpp for the dataflow and the backpressure contract.
 #pragma once
 
-#include "serve/batcher.hpp"    // IWYU pragma: export
-#include "serve/loopback.hpp"   // IWYU pragma: export
-#include "serve/queue.hpp"      // IWYU pragma: export
-#include "serve/request.hpp"    // IWYU pragma: export
-#include "serve/server.hpp"     // IWYU pragma: export
-#include "serve/stats.hpp"      // IWYU pragma: export
-#include "serve/wire.hpp"       // IWYU pragma: export
+#include "serve/batcher.hpp"        // IWYU pragma: export
+#include "serve/exec.hpp"           // IWYU pragma: export
+#include "serve/loopback.hpp"       // IWYU pragma: export
+#include "serve/queue.hpp"          // IWYU pragma: export
+#include "serve/request.hpp"        // IWYU pragma: export
+#include "serve/server.hpp"         // IWYU pragma: export
+#include "serve/stats.hpp"          // IWYU pragma: export
+#include "serve/tcp_transport.hpp"  // IWYU pragma: export
+#include "serve/transport.hpp"      // IWYU pragma: export
+#include "serve/wire.hpp"           // IWYU pragma: export

@@ -1,6 +1,5 @@
 #include "serve/server.hpp"
 
-#include <cmath>
 #include <deque>
 #include <span>
 #include <utility>
@@ -12,10 +11,6 @@
 namespace netmon::serve {
 
 namespace {
-
-double ms_between(ServeClock::time_point from, ServeClock::time_point to) {
-  return std::chrono::duration<double, std::milli>(to - from).count();
-}
 
 core::BatchOptions make_batch_options(const ServerOptions& options,
                                       obs::MetricsRegistry& metrics) {
@@ -78,51 +73,11 @@ control::StepResult Server::control_step(
 
 Server::~Server() { stop(); }
 
-std::string Server::validate(const Request& request) const {
-  const double theta =
-      request.theta != 0.0 ? request.theta : options_.problem.theta;
-  if (!(theta > 0.0) || !std::isfinite(theta))
-    return "theta must be positive and finite";
-  if (request.default_alpha != 0.0 &&
-      (!(request.default_alpha > 0.0) || request.default_alpha > 1.0))
-    return "default_alpha must be in (0, 1]";
-  for (topo::LinkId id : request.failed)
-    if (id >= graph_.link_count()) return "failed link id out of range";
-  if (!request.warm_start.empty() &&
-      request.warm_start.size() != graph_.link_count())
-    return "warm_start must cover every link or be empty";
-  for (double rate : request.warm_start)
-    if (!std::isfinite(rate) || rate < 0.0 || rate > 1.0)
-      return "warm_start rates must be in [0, 1]";
-  switch (request.kind) {
-    case RequestKind::kWhatIfBatch:
-      if (request.what_if.empty())
-        return "what_if_batch requires at least one scenario";
-      for (const auto& scenario : request.what_if)
-        for (topo::LinkId id : scenario)
-          if (id >= graph_.link_count())
-            return "what_if link id out of range";
-      break;
-    case RequestKind::kThetaSweep:
-      if (request.thetas.empty())
-        return "theta_sweep requires at least one theta";
-      for (double value : request.thetas)
-        if (!(value > 0.0) || !std::isfinite(value))
-          return "sweep thetas must be positive and finite";
-      break;
-    case RequestKind::kSolve:
-    case RequestKind::kAccuracyReport:
-      break;
-  }
-  return {};
-}
-
-std::future<Response> Server::submit(Request request) {
+void Server::submit(Request request, ResponseCallback done) {
   stats_.on_submitted();
-  std::promise<Response> promise;
-  std::future<Response> future = promise.get_future();
 
-  if (std::string error = validate(request); !error.empty()) {
+  if (std::string error = validate_request(model_view(), request);
+      !error.empty()) {
     stats_.on_bad_request();
     recorder_.record(obs::ServeEvent::kBadRequest, request.id, 0,
                      clock_->now());
@@ -131,8 +86,8 @@ std::future<Response> Server::submit(Request request) {
     response.kind = request.kind;
     response.status = ResponseStatus::kBadRequest;
     response.error = std::move(error);
-    promise.set_value(std::move(response));
-    return future;
+    done(std::move(response));
+    return;
   }
 
   QueuedRequest item;
@@ -141,7 +96,7 @@ std::future<Response> Server::submit(Request request) {
     item.deadline =
         item.enqueued_at + std::chrono::milliseconds(request.deadline_ms);
   item.request = std::move(request);
-  item.promise = std::move(promise);
+  item.done = std::move(done);
 
   // The admit record runs under the queue lock: its ring ticket (and
   // stats update) land strictly before any dequeue of this request.
@@ -152,7 +107,7 @@ std::future<Response> Server::submit(Request request) {
         stats_.on_enqueued(depth);
         recorder_.record(obs::ServeEvent::kAdmit, id, depth, enqueued_at);
       });
-  if (pushed == PushResult::kOk) return future;
+  if (pushed == PushResult::kOk) return;
 
   Response response;
   response.id = item.request.id;
@@ -169,8 +124,7 @@ std::future<Response> Server::submit(Request request) {
     response.status = ResponseStatus::kShutdown;
     response.error = "server stopped";
   }
-  item.promise.set_value(std::move(response));
-  return future;
+  item.done(std::move(response));
 }
 
 void Server::pause() {
@@ -209,7 +163,7 @@ void Server::stop() {
       response.kind = item.request.kind;
       response.status = ResponseStatus::kShutdown;
       response.error = "server stopped before the request was served";
-      item.promise.set_value(std::move(response));
+      item.done(std::move(response));
     }
   });
 }
@@ -234,6 +188,7 @@ void Server::dispatch_loop() {
 
 void Server::process_batch(std::vector<QueuedRequest> batch) {
   const ServeClock::time_point dispatch_time = clock_->now();
+  const ModelView model = model_view();
 
   // One slot per still-live request; expired/bad ones are answered right
   // here. Problems live in a deque (stable addresses while growing).
@@ -256,16 +211,7 @@ void Server::process_batch(std::vector<QueuedRequest> batch) {
     response.error = std::move(error);
     response.batch_size = static_cast<std::uint32_t>(batch.size());
     response.queue_ms = ms_between(item.enqueued_at, dispatch_time);
-    item.promise.set_value(std::move(response));
-  };
-
-  auto problem_options = [&](const Request& request) {
-    core::ProblemOptions base = options_.problem;
-    if (request.theta > 0.0) base.theta = request.theta;
-    if (request.default_alpha > 0.0)
-      base.default_alpha = request.default_alpha;
-    for (topo::LinkId id : request.failed) base.failed.insert(id);
-    return base;
+    item.done(std::move(response));
   };
 
   for (QueuedRequest& item : batch) {
@@ -284,29 +230,8 @@ void Server::process_batch(std::vector<QueuedRequest> batch) {
 
     Slot slot;
     slot.first = problems.size();
-    const Request& request = item.request;
     try {
-      switch (request.kind) {
-        case RequestKind::kSolve:
-        case RequestKind::kAccuracyReport:
-          problems.emplace_back(graph_, task_, loads_,
-                                problem_options(request));
-          break;
-        case RequestKind::kWhatIfBatch:
-          for (const auto& scenario : request.what_if) {
-            core::ProblemOptions with_scenario = problem_options(request);
-            for (topo::LinkId id : scenario) with_scenario.failed.insert(id);
-            problems.emplace_back(graph_, task_, loads_, with_scenario);
-          }
-          break;
-        case RequestKind::kThetaSweep:
-          for (double theta : request.thetas) {
-            core::ProblemOptions at_theta = problem_options(request);
-            at_theta.theta = theta;
-            problems.emplace_back(graph_, task_, loads_, at_theta);
-          }
-          break;
-      }
+      slot.count = expand_request(model, item.request, problems);
     } catch (const Error& error) {
       // Problem assembly rejected the query (e.g. a failure set that
       // disconnects a task OD pair). Typed answer; orphaned problems
@@ -315,24 +240,8 @@ void Server::process_batch(std::vector<QueuedRequest> batch) {
       answer_now(item, ResponseStatus::kBadRequest, error.what());
       continue;
     }
-    slot.count = problems.size() - slot.first;
-
-    slot.solver = options_.solver;
-    if (request.deadline_ms > 0 || request.iteration_budget > 0) {
-      // Per-request deadline hook: polled between solver iterations on
-      // whichever worker runs this request's problems. Uses the same
-      // injected clock as the dequeue expiry check above, so the two can
-      // never disagree (and a ManualClock drives both in tests).
-      const ServeClock::time_point deadline = item.deadline;
-      const std::uint32_t budget = request.iteration_budget;
-      const obs::Clock* clock = clock_;
-      slot.solver.should_stop = [deadline, budget, clock](int iterations) {
-        if (budget > 0 && iterations >= static_cast<int>(budget))
-          return true;
-        return deadline != ServeClock::time_point::max() &&
-               clock->now() >= deadline;
-      };
-    }
+    slot.solver = request_solver_options(options_.solver, item.request,
+                                         item.deadline, clock_);
     slot.item = std::move(item);
     slots.push_back(std::move(slot));
   }
@@ -364,69 +273,24 @@ void Server::process_batch(std::vector<QueuedRequest> batch) {
     next += slot.count;
     const Request& request = slot.item.request;
 
-    Response response;
-    response.id = request.id;
-    response.kind = request.kind;
+    AssembledResponse assembled = assemble_response(request, slice);
+    Response& response = assembled.response;
     response.batch_size = static_cast<std::uint32_t>(batch.size());
     response.queue_ms = ms_between(slot.item.enqueued_at, dispatch_time);
     response.solve_ms = solve_ms;
 
-    bool cancelled = false;
-    int cancelled_iterations = 0;
-    for (const core::PlacementSolution& solution : slice) {
-      if (solution.status == opt::SolveStatus::kCancelled) {
-        cancelled = true;
-        cancelled_iterations = solution.iterations;
-      }
-    }
-
-    switch (request.kind) {
-      case RequestKind::kSolve:
-      case RequestKind::kWhatIfBatch:
-        response.solutions.assign(std::move_iterator(slice.begin()),
-                                  std::move_iterator(slice.end()));
-        break;
-      case RequestKind::kThetaSweep:
-        response.sweep.reserve(slice.size());
-        for (std::size_t j = 0; j < slice.size(); ++j) {
-          const core::PlacementSolution& solution = slice[j];
-          response.sweep.push_back(ThetaPoint{
-              request.thetas[j], solution.total_utility, solution.lambda,
-              static_cast<std::uint32_t>(solution.active_monitors.size())});
-        }
-        break;
-      case RequestKind::kAccuracyReport: {
-        const core::PlacementSolution& solution = slice[0];
-        response.accuracy.reserve(solution.per_od.size());
-        for (const core::OdReport& od : solution.per_od) {
-          response.accuracy.push_back(
-              OdAccuracy{od.od, od.expected_packets, od.rho_approx,
-                         od.rho_exact, od.predicted_accuracy});
-        }
-        response.solutions.push_back(std::move(slice[0]));
-        break;
-      }
-    }
-
-    if (cancelled) {
+    if (assembled.cancelled) {
       stats_.on_expired_mid_solve();
-      recorder_.record(obs::ServeEvent::kDeadlineMissSolve, request.id,
-                       static_cast<std::uint64_t>(cancelled_iterations),
-                       solved_at);
-      response.status = ResponseStatus::kDeadlineExpired;
-      response.error =
-          request.iteration_budget > 0 &&
-                  cancelled_iterations >=
-                      static_cast<int>(request.iteration_budget)
-              ? "iteration budget exhausted mid-solve"
-              : "deadline expired mid-solve";
+      recorder_.record(
+          obs::ServeEvent::kDeadlineMissSolve, request.id,
+          static_cast<std::uint64_t>(assembled.cancelled_iterations),
+          solved_at);
     } else {
-      response.status = ResponseStatus::kOk;
       stats_.on_served(response.queue_ms, solve_ms);
       recorder_.record(obs::ServeEvent::kSolveDone, request.id, slot.count,
                        solved_at);
     }
-    slot.item.promise.set_value(std::move(response));
+    slot.item.done(std::move(response));
   }
 }
 

@@ -45,9 +45,11 @@
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/batcher.hpp"
+#include "serve/exec.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
 #include "serve/stats.hpp"
+#include "serve/transport.hpp"
 #include "topo/graph.hpp"
 #include "traffic/link_load.hpp"
 
@@ -93,9 +95,10 @@ struct ServerOptions {
   core::ApproxOptions approx;
 };
 
-/// The transport-agnostic query server. Construct one per network model
-/// (graph + task + loads); transports submit Requests from any thread.
-class Server {
+/// The transport-agnostic query server: the single-model serve::Service
+/// implementation. Construct one per network model (graph + task +
+/// loads); transports submit Requests from any thread.
+class Server : public Service {
  public:
   /// The graph is borrowed and must outlive the server; task and loads
   /// are snapshotted.
@@ -103,15 +106,21 @@ class Server {
          traffic::LinkLoads loads, ServerOptions options = {});
 
   /// Stops and drains (typed kShutdown responses for parked requests).
-  ~Server();
+  ~Server() override;
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Submits a query. The returned future always completes: immediately
-  /// with a typed rejection (kBadRequest / kRejectedQueueFull /
-  /// kShutdown), or with the served Response.
-  std::future<Response> submit(Request request);
+  /// Submits a query (serve::Service). `done` runs exactly once:
+  /// synchronously for typed rejections (kBadRequest /
+  /// kRejectedQueueFull / kShutdown), or from the dispatcher for served
+  /// responses.
+  void submit(Request request, ResponseCallback done) override;
+
+  /// Future-style submit; same contract.
+  std::future<Response> submit(Request request) {
+    return submit_future(*this, std::move(request));
+  }
 
   /// Parks the dispatcher and returns once it is actually parked (after
   /// the in-flight batch, at most one poll interval later). Requests keep
@@ -161,11 +170,14 @@ class Server {
   /// served concurrently on the shared pool.
   control::StepResult control_step(const control::BinObservation& observation);
 
+  /// The model every request resolves against (serve/exec.hpp).
+  ModelView model_view() const noexcept {
+    return ModelView{&graph_, &task_, &loads_, &options_.problem};
+  }
+
  private:
   void dispatch_loop();
   void process_batch(std::vector<QueuedRequest> batch);
-  /// Validation error for `request`, or empty when admissible.
-  std::string validate(const Request& request) const;
 
   const topo::Graph& graph_;
   core::MeasurementTask task_;

@@ -1,0 +1,559 @@
+#include "serve/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace netmon::serve {
+
+namespace {
+
+in_addr parse_address(const std::string& host) {
+  const std::string dotted = host == "localhost" ? "127.0.0.1" : host;
+  in_addr addr{};
+  NETMON_REQUIRE(::inet_pton(AF_INET, dotted.c_str(), &addr) == 1,
+                 "bind/connect address must be an IPv4 dotted quad");
+  return addr;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+// --- FrameAssembler ---------------------------------------------------
+
+void FrameAssembler::feed(std::span<const std::uint8_t> bytes,
+                          const FrameSink& on_frame) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  std::size_t offset = 0;
+  for (;;) {
+    const std::span<const std::uint8_t> rest(buffer_.data() + offset,
+                                             buffer_.size() - offset);
+    if (rest.empty()) break;
+    // Throws on a prefix that cannot start a valid frame: the stream is
+    // corrupt and cannot be resynchronized.
+    const std::size_t size = frame_size(rest);
+    if (size == 0 || rest.size() < size) break;
+    on_frame(rest.first(size));
+    offset += size;
+  }
+  if (offset > 0)
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+// --- TcpServer --------------------------------------------------------
+
+struct TcpServer::Conn {
+  int fd = -1;
+  std::uint64_t id = 0;
+  FrameAssembler assembler;
+  std::deque<std::vector<std::uint8_t>> writeq;
+  std::size_t write_offset = 0;  // into writeq.front()
+  std::size_t writeq_bytes = 0;
+  std::size_t inflight = 0;  // submitted, response not yet flushed
+  /// Reads paused by write backpressure (resumed below half water).
+  bool paused = false;
+  std::uint32_t interest = 0;
+  obs::TimePoint last_activity{};
+};
+
+struct TcpServer::Completions {
+  std::mutex mutex;
+  /// Cleared (under the mutex) once the I/O thread is gone; late
+  /// completions then drop their payload instead of waking a dead loop.
+  bool alive = true;
+  EpollLoop* loop = nullptr;
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> ready;
+};
+
+TcpServer::TcpServer(Service& service, TcpServerOptions options)
+    : service_(service),
+      options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : &obs::Clock::system()) {
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options_.metrics;
+    accepted_ = m.counter("netmon_tcp_accepted_total",
+                          "TCP connections accepted");
+    rejected_conns_ = m.counter(
+        "netmon_tcp_rejected_total",
+        "TCP connections refused at the max_connections cap");
+    requests_ = m.counter("netmon_tcp_requests_total",
+                          "request frames decoded off TCP connections");
+    rx_bytes_ = m.counter("netmon_tcp_rx_bytes_total",
+                          "bytes read from TCP connections");
+    tx_bytes_ = m.counter("netmon_tcp_tx_bytes_total",
+                          "bytes written to TCP connections");
+    protocol_error_count_ =
+        m.counter("netmon_tcp_protocol_errors_total",
+                  "connections closed on corrupt/mismatched frames");
+    conn_gauge_ = m.gauge("netmon_tcp_connections", "live TCP connections");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  NETMON_REQUIRE(listen_fd_ >= 0, "socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr = parse_address(options_.bind_address);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, options_.backlog) != 0) {
+    ::close(listen_fd_);
+    NETMON_REQUIRE(false, "bind/listen failed");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  NETMON_REQUIRE(::getsockname(listen_fd_,
+                               reinterpret_cast<sockaddr*>(&bound),
+                               &bound_len) == 0,
+                 "getsockname failed");
+  port_ = ntohs(bound.sin_port);
+
+  loop_.add(listen_fd_, kListenTag, EPOLLIN);
+  completions_ = std::make_shared<Completions>();
+  completions_->loop = &loop_;
+  io_ = std::thread([this] { io_loop(); });
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::stop() {
+  std::call_once(stop_once_, [this] {
+    stop_requested_.store(true, std::memory_order_release);
+    loop_.wake();
+    if (io_.joinable()) io_.join();
+    // The I/O thread is gone; late dispatcher completions must not wake
+    // the (about to be destroyed) loop.
+    std::lock_guard<std::mutex> lock(completions_->mutex);
+    completions_->alive = false;
+    completions_->ready.clear();
+  });
+}
+
+void TcpServer::accept_ready() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient accept error: wait for the next event
+    }
+    if (conns_.size() >= options_.max_connections) {
+      rejected_conns_.inc();
+      ::close(fd);
+      continue;
+    }
+    set_nodelay(fd);
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->last_activity = clock_->now();
+    conn->interest = EPOLLIN;
+    loop_.add(fd, conn->id, EPOLLIN);
+    accepted_.inc();
+    if (options_.recorder != nullptr)
+      options_.recorder->record(obs::ServeEvent::kConnOpen, conn->id,
+                                conns_.size() + 1, clock_->now());
+    conns_.emplace(conn->id, std::move(conn));
+    live_conns_.store(conns_.size(), std::memory_order_release);
+    conn_gauge_.set(static_cast<double>(conns_.size()));
+  }
+}
+
+bool TcpServer::conn_readable(Conn& conn) {
+  std::uint8_t buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n == 0) return false;  // peer closed
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    conn.last_activity = clock_->now();
+    rx_bytes_.inc(static_cast<std::uint64_t>(n));
+    try {
+      conn.assembler.feed(
+          std::span(buf, static_cast<std::size_t>(n)),
+          [&](std::span<const std::uint8_t> frame) {
+            Request request = decode_request(frame);
+            ++conn.inflight;
+            ++pending_total_;
+            requests_.inc();
+            const std::uint64_t conn_id = conn.id;
+            const std::shared_ptr<Completions> completions = completions_;
+            service_.submit(
+                std::move(request),
+                [completions, conn_id](Response&& response) {
+                  std::vector<std::uint8_t> encoded =
+                      encode_response(response);
+                  std::lock_guard<std::mutex> lock(completions->mutex);
+                  if (!completions->alive) return;
+                  completions->ready.emplace_back(conn_id,
+                                                  std::move(encoded));
+                  completions->loop->wake();
+                });
+          });
+    } catch (const Error&) {
+      // Corrupt or mismatched frames: framing cannot resynchronize, so
+      // the connection closes. (Its in-flight responses are dropped when
+      // they complete against the vanished id.)
+      protocol_errors_.fetch_add(1, std::memory_order_acq_rel);
+      protocol_error_count_.inc();
+      return false;
+    }
+  }
+}
+
+bool TcpServer::pump_writes(Conn& conn) {
+  while (!conn.writeq.empty()) {
+    const std::vector<std::uint8_t>& front = conn.writeq.front();
+    const ssize_t n =
+        ::send(conn.fd, front.data() + conn.write_offset,
+               front.size() - conn.write_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    conn.last_activity = clock_->now();
+    tx_bytes_.inc(static_cast<std::uint64_t>(n));
+    conn.write_offset += static_cast<std::size_t>(n);
+    conn.writeq_bytes -= static_cast<std::size_t>(n);
+    if (conn.write_offset == front.size()) {
+      conn.writeq.pop_front();
+      conn.write_offset = 0;
+    }
+  }
+  update_interest(conn);
+  return true;
+}
+
+void TcpServer::update_interest(Conn& conn) {
+  // Backpressure with hysteresis: pause reads past the high-water mark,
+  // resume only once the queue drained below half of it.
+  if (!conn.paused && conn.writeq_bytes > options_.write_high_water)
+    conn.paused = true;
+  else if (conn.paused &&
+           conn.writeq_bytes <= options_.write_high_water / 2)
+    conn.paused = false;
+
+  std::uint32_t events = 0;
+  if (!conn.paused && !draining_) events |= EPOLLIN;
+  if (!conn.writeq.empty()) events |= EPOLLOUT;
+  if (events != conn.interest) {
+    loop_.modify(conn.fd, conn.id, events);
+    conn.interest = events;
+  }
+}
+
+void TcpServer::flush_completions() {
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> ready;
+  {
+    std::lock_guard<std::mutex> lock(completions_->mutex);
+    ready.swap(completions_->ready);
+  }
+  for (auto& [conn_id, bytes] : ready) {
+    if (pending_total_ > 0) --pending_total_;
+    const auto it = conns_.find(conn_id);
+    if (it == conns_.end()) continue;  // connection already closed
+    Conn& conn = *it->second;
+    if (conn.inflight > 0) --conn.inflight;
+    conn.writeq_bytes += bytes.size();
+    conn.writeq.push_back(std::move(bytes));
+    if (!pump_writes(conn)) close_conn(conn_id);
+  }
+}
+
+void TcpServer::close_conn(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  loop_.remove(conn.fd);
+  ::close(conn.fd);
+  conns_.erase(it);
+  live_conns_.store(conns_.size(), std::memory_order_release);
+  conn_gauge_.set(static_cast<double>(conns_.size()));
+  if (options_.recorder != nullptr)
+    options_.recorder->record(obs::ServeEvent::kConnClose, id,
+                              conns_.size(), clock_->now());
+}
+
+void TcpServer::begin_drain() {
+  draining_ = true;
+  drain_deadline_ = clock_->now() + options_.drain_timeout;
+  if (listen_fd_ >= 0) {
+    loop_.remove(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Stop reading new requests; keep writing responses.
+  for (auto& [id, conn] : conns_) update_interest(*conn);
+}
+
+void TcpServer::io_loop() {
+  std::vector<EpollLoop::Event> events;
+  const int poll_ms = static_cast<int>(options_.poll.count());
+  for (;;) {
+    loop_.wait(events, poll_ms);
+    std::vector<std::uint64_t> dead;
+    for (const EpollLoop::Event& ev : events) {
+      if (ev.tag == EpollLoop::kWakeTag) continue;
+      if (ev.tag == kListenTag) {
+        if (!draining_) accept_ready();
+        continue;
+      }
+      const auto it = conns_.find(ev.tag);
+      if (it == conns_.end()) continue;
+      Conn& conn = *it->second;
+      bool ok = (ev.events & (EPOLLERR | EPOLLHUP)) == 0;
+      if (ok && (ev.events & EPOLLIN) != 0) ok = conn_readable(conn);
+      if (ok && (ev.events & EPOLLOUT) != 0) ok = pump_writes(conn);
+      if (!ok) dead.push_back(ev.tag);
+    }
+    for (const std::uint64_t id : dead) close_conn(id);
+
+    flush_completions();
+
+    if (!draining_ && stop_requested_.load(std::memory_order_acquire))
+      begin_drain();
+    if (draining_) {
+      bool busy = pending_total_ > 0;
+      if (!busy)
+        for (const auto& [id, conn] : conns_)
+          if (!conn->writeq.empty()) busy = true;
+      if (!busy || clock_->now() >= drain_deadline_) break;
+    }
+
+    if (options_.idle_timeout.count() > 0 && !draining_) {
+      const obs::TimePoint now = clock_->now();
+      std::vector<std::uint64_t> idle;
+      for (const auto& [id, conn] : conns_)
+        if (conn->inflight == 0 && conn->writeq.empty() &&
+            now - conn->last_activity >= options_.idle_timeout)
+          idle.push_back(id);
+      for (const std::uint64_t id : idle) close_conn(id);
+    }
+  }
+  // Drained (or drain deadline hit): close whatever is left.
+  std::vector<std::uint64_t> left;
+  left.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) left.push_back(id);
+  for (const std::uint64_t id : left) close_conn(id);
+}
+
+// --- TcpClient --------------------------------------------------------
+
+TcpClient::TcpClient(const std::string& host, std::uint16_t port,
+                     TcpClientOptions options)
+    : options_(options) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  NETMON_REQUIRE(fd_ >= 0, "socket() failed");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr = parse_address(host);
+  addr.sin_port = htons(port);
+  const int rc =
+      ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd_, POLLOUT, 0};
+    const int ready = ::poll(
+        &pfd, 1, static_cast<int>(options_.connect_timeout.count()));
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    const bool connected =
+        ready == 1 &&
+        ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &err_len) == 0 &&
+        err == 0;
+    if (!connected) {
+      ::close(fd_);
+      NETMON_REQUIRE(false, "connect failed or timed out");
+    }
+  } else if (rc != 0) {
+    ::close(fd_);
+    NETMON_REQUIRE(false, "connect failed");
+  }
+  set_nodelay(fd_);
+  interest_ = EPOLLIN;
+  loop_.add(fd_, kConnTag, EPOLLIN);
+  io_ = std::thread([this] { io_loop(); });
+}
+
+TcpClient::~TcpClient() { close(); }
+
+bool TcpClient::connected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !closed_;
+}
+
+std::future<Response> TcpClient::send(Request request) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  const std::uint64_t id = request.id;
+  const RequestKind kind = request.kind;
+  std::vector<std::uint8_t> frame = encode_request(request);
+  bool rejected = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      rejected = true;
+    } else {
+      NETMON_REQUIRE(pending_.find(id) == pending_.end(),
+                     "request id already in flight on this connection");
+      pending_.emplace(id, std::move(promise));
+      outbox_.push_back(std::move(frame));
+    }
+  }
+  if (rejected) {
+    Response response;
+    response.id = id;
+    response.kind = kind;
+    response.status = ResponseStatus::kShutdown;
+    response.error = "connection closed";
+    promise.set_value(std::move(response));
+    return future;
+  }
+  loop_.wake();
+  return future;
+}
+
+void TcpClient::fail_all_pending(const char* why) {
+  std::unordered_map<std::uint64_t, std::promise<Response>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    orphaned.swap(pending_);
+    outbox_.clear();
+  }
+  for (auto& [id, promise] : orphaned) {
+    Response response;
+    response.id = id;
+    response.status = ResponseStatus::kShutdown;
+    response.error = why;
+    promise.set_value(std::move(response));
+  }
+}
+
+void TcpClient::io_loop() {
+  std::vector<EpollLoop::Event> events;
+  const int poll_ms = static_cast<int>(options_.poll.count());
+  bool dead = false;
+  while (!dead) {
+    loop_.wait(events, poll_ms);
+
+    // Pull queued sends onto the I/O thread's write queue.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (std::vector<std::uint8_t>& frame : outbox_)
+        writeq_.push_back(std::move(frame));
+      outbox_.clear();
+    }
+
+    for (const EpollLoop::Event& ev : events) {
+      if (ev.tag != kConnTag) continue;
+      if ((ev.events & (EPOLLERR | EPOLLHUP)) != 0) {
+        dead = true;
+        break;
+      }
+      if ((ev.events & EPOLLIN) != 0) {
+        std::uint8_t buf[65536];
+        for (;;) {
+          const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+          if (n == 0) {
+            dead = true;
+            break;
+          }
+          if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            if (errno == EINTR) continue;
+            dead = true;
+            break;
+          }
+          try {
+            assembler_.feed(
+                std::span(buf, static_cast<std::size_t>(n)),
+                [&](std::span<const std::uint8_t> frame) {
+                  Response response = decode_response(frame);
+                  std::promise<Response> promise;
+                  bool found = false;
+                  {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    const auto it = pending_.find(response.id);
+                    if (it != pending_.end()) {
+                      promise = std::move(it->second);
+                      pending_.erase(it);
+                      found = true;
+                    }
+                  }
+                  if (found) promise.set_value(std::move(response));
+                });
+          } catch (const Error&) {
+            dead = true;  // corrupt stream: drop the connection
+            break;
+          }
+        }
+      }
+    }
+    if (dead) break;
+
+    // Flush writes until the socket would block.
+    while (!writeq_.empty()) {
+      const std::vector<std::uint8_t>& front = writeq_.front();
+      const ssize_t n = ::send(fd_, front.data() + write_offset_,
+                               front.size() - write_offset_, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        dead = true;
+        break;
+      }
+      write_offset_ += static_cast<std::size_t>(n);
+      if (write_offset_ == front.size()) {
+        writeq_.pop_front();
+        write_offset_ = 0;
+      }
+    }
+    const std::uint32_t want =
+        EPOLLIN | (writeq_.empty() ? 0u : static_cast<std::uint32_t>(EPOLLOUT));
+    if (want != interest_) {
+      loop_.modify(fd_, kConnTag, want);
+      interest_ = want;
+    }
+
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+  }
+  fail_all_pending("connection closed");
+}
+
+void TcpClient::close() {
+  std::call_once(close_once_, [this] {
+    stop_requested_.store(true, std::memory_order_release);
+    loop_.wake();
+    if (io_.joinable()) io_.join();
+    loop_.remove(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  });
+}
+
+}  // namespace netmon::serve

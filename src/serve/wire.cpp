@@ -138,21 +138,41 @@ class Reader {
 std::vector<std::uint8_t> frame(std::uint8_t type,
                                 std::vector<std::uint8_t> body) {
   std::vector<std::uint8_t> out;
-  const std::size_t payload = 4 + body.size();  // magic+version+type+body
-  NETMON_REQUIRE(payload <= 0xffffffffULL, "frame too large");
-  out.reserve(4 + payload);
-  put32(out, static_cast<std::uint32_t>(payload));
+  NETMON_REQUIRE(body.size() <= kWireMaxBody, "frame too large");
+  out.reserve(kWireHeaderSize + body.size());
   put8(out, kWireMagic0);
   put8(out, kWireMagic1);
   put8(out, kWireVersion);
   put8(out, type);
+  put32(out, static_cast<std::uint32_t>(body.size()));
   out.insert(out.end(), body.begin(), body.end());
   return out;
 }
 
-// Strips and checks the length prefix + envelope; returns the body.
-std::span<const std::uint8_t> unframe(std::span<const std::uint8_t> bytes,
-                                      std::uint8_t expected_type) {
+struct Unframed {
+  std::span<const std::uint8_t> body;
+  std::uint8_t version = 0;
+};
+
+// Strips and checks the envelope of a complete v2 or legacy v1 frame;
+// returns the body plus which layout carried it.
+Unframed unframe(std::span<const std::uint8_t> bytes,
+                 std::uint8_t expected_type) {
+  NETMON_REQUIRE(!bytes.empty(), "empty frame");
+  if (bytes[0] == kWireMagic0) {
+    // v2: magic | version | type | body length | body.
+    NETMON_REQUIRE(bytes.size() >= kWireHeaderSize,
+                   "frame shorter than its envelope");
+    NETMON_REQUIRE(bytes[1] == kWireMagic1, "bad frame magic");
+    NETMON_REQUIRE(bytes[2] == kWireVersion, "unsupported wire version");
+    NETMON_REQUIRE(bytes[3] == expected_type, "unexpected frame type");
+    Reader prefix(bytes.subspan(4, 4));
+    const std::uint32_t body_len = prefix.u32();
+    NETMON_REQUIRE(bytes.size() == kWireHeaderSize + body_len,
+                   "frame size does not match its length prefix");
+    return {bytes.subspan(kWireHeaderSize), kWireVersion};
+  }
+  // Legacy v1: length prefix | magic | version | type | body.
   NETMON_REQUIRE(bytes.size() >= 8, "frame shorter than its envelope");
   Reader prefix(bytes.first(4));
   const std::uint32_t payload = prefix.u32();
@@ -160,9 +180,9 @@ std::span<const std::uint8_t> unframe(std::span<const std::uint8_t> bytes,
                  "frame size does not match its length prefix");
   NETMON_REQUIRE(bytes[4] == kWireMagic0 && bytes[5] == kWireMagic1,
                  "bad frame magic");
-  NETMON_REQUIRE(bytes[6] == kWireVersion, "unsupported wire version");
+  NETMON_REQUIRE(bytes[6] == kWireLegacyVersion, "unsupported wire version");
   NETMON_REQUIRE(bytes[7] == expected_type, "unexpected frame type");
-  return bytes.subspan(8);
+  return {bytes.subspan(8), kWireLegacyVersion};
 }
 
 RequestKind decode_kind(std::uint8_t raw) {
@@ -232,6 +252,7 @@ std::vector<std::uint8_t> encode_request(const Request& request) {
   std::vector<std::uint8_t> body;
   put64(body, request.id);
   put8(body, static_cast<std::uint8_t>(request.kind));
+  put_string(body, request.tenant);
   put_f64(body, request.theta);
   put_f64(body, request.default_alpha);
   put_ids(body, request.failed);
@@ -245,10 +266,12 @@ std::vector<std::uint8_t> encode_request(const Request& request) {
 }
 
 Request decode_request(std::span<const std::uint8_t> bytes) {
-  Reader in(unframe(bytes, kWireRequest));
+  const Unframed frame = unframe(bytes, kWireRequest);
+  Reader in(frame.body);
   Request request;
   request.id = in.u64();
   request.kind = decode_kind(in.u8());
+  if (frame.version >= 2) request.tenant = in.string();
   request.theta = in.f64();
   request.default_alpha = in.f64();
   request.failed = in.ids("corrupt failed-link list");
@@ -269,6 +292,8 @@ std::vector<std::uint8_t> encode_response(const Response& response) {
   put64(body, response.id);
   put8(body, static_cast<std::uint8_t>(response.kind));
   put8(body, static_cast<std::uint8_t>(response.status));
+  put8(body, static_cast<std::uint8_t>(response.cache));
+  put_string(body, response.tenant);
   put_string(body, response.error);
   put_count(body, response.solutions.size(), "too many solutions");
   for (const core::PlacementSolution& s : response.solutions)
@@ -296,15 +321,24 @@ std::vector<std::uint8_t> encode_response(const Response& response) {
 }
 
 Response decode_response(std::span<const std::uint8_t> bytes) {
-  Reader in(unframe(bytes, kWireResponse));
+  const Unframed frame = unframe(bytes, kWireResponse);
+  Reader in(frame.body);
   Response response;
   response.id = in.u64();
   response.kind = decode_kind(in.u8());
   const std::uint8_t status = in.u8();
   NETMON_REQUIRE(
-      status <= static_cast<std::uint8_t>(ResponseStatus::kShutdown),
+      status <= static_cast<std::uint8_t>(ResponseStatus::kRejectedQuota),
       "unknown response status");
   response.status = static_cast<ResponseStatus>(status);
+  if (frame.version >= 2) {
+    const std::uint8_t cache = in.u8();
+    NETMON_REQUIRE(
+        cache <= static_cast<std::uint8_t>(CacheOutcome::kWarmStart),
+        "unknown cache outcome");
+    response.cache = static_cast<CacheOutcome>(cache);
+    response.tenant = in.string();
+  }
   response.error = in.string();
   const std::uint32_t n_solutions = in.count("corrupt solution count");
   response.solutions.reserve(n_solutions);
@@ -340,11 +374,35 @@ Response decode_response(std::span<const std::uint8_t> bytes) {
 }
 
 std::size_t frame_size(std::span<const std::uint8_t> buffer) {
+  if (buffer.empty()) return 0;
+  if (buffer[0] == kWireMagic0) {
+    // v2: validate the envelope byte-by-byte as it arrives so a corrupt
+    // stream is rejected at the earliest byte that cannot be valid.
+    if (buffer.size() >= 2)
+      NETMON_REQUIRE(buffer[1] == kWireMagic1, "bad frame magic");
+    if (buffer.size() >= 3)
+      NETMON_REQUIRE(buffer[2] == kWireVersion, "unsupported wire version");
+    if (buffer.size() >= 4)
+      NETMON_REQUIRE(
+          buffer[3] == kWireRequest || buffer[3] == kWireResponse,
+          "unexpected frame type");
+    if (buffer.size() < kWireHeaderSize) return 0;
+    Reader prefix(buffer.subspan(4, 4));
+    const std::uint32_t body_len = prefix.u32();
+    NETMON_REQUIRE(body_len <= kWireMaxBody,
+                   "frame length prefix is absurd");
+    return kWireHeaderSize + static_cast<std::size_t>(body_len);
+  }
+  // Legacy v1: the first byte is the high byte of the big-endian length
+  // prefix; the payload cap (~100 MB) keeps it at most 0x06, so any
+  // other non-'N' value cannot start a frame.
+  NETMON_REQUIRE(buffer[0] <= (kWireMaxBody + 4) >> 24,
+                 "bad frame magic");
   if (buffer.size() < 4) return 0;
   Reader prefix(buffer.first(4));
   const std::uint32_t payload = prefix.u32();
   NETMON_REQUIRE(payload >= 4, "frame payload shorter than its envelope");
-  NETMON_REQUIRE(payload <= 64 + 24ULL * kWireMaxCount,
+  NETMON_REQUIRE(payload <= 4 + kWireMaxBody,
                  "frame length prefix is absurd");
   return 4 + static_cast<std::size_t>(payload);
 }

@@ -1,0 +1,68 @@
+#include "tenant/quota.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace netmon::tenant {
+
+const char* to_string(QuotaDecision decision) noexcept {
+  switch (decision) {
+    case QuotaDecision::kAdmit: return "admit";
+    case QuotaDecision::kRateLimited: return "rate_limited";
+    case QuotaDecision::kTooManyInflight: return "too_many_inflight";
+  }
+  return "unknown";
+}
+
+TenantQuota::TenantQuota(QuotaConfig config, const obs::Clock* clock)
+    : clock_(clock != nullptr ? clock : &obs::Clock::system()),
+      config_(config) {
+  if (config_.tokens_per_sec > 0.0)
+    config_.burst = std::max(config_.burst, 1.0);
+  tokens_ = config_.burst;
+  refilled_at_ = clock_->now();
+}
+
+QuotaDecision TenantQuota::try_admit() {
+  // Admissions serialize on the bucket mutex (it is held for a handful
+  // of arithmetic ops); release() stays lock-free so completion paths
+  // never contend with admission.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (config_.max_inflight > 0 &&
+      inflight_.load(std::memory_order_acquire) >= config_.max_inflight)
+    return QuotaDecision::kTooManyInflight;
+  if (config_.tokens_per_sec > 0.0) {
+    const obs::TimePoint now = clock_->now();
+    const double elapsed_sec =
+        std::chrono::duration<double>(now - refilled_at_).count();
+    if (elapsed_sec > 0.0) {
+      tokens_ = std::min(config_.burst,
+                         tokens_ + elapsed_sec * config_.tokens_per_sec);
+      refilled_at_ = now;
+    }
+    if (tokens_ < 1.0) return QuotaDecision::kRateLimited;
+    tokens_ -= 1.0;
+  }
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  return QuotaDecision::kAdmit;
+}
+
+void TenantQuota::release() noexcept {
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void TenantQuota::configure(QuotaConfig config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_ = config;
+  if (config_.tokens_per_sec > 0.0)
+    config_.burst = std::max(config_.burst, 1.0);
+  tokens_ = config_.burst;
+  refilled_at_ = clock_->now();
+}
+
+QuotaConfig TenantQuota::config() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return config_;
+}
+
+}  // namespace netmon::tenant

@@ -1,0 +1,77 @@
+// Per-tenant admission quotas: a token-bucket rate limit plus a maximum
+// in-flight bound, layered on the serving queue's typed-reject contract.
+//
+// try_admit() is the whole protocol: it either admits (and counts the
+// request in flight until release()) or returns a typed reason the
+// caller turns into ResponseStatus::kRejectedQuota — never blocks,
+// never queues. The bucket refills on an injected obs::Clock, so tests
+// drive rate-limit recovery deterministically with a ManualClock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "obs/clock.hpp"
+
+namespace netmon::tenant {
+
+/// Admission limits for one tenant. Zeros disable the matching check,
+/// so the default config admits everything.
+struct QuotaConfig {
+  /// Sustained request rate; 0 = unlimited.
+  double tokens_per_sec = 0.0;
+  /// Bucket capacity in requests (the burst the tenant may spend at
+  /// once). Clamped to >= 1 when rate limiting is on.
+  double burst = 1.0;
+  /// Maximum requests admitted but not yet answered; 0 = unlimited.
+  std::size_t max_inflight = 0;
+};
+
+/// Why a request was (not) admitted.
+enum class QuotaDecision : std::uint8_t {
+  kAdmit = 0,
+  /// The token bucket is empty (sustained rate exceeded).
+  kRateLimited = 1,
+  /// max_inflight requests are already in flight.
+  kTooManyInflight = 2,
+};
+
+const char* to_string(QuotaDecision decision) noexcept;
+
+/// Thread-safe admission state of one tenant. The in-flight gate is a
+/// lock-free CAS; only the token bucket takes a (tiny) mutex.
+class TenantQuota {
+ public:
+  /// `clock` drives bucket refill; null = the process steady clock.
+  /// Borrowed; must outlive the quota.
+  explicit TenantQuota(QuotaConfig config, const obs::Clock* clock = nullptr);
+
+  /// Admits or rejects, never blocks. On kAdmit the caller owes exactly
+  /// one release() once the request is answered (any status).
+  QuotaDecision try_admit();
+
+  /// Returns an admitted request's in-flight slot.
+  void release() noexcept;
+
+  /// Replaces the limits. In-flight accounting carries over; the bucket
+  /// restarts full at the new burst.
+  void configure(QuotaConfig config);
+
+  QuotaConfig config() const;
+  std::size_t inflight() const noexcept {
+    return inflight_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const obs::Clock* clock_;  // never null
+
+  mutable std::mutex mutex_;  // config_ + bucket state
+  QuotaConfig config_;
+  double tokens_ = 0.0;
+  obs::TimePoint refilled_at_{};
+
+  std::atomic<std::size_t> inflight_{0};
+};
+
+}  // namespace netmon::tenant

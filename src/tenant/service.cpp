@@ -1,0 +1,368 @@
+#include "tenant/service.hpp"
+
+#include <deque>
+#include <span>
+#include <utility>
+
+#include "obs/export.hpp"
+#include "util/error.hpp"
+
+namespace netmon::tenant {
+
+namespace {
+
+core::BatchOptions make_batch_options(const TenantServiceOptions& options,
+                                      obs::MetricsRegistry& metrics) {
+  core::BatchOptions batch;
+  batch.threads = options.threads;
+  batch.solver = options.solver;
+  batch.trace = options.solver_trace;
+  batch.metrics = &metrics;
+  return batch;
+}
+
+}  // namespace
+
+TenantService::TenantService(TenantRegistry& registry,
+                             TenantServiceOptions options)
+    : registry_(registry),
+      options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : &obs::Clock::system()),
+      recorder_(options_.flight_recorder),
+      pool_(options_.threads),
+      solver_(make_batch_options(options_, metrics_)),
+      queue_(options_.queue_capacity),
+      batcher_(queue_, options_.batch),
+      stats_(metrics_),
+      cache_(options_.cache, &metrics_) {
+  quota_rejects_ =
+      metrics_.counter("netmon_tenant_quota_rejects_total",
+                       "Requests rejected by a tenant admission quota");
+  unknown_tenants_ =
+      metrics_.counter("netmon_tenant_unknown_total",
+                       "Requests naming a tenant the registry does not know");
+  registry_.bind(&metrics_, &recorder_);
+  paused_ = options_.start_paused;
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+TenantService::~TenantService() { stop(); }
+
+std::string TenantService::prometheus() const {
+  return obs::prometheus_text(metrics_);
+}
+
+void TenantService::submit(serve::Request request,
+                           serve::ResponseCallback done) {
+  stats_.on_submitted();
+
+  auto answer = [&](serve::ResponseStatus status, std::string error) {
+    serve::Response response;
+    response.id = request.id;
+    response.kind = request.kind;
+    response.tenant = request.tenant;
+    response.status = status;
+    response.error = std::move(error);
+    done(std::move(response));
+  };
+
+  // Tenant resolution is the RCU read: one atomic shared_ptr load, and
+  // the returned pin rides the request to completion.
+  std::shared_ptr<const TenantSnapshot> snapshot =
+      registry_.acquire(request.tenant);
+  if (snapshot == nullptr) {
+    stats_.on_bad_request();
+    unknown_tenants_.inc();
+    recorder_.record(obs::ServeEvent::kBadRequest, request.id, 0,
+                     clock_->now());
+    answer(serve::ResponseStatus::kBadRequest,
+           request.tenant.empty()
+               ? "no default tenant is registered"
+               : "unknown tenant: " + request.tenant);
+    return;
+  }
+  // Echo the resolved name (empty = default tenant) so the cache key,
+  // the response, and the quota all name the same tenant.
+  request.tenant = snapshot->name();
+
+  if (std::string error = validate_request(snapshot->view(), request);
+      !error.empty()) {
+    stats_.on_bad_request();
+    recorder_.record(obs::ServeEvent::kBadRequest, request.id, 0,
+                     clock_->now());
+    answer(serve::ResponseStatus::kBadRequest, std::move(error));
+    return;
+  }
+
+  std::shared_ptr<TenantQuota> quota = registry_.quota(request.tenant);
+  if (quota != nullptr) {
+    const QuotaDecision decision = quota->try_admit();
+    if (decision != QuotaDecision::kAdmit) {
+      quota_rejects_.inc();
+      recorder_.record(obs::ServeEvent::kQuotaReject, request.id,
+                       static_cast<std::uint64_t>(decision), clock_->now());
+      answer(serve::ResponseStatus::kRejectedQuota,
+             decision == QuotaDecision::kRateLimited
+                 ? "tenant rate limit exceeded"
+                 : "tenant in-flight limit reached");
+      return;
+    }
+  }
+
+  // Exact cache hit: replay the stored answer bit-identically — the
+  // solver never runs, only transport metadata is re-stamped.
+  const std::string key = SolveCache::fingerprint(*snapshot, request);
+  if (std::optional<serve::Response> hit = cache_.lookup(key)) {
+    recorder_.record(obs::ServeEvent::kCacheHit, request.id, 0,
+                     clock_->now());
+    serve::Response response = std::move(*hit);
+    response.id = request.id;
+    response.tenant = request.tenant;
+    response.cache = serve::CacheOutcome::kHit;
+    response.batch_size = 0;
+    response.queue_ms = 0.0;
+    response.solve_ms = 0.0;
+    stats_.on_served(0.0, 0.0);
+    if (quota != nullptr) quota->release();
+    done(std::move(response));
+    return;
+  }
+
+  // Miss: the nearest cached solution of this snapshot donates a warm
+  // start when the request brought none of its own. The donated rates
+  // do not enter the fingerprint the response is stored under — the
+  // stored key is the *request's* fingerprint, computed above.
+  serve::CacheOutcome outcome = serve::CacheOutcome::kNone;
+  if (request.warm_start.empty()) {
+    if (std::optional<WarmStartDonor> donor =
+            cache_.nearest(*snapshot, request)) {
+      request.warm_start = std::move(donor->rates);
+      outcome = serve::CacheOutcome::kWarmStart;
+      cache_.on_warm_start();
+    }
+  }
+  recorder_.record(obs::ServeEvent::kCacheMiss, request.id,
+                   outcome == serve::CacheOutcome::kWarmStart ? 1 : 0,
+                   clock_->now());
+
+  // Similarity metadata nearest() will index this answer under — kept
+  // aside because the request itself moves into the queue.
+  serve::Request meta;
+  meta.kind = request.kind;
+  meta.theta = request.theta;
+  meta.default_alpha = request.default_alpha;
+  meta.failed = request.failed;
+
+  serve::QueuedRequest item;
+  item.enqueued_at = clock_->now();
+  if (request.deadline_ms > 0)
+    item.deadline =
+        item.enqueued_at + std::chrono::milliseconds(request.deadline_ms);
+  item.request = std::move(request);
+  item.context = snapshot;  // the RCU pin rides the queue
+
+  // The completion wrapper stamps tenancy onto every response (served,
+  // expired, shutdown alike), stores completed answers, and returns the
+  // quota slot — exactly once, because `done` runs exactly once.
+  item.done = [this, quota, key, outcome, snapshot, meta = std::move(meta),
+               inner = std::move(done)](serve::Response&& response) {
+    response.tenant = snapshot->name();
+    if (response.status == serve::ResponseStatus::kOk) {
+      response.cache = outcome;
+      // Keyed by the original request fingerprint: a repeat of the same
+      // query replays these bits without solving.
+      cache_.insert(key, *snapshot, meta, response);
+    }
+    if (quota != nullptr) quota->release();
+    inner(std::move(response));
+  };
+
+  const std::uint64_t id = item.request.id;
+  const auto enqueued_at = item.enqueued_at;
+  const serve::PushResult pushed =
+      queue_.try_push(item, [&](std::size_t depth) {
+        stats_.on_enqueued(depth);
+        recorder_.record(obs::ServeEvent::kAdmit, id, depth, enqueued_at);
+      });
+  if (pushed == serve::PushResult::kOk) return;
+
+  serve::Response response;
+  response.id = item.request.id;
+  response.kind = item.request.kind;
+  if (pushed == serve::PushResult::kFull) {
+    stats_.on_rejected_queue_full();
+    recorder_.record(obs::ServeEvent::kRejectFull, item.request.id,
+                     queue_.capacity(), item.enqueued_at);
+    response.status = serve::ResponseStatus::kRejectedQueueFull;
+    response.error = "queue full (capacity " +
+                     std::to_string(queue_.capacity()) + ")";
+  } else {
+    stats_.on_rejected_shutdown();
+    response.status = serve::ResponseStatus::kShutdown;
+    response.error = "service stopped";
+  }
+  item.done(std::move(response));
+}
+
+void TenantService::pause() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  paused_ = true;
+  state_cv_.wait(lock, [this] { return parked_ || stopping_; });
+}
+
+void TenantService::resume() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    paused_ = false;
+  }
+  state_cv_.notify_all();
+}
+
+void TenantService::stop() {
+  std::call_once(stop_once_, [this] {
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      stopping_ = true;
+    }
+    state_cv_.notify_all();
+    queue_.close();
+    if (dispatcher_.joinable()) dispatcher_.join();
+    recorder_.record(obs::ServeEvent::kShutdown, 0, queue_.size(),
+                     clock_->now());
+    for (serve::QueuedRequest& item : queue_.drain()) {
+      stats_.on_rejected_shutdown();
+      serve::Response response;
+      response.id = item.request.id;
+      response.kind = item.request.kind;
+      response.status = serve::ResponseStatus::kShutdown;
+      response.error = "service stopped before the request was served";
+      item.done(std::move(response));
+    }
+  });
+}
+
+void TenantService::dispatch_loop() {
+  constexpr std::chrono::milliseconds kPoll{20};
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state_mutex_);
+      parked_ = true;
+      state_cv_.notify_all();
+      state_cv_.wait(lock, [this] { return stopping_ || !paused_; });
+      parked_ = false;
+      if (stopping_) return;
+    }
+    std::vector<serve::QueuedRequest> batch = batcher_.collect(kPoll);
+    if (!batch.empty()) process_batch(std::move(batch));
+  }
+}
+
+void TenantService::process_batch(std::vector<serve::QueuedRequest> batch) {
+  const serve::ServeClock::time_point dispatch_time = clock_->now();
+
+  // One slot per still-live request, each expanding against the model
+  // its context pin froze at admission — a mixed-tenant batch is just a
+  // batch whose slots carry different views.
+  struct Slot {
+    serve::QueuedRequest item;
+    opt::SolverOptions solver;
+    std::size_t first = 0;
+    std::size_t count = 0;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(batch.size());
+  std::deque<core::PlacementProblem> problems;
+
+  auto answer_now = [&](serve::QueuedRequest& item,
+                        serve::ResponseStatus status, std::string error) {
+    serve::Response response;
+    response.id = item.request.id;
+    response.kind = item.request.kind;
+    response.status = status;
+    response.error = std::move(error);
+    response.batch_size = static_cast<std::uint32_t>(batch.size());
+    response.queue_ms = serve::ms_between(item.enqueued_at, dispatch_time);
+    item.done(std::move(response));
+  };
+
+  for (serve::QueuedRequest& item : batch) {
+    recorder_.record(obs::ServeEvent::kDequeue, item.request.id,
+                     queue_.size(), dispatch_time);
+    if (dispatch_time >= item.deadline) {
+      stats_.on_expired_in_queue();
+      recorder_.record(obs::ServeEvent::kDeadlineMissQueue, item.request.id,
+                       0, dispatch_time);
+      answer_now(item, serve::ResponseStatus::kDeadlineExpired,
+                 "deadline expired in queue");
+      continue;
+    }
+
+    const auto* snapshot =
+        static_cast<const TenantSnapshot*>(item.context.get());
+    const serve::ModelView model = snapshot->view();
+
+    Slot slot;
+    slot.first = problems.size();
+    try {
+      slot.count = expand_request(model, item.request, problems);
+    } catch (const Error& error) {
+      stats_.on_bad_request();
+      answer_now(item, serve::ResponseStatus::kBadRequest, error.what());
+      continue;
+    }
+    slot.solver = request_solver_options(options_.solver, item.request,
+                                         item.deadline, clock_);
+    slot.item = std::move(item);
+    slots.push_back(std::move(slot));
+  }
+
+  std::vector<core::BatchItem> items;
+  items.reserve(problems.size());
+  for (Slot& slot : slots) {
+    const sampling::RateVector* warm = slot.item.request.warm_start.empty()
+                                           ? nullptr
+                                           : &slot.item.request.warm_start;
+    for (std::size_t i = 0; i < slot.count; ++i)
+      items.push_back(
+          core::BatchItem{&problems[slot.first + i], warm, &slot.solver});
+  }
+  stats_.on_batch(batch.size(), items.size());
+  recorder_.record(obs::ServeEvent::kBatchFormed, 0, batch.size(),
+                   dispatch_time);
+
+  std::vector<core::PlacementSolution> solutions;
+  if (!items.empty()) solutions = solver_.solve_items(pool_, items);
+  const serve::ServeClock::time_point solved_at = clock_->now();
+  const double solve_ms = serve::ms_between(dispatch_time, solved_at);
+
+  std::size_t next = 0;
+  for (Slot& slot : slots) {
+    const std::span<core::PlacementSolution> slice(solutions.data() + next,
+                                                   slot.count);
+    next += slot.count;
+    const serve::Request& request = slot.item.request;
+
+    serve::AssembledResponse assembled = assemble_response(request, slice);
+    serve::Response& response = assembled.response;
+    response.batch_size = static_cast<std::uint32_t>(batch.size());
+    response.queue_ms = serve::ms_between(slot.item.enqueued_at,
+                                          dispatch_time);
+    response.solve_ms = solve_ms;
+
+    if (assembled.cancelled) {
+      stats_.on_expired_mid_solve();
+      recorder_.record(
+          obs::ServeEvent::kDeadlineMissSolve, request.id,
+          static_cast<std::uint64_t>(assembled.cancelled_iterations),
+          solved_at);
+    } else {
+      stats_.on_served(response.queue_ms, solve_ms);
+      recorder_.record(obs::ServeEvent::kSolveDone, request.id, slot.count,
+                       solved_at);
+    }
+    slot.item.done(std::move(response));
+  }
+}
+
+}  // namespace netmon::tenant

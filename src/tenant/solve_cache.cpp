@@ -1,0 +1,276 @@
+#include "tenant/solve_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "opt/gradient_projection.hpp"
+
+namespace netmon::tenant {
+
+namespace {
+
+void put8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put32(std::string& out, std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+}
+
+void put64(std::string& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+}
+
+/// Bit-exact double encoding: fingerprint equality means the solve sees
+/// the exact same value, -0.0 vs 0.0 included.
+void put_double(std::string& out, double v) {
+  put64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::vector<topo::LinkId> canonical_links(
+    const std::vector<topo::LinkId>& links) {
+  std::vector<topo::LinkId> sorted = links;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  return sorted;
+}
+
+void put_links(std::string& out, const std::vector<topo::LinkId>& sorted) {
+  put32(out, static_cast<std::uint32_t>(sorted.size()));
+  for (const topo::LinkId id : sorted)
+    put32(out, static_cast<std::uint32_t>(id));
+}
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+double effective_theta(const TenantSnapshot& snapshot,
+                       const serve::Request& request) {
+  return request.theta > 0.0 ? request.theta
+                             : snapshot.model().problem.theta;
+}
+
+/// Set symmetric-difference size of two sorted, deduped id vectors.
+std::size_t symmetric_difference(const std::vector<topo::LinkId>& a,
+                                 const std::vector<topo::LinkId>& b) {
+  std::size_t diff = 0, i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++i, ++j;
+    } else if (a[i] < b[j]) {
+      ++diff, ++i;
+    } else {
+      ++diff, ++j;
+    }
+  }
+  return diff + (a.size() - i) + (b.size() - j);
+}
+
+}  // namespace
+
+SolveCache::SolveCache(CacheConfig config, obs::MetricsRegistry* metrics)
+    : config_(config) {
+  if (config_.shards == 0) config_.shards = 1;
+  per_shard_cap_ = config_.max_entries == 0
+                       ? 0
+                       : (config_.max_entries + config_.shards - 1) /
+                             config_.shards;
+  shards_ = std::make_unique<Shard[]>(config_.shards);
+  if (metrics != nullptr) {
+    hits_ = metrics->counter("netmon_cache_hits_total",
+                             "Solve cache exact fingerprint hits");
+    misses_ = metrics->counter("netmon_cache_misses_total",
+                               "Solve cache lookups that missed");
+    warm_starts_ =
+        metrics->counter("netmon_cache_warm_starts_total",
+                         "Misses warm-started from a cached solution");
+    insertions_ = metrics->counter("netmon_cache_insertions_total",
+                                   "Responses stored in the solve cache");
+    evictions_ = metrics->counter("netmon_cache_evictions_total",
+                                  "LRU evictions from the solve cache");
+    invalidations_ =
+        metrics->counter("netmon_cache_invalidations_total",
+                         "Entries dropped by explicit invalidation");
+    entries_ = metrics->gauge("netmon_cache_entries",
+                              "Responses currently cached");
+  }
+}
+
+std::string SolveCache::fingerprint(const TenantSnapshot& snapshot,
+                                    const serve::Request& request) {
+  std::string key;
+  key.reserve(64 + 4 * request.failed.size() + 8 * request.thetas.size() +
+              8 * request.warm_start.size());
+  key.append(snapshot.name());
+  key.push_back('\0');
+  put64(key, snapshot.epoch());
+  put8(key, static_cast<std::uint8_t>(request.kind));
+  put_double(key, effective_theta(snapshot, request));
+  put_double(key, request.default_alpha > 0.0
+                      ? request.default_alpha
+                      : snapshot.model().problem.default_alpha);
+  put_links(key, canonical_links(request.failed));
+  put32(key, static_cast<std::uint32_t>(request.what_if.size()));
+  for (const std::vector<topo::LinkId>& scenario : request.what_if)
+    put_links(key, canonical_links(scenario));
+  put32(key, static_cast<std::uint32_t>(request.thetas.size()));
+  for (const double theta : request.thetas) put_double(key, theta);
+  put32(key, static_cast<std::uint32_t>(request.warm_start.size()));
+  for (const double rate : request.warm_start) put_double(key, rate);
+  put32(key, request.iteration_budget);
+  return key;
+}
+
+SolveCache::Shard& SolveCache::shard_for(const std::string& key) const {
+  return shards_[fnv1a(key) % config_.shards];
+}
+
+std::optional<serve::Response> SolveCache::lookup(const std::string& key) {
+  if (per_shard_cap_ == 0) {
+    misses_n_.fetch_add(1, std::memory_order_relaxed);
+    misses_.inc();
+    return std::nullopt;
+  }
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    misses_n_.fetch_add(1, std::memory_order_relaxed);
+    misses_.inc();
+    return std::nullopt;
+  }
+  shard.order.splice(shard.order.begin(), shard.order, it->second.lru);
+  hits_n_.fetch_add(1, std::memory_order_relaxed);
+  hits_.inc();
+  return it->second.response;
+}
+
+bool SolveCache::insert(const std::string& key,
+                        const TenantSnapshot& snapshot,
+                        const serve::Request& request,
+                        const serve::Response& response) {
+  if (per_shard_cap_ == 0) return false;
+  if (response.status != serve::ResponseStatus::kOk) return false;
+  for (const core::PlacementSolution& solution : response.solutions)
+    if (solution.status == opt::SolveStatus::kCancelled) return false;
+
+  Entry entry;
+  entry.response = response;
+  entry.tenant = snapshot.name();
+  entry.epoch = snapshot.epoch();
+  entry.kind = request.kind;
+  entry.theta = effective_theta(snapshot, request);
+  entry.failed = canonical_links(request.failed);
+  entry.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+
+  Shard& shard = shard_for(key);
+  std::size_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      // Same fingerprint, same answer: refresh recency, keep one copy.
+      shard.order.splice(shard.order.begin(), shard.order, it->second.lru);
+      return false;
+    }
+    shard.order.push_front(key);
+    entry.lru = shard.order.begin();
+    shard.entries.emplace(key, std::move(entry));
+    count_.fetch_add(1, std::memory_order_relaxed);
+    while (shard.entries.size() > per_shard_cap_) {
+      shard.entries.erase(shard.order.back());
+      shard.order.pop_back();
+      ++evicted;
+    }
+  }
+  if (evicted > 0) {
+    count_.fetch_sub(evicted, std::memory_order_relaxed);
+    evicts_n_.fetch_add(evicted, std::memory_order_relaxed);
+    evictions_.inc(evicted);
+  }
+  inserts_n_.fetch_add(1, std::memory_order_relaxed);
+  insertions_.inc();
+  entries_.set(static_cast<double>(count_.load(std::memory_order_relaxed)));
+  return true;
+}
+
+std::optional<WarmStartDonor> SolveCache::nearest(
+    const TenantSnapshot& snapshot, const serve::Request& request) const {
+  if (!config_.warm_start || per_shard_cap_ == 0) return std::nullopt;
+  const double theta = effective_theta(snapshot, request);
+  const std::vector<topo::LinkId> failed = canonical_links(request.failed);
+
+  std::optional<WarmStartDonor> best;
+  double best_distance = std::numeric_limits<double>::infinity();
+  std::uint64_t best_seq = 0;
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, entry] : shard.entries) {
+      if (entry.tenant != snapshot.name() || entry.epoch != snapshot.epoch())
+        continue;
+      if (entry.response.solutions.empty() ||
+          entry.response.solutions.front().rates.empty())
+        continue;
+      double distance =
+          std::abs(std::log(entry.theta / theta)) +
+          static_cast<double>(symmetric_difference(entry.failed, failed));
+      if (entry.kind != request.kind) distance += 0.5;
+      // Deterministic winner for a given cache state: distance first,
+      // oldest insertion breaks ties.
+      if (distance < best_distance ||
+          (distance == best_distance && best && entry.seq < best_seq)) {
+        best_distance = distance;
+        best_seq = entry.seq;
+        best = WarmStartDonor{entry.response.solutions.front().rates,
+                              distance};
+      }
+    }
+  }
+  return best;
+}
+
+void SolveCache::on_warm_start() noexcept {
+  warm_n_.fetch_add(1, std::memory_order_relaxed);
+  warm_starts_.inc();
+}
+
+std::size_t SolveCache::invalidate(const std::string& tenant) {
+  std::size_t dropped = 0;
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (it->second.tenant == tenant) {
+        shard.order.erase(it->second.lru);
+        it = shard.entries.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (dropped > 0) {
+    count_.fetch_sub(dropped, std::memory_order_relaxed);
+    invalidations_.inc(dropped);
+    entries_.set(static_cast<double>(count_.load(std::memory_order_relaxed)));
+  }
+  return dropped;
+}
+
+std::size_t SolveCache::size() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+}  // namespace netmon::tenant

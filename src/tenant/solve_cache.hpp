@@ -1,0 +1,162 @@
+// Keyed solve cache over canonicalized request fingerprints.
+//
+// Every served query is a pure function of (tenant snapshot, request),
+// so an answer can be replayed bit-identically for any request with the
+// same canonical fingerprint — without invoking the solver at all. The
+// fingerprint covers exactly the inputs that reach the solve:
+//
+//   tenant name + snapshot epoch         (a swap invalidates implicitly)
+//   kind
+//   effective theta / default_alpha      (request override or snapshot
+//                                         default — canonicalized, so an
+//                                         explicit default matches an
+//                                         omitted one)
+//   failed links, sorted + deduped       (a set in routing; order never
+//                                         affects the answer)
+//   what-if scenarios, order preserved,  (scenario order orders the
+//     each sorted + deduped               response; within a scenario it
+//                                         is a set)
+//   sweep thetas, order preserved
+//   warm-start rates, bit-exact          (the start point can change
+//                                         iterate paths)
+//   iteration budget                     (deterministic truncation knob)
+//
+// deadline_ms is deliberately excluded: a wall-clock deadline changes
+// when a solve is cancelled, never what a completed solve returns, and
+// only completed (kOk) responses are cached.
+//
+// Misses can still help: nearest() finds the closest cached solution of
+// the same tenant+epoch and donates its rates as a warm start, reusing
+// core::BatchSolver's resolve_warm machinery (projection onto the new
+// feasible set), which converges in far fewer iterations when the
+// scenarios are close — the common fleet pattern.
+//
+// The cache is sharded by fingerprint hash (per-shard mutex + LRU), so
+// concurrent submit threads rarely contend.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sampling/effective_rate.hpp"
+#include "serve/request.hpp"
+#include "tenant/snapshot.hpp"
+#include "topo/graph.hpp"
+
+namespace netmon::tenant {
+
+struct CacheConfig {
+  /// Shard count (rounded up to >= 1). More shards, less contention.
+  std::size_t shards = 8;
+  /// Total cached responses across shards; 0 disables the cache
+  /// entirely (every lookup misses, nothing is stored).
+  std::size_t max_entries = 256;
+  /// When false, nearest() never donates (exact hits still serve).
+  bool warm_start = true;
+};
+
+/// A warm-start donor: the cached solution's rates plus where they came
+/// from (for logging/metrics).
+struct WarmStartDonor {
+  sampling::RateVector rates;
+  double distance = 0.0;
+};
+
+class SolveCache {
+ public:
+  /// Registers the netmon_cache_* metric family on `metrics` when set
+  /// (borrowed; must outlive the cache).
+  explicit SolveCache(CacheConfig config = {},
+                      obs::MetricsRegistry* metrics = nullptr);
+
+  SolveCache(const SolveCache&) = delete;
+  SolveCache& operator=(const SolveCache&) = delete;
+
+  /// The canonical fingerprint of `request` resolved against `snapshot`
+  /// (see the header comment for what it covers). Pure.
+  static std::string fingerprint(const TenantSnapshot& snapshot,
+                                 const serve::Request& request);
+
+  /// Exact hit: a copy of the cached Response (solutions / sweep /
+  /// accuracy bit-identical to the original solve), or nullopt. Bumps
+  /// LRU recency and the hit/miss counters. The caller re-stamps id,
+  /// tenant, cache outcome, and transport metadata.
+  std::optional<serve::Response> lookup(const std::string& key);
+
+  /// Stores `response` under `key` if it is cacheable: status kOk and
+  /// every solution completed (no kCancelled truncations). Returns
+  /// whether it was stored. Evicts the shard's LRU tail past capacity.
+  bool insert(const std::string& key, const TenantSnapshot& snapshot,
+              const serve::Request& request, const serve::Response& response);
+
+  /// The nearest cached solution of the same tenant + epoch, as a
+  /// warm-start donor, or nullopt (cache empty for that epoch, or
+  /// warm_start disabled). Distance: |log(theta_a/theta_b)| + the failed
+  /// set symmetric difference + a flat penalty across kinds; insertion
+  /// order breaks ties, so the donor is deterministic for a given cache
+  /// state.
+  std::optional<WarmStartDonor> nearest(const TenantSnapshot& snapshot,
+                                        const serve::Request& request) const;
+
+  /// Drops every entry of `tenant` (all epochs); returns how many.
+  /// publish() epoch bumps already unreference old entries — this is for
+  /// explicit reclamation (tenant removed, operator flush).
+  std::size_t invalidate(const std::string& tenant);
+
+  std::size_t size() const;
+  const CacheConfig& config() const noexcept { return config_; }
+
+  std::uint64_t hits() const noexcept { return hits_n_.load(); }
+  std::uint64_t misses() const noexcept { return misses_n_.load(); }
+  std::uint64_t warm_starts() const noexcept { return warm_n_.load(); }
+  std::uint64_t insertions() const noexcept { return inserts_n_.load(); }
+  std::uint64_t evictions() const noexcept { return evicts_n_.load(); }
+
+  /// Counts a nearest() donation actually used (the service calls this
+  /// when it installs the donor into the request).
+  void on_warm_start() noexcept;
+
+ private:
+  struct Entry {
+    serve::Response response;
+    // Similarity metadata for nearest().
+    std::string tenant;
+    std::uint64_t epoch = 0;
+    serve::RequestKind kind = serve::RequestKind::kSolve;
+    double theta = 0.0;
+    std::vector<topo::LinkId> failed;  // sorted + deduped
+    std::uint64_t seq = 0;             // global insertion order
+    std::list<std::string>::iterator lru;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Entry> entries;
+    /// Most-recent first; holds the map keys.
+    std::list<std::string> order;
+  };
+
+  Shard& shard_for(const std::string& key) const;
+
+  CacheConfig config_;
+  std::size_t per_shard_cap_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::size_t> count_{0};
+
+  std::atomic<std::uint64_t> hits_n_{0}, misses_n_{0}, warm_n_{0},
+      inserts_n_{0}, evicts_n_{0};
+  obs::Counter hits_, misses_, warm_starts_, insertions_, evictions_,
+      invalidations_;
+  obs::Gauge entries_;
+};
+
+}  // namespace netmon::tenant

@@ -1,0 +1,11 @@
+// Umbrella header for the multi-tenant serving subsystem (src/tenant/):
+// immutable RCU tenant snapshots, the tenant registry, per-tenant
+// admission quotas, the keyed solve cache, and the multi-tenant
+// serve::Service implementation.
+#pragma once
+
+#include "tenant/quota.hpp"
+#include "tenant/registry.hpp"
+#include "tenant/service.hpp"
+#include "tenant/snapshot.hpp"
+#include "tenant/solve_cache.hpp"

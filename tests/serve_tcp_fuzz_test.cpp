@@ -1,0 +1,199 @@
+// Frame reassembly fuzzing (satellite of the TCP transport): a valid
+// byte stream chopped into ANY segmentation must yield the same frames
+// in the same order as whole-frame delivery, and corrupt streams must be
+// rejected at the earliest impossible byte, never over-read, and never
+// produce a phantom frame. Mirrors the pcap/netflow fuzz suites.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "serve/tcp_transport.hpp"
+#include "serve/wire.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace netmon::serve {
+namespace {
+
+Request sample_request(std::uint64_t id) {
+  Request request;
+  request.id = id;
+  request.kind = RequestKind::kWhatIfBatch;
+  request.tenant = "tenant-" + std::to_string(id % 3);
+  request.theta = 50000.0 + static_cast<double>(id);
+  request.failed = {1, 4};
+  request.what_if = {{2}, {3, 5}};
+  request.warm_start = {0.0, 0.25, 0.5};
+  request.iteration_budget = 100;
+  return request;
+}
+
+/// The concatenated wire bytes of `count` distinct request frames.
+std::vector<std::uint8_t> sample_stream(std::size_t count) {
+  std::vector<std::uint8_t> stream;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::vector<std::uint8_t> frame =
+        encode_request(sample_request(100 + i));
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  return stream;
+}
+
+/// Feeds `stream` in the given chunk sizes, collecting decoded ids.
+std::vector<std::uint64_t> feed_chunked(FrameAssembler& assembler,
+                                        std::span<const std::uint8_t> stream,
+                                        const std::vector<std::size_t>& cuts) {
+  std::vector<std::uint64_t> ids;
+  std::size_t at = 0;
+  for (const std::size_t len : cuts) {
+    assembler.feed(stream.subspan(at, len),
+                   [&](std::span<const std::uint8_t> frame) {
+                     ids.push_back(decode_request(frame).id);
+                   });
+    at += len;
+  }
+  EXPECT_EQ(at, stream.size());
+  return ids;
+}
+
+class TcpFuzzSeed : public ::testing::TestWithParam<int> {};
+
+TEST_P(TcpFuzzSeed, RandomSegmentationDecodesIdenticallyToWholeFrames) {
+  Rng rng(52000 + GetParam());
+  const std::vector<std::uint8_t> stream = sample_stream(5);
+
+  // Reference: the whole stream in one feed.
+  FrameAssembler whole;
+  std::vector<std::uint64_t> expected;
+  whole.feed(stream, [&](std::span<const std::uint8_t> frame) {
+    expected.push_back(decode_request(frame).id);
+  });
+  ASSERT_EQ(expected.size(), 5u);
+  EXPECT_EQ(whole.buffered(), 0u);
+
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::size_t> cuts;
+    std::size_t remaining = stream.size();
+    while (remaining > 0) {
+      const std::size_t len = 1 + rng.below(std::min<std::size_t>(
+                                      remaining, 1 + rng.below(64)));
+      cuts.push_back(len);
+      remaining -= len;
+    }
+    FrameAssembler assembler;
+    EXPECT_EQ(feed_chunked(assembler, stream, cuts), expected);
+    EXPECT_EQ(assembler.buffered(), 0u);
+  }
+}
+
+TEST_P(TcpFuzzSeed, ByteAtATimeEqualsWholeFrames) {
+  const std::vector<std::uint8_t> stream = sample_stream(3);
+  FrameAssembler assembler;
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < stream.size(); ++i)
+    assembler.feed(std::span(&stream[i], 1),
+                   [&](std::span<const std::uint8_t> frame) {
+                     ids.push_back(decode_request(frame).id);
+                   });
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{100, 101, 102}));
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+TEST(TcpFrameAssembler, EveryTruncationYieldsNoFrameAndNoThrow) {
+  const std::vector<std::uint8_t> frame = encode_request(sample_request(7));
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    FrameAssembler assembler;
+    std::size_t delivered = 0;
+    assembler.feed(std::span(frame.data(), len),
+                   [&](std::span<const std::uint8_t>) { ++delivered; });
+    // A truncated prefix of a valid frame is simply incomplete: nothing
+    // delivered, bytes retained for the rest of the stream.
+    EXPECT_EQ(delivered, 0u) << "prefix length " << len;
+    EXPECT_EQ(assembler.buffered(), len);
+  }
+}
+
+TEST(TcpFrameAssembler, HeaderBitFlipsAreRejectedBeforeTheBody) {
+  const std::vector<std::uint8_t> frame = encode_request(sample_request(9));
+  // Magic, version, and type live in bytes 0..3: any flip there must
+  // throw as soon as the byte is seen.
+  for (std::size_t at = 0; at < 4; ++at) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> mutated = frame;
+      mutated[at] ^= static_cast<std::uint8_t>(1u << bit);
+      FrameAssembler assembler;
+      std::size_t delivered = 0;
+      EXPECT_THROW(
+          assembler.feed(mutated,
+                         [&](std::span<const std::uint8_t>) { ++delivered; }),
+          Error)
+          << "byte " << at << " bit " << bit;
+      EXPECT_EQ(delivered, 0u);
+    }
+  }
+}
+
+TEST_P(TcpFuzzSeed, RandomBodyBitFlipsNeverCrashOrOverRead) {
+  Rng rng(53000 + GetParam());
+  const std::vector<std::uint8_t> frame = encode_request(sample_request(11));
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> mutated = frame;
+    // Flip inside the body (the header is covered exhaustively above).
+    const std::size_t at =
+        kWireHeaderSize + rng.below(mutated.size() - kWireHeaderSize);
+    mutated[at] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    FrameAssembler assembler;
+    try {
+      assembler.feed(mutated, [&](std::span<const std::uint8_t> body) {
+        // If framing still holds, decoding either succeeds (the flip hit
+        // a payload value) or throws a typed Error — never crashes.
+        try {
+          const Request decoded = decode_request(body);
+          EXPECT_LE(decoded.failed.size(), kWireMaxCount);
+        } catch (const Error&) {
+        }
+      });
+    } catch (const Error&) {
+      // A flip in the length field can make the prefix invalid: a typed
+      // reject is the transport's close-connection path.
+    }
+  }
+}
+
+TEST(TcpFrameAssembler, AbsurdLengthPrefixThrowsImmediately) {
+  std::vector<std::uint8_t> frame = encode_request(sample_request(13));
+  // body length (bytes 4..7) forced past kWireMaxBody.
+  frame[4] = 0xFF;
+  frame[5] = 0xFF;
+  frame[6] = 0xFF;
+  frame[7] = 0xFF;
+  FrameAssembler assembler;
+  EXPECT_THROW(
+      assembler.feed(std::span(frame.data(), kWireHeaderSize),
+                     [](std::span<const std::uint8_t>) { FAIL(); }),
+      Error);
+}
+
+TEST(TcpFrameAssembler, GarbageAfterValidFramesIsRejectedAtItsFirstByte) {
+  std::vector<std::uint8_t> stream = sample_stream(2);
+  const std::size_t valid = stream.size();
+  stream.push_back('X');  // not 'N', not a plausible legacy length byte
+  FrameAssembler assembler;
+  std::vector<std::uint64_t> ids;
+  EXPECT_THROW(assembler.feed(stream,
+                              [&](std::span<const std::uint8_t> frame) {
+                                ids.push_back(decode_request(frame).id);
+                              }),
+               Error);
+  // Both complete frames were delivered before the corrupt byte killed
+  // the stream.
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{100, 101}));
+  (void)valid;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TcpFuzzSeed, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace netmon::serve

@@ -16,6 +16,7 @@ Request sample_request() {
   Request request;
   request.id = 0x0123456789abcdefULL;
   request.kind = RequestKind::kWhatIfBatch;
+  request.tenant = "geant-prod";
   request.theta = 123456.789;
   request.default_alpha = 0.75;
   request.failed = {1, 7, 42};
@@ -33,6 +34,8 @@ Response sample_response() {
   response.kind = RequestKind::kAccuracyReport;
   response.status = ResponseStatus::kDeadlineExpired;
   response.error = "deadline expired mid-solve";
+  response.tenant = "geant-prod";
+  response.cache = CacheOutcome::kWarmStart;
 
   core::PlacementSolution solution;
   solution.rates = {0.0, 0.5, 0.0625, 1.0};
@@ -65,6 +68,7 @@ Response sample_response() {
 void expect_equal(const Request& a, const Request& b) {
   EXPECT_EQ(a.id, b.id);
   EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.tenant, b.tenant);
   EXPECT_EQ(a.theta, b.theta);
   EXPECT_EQ(a.default_alpha, b.default_alpha);
   EXPECT_EQ(a.failed, b.failed);
@@ -103,6 +107,8 @@ void expect_equal(const Response& a, const Response& b) {
   EXPECT_EQ(a.kind, b.kind);
   EXPECT_EQ(a.status, b.status);
   EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.tenant, b.tenant);
+  EXPECT_EQ(a.cache, b.cache);
   ASSERT_EQ(a.solutions.size(), b.solutions.size());
   for (std::size_t i = 0; i < a.solutions.size(); ++i)
     expect_equal(a.solutions[i], b.solutions[i]);
@@ -172,36 +178,40 @@ TEST(ServeWire, CorruptEnvelopeIsRejected) {
     bad[at] = value;
     return bad;
   };
-  EXPECT_THROW(decode_request(corrupt(4, 'X')), Error);   // magic 0
-  EXPECT_THROW(decode_request(corrupt(5, 'X')), Error);   // magic 1
-  EXPECT_THROW(decode_request(corrupt(6, 99)), Error);    // version
-  EXPECT_THROW(decode_request(corrupt(7, 7)), Error);     // type
+  EXPECT_THROW(decode_request(corrupt(0, 'X')), Error);   // magic 0
+  EXPECT_THROW(decode_request(corrupt(1, 'X')), Error);   // magic 1
+  EXPECT_THROW(decode_request(corrupt(2, 99)), Error);    // version
+  EXPECT_THROW(decode_request(corrupt(3, 7)), Error);     // type
   // A request frame is not a response frame.
   EXPECT_THROW(decode_response(good), Error);
   // Lying length prefix.
-  EXPECT_THROW(decode_request(corrupt(3, good[3] + 1)), Error);
+  EXPECT_THROW(decode_request(corrupt(7, good[7] + 1)), Error);
 }
 
 TEST(ServeWire, AbsurdCountsAreRejectedBeforeAllocation) {
+  // The failed-link count sits after id(8) + kind(1) + tenant(4, empty) +
+  // theta(8) + alpha(8) in the body (offset 8 for the v2 header).
   std::vector<std::uint8_t> bad = encode_request(Request{});
-  // The failed-link count sits right after id(8) + kind(1) + theta(8) +
-  // alpha(8) in the body (offset 8 for the envelope).
-  const std::size_t count_at = 8 + 8 + 1 + 8 + 8;
-  bad[count_at] = 0xff;
-  bad[count_at + 1] = 0xff;
-  bad[count_at + 2] = 0xff;
-  bad[count_at + 3] = 0xff;
+  const std::size_t count_at = 8 + 8 + 1 + 4 + 8 + 8;
+  for (std::size_t i = 0; i < 4; ++i) bad[count_at + i] = 0xff;
   EXPECT_THROW(decode_request(bad), Error);
+
+  // Same for the tenant string length (right after id + kind).
+  std::vector<std::uint8_t> bad_string = encode_request(Request{});
+  const std::size_t string_at = 8 + 8 + 1;
+  for (std::size_t i = 0; i < 4; ++i) bad_string[string_at + i] = 0xff;
+  EXPECT_THROW(decode_request(bad_string), Error);
 }
 
 TEST(ServeWire, FrameSizeSupportsStreamReassembly) {
   const std::vector<std::uint8_t> frame = encode_request(sample_request());
 
-  // Fewer than 4 buffered bytes: not decidable yet.
+  // Fewer than 8 buffered bytes (the v2 header): not decidable yet.
   EXPECT_EQ(frame_size(std::span(frame.data(), 0)), 0u);
   EXPECT_EQ(frame_size(std::span(frame.data(), 3)), 0u);
-  // With the prefix visible, the full frame size is known.
-  EXPECT_EQ(frame_size(std::span(frame.data(), 4)), frame.size());
+  EXPECT_EQ(frame_size(std::span(frame.data(), 7)), 0u);
+  // With the header visible, the full frame size is known.
+  EXPECT_EQ(frame_size(std::span(frame.data(), 8)), frame.size());
   EXPECT_EQ(frame_size(frame), frame.size());
 
   // Two frames back to back split correctly.
@@ -222,6 +232,126 @@ TEST(ServeWire, FrameSizeSupportsStreamReassembly) {
   EXPECT_THROW(frame_size(absurd), Error);
   std::vector<std::uint8_t> tiny = {0, 0, 0, 2};
   EXPECT_THROW(frame_size(tiny), Error);
+  // A v2 header with a flipped magic/version byte is rejected as soon as
+  // that byte is buffered, before the length field is even visible.
+  std::vector<std::uint8_t> bad_magic = {kWireMagic0, 'X'};
+  EXPECT_THROW(frame_size(bad_magic), Error);
+  std::vector<std::uint8_t> bad_version = {kWireMagic0, kWireMagic1, 99};
+  EXPECT_THROW(frame_size(bad_version), Error);
+}
+
+// --- legacy v1 frames (loopback-era captures) ------------------------
+
+void legacy_put8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void legacy_put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void legacy_put64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  legacy_put32(out, static_cast<std::uint32_t>(v >> 32));
+  legacy_put32(out, static_cast<std::uint32_t>(v));
+}
+
+void legacy_put_f64(std::vector<std::uint8_t>& out, double v) {
+  legacy_put64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+// Builds the v1 layout by hand: length prefix | 'N' 'M' | 1 | type | body
+// (body has no tenant string).
+std::vector<std::uint8_t> legacy_frame(std::uint8_t type,
+                                       const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> out;
+  legacy_put32(out, static_cast<std::uint32_t>(4 + body.size()));
+  legacy_put8(out, kWireMagic0);
+  legacy_put8(out, kWireMagic1);
+  legacy_put8(out, kWireLegacyVersion);
+  legacy_put8(out, type);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<std::uint8_t> legacy_request_frame(const Request& request) {
+  std::vector<std::uint8_t> body;
+  legacy_put64(body, request.id);
+  legacy_put8(body, static_cast<std::uint8_t>(request.kind));
+  legacy_put_f64(body, request.theta);
+  legacy_put_f64(body, request.default_alpha);
+  legacy_put32(body, static_cast<std::uint32_t>(request.failed.size()));
+  for (topo::LinkId id : request.failed) legacy_put32(body, id);
+  legacy_put32(body, static_cast<std::uint32_t>(request.what_if.size()));
+  for (const auto& scenario : request.what_if) {
+    legacy_put32(body, static_cast<std::uint32_t>(scenario.size()));
+    for (topo::LinkId id : scenario) legacy_put32(body, id);
+  }
+  legacy_put32(body, static_cast<std::uint32_t>(request.thetas.size()));
+  for (double v : request.thetas) legacy_put_f64(body, v);
+  legacy_put32(body, static_cast<std::uint32_t>(request.warm_start.size()));
+  for (double v : request.warm_start) legacy_put_f64(body, v);
+  legacy_put32(body, request.deadline_ms);
+  legacy_put32(body, request.iteration_budget);
+  return legacy_frame(kWireRequest, body);
+}
+
+TEST(ServeWire, LegacyV1RequestStillDecodes) {
+  Request expected = sample_request();
+  expected.tenant.clear();  // v1 has no tenant field
+  const std::vector<std::uint8_t> frame = legacy_request_frame(expected);
+  expect_equal(decode_request(frame), expected);
+  // frame_size understands the legacy layout too, from its length prefix.
+  EXPECT_EQ(frame_size(frame), frame.size());
+  EXPECT_EQ(frame_size(std::span(frame.data(), 4)), frame.size());
+  EXPECT_EQ(frame_size(std::span(frame.data(), 3)), 0u);
+}
+
+TEST(ServeWire, LegacyV1ResponseStillDecodes) {
+  // Minimal empty response in the v1 body layout: id, kind, status,
+  // error, then empty solutions/sweep/accuracy, then transport metadata.
+  std::vector<std::uint8_t> body;
+  legacy_put64(body, 77);
+  legacy_put8(body, static_cast<std::uint8_t>(RequestKind::kSolve));
+  legacy_put8(body, static_cast<std::uint8_t>(ResponseStatus::kShutdown));
+  const std::string error = "server stopping";
+  legacy_put32(body, static_cast<std::uint32_t>(error.size()));
+  body.insert(body.end(), error.begin(), error.end());
+  legacy_put32(body, 0);  // solutions
+  legacy_put32(body, 0);  // sweep
+  legacy_put32(body, 0);  // accuracy
+  legacy_put32(body, 2);  // batch_size
+  legacy_put_f64(body, 0.5);
+  legacy_put_f64(body, 7.25);
+  const Response decoded =
+      decode_response(legacy_frame(kWireResponse, body));
+  EXPECT_EQ(decoded.id, 77u);
+  EXPECT_EQ(decoded.status, ResponseStatus::kShutdown);
+  EXPECT_EQ(decoded.error, error);
+  EXPECT_TRUE(decoded.tenant.empty());
+  EXPECT_EQ(decoded.cache, CacheOutcome::kNone);
+  EXPECT_EQ(decoded.batch_size, 2u);
+  EXPECT_EQ(decoded.queue_ms, 0.5);
+  EXPECT_EQ(decoded.solve_ms, 7.25);
+}
+
+TEST(ServeWire, LegacyV1EnvelopeCorruptionIsRejected) {
+  const std::vector<std::uint8_t> good =
+      legacy_request_frame(Request{});
+  auto corrupt = [&](std::size_t at, std::uint8_t value) {
+    std::vector<std::uint8_t> bad = good;
+    bad[at] = value;
+    return bad;
+  };
+  EXPECT_THROW(decode_request(corrupt(4, 'X')), Error);  // magic 0
+  EXPECT_THROW(decode_request(corrupt(5, 'X')), Error);  // magic 1
+  EXPECT_THROW(decode_request(corrupt(6, 99)), Error);   // version
+  EXPECT_THROW(decode_request(corrupt(7, 7)), Error);    // type
+  for (std::size_t n = 0; n < good.size(); ++n)
+    EXPECT_THROW(decode_request(std::span(good.data(), n)), Error)
+        << "prefix length " << n;
 }
 
 }  // namespace

@@ -1,0 +1,253 @@
+// SolveCache semantics: canonical fingerprints (order-insensitive where
+// the solve is, order-sensitive where the response is), bit-identical
+// exact hits, LRU eviction, epoch keying, and deterministic nearest()
+// warm-start donors.
+#include "tenant/solve_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "helpers.hpp"
+#include "tenant/snapshot.hpp"
+
+namespace netmon::tenant {
+namespace {
+
+TenantModel line_model(double theta = 50000.0) {
+  TenantModel model;
+  model.graph = test::line_graph();
+  model.task.ods = {{0, 3}, {1, 3}};
+  model.task.expected_packets = {5000.0, 3000.0};
+  model.loads.assign(model.graph.link_count(), 1000.0);
+  model.problem.theta = theta;
+  return model;
+}
+
+serve::Request solve_request(double theta = 0.0) {
+  serve::Request request;
+  request.kind = serve::RequestKind::kSolve;
+  request.theta = theta;
+  return request;
+}
+
+/// A distinguishable cacheable response (kOk, completed solution).
+serve::Response ok_response(double marker) {
+  serve::Response response;
+  response.status = serve::ResponseStatus::kOk;
+  core::PlacementSolution solution;
+  solution.rates = {marker, marker / 2.0, 0.0};
+  solution.total_utility = marker * 10.0;
+  solution.lambda = marker / 100.0;
+  solution.iterations = 7;
+  response.solutions.push_back(std::move(solution));
+  return response;
+}
+
+TEST(CacheFingerprint, ExplicitDefaultsMatchOmittedOnes) {
+  const TenantSnapshot snapshot("t", 1, line_model(50000.0));
+  // theta = 0 means "the snapshot's default": canonically identical to
+  // spelling the default out, and distinct from any other value.
+  EXPECT_EQ(SolveCache::fingerprint(snapshot, solve_request(0.0)),
+            SolveCache::fingerprint(snapshot, solve_request(50000.0)));
+  EXPECT_NE(SolveCache::fingerprint(snapshot, solve_request(0.0)),
+            SolveCache::fingerprint(snapshot, solve_request(50001.0)));
+}
+
+TEST(CacheFingerprint, FailedLinksAreASet) {
+  const TenantSnapshot snapshot("t", 1, line_model());
+  serve::Request a = solve_request();
+  a.failed = {2, 0, 2};
+  serve::Request b = solve_request();
+  b.failed = {0, 2};
+  serve::Request c = solve_request();
+  c.failed = {0, 1};
+  EXPECT_EQ(SolveCache::fingerprint(snapshot, a),
+            SolveCache::fingerprint(snapshot, b));
+  EXPECT_NE(SolveCache::fingerprint(snapshot, b),
+            SolveCache::fingerprint(snapshot, c));
+}
+
+TEST(CacheFingerprint, WhatIfScenarioOrderMattersButInnerOrderDoesNot) {
+  const TenantSnapshot snapshot("t", 1, line_model());
+  serve::Request a = solve_request();
+  a.kind = serve::RequestKind::kWhatIfBatch;
+  a.what_if = {{2, 0}, {1}};
+  serve::Request b = a;
+  b.what_if = {{0, 2}, {1}};  // inner order canonicalized away
+  serve::Request c = a;
+  c.what_if = {{1}, {0, 2}};  // scenario order orders the response
+  EXPECT_EQ(SolveCache::fingerprint(snapshot, a),
+            SolveCache::fingerprint(snapshot, b));
+  EXPECT_NE(SolveCache::fingerprint(snapshot, a),
+            SolveCache::fingerprint(snapshot, c));
+}
+
+TEST(CacheFingerprint, DeadlineIsExcludedButBudgetIsNot) {
+  const TenantSnapshot snapshot("t", 1, line_model());
+  serve::Request a = solve_request();
+  serve::Request b = solve_request();
+  b.deadline_ms = 250;  // wall-clock: changes cancellation, not answers
+  serve::Request c = solve_request();
+  c.iteration_budget = 10;  // deterministic truncation: changes answers
+  EXPECT_EQ(SolveCache::fingerprint(snapshot, a),
+            SolveCache::fingerprint(snapshot, b));
+  EXPECT_NE(SolveCache::fingerprint(snapshot, a),
+            SolveCache::fingerprint(snapshot, c));
+}
+
+TEST(CacheFingerprint, EpochAndTenantKeyTheEntry) {
+  const TenantSnapshot e1("t", 1, line_model());
+  const TenantSnapshot e2("t", 2, line_model());
+  const TenantSnapshot other("u", 1, line_model());
+  const serve::Request request = solve_request();
+  EXPECT_NE(SolveCache::fingerprint(e1, request),
+            SolveCache::fingerprint(e2, request));
+  EXPECT_NE(SolveCache::fingerprint(e1, request),
+            SolveCache::fingerprint(other, request));
+}
+
+TEST(SolveCache, InsertThenLookupIsBitIdentical) {
+  const TenantSnapshot snapshot("t", 1, line_model());
+  SolveCache cache;
+  const serve::Request request = solve_request();
+  const std::string key = SolveCache::fingerprint(snapshot, request);
+
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_TRUE(cache.insert(key, snapshot, request, ok_response(3.0)));
+
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->solutions.size(), 1u);
+  EXPECT_EQ(hit->solutions[0].rates, (sampling::RateVector{3.0, 1.5, 0.0}));
+  EXPECT_EQ(hit->solutions[0].total_utility, 30.0);
+  EXPECT_EQ(hit->solutions[0].lambda, 0.03);
+  EXPECT_EQ(hit->solutions[0].iterations, 7);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SolveCache, OnlyCompletedOkResponsesAreStored) {
+  const TenantSnapshot snapshot("t", 1, line_model());
+  SolveCache cache;
+  const serve::Request request = solve_request();
+
+  serve::Response bad = ok_response(1.0);
+  bad.status = serve::ResponseStatus::kDeadlineExpired;
+  EXPECT_FALSE(cache.insert("a", snapshot, request, bad));
+
+  serve::Response truncated = ok_response(1.0);
+  truncated.solutions[0].status = opt::SolveStatus::kCancelled;
+  EXPECT_FALSE(cache.insert("b", snapshot, request, truncated));
+
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_TRUE(cache.insert("c", snapshot, request, ok_response(1.0)));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SolveCache, DuplicateInsertRefreshesInsteadOfDuplicating) {
+  const TenantSnapshot snapshot("t", 1, line_model());
+  SolveCache cache;
+  const serve::Request request = solve_request();
+  EXPECT_TRUE(cache.insert("k", snapshot, request, ok_response(1.0)));
+  EXPECT_FALSE(cache.insert("k", snapshot, request, ok_response(2.0)));
+  EXPECT_EQ(cache.size(), 1u);
+  // The original answer stays (determinism: same key, same answer).
+  EXPECT_EQ(cache.lookup("k")->solutions[0].rates[0], 1.0);
+}
+
+TEST(SolveCache, LruEvictsTheColdestAndLookupBumpsRecency) {
+  const TenantSnapshot snapshot("t", 1, line_model());
+  CacheConfig config;
+  config.shards = 1;  // one shard: capacity and LRU order are global
+  config.max_entries = 2;
+  SolveCache cache(config);
+  const serve::Request request = solve_request();
+
+  cache.insert("a", snapshot, request, ok_response(1.0));
+  cache.insert("b", snapshot, request, ok_response(2.0));
+  EXPECT_TRUE(cache.lookup("a").has_value());  // "a" is now the warmest
+  cache.insert("c", snapshot, request, ok_response(3.0));
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.lookup("a").has_value());
+  EXPECT_FALSE(cache.lookup("b").has_value());  // the cold one died
+  EXPECT_TRUE(cache.lookup("c").has_value());
+}
+
+TEST(SolveCache, ZeroCapacityDisablesTheCache) {
+  const TenantSnapshot snapshot("t", 1, line_model());
+  CacheConfig config;
+  config.max_entries = 0;
+  SolveCache cache(config);
+  EXPECT_FALSE(
+      cache.insert("k", snapshot, solve_request(), ok_response(1.0)));
+  EXPECT_FALSE(cache.lookup("k").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SolveCache, NearestDonorPrefersTheClosestTheta) {
+  const TenantSnapshot snapshot("t", 1, line_model());
+  SolveCache cache;
+  serve::Request far = solve_request(80000.0);
+  serve::Request near = solve_request(50000.0);
+  cache.insert(SolveCache::fingerprint(snapshot, far), snapshot, far,
+               ok_response(8.0));
+  cache.insert(SolveCache::fingerprint(snapshot, near), snapshot, near,
+               ok_response(5.0));
+
+  const auto donor = cache.nearest(snapshot, solve_request(52000.0));
+  ASSERT_TRUE(donor.has_value());
+  EXPECT_EQ(donor->rates[0], 5.0);  // the theta-50000 entry
+  EXPECT_GT(donor->distance, 0.0);
+}
+
+TEST(SolveCache, NearestNeverCrossesEpochsOrTenants) {
+  const TenantSnapshot e1("t", 1, line_model());
+  const TenantSnapshot e2("t", 2, line_model());
+  const TenantSnapshot other("u", 1, line_model());
+  SolveCache cache;
+  const serve::Request request = solve_request(50000.0);
+  cache.insert(SolveCache::fingerprint(e1, request), e1, request,
+               ok_response(1.0));
+
+  EXPECT_TRUE(cache.nearest(e1, solve_request(60000.0)).has_value());
+  EXPECT_FALSE(cache.nearest(e2, solve_request(60000.0)).has_value());
+  EXPECT_FALSE(cache.nearest(other, solve_request(60000.0)).has_value());
+}
+
+TEST(SolveCache, NearestRespectsTheWarmStartSwitch) {
+  const TenantSnapshot snapshot("t", 1, line_model());
+  CacheConfig config;
+  config.warm_start = false;
+  SolveCache cache(config);
+  const serve::Request request = solve_request(50000.0);
+  const std::string key = SolveCache::fingerprint(snapshot, request);
+  cache.insert(key, snapshot, request, ok_response(1.0));
+
+  EXPECT_FALSE(cache.nearest(snapshot, solve_request(60000.0)).has_value());
+  // Exact hits still serve with warm starts off.
+  EXPECT_TRUE(cache.lookup(key).has_value());
+}
+
+TEST(SolveCache, InvalidateDropsOneTenantOnly) {
+  const TenantSnapshot t("t", 1, line_model());
+  const TenantSnapshot u("u", 1, line_model());
+  SolveCache cache;
+  const serve::Request request = solve_request();
+  cache.insert("t1", t, request, ok_response(1.0));
+  cache.insert("t2", t, request, ok_response(2.0));
+  cache.insert("u1", u, request, ok_response(3.0));
+
+  EXPECT_EQ(cache.invalidate("t"), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.lookup("t1").has_value());
+  EXPECT_TRUE(cache.lookup("u1").has_value());
+  EXPECT_EQ(cache.invalidate("t"), 0u);
+}
+
+}  // namespace
+}  // namespace netmon::tenant
